@@ -1,0 +1,46 @@
+// A1 — ablation: what MRV variable ordering and forward checking each buy
+// the backtracking CSP solver. Search nodes and wall time on planted
+// binary CSPs, with each feature toggled independently.
+
+#include "bench_util.h"
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("A1 (ablation): MRV + forward checking",
+                "each heuristic removes orders of magnitude of search");
+
+  util::Rng rng(1);
+  util::Table t({"n", "tightness", "nodes (plain)", "nodes (mrv)",
+                 "nodes (fc)", "nodes (mrv+fc)"});
+  for (int n : {14, 18, 22}) {
+    for (double tightness : {0.25, 0.4}) {
+      graph::Graph structure = graph::RandomGnp(n, 0.3, &rng);
+      csp::CspInstance csp =
+          csp::PlantedBinaryCsp(structure, 5, tightness, &rng);
+      std::uint64_t nodes[4];
+      int idx = 0;
+      for (bool mrv : {false, true}) {
+        for (bool fc : {false, true}) {
+          csp::BacktrackingSolver solver(csp::BacktrackingSolver::Options{
+              .forward_checking = fc, .mrv = mrv, .max_nodes = 50'000'000});
+          csp::CspSolution sol = solver.Solve(csp);
+          nodes[idx++] = sol.stats.nodes;
+          if (!sol.found && !solver.aborted()) return 1;  // Planted: SAT.
+        }
+      }
+      // Order written: plain, fc, mrv, mrv+fc -> match header.
+      t.AddRowOf(n, tightness, static_cast<unsigned long long>(nodes[0]),
+                 static_cast<unsigned long long>(nodes[2]),
+                 static_cast<unsigned long long>(nodes[1]),
+                 static_cast<unsigned long long>(nodes[3]));
+    }
+  }
+  t.Print();
+  std::printf("(planted satisfiable instances; node budget 5e7 — a hit "
+              "means the configuration gave up)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// A2 — ablation: the library's SAT solver ladder (brute force, DPLL, CDCL,
+// WalkSAT) on the same instances. CDCL shrinks the effective exponent but
+// stays exponential at the threshold — the ETH in action; WalkSAT is fast
+// on satisfiable instances but cannot refute.
+
+#include "bench_util.h"
+#include "sat/cdcl.h"
+#include "sat/cnf.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "sat/walksat.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("A2 (ablation): brute force vs DPLL vs CDCL vs WalkSAT",
+                "better engineering lowers the exponent's constant, never "
+                "removes the exponent");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- threshold-density random 3SAT (decision) ---\n");
+  util::Table t({"n", "brute ms", "dpll ms", "cdcl ms", "dpll decisions",
+                 "cdcl conflicts", "all agree"});
+  std::vector<double> ns, dpll_dec, cdcl_conf;
+  for (int n : {20, 28, 36, 44, 52}) {
+    const int trials = 5;
+    double brute_ms = 0, dpll_ms = 0, cdcl_ms = 0;
+    std::uint64_t ddec = 0, cconf = 0;
+    bool agree = true;
+    for (int trial = 0; trial < trials; ++trial) {
+      sat::CnfFormula f =
+          sat::RandomKSat(n, static_cast<int>(n * 4.26), 3, &rng);
+      util::Timer timer;
+      bool b = n <= 22 ? sat::SolveBruteForce(f).satisfiable : false;
+      if (n <= 22) brute_ms += timer.Millis();
+      timer.Reset();
+      sat::SatResult rd = sat::SolveDpll(f);
+      dpll_ms += timer.Millis();
+      ddec += rd.decisions;
+      timer.Reset();
+      sat::CdclSolver cdcl;
+      sat::SatResult rc = cdcl.Solve(f);
+      cdcl_ms += timer.Millis();
+      cconf += cdcl.stats().conflicts;
+      agree = agree && rd.satisfiable == rc.satisfiable &&
+              (n > 22 || b == rd.satisfiable);
+    }
+    t.AddRowOf(n, n <= 22 ? brute_ms / trials : -1.0, dpll_ms / trials,
+               cdcl_ms / trials,
+               static_cast<unsigned long long>(ddec / trials),
+               static_cast<unsigned long long>(cconf / trials),
+               agree ? "yes" : "NO (BUG)");
+    if (!agree) return 1;
+    ns.push_back(n);
+    dpll_dec.push_back(static_cast<double>(ddec) / trials);
+    cdcl_conf.push_back(static_cast<double>(cconf) / trials);
+  }
+  t.Print();
+  std::printf("DPLL decisions ~ 2^{%.3f n}; CDCL conflicts ~ 2^{%.3f n} "
+              "(both exponential: clause learning cuts the constant, not "
+              "the exponent)\n",
+              bench::FitExponentialRate(ns, dpll_dec),
+              bench::FitExponentialRate(ns, cdcl_conf));
+
+  std::printf("\n--- satisfiable (planted) instances: WalkSAT's regime ---\n");
+  util::Table t2({"n", "dpll ms", "cdcl ms", "walksat ms", "walksat found"});
+  for (int n : {50, 100, 200}) {
+    sat::CnfFormula f = sat::PlantedKSat(n, 4 * n, 3, &rng);
+    util::Timer timer;
+    sat::SatResult rd = sat::SolveDpll(f);
+    double t_dpll = timer.Millis();
+    timer.Reset();
+    sat::SatResult rc = sat::CdclSolver().Solve(f);
+    double t_cdcl = timer.Millis();
+    timer.Reset();
+    sat::SatResult rw = sat::SolveWalkSat(f, &rng);
+    double t_walk = timer.Millis();
+    if (!rd.satisfiable || !rc.satisfiable) return 1;
+    t2.AddRowOf(n, t_dpll, t_cdcl, t_walk, rw.satisfiable ? "yes" : "no");
+  }
+  t2.Print();
+  return 0;
+}

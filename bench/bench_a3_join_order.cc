@@ -1,0 +1,63 @@
+// A3 — ablation: how much the global attribute order matters for Generic
+// Join. On a star query the center-first order intersects all relations
+// immediately; leaf-first orders enumerate large cross products before any
+// pruning. Worst-case optimality caps the damage at N^{rho*}, but the
+// constant between good and bad orders is large.
+
+#include "bench_util.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("A3 (ablation): Generic Join attribute order",
+                "orders differ by large constants; all stay within the "
+                "worst-case-optimal envelope");
+
+  db::JoinQuery star;
+  star.Add("R1", {"c", "x"}).Add("R2", {"c", "y"}).Add("R3", {"c", "z"});
+
+  util::Rng rng(1);
+  util::Table t({"N", "|Q(D)|", "center-first ms", "leaves-first ms",
+                 "probes (center)", "probes (leaves)"});
+  for (int n : {100, 200, 400}) {
+    db::Database d = db::RandomDatabase(star, n, n / 2, &rng);
+    db::GenericJoin good(star, d, {"c", "x", "y", "z"});
+    util::Timer timer;
+    std::uint64_t count_good = good.Count();
+    double good_ms = timer.Millis();
+    db::GenericJoin bad(star, d, {"x", "y", "z", "c"});
+    timer.Reset();
+    std::uint64_t count_bad = bad.Count();
+    double bad_ms = timer.Millis();
+    if (count_good != count_bad) return 1;
+    t.AddRowOf(n, static_cast<unsigned long long>(count_good), good_ms,
+               bad_ms, static_cast<unsigned long long>(good.stats().probes),
+               static_cast<unsigned long long>(bad.stats().probes));
+  }
+  t.Print();
+
+  std::printf("\n--- triangle query: all six orders ---\n");
+  db::JoinQuery tri;
+  tri.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  db::Database d = db::RandomDatabase(tri, 20000, 6000, &rng);
+  util::Table t2({"order", "ms", "probes"});
+  std::vector<std::vector<std::string>> orders = {
+      {"a", "b", "c"}, {"a", "c", "b"}, {"b", "a", "c"},
+      {"b", "c", "a"}, {"c", "a", "b"}, {"c", "b", "a"}};
+  std::uint64_t reference = db::GenericJoin(tri, d).Count();
+  for (const auto& order : orders) {
+    db::GenericJoin gj(tri, d, order);
+    util::Timer timer;
+    std::uint64_t count = gj.Count();
+    double ms = timer.Millis();
+    if (count != reference) return 1;
+    t2.AddRowOf(order[0] + order[1] + order[2], ms,
+                static_cast<unsigned long long>(gj.stats().probes));
+  }
+  t2.Print();
+  std::printf("(symmetric query, near-symmetric costs — order sensitivity "
+              "is a property of skewed schemas like the star above)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E11 — Hypotheses 1/2 (ETH + Sparsification Lemma): 3SAT at linear clause
+// density already takes time exponential in n, and hardness peaks near the
+// satisfiability threshold m/n ~ 4.27 — the empirical face of "3SAT with n
+// variables and m clauses cannot be solved in 2^{o(n+m)}".
+
+#include "bench_util.h"
+#include "reductions/sat_reductions.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E11: ETH-style scaling of 3SAT (Hypotheses 1/2)",
+                "2^{Theta(n)} at fixed linear density; hardness peaks at "
+                "the threshold density ~4.27");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- n sweep at density 4.26 ---\n");
+  util::Table t({"n", "m", "avg decisions", "avg ms", "sat fraction"});
+  std::vector<double> ns, decisions;
+  for (int n : {20, 26, 32, 38, 44, 50}) {
+    const int trials = 5;
+    std::uint64_t total = 0;
+    double total_ms = 0;
+    int sat_count = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      sat::CnfFormula f =
+          sat::RandomKSat(n, static_cast<int>(n * 4.26), 3, &rng);
+      util::Timer timer;
+      sat::SatResult r = sat::SolveDpll(f);
+      total_ms += timer.Millis();
+      total += r.decisions;
+      sat_count += r.satisfiable ? 1 : 0;
+    }
+    t.AddRowOf(n, static_cast<int>(n * 4.26),
+               static_cast<unsigned long long>(total / trials),
+               total_ms / trials, static_cast<double>(sat_count) / trials);
+    ns.push_back(n);
+    decisions.push_back(static_cast<double>(total) / trials);
+  }
+  t.Print();
+  double rate = bench::FitExponentialRate(ns, decisions);
+  std::printf("decisions ~ 2^{%.3f n}: exponential in n as ETH predicts "
+              "(2^{o(n)} would show a decaying rate)\n", rate);
+
+  std::printf("\n--- density sweep at n = 36 (the hardness peak) ---\n");
+  util::Table t2({"m/n", "avg decisions", "sat fraction"});
+  for (double density : {1.0, 2.0, 3.0, 3.8, 4.26, 5.0, 6.0, 8.0}) {
+    const int trials = 8;
+    std::uint64_t total = 0;
+    int sat_count = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      sat::CnfFormula f =
+          sat::RandomKSat(36, static_cast<int>(36 * density), 3, &rng);
+      sat::SatResult r = sat::SolveDpll(f);
+      total += r.decisions;
+      sat_count += r.satisfiable ? 1 : 0;
+    }
+    t2.AddRowOf(density, static_cast<unsigned long long>(total / trials),
+                static_cast<double>(sat_count) / trials);
+  }
+  t2.Print();
+  std::printf("(the decision peak sits near the sat/unsat threshold, the "
+              "\"hard instances have linear clause count\" regime the "
+              "Sparsification Lemma licenses)\n");
+
+  std::printf("\n--- Corollary 6.2 chain: 3SAT -> 3-colouring size ---\n");
+  util::Table t3({"n", "m", "colouring vertices", "colouring edges",
+                  "(linear in n+m)"});
+  for (int n : {20, 40, 80}) {
+    sat::CnfFormula f = sat::RandomKSat(n, 4 * n, 3, &rng);
+    reductions::ThreeColoringReduction red =
+        reductions::ThreeColoringFromSat(f);
+    t3.AddRowOf(n, 4 * n, red.graph.num_vertices(), red.graph.num_edges(),
+                static_cast<double>(red.graph.num_vertices()) / (n + 4 * n));
+  }
+  t3.Print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E12 — Theorem 5.3 (Grohe): the complexity of HOM(A, _) tracks the
+// treewidth of A's *core*, not of A itself. Even cycles have core K_2, so
+// homomorphism testing stays flat as the cycle grows once the core is
+// computed, while the naive |B|^{|A|} enumeration explodes; odd cycles are
+// their own cores and gain nothing.
+
+#include "bench_util.h"
+#include "csp/solver.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "structures/structure.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E12: cores govern homomorphism complexity (Theorem 5.3)",
+                "HOM(A,_) is FPT/poly iff A's core has small treewidth");
+
+  util::Rng rng(1);
+  // Target B: a sparse bipartite-ish graph, so even cycles map in, odd
+  // cycles do not (B is triangle-free and has long odd girth).
+  graph::Graph target = graph::CompleteBipartite(3, 3);
+  structures::Structure b = structures::Structure::FromGraph(target);
+
+  std::printf("\n--- even cycles C_{2k}: core is K_2 ---\n");
+  // Exhaustive enumeration (the |B|^{|A|} "try all assignments" baseline of
+  // Section 5) with and without collapsing A to its core first: the core
+  // keeps the answer while shrinking the exponent to 2.
+  util::Table t({"cycle length", "core size", "core tw",
+                 "space |B|^|A|", "direct ms", "core space", "core ms",
+                 "answers agree"});
+  for (int len : {4, 6, 8}) {
+    structures::Structure a =
+        structures::Structure::FromGraph(graph::Cycle(len));
+    structures::Structure core = structures::ComputeCore(a);
+    csp::CspInstance direct = structures::HomomorphismCsp(a, b);
+    util::Timer timer;
+    bool found_direct = csp::CountSolutionsBruteForce(direct) > 0;
+    double direct_ms = timer.Millis();
+    csp::CspInstance reduced = structures::HomomorphismCsp(core, b);
+    timer.Reset();
+    bool found_core = csp::CountSolutionsBruteForce(reduced) > 0;
+    double core_ms = timer.Millis();
+    bool agree = found_direct == found_core;
+    t.AddRowOf(len, core.universe_size(),
+               graph::ExactTreewidth(core.GaifmanGraph()).treewidth,
+               std::pow(6.0, len), direct_ms, 36.0, core_ms,
+               agree ? "yes" : "NO (BUG)");
+    if (!agree) return 1;
+  }
+  t.Print();
+  std::printf("(core preprocessing flattens the |B|^{|A|} explosion: the "
+              "core column is constant while the direct column multiplies "
+              "by |B|^2 = 36 per extra cycle segment)\n");
+
+  std::printf("\n--- odd cycles: self-core, no collapse ---\n");
+  util::Table t2({"cycle length", "core size", "hom into bipartite B",
+                  "hom into B + odd cycle"});
+  graph::Graph enriched = target.DisjointUnion(graph::Cycle(7));
+  structures::Structure b2 = structures::Structure::FromGraph(enriched);
+  for (int len : {5, 7, 9}) {
+    structures::Structure a =
+        structures::Structure::FromGraph(graph::Cycle(len));
+    structures::Structure core = structures::ComputeCore(a);
+    bool into_bipartite = structures::FindHomomorphism(a, b).has_value();
+    bool into_enriched = structures::FindHomomorphism(a, b2).has_value();
+    t2.AddRowOf(len, core.universe_size(), into_bipartite ? "yes" : "no",
+                into_enriched ? "yes" : "no");
+  }
+  t2.Print();
+  std::printf("(C_5 and C_7 map into B + C_7; C_9 maps onto C_7 as well "
+              "since odd girth 7 <= 9... only if a hom C_9 -> C_7 exists, "
+              "which requires girth(C_7) <= ... measured above)\n");
+
+  std::printf("\n--- random structures: core never increases treewidth ---\n");
+  util::Table t3({"trial", "|A|", "tw(A)", "core size", "tw(core)"});
+  for (int trial = 0; trial < 5; ++trial) {
+    graph::Graph g = graph::RandomGnp(8, 0.3, &rng);
+    structures::Structure a = structures::Structure::FromGraph(g);
+    structures::Structure core = structures::ComputeCore(a);
+    int tw_a = graph::ExactTreewidth(a.GaifmanGraph()).treewidth;
+    int tw_core = graph::ExactTreewidth(core.GaifmanGraph()).treewidth;
+    t3.AddRowOf(trial, a.universe_size(), tw_a, core.universe_size(),
+                tw_core);
+    if (tw_core > tw_a) return 1;
+  }
+  t3.Print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E15 — Section 7's citations [15]/[51] (Lokshtanov–Marx–Saurabh): the
+// standard dynamic programs on tree decompositions — 2^w for Independent
+// Set, 3^w for Dominating Set — are SETH-optimal. We measure (a) that the
+// DPs' costs indeed grow with those bases as the width increases on
+// fixed-size k-trees, and (b) that at bounded width they crush the
+// exponential-in-n branching solvers.
+
+#include "bench_util.h"
+#include "graph/domination.h"
+#include "graph/generators.h"
+#include "graph/nice_decomposition.h"
+#include "graph/treewidth.h"
+#include "graph/vertexcover.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E15: 2^w and 3^w treewidth DPs (Section 7, [51])",
+                "IS in 2^w, DomSet in 3^w per bag; SETH says the bases "
+                "cannot be improved");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- width sweep on 48-vertex k-trees ---\n");
+  util::Table t({"w", "MIS DP ms", "DomSet DP ms", "MIS size", "gamma",
+                 "2^w", "3^w"});
+  std::vector<double> ws, mis_ms, ds_ms;
+  for (int w : {2, 3, 4, 5, 6, 7}) {
+    graph::Graph g = graph::RandomPartialKTree(48, w, 0.85, &rng);
+    graph::TreeDecomposition td = graph::HeuristicTreewidth(g).decomposition;
+    graph::NiceTreeDecomposition ntd =
+        graph::NiceTreeDecomposition::FromTreeDecomposition(td, g);
+    util::Timer timer;
+    int mis = graph::MaxIndependentSetTreewidth(g, ntd);
+    double t_mis = timer.Millis();
+    timer.Reset();
+    int gamma = graph::MinDominatingSetTreewidth(g, ntd);
+    double t_ds = timer.Millis();
+    t.AddRowOf(ntd.Width(), t_mis, t_ds, mis, gamma, 1 << ntd.Width(),
+               static_cast<int>(std::pow(3.0, ntd.Width())));
+    ws.push_back(ntd.Width());
+    mis_ms.push_back(t_mis);
+    ds_ms.push_back(t_ds);
+  }
+  t.Print();
+  std::printf("MIS DP base: 2^{%.2f w}; DomSet DP base: 2^{%.2f w} = "
+              "%.2f^w (paper: 2^w and 3^w = 2^{1.58 w})\n",
+              bench::FitExponentialRate(ws, mis_ms),
+              bench::FitExponentialRate(ws, ds_ms),
+              std::pow(2.0, bench::FitExponentialRate(ws, ds_ms)));
+
+  std::printf("\n--- n sweep at width <= 3: DP vs branching solvers ---\n");
+  util::Table t2({"n", "MIS DP ms", "VC-branching ms", "DomSet DP ms",
+                  "DomSet B&B ms", "answers agree"});
+  for (int n : {20, 28, 36, 44}) {
+    graph::Graph g = graph::RandomPartialKTree(n, 3, 0.8, &rng);
+    graph::TreeDecomposition td = graph::HeuristicTreewidth(g).decomposition;
+    graph::NiceTreeDecomposition ntd =
+        graph::NiceTreeDecomposition::FromTreeDecomposition(td, g);
+    util::Timer timer;
+    int mis_dp = graph::MaxIndependentSetTreewidth(g, ntd);
+    double t1 = timer.Millis();
+    timer.Reset();
+    int mis_branch = static_cast<int>(graph::MaxIndependentSet(g).size());
+    double t2ms = timer.Millis();
+    timer.Reset();
+    int ds_dp = graph::MinDominatingSetTreewidth(g, ntd);
+    double t3 = timer.Millis();
+    timer.Reset();
+    int ds_bb = static_cast<int>(graph::MinDominatingSet(g).size());
+    double t4 = timer.Millis();
+    bool agree = mis_dp == mis_branch && ds_dp == ds_bb;
+    t2.AddRowOf(n, t1, t2ms, t3, t4, agree ? "yes" : "NO (BUG)");
+    if (!agree) return 1;
+  }
+  t2.Print();
+  std::printf("(the DPs stay flat in n at fixed width; the branching "
+              "solvers blow up — the FPT-vs-exponential contrast of "
+              "Section 5)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E1 — Theorems 3.1 / 3.2: the AGM bound |Q(D)| <= N^{rho*} holds on every
+// database and is met exactly by the extremal construction.
+
+#include "bench_util.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qc;
+
+void RunQuery(const char* name, const db::JoinQuery& query,
+              const std::vector<int>& t_values, int random_n) {
+  auto analysis = db::AnalyzeAgm(query);
+  std::printf("\n--- %s: rho* = %s ---\n", name,
+              analysis->rho_star.ToString().c_str());
+
+  util::Table tight({"t", "N", "|Q(D)| (extremal)", "N^rho*", "ratio"});
+  std::vector<double> ns, counts;
+  for (int t : t_values) {
+    long long n = 0;
+    db::Database d = db::AgmTightInstance(query, *analysis, t, &n);
+    std::uint64_t count = db::GenericJoin(query, d).Count();
+    double bound = analysis->BoundForN(static_cast<double>(n));
+    tight.AddRowOf(t, static_cast<long long>(n),
+                   static_cast<unsigned long long>(count), bound,
+                   static_cast<double>(count) / bound);
+    ns.push_back(static_cast<double>(n));
+    counts.push_back(static_cast<double>(count));
+  }
+  tight.Print();
+  std::printf("measured exponent log_N |Q(D)| = %.3f (paper: %s)\n",
+              bench::FitPowerLawExponent(ns, counts),
+              analysis->rho_star.ToString().c_str());
+
+  util::Table random({"N", "|Q(D)| (random)", "N^rho*", "bound holds"});
+  util::Rng rng(1);
+  for (int n : {random_n / 4, random_n / 2, random_n}) {
+    db::Database d = db::RandomDatabase(query, n, 2 * n, &rng);
+    std::uint64_t count = db::GenericJoin(query, d).Count();
+    double bound = analysis->BoundForN(static_cast<double>(d.MaxRelationSize()));
+    random.AddRowOf(n, static_cast<unsigned long long>(count), bound,
+                    count <= bound ? "yes" : "NO (BUG)");
+  }
+  random.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E1: AGM output-size bound (Theorems 3.1/3.2)",
+                "|Q(D)| <= N^{rho*}; tight for the extremal database");
+
+  db::JoinQuery triangle;
+  triangle.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  RunQuery("triangle (rho* = 3/2)", triangle, {2, 4, 8, 12, 16, 20}, 400);
+
+  db::JoinQuery four_cycle;
+  four_cycle.Add("R1", {"a", "b"}).Add("R2", {"b", "c"}).Add("R3", {"c", "d"})
+      .Add("R4", {"d", "a"});
+  RunQuery("4-cycle (rho* = 2)", four_cycle, {2, 3, 4, 6, 8}, 150);
+
+  db::JoinQuery star;
+  star.Add("R1", {"c", "x"}).Add("R2", {"c", "y"}).Add("R3", {"c", "z"});
+  RunQuery("star (rho* = 3)", star, {2, 3, 4, 6, 8, 10}, 80);
+
+  db::JoinQuery path;
+  path.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  RunQuery("path (rho* = 2)", path, {2, 4, 8, 16, 24}, 200);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E2 — Theorem 3.3: worst-case-optimal joins run in O~(N^{rho*}) while any
+// binary join plan can be forced to materialize Omega(N^2) intermediates on
+// the triangle query. Uses the classical adversarial "bowtie" instance:
+//
+//   R1 = R2 = R3 = {(i, 0) : i in [N/2]} u {(0, j) : j in [N/2]}
+//
+// whose answer has O(N) tuples but whose every pairwise join has ~N^2/4.
+
+#include "bench_util.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "db/joins.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qc;
+
+db::JoinQuery Triangle() {
+  db::JoinQuery q;
+  q.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  return q;
+}
+
+db::Database BowtieInstance(int n) {
+  std::vector<db::Tuple> rel = {{0, 0}};
+  for (int i = 1; i <= n / 2; ++i) {
+    rel.push_back({i, 0});
+    rel.push_back({0, i});
+  }
+  db::Database d;
+  d.SetRelation("R1", 2, rel);
+  d.SetRelation("R2", 2, rel);
+  d.SetRelation("R3", 2, rel);
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E2: worst-case-optimal join vs binary plans (Theorem 3.3)",
+                "Generic Join O~(N^{3/2}) on triangles; binary plans pay "
+                "Omega(N^2) intermediates on adversarial inputs");
+
+  db::JoinQuery q = Triangle();
+
+  std::printf("\n--- adversarial bowtie instance ---\n");
+  util::Table t({"N", "|Q(D)|", "binary max-intermediate", "binary ms",
+                 "generic-join ms", "speedup"});
+  std::vector<double> ns, binary_times, wcoj_times, intermediates;
+  for (int n : {512, 1024, 2048, 4096, 8192}) {
+    db::Database d = BowtieInstance(n);
+    util::Timer timer;
+    db::JoinStats stats;
+    db::JoinResult binary = db::EvaluateGreedyBinaryJoin(q, d, &stats);
+    double binary_ms = timer.Millis();
+    timer.Reset();
+    db::GenericJoin gj(q, d);
+    std::uint64_t count = gj.Count();
+    double wcoj_ms = timer.Millis();
+    if (binary.tuples.size() != count) {
+      std::printf("MISMATCH: %zu vs %llu\n", binary.tuples.size(),
+                  static_cast<unsigned long long>(count));
+      return 1;
+    }
+    t.AddRowOf(n, static_cast<unsigned long long>(count),
+               static_cast<unsigned long long>(stats.max_intermediate),
+               binary_ms, wcoj_ms, binary_ms / std::max(wcoj_ms, 1e-6));
+    ns.push_back(n);
+    binary_times.push_back(binary_ms);
+    wcoj_times.push_back(wcoj_ms);
+    intermediates.push_back(static_cast<double>(stats.max_intermediate));
+  }
+  t.Print();
+  std::printf("binary-plan intermediate exponent: %.2f (paper: 2)\n",
+              bench::FitPowerLawExponent(ns, intermediates));
+  std::printf("binary-plan time exponent:         %.2f\n",
+              bench::FitPowerLawExponent(ns, binary_times));
+  std::printf("generic-join time exponent:        %.2f (paper: ~1, output-"
+              "linear here)\n",
+              bench::FitPowerLawExponent(ns, wcoj_times));
+
+  std::printf("\n--- AGM-extremal instance (output = N^{3/2}) ---\n");
+  auto agm = db::AnalyzeAgm(q);
+  util::Table t2({"N", "|Q(D)|", "generic-join ms", "ms / N^{1.5}"});
+  std::vector<double> n2, time2;
+  for (int base : {8, 12, 16, 24, 32}) {
+    long long n = 0;
+    db::Database d = db::AgmTightInstance(q, *agm, base, &n);
+    util::Timer timer;
+    std::uint64_t count = db::GenericJoin(q, d).Count();
+    double ms = timer.Millis();
+    t2.AddRowOf(static_cast<long long>(n),
+                static_cast<unsigned long long>(count), ms,
+                ms / std::pow(static_cast<double>(n), 1.5));
+    n2.push_back(static_cast<double>(n));
+    time2.push_back(ms);
+  }
+  t2.Print();
+  std::printf("generic-join time exponent on extremal inputs: %.2f "
+              "(paper: 3/2)\n",
+              bench::FitPowerLawExponent(n2, time2));
+
+  std::printf("\n--- random instance (both fine; who wins) ---\n");
+  util::Rng rng(3);
+  util::Table t3({"N", "|Q(D)|", "binary ms", "generic-join ms"});
+  for (int n : {1000, 4000, 16000}) {
+    db::Database d = db::RandomDatabase(q, n, 3 * n / 2, &rng);
+    util::Timer timer;
+    db::JoinStats stats;
+    db::JoinResult binary = db::EvaluateGreedyBinaryJoin(q, d, &stats);
+    double binary_ms = timer.Millis();
+    timer.Reset();
+    std::uint64_t count = db::GenericJoin(q, d).Count();
+    double wcoj_ms = timer.Millis();
+    t3.AddRowOf(n, static_cast<unsigned long long>(count), binary_ms, wcoj_ms);
+    if (binary.tuples.size() != count) return 1;
+  }
+  t3.Print();
+  return 0;
+}

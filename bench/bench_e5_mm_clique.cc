@@ -1,0 +1,67 @@
+// E5 — Section 8 (k-clique conjecture) upper-bound side: Nešetřil–Poljak
+// detect k-cliques via matrix-multiplication-based triangle detection on an
+// auxiliary graph of k/3-cliques, beating plain enumeration on dense
+// graphs. Our MM substrate is word-parallel Boolean multiplication
+// (DESIGN.md §1), so the expected shape is a constant-factor win growing
+// with density, not a different exponent.
+
+#include "bench_util.h"
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E5: clique detection via matrix multiplication (Section 8)",
+                "Nešetřil–Poljak n^{omega k/3} beats n^k enumeration on "
+                "dense graphs; triangle MM beats edge scanning");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- triangle detection on dense triangle-free-ish graphs ---\n");
+  // Sparse-random graphs below the triangle threshold force full scans.
+  util::Table t1({"n", "edges", "enumeration ms", "matrix ms", "speedup"});
+  for (int n : {256, 512, 1024, 2048}) {
+    double p = 0.6 / n;  // Far below the triangle threshold ~ n^{-1/2}...
+    // Use bipartite-ish density instead: complete bipartite has no triangle
+    // and maximal density.
+    graph::Graph g = graph::CompleteBipartite(n / 2, n / 2);
+    // Sprinkle random cross edges that keep it triangle-free? Skip: K_{n/2,n/2}
+    // is the dense triangle-free extremal graph (Turán).
+    (void)p;
+    util::Timer timer;
+    bool enum_found = graph::FindTriangleEnumeration(g).has_value();
+    double enum_ms = timer.Millis();
+    timer.Reset();
+    bool mm_found = graph::FindTriangleMatrix(g).has_value();
+    double mm_ms = timer.Millis();
+    if (enum_found || mm_found) return 1;  // Triangle-free by construction.
+    t1.AddRowOf(n, g.num_edges(), enum_ms, mm_ms,
+                enum_ms / std::max(mm_ms, 1e-6));
+  }
+  t1.Print();
+
+  std::printf("\n--- k = 6 clique detection in dense G(n, 0.5) without a "
+              "6-clique... G(n,.5) has 6-cliques for n >= ~50; use counting "
+              "instead: full detection on no-instance via low p ---\n");
+  util::Table t2({"n", "p", "brute-force ms", "Nešetřil–Poljak ms",
+                  "found agree"});
+  for (int n : {32, 48, 64}) {
+    double p = 0.35;
+    graph::Graph g = graph::RandomGnp(n, p, &rng);
+    util::Timer timer;
+    auto bf = graph::FindKCliqueBruteForce(g, 6);
+    double bf_ms = timer.Millis();
+    timer.Reset();
+    auto np = graph::FindKCliqueNesetrilPoljak(g, 6);
+    double np_ms = timer.Millis();
+    if (bf.has_value() != np.has_value()) return 1;
+    t2.AddRowOf(n, p, bf_ms, np_ms, bf.has_value() ? "yes (found)" : "yes (none)");
+  }
+  t2.Print();
+  std::printf("(the auxiliary-graph construction dominates at these sizes; "
+              "the MM win shows once the aux graph is dense — see the "
+              "triangle table above for the clean MM-vs-scan shape)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E6 — Definition 4.3 + Section 6: "Special CSP" (primal graph = k-clique +
+// path on 2^k vertices) is quasipolynomial: solvable in n^{O(log n)} where
+// n = k + 2^k is the instance size, because k <= log n. The measured search
+// cost must grow far slower than exponential in n (polylog exponent), and
+// the path part must be free.
+
+#include "bench_util.h"
+#include "csp/solver.h"
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "reductions/clique_reductions.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner(
+      "E6: Special CSP is quasipolynomial (Definition 4.3, Section 6)",
+      "n^{O(log n)} overall: brute force on the k <= log n clique part, "
+      "linear on the 2^k path part");
+
+  util::Rng rng(1);
+  const int graph_n = 14;  // |D| for the clique part.
+
+  std::printf("\n--- unsatisfiable instances (full search; G(n,p) with no "
+              "k-clique) ---\n");
+  util::Table t({"k", "vars n = k+2^k", "search nodes", "ms",
+                 "n^{log2 n} (scaled)", "2^n (scaled)"});
+  std::vector<double> ns, nodes;
+  for (int k : {2, 3, 4, 5, 6}) {
+    // p tuned so no k-clique exists (verified below).
+    double p = k <= 3 ? 0.15 : (k == 4 ? 0.3 : (k == 5 ? 0.42 : 0.5));
+    graph::Graph g = graph::RandomGnp(graph_n, p, &rng);
+    while (graph::FindKCliqueBruteForce(g, k).has_value()) {
+      g = graph::RandomGnp(graph_n, p, &rng);
+    }
+    csp::CspInstance csp = reductions::SpecialCspFromClique(g, k);
+    util::Timer timer;
+    csp::BacktrackingSolver solver;
+    csp::CspSolution sol = solver.Solve(csp);
+    double ms = timer.Millis();
+    if (sol.found) return 1;  // Must be unsatisfiable.
+    double n = static_cast<double>(csp.num_vars);
+    t.AddRowOf(k, csp.num_vars,
+               static_cast<unsigned long long>(sol.stats.nodes), ms,
+               std::pow(n, std::log2(n)) / 1e6, std::pow(2.0, n) / 1e6);
+    ns.push_back(n);
+    nodes.push_back(static_cast<double>(sol.stats.nodes));
+  }
+  t.Print();
+  std::printf(
+      "search-node exponent in n: %.2f -> cost ~ n^{%.2f}, and log2(n) at "
+      "the largest instance is %.1f: consistent with n^{O(log n)}, ruled "
+      "far below 2^n\n",
+      bench::FitPowerLawExponent(ns, nodes),
+      bench::FitPowerLawExponent(ns, nodes), std::log2(ns.back()));
+
+  std::printf("\n--- satisfiable instances (planted k-clique) ---\n");
+  util::Table t2({"k", "vars", "search nodes", "ms", "clique valid"});
+  for (int k : {3, 4, 5, 6}) {
+    std::vector<int> planted;
+    graph::Graph g = graph::PlantedClique(graph_n, 0.3, k, &rng, &planted);
+    csp::CspInstance csp = reductions::SpecialCspFromClique(g, k);
+    util::Timer timer;
+    csp::BacktrackingSolver solver;
+    csp::CspSolution sol = solver.Solve(csp);
+    double ms = timer.Millis();
+    if (!sol.found) return 1;
+    std::vector<int> clique = reductions::ExtractClique(sol.assignment, k);
+    t2.AddRowOf(k, csp.num_vars,
+                static_cast<unsigned long long>(sol.stats.nodes), ms,
+                graph::IsClique(g, clique) ? "yes" : "NO");
+  }
+  t2.Print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E8 — Section 7 fine-grained example: the textbook edit-distance DP is
+// quadratic (and Backurs–Indyk says SETH forbids O(n^{2-eps})); the banded
+// variant is the output-sensitive O(n*s) refinement that does not contradict
+// the lower bound because it is only fast when the distance is small.
+
+#include "bench_util.h"
+#include "finegrained/sequences.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E8: edit distance (Section 7, SETH fine-grained)",
+                "quadratic DP exponent ~2; banded O(n*s) linear in n for "
+                "similar strings");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- random strings (distance ~ n: quadratic regime) ---\n");
+  util::Table t({"n", "distance", "quadratic ms"});
+  std::vector<double> ns, times;
+  for (int n : {500, 1000, 2000, 4000, 8000}) {
+    std::string a = finegrained::RandomString(n, 4, &rng);
+    std::string b = finegrained::RandomString(n, 4, &rng);
+    util::Timer timer;
+    int dist = finegrained::EditDistanceQuadratic(a, b);
+    double ms = timer.Millis();
+    t.AddRowOf(n, dist, ms);
+    ns.push_back(n);
+    times.push_back(ms);
+  }
+  t.Print();
+  std::printf("quadratic DP time exponent: %.2f (paper: 2)\n",
+              bench::FitPowerLawExponent(ns, times));
+
+  std::printf("\n--- similar strings (distance <= 16: banded regime) ---\n");
+  util::Table t2({"n", "distance", "quadratic ms", "banded ms", "speedup"});
+  std::vector<double> n2, banded_times;
+  for (int n : {1000, 2000, 4000, 8000, 16000}) {
+    std::string a = finegrained::RandomString(n, 4, &rng);
+    std::string b = finegrained::MutateString(a, 12, 4, &rng);
+    util::Timer timer;
+    int dist = finegrained::EditDistanceQuadratic(a, b);
+    double quad_ms = timer.Millis();
+    timer.Reset();
+    auto banded = finegrained::EditDistanceBanded(a, b, 16);
+    double band_ms = timer.Millis();
+    if (!banded || *banded != dist) {
+      std::printf("MISMATCH at n=%d\n", n);
+      return 1;
+    }
+    t2.AddRowOf(n, dist, quad_ms, band_ms,
+                quad_ms / std::max(band_ms, 1e-6));
+    n2.push_back(n);
+    banded_times.push_back(band_ms);
+  }
+  t2.Print();
+  std::printf("banded time exponent: %.2f (paper: ~1 at fixed s)\n",
+              bench::FitPowerLawExponent(n2, banded_times));
+
+  std::printf("\n--- LCS (same quadratic family) ---\n");
+  util::Table t3({"n", "LCS", "ms"});
+  std::vector<double> n3, t3times;
+  for (int n : {500, 1000, 2000, 4000}) {
+    std::string a = finegrained::RandomString(n, 3, &rng);
+    std::string b = finegrained::RandomString(n, 3, &rng);
+    util::Timer timer;
+    int lcs = finegrained::LongestCommonSubsequenceLinearSpace(a, b);
+    double ms = timer.Millis();
+    t3.AddRowOf(n, lcs, ms);
+    n3.push_back(n);
+    t3times.push_back(ms);
+  }
+  t3.Print();
+  std::printf("LCS time exponent: %.2f (paper: 2)\n",
+              bench::FitPowerLawExponent(n3, t3times));
+  return 0;
+}

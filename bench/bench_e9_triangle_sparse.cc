@@ -1,0 +1,65 @@
+// E9 — Section 8, the (strong) triangle conjecture: detecting a triangle in
+// an m-edge graph. The Alon–Yuster–Zwick split handles low-degree vertices
+// by neighbour-pair scanning and the dense heavy core by matrix
+// multiplication; it should beat plain per-edge enumeration on skewed
+// graphs whose heavy core is where the triangles hide.
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+  bench::Banner("E9: sparse triangle detection (Section 8)",
+                "AYZ m^{2w/(w+1)}-style split vs per-edge enumeration; the "
+                "split wins on degree-skewed graphs");
+
+  util::Rng rng(1);
+
+  std::printf("\n--- triangle counting at fixed n = 4000, density sweep "
+              "(full work) ---\n");
+  const int n = 4000;
+  util::Table t({"n", "m", "triangles", "scalar-count ms", "bitset-count ms",
+                 "scalar/bitset"});
+  std::vector<double> ms_list, scalar_times, bitset_times;
+  for (int m_target : {40000, 80000, 160000, 320000, 640000}) {
+    graph::Graph g = graph::RandomGnm(n, m_target, &rng);
+    util::Timer timer;
+    std::uint64_t c1 = graph::CountTrianglesScalar(g);
+    double scalar_ms = timer.Millis();
+    timer.Reset();
+    std::uint64_t c2 = graph::CountTriangles(g);
+    double bitset_ms = timer.Millis();
+    if (c1 != c2) return 1;
+    t.AddRowOf(n, g.num_edges(), static_cast<unsigned long long>(c1),
+               scalar_ms, bitset_ms, scalar_ms / std::max(bitset_ms, 1e-6));
+    ms_list.push_back(g.num_edges());
+    scalar_times.push_back(scalar_ms);
+    bitset_times.push_back(bitset_ms);
+  }
+  t.Print();
+  std::printf("scalar-counting exponent in m: %.2f (classical ~3/2); "
+              "word-parallel exponent in m: %.2f (~1 at fixed n) — the "
+              "MM-substrate advantage whose limit the triangle conjecture "
+              "pins at m^{2w/(w+1)}\n",
+              bench::FitPowerLawExponent(ms_list, scalar_times),
+              bench::FitPowerLawExponent(ms_list, bitset_times));
+
+  std::printf("\n--- skewed graphs with triangles (yes-instances) ---\n");
+  util::Table t2({"n", "m", "enum ms", "ayz ms", "all agree"});
+  for (int n : {2000, 4000, 8000}) {
+    graph::Graph g = graph::SkewedGraph(n, n / 10, 0.3, 2, &rng);
+    util::Timer timer;
+    auto r1 = graph::FindTriangleEnumerationScalar(g);
+    double enum_ms = timer.Millis();
+    timer.Reset();
+    auto r2 = graph::FindTriangleAyz(g);
+    double ayz_ms = timer.Millis();
+    bool agree = r1.has_value() == r2.has_value();
+    t2.AddRowOf(n, g.num_edges(), enum_ms, ayz_ms, agree ? "yes" : "NO");
+    if (!agree) return 1;
+  }
+  t2.Print();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks for the library's hot kernels: the
+// worst-case-optimal join, the treewidth DP, AC-3, triangle detection, and
+// DPLL. These complement the E1-E14 experiment harnesses with
+// statistically-stable per-kernel numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "csp/arc_consistency.h"
+#include "csp/generators.h"
+#include "csp/treedp.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "graph/triangles.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qc;
+
+db::JoinQuery TriangleQuery() {
+  db::JoinQuery q;
+  q.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  return q;
+}
+
+void BM_GenericJoinTriangle(benchmark::State& state) {
+  util::Rng rng(1);
+  db::JoinQuery q = TriangleQuery();
+  db::Database d =
+      db::RandomDatabase(q, static_cast<int>(state.range(0)),
+                         state.range(0) / 2, &rng);
+  for (auto _ : state) {
+    db::GenericJoin join(q, d);
+    benchmark::DoNotOptimize(join.Count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GenericJoinTriangle)->Range(256, 4096)->Complexity();
+
+void BM_TreewidthDp(benchmark::State& state) {
+  util::Rng rng(2);
+  graph::Graph structure = graph::RandomKTree(30, 2, &rng);
+  csp::CspInstance csp = csp::PlantedBinaryCsp(
+      structure, static_cast<int>(state.range(0)), 0.3, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csp::SolveTreewidthDp(csp, 0).solution_count);
+  }
+}
+BENCHMARK(BM_TreewidthDp)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExactTreewidth(benchmark::State& state) {
+  util::Rng rng(3);
+  graph::Graph g =
+      graph::RandomGnp(static_cast<int>(state.range(0)), 0.3, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ExactTreewidth(g).treewidth);
+  }
+}
+BENCHMARK(BM_ExactTreewidth)->Arg(12)->Arg(16)->Arg(18);
+
+void BM_Ac3(benchmark::State& state) {
+  util::Rng rng(4);
+  graph::Graph structure =
+      graph::RandomGnp(static_cast<int>(state.range(0)), 0.3, &rng);
+  csp::CspInstance csp = csp::RandomBinaryCsp(structure, 8, 0.5, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csp::EnforceArcConsistency(csp).consistent);
+  }
+}
+BENCHMARK(BM_Ac3)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_TriangleEnumeration(benchmark::State& state) {
+  util::Rng rng(5);
+  graph::Graph g = graph::CompleteBipartite(
+      static_cast<int>(state.range(0)) / 2,
+      static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::FindTriangleEnumeration(g).has_value());
+  }
+}
+BENCHMARK(BM_TriangleEnumeration)->Range(256, 2048);
+
+void BM_TriangleMatrix(benchmark::State& state) {
+  graph::Graph g = graph::CompleteBipartite(
+      static_cast<int>(state.range(0)) / 2,
+      static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::FindTriangleMatrix(g).has_value());
+  }
+}
+BENCHMARK(BM_TriangleMatrix)->Range(256, 2048);
+
+void BM_Dpll3SatThreshold(benchmark::State& state) {
+  util::Rng rng(6);
+  int n = static_cast<int>(state.range(0));
+  sat::CnfFormula f = sat::RandomKSat(n, static_cast<int>(n * 4.26), 3, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat::SolveDpll(f).satisfiable);
+  }
+}
+BENCHMARK(BM_Dpll3SatThreshold)->Arg(20)->Arg(28)->Arg(36);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+#ifndef QC_BENCH_BENCH_UTIL_H_
+#define QC_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace qc::bench {
+
+/// Least-squares slope of log(y) against log(x): the empirical exponent of a
+/// power-law series. Points with y <= 0 are skipped.
+inline double FitPowerLawExponent(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+/// Least-squares slope of log2(y) against x: the empirical base-2 exponent
+/// rate of an exponential series (y ~ 2^{rate * x}).
+inline double FitExponentialRate(const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] <= 0) continue;
+    double ly = std::log2(y[i]);
+    sx += x[i];
+    sy += ly;
+    sxx += x[i] * x[i];
+    sxy += x[i] * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+/// Prints the experiment banner used by EXPERIMENTS.md.
+inline void Banner(const char* id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace qc::bench
+
+#endif  // QC_BENCH_BENCH_UTIL_H_

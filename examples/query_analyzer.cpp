@@ -1,0 +1,74 @@
+// Analyzes a zoo of join queries and prints, for each, the structural
+// parameters the paper's theorems are stated against (acyclicity, treewidth,
+// core, rho*) plus the applicable conditional lower-bound certificates and
+// the recommended evaluation algorithm.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+int main() {
+  using namespace qc;
+
+  struct Entry {
+    std::string name;
+    db::JoinQuery query;
+  };
+  std::vector<Entry> zoo;
+
+  {
+    db::JoinQuery q;
+    q.Add("R", {"a", "b"}).Add("S", {"b", "c"}).Add("T", {"c", "d"});
+    zoo.push_back({"path P4: R(a,b) S(b,c) T(c,d)", q});
+  }
+  {
+    db::JoinQuery q;
+    q.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+    zoo.push_back({"triangle: R1(a,b) R2(a,c) R3(b,c)", q});
+  }
+  {
+    db::JoinQuery q;
+    q.Add("R1", {"a", "b"}).Add("R2", {"b", "c"}).Add("R3", {"c", "d"}).Add(
+        "R4", {"d", "a"});
+    zoo.push_back({"4-cycle", q});
+  }
+  {
+    db::JoinQuery q;
+    q.Add("R1", {"c", "x"}).Add("R2", {"c", "y"}).Add("R3", {"c", "z"});
+    zoo.push_back({"star (3 leaves)", q});
+  }
+  {
+    // 5-clique query: all pairs among 5 attributes.
+    db::JoinQuery q;
+    const char* names[] = {"a", "b", "c", "d", "e"};
+    int idx = 0;
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        q.Add("E" + std::to_string(idx++), {names[i], names[j]});
+      }
+    }
+    zoo.push_back({"5-clique (all pairs)", q});
+  }
+  {
+    // Self-join that collapses to a smaller core: E(a,b), E(c,b).
+    db::JoinQuery q;
+    q.Add("E", {"a", "b"}).Add("E", {"c", "b"});
+    zoo.push_back({"self-join E(a,b) E(c,b) (core collapses)", q});
+  }
+  {
+    // Ternary acyclic query.
+    db::JoinQuery q;
+    q.Add("R", {"a", "b", "c"}).Add("S", {"c", "d"}).Add("T", {"c", "e"});
+    zoo.push_back({"ternary acyclic: R(a,b,c) S(c,d) T(c,e)", q});
+  }
+
+  for (const auto& entry : zoo) {
+    std::printf("==================================================\n");
+    std::printf("query: %s\n", entry.name.c_str());
+    std::printf("--------------------------------------------------\n%s\n\n",
+                core::AnalyzeQuery(entry.query).ToString().c_str());
+  }
+  return 0;
+}

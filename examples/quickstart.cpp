@@ -1,0 +1,56 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the triangle join query Q = R1(a,b) |><| R2(a,c) |><| R3(b,c),
+// analyzes its structure (treewidth, fractional edge cover, certificates),
+// evaluates it with the worst-case-optimal Generic Join, and shows the AGM
+// bound N^{3/2} both on a random database and on the extremal instance of
+// Theorem 3.2, where it is met exactly.
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "db/joins.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace qc;
+
+  db::JoinQuery query;
+  query.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+
+  std::printf("=== Structural analysis (Marx, PODS 2021) ===\n%s\n\n",
+              core::AnalyzeQuery(query).ToString().c_str());
+
+  // A random database with N = 200 tuples per relation.
+  util::Rng rng(42);
+  db::Database random_db = db::RandomDatabase(query, 200, 40, &rng);
+  auto agm = db::AnalyzeAgm(query);
+  db::GenericJoin join(query, random_db);
+  std::uint64_t answer = join.Count();
+  std::printf("=== Random database ===\n");
+  std::printf("N = %zu tuples/relation, |Q(D)| = %llu, AGM bound N^1.5 = %.0f\n\n",
+              random_db.MaxRelationSize(),
+              static_cast<unsigned long long>(answer),
+              agm->BoundForN(static_cast<double>(random_db.MaxRelationSize())));
+
+  // The extremal database of Theorem 3.2 meets the bound exactly.
+  long long n = 0;
+  db::Database tight_db = db::AgmTightInstance(query, *agm, 12, &n);
+  std::uint64_t tight_answer = db::GenericJoin(query, tight_db).Count();
+  std::printf("=== Extremal database (Theorem 3.2) ===\n");
+  std::printf("N = %lld, |Q(D)| = %llu, bound N^1.5 = %.0f (met exactly)\n\n",
+              n, static_cast<unsigned long long>(tight_answer),
+              agm->BoundForN(static_cast<double>(n)));
+
+  // Contrast: a binary join plan materializes a quadratic intermediate on
+  // the extremal instance; Generic Join never exceeds the output size.
+  db::JoinStats stats;
+  db::EvaluateGreedyBinaryJoin(query, tight_db, &stats);
+  std::printf("binary plan max intermediate: %llu tuples\n",
+              static_cast<unsigned long long>(stats.max_intermediate));
+  std::printf("generic join answer size:     %llu tuples\n",
+              static_cast<unsigned long long>(tight_answer));
+  return 0;
+}

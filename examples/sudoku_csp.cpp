@@ -1,0 +1,95 @@
+// Sudoku as a CSP (Section 2.2 in practice): 81 variables over domain
+// {0..8}, binary disequality constraints along rows, columns and boxes, plus
+// unary clues. Solved with the library's backtracking solver (MRV + forward
+// checking); also reports what the structural analyzer says about the
+// instance (the sudoku primal graph has large treewidth, so no Theorem 4.2
+// shortcut applies).
+
+#include <cstdio>
+#include <string>
+
+#include "core/analyzer.h"
+#include "csp/generators.h"
+#include "csp/solver.h"
+
+namespace {
+
+constexpr char kPuzzle[] =
+    "530070000"
+    "600195000"
+    "098000060"
+    "800060003"
+    "400803001"
+    "700020006"
+    "060000280"
+    "000419005"
+    "000080079";
+
+int CellVar(int row, int col) { return 9 * row + col; }
+
+}  // namespace
+
+int main() {
+  using namespace qc;
+
+  csp::CspInstance sudoku;
+  sudoku.num_vars = 81;
+  sudoku.domain_size = 9;
+  csp::Relation neq = csp::DisequalityRelation(9);
+
+  // Row, column, and box disequalities.
+  for (int r = 0; r < 9; ++r) {
+    for (int c = 0; c < 9; ++c) {
+      for (int c2 = c + 1; c2 < 9; ++c2) {
+        sudoku.AddConstraint({CellVar(r, c), CellVar(r, c2)}, neq);
+        sudoku.AddConstraint({CellVar(c, r), CellVar(c2, r)}, neq);
+      }
+    }
+  }
+  for (int br = 0; br < 3; ++br) {
+    for (int bc = 0; bc < 3; ++bc) {
+      for (int i = 0; i < 9; ++i) {
+        for (int j = i + 1; j < 9; ++j) {
+          int v1 = CellVar(3 * br + i / 3, 3 * bc + i % 3);
+          int v2 = CellVar(3 * br + j / 3, 3 * bc + j % 3);
+          sudoku.AddConstraint({v1, v2}, neq);
+        }
+      }
+    }
+  }
+  // Clues as unary constraints.
+  for (int cell = 0; cell < 81; ++cell) {
+    char ch = kPuzzle[cell];
+    if (ch != '0') {
+      csp::Relation pin(1);
+      pin.Add({ch - '1'});
+      sudoku.AddConstraint({cell}, std::move(pin));
+    }
+  }
+
+  core::Analysis analysis =
+      core::AnalyzeCsp(sudoku, core::AnalyzerOptions{.exact_treewidth_below = 0,
+                                                     .core_computation_below = 0});
+  std::printf("sudoku as CSP: %d variables, %zu constraints, treewidth <= %d\n\n",
+              sudoku.num_vars, sudoku.constraints.size(), analysis.treewidth);
+
+  csp::BacktrackingSolver solver;
+  csp::CspSolution sol = solver.Solve(sudoku);
+  if (!sol.found) {
+    std::printf("no solution (puzzle inconsistent)\n");
+    return 1;
+  }
+  std::printf("solved in %llu search nodes, %llu backtracks:\n\n",
+              static_cast<unsigned long long>(sol.stats.nodes),
+              static_cast<unsigned long long>(sol.stats.backtracks));
+  for (int r = 0; r < 9; ++r) {
+    std::string line;
+    for (int c = 0; c < 9; ++c) {
+      line += static_cast<char>('1' + sol.assignment[CellVar(r, c)]);
+      line += (c == 2 || c == 5) ? " | " : " ";
+    }
+    std::printf("  %s\n", line.c_str());
+    if (r == 2 || r == 5) std::printf("  ---------------------\n");
+  }
+  return 0;
+}

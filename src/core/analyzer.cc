@@ -1,0 +1,213 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "graph/hypergraph.h"
+#include "graph/hypertree.h"
+#include "graph/treewidth.h"
+#include "structures/structure.h"
+
+namespace qc::core {
+
+namespace {
+
+/// The canonical structure of Section 2.4 with a *grouped* vocabulary:
+/// atoms/constraints carrying the same relation share a symbol. Per-edge
+/// symbols would make every instance trivially its own core, which is wrong
+/// for self-joins; the grouping keys are the relation name (queries) or the
+/// extensional relation content (CSPs). Tuples keep scope order, so
+/// orientation is preserved.
+struct CanonicalStructure {
+  int universe = 0;
+  std::vector<int> symbol_of_tuple;
+  std::vector<std::vector<int>> tuples;
+  std::vector<int> symbol_arity;
+};
+
+/// Computes core size + core treewidth for the canonical structure.
+void AnalyzeCore(const CanonicalStructure& cs, const AnalyzerOptions& options,
+                 Analysis* a) {
+  if (cs.universe > options.core_computation_below) return;
+  std::vector<structures::RelSymbol> vocab;
+  vocab.reserve(cs.symbol_arity.size());
+  for (std::size_t s = 0; s < cs.symbol_arity.size(); ++s) {
+    vocab.push_back(structures::RelSymbol{"S" + std::to_string(s),
+                                          cs.symbol_arity[s]});
+  }
+  structures::Structure st(vocab, cs.universe);
+  for (std::size_t i = 0; i < cs.tuples.size(); ++i) {
+    st.AddTuple(cs.symbol_of_tuple[i], cs.tuples[i]);
+  }
+  structures::Structure core = structures::ComputeCore(st);
+  a->core_universe_size = core.universe_size();
+  graph::Graph core_primal = core.GaifmanGraph();
+  if (core_primal.num_vertices() <= options.exact_treewidth_below) {
+    a->core_treewidth = graph::ExactTreewidth(core_primal).treewidth;
+  } else {
+    a->core_treewidth = graph::HeuristicTreewidth(core_primal).width;
+  }
+}
+
+/// Metrics that depend only on the hypergraph.
+Analysis AnalyzeHypergraph(const graph::Hypergraph& hypergraph,
+                           const AnalyzerOptions& options) {
+  Analysis a;
+  a.num_variables = hypergraph.num_vertices();
+  a.num_constraints = hypergraph.num_edges();
+  a.acyclic = graph::IsAlphaAcyclic(hypergraph);
+
+  graph::Graph primal = hypergraph.PrimalGraph();
+  if (primal.num_vertices() <= options.exact_treewidth_below) {
+    a.treewidth = graph::ExactTreewidth(primal).treewidth;
+    a.treewidth_exact = true;
+  } else {
+    a.treewidth = graph::HeuristicTreewidth(primal).width;
+    a.treewidth_exact = false;
+  }
+
+  auto cover = graph::FractionalEdgeCoverNumber(hypergraph);
+  if (cover.has_value()) {
+    a.rho_star = cover->total;
+    a.rho_star_valid = true;
+  }
+  auto fhw = graph::HeuristicFractionalHypertreeWidth(hypergraph);
+  if (fhw.has_value()) {
+    a.fhw_upper = fhw->width;
+    a.fhw_valid = true;
+  }
+  return a;
+}
+
+/// Recommendation plus lower-bound certificates, shared by both entry
+/// points; call after AnalyzeCore.
+void Finalize(Analysis* a) {
+  if (a->acyclic) {
+    a->recommended_algorithm =
+        "Yannakakis (alpha-acyclic: O(input + output))";
+  } else if (a->treewidth >= 0 && a->treewidth <= 3) {
+    a->recommended_algorithm =
+        "tree-decomposition DP (Theorem 4.2: O(|V| * |D|^" +
+        std::to_string(a->treewidth + 1) + "))";
+  } else if (a->rho_star_valid) {
+    a->recommended_algorithm =
+        "Generic Join (Theorem 3.3: O(N^{" + a->rho_star.ToString() + "}))";
+  } else {
+    a->recommended_algorithm = "backtracking search";
+  }
+
+  if (a->rho_star_valid) {
+    a->lower_bounds.push_back(LowerBoundCertificate{
+        "unconditional", "Theorem 3.2",
+        "for infinitely many N there are databases with |Q(D)| >= N^{" +
+            a->rho_star.ToString() +
+            "}; full enumeration cannot beat O(N^{" +
+            a->rho_star.ToString() + "})"});
+  }
+  int k = a->core_treewidth >= 0 ? a->core_treewidth : a->treewidth;
+  if (k >= 2) {
+    a->lower_bounds.push_back(LowerBoundCertificate{
+        "ETH", "Theorem 6.7",
+        "no algorithm decides CSPs with this primal graph in time "
+        "O(|D|^{alpha * " +
+            std::to_string(k) + " / log " + std::to_string(k) +
+            "}) for the universal constant alpha"});
+  }
+  if (k >= 3) {
+    a->lower_bounds.push_back(LowerBoundCertificate{
+        "SETH", "Theorem 7.2",
+        "no O(|V|^c * |D|^{" + std::to_string(k) +
+            " - eps}) algorithm for CSPs of treewidth " + std::to_string(k)});
+  }
+  if (a->num_variables >= 3 && a->treewidth == a->num_variables - 1) {
+    a->lower_bounds.push_back(LowerBoundCertificate{
+        "k-clique conjecture", "Section 8",
+        "no O(|D|^{(omega-eps) * " + std::to_string(a->num_variables) +
+            "/3 + c}) algorithm: the primal graph is a " +
+            std::to_string(a->num_variables) + "-clique"});
+  }
+  if (a->core_treewidth >= 0 && a->core_treewidth <= 1) {
+    a->lower_bounds.push_back(LowerBoundCertificate{
+        "none", "Theorem 5.3",
+        "the core has treewidth <= 1: the Boolean query is "
+        "polynomial-time solvable (no lower bound applies)"});
+  }
+}
+
+}  // namespace
+
+double Analysis::AgmBound(double n) const {
+  return rho_star_valid ? std::pow(n, rho_star.ToDouble()) : HUGE_VAL;
+}
+
+std::string Analysis::ToString() const {
+  std::ostringstream out;
+  out << "variables/attributes: " << num_variables
+      << "\nconstraints/atoms:    " << num_constraints
+      << "\nalpha-acyclic:        " << (acyclic ? "yes" : "no")
+      << "\ntreewidth:            " << treewidth
+      << (treewidth_exact ? " (exact)" : " (upper bound)");
+  if (core_universe_size >= 0) {
+    out << "\ncore size:            " << core_universe_size
+        << "\ncore treewidth:       " << core_treewidth;
+  }
+  if (rho_star_valid) {
+    out << "\nrho* (frac. cover):   " << rho_star.ToString();
+  }
+  if (fhw_valid) {
+    out << "\nfhw (upper bound):    " << fhw_upper.ToString();
+  }
+  out << "\nrecommended:          " << recommended_algorithm;
+  for (const auto& lb : lower_bounds) {
+    out << "\n[" << lb.assumption << ", " << lb.theorem << "] "
+        << lb.statement;
+  }
+  return out.str();
+}
+
+Analysis AnalyzeQuery(const db::JoinQuery& query,
+                      const AnalyzerOptions& options) {
+  Analysis a = AnalyzeHypergraph(query.Hypergraph(), options);
+  CanonicalStructure cs;
+  std::map<std::string, int> attr = query.AttributeIndex();
+  cs.universe = static_cast<int>(attr.size());
+  std::map<std::string, int> symbol_of_name;
+  for (const auto& atom : query.atoms) {
+    auto [it, fresh] = symbol_of_name.try_emplace(
+        atom.relation, static_cast<int>(cs.symbol_arity.size()));
+    if (fresh) {
+      cs.symbol_arity.push_back(static_cast<int>(atom.attributes.size()));
+    }
+    std::vector<int> tuple;
+    tuple.reserve(atom.attributes.size());
+    for (const auto& name : atom.attributes) tuple.push_back(attr[name]);
+    cs.symbol_of_tuple.push_back(it->second);
+    cs.tuples.push_back(std::move(tuple));
+  }
+  AnalyzeCore(cs, options, &a);
+  Finalize(&a);
+  return a;
+}
+
+Analysis AnalyzeCsp(const csp::CspInstance& csp,
+                    const AnalyzerOptions& options) {
+  Analysis a = AnalyzeHypergraph(csp.ConstraintHypergraph(), options);
+  CanonicalStructure cs;
+  cs.universe = csp.num_vars;
+  // Group constraints by extensional relation content.
+  std::map<std::vector<std::vector<int>>, int> symbol_of_relation;
+  for (const auto& c : csp.constraints) {
+    auto [it, fresh] = symbol_of_relation.try_emplace(
+        c.relation.tuples(), static_cast<int>(cs.symbol_arity.size()));
+    if (fresh) cs.symbol_arity.push_back(c.relation.arity());
+    cs.symbol_of_tuple.push_back(it->second);
+    cs.tuples.push_back(c.scope);
+  }
+  AnalyzeCore(cs, options, &a);
+  Finalize(&a);
+  return a;
+}
+
+}  // namespace qc::core

@@ -1,0 +1,66 @@
+#ifndef QC_CORE_ANALYZER_H_
+#define QC_CORE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "csp/csp.h"
+#include "db/database.h"
+#include "util/fraction.h"
+
+namespace qc::core {
+
+/// A conditional lower-bound certificate: the assumption, the theorem in
+/// Marx (PODS 2021) it comes from, and the concrete consequence for this
+/// instance's structure.
+struct LowerBoundCertificate {
+  std::string assumption;  ///< "unconditional", "ETH", "SETH", "FPT!=W[1]",
+                           ///< "k-clique conjecture", "hyperclique conj.".
+  std::string theorem;     ///< E.g. "Theorem 6.5".
+  std::string statement;   ///< Human-readable consequence.
+};
+
+/// Structural complexity report for a query/CSP: every quantity the paper's
+/// upper and lower bounds are stated against, plus the matching certificates
+/// and an algorithm recommendation.
+struct Analysis {
+  int num_variables = 0;  ///< Attributes / variables.
+  int num_constraints = 0;
+
+  bool acyclic = false;           ///< Alpha-acyclic hypergraph.
+  int treewidth = -1;             ///< Of the primal graph.
+  bool treewidth_exact = false;   ///< Exact DP vs heuristic upper bound.
+  int core_universe_size = -1;    ///< Size of the structure's core
+                                  ///< (-1 if skipped: too large).
+  int core_treewidth = -1;        ///< Treewidth of the core (Theorem 5.3).
+  util::Fraction rho_star;        ///< Fractional edge cover number.
+  bool rho_star_valid = false;
+  util::Fraction fhw_upper;       ///< Heuristic fractional hypertree width.
+  bool fhw_valid = false;
+
+  std::string recommended_algorithm;
+  std::vector<LowerBoundCertificate> lower_bounds;
+
+  /// AGM output-size bound N^{rho*}.
+  double AgmBound(double n) const;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+struct AnalyzerOptions {
+  int exact_treewidth_below = 18;  ///< Use the 2^n DP up to this many vars.
+  int core_computation_below = 12; ///< Compute the core up to this size.
+};
+
+/// Analyzes a join query's structure (Sections 3-8 applied to one query).
+Analysis AnalyzeQuery(const db::JoinQuery& query,
+                      const AnalyzerOptions& options = AnalyzerOptions());
+
+/// Analyzes a CSP instance (same metrics over its hypergraph).
+Analysis AnalyzeCsp(const csp::CspInstance& csp,
+                    const AnalyzerOptions& options = AnalyzerOptions());
+
+}  // namespace qc::core
+
+#endif  // QC_CORE_ANALYZER_H_

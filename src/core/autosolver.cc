@@ -1,0 +1,94 @@
+#include "core/autosolver.h"
+
+#include "db/generic_join.h"
+#include "db/yannakakis.h"
+#include "graph/treewidth.h"
+#include "sat/schaefer.h"
+
+namespace qc::core {
+
+std::string ToString(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kSchaefer:
+      return "schaefer";
+    case SolveMethod::kTreewidthDp:
+      return "treewidth-dp";
+    case SolveMethod::kBacktracking:
+      return "backtracking";
+    case SolveMethod::kYannakakis:
+      return "yannakakis";
+    case SolveMethod::kGenericJoin:
+      return "generic-join";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Boolean-domain CSPs translate into the Schaefer machinery when arities
+/// are small; returns false if not applicable.
+bool TrySchaefer(const csp::CspInstance& csp, int max_arity,
+                 AutoCspResult* result) {
+  if (csp.domain_size != 2) return false;
+  sat::BoolCsp bcsp;
+  bcsp.num_vars = csp.num_vars;
+  for (const auto& c : csp.constraints) {
+    if (c.relation.arity() > max_arity) return false;
+    sat::BoolRelation rel(c.relation.arity());
+    for (const auto& t : c.relation.tuples()) {
+      std::uint32_t mask = 0;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i]) mask |= 1u << i;
+      }
+      rel.Allow(mask);
+    }
+    bcsp.AddConstraint(c.scope, std::move(rel));
+  }
+  if (!bcsp.Classify().Tractable()) return false;
+  sat::SchaeferSolveResult sr = sat::SolveSchaefer(bcsp);
+  result->method = SolveMethod::kSchaefer;
+  result->satisfiable = sr.satisfiable;
+  result->assignment.clear();
+  for (bool b : sr.assignment) result->assignment.push_back(b ? 1 : 0);
+  return true;
+}
+
+}  // namespace
+
+AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
+                           const AutoSolverOptions& options) {
+  AutoCspResult result;
+  if (TrySchaefer(csp, options.max_schaefer_arity, &result)) return result;
+
+  graph::Graph primal = csp.PrimalGraph();
+  graph::TreewidthUpperBound ub = graph::HeuristicTreewidth(primal);
+  if (ub.width <= options.treewidth_dp_max_width) {
+    csp::TreeDpResult dp = csp::SolveWithDecomposition(csp, ub.decomposition);
+    result.method = SolveMethod::kTreewidthDp;
+    result.satisfiable = dp.satisfiable;
+    result.assignment = std::move(dp.assignment);
+    return result;
+  }
+
+  csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  result.method = SolveMethod::kBacktracking;
+  result.satisfiable = sol.found;
+  result.assignment = std::move(sol.assignment);
+  return result;
+}
+
+AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
+                                  const db::Database& db) {
+  AutoQueryResult result;
+  auto yan = db::EvaluateYannakakis(query, db);
+  if (yan.has_value()) {
+    result.method = SolveMethod::kYannakakis;
+    result.result = std::move(*yan);
+    return result;
+  }
+  result.method = SolveMethod::kGenericJoin;
+  result.result = db::GenericJoin(query, db).Evaluate();
+  return result;
+}
+
+}  // namespace qc::core

@@ -1,0 +1,54 @@
+#ifndef QC_CORE_AUTOSOLVER_H_
+#define QC_CORE_AUTOSOLVER_H_
+
+#include <string>
+
+#include "csp/solver.h"
+#include "csp/treedp.h"
+#include "db/database.h"
+
+namespace qc::core {
+
+/// Which engine the auto-router picked.
+enum class SolveMethod {
+  kSchaefer,     ///< Boolean domain, tractable Schaefer class.
+  kTreewidthDp,  ///< Small-width primal graph (Theorem 4.2).
+  kBacktracking, ///< General search.
+  kYannakakis,   ///< Acyclic join query.
+  kGenericJoin,  ///< Worst-case-optimal join (Theorem 3.3).
+};
+
+std::string ToString(SolveMethod method);
+
+struct AutoCspResult {
+  bool satisfiable = false;
+  std::vector<int> assignment;
+  SolveMethod method = SolveMethod::kBacktracking;
+};
+
+struct AutoSolverOptions {
+  int treewidth_dp_max_width = 3;
+  int max_schaefer_arity = 12;
+};
+
+/// Routes a CSP instance to the cheapest applicable engine, in the order the
+/// paper's upper-bound results suggest: Schaefer's dichotomy dispatcher for
+/// Boolean domains in a tractable class, Freuder's DP for small treewidth,
+/// and backtracking search otherwise.
+AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
+                           const AutoSolverOptions& options =
+                               AutoSolverOptions());
+
+struct AutoQueryResult {
+  db::JoinResult result;
+  SolveMethod method = SolveMethod::kGenericJoin;
+};
+
+/// Routes a join query: Yannakakis when alpha-acyclic, Generic Join
+/// otherwise.
+AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
+                                  const db::Database& db);
+
+}  // namespace qc::core
+
+#endif  // QC_CORE_AUTOSOLVER_H_

@@ -1,0 +1,106 @@
+#include "csp/arc_consistency.h"
+
+#include <cstdlib>
+#include <deque>
+#include <set>
+
+namespace qc::csp {
+
+namespace {
+
+/// Directed arc: value pruning of `from`'s domain against constraint `ci`,
+/// where `from_pos` is the position of `from` in the constraint scope.
+struct Arc {
+  int constraint;
+  int from_pos;  // 0 or 1.
+};
+
+}  // namespace
+
+AcResult EnforceArcConsistency(const CspInstance& csp) {
+  if (!csp.IsBinary()) std::abort();
+  AcResult result;
+  result.alive.assign(csp.num_vars,
+                      std::vector<char>(csp.domain_size, 1));
+
+  const int m = static_cast<int>(csp.constraints.size());
+  std::deque<Arc> queue;
+  std::set<std::pair<int, int>> queued;
+  auto enqueue = [&](int ci, int pos) {
+    if (queued.insert({ci, pos}).second) queue.push_back(Arc{ci, pos});
+  };
+  for (int ci = 0; ci < m; ++ci) {
+    enqueue(ci, 0);
+    enqueue(ci, 1);
+  }
+
+  while (!queue.empty()) {
+    Arc arc = queue.front();
+    queue.pop_front();
+    queued.erase({arc.constraint, arc.from_pos});
+    const auto& c = csp.constraints[arc.constraint];
+    int from = c.scope[arc.from_pos];
+    int other = c.scope[1 - arc.from_pos];
+    ++result.revisions;
+
+    bool revised = false;
+    for (int d = 0; d < csp.domain_size; ++d) {
+      if (!result.alive[from][d]) continue;
+      bool supported = false;
+      for (const auto& t : c.relation.tuples()) {
+        if (t[arc.from_pos] == d && result.alive[other][t[1 - arc.from_pos]]) {
+          supported = true;
+          break;
+        }
+      }
+      if (!supported) {
+        result.alive[from][d] = 0;
+        revised = true;
+      }
+    }
+    if (!revised) continue;
+    bool empty = true;
+    for (int d = 0; d < csp.domain_size; ++d) {
+      if (result.alive[from][d]) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      result.consistent = false;
+      return result;
+    }
+    // Re-examine every arc pruning against `from`.
+    for (int ci = 0; ci < m; ++ci) {
+      if (ci == arc.constraint) continue;
+      for (int pos = 0; pos < 2; ++pos) {
+        if (csp.constraints[ci].scope[1 - pos] == from) enqueue(ci, pos);
+      }
+    }
+  }
+  return result;
+}
+
+CspInstance RestrictToAlive(const CspInstance& csp,
+                            const std::vector<std::vector<char>>& alive) {
+  CspInstance out;
+  out.num_vars = csp.num_vars;
+  out.domain_size = csp.domain_size;
+  for (const auto& c : csp.constraints) {
+    Relation r(c.relation.arity());
+    for (const auto& t : c.relation.tuples()) {
+      bool ok = true;
+      for (std::size_t i = 0; i < c.scope.size(); ++i) {
+        if (!alive[c.scope[i]][t[i]]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) r.Add(t);
+    }
+    out.AddConstraint(c.scope, std::move(r));
+  }
+  return out;
+}
+
+}  // namespace qc::csp

@@ -1,0 +1,32 @@
+#ifndef QC_CSP_ARC_CONSISTENCY_H_
+#define QC_CSP_ARC_CONSISTENCY_H_
+
+#include <vector>
+
+#include "csp/csp.h"
+
+namespace qc::csp {
+
+/// Result of enforcing arc consistency.
+struct AcResult {
+  /// alive[v][d] — value d survives for variable v.
+  std::vector<std::vector<char>> alive;
+  bool consistent = true;  ///< False if some domain was wiped out.
+  std::uint64_t revisions = 0;
+};
+
+/// AC-3 on a binary CSP: removes every value without a support in each
+/// binary constraint, to a fixpoint. Soundness invariant (covered by
+/// property tests): no removed value participates in any solution.
+/// Aborts if the instance is not binary.
+AcResult EnforceArcConsistency(const CspInstance& csp);
+
+/// Applies an AcResult by shrinking constraint relations and recording the
+/// surviving domain values per variable; useful as a preprocessing step
+/// before search. Returns the restricted instance (same variable ids).
+CspInstance RestrictToAlive(const CspInstance& csp,
+                            const std::vector<std::vector<char>>& alive);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_ARC_CONSISTENCY_H_

@@ -1,0 +1,119 @@
+#include "csp/csp.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace qc::csp {
+
+void Relation::Add(std::vector<int> tuple) {
+  if (static_cast<int>(tuple.size()) != arity_) std::abort();
+  tuples_.push_back(std::move(tuple));
+  sealed_ = false;
+}
+
+void Relation::Seal() {
+  if (sealed_) return;
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  sealed_ = true;
+}
+
+bool Relation::Contains(const std::vector<int>& tuple) const {
+  if (!sealed_) std::abort();
+  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+}
+
+void CspInstance::AddConstraint(std::vector<int> scope, Relation relation) {
+  if (scope.size() != static_cast<std::size_t>(relation.arity())) {
+    std::abort();
+  }
+  relation.Seal();
+  constraints.push_back(Constraint{std::move(scope), std::move(relation)});
+}
+
+bool CspInstance::IsBinary() const {
+  for (const auto& c : constraints) {
+    if (c.scope.size() != 2) return false;
+  }
+  return true;
+}
+
+long long CspInstance::InputSize() const {
+  long long total = num_vars + domain_size;
+  for (const auto& c : constraints) {
+    total += static_cast<long long>(c.scope.size()) * (c.relation.size() + 1);
+  }
+  return total;
+}
+
+bool CspInstance::Check(const std::vector<int>& assignment) const {
+  std::vector<int> tuple;
+  for (const auto& c : constraints) {
+    tuple.clear();
+    for (int v : c.scope) tuple.push_back(assignment[v]);
+    if (!c.relation.Contains(tuple)) return false;
+  }
+  return true;
+}
+
+graph::Graph CspInstance::PrimalGraph() const {
+  graph::Graph g(num_vars);
+  for (const auto& c : constraints) {
+    for (std::size_t i = 0; i < c.scope.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.scope.size(); ++j) {
+        if (c.scope[i] != c.scope[j]) g.AddEdge(c.scope[i], c.scope[j]);
+      }
+    }
+  }
+  return g;
+}
+
+graph::Hypergraph CspInstance::ConstraintHypergraph() const {
+  graph::Hypergraph h(num_vars);
+  for (const auto& c : constraints) h.AddEdge(c.scope);
+  return h;
+}
+
+Microstructure BuildMicrostructure(const CspInstance& csp) {
+  if (!csp.IsBinary()) std::abort();
+  const int n = csp.num_vars, d = csp.domain_size;
+  Microstructure ms{graph::Graph(n * d), std::vector<int>(n * d)};
+  for (int v = 0; v < n; ++v) {
+    for (int val = 0; val < d; ++val) {
+      ms.class_of[Microstructure::VertexOf(v, val, d)] = v;
+    }
+  }
+  // For each constrained pair, add edges for jointly allowed value pairs
+  // (a pair must be allowed by every constraint over it).
+  std::vector<int> tuple(2);
+  const graph::Graph primal = csp.PrimalGraph();
+  for (auto [u, v] : primal.Edges()) {
+    for (int a = 0; a < d; ++a) {
+      for (int b = 0; b < d; ++b) {
+        bool ok = true;
+        for (const auto& c : csp.constraints) {
+          if (c.scope[0] == u && c.scope[1] == v) {
+            tuple[0] = a;
+            tuple[1] = b;
+          } else if (c.scope[0] == v && c.scope[1] == u) {
+            tuple[0] = b;
+            tuple[1] = a;
+          } else {
+            continue;
+          }
+          if (!c.relation.Contains(tuple)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          ms.graph.AddEdge(Microstructure::VertexOf(u, a, d),
+                           Microstructure::VertexOf(v, b, d));
+        }
+      }
+    }
+  }
+  return ms;
+}
+
+}  // namespace qc::csp

@@ -1,0 +1,84 @@
+#ifndef QC_CSP_CSP_H_
+#define QC_CSP_CSP_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace qc::csp {
+
+/// Extensional relation over the integer domain [0, D): a set of tuples.
+/// Tuples are kept sorted for binary-search membership.
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Adds a tuple (arity must match); call Seal() before Contains.
+  void Add(std::vector<int> tuple);
+  /// Sorts and deduplicates; idempotent. Add() after Seal() is allowed but
+  /// requires another Seal().
+  void Seal();
+
+  bool Contains(const std::vector<int>& tuple) const;
+  const std::vector<std::vector<int>>& tuples() const { return tuples_; }
+
+ private:
+  int arity_;
+  bool sealed_ = false;
+  std::vector<std::vector<int>> tuples_;
+};
+
+/// A CSP instance I = (V, D, C) as in Section 2.2, with V = {0..num_vars-1}
+/// and D = {0..domain_size-1}.
+struct CspInstance {
+  int num_vars = 0;
+  int domain_size = 0;
+
+  struct Constraint {
+    std::vector<int> scope;  ///< Variables, in relation-column order.
+    Relation relation;
+  };
+  std::vector<Constraint> constraints;
+
+  /// Adds a constraint; seals the relation.
+  void AddConstraint(std::vector<int> scope, Relation relation);
+
+  /// True if every constraint is binary.
+  bool IsBinary() const;
+
+  /// Number of input "cells": sum of |scope| * |relation| — the n that the
+  /// paper's running-time bounds are stated against.
+  long long InputSize() const;
+
+  /// True if `assignment` (one value per variable) satisfies everything.
+  bool Check(const std::vector<int>& assignment) const;
+
+  /// Primal (Gaifman) graph on the variables.
+  graph::Graph PrimalGraph() const;
+
+  /// Constraint hypergraph (one hyperedge per constraint scope).
+  graph::Hypergraph ConstraintHypergraph() const;
+};
+
+/// Microstructure construction of Section 2.3: vertices w_{v,d} for each
+/// variable/value pair, adjacent iff the pair of assignments is jointly
+/// allowed; solving the CSP becomes partitioned subgraph isomorphism of the
+/// primal graph into this graph. Only defined for binary instances.
+struct Microstructure {
+  graph::Graph graph;         ///< |V| * |D| vertices.
+  std::vector<int> class_of;  ///< Partition: vertex -> its variable.
+
+  static int VertexOf(int variable, int value, int domain_size) {
+    return variable * domain_size + value;
+  }
+};
+Microstructure BuildMicrostructure(const CspInstance& csp);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_CSP_H_

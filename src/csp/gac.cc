@@ -1,0 +1,90 @@
+#include "csp/gac.h"
+
+#include <deque>
+#include <set>
+
+namespace qc::csp {
+
+AcResult EnforceGeneralizedArcConsistency(const CspInstance& csp) {
+  AcResult result;
+  result.alive.assign(csp.num_vars, std::vector<char>(csp.domain_size, 1));
+  const int m = static_cast<int>(csp.constraints.size());
+
+  // Work queue of (constraint, scope position) pairs to revise.
+  std::deque<std::pair<int, int>> queue;
+  std::set<std::pair<int, int>> queued;
+  auto enqueue = [&](int ci, int pos) {
+    if (queued.insert({ci, pos}).second) queue.emplace_back(ci, pos);
+  };
+  std::vector<std::vector<int>> constraints_of(csp.num_vars);
+  for (int ci = 0; ci < m; ++ci) {
+    const auto& scope = csp.constraints[ci].scope;
+    for (int pos = 0; pos < static_cast<int>(scope.size()); ++pos) {
+      enqueue(ci, pos);
+      constraints_of[scope[pos]].push_back(ci);
+    }
+  }
+
+  while (!queue.empty()) {
+    auto [ci, pos] = queue.front();
+    queue.pop_front();
+    queued.erase({ci, pos});
+    const auto& c = csp.constraints[ci];
+    int var = c.scope[pos];
+    ++result.revisions;
+
+    // Supported values of `var` at `pos`: tuples whose every entry is alive.
+    std::vector<char> supported(csp.domain_size, 0);
+    for (const auto& tuple : c.relation.tuples()) {
+      bool ok = true;
+      for (std::size_t i = 0; i < c.scope.size(); ++i) {
+        if (!result.alive[c.scope[i]][tuple[i]]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) supported[tuple[pos]] = 1;
+    }
+    bool revised = false;
+    for (int d = 0; d < csp.domain_size; ++d) {
+      if (result.alive[var][d] && !supported[d]) {
+        result.alive[var][d] = 0;
+        revised = true;
+      }
+    }
+    if (!revised) continue;
+    bool empty = true;
+    for (int d = 0; d < csp.domain_size; ++d) {
+      if (result.alive[var][d]) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      result.consistent = false;
+      return result;
+    }
+    // Re-revise every other position of every constraint on `var`.
+    for (int cj : constraints_of[var]) {
+      const auto& scope = csp.constraints[cj].scope;
+      for (int p = 0; p < static_cast<int>(scope.size()); ++p) {
+        if (cj == ci && p == pos) continue;
+        if (scope[p] != var) enqueue(cj, p);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qc::csp
+
+namespace qc::csp {
+
+CspSolution SolveWithGacPreprocessing(const CspInstance& csp) {
+  AcResult gac = EnforceGeneralizedArcConsistency(csp);
+  if (!gac.consistent) return CspSolution{};
+  CspInstance restricted = RestrictToAlive(csp, gac.alive);
+  return BacktrackingSolver().Solve(restricted);
+}
+
+}  // namespace qc::csp

@@ -1,0 +1,23 @@
+#ifndef QC_CSP_GAC_H_
+#define QC_CSP_GAC_H_
+
+#include "csp/arc_consistency.h"
+#include "csp/solver.h"
+
+namespace qc::csp {
+
+/// Generalized arc consistency (GAC-3) for constraints of any arity:
+/// removes every value that has no supporting tuple in some constraint,
+/// given the other variables' current domains, to a fixpoint. On binary
+/// instances this coincides with EnforceArcConsistency.
+AcResult EnforceGeneralizedArcConsistency(const CspInstance& csp);
+
+/// Backtracking search after a GAC preprocessing pass: enforces GAC once,
+/// answers immediately on a domain wipe-out, and otherwise searches the
+/// restricted instance. Sound and complete (GAC never removes solution
+/// values — a property-tested invariant).
+CspSolution SolveWithGacPreprocessing(const CspInstance& csp);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_GAC_H_

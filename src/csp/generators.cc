@@ -1,0 +1,82 @@
+#include "csp/generators.h"
+
+namespace qc::csp {
+
+CspInstance RandomBinaryCsp(const graph::Graph& structure, int domain_size,
+                            double tightness, util::Rng* rng) {
+  CspInstance csp;
+  csp.num_vars = structure.num_vertices();
+  csp.domain_size = domain_size;
+  for (auto [u, v] : structure.Edges()) {
+    Relation r(2);
+    for (int a = 0; a < domain_size; ++a) {
+      for (int b = 0; b < domain_size; ++b) {
+        if (!rng->NextBool(tightness)) r.Add({a, b});
+      }
+    }
+    csp.AddConstraint({u, v}, std::move(r));
+  }
+  return csp;
+}
+
+CspInstance PlantedBinaryCsp(const graph::Graph& structure, int domain_size,
+                             double tightness, util::Rng* rng,
+                             std::vector<int>* hidden) {
+  std::vector<int> solution(structure.num_vertices());
+  for (auto& v : solution) {
+    v = static_cast<int>(rng->NextBounded(domain_size));
+  }
+  CspInstance csp;
+  csp.num_vars = structure.num_vertices();
+  csp.domain_size = domain_size;
+  for (auto [u, v] : structure.Edges()) {
+    Relation r(2);
+    for (int a = 0; a < domain_size; ++a) {
+      for (int b = 0; b < domain_size; ++b) {
+        bool keep = (a == solution[u] && b == solution[v]) ||
+                    !rng->NextBool(tightness);
+        if (keep) r.Add({a, b});
+      }
+    }
+    csp.AddConstraint({u, v}, std::move(r));
+  }
+  if (hidden != nullptr) *hidden = solution;
+  return csp;
+}
+
+CspInstance ColoringCsp(const graph::Graph& g, int num_colors) {
+  CspInstance csp;
+  csp.num_vars = g.num_vertices();
+  csp.domain_size = num_colors;
+  Relation neq = DisequalityRelation(num_colors);
+  for (auto [u, v] : g.Edges()) csp.AddConstraint({u, v}, neq);
+  return csp;
+}
+
+Relation DisequalityRelation(int domain_size) {
+  Relation r(2);
+  for (int a = 0; a < domain_size; ++a) {
+    for (int b = 0; b < domain_size; ++b) {
+      if (a != b) r.Add({a, b});
+    }
+  }
+  r.Seal();
+  return r;
+}
+
+Relation EqualityRelation(int domain_size) {
+  Relation r(2);
+  for (int a = 0; a < domain_size; ++a) r.Add({a, a});
+  r.Seal();
+  return r;
+}
+
+Relation BinaryRelationFromPairs(
+    const std::vector<std::pair<int, int>>& pairs) {
+  Relation r(2);
+  for (auto [a, b] : pairs) r.Add({a, b});
+  r.Seal();
+  return r;
+}
+
+}  // namespace qc::csp

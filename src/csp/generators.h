@@ -1,0 +1,36 @@
+#ifndef QC_CSP_GENERATORS_H_
+#define QC_CSP_GENERATORS_H_
+
+#include "csp/csp.h"
+#include "util/rng.h"
+
+namespace qc::csp {
+
+/// Random binary CSP with one constraint per edge of `structure`; each value
+/// pair is allowed independently with probability 1 - tightness.
+CspInstance RandomBinaryCsp(const graph::Graph& structure, int domain_size,
+                            double tightness, util::Rng* rng);
+
+/// Like RandomBinaryCsp, but a hidden solution is drawn first and every
+/// constraint is forced to allow it, so the instance is satisfiable.
+CspInstance PlantedBinaryCsp(const graph::Graph& structure, int domain_size,
+                             double tightness, util::Rng* rng,
+                             std::vector<int>* hidden = nullptr);
+
+/// Graph k-colouring as a CSP: variables = vertices, domain = colours,
+/// disequality constraint per edge.
+CspInstance ColoringCsp(const graph::Graph& g, int num_colors);
+
+/// The full binary disequality relation on [0, domain_size).
+Relation DisequalityRelation(int domain_size);
+
+/// The binary equality relation on [0, domain_size).
+Relation EqualityRelation(int domain_size);
+
+/// Relation from an explicit list of allowed pairs.
+Relation BinaryRelationFromPairs(
+    const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_GENERATORS_H_

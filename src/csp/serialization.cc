@@ -1,0 +1,105 @@
+#include "csp/serialization.h"
+
+#include <sstream>
+
+namespace qc::csp {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::string ToText(const CspInstance& csp) {
+  std::ostringstream out;
+  out << "csp " << csp.num_vars << " " << csp.domain_size << "\n";
+  for (const auto& c : csp.constraints) {
+    out << "constraint " << c.relation.arity();
+    for (int v : c.scope) out << " " << v;
+    out << "\n";
+    for (const auto& t : c.relation.tuples()) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        out << (i ? " " : "") << t[i];
+      }
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+std::optional<CspInstance> FromText(const std::string& text,
+                                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  CspInstance csp;
+  bool have_header = false;
+  int line_no = 0;
+
+  std::optional<std::vector<int>> pending_scope;
+  std::optional<Relation> pending_relation;
+
+  auto fail = [&](const std::string& message) {
+    SetError(error, "line " + std::to_string(line_no) + ": " + message);
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (line.rfind("csp ", 0) == 0) {
+      ls >> keyword >> csp.num_vars >> csp.domain_size;
+      if (ls.fail() || csp.num_vars < 0 || csp.domain_size < 0) {
+        return fail("bad header");
+      }
+      have_header = true;
+    } else if (line.rfind("constraint", 0) == 0) {
+      if (!have_header) return fail("constraint before header");
+      if (pending_scope) return fail("nested constraint");
+      int arity = 0;
+      ls >> keyword >> arity;
+      if (ls.fail() || arity < 1) return fail("bad constraint arity");
+      std::vector<int> scope(arity);
+      for (int& v : scope) {
+        ls >> v;
+        if (ls.fail() || v < 0 || v >= csp.num_vars) {
+          return fail("bad scope variable");
+        }
+      }
+      pending_scope = std::move(scope);
+      pending_relation = Relation(arity);
+    } else if (line.rfind("end", 0) == 0) {
+      if (!pending_scope) return fail("'end' without constraint");
+      pending_relation->Seal();
+      csp.AddConstraint(std::move(*pending_scope),
+                        std::move(*pending_relation));
+      pending_scope.reset();
+      pending_relation.reset();
+    } else {
+      if (!pending_scope) return fail("tuple outside constraint");
+      std::vector<int> tuple(pending_scope->size());
+      for (int& v : tuple) {
+        ls >> v;
+        if (ls.fail() || v < 0 || v >= csp.domain_size) {
+          return fail("bad tuple value");
+        }
+      }
+      pending_relation->Add(std::move(tuple));
+    }
+  }
+  if (!have_header) {
+    SetError(error, "missing header");
+    return std::nullopt;
+  }
+  if (pending_scope) {
+    SetError(error, "unterminated constraint");
+    return std::nullopt;
+  }
+  return csp;
+}
+
+}  // namespace qc::csp

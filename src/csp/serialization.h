@@ -1,0 +1,29 @@
+#ifndef QC_CSP_SERIALIZATION_H_
+#define QC_CSP_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+
+#include "csp/csp.h"
+
+namespace qc::csp {
+
+/// Serializes a CSP instance in a simple line format:
+///
+///   csp <num_vars> <domain_size>
+///   constraint <arity> <scope vars...>
+///   <tuple values...>        (one line per allowed tuple)
+///   end
+///   ...
+///
+/// Lines starting with '#' are comments.
+std::string ToText(const CspInstance& csp);
+
+/// Parses the ToText format; returns nullopt (with a message in *error) on
+/// malformed input.
+std::optional<CspInstance> FromText(const std::string& text,
+                                    std::string* error = nullptr);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_SERIALIZATION_H_

@@ -1,0 +1,237 @@
+#include "csp/solver.h"
+
+#include <algorithm>
+
+namespace qc::csp {
+
+namespace {
+
+/// Backtracking engine with value-pruning trail; shared by Solve, Count and
+/// Enumerate (the visitor returns false to stop the search).
+class Searcher {
+ public:
+  Searcher(const CspInstance& csp, const BacktrackingSolver::Options& options,
+           SearchStats* stats)
+      : csp_(csp), options_(options), stats_(stats) {
+    const int n = csp.num_vars;
+    alive_.assign(n, std::vector<char>(csp.domain_size, 1));
+    alive_count_.assign(n, csp.domain_size);
+    assignment_.assign(n, -1);
+    constraints_of_.assign(n, {});
+    for (int ci = 0; ci < static_cast<int>(csp.constraints.size()); ++ci) {
+      for (int v : csp.constraints[ci].scope) constraints_of_[v].push_back(ci);
+    }
+    // Unary constraints prune domains before any assignment is made (the
+    // per-assignment propagation below only looks at constraints touching
+    // the variable just assigned, which would let clue-style unary
+    // constraints go unnoticed until far too late).
+    for (const auto& c : csp.constraints) {
+      if (c.scope.size() != 1) continue;
+      int v = c.scope[0];
+      for (int d = 0; d < csp.domain_size; ++d) {
+        if (alive_[v][d] && !c.relation.Contains({d})) {
+          alive_[v][d] = 0;
+          --alive_count_[v];
+        }
+      }
+    }
+  }
+
+  /// Runs the search; returns true if the visitor stopped it early.
+  bool Run(const std::function<bool(const std::vector<int>&)>& visitor) {
+    aborted_ = false;
+    return Search(0, visitor);
+  }
+
+  bool aborted() const { return aborted_; }
+  const std::vector<int>& assignment() const { return assignment_; }
+
+ private:
+  int PickVariable() const {
+    int best = -1;
+    for (int v = 0; v < csp_.num_vars; ++v) {
+      if (assignment_[v] >= 0) continue;
+      if (best < 0) {
+        best = v;
+        if (!options_.mrv) return best;
+      } else if (alive_count_[v] < alive_count_[best]) {
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  /// Checks constraints fully assigned by the latest assignment, and
+  /// forward-prunes constraints with exactly one unassigned variable.
+  /// Pruned (var, value) pairs are appended to *trail.
+  bool Propagate(int var, std::vector<std::pair<int, int>>* trail) {
+    for (int ci : constraints_of_[var]) {
+      const auto& c = csp_.constraints[ci];
+      int unassigned_pos = -1, unassigned_count = 0;
+      for (std::size_t i = 0; i < c.scope.size(); ++i) {
+        if (assignment_[c.scope[i]] < 0) {
+          ++unassigned_count;
+          unassigned_pos = static_cast<int>(i);
+        }
+      }
+      if (unassigned_count == 0) {
+        ++stats_->consistency_checks;
+        std::vector<int> tuple(c.scope.size());
+        for (std::size_t i = 0; i < c.scope.size(); ++i) {
+          tuple[i] = assignment_[c.scope[i]];
+        }
+        if (!c.relation.Contains(tuple)) return false;
+      } else if (unassigned_count == 1 && options_.forward_checking) {
+        int u = c.scope[unassigned_pos];
+        std::vector<char> supported(csp_.domain_size, 0);
+        for (const auto& tuple : c.relation.tuples()) {
+          ++stats_->consistency_checks;
+          bool consistent = true;
+          for (std::size_t i = 0; i < c.scope.size(); ++i) {
+            if (static_cast<int>(i) == unassigned_pos) continue;
+            if (assignment_[c.scope[i]] != tuple[i]) {
+              consistent = false;
+              break;
+            }
+          }
+          if (consistent) supported[tuple[unassigned_pos]] = 1;
+        }
+        for (int d = 0; d < csp_.domain_size; ++d) {
+          if (alive_[u][d] && !supported[d]) {
+            alive_[u][d] = 0;
+            --alive_count_[u];
+            trail->emplace_back(u, d);
+          }
+        }
+        if (alive_count_[u] == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Search(int depth,
+              const std::function<bool(const std::vector<int>&)>& visitor) {
+    if (options_.max_nodes != 0 && stats_->nodes >= options_.max_nodes) {
+      aborted_ = true;
+      return true;  // Unwind as if stopped.
+    }
+    if (depth == csp_.num_vars) return !visitor(assignment_);
+    int var = PickVariable();
+    for (int d = 0; d < csp_.domain_size; ++d) {
+      if (!alive_[var][d]) continue;
+      ++stats_->nodes;
+      assignment_[var] = d;
+      std::vector<std::pair<int, int>> trail;
+      bool ok = Propagate(var, &trail);
+      if (ok && Search(depth + 1, visitor)) return true;
+      if (!ok) ++stats_->backtracks;
+      for (auto [u, val] : trail) {
+        alive_[u][val] = 1;
+        ++alive_count_[u];
+      }
+      assignment_[var] = -1;
+      if (aborted_) return true;
+    }
+    return false;
+  }
+
+  const CspInstance& csp_;
+  const BacktrackingSolver::Options& options_;
+  SearchStats* stats_;
+  std::vector<std::vector<char>> alive_;
+  std::vector<int> alive_count_;
+  std::vector<int> assignment_;
+  std::vector<std::vector<int>> constraints_of_;
+  bool aborted_ = false;
+};
+
+/// Constraints of arity 0/1 need a pre-pass: arity-1 constraints restrict
+/// initial domains and are handled by Propagate only once their variable is
+/// assigned, which is fine; nothing special needed.
+
+}  // namespace
+
+BacktrackingSolver::BacktrackingSolver() : options_() {}
+
+CspSolution BacktrackingSolver::Solve(const CspInstance& csp) {
+  CspSolution result;
+  Searcher searcher(csp, options_, &result.stats);
+  bool stopped = searcher.Run([&result](const std::vector<int>& a) {
+    result.found = true;
+    result.assignment = a;
+    return false;  // Stop at the first solution.
+  });
+  aborted_ = searcher.aborted();
+  (void)stopped;
+  if (aborted_) result.found = false;
+  return result;
+}
+
+std::uint64_t BacktrackingSolver::CountSolutions(const CspInstance& csp,
+                                                 SearchStats* stats) {
+  SearchStats local;
+  Searcher searcher(csp, options_, stats != nullptr ? stats : &local);
+  std::uint64_t count = 0;
+  searcher.Run([&count](const std::vector<int>&) {
+    ++count;
+    return true;
+  });
+  aborted_ = searcher.aborted();
+  return count;
+}
+
+std::uint64_t BacktrackingSolver::EnumerateSolutions(
+    const CspInstance& csp,
+    const std::function<bool(const std::vector<int>&)>& callback) {
+  SearchStats stats;
+  Searcher searcher(csp, options_, &stats);
+  std::uint64_t count = 0;
+  searcher.Run([&](const std::vector<int>& a) {
+    ++count;
+    return callback(a);
+  });
+  aborted_ = searcher.aborted();
+  return count;
+}
+
+CspSolution SolveBruteForce(const CspInstance& csp) {
+  CspSolution result;
+  std::vector<int> assignment(csp.num_vars, 0);
+  if (csp.num_vars == 0) {
+    result.found = csp.Check(assignment);
+    return result;
+  }
+  if (csp.domain_size == 0) return result;
+  while (true) {
+    ++result.stats.nodes;
+    if (csp.Check(assignment)) {
+      result.found = true;
+      result.assignment = assignment;
+      return result;
+    }
+    int i = 0;
+    while (i < csp.num_vars && ++assignment[i] == csp.domain_size) {
+      assignment[i] = 0;
+      ++i;
+    }
+    if (i == csp.num_vars) return result;
+  }
+}
+
+std::uint64_t CountSolutionsBruteForce(const CspInstance& csp) {
+  std::uint64_t count = 0;
+  std::vector<int> assignment(csp.num_vars, 0);
+  if (csp.num_vars == 0) return csp.Check(assignment) ? 1 : 0;
+  if (csp.domain_size == 0) return 0;
+  while (true) {
+    if (csp.Check(assignment)) ++count;
+    int i = 0;
+    while (i < csp.num_vars && ++assignment[i] == csp.domain_size) {
+      assignment[i] = 0;
+      ++i;
+    }
+    if (i == csp.num_vars) return count;
+  }
+}
+
+}  // namespace qc::csp

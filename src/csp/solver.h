@@ -1,0 +1,69 @@
+#ifndef QC_CSP_SOLVER_H_
+#define QC_CSP_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "csp/csp.h"
+
+namespace qc::csp {
+
+/// Search statistics for the experiment harness.
+struct SearchStats {
+  std::uint64_t nodes = 0;        ///< Assignments tried.
+  std::uint64_t backtracks = 0;   ///< Dead ends.
+  std::uint64_t consistency_checks = 0;
+};
+
+/// Result of a satisfiability search.
+struct CspSolution {
+  bool found = false;
+  std::vector<int> assignment;  ///< One value per variable, when found.
+  SearchStats stats;
+};
+
+/// Backtracking search with minimum-remaining-values variable ordering and
+/// forward checking — the standard general-purpose CSP solver this library
+/// offers next to the structure-exploiting ones.
+class BacktrackingSolver {
+ public:
+  struct Options {
+    bool forward_checking = true;
+    bool mrv = true;  ///< Minimum-remaining-values order (else index order).
+    std::uint64_t max_nodes = 0;  ///< 0 = unlimited.
+  };
+
+  BacktrackingSolver();
+  explicit BacktrackingSolver(Options options) : options_(options) {}
+
+  /// Finds one solution.
+  CspSolution Solve(const CspInstance& csp);
+
+  /// Counts all solutions (full enumeration).
+  std::uint64_t CountSolutions(const CspInstance& csp, SearchStats* stats);
+
+  /// Invokes `callback` with each solution; stops early when the callback
+  /// returns false. Returns the number of solutions visited.
+  std::uint64_t EnumerateSolutions(
+      const CspInstance& csp,
+      const std::function<bool(const std::vector<int>&)>& callback);
+
+  /// True if the last Solve hit max_nodes.
+  bool aborted() const { return aborted_; }
+
+ private:
+  Options options_;
+  bool aborted_ = false;
+};
+
+/// Plain |D|^|V| enumeration — the "brute force" baseline whose optimality
+/// the ETH results (Theorem 6.4) assert.
+CspSolution SolveBruteForce(const CspInstance& csp);
+
+/// Brute-force solution count.
+std::uint64_t CountSolutionsBruteForce(const CspInstance& csp);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_SOLVER_H_

@@ -1,0 +1,219 @@
+#include "csp/treedp.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace qc::csp {
+
+namespace {
+
+/// A bag's DP table: valid assignments of the bag's variables with the
+/// number of extensions to the bag's subtree.
+struct BagTable {
+  std::vector<std::vector<int>> assignments;  ///< Bag-variable values.
+  std::vector<std::uint64_t> counts;
+  /// Index of the child-table row chosen per assignment per child is not
+  /// stored; witnesses are recovered by re-matching projections top-down.
+};
+
+std::vector<int> Project(const std::vector<int>& bag_vars,
+                         const std::vector<int>& values,
+                         const std::vector<int>& onto) {
+  std::vector<int> out;
+  out.reserve(onto.size());
+  for (int v : onto) {
+    auto it = std::find(bag_vars.begin(), bag_vars.end(), v);
+    out.push_back(values[it - bag_vars.begin()]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TreeDpResult SolveWithDecomposition(const CspInstance& csp,
+                                    const graph::TreeDecomposition& td) {
+  TreeDpResult result;
+  result.width_used = td.Width();
+  const int nb = static_cast<int>(td.bags.size());
+  if (nb == 0) {
+    // Empty decomposition: satisfiable iff no variables and no violated
+    // zero-ary constraints.
+    result.satisfiable = csp.num_vars == 0;
+    result.solution_count = result.satisfiable ? 1 : 0;
+    return result;
+  }
+
+  // Assign each constraint to one bag containing its whole scope.
+  std::vector<std::vector<int>> constraints_of_bag(nb);
+  for (int ci = 0; ci < static_cast<int>(csp.constraints.size()); ++ci) {
+    const auto& scope = csp.constraints[ci].scope;
+    int home = -1;
+    for (int t = 0; t < nb && home < 0; ++t) {
+      bool inside = true;
+      for (int v : scope) {
+        if (!std::binary_search(td.bags[t].begin(), td.bags[t].end(), v)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) home = t;
+    }
+    if (home < 0) std::abort();  // Not a decomposition of the primal graph.
+    constraints_of_bag[home].push_back(ci);
+  }
+
+  // Root the tree at 0 and order bags for bottom-up processing.
+  std::vector<std::vector<int>> adj(nb), children(nb);
+  for (auto [a, b] : td.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> order, parent(nb, -1);
+  std::vector<bool> seen(nb, false);
+  order.reserve(nb);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    int t = order[head];
+    for (int u : adj[t]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = t;
+        children[t].push_back(u);
+        order.push_back(u);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != nb) std::abort();  // Not a tree.
+
+  // Bottom-up DP.
+  std::vector<BagTable> tables(nb);
+  // Per bag: child -> (projection of child assignment onto shared vars ->
+  // summed counts). Kept for witness extraction.
+  std::vector<std::vector<int>> shared_vars(nb);  // With parent.
+  for (int idx = nb - 1; idx >= 0; --idx) {
+    int t = order[idx];
+    const auto& bag = td.bags[t];
+    const int bsize = static_cast<int>(bag.size());
+    // Precompute child projection maps.
+    struct ChildMap {
+      int child;
+      std::vector<int> shared;
+      std::map<std::vector<int>, std::uint64_t> sums;
+    };
+    std::vector<ChildMap> child_maps;
+    for (int c : children[t]) {
+      ChildMap cm;
+      cm.child = c;
+      for (int v : td.bags[c]) {
+        if (std::binary_search(bag.begin(), bag.end(), v)) {
+          cm.shared.push_back(v);
+        }
+      }
+      const BagTable& ct = tables[c];
+      for (std::size_t i = 0; i < ct.assignments.size(); ++i) {
+        if (ct.counts[i] == 0) continue;
+        cm.sums[Project(td.bags[c], ct.assignments[i], cm.shared)] +=
+            ct.counts[i];
+      }
+      child_maps.push_back(std::move(cm));
+    }
+
+    // Enumerate the |D|^|bag| bag assignments with an odometer.
+    std::vector<int> values(bsize, 0);
+    unsigned long long total_rows = 1;
+    for (int i = 0; i < bsize; ++i) {
+      total_rows *= static_cast<unsigned long long>(csp.domain_size);
+    }
+    for (unsigned long long row = 0; row < total_rows; ++row) {
+      ++result.table_entries;
+      // Check this bag's constraints.
+      bool ok = true;
+      std::vector<int> tuple;
+      for (int ci : constraints_of_bag[t]) {
+        const auto& c = csp.constraints[ci];
+        tuple = Project(bag, values, c.scope);
+        if (!c.relation.Contains(tuple)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        std::uint64_t count = 1;
+        for (const auto& cm : child_maps) {
+          auto it = cm.sums.find(Project(bag, values, cm.shared));
+          if (it == cm.sums.end()) {
+            count = 0;
+            break;
+          }
+          count *= it->second;
+        }
+        if (count > 0) {
+          tables[t].assignments.push_back(values);
+          tables[t].counts.push_back(count);
+        }
+      }
+      // Advance the odometer.
+      for (int i = 0; i < bsize; ++i) {
+        if (++values[i] < csp.domain_size) break;
+        values[i] = 0;
+      }
+    }
+  }
+
+  const BagTable& root = tables[0];
+  for (std::uint64_t c : root.counts) result.solution_count += c;
+  result.satisfiable = result.solution_count > 0;
+  if (!result.satisfiable) return result;
+
+  // Witness extraction, top-down: fix a root row, then for each child pick
+  // any surviving row matching on the shared variables.
+  result.assignment.assign(csp.num_vars, 0);
+  std::vector<int> chosen_row(nb, -1);
+  for (std::size_t i = 0; i < root.counts.size(); ++i) {
+    if (root.counts[i] > 0) {
+      chosen_row[0] = static_cast<int>(i);
+      break;
+    }
+  }
+  for (int idx = 0; idx < nb; ++idx) {
+    int t = order[idx];
+    const auto& bag = td.bags[t];
+    const auto& values = tables[t].assignments[chosen_row[t]];
+    for (int i = 0; i < static_cast<int>(bag.size()); ++i) {
+      result.assignment[bag[i]] = values[i];
+    }
+    for (int c : children[t]) {
+      std::vector<int> shared;
+      for (int v : td.bags[c]) {
+        if (std::binary_search(bag.begin(), bag.end(), v)) {
+          shared.push_back(v);
+        }
+      }
+      std::vector<int> want = Project(bag, values, shared);
+      for (std::size_t i = 0; i < tables[c].assignments.size(); ++i) {
+        if (tables[c].counts[i] > 0 &&
+            Project(td.bags[c], tables[c].assignments[i], shared) == want) {
+          chosen_row[c] = static_cast<int>(i);
+          break;
+        }
+      }
+      if (chosen_row[c] < 0) std::abort();  // DP invariant violated.
+    }
+  }
+  return result;
+}
+
+TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below) {
+  graph::Graph primal = csp.PrimalGraph();
+  graph::TreeDecomposition td;
+  if (primal.num_vertices() <= exact_below) {
+    td = graph::ExactTreewidth(primal).decomposition;
+  } else {
+    td = graph::HeuristicTreewidth(primal).decomposition;
+  }
+  return SolveWithDecomposition(csp, td);
+}
+
+}  // namespace qc::csp

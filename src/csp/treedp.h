@@ -1,0 +1,39 @@
+#ifndef QC_CSP_TREEDP_H_
+#define QC_CSP_TREEDP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csp/csp.h"
+#include "graph/treewidth.h"
+
+namespace qc::csp {
+
+/// Result of the tree-decomposition dynamic program.
+struct TreeDpResult {
+  bool satisfiable = false;
+  std::vector<int> assignment;      ///< A witness, when satisfiable.
+  std::uint64_t solution_count = 0; ///< Exact count (may wrap for huge counts).
+  std::uint64_t table_entries = 0;  ///< Total bag-assignment rows touched —
+                                    ///< the |V| * |D|^{k+1} work measure of
+                                    ///< Theorem 4.2.
+  int width_used = -1;              ///< Width of the decomposition used.
+};
+
+/// Freuder's algorithm (Theorem 4.2): solves and counts a CSP by dynamic
+/// programming over the given tree decomposition of its primal graph.
+///
+/// Every constraint scope is a clique of the primal graph and therefore lies
+/// inside some bag; aborts if the decomposition misses one (i.e. it is not a
+/// valid decomposition of the primal graph).
+TreeDpResult SolveWithDecomposition(const CspInstance& csp,
+                                    const graph::TreeDecomposition& td);
+
+/// Convenience: builds a heuristic tree decomposition of the primal graph
+/// (min-degree / min-fill, exact for small graphs when `exact_below` vertices
+/// or fewer) and runs the DP.
+TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below = 16);
+
+}  // namespace qc::csp
+
+#endif  // QC_CSP_TREEDP_H_

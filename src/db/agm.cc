@@ -1,0 +1,168 @@
+#include "db/agm.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "util/lp.h"
+
+namespace qc::db {
+
+double AgmAnalysis::BoundForN(double n) const {
+  return std::pow(n, rho_star.ToDouble());
+}
+
+std::optional<AgmAnalysis> AnalyzeAgm(const JoinQuery& query) {
+  graph::Hypergraph h = query.Hypergraph();
+  auto cover = graph::FractionalEdgeCoverNumber(h);
+  if (!cover.has_value()) return std::nullopt;
+
+  // Dual: maximize sum_v x_v subject to sum_{v in e} x_v <= 1.
+  util::LpProblem dual;
+  dual.num_vars = h.num_vertices();
+  dual.objective.assign(dual.num_vars, util::Fraction(1));
+  for (int e = 0; e < h.num_edges(); ++e) {
+    std::vector<util::Fraction> row(dual.num_vars, util::Fraction(0));
+    for (int v : h.Edge(e)) row[v] = util::Fraction(1);
+    dual.AddRow(std::move(row), util::LpProblem::Sense::kLe,
+                util::Fraction(1));
+  }
+  util::LpSolution dual_sol = util::MaximizeLp(dual);
+  if (dual_sol.status != util::LpSolution::Status::kOptimal) {
+    return std::nullopt;
+  }
+  // Strong duality check: the exact optima must coincide.
+  if (!(dual_sol.objective == cover->total)) std::abort();
+
+  AgmAnalysis analysis;
+  analysis.rho_star = cover->total;
+  analysis.edge_weights = std::move(cover->weight);
+  analysis.vertex_shares = std::move(dual_sol.x);
+  return analysis;
+}
+
+Database AgmTightInstance(const JoinQuery& query, const AgmAnalysis& analysis,
+                          int t, long long* relation_bound) {
+  graph::Hypergraph h = query.Hypergraph();
+  // L = lcm of the share denominators.
+  long long lcm = 1;
+  for (const auto& share : analysis.vertex_shares) {
+    lcm = std::lcm(lcm, share.den());
+  }
+  // Domain size per attribute: t^(L * x_a).
+  std::vector<long long> domain(h.num_vertices(), 1);
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    long long exponent =
+        (lcm / analysis.vertex_shares[v].den()) * analysis.vertex_shares[v].num();
+    long long size = 1;
+    for (long long i = 0; i < exponent; ++i) {
+      size *= t;
+      if (size > (1LL << 40)) std::abort();  // Instance would be absurd.
+    }
+    domain[v] = size;
+  }
+  if (relation_bound != nullptr) {
+    long long n = 1;
+    for (long long i = 0; i < lcm; ++i) n *= t;
+    *relation_bound = n;
+  }
+
+  Database db;
+  std::map<std::string, int> index = query.AttributeIndex();
+  for (const auto& atom : query.atoms) {
+    // Full cross product of the attribute domains.
+    std::vector<long long> sizes;
+    sizes.reserve(atom.attributes.size());
+    for (const auto& a : atom.attributes) sizes.push_back(domain[index[a]]);
+    std::vector<Tuple> tuples;
+    std::vector<long long> odo(sizes.size(), 0);
+    while (true) {
+      tuples.emplace_back(odo.begin(), odo.end());
+      std::size_t i = 0;
+      while (i < odo.size() && ++odo[i] == sizes[i]) {
+        odo[i] = 0;
+        ++i;
+      }
+      if (i == odo.size()) break;
+    }
+    // Self-joins of the same relation name must agree; the construction
+    // gives every atom of the same relation the same content only if the
+    // attribute shares match, so just overwrite (identical by symmetry when
+    // arities match; otherwise the query was malformed).
+    db.SetRelation(atom.relation, static_cast<int>(atom.attributes.size()),
+                   std::move(tuples));
+  }
+  return db;
+}
+
+JoinQuery RandomAcyclicQuery(int num_atoms, int max_arity, util::Rng* rng) {
+  JoinQuery q;
+  auto attr_name = [](int i) { return "v" + std::to_string(i); };
+  int next_attr = 0;
+  std::vector<std::vector<std::string>> schemas;
+  for (int i = 0; i < num_atoms; ++i) {
+    std::vector<std::string> attrs;
+    if (i == 0) {
+      int arity = 1 + static_cast<int>(rng->NextBounded(max_arity));
+      for (int j = 0; j < arity; ++j) attrs.push_back(attr_name(next_attr++));
+    } else {
+      // Connect to a random earlier atom via a random nonempty subset of
+      // its attributes (keeps the GYO join tree property), then add fresh
+      // attributes up to the arity budget.
+      const auto& parent = schemas[rng->NextBounded(schemas.size())];
+      int shared = 1 + static_cast<int>(rng->NextBounded(parent.size()));
+      std::vector<int> picks =
+          rng->Sample(static_cast<int>(parent.size()), shared);
+      for (int p : picks) attrs.push_back(parent[p]);
+      int fresh = static_cast<int>(
+          rng->NextBounded(std::max(1, max_arity - shared) + 1));
+      for (int j = 0; j < fresh; ++j) attrs.push_back(attr_name(next_attr++));
+    }
+    schemas.push_back(attrs);
+    q.Add("R" + std::to_string(i), std::move(attrs));
+  }
+  return q;
+}
+
+JoinQuery RandomBinaryQuery(int num_atoms, int num_attributes,
+                            util::Rng* rng) {
+  JoinQuery q;
+  for (int i = 0; i < num_atoms; ++i) {
+    int a = static_cast<int>(rng->NextBounded(num_attributes));
+    int b = static_cast<int>(rng->NextBounded(num_attributes));
+    while (b == a) b = static_cast<int>(rng->NextBounded(num_attributes));
+    q.Add("R" + std::to_string(i),
+          {"v" + std::to_string(a), "v" + std::to_string(b)});
+  }
+  return q;
+}
+
+Database RandomDatabase(const JoinQuery& query, int tuples_per_relation,
+                        Value domain, util::Rng* rng) {
+  Database db;
+  for (const auto& atom : query.atoms) {
+    if (db.HasRelation(atom.relation)) continue;  // Self-join reuse.
+    int arity = static_cast<int>(atom.attributes.size());
+    std::set<Tuple> tuples;
+    // Distinct tuples; bail out gracefully if the space is too small.
+    long long space = 1;
+    bool small = false;
+    for (int i = 0; i < arity; ++i) {
+      space *= domain;
+      if (space >= tuples_per_relation * 4LL) break;
+      if (i == arity - 1 && space < tuples_per_relation) small = true;
+    }
+    int want = small ? static_cast<int>(space) : tuples_per_relation;
+    while (static_cast<int>(tuples.size()) < want) {
+      Tuple t(arity);
+      for (auto& v : t) v = rng->NextInt(0, domain - 1);
+      tuples.insert(std::move(t));
+    }
+    db.SetRelation(atom.relation, arity,
+                   std::vector<Tuple>(tuples.begin(), tuples.end()));
+  }
+  return db;
+}
+
+}  // namespace qc::db

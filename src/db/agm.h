@@ -1,0 +1,55 @@
+#ifndef QC_DB_AGM_H_
+#define QC_DB_AGM_H_
+
+#include <optional>
+
+#include "db/database.h"
+#include "util/fraction.h"
+#include "util/rng.h"
+
+namespace qc::db {
+
+/// The fractional-edge-cover analysis behind the AGM bound (Theorems
+/// 3.1/3.2): the optimal cover, its weight rho*, and the optimal dual
+/// (fractional vertex packing) which drives the tight-instance construction.
+struct AgmAnalysis {
+  util::Fraction rho_star;
+  std::vector<util::Fraction> edge_weights;    ///< Per atom.
+  std::vector<util::Fraction> vertex_shares;   ///< Per attribute (dual).
+
+  /// The AGM output-size bound N^{rho*} as a double.
+  double BoundForN(double n) const;
+};
+
+/// Solves both the fractional edge cover LP and its dual exactly. Returns
+/// nullopt if some attribute occurs in no atom (degenerate query).
+std::optional<AgmAnalysis> AnalyzeAgm(const JoinQuery& query);
+
+/// The extremal database of Theorem 3.2. With the optimal dual shares
+/// x_a = p_a / q_a and L = lcm(q_a), attribute a receives the domain
+/// [0, t^{L * x_a}) and every relation is the full cross product of its
+/// attributes' domains. Then every relation has at most N = t^L tuples and
+/// |Q(D)| = t^{L * rho*} = N^{rho*} exactly.
+///
+/// Returns the database; writes N to *relation_bound if non-null.
+Database AgmTightInstance(const JoinQuery& query, const AgmAnalysis& analysis,
+                          int t, long long* relation_bound = nullptr);
+
+/// Random database: each relation receives `tuples_per_relation` distinct
+/// uniform tuples over [0, domain)^arity.
+Database RandomDatabase(const JoinQuery& query, int tuples_per_relation,
+                        Value domain, util::Rng* rng);
+
+/// Random alpha-acyclic query: atoms are generated along a random join
+/// tree (each new atom shares a random nonempty subset of a random earlier
+/// atom's attributes and adds fresh ones). Relation names are "R0", "R1"...
+JoinQuery RandomAcyclicQuery(int num_atoms, int max_arity, util::Rng* rng);
+
+/// Random query with `num_atoms` binary atoms over `num_attributes`
+/// attributes (may be cyclic).
+JoinQuery RandomBinaryQuery(int num_atoms, int num_attributes,
+                            util::Rng* rng);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_AGM_H_

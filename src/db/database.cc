@@ -1,0 +1,163 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace qc::db {
+
+JoinQuery& JoinQuery::Add(std::string relation,
+                          std::vector<std::string> attributes) {
+  atoms.push_back(Atom{std::move(relation), std::move(attributes)});
+  return *this;
+}
+
+std::vector<std::string> JoinQuery::AttributeOrder() const {
+  std::vector<std::string> order;
+  for (const auto& atom : atoms) {
+    for (const auto& a : atom.attributes) {
+      if (std::find(order.begin(), order.end(), a) == order.end()) {
+        order.push_back(a);
+      }
+    }
+  }
+  return order;
+}
+
+std::map<std::string, int> JoinQuery::AttributeIndex() const {
+  std::map<std::string, int> index;
+  std::vector<std::string> order = AttributeOrder();
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    index[order[i]] = i;
+  }
+  return index;
+}
+
+graph::Hypergraph JoinQuery::Hypergraph() const {
+  std::map<std::string, int> index = AttributeIndex();
+  graph::Hypergraph h(static_cast<int>(index.size()));
+  for (const auto& atom : atoms) {
+    std::vector<int> edge;
+    for (const auto& a : atom.attributes) edge.push_back(index[a]);
+    h.AddEdge(std::move(edge));
+  }
+  return h;
+}
+
+graph::Graph JoinQuery::PrimalGraph() const { return Hypergraph().PrimalGraph(); }
+
+void Database::SetRelation(const std::string& name, int arity,
+                           std::vector<Tuple> tuples) {
+  for (const auto& t : tuples) {
+    if (static_cast<int>(t.size()) != arity) std::abort();
+  }
+  relations_[name] = Rel{arity, std::move(tuples)};
+}
+
+void Database::AddTuple(const std::string& name, Tuple tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end() ||
+      static_cast<int>(tuple.size()) != it->second.arity) {
+    std::abort();
+  }
+  it->second.tuples.push_back(std::move(tuple));
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+int Database::Arity(const std::string& name) const {
+  return relations_.at(name).arity;
+}
+
+const std::vector<Tuple>& Database::Tuples(const std::string& name) const {
+  return relations_.at(name).tuples;
+}
+
+std::size_t Database::MaxRelationSize() const {
+  std::size_t n = 0;
+  for (const auto& [name, rel] : relations_) {
+    n = std::max(n, rel.tuples.size());
+  }
+  return n;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+void JoinResult::Normalize() {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+}
+
+bool TupleSatisfiesQuery(const JoinQuery& query, const Database& db,
+                         const std::vector<std::string>& attrs,
+                         const Tuple& tuple) {
+  for (const auto& atom : query.atoms) {
+    Tuple projection;
+    projection.reserve(atom.attributes.size());
+    for (const auto& a : atom.attributes) {
+      auto it = std::find(attrs.begin(), attrs.end(), a);
+      if (it == attrs.end()) std::abort();
+      projection.push_back(tuple[it - attrs.begin()]);
+    }
+    const auto& rel = db.Tuples(atom.relation);
+    if (std::find(rel.begin(), rel.end(), projection) == rel.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+JoinResult EvaluateNestedLoop(const JoinQuery& query, const Database& db) {
+  JoinResult result;
+  result.attributes = query.AttributeOrder();
+  const int n = static_cast<int>(result.attributes.size());
+  // Candidate values per attribute: intersection over the atoms containing
+  // it of the values in the matching column.
+  std::vector<std::vector<Value>> candidates(n);
+  std::map<std::string, int> index = query.AttributeIndex();
+  std::vector<bool> seen(n, false);
+  for (const auto& atom : query.atoms) {
+    for (std::size_t col = 0; col < atom.attributes.size(); ++col) {
+      int ai = index[atom.attributes[col]];
+      std::set<Value> column;
+      for (const auto& t : db.Tuples(atom.relation)) column.insert(t[col]);
+      if (!seen[ai]) {
+        candidates[ai].assign(column.begin(), column.end());
+        seen[ai] = true;
+      } else {
+        std::vector<Value> kept;
+        for (Value v : candidates[ai]) {
+          if (column.count(v)) kept.push_back(v);
+        }
+        candidates[ai] = std::move(kept);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (candidates[i].empty()) return result;
+  }
+  // Odometer over the candidate grid.
+  std::vector<std::size_t> idx(n, 0);
+  Tuple tuple(n);
+  while (true) {
+    for (int i = 0; i < n; ++i) tuple[i] = candidates[i][idx[i]];
+    if (TupleSatisfiesQuery(query, db, result.attributes, tuple)) {
+      result.tuples.push_back(tuple);
+    }
+    int i = 0;
+    while (i < n && ++idx[i] == candidates[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return result;
+}
+
+}  // namespace qc::db

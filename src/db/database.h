@@ -1,0 +1,94 @@
+#ifndef QC_DB_DATABASE_H_
+#define QC_DB_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace qc::db {
+
+using Value = std::int64_t;
+using Tuple = std::vector<Value>;
+
+/// One atom R(a1, ..., ar) of a join query.
+struct Atom {
+  std::string relation;                 ///< Relation name.
+  std::vector<std::string> attributes;  ///< Column attribute names.
+};
+
+/// A (natural) join query Q = R1(...) |><| ... |><| Rm(...) as in
+/// Section 2.1. Repeated relation names are allowed (self-joins); repeated
+/// attributes within an atom are allowed and mean equality on the columns.
+struct JoinQuery {
+  std::vector<Atom> atoms;
+
+  /// Adds an atom and returns *this (builder style).
+  JoinQuery& Add(std::string relation, std::vector<std::string> attributes);
+
+  /// Distinct attributes in order of first appearance — the result schema.
+  std::vector<std::string> AttributeOrder() const;
+
+  /// Index of each attribute in AttributeOrder().
+  std::map<std::string, int> AttributeIndex() const;
+
+  /// Query hypergraph (Section 3): vertices = attributes, one hyperedge per
+  /// atom.
+  graph::Hypergraph Hypergraph() const;
+
+  /// Primal graph of the query.
+  graph::Graph PrimalGraph() const;
+};
+
+/// A database instance: named relations with explicit arity.
+class Database {
+ public:
+  /// Creates/replaces a relation. All tuples must have size `arity`.
+  void SetRelation(const std::string& name, int arity,
+                   std::vector<Tuple> tuples);
+
+  /// Appends one tuple (relation must exist).
+  void AddTuple(const std::string& name, Tuple tuple);
+
+  bool HasRelation(const std::string& name) const;
+  int Arity(const std::string& name) const;
+  const std::vector<Tuple>& Tuples(const std::string& name) const;
+
+  /// N = max number of tuples in any relation (0 for the empty database).
+  std::size_t MaxRelationSize() const;
+
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  struct Rel {
+    int arity;
+    std::vector<Tuple> tuples;
+  };
+  std::map<std::string, Rel> relations_;
+};
+
+/// A materialized query result: schema plus tuples.
+struct JoinResult {
+  std::vector<std::string> attributes;
+  std::vector<Tuple> tuples;
+
+  /// Sorts tuples (for order-insensitive comparison in tests) and removes
+  /// duplicates.
+  void Normalize();
+};
+
+/// Reference evaluation by full nested-loop enumeration over the attribute
+/// domains induced by the database; exponential, for testing only.
+JoinResult EvaluateNestedLoop(const JoinQuery& query, const Database& db);
+
+/// True if `tuple` (aligned with `attrs`) satisfies every atom of `query`.
+bool TupleSatisfiesQuery(const JoinQuery& query, const Database& db,
+                         const std::vector<std::string>& attrs,
+                         const Tuple& tuple);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_DATABASE_H_

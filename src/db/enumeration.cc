@@ -1,0 +1,167 @@
+#include "db/enumeration.h"
+
+#include <algorithm>
+#include <map>
+
+#include "db/yannakakis.h"
+
+namespace qc::db {
+
+namespace {
+
+Tuple Project(const Tuple& t, const std::vector<int>& cols) {
+  Tuple out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(t[c]);
+  return out;
+}
+
+}  // namespace
+
+AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
+                                     const Database& db) {
+  std::vector<int> parent, bottom_up;
+  if (!BuildJoinTree(query, &parent, &bottom_up)) return;
+  const int m = static_cast<int>(query.atoms.size());
+  if (m == 0) {
+    valid_ = true;
+    done_ = false;
+    return;  // One empty answer; handled in Next().
+  }
+  attributes_ = query.AttributeOrder();
+
+  // Materialize + full semijoin reduction (the linear preprocessing pass).
+  std::vector<JoinResult> rel(m);
+  for (int e = 0; e < m; ++e) {
+    rel[e] = MaterializeAtom(query.atoms[e], db);
+    rel[e].Normalize();
+  }
+  for (int e : bottom_up) {
+    if (parent[e] >= 0) rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+  }
+  for (auto it = bottom_up.rbegin(); it != bottom_up.rend(); ++it) {
+    if (parent[*it] >= 0) rel[*it] = Semijoin(rel[*it], rel[parent[*it]]);
+  }
+
+  // Root-first order.
+  order_.assign(bottom_up.rbegin(), bottom_up.rend());
+  nodes_.resize(m);
+  for (int e = 0; e < m; ++e) {
+    TreeNode& node = nodes_[e];
+    node.parent = parent[e];
+    node.attrs = rel[e].attributes;
+    if (parent[e] >= 0) {
+      const auto& pattrs = rel[parent[e]].attributes;
+      for (std::size_t i = 0; i < node.attrs.size(); ++i) {
+        auto it = std::find(pattrs.begin(), pattrs.end(), node.attrs[i]);
+        if (it != pattrs.end()) {
+          node.shared_cols.push_back(static_cast<int>(i));
+          node.parent_shared_cols.push_back(
+              static_cast<int>(it - pattrs.begin()));
+        }
+      }
+    }
+    node.tuples = std::move(rel[e].tuples);
+    // Sort by the projection onto the shared columns, then the rest.
+    std::sort(node.tuples.begin(), node.tuples.end(),
+              [&node](const Tuple& a, const Tuple& b) {
+                Tuple ka = Project(a, node.shared_cols);
+                Tuple kb = Project(b, node.shared_cols);
+                if (ka != kb) return ka < kb;
+                return a < b;
+              });
+  }
+  frames_.resize(m);
+  valid_ = true;
+  Reset();
+}
+
+bool AcyclicEnumerator::Descend(std::size_t level) {
+  // (Re)compute the candidate range at order_[level] given its parent's
+  // current tuple, and place the cursor at the start. After full reduction
+  // the range is guaranteed nonempty.
+  int e = order_[level];
+  TreeNode& node = nodes_[e];
+  Frame& frame = frames_[e];
+  if (node.parent < 0) {
+    frame.lo = 0;
+    frame.hi = static_cast<int>(node.tuples.size());
+  } else {
+    const TreeNode& pnode = nodes_[node.parent];
+    const Frame& pframe = frames_[node.parent];
+    Tuple key = Project(pnode.tuples[pframe.cursor], node.parent_shared_cols);
+    auto cmp_lo = [&node](const Tuple& t, const Tuple& k) {
+      return Project(t, node.shared_cols) < k;
+    };
+    auto cmp_hi = [&node](const Tuple& k, const Tuple& t) {
+      return k < Project(t, node.shared_cols);
+    };
+    auto lo = std::lower_bound(node.tuples.begin(), node.tuples.end(), key,
+                               cmp_lo);
+    auto hi = std::upper_bound(node.tuples.begin(), node.tuples.end(), key,
+                               cmp_hi);
+    frame.lo = static_cast<int>(lo - node.tuples.begin());
+    frame.hi = static_cast<int>(hi - node.tuples.begin());
+  }
+  frame.cursor = frame.lo;
+  return frame.lo < frame.hi;
+}
+
+void AcyclicEnumerator::Reset() {
+  done_ = false;
+  started_ = false;
+}
+
+std::optional<Tuple> AcyclicEnumerator::Next() {
+  if (!valid_ || done_) return std::nullopt;
+  if (order_.empty()) {
+    // Zero atoms: exactly one empty answer.
+    done_ = true;
+    return Tuple{};
+  }
+  if (!started_) {
+    started_ = true;
+    for (std::size_t level = 0; level < order_.size(); ++level) {
+      if (!Descend(level)) {
+        done_ = true;  // Some relation is empty: no answers at all.
+        return std::nullopt;
+      }
+    }
+  } else {
+    // Advance the deepest frame with headroom; re-descend below it.
+    int level = static_cast<int>(order_.size()) - 1;
+    while (level >= 0) {
+      Frame& frame = frames_[order_[level]];
+      if (frame.cursor + 1 < frame.hi) {
+        ++frame.cursor;
+        break;
+      }
+      --level;
+    }
+    if (level < 0) {
+      done_ = true;
+      return std::nullopt;
+    }
+    for (std::size_t l = level + 1; l < order_.size(); ++l) {
+      if (!Descend(l)) {
+        // Impossible after full reduction; fail closed if it ever happens.
+        done_ = true;
+        return std::nullopt;
+      }
+    }
+  }
+  // Assemble the answer over the canonical attribute order.
+  Tuple answer(attributes_.size());
+  for (int e : order_) {
+    const TreeNode& node = nodes_[e];
+    const Tuple& t = node.tuples[frames_[e].cursor];
+    for (std::size_t i = 0; i < node.attrs.size(); ++i) {
+      auto it = std::find(attributes_.begin(), attributes_.end(),
+                          node.attrs[i]);
+      answer[it - attributes_.begin()] = t[i];
+    }
+  }
+  return answer;
+}
+
+}  // namespace qc::db

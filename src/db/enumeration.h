@@ -1,0 +1,64 @@
+#ifndef QC_DB_ENUMERATION_H_
+#define QC_DB_ENUMERATION_H_
+
+#include <memory>
+#include <optional>
+
+#include "db/joins.h"
+
+namespace qc::db {
+
+/// Constant-delay enumeration for alpha-acyclic queries (Bagan–Durand–
+/// Grandjean [13], cited in Section 8): after a linear-time semijoin
+/// preprocessing pass (full Yannakakis reduction), answers are produced one
+/// at a time with per-answer delay independent of the database size. The
+/// hyperclique conjecture rules this out for cyclic queries — experiment
+/// E16 measures exactly that contrast.
+class AcyclicEnumerator {
+ public:
+  /// Preprocesses; fails (IsValid() == false) if the query is cyclic.
+  AcyclicEnumerator(const JoinQuery& query, const Database& db);
+
+  bool IsValid() const { return valid_; }
+
+  /// Result schema (canonical attribute order).
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Next answer tuple, or nullopt when exhausted. After the preprocessing
+  /// in the constructor, each call does work proportional to the query size
+  /// only (index lookups on fully-reduced relations), not to the data size.
+  std::optional<Tuple> Next();
+
+  /// Restart the enumeration from the first answer.
+  void Reset();
+
+ private:
+  struct Frame;
+  bool Descend(std::size_t level);
+  bool Advance(std::size_t level);
+
+  bool valid_ = false;
+  std::vector<std::string> attributes_;
+  /// Join-tree nodes in root-first order; each holds its reduced relation,
+  /// sorted by the projection onto the parent's shared attributes.
+  struct TreeNode {
+    int parent = -1;
+    std::vector<std::string> attrs;
+    std::vector<int> shared_cols;        ///< Columns shared with the parent.
+    std::vector<int> parent_shared_cols; ///< Matching columns in the parent.
+    std::vector<Tuple> tuples;           ///< Sorted by shared projection.
+  };
+  std::vector<TreeNode> nodes_;
+  std::vector<int> order_;  ///< Root-first traversal order.
+  /// Iteration state: per node, the [lo, hi) candidate range and cursor.
+  struct Frame {
+    int lo = 0, hi = 0, cursor = 0;
+  };
+  std::vector<Frame> frames_;
+  bool done_ = false;
+  bool started_ = false;
+};
+
+}  // namespace qc::db
+
+#endif  // QC_DB_ENUMERATION_H_

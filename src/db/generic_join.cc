@@ -1,0 +1,157 @@
+#include "db/generic_join.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "db/joins.h"
+
+namespace qc::db {
+
+GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
+                         std::vector<std::string> attribute_order) {
+  attribute_order_ = attribute_order.empty() ? query.AttributeOrder()
+                                             : std::move(attribute_order);
+  std::map<std::string, int> global;
+  for (int i = 0; i < static_cast<int>(attribute_order_.size()); ++i) {
+    global[attribute_order_[i]] = i;
+  }
+  atoms_of_attr_.resize(attribute_order_.size());
+
+  for (const auto& atom : query.atoms) {
+    // Deduplicated schema + equality filtering for repeated attributes.
+    JoinResult mat = MaterializeAtom(atom, db);
+    AtomIndex idx;
+    // Column permutation: schema attributes sorted by global position.
+    std::vector<int> perm(mat.attributes.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+    std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+      return global.at(mat.attributes[a]) < global.at(mat.attributes[b]);
+    });
+    idx.attr_positions.reserve(perm.size());
+    for (int c : perm) idx.attr_positions.push_back(global.at(mat.attributes[c]));
+    idx.tuples.reserve(mat.tuples.size());
+    for (const auto& t : mat.tuples) {
+      Tuple permuted;
+      permuted.reserve(perm.size());
+      for (int c : perm) permuted.push_back(t[c]);
+      idx.tuples.push_back(std::move(permuted));
+    }
+    std::sort(idx.tuples.begin(), idx.tuples.end());
+    idx.tuples.erase(std::unique(idx.tuples.begin(), idx.tuples.end()),
+                     idx.tuples.end());
+    int atom_id = static_cast<int>(atoms_.size());
+    for (std::size_t col = 0; col < idx.attr_positions.size(); ++col) {
+      atoms_of_attr_[idx.attr_positions[col]].push_back(
+          {atom_id, static_cast<int>(col)});
+    }
+    atoms_.push_back(std::move(idx));
+  }
+}
+
+void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
+                         Tuple& binding,
+                         const std::function<bool(const Tuple&)>& visitor,
+                         bool* stop) {
+  if (depth == static_cast<int>(attribute_order_.size())) {
+    if (!visitor(binding)) *stop = true;
+    return;
+  }
+  const auto& holders = atoms_of_attr_[depth];
+  if (holders.empty()) std::abort();  // Every attribute comes from an atom.
+
+  // Iterate the atom with the smallest live range.
+  int it_atom = -1, it_col = -1;
+  for (auto [a, col] : holders) {
+    if (it_atom < 0 || ranges[a].second - ranges[a].first <
+                           ranges[it_atom].second - ranges[it_atom].first) {
+      it_atom = a;
+      it_col = col;
+    }
+  }
+  auto narrowed = [&](int a, int col, Value v) -> std::pair<int, int> {
+    const auto& tuples = atoms_[a].tuples;
+    auto lo = std::lower_bound(
+        tuples.begin() + ranges[a].first, tuples.begin() + ranges[a].second, v,
+        [col](const Tuple& t, Value value) { return t[col] < value; });
+    auto hi = std::upper_bound(
+        tuples.begin() + ranges[a].first, tuples.begin() + ranges[a].second, v,
+        [col](Value value, const Tuple& t) { return value < t[col]; });
+    ++stats_.probes;
+    return {static_cast<int>(lo - tuples.begin()),
+            static_cast<int>(hi - tuples.begin())};
+  };
+
+  int pos = ranges[it_atom].first;
+  while (pos < ranges[it_atom].second && !*stop) {
+    Value v = atoms_[it_atom].tuples[pos][it_col];
+    // Sub-range of the iterator atom with this value.
+    auto it_range = narrowed(it_atom, it_col, v);
+    // Intersect with every other holder.
+    std::vector<std::pair<int, int>> saved;
+    saved.reserve(holders.size());
+    bool ok = true;
+    for (auto [a, col] : holders) {
+      saved.push_back(ranges[a]);
+      auto r = (a == it_atom) ? it_range : narrowed(a, col, v);
+      if (r.first >= r.second) {
+        ok = false;
+        // Restore what we already narrowed.
+        for (std::size_t i = 0; i < saved.size(); ++i) {
+          ranges[holders[i].first] = saved[i];
+        }
+        break;
+      }
+      ranges[a] = r;
+    }
+    if (ok) {
+      ++stats_.nodes;
+      binding[depth] = v;
+      Search(depth + 1, ranges, binding, visitor, stop);
+      for (std::size_t i = 0; i < holders.size(); ++i) {
+        ranges[holders[i].first] = saved[i];
+      }
+    }
+    pos = it_range.second;  // Skip past all copies of v.
+  }
+}
+
+void GenericJoin::Enumerate(const std::function<bool(const Tuple&)>& visitor) {
+  std::vector<std::pair<int, int>> ranges(atoms_.size());
+  for (std::size_t a = 0; a < atoms_.size(); ++a) {
+    ranges[a] = {0, static_cast<int>(atoms_[a].tuples.size())};
+    if (atoms_[a].tuples.empty()) return;  // Empty relation: empty join.
+  }
+  Tuple binding(attribute_order_.size());
+  bool stop = false;
+  Search(0, ranges, binding, visitor, &stop);
+}
+
+JoinResult GenericJoin::Evaluate() {
+  JoinResult out;
+  out.attributes = attribute_order_;
+  Enumerate([&out](const Tuple& t) {
+    out.tuples.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+bool GenericJoin::IsEmpty() {
+  bool found = false;
+  Enumerate([&found](const Tuple&) {
+    found = true;
+    return false;
+  });
+  return !found;
+}
+
+std::uint64_t GenericJoin::Count() {
+  std::uint64_t count = 0;
+  Enumerate([&count](const Tuple&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace qc::db

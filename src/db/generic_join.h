@@ -1,0 +1,69 @@
+#ifndef QC_DB_GENERIC_JOIN_H_
+#define QC_DB_GENERIC_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "db/database.h"
+
+namespace qc::db {
+
+/// Effort counters for the worst-case-optimal join.
+struct GenericJoinStats {
+  std::uint64_t nodes = 0;          ///< Search-tree nodes (partial bindings).
+  std::uint64_t probes = 0;         ///< Binary-search probes.
+};
+
+/// Worst-case-optimal join in the Generic Join / Leapfrog Triejoin family
+/// (Theorem 3.3, [54, 61]): attributes are bound one at a time in a global
+/// order; at each step the candidate values are the intersection of the
+/// matching columns of every relation containing the attribute, computed by
+/// scanning the smallest current range and galloping in the others. Runs in
+/// O~(N^{rho*}) total time.
+class GenericJoin {
+ public:
+  /// Prepares sorted tries for `query` over `db`. If `attribute_order` is
+  /// empty, the first-appearance order is used.
+  GenericJoin(const JoinQuery& query, const Database& db,
+              std::vector<std::string> attribute_order = {});
+
+  /// Materializes the full answer Q(D).
+  JoinResult Evaluate();
+
+  /// Decides emptiness (Boolean Join Query) with early exit.
+  bool IsEmpty();
+
+  /// |Q(D)| without materializing.
+  std::uint64_t Count();
+
+  /// Streams each answer tuple; return false from the visitor to stop.
+  void Enumerate(const std::function<bool(const Tuple&)>& visitor);
+
+  const GenericJoinStats& stats() const { return stats_; }
+  const std::vector<std::string>& attribute_order() const {
+    return attribute_order_;
+  }
+
+ private:
+  struct AtomIndex {
+    std::vector<int> attr_positions;  ///< Global order index per column.
+    std::vector<Tuple> tuples;        ///< Columns in attr_positions order,
+                                      ///< lexicographically sorted, distinct.
+  };
+
+  void Search(int depth, std::vector<std::pair<int, int>>& ranges,
+              Tuple& binding,
+              const std::function<bool(const Tuple&)>& visitor, bool* stop);
+
+  std::vector<std::string> attribute_order_;
+  std::vector<AtomIndex> atoms_;
+  /// Atoms containing each attribute, with the column index of the
+  /// attribute in that atom.
+  std::vector<std::vector<std::pair<int, int>>> atoms_of_attr_;
+  GenericJoinStats stats_;
+};
+
+}  // namespace qc::db
+
+#endif  // QC_DB_GENERIC_JOIN_H_

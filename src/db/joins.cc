@@ -1,0 +1,158 @@
+#include "db/joins.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qc::db {
+
+JoinResult MaterializeAtom(const Atom& atom, const Database& db) {
+  JoinResult out;
+  std::vector<int> keep_cols;
+  for (std::size_t i = 0; i < atom.attributes.size(); ++i) {
+    if (std::find(out.attributes.begin(), out.attributes.end(),
+                  atom.attributes[i]) == out.attributes.end()) {
+      out.attributes.push_back(atom.attributes[i]);
+      keep_cols.push_back(static_cast<int>(i));
+    }
+  }
+  for (const auto& t : db.Tuples(atom.relation)) {
+    // Repeated attributes must agree.
+    bool ok = true;
+    for (std::size_t i = 0; i < atom.attributes.size() && ok; ++i) {
+      for (std::size_t j = i + 1; j < atom.attributes.size() && ok; ++j) {
+        if (atom.attributes[i] == atom.attributes[j] && t[i] != t[j]) {
+          ok = false;
+        }
+      }
+    }
+    if (!ok) continue;
+    Tuple projected;
+    projected.reserve(keep_cols.size());
+    for (int c : keep_cols) projected.push_back(t[c]);
+    out.tuples.push_back(std::move(projected));
+  }
+  return out;
+}
+
+JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
+                    JoinStats* stats) {
+  // Shared attributes and column maps.
+  std::vector<int> left_shared, right_shared, right_extra;
+  JoinResult out;
+  out.attributes = left.attributes;
+  for (std::size_t j = 0; j < right.attributes.size(); ++j) {
+    auto it = std::find(left.attributes.begin(), left.attributes.end(),
+                        right.attributes[j]);
+    if (it != left.attributes.end()) {
+      left_shared.push_back(static_cast<int>(it - left.attributes.begin()));
+      right_shared.push_back(static_cast<int>(j));
+    } else {
+      right_extra.push_back(static_cast<int>(j));
+      out.attributes.push_back(right.attributes[j]);
+    }
+  }
+  // Build on the smaller side conceptually; here: build on right.
+  std::map<Tuple, std::vector<const Tuple*>> index;
+  for (const auto& t : right.tuples) {
+    Tuple key;
+    key.reserve(right_shared.size());
+    for (int c : right_shared) key.push_back(t[c]);
+    index[std::move(key)].push_back(&t);
+  }
+  for (const auto& t : left.tuples) {
+    Tuple key;
+    key.reserve(left_shared.size());
+    for (int c : left_shared) key.push_back(t[c]);
+    if (stats != nullptr) ++stats->probes;
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* rt : it->second) {
+      Tuple combined = t;
+      for (int c : right_extra) combined.push_back((*rt)[c]);
+      out.tuples.push_back(std::move(combined));
+    }
+  }
+  if (stats != nullptr) {
+    stats->intermediate_tuples += out.tuples.size();
+    stats->max_intermediate =
+        std::max<std::uint64_t>(stats->max_intermediate, out.tuples.size());
+  }
+  return out;
+}
+
+JoinResult EvaluateBinaryJoinPlan(const JoinQuery& query, const Database& db,
+                                  const std::vector<int>& atom_order,
+                                  JoinStats* stats) {
+  JoinResult acc;
+  bool first = true;
+  for (int idx : atom_order) {
+    JoinResult next = MaterializeAtom(query.atoms[idx], db);
+    if (first) {
+      acc = std::move(next);
+      first = false;
+      if (stats != nullptr) {
+        stats->intermediate_tuples += acc.tuples.size();
+        stats->max_intermediate = std::max<std::uint64_t>(
+            stats->max_intermediate, acc.tuples.size());
+      }
+    } else {
+      acc = HashJoin(acc, next, stats);
+    }
+  }
+  return acc;
+}
+
+std::vector<int> GreedyJoinOrder(const JoinQuery& query, const Database& db) {
+  const int m = static_cast<int>(query.atoms.size());
+  std::vector<bool> used(m, false);
+  std::vector<int> order;
+  std::vector<std::string> bound;  // Attributes bound so far.
+  // Start with the smallest relation.
+  int first = -1;
+  for (int i = 0; i < m; ++i) {
+    if (first < 0 || db.Tuples(query.atoms[i].relation).size() <
+                         db.Tuples(query.atoms[first].relation).size()) {
+      first = i;
+    }
+  }
+  auto bind = [&](int i) {
+    used[i] = true;
+    order.push_back(i);
+    for (const auto& a : query.atoms[i].attributes) {
+      if (std::find(bound.begin(), bound.end(), a) == bound.end()) {
+        bound.push_back(a);
+      }
+    }
+  };
+  if (first >= 0) bind(first);
+  while (static_cast<int>(order.size()) < m) {
+    int best = -1;
+    bool best_connected = false;
+    for (int i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (const auto& a : query.atoms[i].attributes) {
+        if (std::find(bound.begin(), bound.end(), a) != bound.end()) {
+          connected = true;
+          break;
+        }
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           db.Tuples(query.atoms[i].relation).size() <
+               db.Tuples(query.atoms[best].relation).size())) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+    bind(best);
+  }
+  return order;
+}
+
+JoinResult EvaluateGreedyBinaryJoin(const JoinQuery& query, const Database& db,
+                                    JoinStats* stats) {
+  return EvaluateBinaryJoinPlan(query, db, GreedyJoinOrder(query, db), stats);
+}
+
+}  // namespace qc::db

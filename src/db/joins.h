@@ -1,0 +1,45 @@
+#ifndef QC_DB_JOINS_H_
+#define QC_DB_JOINS_H_
+
+#include <cstdint>
+
+#include "db/database.h"
+
+namespace qc::db {
+
+/// Statistics for plan-based evaluation — E2 reports the intermediate-result
+/// blowup that worst-case-optimal joins avoid.
+struct JoinStats {
+  std::uint64_t intermediate_tuples = 0;  ///< Total tuples materialized.
+  std::uint64_t max_intermediate = 0;     ///< Largest intermediate result.
+  std::uint64_t probes = 0;               ///< Hash probes performed.
+};
+
+/// Hash-joins two materialized results on their shared attributes
+/// (natural join). The output schema is left's attributes followed by
+/// right's non-shared attributes.
+JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
+                    JoinStats* stats = nullptr);
+
+/// Evaluates the query with a left-deep sequence of binary hash joins in the
+/// given atom order (indices into query.atoms).
+JoinResult EvaluateBinaryJoinPlan(const JoinQuery& query, const Database& db,
+                                  const std::vector<int>& atom_order,
+                                  JoinStats* stats = nullptr);
+
+/// Greedy plan: start from the smallest relation; repeatedly join the atom
+/// sharing attributes with the current result (smallest first), falling back
+/// to a cross product only when forced.
+std::vector<int> GreedyJoinOrder(const JoinQuery& query, const Database& db);
+
+/// EvaluateBinaryJoinPlan with GreedyJoinOrder.
+JoinResult EvaluateGreedyBinaryJoin(const JoinQuery& query, const Database& db,
+                                    JoinStats* stats = nullptr);
+
+/// Loads one atom as a JoinResult (handles repeated attributes within the
+/// atom by filtering on equality and dropping the duplicate columns).
+JoinResult MaterializeAtom(const Atom& atom, const Database& db);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_JOINS_H_

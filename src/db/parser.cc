@@ -1,0 +1,118 @@
+#include "db/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace qc::db {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
+                                        std::string* error) {
+  JoinQuery query;
+  std::size_t i = 0;
+  auto skip_separators = [&] {
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) ||
+            text[i] == ',')) {
+      ++i;
+    }
+  };
+  auto parse_ident = [&]() -> std::optional<std::string> {
+    if (i >= text.size() || !IsIdentStart(text[i])) return std::nullopt;
+    std::size_t start = i;
+    while (i < text.size() && IsIdentChar(text[i])) ++i;
+    return text.substr(start, i - start);
+  };
+
+  skip_separators();
+  while (i < text.size()) {
+    auto relation = parse_ident();
+    if (!relation) {
+      SetError(error, "expected relation name at position " +
+                          std::to_string(i));
+      return std::nullopt;
+    }
+    skip_separators();
+    if (i >= text.size() || text[i] != '(') {
+      SetError(error, "expected '(' after relation " + *relation);
+      return std::nullopt;
+    }
+    ++i;
+    std::vector<std::string> attributes;
+    while (true) {
+      skip_separators();
+      if (i < text.size() && text[i] == ')') {
+        ++i;
+        break;
+      }
+      auto attr = parse_ident();
+      if (!attr) {
+        SetError(error, "expected attribute name in " + *relation +
+                            " at position " + std::to_string(i));
+        return std::nullopt;
+      }
+      attributes.push_back(*attr);
+    }
+    if (attributes.empty()) {
+      SetError(error, "relation " + *relation + " has no attributes");
+      return std::nullopt;
+    }
+    query.Add(*relation, std::move(attributes));
+    skip_separators();
+  }
+  if (query.atoms.empty()) {
+    SetError(error, "no atoms in query");
+    return std::nullopt;
+  }
+  return query;
+}
+
+std::optional<std::vector<Tuple>> ParseTuples(const std::string& text,
+                                              std::string* error) {
+  std::vector<Tuple> tuples;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  std::size_t arity = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    for (auto& c : line) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream ls(line);
+    Tuple tuple;
+    Value v;
+    while (ls >> v) tuple.push_back(v);
+    if (!ls.eof()) {
+      SetError(error, "bad value on line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    if (tuple.empty()) continue;
+    if (arity == 0) {
+      arity = tuple.size();
+    } else if (tuple.size() != arity) {
+      SetError(error, "arity mismatch on line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+}  // namespace qc::db

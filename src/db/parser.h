@@ -1,0 +1,29 @@
+#ifndef QC_DB_PARSER_H_
+#define QC_DB_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "db/database.h"
+
+namespace qc::db {
+
+/// Parses a join query in the conventional text form
+///
+///     R1(a, b), R2(a, c), R3(b, c)
+///
+/// (atom separators: comma or whitespace; identifiers are
+/// [A-Za-z_][A-Za-z0-9_]*). On failure returns nullopt and, if `error` is
+/// non-null, stores a message with the offending position.
+std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
+                                        std::string* error = nullptr);
+
+/// Parses a relation body: one tuple per line, integer values separated by
+/// whitespace or commas; blank lines and '#' comments ignored. All tuples
+/// must have the same arity.
+std::optional<std::vector<Tuple>> ParseTuples(const std::string& text,
+                                              std::string* error = nullptr);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_PARSER_H_

@@ -1,0 +1,91 @@
+#include "db/relational_ops.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace qc::db {
+
+namespace {
+
+int ColumnOf(const JoinResult& r, const std::string& attribute) {
+  auto it = std::find(r.attributes.begin(), r.attributes.end(), attribute);
+  if (it == r.attributes.end()) std::abort();
+  return static_cast<int>(it - r.attributes.begin());
+}
+
+}  // namespace
+
+JoinResult Project(const JoinResult& input,
+                   const std::vector<std::string>& attributes) {
+  std::vector<int> cols;
+  cols.reserve(attributes.size());
+  for (const auto& a : attributes) cols.push_back(ColumnOf(input, a));
+  JoinResult out;
+  out.attributes = attributes;
+  std::set<Tuple> seen;
+  for (const auto& t : input.tuples) {
+    Tuple projected;
+    projected.reserve(cols.size());
+    for (int c : cols) projected.push_back(t[c]);
+    if (seen.insert(projected).second) {
+      out.tuples.push_back(std::move(projected));
+    }
+  }
+  return out;
+}
+
+JoinResult SelectEquals(const JoinResult& input, const std::string& attribute,
+                        Value value) {
+  int col = ColumnOf(input, attribute);
+  JoinResult out;
+  out.attributes = input.attributes;
+  for (const auto& t : input.tuples) {
+    if (t[col] == value) out.tuples.push_back(t);
+  }
+  return out;
+}
+
+JoinResult SelectColumnsEqual(const JoinResult& input,
+                              const std::string& attribute1,
+                              const std::string& attribute2) {
+  int c1 = ColumnOf(input, attribute1);
+  int c2 = ColumnOf(input, attribute2);
+  JoinResult out;
+  out.attributes = input.attributes;
+  for (const auto& t : input.tuples) {
+    if (t[c1] == t[c2]) out.tuples.push_back(t);
+  }
+  return out;
+}
+
+JoinResult Union(const JoinResult& a, const JoinResult& b) {
+  if (a.attributes != b.attributes) std::abort();
+  JoinResult out;
+  out.attributes = a.attributes;
+  out.tuples = a.tuples;
+  out.tuples.insert(out.tuples.end(), b.tuples.begin(), b.tuples.end());
+  out.Normalize();
+  return out;
+}
+
+JoinResult Difference(const JoinResult& a, const JoinResult& b) {
+  if (a.attributes != b.attributes) std::abort();
+  std::set<Tuple> remove(b.tuples.begin(), b.tuples.end());
+  JoinResult out;
+  out.attributes = a.attributes;
+  for (const auto& t : a.tuples) {
+    if (!remove.count(t)) out.tuples.push_back(t);
+  }
+  out.Normalize();
+  return out;
+}
+
+JoinResult Rename(const JoinResult& input, const std::string& from,
+                  const std::string& to) {
+  JoinResult out = input;
+  out.attributes[ColumnOf(input, from)] = to;
+  return out;
+}
+
+}  // namespace qc::db

@@ -1,0 +1,34 @@
+#ifndef QC_DB_RELATIONAL_OPS_H_
+#define QC_DB_RELATIONAL_OPS_H_
+
+#include "db/database.h"
+
+namespace qc::db {
+
+/// Projection onto a subset of attributes (duplicates removed — set
+/// semantics, consistent with the rest of the library).
+JoinResult Project(const JoinResult& input,
+                   const std::vector<std::string>& attributes);
+
+/// Selection sigma_{attribute = value}.
+JoinResult SelectEquals(const JoinResult& input, const std::string& attribute,
+                        Value value);
+
+/// Selection sigma_{attribute1 = attribute2}.
+JoinResult SelectColumnsEqual(const JoinResult& input,
+                              const std::string& attribute1,
+                              const std::string& attribute2);
+
+/// Set union (schemas must match exactly).
+JoinResult Union(const JoinResult& a, const JoinResult& b);
+
+/// Set difference a \ b (schemas must match exactly).
+JoinResult Difference(const JoinResult& a, const JoinResult& b);
+
+/// Renames an attribute.
+JoinResult Rename(const JoinResult& input, const std::string& from,
+                  const std::string& to);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_RELATIONAL_OPS_H_

@@ -1,0 +1,147 @@
+#include "db/yannakakis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/hypergraph.h"
+
+namespace qc::db {
+
+/// Join-tree structure from the GYO reduction: parent per atom (-1 at the
+/// root) and a root-last processing order. Returns false if cyclic.
+bool BuildJoinTree(const JoinQuery& query, std::vector<int>* parent,
+                   std::vector<int>* order) {
+  graph::Hypergraph h = query.Hypergraph();
+  if (!graph::IsAlphaAcyclic(h, parent)) return false;
+  const int m = static_cast<int>(query.atoms.size());
+  // Topological order: parents after children (root last). Kahn-style.
+  std::vector<int> child_count(m, 0);
+  for (int e = 0; e < m; ++e) {
+    if ((*parent)[e] >= 0) ++child_count[(*parent)[e]];
+  }
+  std::vector<int> queue;
+  for (int e = 0; e < m; ++e) {
+    if (child_count[e] == 0) queue.push_back(e);
+  }
+  order->clear();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int e = queue[head];
+    order->push_back(e);
+    int p = (*parent)[e];
+    if (p >= 0 && --child_count[p] == 0) queue.push_back(p);
+  }
+  return static_cast<int>(order->size()) == m;
+}
+
+bool IsAcyclicQuery(const JoinQuery& query) {
+  graph::Hypergraph h = query.Hypergraph();
+  return graph::IsAlphaAcyclic(h);
+}
+
+JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
+  std::vector<int> a_cols, b_cols;
+  for (std::size_t i = 0; i < a.attributes.size(); ++i) {
+    auto it =
+        std::find(b.attributes.begin(), b.attributes.end(), a.attributes[i]);
+    if (it != b.attributes.end()) {
+      a_cols.push_back(static_cast<int>(i));
+      b_cols.push_back(static_cast<int>(it - b.attributes.begin()));
+    }
+  }
+  JoinResult out;
+  out.attributes = a.attributes;
+  if (a_cols.empty()) {
+    // No shared attributes: keep all of A iff B is nonempty.
+    if (!b.tuples.empty()) out.tuples = a.tuples;
+    return out;
+  }
+  std::map<Tuple, bool> keys;
+  for (const auto& t : b.tuples) {
+    Tuple key;
+    key.reserve(b_cols.size());
+    for (int c : b_cols) key.push_back(t[c]);
+    keys[std::move(key)] = true;
+  }
+  for (const auto& t : a.tuples) {
+    Tuple key;
+    key.reserve(a_cols.size());
+    for (int c : a_cols) key.push_back(t[c]);
+    if (keys.count(key)) out.tuples.push_back(t);
+  }
+  return out;
+}
+
+std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
+                                             const Database& db,
+                                             JoinStats* stats) {
+  std::vector<int> parent, order;
+  if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
+  const int m = static_cast<int>(query.atoms.size());
+  if (m == 0) {
+    JoinResult empty;
+    empty.tuples.push_back({});
+    return empty;
+  }
+  std::vector<JoinResult> rel(m);
+  for (int e = 0; e < m; ++e) rel[e] = MaterializeAtom(query.atoms[e], db);
+
+  // Upward sweep: parent ⋉ child, children first.
+  for (int e : order) {
+    if (parent[e] >= 0) rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+  }
+  // Downward sweep: child ⋉ parent, root first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (parent[*it] >= 0) rel[*it] = Semijoin(rel[*it], rel[parent[*it]]);
+  }
+  // Join phase: fold children into parents bottom-up; the root accumulates
+  // the full answer.
+  std::vector<JoinResult> acc = rel;
+  int root = -1;
+  for (int e : order) {
+    if (parent[e] >= 0) {
+      acc[parent[e]] = HashJoin(acc[parent[e]], acc[e], stats);
+    } else {
+      root = e;
+    }
+  }
+  JoinResult answer = std::move(acc[root]);
+  // Align the schema with the canonical attribute order.
+  std::vector<std::string> want = query.AttributeOrder();
+  std::vector<int> perm;
+  perm.reserve(want.size());
+  for (const auto& a : want) {
+    auto it = std::find(answer.attributes.begin(), answer.attributes.end(), a);
+    perm.push_back(static_cast<int>(it - answer.attributes.begin()));
+  }
+  JoinResult out;
+  out.attributes = want;
+  out.tuples.reserve(answer.tuples.size());
+  for (const auto& t : answer.tuples) {
+    Tuple reordered;
+    reordered.reserve(perm.size());
+    for (int c : perm) reordered.push_back(t[c]);
+    out.tuples.push_back(std::move(reordered));
+  }
+  return out;
+}
+
+std::optional<bool> BooleanYannakakis(const JoinQuery& query,
+                                      const Database& db) {
+  std::vector<int> parent, order;
+  if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
+  const int m = static_cast<int>(query.atoms.size());
+  if (m == 0) return true;
+  std::vector<JoinResult> rel(m);
+  for (int e = 0; e < m; ++e) rel[e] = MaterializeAtom(query.atoms[e], db);
+  int root = -1;
+  for (int e : order) {
+    if (parent[e] >= 0) {
+      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+    } else {
+      root = e;
+    }
+  }
+  return !rel[root].tuples.empty();
+}
+
+}  // namespace qc::db

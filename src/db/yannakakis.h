@@ -1,0 +1,38 @@
+#ifndef QC_DB_YANNAKAKIS_H_
+#define QC_DB_YANNAKAKIS_H_
+
+#include <optional>
+
+#include "db/joins.h"
+
+namespace qc::db {
+
+/// True if the query hypergraph is alpha-acyclic (GYO reducible).
+bool IsAcyclicQuery(const JoinQuery& query);
+
+/// Builds the GYO join tree of an acyclic query: parent atom index per atom
+/// (-1 at the root) and a children-before-parents processing order. Returns
+/// false if the query is cyclic.
+bool BuildJoinTree(const JoinQuery& query, std::vector<int>* parent,
+                   std::vector<int>* order);
+
+/// Semijoin A ⋉ B: tuples of A whose projection onto the shared attributes
+/// occurs in B.
+JoinResult Semijoin(const JoinResult& a, const JoinResult& b);
+
+/// Yannakakis' algorithm for alpha-acyclic queries: two semijoin sweeps over
+/// the GYO join tree (full reduction), then joins along the tree, keeping
+/// every intermediate no larger than its own size times the output.
+/// Returns nullopt if the query is cyclic.
+std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
+                                             const Database& db,
+                                             JoinStats* stats = nullptr);
+
+/// Boolean acyclic query evaluation: one semijoin sweep towards the root;
+/// nonempty root == nonempty answer. Returns nullopt if cyclic.
+std::optional<bool> BooleanYannakakis(const JoinQuery& query,
+                                      const Database& db);
+
+}  // namespace qc::db
+
+#endif  // QC_DB_YANNAKAKIS_H_

@@ -1,0 +1,82 @@
+#include "finegrained/curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qc::finegrained {
+
+double DynamicTimeWarping(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 || m == 0) {
+    return (n == 0 && m == 0) ? 0.0
+                              : std::numeric_limits<double>::infinity();
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  prev[0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    cur[0] = inf;
+    for (int j = 1; j <= m; ++j) {
+      double d = a[i - 1] - b[j - 1];
+      cur[j] = d * d + std::min({prev[j - 1], prev[j], cur[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+namespace {
+
+double Dist(const Point& p, const Point& q) {
+  double dx = p.first - q.first, dy = p.second - q.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+double DiscreteFrechet(const std::vector<Point>& a,
+                       const std::vector<Point>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(n, std::vector<double>(m));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double d = Dist(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        dp[i][j] = d;
+      } else if (i == 0) {
+        dp[i][j] = std::max(dp[i][j - 1], d);
+      } else if (j == 0) {
+        dp[i][j] = std::max(dp[i - 1][j], d);
+      } else {
+        dp[i][j] = std::max(
+            std::min({dp[i - 1][j], dp[i][j - 1], dp[i - 1][j - 1]}), d);
+      }
+    }
+  }
+  return dp[n - 1][m - 1];
+}
+
+std::vector<Point> RandomCurve(int n, double step, util::Rng* rng) {
+  std::vector<Point> curve;
+  curve.reserve(n);
+  double x = 0, y = 0;
+  for (int i = 0; i < n; ++i) {
+    curve.emplace_back(x, y);
+    x += (rng->NextDouble() - 0.5) * step;
+    y += (rng->NextDouble() - 0.5) * step;
+  }
+  return curve;
+}
+
+std::vector<double> RandomSeries(int n, util::Rng* rng) {
+  std::vector<double> s(n);
+  for (auto& v : s) v = rng->NextDouble();
+  return s;
+}
+
+}  // namespace qc::finegrained

@@ -1,0 +1,33 @@
+#ifndef QC_FINEGRAINED_CURVES_H_
+#define QC_FINEGRAINED_CURVES_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qc::finegrained {
+
+using Point = std::pair<double, double>;
+
+/// Dynamic time warping distance between two numeric series (squared-error
+/// local cost), by the quadratic DP — the problem whose SETH-hardness
+/// Bringmann–Künnemann proved (cited in Section 7).
+double DynamicTimeWarping(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Discrete Fréchet distance between two polygonal curves (Euclidean local
+/// distance), quadratic DP — Bringmann's "walking the dog" lower bound
+/// target (cited in Section 7).
+double DiscreteFrechet(const std::vector<Point>& a,
+                       const std::vector<Point>& b);
+
+/// Random walk curve with `n` points and steps of the given scale.
+std::vector<Point> RandomCurve(int n, double step, util::Rng* rng);
+
+/// Random numeric series in [0, 1).
+std::vector<double> RandomSeries(int n, util::Rng* rng);
+
+}  // namespace qc::finegrained
+
+#endif  // QC_FINEGRAINED_CURVES_H_

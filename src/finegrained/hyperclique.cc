@@ -1,0 +1,74 @@
+#include "finegrained/hyperclique.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace qc::finegrained {
+
+HypercliqueSearcher::HypercliqueSearcher(const graph::Hypergraph& h, int d)
+    : h_(h), d_(d) {
+  if (!h.IsUniform(d)) std::abort();
+  sorted_edges_ = h.Edges();
+  std::sort(sorted_edges_.begin(), sorted_edges_.end());
+}
+
+bool HypercliqueSearcher::ClosesAllEdges(const std::vector<int>& current,
+                                         int v) const {
+  // Every (d-1)-subset of `current`, together with v, must be an edge.
+  const int s = static_cast<int>(current.size());
+  if (s < d_ - 1) return true;
+  std::vector<int> idx(d_ - 1);
+  for (int i = 0; i < d_ - 1; ++i) idx[i] = i;
+  while (true) {
+    std::vector<int> edge;
+    edge.reserve(d_);
+    for (int i : idx) edge.push_back(current[i]);
+    edge.push_back(v);
+    std::sort(edge.begin(), edge.end());
+    if (!std::binary_search(sorted_edges_.begin(), sorted_edges_.end(),
+                            edge)) {
+      return false;
+    }
+    int i = d_ - 2;
+    while (i >= 0 && idx[i] == s - (d_ - 1) + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < d_ - 1; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return true;
+}
+
+bool HypercliqueSearcher::Extend(int k, int next, std::vector<int>* current,
+                                 std::uint64_t* count, bool count_all) {
+  if (static_cast<int>(current->size()) == k) {
+    if (count != nullptr) ++*count;
+    return !count_all;
+  }
+  for (int v = next; v < h_.num_vertices(); ++v) {
+    ++nodes_;
+    if (!ClosesAllEdges(*current, v)) continue;
+    current->push_back(v);
+    if (Extend(k, v + 1, current, count, count_all)) return true;
+    current->pop_back();
+  }
+  return false;
+}
+
+std::optional<std::vector<int>> HypercliqueSearcher::Find(int k) {
+  nodes_ = 0;
+  if (k < d_) return std::nullopt;  // Degenerate: no edges to witness.
+  std::vector<int> current;
+  if (Extend(k, 0, &current, nullptr, false)) return current;
+  return std::nullopt;
+}
+
+std::uint64_t HypercliqueSearcher::Count(int k) {
+  nodes_ = 0;
+  if (k < d_) return 0;
+  std::vector<int> current;
+  std::uint64_t count = 0;
+  Extend(k, 0, &current, &count, true);
+  return count;
+}
+
+}  // namespace qc::finegrained

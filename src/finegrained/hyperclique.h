@@ -1,0 +1,42 @@
+#ifndef QC_FINEGRAINED_HYPERCLIQUE_H_
+#define QC_FINEGRAINED_HYPERCLIQUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/hypergraph.h"
+
+namespace qc::finegrained {
+
+/// Backtracking search for a k-hyperclique in a d-uniform hypergraph: k
+/// vertices inducing all C(k, d) hyperedges (Section 8). For d >= 3 the
+/// hyperclique conjecture says nothing beats this n^k-style enumeration —
+/// in contrast to d = 2, where matrix multiplication helps.
+class HypercliqueSearcher {
+ public:
+  HypercliqueSearcher(const graph::Hypergraph& h, int d);
+
+  /// Finds a k-hyperclique, or nullopt.
+  std::optional<std::vector<int>> Find(int k);
+
+  /// Counts all k-hypercliques.
+  std::uint64_t Count(int k);
+
+  /// Candidate sets examined during the last call.
+  std::uint64_t nodes_visited() const { return nodes_; }
+
+ private:
+  bool Extend(int k, int next, std::vector<int>* current,
+              std::uint64_t* count, bool count_all);
+  bool ClosesAllEdges(const std::vector<int>& current, int v) const;
+
+  const graph::Hypergraph& h_;
+  int d_;
+  std::vector<std::vector<int>> sorted_edges_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace qc::finegrained
+
+#endif  // QC_FINEGRAINED_HYPERCLIQUE_H_

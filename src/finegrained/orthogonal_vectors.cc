@@ -1,0 +1,77 @@
+#include "finegrained/orthogonal_vectors.h"
+
+namespace qc::finegrained {
+
+std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst) {
+  for (std::size_t i = 0; i < inst.a.size(); ++i) {
+    for (std::size_t j = 0; j < inst.b.size(); ++j) {
+      if (!inst.a[i].Intersects(inst.b[j])) {
+        return std::make_pair(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t CountOrthogonalPairs(const OvInstance& inst) {
+  std::uint64_t count = 0;
+  for (const auto& a : inst.a) {
+    for (const auto& b : inst.b) {
+      if (!a.Intersects(b)) ++count;
+    }
+  }
+  return count;
+}
+
+OvInstance RandomOvInstance(int n, int dimension, double density,
+                            util::Rng* rng) {
+  OvInstance inst;
+  inst.dimension = dimension;
+  for (int side = 0; side < 2; ++side) {
+    auto& family = side == 0 ? inst.a : inst.b;
+    family.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      util::Bitset v(dimension);
+      for (int d = 0; d < dimension; ++d) {
+        if (rng->NextBool(density)) v.Set(d);
+      }
+      family.push_back(std::move(v));
+    }
+  }
+  return inst;
+}
+
+OvInstance OvFromCnf(int num_vars, int num_clauses,
+                     const std::vector<std::vector<int>>& clauses) {
+  OvInstance inst;
+  inst.dimension = num_clauses;
+  const int half = num_vars / 2;
+  const int rest = num_vars - half;
+  // Side A enumerates assignments of variables [1, half]; side B of
+  // variables (half, num_vars]. Coordinate c of a vector is 1 iff the
+  // half-assignment does NOT satisfy clause c.
+  auto build = [&](int offset, int count, std::vector<util::Bitset>* out) {
+    for (std::uint64_t mask = 0; mask < (1ULL << count); ++mask) {
+      util::Bitset v(num_clauses);
+      for (int c = 0; c < num_clauses; ++c) {
+        bool satisfied = false;
+        for (int lit : clauses[c]) {
+          int var = lit > 0 ? lit : -lit;
+          if (var <= offset || var > offset + count) continue;
+          bool value = (mask >> (var - offset - 1)) & 1ULL;
+          if ((lit > 0) == value) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (!satisfied) v.Set(c);
+      }
+      out->push_back(std::move(v));
+    }
+  };
+  build(0, half, &inst.a);
+  build(half, rest, &inst.b);
+  return inst;
+}
+
+}  // namespace qc::finegrained

@@ -1,0 +1,42 @@
+#ifndef QC_FINEGRAINED_ORTHOGONAL_VECTORS_H_
+#define QC_FINEGRAINED_ORTHOGONAL_VECTORS_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace qc::finegrained {
+
+/// An Orthogonal Vectors instance: two families of d-dimensional 0/1
+/// vectors. OV is the canonical intermediate problem of the SETH-based
+/// fine-grained reductions cited in Section 7 (e.g. [3]).
+struct OvInstance {
+  std::vector<util::Bitset> a;
+  std::vector<util::Bitset> b;
+  int dimension = 0;
+};
+
+/// Quadratic scan with word-parallel inner product: finds (i, j) with
+/// a_i . b_j = 0, or nullopt.
+std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst);
+
+/// Exhaustive count of orthogonal pairs.
+std::uint64_t CountOrthogonalPairs(const OvInstance& inst);
+
+/// Random OV instance: each coordinate is 1 with probability `density`.
+OvInstance RandomOvInstance(int n, int dimension, double density,
+                            util::Rng* rng);
+
+/// The SETH connection (split-and-list): a SAT assignment-pair search as OV.
+/// Splits the variables of a CNF in half; vector a_x has a 0 in coordinate c
+/// iff half-assignment x satisfies clause c (so an orthogonal pair is a pair
+/// of half-assignments jointly satisfying every clause).
+OvInstance OvFromCnf(int num_vars, int num_clauses,
+                     const std::vector<std::vector<int>>& clauses);
+
+}  // namespace qc::finegrained
+
+#endif  // QC_FINEGRAINED_ORTHOGONAL_VECTORS_H_

@@ -1,0 +1,123 @@
+#include "finegrained/sequences.h"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+namespace qc::finegrained {
+
+int EditDistanceQuadratic(const std::string& a, const std::string& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (int j = 0; j <= m; ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (int j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::optional<int> EditDistanceBanded(const std::string& a,
+                                      const std::string& b,
+                                      int max_distance) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > max_distance) return std::nullopt;
+  const int band = max_distance;
+  // dp[i][j] only for |i - j| <= band; store as offset row.
+  const int width = 2 * band + 1;
+  const int inf = INT_MAX / 2;
+  std::vector<int> prev(width, inf), cur(width, inf);
+  // Row 0: dp[0][j] = j for j <= band.
+  for (int j = 0; j <= std::min(m, band); ++j) prev[band + j] = j;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    int lo = std::max(0, i - band), hi = std::min(m, i + band);
+    for (int j = lo; j <= hi; ++j) {
+      int off = band + j - i;
+      int best = inf;
+      if (j > 0) {
+        // Substitution uses prev row at offset (j-1)-(i-1) = off.
+        int sub = prev[off] + (a[i - 1] != b[j - 1] ? 1 : 0);
+        best = std::min(best, sub);
+      } else {
+        best = std::min(best, i);  // Delete the whole prefix of a.
+      }
+      if (off + 1 < width) best = std::min(best, prev[off + 1] + 1);  // Del.
+      if (off - 1 >= 0) best = std::min(best, cur[off - 1] + 1);      // Ins.
+      cur[off] = best;
+    }
+    std::swap(prev, cur);
+  }
+  int result = prev[band + m - n];
+  if (result > max_distance) return std::nullopt;
+  return result;
+}
+
+int LongestCommonSubsequence(const std::string& a, const std::string& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      dp[i][j] = (a[i - 1] == b[j - 1])
+                     ? dp[i - 1][j - 1] + 1
+                     : std::max(dp[i - 1][j], dp[i][j - 1]);
+    }
+  }
+  return dp[n][m];
+}
+
+int LongestCommonSubsequenceLinearSpace(const std::string& a,
+                                        const std::string& b) {
+  const int m = static_cast<int>(b.size());
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  for (char ca : a) {
+    for (int j = 1; j <= m; ++j) {
+      cur[j] = (ca == b[j - 1]) ? prev[j - 1] + 1
+                                : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::string RandomString(int length, int alphabet, util::Rng* rng) {
+  std::string s(length, 'a');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + rng->NextBounded(alphabet));
+  }
+  return s;
+}
+
+std::string MutateString(const std::string& s, int edits, int alphabet,
+                         util::Rng* rng) {
+  std::string out = s;
+  for (int e = 0; e < edits; ++e) {
+    if (out.empty()) {
+      out.push_back(static_cast<char>('a' + rng->NextBounded(alphabet)));
+      continue;
+    }
+    std::size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(3)) {
+      case 0:  // Substitute.
+        out[pos] = static_cast<char>('a' + rng->NextBounded(alphabet));
+        break;
+      case 1:  // Insert.
+        out.insert(out.begin() + pos,
+                   static_cast<char>('a' + rng->NextBounded(alphabet)));
+        break;
+      default:  // Delete.
+        out.erase(out.begin() + pos);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace qc::finegrained

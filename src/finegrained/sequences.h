@@ -1,0 +1,40 @@
+#ifndef QC_FINEGRAINED_SEQUENCES_H_
+#define QC_FINEGRAINED_SEQUENCES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+
+namespace qc::finegrained {
+
+/// The textbook O(n^2) edit-distance dynamic program whose SETH-optimality
+/// the paper cites (Backurs–Indyk, Section 7). Unit costs.
+int EditDistanceQuadratic(const std::string& a, const std::string& b);
+
+/// Banded variant: O((|a|+|b|) * s) time; returns nullopt if the distance
+/// exceeds `max_distance`. Exact whenever the true distance is within the
+/// band — the standard output-sensitive refinement.
+std::optional<int> EditDistanceBanded(const std::string& a,
+                                      const std::string& b, int max_distance);
+
+/// Longest common subsequence length by the quadratic DP (the LCS lower
+/// bound literature cited in Section 7).
+int LongestCommonSubsequence(const std::string& a, const std::string& b);
+
+/// Memory-light LCS: two rows instead of a full table.
+int LongestCommonSubsequenceLinearSpace(const std::string& a,
+                                        const std::string& b);
+
+/// Random string over an alphabet of the given size (characters 'a'...).
+std::string RandomString(int length, int alphabet, util::Rng* rng);
+
+/// Mutates `s` with `edits` random single-character substitutions,
+/// insertions, or deletions; for generating similar-string workloads.
+std::string MutateString(const std::string& s, int edits, int alphabet,
+                         util::Rng* rng);
+
+}  // namespace qc::finegrained
+
+#endif  // QC_FINEGRAINED_SEQUENCES_H_

@@ -1,0 +1,29 @@
+#include "graph/boolmatrix.h"
+
+namespace qc::graph {
+
+BoolMatrix::BoolMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(rows, util::Bitset(cols)) {}
+
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
+  BoolMatrix c(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const util::Bitset& row = data_[i];
+    util::Bitset& out = c.data_[i];
+    for (int k = row.NextSetBit(0); k >= 0; k = row.NextSetBit(k + 1)) {
+      out |= other.data_[k];
+    }
+  }
+  return c;
+}
+
+BoolMatrix BoolMatrix::FromGraph(const Graph& g) {
+  BoolMatrix a(g.num_vertices(), g.num_vertices());
+  for (auto [u, v] : g.Edges()) {
+    a.Set(u, v);
+    a.Set(v, u);
+  }
+  return a;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,50 @@
+#ifndef QC_GRAPH_BOOLMATRIX_H_
+#define QC_GRAPH_BOOLMATRIX_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace qc::graph {
+
+/// Dense Boolean matrix with bitset-packed rows.
+///
+/// This is the project's matrix-multiplication substrate (see DESIGN.md §1):
+/// the paper's omega < 2.3729 algorithms are replaced by word-parallel cubic
+/// multiplication, which preserves the *shape* of every "via matrix
+/// multiplication" claim because it only needs the MM primitive to beat
+/// per-entry scalar work.
+class BoolMatrix {
+ public:
+  BoolMatrix() = default;
+  BoolMatrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void Set(int i, int j) { data_[i].Set(j); }
+  bool Test(int i, int j) const { return data_[i].Test(j); }
+
+  const util::Bitset& Row(int i) const { return data_[i]; }
+
+  /// Boolean product: (A*B)[i][j] = OR_k A[i][k] AND B[k][j].
+  /// Runs in O(rows * A.cols * B.cols/64) word operations.
+  BoolMatrix Multiply(const BoolMatrix& other) const;
+
+  /// Adjacency matrix of g.
+  static BoolMatrix FromGraph(const Graph& g);
+
+  bool operator==(const BoolMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<util::Bitset> data_;
+};
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_BOOLMATRIX_H_

@@ -1,0 +1,190 @@
+#include "graph/cliques.h"
+
+#include <algorithm>
+
+#include "graph/triangles.h"
+
+namespace qc::graph {
+
+namespace {
+
+/// Extends `current` by vertices from `candidates` (ids ascending) until it
+/// has k members. Returns true and leaves the clique in *current on success.
+bool KCliqueSearch(const Graph& g, int k, std::vector<int>* current,
+                   const util::Bitset& candidates) {
+  if (static_cast<int>(current->size()) == k) return true;
+  int needed = k - static_cast<int>(current->size());
+  if (candidates.Count() < needed) return false;
+  for (int v = candidates.NextSetBit(0); v >= 0;
+       v = candidates.NextSetBit(v + 1)) {
+    current->push_back(v);
+    util::Bitset next = candidates;
+    next &= g.Neighbors(v);
+    // Only consider vertices after v to avoid permutations.
+    for (int u = next.NextSetBit(0); u >= 0 && u <= v;
+         u = next.NextSetBit(u + 1)) {
+      next.Reset(u);
+    }
+    if (KCliqueSearch(g, k, current, next)) return true;
+    current->pop_back();
+  }
+  return false;
+}
+
+void EnumerateSearch(const Graph& g, int k, std::vector<int>* current,
+                     const util::Bitset& candidates,
+                     std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(current->size()) == k) {
+    out->push_back(*current);
+    return;
+  }
+  for (int v = candidates.NextSetBit(0); v >= 0;
+       v = candidates.NextSetBit(v + 1)) {
+    current->push_back(v);
+    util::Bitset next = candidates;
+    next &= g.Neighbors(v);
+    for (int u = next.NextSetBit(0); u >= 0 && u <= v;
+         u = next.NextSetBit(u + 1)) {
+      next.Reset(u);
+    }
+    EnumerateSearch(g, k, current, next, out);
+    current->pop_back();
+  }
+}
+
+void BronKerbosch(const Graph& g, util::Bitset r, util::Bitset p,
+                  util::Bitset x, std::vector<int>* best) {
+  if (p.Count() == 0 && x.Count() == 0) {
+    if (r.Count() > static_cast<int>(best->size())) *best = r.ToVector();
+    return;
+  }
+  if (r.Count() + p.Count() <= static_cast<int>(best->size())) return;
+  // Pivot: vertex of P union X with the most neighbours in P.
+  int pivot = -1, pivot_deg = -1;
+  util::Bitset px = p;
+  px |= x;
+  for (int v = px.NextSetBit(0); v >= 0; v = px.NextSetBit(v + 1)) {
+    int d = p.IntersectCount(g.Neighbors(v));
+    if (d > pivot_deg) {
+      pivot_deg = d;
+      pivot = v;
+    }
+  }
+  util::Bitset ext = p;
+  if (pivot >= 0) {
+    for (int v = g.Neighbors(pivot).NextSetBit(0); v >= 0;
+         v = g.Neighbors(pivot).NextSetBit(v + 1)) {
+      ext.Reset(v);
+    }
+  }
+  for (int v = ext.NextSetBit(0); v >= 0; v = ext.NextSetBit(v + 1)) {
+    util::Bitset r2 = r;
+    r2.Set(v);
+    util::Bitset p2 = p;
+    p2 &= g.Neighbors(v);
+    util::Bitset x2 = x;
+    x2 &= g.Neighbors(v);
+    BronKerbosch(g, r2, p2, x2, best);
+    p.Reset(v);
+    x.Set(v);
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindKCliqueBruteForce(const Graph& g, int k) {
+  if (k == 0) return std::vector<int>{};
+  util::Bitset all(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) all.Set(v);
+  std::vector<int> current;
+  if (KCliqueSearch(g, k, &current, all)) return current;
+  return std::nullopt;
+}
+
+std::uint64_t CountKCliques(const Graph& g, int k) {
+  return EnumerateKCliques(g, k).size();
+}
+
+std::vector<std::vector<int>> EnumerateKCliques(const Graph& g, int k) {
+  std::vector<std::vector<int>> out;
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  util::Bitset all(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) all.Set(v);
+  std::vector<int> current;
+  EnumerateSearch(g, k, &current, all, &out);
+  return out;
+}
+
+std::optional<std::vector<int>> FindKCliqueNesetrilPoljak(const Graph& g,
+                                                          int k) {
+  if (k < 3) return FindKCliqueBruteForce(g, k);
+  // Split k into three nearly equal parts.
+  int q1 = k / 3, q2 = (k + 1) / 3, q3 = k - q1 - q2;
+  int sizes[3] = {q1, q2, q3};
+  // Auxiliary vertices: all cliques of each part size, tagged by part.
+  struct AuxVertex {
+    int part;
+    std::vector<int> members;
+    util::Bitset mask;
+    util::Bitset common_nb;  // Intersection of member neighbourhoods.
+  };
+  std::vector<AuxVertex> aux;
+  for (int part = 0; part < 3; ++part) {
+    for (auto& c : EnumerateKCliques(g, sizes[part])) {
+      AuxVertex av;
+      av.part = part;
+      av.mask = util::Bitset(g.num_vertices());
+      av.common_nb = util::Bitset(g.num_vertices());
+      for (int v = 0; v < g.num_vertices(); ++v) av.common_nb.Set(v);
+      for (int v : c) {
+        av.mask.Set(v);
+        av.common_nb &= g.Neighbors(v);
+      }
+      av.members = std::move(c);
+      aux.push_back(std::move(av));
+    }
+  }
+  const int an = static_cast<int>(aux.size());
+  Graph a(an);
+  for (int i = 0; i < an; ++i) {
+    for (int j = i + 1; j < an; ++j) {
+      if (aux[i].part == aux[j].part) continue;
+      // Join iff disjoint and fully cross-adjacent: j's members must all lie
+      // in i's common neighbourhood (which excludes i's own members).
+      if (aux[j].mask.IsSubsetOf(aux[i].common_nb)) a.AddEdge(i, j);
+    }
+  }
+  auto t = FindTriangleMatrix(a);
+  if (!t) return std::nullopt;
+  std::vector<int> clique;
+  for (int idx : *t) {
+    clique.insert(clique.end(), aux[idx].members.begin(),
+                  aux[idx].members.end());
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+std::vector<int> MaxClique(const Graph& g) {
+  const int n = g.num_vertices();
+  util::Bitset r(n), p(n), x(n);
+  for (int v = 0; v < n; ++v) p.Set(v);
+  std::vector<int> best;
+  BronKerbosch(g, r, p, x, &best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+bool IsClique(const Graph& g, const std::vector<int>& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      if (!g.HasEdge(s[i], s[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,37 @@
+#ifndef QC_GRAPH_CLIQUES_H_
+#define QC_GRAPH_CLIQUES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// Backtracking search for a k-clique (the n^k "brute force" whose ETH
+/// optimality Theorem 6.3 asserts). Returns a sorted clique or nullopt.
+std::optional<std::vector<int>> FindKCliqueBruteForce(const Graph& g, int k);
+
+/// Number of k-cliques, by the same candidate-set backtracking.
+std::uint64_t CountKCliques(const Graph& g, int k);
+
+/// Nešetřil–Poljak: reduce k-clique to triangle detection on an auxiliary
+/// graph whose vertices are ceil/floor(k/3)-cliques, then detect the triangle
+/// with Boolean matrix multiplication (Section 8, the k-clique conjecture).
+/// Requires k >= 3.
+std::optional<std::vector<int>> FindKCliqueNesetrilPoljak(const Graph& g,
+                                                          int k);
+
+/// Maximum clique via Bron–Kerbosch with pivoting. Returns a sorted clique.
+std::vector<int> MaxClique(const Graph& g);
+
+/// True if `s` induces a complete subgraph.
+bool IsClique(const Graph& g, const std::vector<int>& s);
+
+/// All cliques of exactly size k (sorted vertex lists, lexicographic).
+std::vector<std::vector<int>> EnumerateKCliques(const Graph& g, int k);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_CLIQUES_H_

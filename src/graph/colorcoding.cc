@@ -1,0 +1,124 @@
+#include "graph/colorcoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qc::graph {
+
+bool IsSimplePath(const Graph& g, const std::vector<int>& path) {
+  std::vector<int> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::unique(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.HasEdge(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One colour-coding round: DP over (colour subset, endpoint). Returns a
+/// colourful k-path under `color` or nullopt.
+std::optional<std::vector<int>> ColorfulPath(const Graph& g, int k,
+                                             const std::vector<int>& color) {
+  const int n = g.num_vertices();
+  const unsigned full = (1u << k) - 1u;
+  // reachable[S * n + v]: a colourful path with colour set S ends at v.
+  std::vector<char> reachable(static_cast<std::size_t>(full + 1) * n, 0);
+  for (int v = 0; v < n; ++v) {
+    reachable[static_cast<std::size_t>(1u << color[v]) * n + v] = 1;
+  }
+  // Process subsets in increasing popcount (increasing numeric order works:
+  // S' = S \ {c} < S).
+  for (unsigned s = 1; s <= full; ++s) {
+    for (int v = 0; v < n; ++v) {
+      unsigned bit = 1u << color[v];
+      if (!(s & bit) || reachable[static_cast<std::size_t>(s) * n + v]) continue;
+      unsigned prev = s & ~bit;
+      if (prev == 0) continue;
+      for (int u : g.NeighborList(v)) {
+        if (reachable[static_cast<std::size_t>(prev) * n + u]) {
+          reachable[static_cast<std::size_t>(s) * n + v] = 1;
+          break;
+        }
+      }
+    }
+  }
+  int end = -1;
+  for (int v = 0; v < n; ++v) {
+    if (reachable[static_cast<std::size_t>(full) * n + v]) {
+      end = v;
+      break;
+    }
+  }
+  if (end < 0) return std::nullopt;
+  // Backtrack the witness.
+  std::vector<int> path = {end};
+  unsigned s = full;
+  int v = end;
+  while (static_cast<int>(path.size()) < k) {
+    unsigned prev = s & ~(1u << color[v]);
+    for (int u : g.NeighborList(v)) {
+      if (reachable[static_cast<std::size_t>(prev) * n + u]) {
+        path.push_back(u);
+        s = prev;
+        v = u;
+        break;
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
+                                                     util::Rng* rng,
+                                                     int rounds) {
+  if (k <= 0 || k > 20 || g.num_vertices() == 0) return std::nullopt;
+  if (k == 1) return std::vector<int>{0};
+  if (rounds <= 0) {
+    // P[path colourful] = k!/k^k ~ e^{-k}; e^k * 3 rounds give ~95%.
+    rounds = static_cast<int>(std::ceil(std::exp(k) * 3.0));
+  }
+  std::vector<int> color(g.num_vertices());
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& c : color) c = static_cast<int>(rng->NextBounded(k));
+    auto path = ColorfulPath(g, k, color);
+    if (path) return path;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool PathSearch(const Graph& g, int k, std::vector<int>* path,
+                util::Bitset* used) {
+  if (static_cast<int>(path->size()) == k) return true;
+  int last = path->back();
+  for (int u : g.NeighborList(last)) {
+    if (used->Test(u)) continue;
+    used->Set(u);
+    path->push_back(u);
+    if (PathSearch(g, k, path, used)) return true;
+    path->pop_back();
+    used->Reset(u);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindKPathBruteForce(const Graph& g, int k) {
+  if (k <= 0 || g.num_vertices() == 0) return std::nullopt;
+  for (int start = 0; start < g.num_vertices(); ++start) {
+    std::vector<int> path = {start};
+    util::Bitset used(g.num_vertices());
+    used.Set(start);
+    if (PathSearch(g, k, &path, &used)) return path;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,33 @@
+#ifndef QC_GRAPH_COLORCODING_H_
+#define QC_GRAPH_COLORCODING_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+
+/// Color coding (Alon–Yuster–Zwick) for k-Path: randomly k-colour the
+/// vertices and look for a *colourful* path (all k colours distinct) by
+/// dynamic programming over colour subsets in 2^k * m time; repeat enough
+/// rounds that a k-path, if present, is colourful at least once with the
+/// requested confidence. The flagship randomized-FPT technique of the
+/// parameterized toolbox sketched in Section 5.
+///
+/// Returns a simple path with k vertices, or nullopt if none was found
+/// (one-sided error: a returned path is always real).
+std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
+                                                     util::Rng* rng,
+                                                     int rounds = 0);
+
+/// Deterministic backtracking for a simple k-vertex path (baseline).
+std::optional<std::vector<int>> FindKPathBruteForce(const Graph& g, int k);
+
+/// True if `path` is a simple path in g.
+bool IsSimplePath(const Graph& g, const std::vector<int>& path);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_COLORCODING_H_

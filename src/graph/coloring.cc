@@ -1,0 +1,84 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+
+namespace qc::graph {
+
+bool IsProperColoring(const Graph& g, const std::vector<int>& colors) {
+  if (static_cast<int>(colors.size()) != g.num_vertices()) return false;
+  for (auto [u, v] : g.Edges()) {
+    if (colors[u] == colors[v]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool ColorSearch(const Graph& g, int k, std::vector<int>* colors) {
+  // DSATUR: pick the uncoloured vertex with the most distinct neighbour
+  // colours (ties: highest degree).
+  const int n = g.num_vertices();
+  int best = -1, best_sat = -1, best_deg = -1;
+  for (int v = 0; v < n; ++v) {
+    if ((*colors)[v] >= 0) continue;
+    util::Bitset used(k);
+    for (int u : g.NeighborList(v)) {
+      if ((*colors)[u] >= 0) used.Set((*colors)[u]);
+    }
+    int sat = used.Count();
+    int deg = g.Degree(v);
+    if (sat > best_sat || (sat == best_sat && deg > best_deg)) {
+      best = v;
+      best_sat = sat;
+      best_deg = deg;
+    }
+  }
+  if (best < 0) return true;  // All coloured.
+  util::Bitset used(k);
+  for (int u : g.NeighborList(best)) {
+    if ((*colors)[u] >= 0) used.Set((*colors)[u]);
+  }
+  for (int c = 0; c < k; ++c) {
+    if (used.Test(c)) continue;
+    (*colors)[best] = c;
+    if (ColorSearch(g, k, colors)) return true;
+    (*colors)[best] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindKColoring(const Graph& g, int k) {
+  if (k <= 0) {
+    if (g.num_vertices() == 0) return std::vector<int>{};
+    return std::nullopt;
+  }
+  std::vector<int> colors(g.num_vertices(), -1);
+  if (ColorSearch(g, k, &colors)) return colors;
+  return std::nullopt;
+}
+
+std::vector<int> GreedyColoring(const Graph& g,
+                                const std::vector<int>& order) {
+  std::vector<int> colors(g.num_vertices(), -1);
+  for (int v : order) {
+    std::vector<bool> used(g.num_vertices() + 1, false);
+    for (int u : g.NeighborList(v)) {
+      if (colors[u] >= 0) used[colors[u]] = true;
+    }
+    int c = 0;
+    while (used[c]) ++c;
+    colors[v] = c;
+  }
+  return colors;
+}
+
+int ChromaticNumber(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  for (int k = 1;; ++k) {
+    if (FindKColoring(g, k)) return k;
+  }
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,27 @@
+#ifndef QC_GRAPH_COLORING_H_
+#define QC_GRAPH_COLORING_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// True if `colors` (one entry per vertex, values in [0, k)) is proper.
+bool IsProperColoring(const Graph& g, const std::vector<int>& colors);
+
+/// Backtracking k-colouring with DSATUR-style most-saturated-first variable
+/// order. Returns a proper colouring or nullopt.
+std::optional<std::vector<int>> FindKColoring(const Graph& g, int k);
+
+/// Greedy colouring in the given order; returns the colouring (upper bound
+/// on the chromatic number is 1 + max colour used).
+std::vector<int> GreedyColoring(const Graph& g, const std::vector<int>& order);
+
+/// Exact chromatic number (tries k = 1, 2, ... with FindKColoring).
+int ChromaticNumber(const Graph& g);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_COLORING_H_

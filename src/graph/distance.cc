@@ -1,0 +1,48 @@
+#include "graph/distance.h"
+
+#include <algorithm>
+
+namespace qc::graph {
+
+std::vector<int> BfsDistances(const Graph& g, int source) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::vector<int> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int v = queue[head];
+    for (int u : g.NeighborList(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+int ExactDiameter(const Graph& g) {
+  if (g.num_vertices() == 0) return -1;
+  int diameter = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::vector<int> dist = BfsDistances(g, v);
+    for (int d : dist) {
+      if (d < 0) return -1;  // Disconnected.
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+int DiameterTwoApprox(const Graph& g) {
+  if (g.num_vertices() == 0) return -1;
+  std::vector<int> dist = BfsDistances(g, 0);
+  int ecc = 0;
+  for (int d : dist) {
+    if (d < 0) return -1;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+}  // namespace qc::graph

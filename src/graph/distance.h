@@ -1,0 +1,25 @@
+#ifndef QC_GRAPH_DISTANCE_H_
+#define QC_GRAPH_DISTANCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// BFS distances from `source` (-1 for unreachable).
+std::vector<int> BfsDistances(const Graph& g, int source);
+
+/// Exact diameter via all-pairs BFS: O(nm). Returns -1 for an empty or
+/// disconnected graph. This is the "easy problem" whose O(n^{2-eps})
+/// inapproximability Roditty–Vassilevska Williams tie to SETH (cited in
+/// Section 7's fine-grained list).
+int ExactDiameter(const Graph& g);
+
+/// Classic 2-approximation with a single BFS: returns an eccentricity e with
+/// e <= diameter <= 2e. -1 on empty/disconnected graphs.
+int DiameterTwoApprox(const Graph& g);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_DISTANCE_H_

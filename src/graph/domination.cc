@@ -1,0 +1,102 @@
+#include "graph/domination.h"
+
+namespace qc::graph {
+
+namespace {
+
+util::Bitset ClosedNeighborhood(const Graph& g, int v) {
+  util::Bitset nb = g.Neighbors(v);
+  nb.Set(v);
+  return nb;
+}
+
+bool SubsetSearch(const Graph& g, int k, int first, util::Bitset covered,
+                  std::vector<int>* chosen, std::uint64_t* nodes) {
+  if (covered.Count() == g.num_vertices()) return true;
+  if (static_cast<int>(chosen->size()) == k) return false;
+  for (int v = first; v < g.num_vertices(); ++v) {
+    ++*nodes;
+    util::Bitset next = covered;
+    next |= ClosedNeighborhood(g, v);
+    if (next == covered) continue;  // v adds nothing: prune the no-op.
+    chosen->push_back(v);
+    if (SubsetSearch(g, k, v + 1, next, chosen, nodes)) return true;
+    chosen->pop_back();
+  }
+  return false;
+}
+
+void BranchAndBound(const Graph& g, util::Bitset covered,
+                    std::vector<int>* current, std::vector<int>* best) {
+  if (covered.Count() == g.num_vertices()) {
+    if (current->size() < best->size()) *best = *current;
+    return;
+  }
+  if (current->size() + 1 >= best->size()) return;
+  // Branch on the first uncovered vertex: some member of its closed
+  // neighbourhood must be chosen.
+  int u = -1;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!covered.Test(v)) {
+      u = v;
+      break;
+    }
+  }
+  for (int v : ClosedNeighborhood(g, u).ToVector()) {
+    util::Bitset next = covered;
+    next |= ClosedNeighborhood(g, v);
+    current->push_back(v);
+    BranchAndBound(g, next, current, best);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+bool IsDominatingSet(const Graph& g, const std::vector<int>& s) {
+  util::Bitset covered(g.num_vertices());
+  for (int v : s) covered |= ClosedNeighborhood(g, v);
+  return covered.Count() == g.num_vertices();
+}
+
+std::optional<std::vector<int>> FindDominatingSetOfSize(
+    const Graph& g, int k, std::uint64_t* nodes_examined) {
+  if (g.num_vertices() == 0) return std::vector<int>{};
+  std::vector<int> chosen;
+  util::Bitset covered(g.num_vertices());
+  std::uint64_t local = 0;
+  std::uint64_t* nodes = nodes_examined != nullptr ? nodes_examined : &local;
+  *nodes = 0;
+  if (SubsetSearch(g, k, 0, covered, &chosen, nodes)) return chosen;
+  return std::nullopt;
+}
+
+std::vector<int> MinDominatingSet(const Graph& g) {
+  std::vector<int> best(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) best[v] = v;
+  std::vector<int> current;
+  util::Bitset covered(g.num_vertices());
+  BranchAndBound(g, covered, &current, &best);
+  return best;
+}
+
+std::vector<int> GreedyDominatingSet(const Graph& g) {
+  util::Bitset covered(g.num_vertices());
+  std::vector<int> out;
+  while (covered.Count() < g.num_vertices()) {
+    int best = -1, best_gain = -1;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      util::Bitset t = ClosedNeighborhood(g, v);
+      int gain = t.Count() - t.IntersectCount(covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    covered |= ClosedNeighborhood(g, best);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace qc::graph

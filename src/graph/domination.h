@@ -1,0 +1,33 @@
+#ifndef QC_GRAPH_DOMINATION_H_
+#define QC_GRAPH_DOMINATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// True if every vertex is in the closed neighbourhood of some member of s.
+bool IsDominatingSet(const Graph& g, const std::vector<int>& s);
+
+/// Brute-force k-Dominating-Set: tries the O(n^k) subsets of size <= k with
+/// word-parallel coverage checks — the algorithm whose SETH-optimality
+/// Theorem 7.1 asserts. Returns a dominating set or nullopt. When
+/// `nodes_examined` is non-null it receives the number of candidate sets
+/// visited (the n^k work measure).
+std::optional<std::vector<int>> FindDominatingSetOfSize(
+    const Graph& g, int k, std::uint64_t* nodes_examined = nullptr);
+
+/// Exact minimum dominating set via branch and bound (branch on an
+/// uncovered vertex's closed neighbourhood). Exponential; small graphs only.
+std::vector<int> MinDominatingSet(const Graph& g);
+
+/// Greedy ln(n)-approximation (repeatedly take the vertex covering the most
+/// uncovered vertices).
+std::vector<int> GreedyDominatingSet(const Graph& g);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_DOMINATION_H_

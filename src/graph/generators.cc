@@ -1,0 +1,184 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace qc::graph {
+
+Graph RandomGnp(int n, double p, util::Rng* rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->NextBool(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph RandomGnm(int n, int m, util::Rng* rng) {
+  Graph g(n);
+  long long max_edges = static_cast<long long>(n) * (n - 1) / 2;
+  if (m > max_edges) std::abort();
+  while (g.num_edges() < m) {
+    int u = static_cast<int>(rng->NextBounded(n));
+    int v = static_cast<int>(rng->NextBounded(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph Path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph Cycle(int n) {
+  Graph g = Path(n);
+  if (n >= 3) g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph CompleteBipartite(int a, int b) {
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u) {
+    for (int v = 0; v < b; ++v) g.AddEdge(u, a + v);
+  }
+  return g;
+}
+
+Graph Star(int leaves) {
+  Graph g(leaves + 1);
+  for (int v = 1; v <= leaves; ++v) g.AddEdge(0, v);
+  return g;
+}
+
+Graph Grid(int rows, int cols) {
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph RandomTree(int n, util::Rng* rng) {
+  Graph g(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g.AddEdge(0, 1);
+    return g;
+  }
+  // Decode a random Prüfer sequence.
+  std::vector<int> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<int>(rng->NextBounded(n));
+  std::vector<int> deg(n, 1);
+  for (int x : prufer) ++deg[x];
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (deg[v] == 1) leaves.insert(v);
+  }
+  for (int x : prufer) {
+    int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    g.AddEdge(leaf, x);
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  int a = *leaves.begin();
+  int b = *std::next(leaves.begin());
+  g.AddEdge(a, b);
+  return g;
+}
+
+Graph RandomKTree(int n, int k, util::Rng* rng) {
+  if (n < k + 1) std::abort();
+  Graph g = Complete(k + 1);
+  Graph out(n);
+  for (auto [u, v] : g.Edges()) out.AddEdge(u, v);
+  // Track the k-cliques available for attachment.
+  std::vector<std::vector<int>> cliques;
+  for (int skip = 0; skip <= k; ++skip) {
+    std::vector<int> c;
+    for (int v = 0; v <= k; ++v) {
+      if (v != skip) c.push_back(v);
+    }
+    cliques.push_back(c);
+  }
+  for (int v = k + 1; v < n; ++v) {
+    // Copy: push_back below may reallocate `cliques`.
+    const std::vector<int> base = cliques[rng->NextBounded(cliques.size())];
+    for (int u : base) out.AddEdge(v, u);
+    // New k-cliques: base with one vertex replaced by v.
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      std::vector<int> c = base;
+      c[i] = v;
+      std::sort(c.begin(), c.end());
+      cliques.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+Graph RandomPartialKTree(int n, int k, double keep, util::Rng* rng) {
+  Graph full = RandomKTree(n, k, rng);
+  Graph g(n);
+  for (auto [u, v] : full.Edges()) {
+    if (rng->NextBool(keep)) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph PlantedClique(int n, double p, int k, util::Rng* rng,
+                    std::vector<int>* planted) {
+  Graph g = RandomGnp(n, p, rng);
+  std::vector<int> verts = rng->Sample(n, k);
+  std::sort(verts.begin(), verts.end());
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (std::size_t j = i + 1; j < verts.size(); ++j) {
+      g.AddEdge(verts[i], verts[j]);
+    }
+  }
+  if (planted != nullptr) *planted = verts;
+  return g;
+}
+
+Graph SpecialGraph(int k) {
+  Graph clique = Complete(k);
+  long long path_len = 1LL << k;
+  Graph path = Path(static_cast<int>(path_len));
+  return clique.DisjointUnion(path);
+}
+
+Graph SkewedGraph(int n, int core_size, double p_core, int attach,
+                  util::Rng* rng) {
+  Graph g(n);
+  for (int u = 0; u < core_size; ++u) {
+    for (int v = u + 1; v < core_size; ++v) {
+      if (rng->NextBool(p_core)) g.AddEdge(u, v);
+    }
+  }
+  for (int v = core_size; v < n; ++v) {
+    for (int t = 0; t < attach; ++t) {
+      // Prefer the core half the time; otherwise any earlier vertex.
+      int u = rng->NextBool(0.5)
+                  ? static_cast<int>(rng->NextBounded(core_size))
+                  : static_cast<int>(rng->NextBounded(v));
+      g.AddEdge(v, u);
+    }
+  }
+  return g;
+}
+
+}  // namespace qc::graph

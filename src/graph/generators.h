@@ -1,0 +1,63 @@
+#ifndef QC_GRAPH_GENERATORS_H_
+#define QC_GRAPH_GENERATORS_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+
+/// Erdős–Rényi G(n, p).
+Graph RandomGnp(int n, double p, util::Rng* rng);
+
+/// Random graph with exactly m distinct edges (m <= n(n-1)/2).
+Graph RandomGnm(int n, int m, util::Rng* rng);
+
+/// Path on n vertices (0-1-2-...).
+Graph Path(int n);
+
+/// Cycle on n >= 3 vertices.
+Graph Cycle(int n);
+
+/// Complete graph K_n.
+Graph Complete(int n);
+
+/// Complete bipartite graph K_{a,b}; side A is vertices [0, a).
+Graph CompleteBipartite(int a, int b);
+
+/// Star with one center (vertex 0) and `leaves` leaves.
+Graph Star(int leaves);
+
+/// rows x cols grid graph.
+Graph Grid(int rows, int cols);
+
+/// Uniformly random labelled tree on n vertices (Prüfer sequence).
+Graph RandomTree(int n, util::Rng* rng);
+
+/// Random k-tree on n >= k+1 vertices: start from K_{k+1}, then each new
+/// vertex is attached to a random existing k-clique. Treewidth is exactly k.
+Graph RandomKTree(int n, int k, util::Rng* rng);
+
+/// Random partial k-tree: a random k-tree with each edge kept with
+/// probability `keep`. Treewidth is at most k.
+Graph RandomPartialKTree(int n, int k, double keep, util::Rng* rng);
+
+/// G(n, p) with a clique planted on k random vertices. Returns the graph and
+/// writes the planted vertices (sorted) to *planted if non-null.
+Graph PlantedClique(int n, double p, int k, util::Rng* rng,
+                    std::vector<int>* planted);
+
+/// "Special" graph of Definition 4.3: disjoint union of K_k and a path on
+/// 2^k vertices. Vertices [0, k) are the clique.
+Graph SpecialGraph(int k);
+
+/// Graph with a heavy-tailed degree profile: a small dense core of
+/// `core_size` vertices (each core pair is an edge with probability p_core)
+/// plus peripheral vertices attached to `attach` random core/earlier
+/// vertices. Used for the sparse-triangle experiment (E9), where skewed
+/// degrees are what the AYZ degree split exploits.
+Graph SkewedGraph(int n, int core_size, double p_core, int attach,
+                  util::Rng* rng);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_GENERATORS_H_

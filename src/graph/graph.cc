@@ -1,0 +1,98 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace qc::graph {
+
+Graph::Graph(int n) : n_(n), adj_(n, util::Bitset(n)) {}
+
+void Graph::AddEdge(int u, int v) {
+  if (u == v || adj_[u].Test(v)) return;
+  adj_[u].Set(v);
+  adj_[v].Set(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices) const {
+  Graph g(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (HasEdge(vertices[i], vertices[j])) {
+        g.AddEdge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph Graph::Complement() const {
+  Graph g(n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (!HasEdge(u, v)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph Graph::DisjointUnion(const Graph& other) const {
+  Graph g(n_ + other.n_);
+  for (auto [u, v] : edges_) g.AddEdge(u, v);
+  for (auto [u, v] : other.edges_) g.AddEdge(n_ + u, n_ + v);
+  return g;
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents() const {
+  std::vector<int> comp(n_, -1);
+  std::vector<std::vector<int>> out;
+  for (int s = 0; s < n_; ++s) {
+    if (comp[s] >= 0) continue;
+    int id = static_cast<int>(out.size());
+    out.emplace_back();
+    std::vector<int> stack = {s};
+    comp[s] = id;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      out[id].push_back(v);
+      for (int w : NeighborList(v)) {
+        if (comp[w] < 0) {
+          comp[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  for (auto& c : out) std::sort(c.begin(), c.end());
+  return out;
+}
+
+bool Graph::IsForest() const {
+  auto comps = ConnectedComponents();
+  // A forest has exactly n - (#components) edges.
+  return num_edges() == n_ - static_cast<int>(comps.size());
+}
+
+std::pair<std::vector<int>, int> Graph::DegeneracyOrder() const {
+  std::vector<int> deg(n_);
+  std::vector<bool> removed(n_, false);
+  for (int v = 0; v < n_; ++v) deg[v] = Degree(v);
+  std::vector<int> order;
+  order.reserve(n_);
+  int degeneracy = 0;
+  for (int step = 0; step < n_; ++step) {
+    int best = -1;
+    for (int v = 0; v < n_; ++v) {
+      if (!removed[v] && (best < 0 || deg[v] < deg[best])) best = v;
+    }
+    degeneracy = std::max(degeneracy, deg[best]);
+    removed[best] = true;
+    order.push_back(best);
+    for (int w : NeighborList(best)) {
+      if (!removed[w]) --deg[w];
+    }
+  }
+  return {order, degeneracy};
+}
+
+}  // namespace qc::graph

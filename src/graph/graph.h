@@ -1,0 +1,66 @@
+#ifndef QC_GRAPH_GRAPH_H_
+#define QC_GRAPH_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace qc::graph {
+
+/// Simple undirected graph on vertices {0, ..., n-1}.
+///
+/// Keeps both an adjacency bitset per vertex (for word-parallel neighbourhood
+/// intersection, the workhorse of the clique/triangle algorithms) and an edge
+/// list (for iteration). Self-loops and parallel edges are not represented:
+/// AddEdge is idempotent and ignores loops.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n);
+
+  int num_vertices() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds undirected edge {u, v}; ignores loops and duplicates.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const { return adj_[u].Test(v); }
+  int Degree(int v) const { return adj_[v].Count(); }
+
+  /// Neighbourhood of v as a bitset.
+  const util::Bitset& Neighbors(int v) const { return adj_[v]; }
+  /// Neighbourhood of v as a sorted vertex list.
+  std::vector<int> NeighborList(int v) const { return adj_[v].ToVector(); }
+
+  /// All edges as (u, v) pairs with u < v, in insertion order.
+  const std::vector<std::pair<int, int>>& Edges() const { return edges_; }
+
+  /// Graph induced on `vertices`; vertex i of the result is vertices[i].
+  Graph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  /// Complement graph (no loops).
+  Graph Complement() const;
+
+  /// Disjoint union: vertices of `other` are shifted by num_vertices().
+  Graph DisjointUnion(const Graph& other) const;
+
+  /// Connected components, each a sorted vertex list.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// True if the graph has no cycle.
+  bool IsForest() const;
+
+  /// Degeneracy ordering (repeatedly remove a minimum-degree vertex) and the
+  /// degeneracy value.
+  std::pair<std::vector<int>, int> DegeneracyOrder() const;
+
+ private:
+  int n_ = 0;
+  std::vector<util::Bitset> adj_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_GRAPH_H_

@@ -1,0 +1,218 @@
+#include "graph/homomorphism.h"
+
+#include <algorithm>
+
+namespace qc::graph {
+
+namespace {
+
+/// Orders H's vertices so each (after the first of its component) has a
+/// previously placed neighbour — keeps backtracking pruned.
+std::vector<int> ConnectedOrder(const Graph& h) {
+  const int n = h.num_vertices();
+  std::vector<int> order;
+  std::vector<bool> placed(n, false);
+  order.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    if (placed[s]) continue;
+    std::vector<int> queue = {s};
+    placed[s] = true;
+    std::size_t head = order.size();
+    order.push_back(s);
+    while (head < order.size()) {
+      int v = order[head++];
+      for (int u : h.NeighborList(v)) {
+        if (!placed[u]) {
+          placed[u] = true;
+          order.push_back(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+bool HomSearch(const Graph& h, const Graph& g, const std::vector<int>& order,
+               std::size_t pos, std::vector<int>* f, std::uint64_t* count,
+               bool count_all) {
+  if (pos == order.size()) {
+    if (count != nullptr) ++*count;
+    return !count_all;
+  }
+  int v = order[pos];
+  for (int img = 0; img < g.num_vertices(); ++img) {
+    bool ok = true;
+    for (int u : h.NeighborList(v)) {
+      if ((*f)[u] >= 0 && !g.HasEdge((*f)[u], img)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*f)[v] = img;
+    if (HomSearch(h, g, order, pos + 1, f, count, count_all)) return true;
+    (*f)[v] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindHomomorphism(const Graph& h,
+                                                 const Graph& g) {
+  // Loops: hom must map edge endpoints to an edge; if H has an edge and G
+  // has none, fail fast.
+  if (h.num_edges() > 0 && g.num_edges() == 0) return std::nullopt;
+  std::vector<int> f(h.num_vertices(), -1);
+  std::vector<int> order = ConnectedOrder(h);
+  if (HomSearch(h, g, order, 0, &f, nullptr, false)) return f;
+  return std::nullopt;
+}
+
+std::uint64_t CountHomomorphisms(const Graph& h, const Graph& g) {
+  std::vector<int> f(h.num_vertices(), -1);
+  std::vector<int> order = ConnectedOrder(h);
+  std::uint64_t count = 0;
+  HomSearch(h, g, order, 0, &f, &count, true);
+  return count;
+}
+
+namespace {
+
+bool SubIsoSearch(const Graph& h, const Graph& g, bool induced,
+                  const std::vector<int>& order, std::size_t pos,
+                  std::vector<int>* f, std::vector<bool>* used) {
+  if (pos == order.size()) return true;
+  int v = order[pos];
+  for (int img = 0; img < g.num_vertices(); ++img) {
+    if ((*used)[img]) continue;
+    bool ok = true;
+    for (int u = 0; u < h.num_vertices() && ok; ++u) {
+      if ((*f)[u] < 0) continue;
+      if (h.HasEdge(u, v)) {
+        ok = g.HasEdge((*f)[u], img);
+      } else if (induced && u != v) {
+        ok = !g.HasEdge((*f)[u], img);
+      }
+    }
+    if (!ok) continue;
+    (*f)[v] = img;
+    (*used)[img] = true;
+    if (SubIsoSearch(h, g, induced, order, pos + 1, f, used)) return true;
+    (*f)[v] = -1;
+    (*used)[img] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindSubgraphIsomorphism(const Graph& h,
+                                                        const Graph& g,
+                                                        bool induced) {
+  if (h.num_vertices() > g.num_vertices()) return std::nullopt;
+  std::vector<int> f(h.num_vertices(), -1);
+  std::vector<bool> used(g.num_vertices(), false);
+  std::vector<int> order;
+  {
+    // Reuse the connectivity-friendly order used by the homomorphism
+    // search (defined above in this translation unit).
+    order.reserve(h.num_vertices());
+    std::vector<bool> placed(h.num_vertices(), false);
+    for (int s = 0; s < h.num_vertices(); ++s) {
+      if (placed[s]) continue;
+      placed[s] = true;
+      order.push_back(s);
+      for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+        for (int u : h.NeighborList(order[head])) {
+          if (!placed[u]) {
+            placed[u] = true;
+            order.push_back(u);
+          }
+        }
+      }
+    }
+  }
+  if (SubIsoSearch(h, g, induced, order, 0, &f, &used)) return f;
+  return std::nullopt;
+}
+
+namespace {
+
+bool ListHomSearch(const Graph& h, const Graph& g,
+                   const std::vector<std::vector<int>>& lists,
+                   const std::vector<int>& order, std::size_t pos,
+                   std::vector<int>* f) {
+  if (pos == order.size()) return true;
+  int v = order[pos];
+  for (int img : lists[v]) {
+    bool ok = true;
+    for (int u : h.NeighborList(v)) {
+      if ((*f)[u] >= 0 && !g.HasEdge((*f)[u], img)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*f)[v] = img;
+    if (ListHomSearch(h, g, lists, order, pos + 1, f)) return true;
+    (*f)[v] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindListHomomorphism(
+    const Graph& h, const Graph& g,
+    const std::vector<std::vector<int>>& lists) {
+  std::vector<int> f(h.num_vertices(), -1);
+  std::vector<int> order = ConnectedOrder(h);
+  if (ListHomSearch(h, g, lists, order, 0, &f)) return f;
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> FindPartitionedSubgraphIsomorphism(
+    const Graph& h, const Graph& g, const std::vector<int>& class_of) {
+  const int k = h.num_vertices();
+  std::vector<std::vector<int>> klass(k);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (class_of[v] >= 0 && class_of[v] < k) klass[class_of[v]].push_back(v);
+  }
+  std::vector<int> order = ConnectedOrder(h);
+  std::vector<int> f(k, -1);
+  // Depth-first over H's vertices; candidates restricted to each class.
+  std::vector<std::size_t> cursor(k, 0);
+  std::size_t pos = 0;
+  while (true) {
+    if (pos == order.size()) return f;
+    int v = order[pos];
+    bool advanced = false;
+    for (std::size_t& i = cursor[pos]; i < klass[v].size(); ++i) {
+      int img = klass[v][i];
+      bool ok = true;
+      for (int u : h.NeighborList(v)) {
+        if (f[u] >= 0 && !g.HasEdge(f[u], img)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        f[v] = img;
+        ++i;
+        ++pos;
+        if (pos < order.size()) cursor[pos] = 0;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      f[v] = -1;
+      if (pos == 0) return std::nullopt;
+      --pos;
+      f[order[pos]] = -1;
+    }
+  }
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,45 @@
+#ifndef QC_GRAPH_HOMOMORPHISM_H_
+#define QC_GRAPH_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// Searches for a homomorphism from H to G (Section 2.3): a map f with
+/// f(u)f(v) an edge of G for every edge uv of H. Backtracking over H's
+/// vertices in a connectivity-friendly order. Returns f or nullopt.
+std::optional<std::vector<int>> FindHomomorphism(const Graph& h,
+                                                 const Graph& g);
+
+/// Number of homomorphisms from H to G.
+std::uint64_t CountHomomorphisms(const Graph& h, const Graph& g);
+
+/// List homomorphism (the LHOM problem of [33], cited in Section 7): a
+/// homomorphism f from H to G with f(v) restricted to lists[v] for every
+/// vertex of H. Plain homomorphism is the special case of full lists.
+std::optional<std::vector<int>> FindListHomomorphism(
+    const Graph& h, const Graph& g,
+    const std::vector<std::vector<int>>& lists);
+
+/// Subgraph isomorphism: an injective map from H into G taking H-edges to
+/// G-edges; with `induced`, non-edges of H must also map to non-edges
+/// (Section 2.3 introduces the partitioned variant below as the CSP-shaped
+/// cousin of this standard problem).
+std::optional<std::vector<int>> FindSubgraphIsomorphism(const Graph& h,
+                                                        const Graph& g,
+                                                        bool induced = false);
+
+/// Partitioned subgraph isomorphism (Section 2.3): given H, G and a
+/// partition of V(G) into |V(H)| classes (class_of[v] in [0, |V(H)|)), find
+/// a subgraph of G with exactly one vertex per class that is isomorphic to H
+/// under the class labelling. Returns, per H-vertex, the chosen G-vertex.
+std::optional<std::vector<int>> FindPartitionedSubgraphIsomorphism(
+    const Graph& h, const Graph& g, const std::vector<int>& class_of);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_HOMOMORPHISM_H_

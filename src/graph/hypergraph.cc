@@ -1,0 +1,219 @@
+#include "graph/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/lp.h"
+
+namespace qc::graph {
+
+int Hypergraph::AddEdge(std::vector<int> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  edges_.push_back(std::move(vertices));
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+std::vector<int> Hypergraph::EdgesContaining(int v) const {
+  std::vector<int> out;
+  for (int e = 0; e < num_edges(); ++e) {
+    if (std::binary_search(edges_[e].begin(), edges_[e].end(), v)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool Hypergraph::IsUniform(int d) const {
+  for (const auto& e : edges_) {
+    if (static_cast<int>(e.size()) != d) return false;
+  }
+  return true;
+}
+
+Graph Hypergraph::PrimalGraph() const {
+  Graph g(n_);
+  for (const auto& e : edges_) {
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      for (std::size_t j = i + 1; j < e.size(); ++j) {
+        g.AddEdge(e[i], e[j]);
+      }
+    }
+  }
+  return g;
+}
+
+bool Hypergraph::CoversAllVertices() const {
+  std::vector<bool> covered(n_, false);
+  for (const auto& e : edges_) {
+    for (int v : e) covered[v] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(), [](bool b) { return b; });
+}
+
+std::optional<FractionalEdgeCover> FractionalEdgeCoverNumber(
+    const Hypergraph& h) {
+  if (!h.CoversAllVertices()) return std::nullopt;
+  // min sum_e x_e  s.t.  for each vertex v: sum_{e contains v} x_e >= 1.
+  util::LpProblem lp;
+  lp.num_vars = h.num_edges();
+  lp.objective.assign(lp.num_vars, util::Fraction(1));
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    std::vector<util::Fraction> row(lp.num_vars, util::Fraction(0));
+    bool any = false;
+    for (int e : h.EdgesContaining(v)) {
+      row[e] = util::Fraction(1);
+      any = true;
+    }
+    if (!any) return std::nullopt;
+    lp.AddRow(std::move(row), util::LpProblem::Sense::kGe, util::Fraction(1));
+  }
+  util::LpSolution sol = util::SolveLp(lp);
+  if (sol.status != util::LpSolution::Status::kOptimal) return std::nullopt;
+  return FractionalEdgeCover{std::move(sol.x), sol.objective};
+}
+
+namespace {
+
+void IntegralCoverSearch(const Hypergraph& h, std::vector<bool>& covered,
+                         int used, int* best) {
+  if (used >= *best) return;
+  int v = -1;
+  for (int i = 0; i < h.num_vertices(); ++i) {
+    if (!covered[i]) {
+      v = i;
+      break;
+    }
+  }
+  if (v < 0) {
+    *best = used;
+    return;
+  }
+  for (int e : h.EdgesContaining(v)) {
+    std::vector<int> newly;
+    for (int w : h.Edge(e)) {
+      if (!covered[w]) {
+        covered[w] = true;
+        newly.push_back(w);
+      }
+    }
+    IntegralCoverSearch(h, covered, used + 1, best);
+    for (int w : newly) covered[w] = false;
+  }
+}
+
+}  // namespace
+
+std::optional<int> IntegralEdgeCoverNumber(const Hypergraph& h) {
+  if (!h.CoversAllVertices()) return std::nullopt;
+  std::vector<bool> covered(h.num_vertices(), false);
+  int best = h.num_edges() + 1;
+  IntegralCoverSearch(h, covered, 0, &best);
+  return best;
+}
+
+bool IsAlphaAcyclic(const Hypergraph& h, std::vector<int>* join_tree_parent) {
+  const int m = h.num_edges();
+  // Working copies: edges shrink as isolated vertices are removed.
+  std::vector<std::set<int>> edges(m);
+  for (int e = 0; e < m; ++e) {
+    edges[e].insert(h.Edge(e).begin(), h.Edge(e).end());
+  }
+  std::vector<bool> alive(m, true);
+  std::vector<int> parent(m, -1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: drop vertices that occur in exactly one live edge.
+    std::vector<int> count(h.num_vertices(), 0);
+    for (int e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (int v : edges[e]) ++count[v];
+    }
+    for (int e = 0; e < m; ++e) {
+      if (!alive[e]) continue;
+      for (auto it = edges[e].begin(); it != edges[e].end();) {
+        if (count[*it] == 1) {
+          it = edges[e].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Rule 2: drop an edge contained in another live edge (its absorber
+    // becomes its join-tree parent). Empty edges hang off any survivor.
+    for (int e = 0; e < m && !changed; ++e) {
+      if (!alive[e]) continue;
+      for (int f = 0; f < m; ++f) {
+        if (f == e || !alive[f]) continue;
+        if (std::includes(edges[f].begin(), edges[f].end(), edges[e].begin(),
+                          edges[e].end())) {
+          alive[e] = false;
+          parent[e] = f;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  int live = 0;
+  for (int e = 0; e < m; ++e) {
+    if (alive[e]) ++live;
+  }
+  // Acyclic iff the reduction leaves at most one edge (which must be the
+  // root). With duplicate-free containment handled by rule 2, >1 survivor
+  // means a genuine cycle.
+  bool acyclic = live <= 1;
+  if (acyclic && join_tree_parent != nullptr) {
+    // Path-compress parents so each points at a live root... parents form a
+    // forest already; just export.
+    *join_tree_parent = parent;
+  }
+  return acyclic;
+}
+
+Hypergraph RandomUniformHypergraph(int n, int d, double p, util::Rng* rng) {
+  Hypergraph h(n);
+  std::vector<int> pick(d);
+  // Iterate all d-subsets of [n].
+  std::vector<int> idx(d);
+  for (int i = 0; i < d; ++i) idx[i] = i;
+  if (d > n) return h;
+  while (true) {
+    if (rng->NextBool(p)) h.AddEdge(idx);
+    int i = d - 1;
+    while (i >= 0 && idx[i] == n - d + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < d; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return h;
+}
+
+bool InducesHyperclique(const Hypergraph& h, const std::vector<int>& s,
+                        int d) {
+  std::set<std::vector<int>> present(h.Edges().begin(), h.Edges().end());
+  int k = static_cast<int>(s.size());
+  if (k < d) return false;
+  std::vector<int> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> idx(d);
+  for (int i = 0; i < d; ++i) idx[i] = i;
+  while (true) {
+    std::vector<int> edge(d);
+    for (int i = 0; i < d; ++i) edge[i] = sorted[idx[i]];
+    if (present.find(edge) == present.end()) return false;
+    int i = d - 1;
+    while (i >= 0 && idx[i] == k - d + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < d; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return true;
+}
+
+}  // namespace qc::graph

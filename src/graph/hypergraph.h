@@ -1,0 +1,82 @@
+#ifndef QC_GRAPH_HYPERGRAPH_H_
+#define QC_GRAPH_HYPERGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/fraction.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+
+/// Hypergraph on vertices {0, ..., n-1}; each edge is a sorted set of
+/// vertices. This is the query hypergraph of Section 3 of the paper: vertices
+/// are attributes/variables, edges are relation scopes/constraint scopes.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  explicit Hypergraph(int n) : n_(n) {}
+
+  int num_vertices() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an edge (duplicates and empty edges allowed; vertices are sorted
+  /// and deduplicated within the edge). Returns the edge index.
+  int AddEdge(std::vector<int> vertices);
+
+  const std::vector<int>& Edge(int e) const { return edges_[e]; }
+  const std::vector<std::vector<int>>& Edges() const { return edges_; }
+
+  /// Edge indices containing vertex v.
+  std::vector<int> EdgesContaining(int v) const;
+
+  /// True if every edge has exactly d vertices.
+  bool IsUniform(int d) const;
+
+  /// Primal (Gaifman) graph: vertices adjacent iff they share an edge.
+  Graph PrimalGraph() const;
+
+  /// True if every vertex is in at least one edge (a precondition for a
+  /// fractional edge cover to exist).
+  bool CoversAllVertices() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<int>> edges_;
+};
+
+/// A fractional edge cover: weight per edge, plus the total weight.
+struct FractionalEdgeCover {
+  std::vector<util::Fraction> weight;  ///< One per hyperedge.
+  util::Fraction total;                ///< rho* when optimal.
+};
+
+/// Computes the fractional edge cover number rho*(H) of Section 3 exactly,
+/// via the rational simplex. Returns nullopt if some vertex is uncovered
+/// (the LP is infeasible).
+std::optional<FractionalEdgeCover> FractionalEdgeCoverNumber(
+    const Hypergraph& h);
+
+/// Minimum *integral* edge cover via branch and bound (small hypergraphs
+/// only); useful to contrast rho* with its integral counterpart.
+std::optional<int> IntegralEdgeCoverNumber(const Hypergraph& h);
+
+/// GYO (Graham–Yu–Ozsoyoglu) test for alpha-acyclicity. If acyclic and
+/// `join_tree_parent` is non-null, writes a join tree: parent edge index per
+/// edge, -1 at the root (edges eliminated by containment get their absorber
+/// as parent).
+bool IsAlphaAcyclic(const Hypergraph& h,
+                    std::vector<int>* join_tree_parent = nullptr);
+
+/// Random d-uniform hypergraph where each of the C(n, d) possible edges is
+/// present independently with probability p.
+Hypergraph RandomUniformHypergraph(int n, int d, double p, util::Rng* rng);
+
+/// k-hyperclique test: does `s` induce all C(|s|, d) edges of a d-uniform
+/// hypergraph? (Section 8, the d-uniform hyperclique conjecture.)
+bool InducesHyperclique(const Hypergraph& h, const std::vector<int>& s, int d);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_HYPERGRAPH_H_

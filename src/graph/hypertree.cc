@@ -1,0 +1,87 @@
+#include "graph/hypertree.h"
+
+#include <algorithm>
+
+#include "util/lp.h"
+
+namespace qc::graph {
+
+std::optional<util::Fraction> FractionalHypertreeWidthOf(
+    const Hypergraph& h, const TreeDecomposition& td) {
+  util::Fraction width(0);
+  for (const auto& bag : td.bags) {
+    if (bag.empty()) continue;
+    // min sum_e x_e subject to: every bag vertex fractionally covered.
+    util::LpProblem lp;
+    lp.num_vars = h.num_edges();
+    lp.objective.assign(lp.num_vars, util::Fraction(1));
+    for (int v : bag) {
+      std::vector<util::Fraction> row(lp.num_vars, util::Fraction(0));
+      bool any = false;
+      for (int e : h.EdgesContaining(v)) {
+        row[e] = util::Fraction(1);
+        any = true;
+      }
+      if (!any) return std::nullopt;  // Uncoverable vertex.
+      lp.AddRow(std::move(row), util::LpProblem::Sense::kGe,
+                util::Fraction(1));
+    }
+    util::LpSolution sol = util::SolveLp(lp);
+    if (sol.status != util::LpSolution::Status::kOptimal) return std::nullopt;
+    if (width < sol.objective) width = sol.objective;
+  }
+  return width;
+}
+
+std::optional<TreeDecomposition> JoinTreeDecomposition(const Hypergraph& h) {
+  std::vector<int> parent;
+  if (!IsAlphaAcyclic(h, &parent)) return std::nullopt;
+  TreeDecomposition td;
+  const int m = h.num_edges();
+  td.bags.reserve(m);
+  for (int e = 0; e < m; ++e) td.bags.push_back(h.Edge(e));
+  for (int e = 0; e < m; ++e) {
+    if (parent[e] >= 0) td.edges.emplace_back(e, parent[e]);
+  }
+  // Vertices in no hyperedge get singleton bags hanging off the tree.
+  std::vector<bool> covered(h.num_vertices(), false);
+  for (const auto& e : h.Edges()) {
+    for (int v : e) covered[v] = true;
+  }
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    if (covered[v]) continue;
+    td.bags.push_back({v});
+    int id = static_cast<int>(td.bags.size()) - 1;
+    if (id > 0) td.edges.emplace_back(id, 0);
+  }
+  // Degenerate case: no edges at all and the loop above built a bag chain
+  // rooted at bag 0 — already connected via the id > 0 links.
+  if (td.Validate(h.PrimalGraph()).has_value()) return std::nullopt;
+  return td;
+}
+
+std::optional<FhwUpperBound> HeuristicFractionalHypertreeWidth(
+    const Hypergraph& h) {
+  if (!h.CoversAllVertices() && h.num_edges() > 0) {
+    // Mixed coverage is fine (singleton bags handle it below via the
+    // elimination-order decompositions of the primal graph), but a vertex
+    // in no edge makes bag covers infeasible only if it shows up in a
+    // multi-vertex bag; elimination orders put it in singleton bags, and
+    // the LP for a singleton uncovered vertex is infeasible — so report
+    // failure for uncovered vertices to keep semantics crisp.
+    return std::nullopt;
+  }
+  Graph primal = h.PrimalGraph();
+  std::optional<FhwUpperBound> best;
+  auto consider = [&](const TreeDecomposition& td) {
+    auto width = FractionalHypertreeWidthOf(h, td);
+    if (!width) return;
+    if (!best || *width < best->width) best = FhwUpperBound{*width, td};
+  };
+  consider(DecompositionFromOrder(primal, MinDegreeOrder(primal)));
+  consider(DecompositionFromOrder(primal, MinFillOrder(primal)));
+  if (auto jt = JoinTreeDecomposition(h)) consider(*jt);
+  return best;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,41 @@
+#ifndef QC_GRAPH_HYPERTREE_H_
+#define QC_GRAPH_HYPERTREE_H_
+
+#include <optional>
+
+#include "graph/hypergraph.h"
+#include "graph/treewidth.h"
+#include "util/fraction.h"
+
+namespace qc::graph {
+
+/// Fractional hypertree width of a fixed tree decomposition: the maximum
+/// over bags of the fractional edge cover number of the bag (covering the
+/// bag's vertices with the hypergraph's edges). This is the width notion
+/// behind the modern N^{fhw} join upper bounds that refine the treewidth
+/// and AGM stories the paper tells; fhw = 1 exactly on alpha-acyclic
+/// hypergraphs.
+///
+/// Returns nullopt if some bag vertex lies in no hyperedge.
+std::optional<util::Fraction> FractionalHypertreeWidthOf(
+    const Hypergraph& h, const TreeDecomposition& td);
+
+/// Heuristic fractional hypertree width: evaluates the decompositions
+/// induced by the min-degree and min-fill elimination orders of the primal
+/// graph plus (when the hypergraph is acyclic) the GYO join tree, and
+/// returns the best width with its decomposition.
+struct FhwUpperBound {
+  util::Fraction width;
+  TreeDecomposition decomposition;
+};
+std::optional<FhwUpperBound> HeuristicFractionalHypertreeWidth(
+    const Hypergraph& h);
+
+/// The tree decomposition induced by the GYO join tree of an acyclic
+/// hypergraph: one bag per hyperedge, join-tree edges. Width fhw = 1 by
+/// construction. Returns nullopt if h is cyclic.
+std::optional<TreeDecomposition> JoinTreeDecomposition(const Hypergraph& h);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_HYPERTREE_H_

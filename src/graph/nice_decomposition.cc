@@ -1,0 +1,469 @@
+#include "graph/nice_decomposition.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdlib>
+
+namespace qc::graph {
+
+namespace {
+
+constexpr int kInf = INT_MAX / 4;
+constexpr int kNegInf = INT_MIN / 4;
+
+}  // namespace
+
+int NiceTreeDecomposition::Width() const {
+  int w = -1;
+  for (const auto& node : nodes) {
+    w = std::max(w, static_cast<int>(node.bag.size()) - 1);
+  }
+  return w;
+}
+
+std::optional<std::string> NiceTreeDecomposition::Validate(
+    const Graph& g) const {
+  if (nodes.empty()) return "empty decomposition";
+  std::vector<bool> is_child(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    for (int c : node.children) {
+      if (c < 0 || c >= static_cast<int>(i)) {
+        return "child index not before parent";
+      }
+      is_child[c] = true;
+    }
+    auto minus = [](std::vector<int> a, int v) {
+      a.erase(std::remove(a.begin(), a.end(), v), a.end());
+      return a;
+    };
+    switch (node.type) {
+      case NodeType::kLeaf:
+        if (!node.bag.empty() || !node.children.empty()) {
+          return "malformed leaf";
+        }
+        break;
+      case NodeType::kIntroduce: {
+        if (node.children.size() != 1) return "introduce needs one child";
+        const Node& child = nodes[node.children[0]];
+        if (!std::binary_search(node.bag.begin(), node.bag.end(),
+                                node.vertex) ||
+            minus(node.bag, node.vertex) != child.bag) {
+          return "introduce bag mismatch";
+        }
+        break;
+      }
+      case NodeType::kForget: {
+        if (node.children.size() != 1) return "forget needs one child";
+        const Node& child = nodes[node.children[0]];
+        if (std::binary_search(node.bag.begin(), node.bag.end(),
+                               node.vertex) ||
+            minus(child.bag, node.vertex) != node.bag) {
+          return "forget bag mismatch";
+        }
+        break;
+      }
+      case NodeType::kJoin: {
+        if (node.children.size() != 2) return "join needs two children";
+        if (nodes[node.children[0]].bag != node.bag ||
+            nodes[node.children[1]].bag != node.bag) {
+          return "join bag mismatch";
+        }
+        break;
+      }
+    }
+  }
+  if (!nodes.back().bag.empty()) return "root bag not empty";
+  // Exactly one root.
+  int roots = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!is_child[i]) ++roots;
+  }
+  if (roots != 1) return "not a single tree";
+
+  // Reduce to a plain TreeDecomposition and reuse its validator.
+  TreeDecomposition td;
+  td.bags.reserve(nodes.size());
+  for (const auto& node : nodes) td.bags.push_back(node.bag);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int c : nodes[i].children) {
+      td.edges.emplace_back(static_cast<int>(i), c);
+    }
+  }
+  return td.Validate(g);
+}
+
+NiceTreeDecomposition NiceTreeDecomposition::FromTreeDecomposition(
+    const TreeDecomposition& td, const Graph& g) {
+  NiceTreeDecomposition out;
+  if (td.bags.empty() || g.num_vertices() == 0) {
+    out.nodes.push_back(Node{NodeType::kLeaf, {}, -1, {}});
+    return out;
+  }
+  const int nb = static_cast<int>(td.bags.size());
+  std::vector<std::vector<int>> adj(nb);
+  for (auto [a, b] : td.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // Root at 0, children-before-parent order.
+  std::vector<int> order, parent(nb, -1);
+  std::vector<bool> seen(nb, false);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (int u : adj[order[head]]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        parent[u] = order[head];
+        order.push_back(u);
+      }
+    }
+  }
+
+  // Appends a chain of introduces starting from node `from` (bag `have`)
+  // until the bag equals `want` (have must be a subset of want).
+  auto introduce_chain = [&out](int from, std::vector<int> have,
+                                const std::vector<int>& want) {
+    for (int v : want) {
+      if (std::binary_search(have.begin(), have.end(), v)) continue;
+      have.insert(std::upper_bound(have.begin(), have.end(), v), v);
+      out.nodes.push_back(Node{NodeType::kIntroduce, have, v, {from}});
+      from = static_cast<int>(out.nodes.size()) - 1;
+    }
+    return from;
+  };
+  auto forget_chain = [&out](int from, std::vector<int> have,
+                             const std::vector<int>& keep) {
+    for (int v : std::vector<int>(have)) {
+      if (std::binary_search(keep.begin(), keep.end(), v)) continue;
+      have.erase(std::find(have.begin(), have.end(), v));
+      out.nodes.push_back(Node{NodeType::kForget, have, v, {from}});
+      from = static_cast<int>(out.nodes.size()) - 1;
+    }
+    return from;
+  };
+
+  // Build bottom-up: nice_of[t] = node index whose bag equals td.bags[t].
+  std::vector<int> nice_of(nb, -1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int t = *it;
+    std::vector<int> kids;
+    for (int u : adj[t]) {
+      if (parent[u] == t) kids.push_back(u);
+    }
+    std::vector<int> tops;
+    for (int c : kids) {
+      // Morph the child's bag into bag(t): forget extras, introduce missing.
+      int node = forget_chain(nice_of[c], td.bags[c], td.bags[t]);
+      node = introduce_chain(node,
+                             [&] {
+                               std::vector<int> inter;
+                               for (int v : td.bags[c]) {
+                                 if (std::binary_search(td.bags[t].begin(),
+                                                        td.bags[t].end(), v)) {
+                                   inter.push_back(v);
+                                 }
+                               }
+                               return inter;
+                             }(),
+                             td.bags[t]);
+      tops.push_back(node);
+    }
+    if (tops.empty()) {
+      out.nodes.push_back(Node{NodeType::kLeaf, {}, -1, {}});
+      int node = static_cast<int>(out.nodes.size()) - 1;
+      nice_of[t] = introduce_chain(node, {}, td.bags[t]);
+    } else {
+      int acc = tops[0];
+      for (std::size_t i = 1; i < tops.size(); ++i) {
+        out.nodes.push_back(
+            Node{NodeType::kJoin, td.bags[t], -1, {acc, tops[i]}});
+        acc = static_cast<int>(out.nodes.size()) - 1;
+      }
+      nice_of[t] = acc;
+    }
+  }
+  // Forget the root bag down to empty.
+  int top = forget_chain(nice_of[0], td.bags[0], {});
+  if (out.nodes[top].bag.empty() &&
+      top != static_cast<int>(out.nodes.size()) - 1) {
+    std::abort();  // forget_chain always appends; top must be last.
+  }
+  if (!out.nodes.back().bag.empty()) {
+    // Root bag was already empty and no forgets were added; ensure root is
+    // the last node (it is, by construction order).
+    std::abort();
+  }
+  return out;
+}
+
+namespace {
+
+int PositionOf(const std::vector<int>& bag, int v) {
+  return static_cast<int>(
+      std::lower_bound(bag.begin(), bag.end(), v) - bag.begin());
+}
+
+}  // namespace
+
+int MaxIndependentSetTreewidth(const Graph& g,
+                               const NiceTreeDecomposition& ntd,
+                               std::vector<int>* witness) {
+  const auto& nodes = ntd.nodes;
+  // dp[i][mask]: best |I| over the subtree with I-cap-bag given by mask.
+  std::vector<std::vector<int>> dp(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    const int bsize = static_cast<int>(node.bag.size());
+    dp[i].assign(1u << bsize, kNegInf);
+    switch (node.type) {
+      case NiceTreeDecomposition::NodeType::kLeaf:
+        dp[i][0] = 0;
+        break;
+      case NiceTreeDecomposition::NodeType::kIntroduce: {
+        int child = node.children[0];
+        int pos = PositionOf(node.bag, node.vertex);
+        // Mask of bag neighbours of the introduced vertex.
+        unsigned nb_mask = 0;
+        for (int j = 0; j < bsize; ++j) {
+          if (node.bag[j] != node.vertex &&
+              g.HasEdge(node.bag[j], node.vertex)) {
+            nb_mask |= 1u << j;
+          }
+        }
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          // Child mask: drop bit `pos`.
+          unsigned low = m & ((1u << pos) - 1u);
+          unsigned high = (m >> (pos + 1)) << pos;
+          unsigned cm = low | high;
+          if ((m >> pos) & 1u) {
+            if (m & nb_mask) continue;  // v adjacent to selected vertex.
+            if (dp[child][cm] > kNegInf) dp[i][m] = dp[child][cm] + 1;
+          } else {
+            dp[i][m] = dp[child][cm];
+          }
+        }
+        break;
+      }
+      case NiceTreeDecomposition::NodeType::kForget: {
+        int child = node.children[0];
+        const auto& cbag = nodes[child].bag;
+        int pos = PositionOf(cbag, node.vertex);
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          unsigned low = m & ((1u << pos) - 1u);
+          unsigned high = (m >> pos) << (pos + 1);
+          unsigned without = low | high;
+          unsigned with = without | (1u << pos);
+          dp[i][m] = std::max(dp[child][without], dp[child][with]);
+        }
+        break;
+      }
+      case NiceTreeDecomposition::NodeType::kJoin: {
+        int c1 = node.children[0], c2 = node.children[1];
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          if (dp[c1][m] > kNegInf && dp[c2][m] > kNegInf) {
+            dp[i][m] = dp[c1][m] + dp[c2][m] - __builtin_popcount(m);
+          }
+        }
+        break;
+      }
+    }
+  }
+  int best = dp[ntd.root()][0];
+
+  if (witness != nullptr) {
+    witness->clear();
+    // Top-down replay: track the chosen mask at each node; collect a vertex
+    // when its forget node chose the "selected" child mask.
+    std::vector<unsigned> chosen(nodes.size(), 0);
+    std::vector<bool> active(nodes.size(), false);
+    active[ntd.root()] = true;
+    chosen[ntd.root()] = 0;
+    for (int i = ntd.root(); i >= 0; --i) {
+      if (!active[i]) continue;
+      const auto& node = nodes[i];
+      unsigned m = chosen[i];
+      switch (node.type) {
+        case NiceTreeDecomposition::NodeType::kLeaf:
+          break;
+        case NiceTreeDecomposition::NodeType::kIntroduce: {
+          int pos = PositionOf(node.bag, node.vertex);
+          unsigned low = m & ((1u << pos) - 1u);
+          unsigned high = (m >> (pos + 1)) << pos;
+          active[node.children[0]] = true;
+          chosen[node.children[0]] = low | high;
+          break;
+        }
+        case NiceTreeDecomposition::NodeType::kForget: {
+          const auto& cbag = nodes[node.children[0]].bag;
+          int pos = PositionOf(cbag, node.vertex);
+          unsigned low = m & ((1u << pos) - 1u);
+          unsigned high = (m >> pos) << (pos + 1);
+          unsigned without = low | high;
+          unsigned with = without | (1u << pos);
+          active[node.children[0]] = true;
+          if (dp[node.children[0]][with] >= dp[node.children[0]][without]) {
+            chosen[node.children[0]] = with;
+            witness->push_back(node.vertex);
+          } else {
+            chosen[node.children[0]] = without;
+          }
+          break;
+        }
+        case NiceTreeDecomposition::NodeType::kJoin:
+          active[node.children[0]] = true;
+          active[node.children[1]] = true;
+          chosen[node.children[0]] = m;
+          chosen[node.children[1]] = m;
+          break;
+      }
+    }
+    std::sort(witness->begin(), witness->end());
+  }
+  return best;
+}
+
+namespace {
+
+/// Base-3 colouring helpers for the dominating-set DP.
+/// Colours: 0 = black (in the set), 1 = white (dominated), 2 = grey
+/// (no requirement yet; cannot be forgotten).
+int Digit(unsigned code, int pos) {
+  static const unsigned kPow3[] = {1,     3,     9,     27,    81,   243,
+                                   729,   2187,  6561,  19683, 59049};
+  return static_cast<int>(code / kPow3[pos] % 3);
+}
+
+unsigned SetDigit(unsigned code, int pos, int value) {
+  static const unsigned kPow3[] = {1,     3,     9,     27,    81,   243,
+                                   729,   2187,  6561,  19683, 59049};
+  int old = Digit(code, pos);
+  return code + static_cast<unsigned>(value - old) * kPow3[pos];
+}
+
+unsigned Pow3(int e) {
+  unsigned r = 1;
+  for (int i = 0; i < e; ++i) r *= 3;
+  return r;
+}
+
+/// Removes the base-3 digit at `pos` (shifting higher digits down).
+unsigned DropDigit(unsigned code, int pos) {
+  unsigned p = Pow3(pos);
+  unsigned low = code % p;
+  unsigned high = code / (p * 3);
+  return low + high * p;
+}
+
+/// Inserts digit `value` at `pos`.
+unsigned InsertDigit(unsigned code, int pos, int value) {
+  unsigned p = Pow3(pos);
+  unsigned low = code % p;
+  unsigned high = code / p;
+  return low + static_cast<unsigned>(value) * p + high * (p * 3);
+}
+
+}  // namespace
+
+int MinDominatingSetTreewidth(const Graph& g,
+                              const NiceTreeDecomposition& ntd) {
+  if (g.num_vertices() == 0) return 0;
+  const auto& nodes = ntd.nodes;
+  if (ntd.Width() > 9) std::abort();  // 3^10 table rows per node at most.
+  std::vector<std::vector<int>> dp(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    const int bsize = static_cast<int>(node.bag.size());
+    dp[i].assign(Pow3(bsize), kInf);
+    switch (node.type) {
+      case NiceTreeDecomposition::NodeType::kLeaf:
+        dp[i][0] = 0;
+        break;
+      case NiceTreeDecomposition::NodeType::kIntroduce: {
+        int child = node.children[0];
+        int pos = PositionOf(node.bag, node.vertex);
+        // Bag neighbours of v, as child positions.
+        std::vector<int> nb_child_pos;
+        for (int j = 0; j < bsize; ++j) {
+          if (node.bag[j] != node.vertex &&
+              g.HasEdge(node.bag[j], node.vertex)) {
+            nb_child_pos.push_back(j > pos ? j - 1 : j);
+          }
+        }
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          int cv = Digit(m, pos);
+          unsigned cm = DropDigit(m, pos);
+          if (cv == 0) {
+            // v black: its white bag-neighbours may owe their domination to
+            // v alone, so relax them to grey in the child (monotone: grey
+            // never costs more).
+            unsigned relaxed = cm;
+            for (int cp : nb_child_pos) {
+              if (Digit(relaxed, cp) == 1) relaxed = SetDigit(relaxed, cp, 2);
+            }
+            if (dp[child][relaxed] < kInf) dp[i][m] = dp[child][relaxed] + 1;
+          } else if (cv == 1) {
+            // v white: at introduction all of v's subtree neighbours are in
+            // the bag, so a black bag-neighbour must exist.
+            bool dominated = false;
+            for (int j = 0; j < bsize && !dominated; ++j) {
+              if (node.bag[j] != node.vertex && Digit(m, j) == 0 &&
+                  g.HasEdge(node.bag[j], node.vertex)) {
+                dominated = true;
+              }
+            }
+            if (dominated) dp[i][m] = dp[child][cm];
+          } else {
+            dp[i][m] = dp[child][cm];
+          }
+        }
+        break;
+      }
+      case NiceTreeDecomposition::NodeType::kForget: {
+        int child = node.children[0];
+        const auto& cbag = nodes[child].bag;
+        int pos = PositionOf(cbag, node.vertex);
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          unsigned black = InsertDigit(m, pos, 0);
+          unsigned white = InsertDigit(m, pos, 1);
+          dp[i][m] = std::min(dp[child][black], dp[child][white]);
+        }
+        break;
+      }
+      case NiceTreeDecomposition::NodeType::kJoin: {
+        int c1 = node.children[0], c2 = node.children[1];
+        for (unsigned m = 0; m < dp[i].size(); ++m) {
+          // White positions: the domination duty goes to one side (the
+          // other side gets grey). Blacks and greys match on both sides.
+          std::vector<int> whites;
+          int blacks = 0;
+          for (int j = 0; j < bsize; ++j) {
+            int d = Digit(m, j);
+            if (d == 1) whites.push_back(j);
+            if (d == 0) ++blacks;
+          }
+          int best = kInf;
+          for (unsigned split = 0; split < (1u << whites.size()); ++split) {
+            unsigned m1 = m, m2 = m;
+            for (std::size_t w = 0; w < whites.size(); ++w) {
+              if ((split >> w) & 1u) {
+                m2 = SetDigit(m2, whites[w], 2);
+              } else {
+                m1 = SetDigit(m1, whites[w], 2);
+              }
+            }
+            if (dp[c1][m1] < kInf && dp[c2][m2] < kInf) {
+              best = std::min(best, dp[c1][m1] + dp[c2][m2] - blacks);
+            }
+          }
+          dp[i][m] = best;
+        }
+        break;
+      }
+    }
+  }
+  return dp[ntd.root()][0];
+}
+
+}  // namespace qc::graph

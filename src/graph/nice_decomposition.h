@@ -1,0 +1,63 @@
+#ifndef QC_GRAPH_NICE_DECOMPOSITION_H_
+#define QC_GRAPH_NICE_DECOMPOSITION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/treewidth.h"
+
+namespace qc::graph {
+
+/// A *nice* tree decomposition: every node is a leaf (empty bag), an
+/// introduce node (child bag plus one vertex), a forget node (child bag
+/// minus one vertex), or a join node (two children with identical bags).
+/// This is the standard normal form the bounded-treewidth dynamic programs
+/// of Section 7's citations ([15], [30], [51]) are written against.
+struct NiceTreeDecomposition {
+  enum class NodeType { kLeaf, kIntroduce, kForget, kJoin };
+
+  struct Node {
+    NodeType type;
+    std::vector<int> bag;       ///< Sorted.
+    int vertex = -1;            ///< Introduced/forgotten vertex.
+    std::vector<int> children;  ///< 0 (leaf), 1 (intro/forget), 2 (join).
+  };
+
+  /// Children always precede parents; the last node is the root, whose bag
+  /// is empty (everything is forgotten at the top).
+  std::vector<Node> nodes;
+
+  int root() const { return static_cast<int>(nodes.size()) - 1; }
+
+  /// Width: max bag size - 1.
+  int Width() const;
+
+  /// Structural sanity check: node-type invariants plus the tree
+  /// decomposition conditions against g.
+  std::optional<std::string> Validate(const Graph& g) const;
+
+  /// Converts an arbitrary (valid) tree decomposition: roots it, inserts
+  /// forget/introduce chains along every tree edge, binarizes with join
+  /// nodes, and forgets the root bag down to empty. The width is unchanged.
+  static NiceTreeDecomposition FromTreeDecomposition(
+      const TreeDecomposition& td, const Graph& g);
+};
+
+/// Maximum independent set via the 2^w dynamic program over a nice tree
+/// decomposition — the algorithm whose SETH-optimality [51] proves (cited
+/// around Theorem 7.1). Returns the maximum size; writes a witness set if
+/// `witness` is non-null.
+int MaxIndependentSetTreewidth(const Graph& g,
+                               const NiceTreeDecomposition& ntd,
+                               std::vector<int>* witness = nullptr);
+
+/// Minimum dominating set size via the 3-state (black/white/grey) dynamic
+/// program over a nice tree decomposition — the 3^w-family algorithm of
+/// [15]/[51]. Requires g to have no isolated... handles all graphs.
+int MinDominatingSetTreewidth(const Graph& g,
+                              const NiceTreeDecomposition& ntd);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_NICE_DECOMPOSITION_H_

@@ -1,0 +1,496 @@
+#include "graph/treewidth.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace qc::graph {
+
+int TreeDecomposition::Width() const {
+  int w = -1;
+  for (const auto& b : bags) w = std::max(w, static_cast<int>(b.size()) - 1);
+  return w;
+}
+
+std::optional<std::string> TreeDecomposition::Validate(const Graph& g) const {
+  const int nb = static_cast<int>(bags.size());
+  if (nb == 0) {
+    return g.num_vertices() == 0
+               ? std::nullopt
+               : std::optional<std::string>("no bags for nonempty graph");
+  }
+  // Tree shape: connected with nb-1 edges.
+  if (static_cast<int>(edges.size()) != nb - 1) {
+    return "edge count is not (#bags - 1)";
+  }
+  std::vector<std::vector<int>> adj(nb);
+  for (auto [a, b] : edges) {
+    if (a < 0 || b < 0 || a >= nb || b >= nb) return "edge out of range";
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(nb, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 0;
+  while (!stack.empty()) {
+    int t = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (int u : adj[t]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (visited != nb) return "tree is not connected";
+
+  // Condition 1: vertex coverage.
+  std::vector<bool> covered(g.num_vertices(), false);
+  for (const auto& b : bags) {
+    for (int v : b) {
+      if (v < 0 || v >= g.num_vertices()) return "bag vertex out of range";
+      covered[v] = true;
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!covered[v]) return "vertex " + std::to_string(v) + " not covered";
+  }
+  // Condition 2: edge coverage.
+  for (auto [u, v] : g.Edges()) {
+    bool ok = false;
+    for (const auto& b : bags) {
+      if (std::binary_search(b.begin(), b.end(), u) &&
+          std::binary_search(b.begin(), b.end(), v)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      return "edge {" + std::to_string(u) + "," + std::to_string(v) +
+             "} not covered";
+    }
+  }
+  // Condition 3: for each vertex, the bags containing it induce a subtree.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::vector<int> holders;
+    for (int t = 0; t < nb; ++t) {
+      if (std::binary_search(bags[t].begin(), bags[t].end(), v)) {
+        holders.push_back(t);
+      }
+    }
+    if (holders.empty()) continue;
+    std::vector<bool> in_h(nb, false);
+    for (int t : holders) in_h[t] = true;
+    std::vector<bool> vis(nb, false);
+    std::vector<int> st = {holders[0]};
+    vis[holders[0]] = true;
+    int reached = 0;
+    while (!st.empty()) {
+      int t = st.back();
+      st.pop_back();
+      ++reached;
+      for (int u : adj[t]) {
+        if (in_h[u] && !vis[u]) {
+          vis[u] = true;
+          st.push_back(u);
+        }
+      }
+    }
+    if (reached != static_cast<int>(holders.size())) {
+      return "bags containing vertex " + std::to_string(v) +
+             " are not connected";
+    }
+  }
+  return std::nullopt;
+}
+
+int EliminationOrderWidth(const Graph& g, const std::vector<int>& order) {
+  const int n = g.num_vertices();
+  std::vector<util::Bitset> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  util::Bitset alive(n);
+  for (int v = 0; v < n; ++v) alive.Set(v);
+  int width = 0;
+  for (int v : order) {
+    util::Bitset nb = adj[v];
+    nb &= alive;
+    nb.Reset(v);
+    width = std::max(width, nb.Count());
+    // Make the live neighbourhood a clique (fill-in).
+    std::vector<int> ns = nb.ToVector();
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        adj[ns[i]].Set(ns[j]);
+        adj[ns[j]].Set(ns[i]);
+      }
+    }
+    alive.Reset(v);
+  }
+  return width;
+}
+
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const std::vector<int>& order) {
+  const int n = g.num_vertices();
+  TreeDecomposition td;
+  if (n == 0) return td;
+  std::vector<util::Bitset> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  util::Bitset alive(n);
+  for (int v = 0; v < n; ++v) alive.Set(v);
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+  std::vector<int> bag_of(n);  // Bag index created for each vertex.
+  td.bags.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    util::Bitset nb = adj[v];
+    nb &= alive;
+    nb.Reset(v);
+    std::vector<int> ns = nb.ToVector();
+    std::vector<int> bag = ns;
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    td.bags[i] = bag;
+    bag_of[v] = i;
+    for (std::size_t a = 0; a < ns.size(); ++a) {
+      for (std::size_t b = a + 1; b < ns.size(); ++b) {
+        adj[ns[a]].Set(ns[b]);
+        adj[ns[b]].Set(ns[a]);
+      }
+    }
+    alive.Reset(v);
+  }
+  // Attach bag i to the bag of the earliest-eliminated live neighbour of
+  // order[i]; if none (last vertex of a component), attach to next bag.
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    int best = -1;
+    for (int u : td.bags[i]) {
+      if (u == v) continue;
+      if (best < 0 || position[u] < position[best]) best = u;
+    }
+    if (best >= 0) {
+      td.edges.emplace_back(i, bag_of[best]);
+    } else if (i + 1 < n) {
+      td.edges.emplace_back(i, i + 1);
+    }
+  }
+  return td;
+}
+
+std::vector<int> MinDegreeOrder(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<util::Bitset> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  util::Bitset alive(n);
+  for (int v = 0; v < n; ++v) alive.Set(v);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1, best_deg = std::numeric_limits<int>::max();
+    for (int v = alive.NextSetBit(0); v >= 0; v = alive.NextSetBit(v + 1)) {
+      int d = adj[v].IntersectCount(alive) - 1;
+      if (d < best_deg) {
+        best_deg = d;
+        best = v;
+      }
+    }
+    util::Bitset nb = adj[best];
+    nb &= alive;
+    nb.Reset(best);
+    std::vector<int> ns = nb.ToVector();
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        adj[ns[i]].Set(ns[j]);
+        adj[ns[j]].Set(ns[i]);
+      }
+    }
+    alive.Reset(best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+std::vector<int> MinFillOrder(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<util::Bitset> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+  util::Bitset alive(n);
+  for (int v = 0; v < n; ++v) alive.Set(v);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long long best_fill = std::numeric_limits<long long>::max();
+    for (int v = alive.NextSetBit(0); v >= 0; v = alive.NextSetBit(v + 1)) {
+      util::Bitset nb = adj[v];
+      nb &= alive;
+      nb.Reset(v);
+      std::vector<int> ns = nb.ToVector();
+      long long fill = 0;
+      for (std::size_t i = 0; i < ns.size(); ++i) {
+        for (std::size_t j = i + 1; j < ns.size(); ++j) {
+          if (!adj[ns[i]].Test(ns[j])) ++fill;
+        }
+      }
+      if (fill < best_fill) {
+        best_fill = fill;
+        best = v;
+      }
+    }
+    util::Bitset nb = adj[best];
+    nb &= alive;
+    nb.Reset(best);
+    std::vector<int> ns = nb.ToVector();
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        adj[ns[i]].Set(ns[j]);
+        adj[ns[j]].Set(ns[i]);
+      }
+    }
+    alive.Reset(best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+TreewidthUpperBound HeuristicTreewidth(const Graph& g) {
+  std::vector<int> o1 = MinDegreeOrder(g);
+  std::vector<int> o2 = MinFillOrder(g);
+  int w1 = EliminationOrderWidth(g, o1);
+  int w2 = EliminationOrderWidth(g, o2);
+  const std::vector<int>& best = (w2 < w1) ? o2 : o1;
+  return TreewidthUpperBound{std::min(w1, w2),
+                             DecompositionFromOrder(g, best)};
+}
+
+int TreewidthLowerBound(const Graph& g) { return g.DegeneracyOrder().second; }
+
+namespace {
+
+/// Branch-and-bound state: live adjacency (with fill edges) as bitsets.
+class TwBranchState {
+ public:
+  TwBranchState(const Graph& g)
+      : n_(g.num_vertices()), adj_(n_), alive_(n_) {
+    for (int v = 0; v < n_; ++v) adj_[v] = g.Neighbors(v);
+    for (int v = 0; v < n_; ++v) alive_.Set(v);
+  }
+
+  int LiveDegree(int v) const { return adj_[v].IntersectCount(alive_); }
+
+  bool IsSimplicial(int v) const {
+    util::Bitset nb = adj_[v];
+    nb &= alive_;
+    nb.Reset(v);
+    std::vector<int> ns = nb.ToVector();
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        if (!adj_[ns[i]].Test(ns[j])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Eliminates v; returns the fill edges added so the caller can undo.
+  std::vector<std::pair<int, int>> Eliminate(int v) {
+    util::Bitset nb = adj_[v];
+    nb &= alive_;
+    nb.Reset(v);
+    std::vector<int> ns = nb.ToVector();
+    std::vector<std::pair<int, int>> fill;
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        if (!adj_[ns[i]].Test(ns[j])) {
+          adj_[ns[i]].Set(ns[j]);
+          adj_[ns[j]].Set(ns[i]);
+          fill.emplace_back(ns[i], ns[j]);
+        }
+      }
+    }
+    alive_.Reset(v);
+    return fill;
+  }
+
+  void Undo(int v, const std::vector<std::pair<int, int>>& fill) {
+    alive_.Set(v);
+    for (auto [a, b] : fill) {
+      adj_[a].Reset(b);
+      adj_[b].Reset(a);
+    }
+  }
+
+  int live_count() const { return alive_.Count(); }
+
+  /// Degeneracy of the live residual graph — a treewidth lower bound.
+  int ResidualLowerBound() const {
+    std::vector<int> deg(n_, 0);
+    util::Bitset alive = alive_;
+    for (int v = alive.NextSetBit(0); v >= 0; v = alive.NextSetBit(v + 1)) {
+      deg[v] = adj_[v].IntersectCount(alive);
+    }
+    int bound = 0;
+    util::Bitset left = alive;
+    int remaining = left.Count();
+    while (remaining > 0) {
+      int best = -1;
+      for (int v = left.NextSetBit(0); v >= 0; v = left.NextSetBit(v + 1)) {
+        if (best < 0 || deg[v] < deg[best]) best = v;
+      }
+      bound = std::max(bound, deg[best]);
+      left.Reset(best);
+      --remaining;
+      util::Bitset nb = adj_[best];
+      nb &= left;
+      for (int u = nb.NextSetBit(0); u >= 0; u = nb.NextSetBit(u + 1)) {
+        --deg[u];
+      }
+    }
+    return bound;
+  }
+
+  const util::Bitset& alive() const { return alive_; }
+
+ private:
+  int n_;
+  std::vector<util::Bitset> adj_;
+  util::Bitset alive_;
+};
+
+void TwBranch(TwBranchState& state, int width_so_far, int* best) {
+  if (width_so_far >= *best) return;
+  if (state.live_count() <= 1) {
+    *best = width_so_far;
+    return;
+  }
+  // Safe rule: a simplicial vertex can always be eliminated first.
+  for (int v = state.alive().NextSetBit(0); v >= 0;
+       v = state.alive().NextSetBit(v + 1)) {
+    if (state.IsSimplicial(v)) {
+      int deg = state.LiveDegree(v);
+      auto fill = state.Eliminate(v);
+      TwBranch(state, std::max(width_so_far, deg), best);
+      state.Undo(v, fill);
+      return;
+    }
+  }
+  if (std::max(width_so_far, state.ResidualLowerBound()) >= *best) return;
+  // Branch on which live vertex to eliminate next, cheapest first.
+  std::vector<int> candidates = state.alive().ToVector();
+  std::sort(candidates.begin(), candidates.end(), [&state](int a, int b) {
+    return state.LiveDegree(a) < state.LiveDegree(b);
+  });
+  for (int v : candidates) {
+    int deg = state.LiveDegree(v);
+    if (std::max(width_so_far, deg) >= *best) continue;
+    auto fill = state.Eliminate(v);
+    TwBranch(state, std::max(width_so_far, deg), best);
+    state.Undo(v, fill);
+  }
+}
+
+}  // namespace
+
+int BranchAndBoundTreewidth(const Graph& g) {
+  if (g.num_vertices() == 0) return -1;
+  int best = HeuristicTreewidth(g).width + 1;  // Exclusive upper bound.
+  TwBranchState state(g);
+  TwBranch(state, 0, &best);
+  return best;
+}
+
+namespace {
+
+/// Q(S, v): the vertices outside S+{v} adjacent to the component of v in
+/// G[S + {v}] — the degree v would have when eliminated right after S.
+int QValue(const std::vector<util::Bitset>& adj, std::uint32_t s_mask, int v,
+           int n) {
+  util::Bitset comp(n);
+  comp.Set(v);
+  util::Bitset frontier = comp;
+  util::Bitset reach_nb(n);
+  while (true) {
+    util::Bitset nb(n);
+    for (int u = frontier.NextSetBit(0); u >= 0;
+         u = frontier.NextSetBit(u + 1)) {
+      nb |= adj[u];
+    }
+    reach_nb |= nb;
+    // Extend within S.
+    util::Bitset next = nb;
+    for (int u = 0; u < n; ++u) {
+      if (!((s_mask >> u) & 1U)) next.Reset(u);
+    }
+    bool grew = false;
+    for (int u = next.NextSetBit(0); u >= 0; u = next.NextSetBit(u + 1)) {
+      if (!comp.Test(u)) {
+        comp.Set(u);
+        grew = true;
+      } else {
+        next.Reset(u);
+      }
+    }
+    if (!grew) break;
+    frontier = next;
+  }
+  int q = 0;
+  for (int u = reach_nb.NextSetBit(0); u >= 0;
+       u = reach_nb.NextSetBit(u + 1)) {
+    if (u != v && !((s_mask >> u) & 1U)) ++q;
+  }
+  return q;
+}
+
+}  // namespace
+
+ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices) {
+  const int n = g.num_vertices();
+  if (n > max_vertices || n > 28) std::abort();
+  if (n == 0) return {-1, TreeDecomposition{}, {}};
+
+  std::vector<util::Bitset> adj(n);
+  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
+
+  const std::uint32_t full = (n == 32) ? ~0U : ((1U << n) - 1U);
+  // f[S] = min over elimination prefixes equal to S of the max elimination
+  // degree so far; int8 suffices since widths are < 28.
+  std::vector<std::int8_t> f(static_cast<std::size_t>(full) + 1, -1);
+  std::vector<std::int8_t> choice(static_cast<std::size_t>(full) + 1, -1);
+  f[0] = 0;
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    int best = std::numeric_limits<int>::max();
+    int best_v = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!((s >> v) & 1U)) continue;
+      std::uint32_t prev = s & ~(1U << v);
+      int q = QValue(adj, prev, v, n);
+      int val = std::max(static_cast<int>(f[prev]), q);
+      if (val < best) {
+        best = val;
+        best_v = v;
+      }
+    }
+    f[s] = static_cast<std::int8_t>(best);
+    choice[s] = static_cast<std::int8_t>(best_v);
+  }
+
+  // Recover the elimination order (choice[S] is eliminated *last* in S).
+  std::vector<int> order(n);
+  std::uint32_t s = full;
+  for (int i = n - 1; i >= 0; --i) {
+    int v = choice[s];
+    order[i] = v;
+    s &= ~(1U << v);
+  }
+  ExactTreewidthResult result;
+  result.treewidth = f[full];
+  result.elimination_order = order;
+  result.decomposition = DecompositionFromOrder(g, order);
+  return result;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,73 @@
+#ifndef QC_GRAPH_TREEWIDTH_H_
+#define QC_GRAPH_TREEWIDTH_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// A tree decomposition (Definition 4.1): a tree whose nodes carry bags of
+/// vertices, covering all vertices and edges, with the connectedness
+/// ("running intersection") property.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;       ///< Sorted vertex sets.
+  std::vector<std::pair<int, int>> edges;   ///< Tree edges between bag ids.
+
+  /// max |bag| - 1, or -1 for the empty decomposition.
+  int Width() const;
+
+  /// Checks all three conditions of Definition 4.1 against `g` plus that
+  /// `edges` forms a tree. On failure returns an explanation.
+  std::optional<std::string> Validate(const Graph& g) const;
+};
+
+/// Exact treewidth via the O*(2^n) elimination-ordering dynamic program
+/// (Bodlaender et al.). Also produces an optimal tree decomposition.
+/// Aborts if g has more than `max_vertices` vertices (memory is 2^n bytes).
+struct ExactTreewidthResult {
+  int treewidth;
+  TreeDecomposition decomposition;
+  std::vector<int> elimination_order;
+};
+ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices = 24);
+
+/// Width of the decomposition induced by a given elimination order
+/// (max over v of the degree of v at its elimination time, after fill-in).
+int EliminationOrderWidth(const Graph& g, const std::vector<int>& order);
+
+/// Tree decomposition induced by an elimination order.
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const std::vector<int>& order);
+
+/// Greedy minimum-degree elimination order.
+std::vector<int> MinDegreeOrder(const Graph& g);
+
+/// Greedy minimum-fill-in elimination order.
+std::vector<int> MinFillOrder(const Graph& g);
+
+/// Upper bound: best of min-degree and min-fill.
+struct TreewidthUpperBound {
+  int width;
+  TreeDecomposition decomposition;
+};
+TreewidthUpperBound HeuristicTreewidth(const Graph& g);
+
+/// Lower bound on treewidth: graph degeneracy (every graph of treewidth k is
+/// k-degenerate).
+int TreewidthLowerBound(const Graph& g);
+
+/// Exact treewidth by branch and bound over elimination orders (QuickBB
+/// style): starts from the heuristic upper bound, eliminates simplicial
+/// vertices eagerly (always safe), and prunes with the degeneracy lower
+/// bound of the residual graph. Complements the 2^n subset DP: no 2^n
+/// memory, so it reaches somewhat larger sparse graphs, at the cost of a
+/// worst-case exponential search.
+int BranchAndBoundTreewidth(const Graph& g);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_TREEWIDTH_H_

@@ -1,0 +1,203 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/boolmatrix.h"
+
+namespace qc::graph {
+
+std::optional<std::array<int, 3>> FindTriangleEnumeration(const Graph& g) {
+  const int n = g.num_vertices();
+  // Rank vertices by (degree, id); orient each edge toward the higher rank.
+  std::vector<int> rank(n);
+  std::vector<int> by_deg(n);
+  for (int v = 0; v < n; ++v) by_deg[v] = v;
+  std::sort(by_deg.begin(), by_deg.end(), [&](int a, int b) {
+    int da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  for (int i = 0; i < n; ++i) rank[by_deg[i]] = i;
+  std::vector<util::Bitset> fwd(n, util::Bitset(n));
+  for (auto [u, v] : g.Edges()) {
+    if (rank[u] < rank[v]) {
+      fwd[u].Set(v);
+    } else {
+      fwd[v].Set(u);
+    }
+  }
+  for (auto [u, v] : g.Edges()) {
+    int lo = rank[u] < rank[v] ? u : v;
+    int hi = lo == u ? v : u;
+    // Common forward neighbour of both endpoints closes a triangle.
+    util::Bitset common = fwd[lo];
+    common &= fwd[hi];
+    int w = common.NextSetBit(0);
+    if (w >= 0) {
+      std::array<int, 3> t = {u, v, w};
+      std::sort(t.begin(), t.end());
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<int, 3>> FindTriangleEnumerationScalar(
+    const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> rank(n);
+  std::vector<int> by_deg(n);
+  for (int v = 0; v < n; ++v) by_deg[v] = v;
+  std::sort(by_deg.begin(), by_deg.end(), [&](int a, int b) {
+    int da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  for (int i = 0; i < n; ++i) rank[by_deg[i]] = i;
+  // Forward adjacency lists, sorted by vertex id.
+  std::vector<std::vector<int>> fwd(n);
+  for (auto [u, v] : g.Edges()) {
+    if (rank[u] < rank[v]) {
+      fwd[u].push_back(v);
+    } else {
+      fwd[v].push_back(u);
+    }
+  }
+  for (auto& list : fwd) std::sort(list.begin(), list.end());
+  for (auto [u, v] : g.Edges()) {
+    int lo = rank[u] < rank[v] ? u : v;
+    int hi = lo == u ? v : u;
+    // Two-pointer merge of the forward lists.
+    const auto& a = fwd[lo];
+    const auto& b = fwd[hi];
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        std::array<int, 3> t = {u, v, a[i]};
+        std::sort(t.begin(), t.end());
+        return t;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g) {
+  BoolMatrix a = BoolMatrix::FromGraph(g);
+  BoolMatrix a2 = a.Multiply(a);
+  const int n = g.num_vertices();
+  for (int i = 0; i < n; ++i) {
+    util::Bitset row = a2.Row(i);
+    row &= a.Row(i);
+    int j = row.NextSetBit(0);
+    if (j < 0) continue;
+    // Recover the middle vertex.
+    util::Bitset mid = a.Row(i);
+    mid &= a.Row(j);
+    int k = mid.NextSetBit(0);
+    std::array<int, 3> t = {i, j, k};
+    std::sort(t.begin(), t.end());
+    return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta) {
+  const int n = g.num_vertices();
+  const int m = g.num_edges();
+  if (m == 0) return std::nullopt;
+  if (delta <= 0) {
+    delta = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(m))));
+  }
+  // Light phase: any triangle with a low-degree vertex is found by scanning
+  // that vertex's neighbour pairs — O(m * delta).
+  for (int v = 0; v < n; ++v) {
+    if (g.Degree(v) > delta) continue;
+    std::vector<int> nb = g.NeighborList(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (g.HasEdge(nb[i], nb[j])) {
+          std::array<int, 3> t = {v, nb[i], nb[j]};
+          std::sort(t.begin(), t.end());
+          return t;
+        }
+      }
+    }
+  }
+  // Heavy phase: at most 2m/delta heavy vertices; all-heavy triangles via
+  // matrix multiplication on the induced subgraph.
+  std::vector<int> heavy;
+  for (int v = 0; v < n; ++v) {
+    if (g.Degree(v) > delta) heavy.push_back(v);
+  }
+  Graph h = g.InducedSubgraph(heavy);
+  auto t = FindTriangleMatrix(h);
+  if (!t) return std::nullopt;
+  std::array<int, 3> out = {heavy[(*t)[0]], heavy[(*t)[1]], heavy[(*t)[2]]};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t CountTrianglesScalar(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> rank(n);
+  std::vector<int> by_deg(n);
+  for (int v = 0; v < n; ++v) by_deg[v] = v;
+  std::sort(by_deg.begin(), by_deg.end(), [&](int a, int b) {
+    int da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  for (int i = 0; i < n; ++i) rank[by_deg[i]] = i;
+  std::vector<std::vector<int>> fwd(n);
+  for (auto [u, v] : g.Edges()) {
+    if (rank[u] < rank[v]) {
+      fwd[u].push_back(v);
+    } else {
+      fwd[v].push_back(u);
+    }
+  }
+  for (auto& list : fwd) std::sort(list.begin(), list.end());
+  std::uint64_t count = 0;
+  for (auto [u, v] : g.Edges()) {
+    int lo = rank[u] < rank[v] ? u : v;
+    int hi = lo == u ? v : u;
+    const auto& a = fwd[lo];
+    const auto& b = fwd[hi];
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t CountTriangles(const Graph& g) {
+  const int n = g.num_vertices();
+  // Mask of vertices with id > v, to count each triangle exactly once.
+  std::vector<util::Bitset> above(n, util::Bitset(n));
+  for (int v = 0; v < n; ++v) {
+    for (int w = v + 1; w < n; ++w) above[v].Set(w);
+  }
+  std::uint64_t count = 0;
+  for (auto [u, v] : g.Edges()) {
+    int hi = std::max(u, v);
+    util::Bitset common = g.Neighbors(u);
+    common &= g.Neighbors(v);
+    common &= above[hi];
+    count += common.Count();
+  }
+  return count;
+}
+
+}  // namespace qc::graph

@@ -1,0 +1,45 @@
+#ifndef QC_GRAPH_TRIANGLES_H_
+#define QC_GRAPH_TRIANGLES_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// Per-edge enumeration with a degree ordering and word-parallel
+/// neighbourhood intersection: O(m^{3/2} * n/64)-ish but very fast in
+/// practice. Returns a triangle (sorted) or nullopt.
+std::optional<std::array<int, 3>> FindTriangleEnumeration(const Graph& g);
+
+/// The same degree-ordered enumeration with scalar sorted-list merging —
+/// the classical O(m^{3/2}) combinatorial baseline, with no word
+/// parallelism. This is the "plain enumeration" that the AYZ split and the
+/// MM-based detectors are measured against in experiment E9.
+std::optional<std::array<int, 3>> FindTriangleEnumerationScalar(
+    const Graph& g);
+
+/// Detection via Boolean matrix multiplication: a triangle exists iff
+/// (A*A) AND A is nonzero (Section 8, "the triangle conjecture" discussion).
+std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g);
+
+/// Alon–Yuster–Zwick sparse detection: vertices of degree > `delta` are
+/// "heavy" and handled by matrix multiplication on the heavy-induced
+/// subgraph; triangles with a light vertex are found by scanning each light
+/// vertex's neighbour pairs. delta <= 0 picks sqrt(m) automatically.
+std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g,
+                                                  int delta = 0);
+
+/// Exact triangle count via word-parallel neighbourhood intersection.
+std::uint64_t CountTriangles(const Graph& g);
+
+/// Exact triangle count by scalar sorted-list merging over forward
+/// adjacency — the classical O(m^{3/2}) combinatorial counter, no word
+/// parallelism (the baseline of experiment E9).
+std::uint64_t CountTrianglesScalar(const Graph& g);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_TRIANGLES_H_

@@ -1,0 +1,151 @@
+#include "graph/vertexcover.h"
+
+#include <algorithm>
+
+namespace qc::graph {
+
+bool IsVertexCover(const Graph& g, const std::vector<int>& s) {
+  util::Bitset in(g.num_vertices());
+  for (int v : s) in.Set(v);
+  for (auto [u, v] : g.Edges()) {
+    if (!in.Test(u) && !in.Test(v)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool VcBranch(const Graph& g, int k, util::Bitset* removed,
+              std::vector<int>* cover) {
+  // Find an edge with both endpoints alive.
+  int eu = -1, ev = -1;
+  for (auto [u, v] : g.Edges()) {
+    if (!removed->Test(u) && !removed->Test(v)) {
+      eu = u;
+      ev = v;
+      break;
+    }
+  }
+  if (eu < 0) return true;  // No uncovered edge left.
+  if (k == 0) return false;
+  for (int pick : {eu, ev}) {
+    removed->Set(pick);
+    cover->push_back(pick);
+    if (VcBranch(g, k - 1, removed, cover)) return true;
+    cover->pop_back();
+    removed->Reset(pick);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindVertexCoverOfSize(const Graph& g, int k) {
+  util::Bitset removed(g.num_vertices());
+  std::vector<int> cover;
+  if (VcBranch(g, k, &removed, &cover)) {
+    std::sort(cover.begin(), cover.end());
+    return cover;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> MinVertexCover(const Graph& g) {
+  for (int k = 0; k <= g.num_vertices(); ++k) {
+    auto c = FindVertexCoverOfSize(g, k);
+    if (c) return *c;
+  }
+  return {};  // Unreachable: all vertices always cover.
+}
+
+std::vector<int> TwoApproxVertexCover(const Graph& g) {
+  util::Bitset in(g.num_vertices());
+  std::vector<int> cover;
+  for (auto [u, v] : g.Edges()) {
+    if (!in.Test(u) && !in.Test(v)) {
+      in.Set(u);
+      in.Set(v);
+      cover.push_back(u);
+      cover.push_back(v);
+    }
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+VertexCoverKernel KernelizeVertexCover(const Graph& g, int k) {
+  VertexCoverKernel kernel;
+  // Iterate the high-degree rule to a fixpoint: a vertex with more than
+  // `budget` live incident edges must join the cover (otherwise all its
+  // neighbours would, blowing the budget).
+  std::vector<bool> removed(g.num_vertices(), false);
+  std::vector<int> degree(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) degree[v] = g.Degree(v);
+  int budget = k;
+  bool changed = true;
+  while (changed && budget >= 0) {
+    changed = false;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!removed[v] && degree[v] > budget) {
+        removed[v] = true;
+        kernel.forced.push_back(v);
+        --budget;
+        for (int u : g.NeighborList(v)) {
+          if (!removed[u]) --degree[u];
+        }
+        changed = true;
+        if (budget < 0) break;
+      }
+    }
+  }
+  kernel.remaining_budget = budget;
+  if (budget < 0) {
+    kernel.definitely_no = true;
+    return kernel;
+  }
+  // Residual graph and the k^2 edge bound.
+  Graph residual(g.num_vertices());
+  long long edges = 0;
+  for (auto [u, v] : g.Edges()) {
+    if (!removed[u] && !removed[v]) {
+      residual.AddEdge(u, v);
+      ++edges;
+    }
+  }
+  if (edges > static_cast<long long>(budget) * budget) {
+    kernel.definitely_no = true;
+    return kernel;
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!removed[v] && residual.Degree(v) > 0) {
+      kernel.kernel_vertices.push_back(v);
+    }
+  }
+  kernel.kernel = std::move(residual);
+  return kernel;
+}
+
+std::optional<std::vector<int>> FindVertexCoverKernelized(const Graph& g,
+                                                          int k) {
+  VertexCoverKernel kernel = KernelizeVertexCover(g, k);
+  if (kernel.definitely_no) return std::nullopt;
+  auto rest = FindVertexCoverOfSize(kernel.kernel, kernel.remaining_budget);
+  if (!rest) return std::nullopt;
+  std::vector<int> cover = kernel.forced;
+  cover.insert(cover.end(), rest->begin(), rest->end());
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+std::vector<int> MaxIndependentSet(const Graph& g) {
+  std::vector<int> cover = MinVertexCover(g);
+  util::Bitset in(g.num_vertices());
+  for (int v : cover) in.Set(v);
+  std::vector<int> out;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!in.Test(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace qc::graph

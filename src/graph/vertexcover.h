@@ -1,0 +1,49 @@
+#ifndef QC_GRAPH_VERTEXCOVER_H_
+#define QC_GRAPH_VERTEXCOVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qc::graph {
+
+/// True if every edge has an endpoint in s.
+bool IsVertexCover(const Graph& g, const std::vector<int>& s);
+
+/// The 2^k * n^{O(1)} bounded-depth branching algorithm of Section 5: picks
+/// an uncovered edge and branches on which endpoint joins the cover. This is
+/// the canonical FPT algorithm the paper contrasts with Clique's n^{Theta(k)}.
+std::optional<std::vector<int>> FindVertexCoverOfSize(const Graph& g, int k);
+
+/// Exact minimum vertex cover (binary search over FindVertexCoverOfSize).
+std::vector<int> MinVertexCover(const Graph& g);
+
+/// Classic maximal-matching 2-approximation.
+std::vector<int> TwoApproxVertexCover(const Graph& g);
+
+/// Maximum independent set via complement of MinVertexCover.
+std::vector<int> MaxIndependentSet(const Graph& g);
+
+/// Buss kernelization for Vertex Cover(k): vertices of degree > k are
+/// forced into the cover; isolated vertices are dropped; if more than k*k
+/// edges remain the instance is a definite NO. The classic kernel that
+/// makes the 2^k branching of Section 5 run on a k^2-size core.
+struct VertexCoverKernel {
+  bool definitely_no = false;   ///< More than k' * k' edges remained.
+  std::vector<int> forced;      ///< Vertices every size-<=k cover contains.
+  int remaining_budget = 0;     ///< k minus the forced vertices.
+  Graph kernel;                 ///< Residual graph (original vertex ids,
+                                ///< forced/isolated vertices isolated).
+  std::vector<int> kernel_vertices;  ///< Vertices with surviving edges.
+};
+VertexCoverKernel KernelizeVertexCover(const Graph& g, int k);
+
+/// FindVertexCoverOfSize through the Buss kernel: equivalent answers,
+/// exponentially smaller search on high-degree-skewed inputs.
+std::optional<std::vector<int>> FindVertexCoverKernelized(const Graph& g,
+                                                          int k);
+
+}  // namespace qc::graph
+
+#endif  // QC_GRAPH_VERTEXCOVER_H_

@@ -1,0 +1,71 @@
+#include "reductions/clique_reductions.h"
+
+#include <cstdlib>
+
+namespace qc::reductions {
+
+namespace {
+
+csp::Relation AdjacencyRelation(const graph::Graph& g) {
+  csp::Relation rel(2);
+  for (auto [u, v] : g.Edges()) {
+    rel.Add({u, v});
+    rel.Add({v, u});
+  }
+  rel.Seal();
+  return rel;
+}
+
+csp::Relation FullRelation(int domain_size) {
+  csp::Relation rel(2);
+  for (int a = 0; a < domain_size; ++a) {
+    for (int b = 0; b < domain_size; ++b) rel.Add({a, b});
+  }
+  rel.Seal();
+  return rel;
+}
+
+}  // namespace
+
+csp::CspInstance CspFromClique(const graph::Graph& g, int k) {
+  csp::CspInstance csp;
+  csp.num_vars = k;
+  csp.domain_size = g.num_vertices();
+  csp::Relation adjacency = AdjacencyRelation(g);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      csp.AddConstraint({i, j}, adjacency);
+    }
+  }
+  return csp;
+}
+
+std::vector<int> ExtractClique(const std::vector<int>& assignment, int k) {
+  return std::vector<int>(assignment.begin(), assignment.begin() + k);
+}
+
+csp::CspInstance SpecialCspFromClique(const graph::Graph& g, int k) {
+  if (k < 1 || k > 20) std::abort();
+  csp::CspInstance csp = CspFromClique(g, k);
+  const long long path_len = 1LL << k;
+  csp.num_vars = k + static_cast<int>(path_len);
+  // Chain the dummy variables with always-satisfied binary constraints so
+  // the primal graph gains exactly a path on 2^k fresh vertices.
+  csp::Relation full = FullRelation(csp.domain_size);
+  for (int i = 0; i + 1 < path_len; ++i) {
+    csp.AddConstraint({k + i, k + i + 1}, full);
+  }
+  return csp;
+}
+
+csp::CspInstance CspFromGraphHomomorphism(const graph::Graph& h,
+                                          const graph::Graph& g) {
+  csp::CspInstance csp;
+  csp.num_vars = h.num_vertices();
+  csp.domain_size = g.num_vertices();
+  csp::Relation adjacency = AdjacencyRelation(g);
+  for (auto [u, v] : h.Edges()) csp.AddConstraint({u, v}, adjacency);
+  return csp;
+}
+
+}  // namespace qc::reductions

@@ -1,0 +1,34 @@
+#ifndef QC_REDUCTIONS_CLIQUE_REDUCTIONS_H_
+#define QC_REDUCTIONS_CLIQUE_REDUCTIONS_H_
+
+#include "csp/csp.h"
+#include "graph/graph.h"
+
+namespace qc::reductions {
+
+/// The parameterized reduction of Section 5: finding a k-clique in G becomes
+/// a binary CSP with k variables, C(k,2) constraints, and domain V(G). The
+/// constraint relation is G's (symmetric) adjacency, so any solution picks k
+/// pairwise-adjacent (hence distinct) vertices.
+csp::CspInstance CspFromClique(const graph::Graph& g, int k);
+
+/// Reads the clique back out of a CSP solution (the first k variables, for
+/// both CspFromClique and SpecialCspFromClique solutions).
+std::vector<int> ExtractClique(const std::vector<int>& assignment, int k);
+
+/// The Special CSP reduction of Definition 4.3 / Section 5: the clique CSP
+/// plus 2^k dummy variables chained by always-satisfied constraints, so the
+/// primal graph is exactly a k-clique plus a path on 2^k vertices. The
+/// instance has k + 2^k variables and is solvable iff G has a k-clique.
+/// k must be small enough for 2^k variables to be constructed (k <= 20).
+csp::CspInstance SpecialCspFromClique(const graph::Graph& g, int k);
+
+/// Binary CSP whose solutions are the homomorphisms from H to G: one
+/// adjacency constraint per edge of H (Section 2.3, same symmetric relation
+/// in every constraint).
+csp::CspInstance CspFromGraphHomomorphism(const graph::Graph& h,
+                                          const graph::Graph& g);
+
+}  // namespace qc::reductions
+
+#endif  // QC_REDUCTIONS_CLIQUE_REDUCTIONS_H_

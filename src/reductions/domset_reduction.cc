@@ -1,0 +1,67 @@
+#include "reductions/domset_reduction.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace qc::reductions {
+
+std::vector<int> DomSetReduction::ExtractDominatingSet(
+    const std::vector<int>& assignment) const {
+  std::vector<int> set(assignment.begin(), assignment.begin() + t);
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+DomSetReduction CspFromDominatingSet(const graph::Graph& g, int t,
+                                     int group_size) {
+  const int n = g.num_vertices();
+  if (t < 1 || group_size < 1) std::abort();
+  DomSetReduction red;
+  red.t = t;
+  red.group_size = group_size;
+
+  // Code domain t^group_size for the packed witness variables.
+  long long codes = 1;
+  for (int i = 0; i < group_size; ++i) {
+    codes *= t;
+    if (codes > 1'000'000) std::abort();  // Unreasonable packing.
+  }
+  const int num_groups = (n + group_size - 1) / group_size;
+
+  csp::CspInstance& csp = red.csp;
+  csp.num_vars = t + num_groups;
+  csp.domain_size = std::max<long long>(n, codes);
+
+  // Digit of `code` at `pos` in base t.
+  auto digit = [t](long long code, int pos) {
+    for (int i = 0; i < pos; ++i) code /= t;
+    return static_cast<int>(code % t);
+  };
+
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int group = j / group_size;
+      int pos = j % group_size;
+      csp::Relation rel(2);
+      for (long long code = 0; code < codes; ++code) {
+        if (digit(code, pos) != i) {
+          // Some other selector is responsible for j: any vertex works.
+          for (int a = 0; a < n; ++a) {
+            rel.Add({a, static_cast<int>(code)});
+          }
+        } else {
+          // Selector i must dominate j.
+          for (int a : g.NeighborList(j)) {
+            rel.Add({a, static_cast<int>(code)});
+          }
+          rel.Add({j, static_cast<int>(code)});
+        }
+      }
+      csp.AddConstraint({i, t + group}, std::move(rel));
+    }
+  }
+  return red;
+}
+
+}  // namespace qc::reductions

@@ -1,0 +1,33 @@
+#ifndef QC_REDUCTIONS_DOMSET_REDUCTION_H_
+#define QC_REDUCTIONS_DOMSET_REDUCTION_H_
+
+#include "csp/csp.h"
+#include "graph/graph.h"
+
+namespace qc::reductions {
+
+/// The reduction in the proof of Theorem 7.2: t-Dominating-Set on an
+/// n-vertex graph becomes a binary CSP whose primal graph is complete
+/// bipartite between t "selector" variables and ceil(n/group_size)
+/// "witness-group" variables — treewidth at most t.
+///
+/// Selector s_i takes a vertex of G; the witness for vertex j says which
+/// selector dominates j. With group_size = g, g witnesses are packed into
+/// one variable over the code domain t^g (the D -> D^g domain-squaring step
+/// of the proof).
+struct DomSetReduction {
+  csp::CspInstance csp;
+  int t = 0;           ///< Number of selector variables (first t vars).
+  int group_size = 1;
+
+  /// The selected dominating set from a CSP solution.
+  std::vector<int> ExtractDominatingSet(
+      const std::vector<int>& assignment) const;
+};
+
+DomSetReduction CspFromDominatingSet(const graph::Graph& g, int t,
+                                     int group_size = 1);
+
+}  // namespace qc::reductions
+
+#endif  // QC_REDUCTIONS_DOMSET_REDUCTION_H_

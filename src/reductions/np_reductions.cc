@@ -1,0 +1,52 @@
+#include "reductions/np_reductions.h"
+
+#include <algorithm>
+
+namespace qc::reductions {
+
+CliqueFromSatReduction CliqueFromSat(const sat::CnfFormula& f) {
+  CliqueFromSatReduction red;
+  red.target_clique_size = static_cast<int>(f.clauses.size());
+  for (int ci = 0; ci < static_cast<int>(f.clauses.size()); ++ci) {
+    for (sat::Lit l : f.clauses[ci]) {
+      red.vertex_literal.emplace_back(ci, l);
+    }
+  }
+  const int n = static_cast<int>(red.vertex_literal.size());
+  graph::Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      auto [ci, li] = red.vertex_literal[i];
+      auto [cj, lj] = red.vertex_literal[j];
+      if (ci != cj && li != -lj) g.AddEdge(i, j);
+    }
+  }
+  red.graph = std::move(g);
+  return red;
+}
+
+std::vector<bool> CliqueFromSatReduction::DecodeAssignment(
+    const std::vector<int>& clique, int num_vars) const {
+  std::vector<bool> assignment(num_vars, false);
+  for (int v : clique) {
+    sat::Lit l = vertex_literal[v].second;
+    int var = l > 0 ? l : -l;
+    assignment[var - 1] = l > 0;
+  }
+  return assignment;
+}
+
+graph::Graph ComplementGraph(const graph::Graph& g) { return g.Complement(); }
+
+std::vector<int> ComplementVertexSet(const graph::Graph& g,
+                                     const std::vector<int>& s) {
+  std::vector<bool> in(g.num_vertices(), false);
+  for (int v : s) in[v] = true;
+  std::vector<int> out;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!in[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace qc::reductions

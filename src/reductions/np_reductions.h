@@ -1,0 +1,40 @@
+#ifndef QC_REDUCTIONS_NP_REDUCTIONS_H_
+#define QC_REDUCTIONS_NP_REDUCTIONS_H_
+
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace qc::reductions {
+
+/// The classic Karp reduction behind the NP-hardness workhorse of Section
+/// 4: a CNF formula with m clauses becomes a graph whose k-cliques (k = m)
+/// are exactly the consistent ways of picking one satisfied literal per
+/// clause. One vertex per (clause, literal) occurrence; edges between
+/// occurrences from different clauses whose literals are not complementary.
+struct CliqueFromSatReduction {
+  graph::Graph graph;
+  int target_clique_size = 0;           ///< k = number of clauses.
+  std::vector<std::pair<int, sat::Lit>> vertex_literal;  ///< Per vertex:
+                                        ///< (clause index, literal).
+
+  /// Decodes a k-clique into a (partial) satisfying assignment; unforced
+  /// variables default to false.
+  std::vector<bool> DecodeAssignment(const std::vector<int>& clique,
+                                     int num_vars) const;
+};
+CliqueFromSatReduction CliqueFromSat(const sat::CnfFormula& f);
+
+/// Complementation identities of Section 5's Vertex Cover / Clique /
+/// Independent Set triangle: G has a vertex cover of size <= k iff its
+/// complement... precisely: S is a vertex cover of G iff V \ S is an
+/// independent set of G iff V \ S is a clique of the complement of G.
+/// These helpers make the identities executable.
+graph::Graph ComplementGraph(const graph::Graph& g);
+
+/// V \ s.
+std::vector<int> ComplementVertexSet(const graph::Graph& g,
+                                     const std::vector<int>& s);
+
+}  // namespace qc::reductions
+
+#endif  // QC_REDUCTIONS_NP_REDUCTIONS_H_

@@ -1,0 +1,47 @@
+#ifndef QC_REDUCTIONS_QUERY_REDUCTIONS_H_
+#define QC_REDUCTIONS_QUERY_REDUCTIONS_H_
+
+#include <map>
+#include <string>
+
+#include "csp/csp.h"
+#include "db/database.h"
+
+namespace qc::reductions {
+
+/// The Section 2.2 correspondence, query side -> CSP side: variables are the
+/// query's attributes, the domain is the set of values occurring in the
+/// database, one constraint per atom. Solutions are in bijection with the
+/// answer tuples Q(D).
+struct QueryToCspReduction {
+  csp::CspInstance csp;
+  std::vector<std::string> attributes;    ///< CSP variable i's attribute.
+  std::vector<db::Value> domain_values;   ///< CSP value d's database value.
+
+  /// Converts a CSP solution back to an answer tuple over `attributes`.
+  db::Tuple DecodeTuple(const std::vector<int>& assignment) const;
+};
+
+QueryToCspReduction CspFromJoinQuery(const db::JoinQuery& query,
+                                     const db::Database& db);
+
+/// The reverse direction: a CSP instance as a join query plus database.
+/// Constraint i becomes relation "C<i>" with attributes "v<j>" per scope
+/// variable; variables outside every constraint get a unary "domain" atom so
+/// the answer schema covers all variables.
+struct CspToQueryReduction {
+  db::JoinQuery query;
+  db::Database db;
+
+  /// Converts an answer tuple (aligned with query.AttributeOrder()) back to
+  /// a CSP assignment.
+  std::vector<int> DecodeAssignment(const db::Tuple& tuple) const;
+
+  int num_vars = 0;
+};
+
+CspToQueryReduction JoinQueryFromCsp(const csp::CspInstance& csp);
+
+}  // namespace qc::reductions
+
+#endif  // QC_REDUCTIONS_QUERY_REDUCTIONS_H_

@@ -1,0 +1,103 @@
+#include "reductions/sat_reductions.h"
+
+#include <cstdlib>
+
+namespace qc::reductions {
+
+csp::CspInstance CspFromSat(const sat::CnfFormula& f) {
+  csp::CspInstance csp;
+  csp.num_vars = f.num_vars;
+  csp.domain_size = 2;
+  for (const auto& clause : f.clauses) {
+    std::vector<int> scope;
+    scope.reserve(clause.size());
+    for (sat::Lit l : clause) scope.push_back((l > 0 ? l : -l) - 1);
+    const int r = static_cast<int>(clause.size());
+    csp::Relation rel(r);
+    // Allow every 0/1 tuple that satisfies the clause.
+    for (std::uint32_t mask = 0; mask < (1u << r); ++mask) {
+      bool sat = false;
+      for (int i = 0; i < r && !sat; ++i) {
+        bool value = (mask >> i) & 1u;
+        sat = (clause[i] > 0) == value;
+      }
+      if (!sat) continue;
+      std::vector<int> tuple(r);
+      for (int i = 0; i < r; ++i) tuple[i] = (mask >> i) & 1u;
+      rel.Add(std::move(tuple));
+    }
+    csp.AddConstraint(std::move(scope), std::move(rel));
+  }
+  return csp;
+}
+
+std::vector<bool> ThreeColoringReduction::DecodeAssignment(
+    const std::vector<int>& coloring) const {
+  std::vector<bool> assignment(positive_vertex.size());
+  for (std::size_t i = 0; i < positive_vertex.size(); ++i) {
+    assignment[i] = coloring[positive_vertex[i]] == coloring[true_vertex];
+  }
+  return assignment;
+}
+
+ThreeColoringReduction ThreeColoringFromSat(const sat::CnfFormula& f) {
+  ThreeColoringReduction red;
+  const int n = f.num_vars;
+  // Vertex budget: palette triangle, two literal vertices per variable, and
+  // one 3-vertex OR gadget per clause literal beyond the first — O(n + m).
+  int total = 3 + 2 * n;
+  for (const auto& clause : f.clauses) {
+    if (clause.empty() || clause.size() > 3) std::abort();
+    total += 3 * (static_cast<int>(clause.size()) - 1);
+  }
+  graph::Graph g(total);
+  int next_free = 3 + 2 * n;
+
+  // Palette triangle: 0 = T, 1 = F, 2 = B.
+  red.true_vertex = 0;
+  red.false_vertex = 1;
+  red.base_vertex = 2;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  // Variable gadgets: x_i at 3 + 2i, !x_i next to it; both tied to B so
+  // literal vertices take colours T/F, complementary within the pair.
+  red.positive_vertex.resize(n);
+  red.negative_vertex.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int pos = 3 + 2 * i, neg = pos + 1;
+    red.positive_vertex[i] = pos;
+    red.negative_vertex[i] = neg;
+    g.AddEdge(pos, neg);
+    g.AddEdge(pos, red.base_vertex);
+    g.AddEdge(neg, red.base_vertex);
+  }
+  auto literal_vertex = [&red](sat::Lit l) {
+    int v = l > 0 ? l : -l;
+    return l > 0 ? red.positive_vertex[v - 1] : red.negative_vertex[v - 1];
+  };
+  // OR gadget on inputs a, b with fresh vertices p, q, o: if a and b are
+  // both F then o is forced to F; if either is T then o can be coloured T.
+  auto or_gadget = [&g, &next_free](int a, int b) {
+    int p = next_free++, q = next_free++, o = next_free++;
+    g.AddEdge(p, a);
+    g.AddEdge(q, b);
+    g.AddEdge(p, q);
+    g.AddEdge(p, o);
+    g.AddEdge(q, o);
+    return o;
+  };
+  for (const auto& clause : f.clauses) {
+    int out = literal_vertex(clause[0]);
+    for (std::size_t i = 1; i < clause.size(); ++i) {
+      out = or_gadget(out, literal_vertex(clause[i]));
+    }
+    // Force the clause output to colour T.
+    g.AddEdge(out, red.false_vertex);
+    g.AddEdge(out, red.base_vertex);
+  }
+  red.graph = std::move(g);
+  return red;
+}
+
+}  // namespace qc::reductions

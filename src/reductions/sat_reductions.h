@@ -1,0 +1,35 @@
+#ifndef QC_REDUCTIONS_SAT_REDUCTIONS_H_
+#define QC_REDUCTIONS_SAT_REDUCTIONS_H_
+
+#include "csp/csp.h"
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace qc::reductions {
+
+/// Corollary 6.1: a CNF formula as a CSP with |D| = 2 and one constraint of
+/// arity <= max clause size per clause. Variable i of the CSP is SAT
+/// variable i+1; value 1 = true.
+csp::CspInstance CspFromSat(const sat::CnfFormula& f);
+
+/// Bookkeeping for the 3SAT -> 3-Colouring reduction (Corollary 6.2).
+struct ThreeColoringReduction {
+  graph::Graph graph;
+  int true_vertex;   ///< The palette triangle: colour(true_vertex) = "T".
+  int false_vertex;
+  int base_vertex;   ///< The "B"/neutral colour.
+  std::vector<int> positive_vertex;  ///< Per SAT variable: its literal vertex.
+  std::vector<int> negative_vertex;  ///< Per SAT variable: negated literal.
+
+  /// Decodes a proper 3-colouring into a satisfying assignment.
+  std::vector<bool> DecodeAssignment(const std::vector<int>& coloring) const;
+};
+
+/// The textbook 3SAT -> 3-Colouring reduction discussed after Hypothesis 2:
+/// O(n + m) vertices and edges. The formula is satisfiable iff the graph is
+/// 3-colourable. Clauses must have 1..3 literals.
+ThreeColoringReduction ThreeColoringFromSat(const sat::CnfFormula& f);
+
+}  // namespace qc::reductions
+
+#endif  // QC_REDUCTIONS_SAT_REDUCTIONS_H_

@@ -1,0 +1,324 @@
+#include "sat/cdcl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qc::sat {
+
+namespace {
+
+/// Internal literal encoding: variable v (0-based) positive -> 2v,
+/// negative -> 2v+1.
+int Enc(Lit l) {
+  int v = l > 0 ? l : -l;
+  return 2 * (v - 1) + (l > 0 ? 0 : 1);
+}
+int Neg(int lit) { return lit ^ 1; }
+int VarOf(int lit) { return lit >> 1; }
+bool SignOf(int lit) { return lit & 1; }  // true = negated.
+
+/// i-th element of the Luby sequence (1, 1, 2, 1, 1, 2, 4, ...).
+std::uint64_t Luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i + 1) ++k;
+  while ((1ULL << k) - 1 != i + 1) {
+    --k;
+    i -= (1ULL << k) - 1;
+  }
+  return 1ULL << (k - 1);
+}
+
+class Engine {
+ public:
+  Engine(const CnfFormula& f, const CdclSolver::Options& options,
+         CdclSolver::Stats* stats)
+      : n_(f.num_vars), options_(options), stats_(stats) {
+    value_.assign(n_, -1);
+    level_.assign(n_, 0);
+    reason_.assign(n_, -1);
+    activity_.assign(n_, 0.0);
+    phase_.assign(n_, 0);
+    seen_.assign(n_, 0);
+    watches_.assign(2 * n_, {});
+    ok_ = true;
+    for (const auto& clause : f.clauses) {
+      std::vector<int> lits;
+      lits.reserve(clause.size());
+      bool tautology = false;
+      for (Lit l : clause) {
+        int e = Enc(l);
+        if (std::find(lits.begin(), lits.end(), e) != lits.end()) continue;
+        if (std::find(lits.begin(), lits.end(), Neg(e)) != lits.end()) {
+          tautology = true;
+          break;
+        }
+        lits.push_back(e);
+      }
+      if (tautology) continue;
+      if (lits.empty()) {
+        ok_ = false;
+        return;
+      }
+      if (lits.size() == 1) {
+        if (!EnqueueRoot(lits[0])) {
+          ok_ = false;
+          return;
+        }
+        continue;
+      }
+      AddClause(std::move(lits));
+    }
+  }
+
+  /// Returns +1 SAT, 0 UNSAT, -1 aborted.
+  int Run() {
+    if (!ok_) return 0;
+    std::uint64_t restart_budget = options_.luby_unit * Luby(0);
+    std::uint64_t conflicts_at_restart = 0;
+    while (true) {
+      int confl = Propagate();
+      if (confl >= 0) {
+        ++stats_->conflicts;
+        if (CurrentLevel() == 0) return 0;
+        std::vector<int> learned;
+        int backjump = Analyze(confl, &learned);
+        Backtrack(backjump);
+        if (learned.size() == 1) {
+          if (!EnqueueRoot(learned[0])) return 0;
+        } else {
+          int id = AddClause(std::move(learned));
+          ++stats_->learned_clauses;
+          Enqueue(clauses_[id][0], id);
+        }
+        DecayActivities();
+        if (options_.max_conflicts != 0 &&
+            stats_->conflicts >= options_.max_conflicts) {
+          return -1;
+        }
+        if (stats_->conflicts - conflicts_at_restart >= restart_budget) {
+          ++stats_->restarts;
+          conflicts_at_restart = stats_->conflicts;
+          restart_budget = options_.luby_unit * Luby(stats_->restarts);
+          Backtrack(0);
+        }
+      } else {
+        int var = PickVariable();
+        if (var < 0) return 1;  // All assigned: model found.
+        ++stats_->decisions;
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        Enqueue(2 * var + (phase_[var] ? 1 : 0), -1);
+      }
+    }
+  }
+
+  std::vector<bool> Model() const {
+    std::vector<bool> model(n_);
+    for (int v = 0; v < n_; ++v) model[v] = value_[v] == 1;
+    return model;
+  }
+
+ private:
+  int CurrentLevel() const { return static_cast<int>(trail_lim_.size()); }
+
+  bool IsTrue(int lit) const {
+    signed char v = value_[VarOf(lit)];
+    return v >= 0 && (v == 1) == !SignOf(lit);
+  }
+  bool IsFalse(int lit) const {
+    signed char v = value_[VarOf(lit)];
+    return v >= 0 && (v == 1) == SignOf(lit);
+  }
+  bool IsUnset(int lit) const { return value_[VarOf(lit)] < 0; }
+
+  int AddClause(std::vector<int> lits) {
+    int id = static_cast<int>(clauses_.size());
+    watches_[Neg(lits[0])].push_back(id);
+    watches_[Neg(lits[1])].push_back(id);
+    clauses_.push_back(std::move(lits));
+    return id;
+  }
+
+  void Enqueue(int lit, int reason) {
+    int var = VarOf(lit);
+    value_[var] = SignOf(lit) ? 0 : 1;
+    phase_[var] = SignOf(lit) ? 1 : 0;
+    level_[var] = CurrentLevel();
+    reason_[var] = reason;
+    trail_.push_back(lit);
+    ++stats_->propagations;
+  }
+
+  bool EnqueueRoot(int lit) {
+    if (IsFalse(lit)) return false;
+    if (IsUnset(lit)) Enqueue(lit, -1);
+    return true;
+  }
+
+  /// Watch-based unit propagation; returns a conflicting clause id or -1.
+  int Propagate() {
+    while (head_ < trail_.size()) {
+      int lit = trail_[head_++];       // lit became true...
+      int falsified = Neg(lit);        // ...so Neg(lit) became false.
+      auto& watch_list = watches_[lit];
+      // Clauses watching `falsified` are stored under watches_[lit]
+      // (indexed by the negation so this lookup is one array access).
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < watch_list.size(); ++i) {
+        int id = watch_list[i];
+        auto& c = clauses_[id];
+        // Normalize: watched literals are c[0], c[1]; put the falsified
+        // one at c[1].
+        if (c[0] == falsified) std::swap(c[0], c[1]);
+        if (IsTrue(c[0])) {
+          watch_list[keep++] = id;
+          continue;
+        }
+        // Find a replacement watch.
+        bool moved = false;
+        for (std::size_t j = 2; j < c.size(); ++j) {
+          if (!IsFalse(c[j])) {
+            std::swap(c[1], c[j]);
+            watches_[Neg(c[1])].push_back(id);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;  // Dropped from this watch list.
+        watch_list[keep++] = id;
+        if (IsFalse(c[0])) {
+          // Conflict: restore the untouched tail of the list.
+          for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+            watch_list[keep++] = watch_list[j];
+          }
+          watch_list.resize(keep);
+          head_ = trail_.size();
+          return id;
+        }
+        Enqueue(c[0], id);
+      }
+      watch_list.resize(keep);
+    }
+    return -1;
+  }
+
+  void BumpActivity(int var) {
+    activity_[var] += activity_inc_;
+    if (activity_[var] > 1e100) {
+      for (auto& a : activity_) a *= 1e-100;
+      activity_inc_ *= 1e-100;
+    }
+  }
+
+  void DecayActivities() { activity_inc_ /= options_.activity_decay; }
+
+  /// First-UIP conflict analysis. Fills *learned (asserting literal first)
+  /// and returns the backjump level.
+  int Analyze(int confl, std::vector<int>* learned) {
+    learned->clear();
+    learned->push_back(-1);  // Placeholder for the asserting literal.
+    int counter = 0;
+    int index = static_cast<int>(trail_.size()) - 1;
+    int lit = -1;
+    int clause = confl;
+    while (true) {
+      for (int q : clauses_[clause]) {
+        if (q == lit) continue;
+        int var = VarOf(q);
+        if (!seen_[var] && level_[var] > 0) {
+          seen_[var] = 1;
+          BumpActivity(var);
+          if (level_[var] == CurrentLevel()) {
+            ++counter;
+          } else {
+            learned->push_back(q);
+          }
+        }
+      }
+      // Walk the trail back to the next marked literal of this level.
+      while (!seen_[VarOf(trail_[index])]) --index;
+      lit = trail_[index];
+      seen_[VarOf(lit)] = 0;
+      --counter;
+      if (counter == 0) break;
+      clause = reason_[VarOf(lit)];
+      --index;
+    }
+    (*learned)[0] = Neg(lit);
+    // Backjump level: highest level among the other literals.
+    int backjump = 0;
+    std::size_t second = 1;
+    for (std::size_t i = 1; i < learned->size(); ++i) {
+      int lvl = level_[VarOf((*learned)[i])];
+      if (lvl > backjump) {
+        backjump = lvl;
+        second = i;
+      }
+    }
+    if (learned->size() > 1) std::swap((*learned)[1], (*learned)[second]);
+    for (std::size_t i = 1; i < learned->size(); ++i) {
+      seen_[VarOf((*learned)[i])] = 0;
+    }
+    return backjump;
+  }
+
+  void Backtrack(int target_level) {
+    if (CurrentLevel() <= target_level) return;
+    int boundary = trail_lim_[target_level];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
+      value_[VarOf(trail_[i])] = -1;
+      reason_[VarOf(trail_[i])] = -1;
+    }
+    trail_.resize(boundary);
+    trail_lim_.resize(target_level);
+    head_ = trail_.size();
+  }
+
+  int PickVariable() const {
+    int best = -1;
+    for (int v = 0; v < n_; ++v) {
+      if (value_[v] < 0 && (best < 0 || activity_[v] > activity_[best])) {
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  int n_;
+  const CdclSolver::Options& options_;
+  CdclSolver::Stats* stats_;
+  bool ok_;
+  std::vector<std::vector<int>> clauses_;
+  std::vector<std::vector<int>> watches_;  ///< Indexed by Neg(watched lit).
+  std::vector<signed char> value_, phase_, seen_;
+  std::vector<int> level_, reason_;
+  std::vector<int> trail_, trail_lim_;
+  std::size_t head_ = 0;
+  double activity_inc_ = 1.0;
+  std::vector<double> activity_;
+};
+
+}  // namespace
+
+CdclSolver::CdclSolver() : options_() {}
+
+SatResult CdclSolver::Solve(const CnfFormula& f) {
+  stats_ = Stats();
+  aborted_ = false;
+  SatResult result;
+  Engine engine(f, options_, &stats_);
+  int outcome = engine.Run();
+  result.decisions = stats_.decisions;
+  result.propagations = stats_.propagations;
+  if (outcome < 0) {
+    aborted_ = true;
+    return result;
+  }
+  if (outcome == 1) {
+    result.satisfiable = true;
+    result.assignment = engine.Model();
+  }
+  return result;
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,108 @@
+#include "sat/cnf.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace qc::sat {
+
+bool CnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool sat = false;
+    for (Lit l : clause) {
+      int v = l > 0 ? l : -l;
+      bool val = assignment[v - 1];
+      if ((l > 0) == val) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::MaxClauseSize(int k) const {
+  for (const auto& c : clauses) {
+    if (static_cast<int>(c.size()) > k) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::IsHorn() const {
+  for (const auto& c : clauses) {
+    int positives = 0;
+    for (Lit l : c) {
+      if (l > 0) ++positives;
+    }
+    if (positives > 1) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToDimacs() const {
+  std::ostringstream out;
+  out << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const auto& c : clauses) {
+    for (Lit l : c) out << l << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+std::optional<CnfFormula> CnfFormula::FromDimacs(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CnfFormula f;
+  int expected_clauses = -1;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, cnf;
+      if (!(hs >> p >> cnf >> f.num_vars >> expected_clauses)) {
+        return std::nullopt;
+      }
+      if (cnf != "cnf" || f.num_vars < 0 || expected_clauses < 0) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    Lit l;
+    while (ls >> l) {
+      if (l == 0) {
+        f.clauses.push_back(current);
+        current.clear();
+      } else {
+        int v = l > 0 ? l : -l;
+        if (v > f.num_vars) return std::nullopt;
+        current.push_back(l);
+      }
+    }
+  }
+  if (!current.empty()) return std::nullopt;  // Unterminated clause.
+  if (expected_clauses >= 0 &&
+      static_cast<int>(f.clauses.size()) != expected_clauses) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+SatResult SolveBruteForce(const CnfFormula& f) {
+  SatResult r;
+  if (f.num_vars > 62) std::abort();
+  std::vector<bool> assignment(f.num_vars);
+  for (std::uint64_t mask = 0; mask < (1ULL << f.num_vars); ++mask) {
+    ++r.decisions;
+    for (int v = 0; v < f.num_vars; ++v) assignment[v] = (mask >> v) & 1ULL;
+    if (f.Evaluate(assignment)) {
+      r.satisfiable = true;
+      r.assignment = assignment;
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace qc::sat

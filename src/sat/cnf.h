@@ -1,0 +1,59 @@
+#ifndef QC_SAT_CNF_H_
+#define QC_SAT_CNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qc::sat {
+
+/// Literals use the DIMACS convention: variables are 1..num_vars, literal
+/// +v is the variable, -v its negation.
+using Lit = int;
+
+/// A CNF formula.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Appends a clause (no tautology/duplicate cleanup; generators emit
+  /// clean clauses).
+  void AddClause(std::vector<Lit> clause) {
+    clauses.push_back(std::move(clause));
+  }
+
+  /// Evaluates under a full assignment (assignment[v-1] is var v's value).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// True if every clause has at most `k` literals.
+  bool MaxClauseSize(int k) const;
+
+  /// True if every clause has at most one positive literal.
+  bool IsHorn() const;
+
+  /// True if every clause has at most two literals.
+  bool IsTwoSat() const { return MaxClauseSize(2); }
+
+  /// Serializes in DIMACS "p cnf" format.
+  std::string ToDimacs() const;
+
+  /// Parses DIMACS; returns nullopt on malformed input.
+  static std::optional<CnfFormula> FromDimacs(const std::string& text);
+};
+
+/// Result of a satisfiability search, with solver effort counters so the
+/// ETH/SETH experiments can report search-tree sizes alongside wall time.
+struct SatResult {
+  bool satisfiable = false;
+  std::vector<bool> assignment;  ///< Valid when satisfiable.
+  std::uint64_t decisions = 0;   ///< Branching nodes explored.
+  std::uint64_t propagations = 0;
+};
+
+/// Tries all 2^n assignments (the "brute force search" of Hypothesis 3).
+SatResult SolveBruteForce(const CnfFormula& f);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_CNF_H_

@@ -1,0 +1,178 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace qc::sat {
+
+namespace {
+
+/// Clause status under a partial assignment.
+struct ClauseState {
+  bool satisfied = false;
+  int unassigned = 0;
+  Lit last_unassigned = 0;
+};
+
+ClauseState Inspect(const std::vector<Lit>& clause,
+                    const std::vector<signed char>& value) {
+  ClauseState s;
+  for (Lit l : clause) {
+    int v = l > 0 ? l : -l;
+    signed char val = value[v];
+    if (val < 0) {
+      ++s.unassigned;
+      s.last_unassigned = l;
+    } else if ((l > 0) == (val == 1)) {
+      s.satisfied = true;
+      return s;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+DpllSolver::DpllSolver() : options_() {}
+
+bool DpllSolver::UnitPropagate(const CnfFormula& f,
+                               std::vector<signed char>* value,
+                               std::vector<int>* trail, SatResult* result) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : f.clauses) {
+      ClauseState s = Inspect(clause, *value);
+      if (s.satisfied) continue;
+      if (s.unassigned == 0) return false;  // Conflict.
+      if (s.unassigned == 1) {
+        Lit l = s.last_unassigned;
+        int v = l > 0 ? l : -l;
+        (*value)[v] = (l > 0) ? 1 : 0;
+        trail->push_back(v);
+        ++result->propagations;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+int DpllSolver::PickBranchVariable(
+    const CnfFormula& f, const std::vector<signed char>& value) const {
+  // MOMS: among the shortest non-satisfied clauses, pick the variable with
+  // the most occurrences.
+  int min_size = INT_MAX;
+  for (const auto& clause : f.clauses) {
+    ClauseState s = Inspect(clause, value);
+    if (!s.satisfied && s.unassigned > 0 && s.unassigned < min_size) {
+      min_size = s.unassigned;
+    }
+  }
+  if (min_size == INT_MAX) {
+    for (int v = 1; v <= f.num_vars; ++v) {
+      if (value[v] < 0) return v;
+    }
+    return 0;
+  }
+  std::vector<int> score(f.num_vars + 1, 0);
+  for (const auto& clause : f.clauses) {
+    ClauseState s = Inspect(clause, value);
+    if (s.satisfied || s.unassigned != min_size) continue;
+    for (Lit l : clause) {
+      int v = l > 0 ? l : -l;
+      if (value[v] < 0) ++score[v];
+    }
+  }
+  int best = 0, best_score = -1;
+  for (int v = 1; v <= f.num_vars; ++v) {
+    if (value[v] < 0 && score[v] > best_score) {
+      best_score = score[v];
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool DpllSolver::Search(const CnfFormula& f, std::vector<signed char>* value,
+                        SatResult* result) {
+  if (options_.max_decisions != 0 &&
+      result->decisions >= options_.max_decisions) {
+    aborted_ = true;
+    return false;
+  }
+  std::vector<int> trail;
+  auto undo = [&]() {
+    for (int v : trail) (*value)[v] = -1;
+  };
+  if (!UnitPropagate(f, value, &trail, result)) {
+    undo();
+    return false;
+  }
+
+  if (options_.use_pure_literal) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<signed char> seen_pos(f.num_vars + 1, 0);
+      std::vector<signed char> seen_neg(f.num_vars + 1, 0);
+      for (const auto& clause : f.clauses) {
+        if (Inspect(clause, *value).satisfied) continue;
+        for (Lit l : clause) {
+          int v = l > 0 ? l : -l;
+          if ((*value)[v] < 0) (l > 0 ? seen_pos : seen_neg)[v] = 1;
+        }
+      }
+      for (int v = 1; v <= f.num_vars; ++v) {
+        if ((*value)[v] < 0 && (seen_pos[v] ^ seen_neg[v])) {
+          (*value)[v] = seen_pos[v] ? 1 : 0;
+          trail.push_back(v);
+          ++result->propagations;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  bool all_satisfied = true;
+  for (const auto& clause : f.clauses) {
+    ClauseState s = Inspect(clause, *value);
+    if (s.satisfied) continue;
+    all_satisfied = false;
+    if (s.unassigned == 0) {
+      undo();
+      return false;
+    }
+  }
+  if (all_satisfied) return true;
+
+  int branch = PickBranchVariable(f, *value);
+  for (signed char polarity : {1, 0}) {
+    ++result->decisions;
+    (*value)[branch] = polarity;
+    if (Search(f, value, result)) return true;
+    (*value)[branch] = -1;
+    if (aborted_) break;
+  }
+  undo();
+  return false;
+}
+
+SatResult DpllSolver::Solve(const CnfFormula& f) {
+  aborted_ = false;
+  SatResult result;
+  std::vector<signed char> value(f.num_vars + 1, -1);
+  if (Search(f, &value, &result)) {
+    result.satisfiable = true;
+    result.assignment.resize(f.num_vars);
+    for (int v = 1; v <= f.num_vars; ++v) {
+      // Unset variables (untouched by any clause) default to false.
+      result.assignment[v - 1] = value[v] == 1;
+    }
+  }
+  return result;
+}
+
+SatResult SolveDpll(const CnfFormula& f) { return DpllSolver().Solve(f); }
+
+}  // namespace qc::sat

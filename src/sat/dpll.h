@@ -1,0 +1,49 @@
+#ifndef QC_SAT_DPLL_H_
+#define QC_SAT_DPLL_H_
+
+#include "sat/cnf.h"
+
+namespace qc::sat {
+
+/// DPLL with unit propagation, pure-literal elimination, and a MOMS-style
+/// branching heuristic (most occurrences in minimum-size clauses).
+///
+/// This is the project's "general-purpose exponential SAT solver": the
+/// object whose 2^{Theta(n)} scaling the ETH experiments (E10/E11) measure.
+class DpllSolver {
+ public:
+  struct Options {
+    bool use_pure_literal = true;
+    /// Stop after this many decisions (0 = unlimited); when hit, the result
+    /// is reported unsatisfiable with `aborted` set.
+    std::uint64_t max_decisions = 0;
+  };
+
+  DpllSolver();
+  explicit DpllSolver(Options options) : options_(options) {}
+
+  /// Solves f. The returned SatResult carries decision/propagation counts.
+  SatResult Solve(const CnfFormula& f);
+
+  /// True if the last Solve hit the decision limit.
+  bool aborted() const { return aborted_; }
+
+ private:
+  // Assignment values: 0 = false, 1 = true, -1 = unset (indexed by var).
+  bool Search(const CnfFormula& f, std::vector<signed char>* value,
+              SatResult* result);
+  bool UnitPropagate(const CnfFormula& f, std::vector<signed char>* value,
+                     std::vector<int>* trail, SatResult* result);
+  int PickBranchVariable(const CnfFormula& f,
+                         const std::vector<signed char>& value) const;
+
+  Options options_;
+  bool aborted_ = false;
+};
+
+/// Convenience wrapper.
+SatResult SolveDpll(const CnfFormula& f);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_DPLL_H_

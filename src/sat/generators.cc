@@ -1,0 +1,78 @@
+#include "sat/generators.h"
+
+namespace qc::sat {
+
+namespace {
+
+std::vector<Lit> RandomClause(int num_vars, int k, util::Rng* rng) {
+  std::vector<int> vars = rng->Sample(num_vars, k);
+  std::vector<Lit> clause(k);
+  for (int i = 0; i < k; ++i) {
+    clause[i] = (vars[i] + 1) * (rng->NextBool(0.5) ? 1 : -1);
+  }
+  return clause;
+}
+
+}  // namespace
+
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, util::Rng* rng) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    f.AddClause(RandomClause(num_vars, k, rng));
+  }
+  return f;
+}
+
+CnfFormula PlantedKSat(int num_vars, int num_clauses, int k, util::Rng* rng,
+                       std::vector<bool>* hidden) {
+  std::vector<bool> model(num_vars);
+  for (int v = 0; v < num_vars; ++v) model[v] = rng->NextBool(0.5);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  while (static_cast<int>(f.clauses.size()) < num_clauses) {
+    std::vector<Lit> clause = RandomClause(num_vars, k, rng);
+    bool sat = false;
+    for (Lit l : clause) {
+      int v = l > 0 ? l : -l;
+      if ((l > 0) == model[v - 1]) {
+        sat = true;
+        break;
+      }
+    }
+    if (sat) f.AddClause(std::move(clause));
+  }
+  if (hidden != nullptr) *hidden = model;
+  return f;
+}
+
+CnfFormula RandomTwoSat(int num_vars, int num_clauses, util::Rng* rng) {
+  return RandomKSat(num_vars, num_clauses, 2, rng);
+}
+
+CnfFormula RandomHorn(int num_vars, int num_clauses, int body,
+                      double head_prob, util::Rng* rng) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    int want_head = rng->NextBool(head_prob) ? 1 : 0;
+    std::vector<int> vars = rng->Sample(num_vars, body + want_head);
+    std::vector<Lit> clause;
+    for (int j = 0; j < body; ++j) clause.push_back(-(vars[j] + 1));
+    if (want_head) clause.push_back(vars[body] + 1);
+    f.AddClause(std::move(clause));
+  }
+  return f;
+}
+
+XorSystem RandomXorSystem(int num_vars, int num_equations, int width,
+                          util::Rng* rng) {
+  XorSystem s;
+  s.num_vars = num_vars;
+  for (int i = 0; i < num_equations; ++i) {
+    s.AddEquation(rng->Sample(num_vars, width), rng->NextBool(0.5));
+  }
+  return s;
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,34 @@
+#ifndef QC_SAT_GENERATORS_H_
+#define QC_SAT_GENERATORS_H_
+
+#include "sat/cnf.h"
+#include "sat/xorsat.h"
+#include "util/rng.h"
+
+namespace qc::sat {
+
+/// Uniform random k-SAT: m clauses, each with k distinct variables and
+/// random polarities. The E11 experiment sweeps m/n across the 3SAT
+/// satisfiability threshold (~4.27).
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, util::Rng* rng);
+
+/// Random k-SAT guaranteed satisfiable: a hidden assignment is drawn and
+/// every clause is re-rolled until it satisfies it.
+CnfFormula PlantedKSat(int num_vars, int num_clauses, int k, util::Rng* rng,
+                       std::vector<bool>* hidden = nullptr);
+
+/// Random 2SAT at given clause count.
+CnfFormula RandomTwoSat(int num_vars, int num_clauses, util::Rng* rng);
+
+/// Random Horn formula: each clause has `body` negative literals and, with
+/// probability `head_prob`, one positive head.
+CnfFormula RandomHorn(int num_vars, int num_clauses, int body,
+                      double head_prob, util::Rng* rng);
+
+/// Random XOR system with `width` variables per equation.
+XorSystem RandomXorSystem(int num_vars, int num_equations, int width,
+                          util::Rng* rng);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_GENERATORS_H_

@@ -1,0 +1,42 @@
+#include "sat/hornsat.h"
+
+#include <cstdlib>
+
+namespace qc::sat {
+
+SatResult SolveHornSat(const CnfFormula& f) {
+  if (!f.IsHorn()) std::abort();
+  SatResult r;
+  std::vector<bool> value(f.num_vars + 1, false);  // Minimal model candidate.
+  // Saturate: a clause whose negative literals are all true forces its
+  // positive literal (or fails if it has none).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : f.clauses) {
+      Lit head = 0;
+      bool body_satisfied = true;  // All negated vars currently true?
+      bool clause_satisfied = false;
+      for (Lit l : clause) {
+        int v = l > 0 ? l : -l;
+        if (l > 0) {
+          head = l;
+          if (value[v]) clause_satisfied = true;
+        } else if (!value[v]) {
+          body_satisfied = false;
+        }
+      }
+      if (clause_satisfied || !body_satisfied) continue;
+      if (head == 0) return r;  // All-negative clause violated: UNSAT.
+      value[head] = true;
+      ++r.propagations;
+      changed = true;
+    }
+  }
+  r.satisfiable = true;
+  r.assignment.resize(f.num_vars);
+  for (int v = 1; v <= f.num_vars; ++v) r.assignment[v - 1] = value[v];
+  return r;
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,16 @@
+#ifndef QC_SAT_HORNSAT_H_
+#define QC_SAT_HORNSAT_H_
+
+#include "sat/cnf.h"
+
+namespace qc::sat {
+
+/// Polynomial-time Horn-SAT by unit propagation from the all-false
+/// assignment; when satisfiable the returned assignment is the unique
+/// minimal model. Every clause must have at most one positive literal;
+/// aborts otherwise.
+SatResult SolveHornSat(const CnfFormula& f);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_HORNSAT_H_

@@ -1,0 +1,170 @@
+#include "sat/model_counting.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace qc::sat {
+
+namespace {
+
+/// Recursive counter. Every call counts satisfying assignments of the
+/// *currently unassigned* variables in its `owned` scope against its clause
+/// set; variables whose clauses all become satisfied are free and
+/// contribute a factor of 2, and variable-disjoint clause components
+/// multiply.
+class Counter {
+ public:
+  explicit Counter(const CnfFormula& f) : f_(f), value_(f.num_vars + 1, -1) {}
+
+  std::uint64_t Count() {
+    std::vector<int> clauses;
+    for (int ci = 0; ci < static_cast<int>(f_.clauses.size()); ++ci) {
+      clauses.push_back(ci);
+    }
+    std::vector<int> owned;
+    for (int v = 1; v <= f_.num_vars; ++v) owned.push_back(v);
+    return CountScoped(clauses, owned);
+  }
+
+ private:
+  enum class Status { kSatisfied, kConflict, kActive };
+
+  Status Inspect(int ci, std::vector<Lit>* unassigned) const {
+    unassigned->clear();
+    for (Lit l : f_.clauses[ci]) {
+      int v = l > 0 ? l : -l;
+      if (value_[v] < 0) {
+        unassigned->push_back(l);
+      } else if ((l > 0) == (value_[v] == 1)) {
+        return Status::kSatisfied;
+      }
+    }
+    return unassigned->empty() ? Status::kConflict : Status::kActive;
+  }
+
+  std::uint64_t CountScoped(const std::vector<int>& clauses,
+                            const std::vector<int>& owned) {
+    // Unit propagation within the scope.
+    std::vector<int> trail;
+    std::vector<Lit> unassigned;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int ci : clauses) {
+        Status s = Inspect(ci, &unassigned);
+        if (s == Status::kConflict) {
+          Undo(trail);
+          return 0;
+        }
+        if (s == Status::kActive && unassigned.size() == 1) {
+          Assign(unassigned[0], &trail);
+          changed = true;
+        }
+      }
+    }
+    // Live clauses and their unassigned variables.
+    std::vector<int> live;
+    std::vector<bool> in_live_clause(f_.num_vars + 1, false);
+    for (int ci : clauses) {
+      Status s = Inspect(ci, &unassigned);
+      if (s == Status::kConflict) {
+        Undo(trail);
+        return 0;
+      }
+      if (s == Status::kActive) {
+        live.push_back(ci);
+        for (Lit l : unassigned) in_live_clause[l > 0 ? l : -l] = true;
+      }
+    }
+    // Free scope variables: unassigned and in no live clause.
+    std::uint64_t result = 1;
+    for (int v : owned) {
+      if (value_[v] < 0 && !in_live_clause[v]) result *= 2;
+    }
+    // Component split over the live clauses.
+    std::vector<char> done(live.size(), 0);
+    for (std::size_t i = 0; i < live.size() && result > 0; ++i) {
+      if (done[i]) continue;
+      std::vector<int> comp_clauses = {live[i]};
+      std::vector<bool> comp_var(f_.num_vars + 1, false);
+      MarkVars(live[i], &comp_var);
+      done[i] = 1;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          if (done[j] || !SharesVar(live[j], comp_var)) continue;
+          done[j] = 1;
+          comp_clauses.push_back(live[j]);
+          MarkVars(live[j], &comp_var);
+          grew = true;
+        }
+      }
+      std::vector<int> comp_owned;
+      for (int v = 1; v <= f_.num_vars; ++v) {
+        if (comp_var[v]) comp_owned.push_back(v);
+      }
+      result *= Branch(comp_clauses, comp_owned);
+    }
+    Undo(trail);
+    return result;
+  }
+
+  /// Branches on one unassigned variable of the component.
+  std::uint64_t Branch(const std::vector<int>& clauses,
+                       const std::vector<int>& owned) {
+    int branch_var = -1;
+    for (int v : owned) {
+      if (value_[v] < 0) {
+        branch_var = v;
+        break;
+      }
+    }
+    if (branch_var < 0) return 1;  // Fully assigned, conflicts caught above.
+    std::uint64_t total = 0;
+    for (signed char polarity : {1, 0}) {
+      value_[branch_var] = polarity;
+      total += CountScoped(clauses, owned);
+      value_[branch_var] = -1;
+    }
+    return total;
+  }
+
+  void Assign(Lit l, std::vector<int>* trail) {
+    int v = l > 0 ? l : -l;
+    value_[v] = l > 0 ? 1 : 0;
+    trail->push_back(v);
+  }
+
+  void Undo(const std::vector<int>& trail) {
+    for (int v : trail) value_[v] = -1;
+  }
+
+  void MarkVars(int ci, std::vector<bool>* mark) const {
+    for (Lit l : f_.clauses[ci]) {
+      int v = l > 0 ? l : -l;
+      if (value_[v] < 0) (*mark)[v] = true;
+    }
+  }
+
+  bool SharesVar(int ci, const std::vector<bool>& mark) const {
+    for (Lit l : f_.clauses[ci]) {
+      int v = l > 0 ? l : -l;
+      if (value_[v] < 0 && mark[v]) return true;
+    }
+    return false;
+  }
+
+  const CnfFormula& f_;
+  std::vector<signed char> value_;
+};
+
+}  // namespace
+
+std::uint64_t CountModels(const CnfFormula& f) {
+  if (f.num_vars > 63) std::abort();
+  return Counter(f).Count();
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,389 @@
+#include "sat/schaefer.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sat/dpll.h"
+#include "sat/hornsat.h"
+#include "sat/twosat.h"
+#include "sat/xorsat.h"
+
+namespace qc::sat {
+
+BoolRelation::BoolRelation(int arity) : arity_(arity) {
+  if (arity < 1 || arity > 16) std::abort();
+  allowed_.assign(1u << arity, false);
+}
+
+BoolRelation BoolRelation::FromTuples(
+    int arity, const std::vector<std::uint32_t>& tuples) {
+  BoolRelation r(arity);
+  for (std::uint32_t t : tuples) r.Allow(t);
+  return r;
+}
+
+int BoolRelation::size() const {
+  return static_cast<int>(std::count(allowed_.begin(), allowed_.end(), true));
+}
+
+std::vector<std::uint32_t> BoolRelation::Tuples() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t t = 0; t < allowed_.size(); ++t) {
+    if (allowed_[t]) out.push_back(t);
+  }
+  return out;
+}
+
+bool BoolRelation::IsHornClosed() const {
+  std::vector<std::uint32_t> tuples = Tuples();
+  for (std::uint32_t a : tuples) {
+    for (std::uint32_t b : tuples) {
+      if (!allowed_[a & b]) return false;
+    }
+  }
+  return true;
+}
+
+bool BoolRelation::IsDualHornClosed() const {
+  std::vector<std::uint32_t> tuples = Tuples();
+  for (std::uint32_t a : tuples) {
+    for (std::uint32_t b : tuples) {
+      if (!allowed_[a | b]) return false;
+    }
+  }
+  return true;
+}
+
+bool BoolRelation::IsAffineClosed() const {
+  std::vector<std::uint32_t> tuples = Tuples();
+  for (std::uint32_t a : tuples) {
+    for (std::uint32_t b : tuples) {
+      for (std::uint32_t c : tuples) {
+        if (!allowed_[a ^ b ^ c]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BoolRelation::IsBijunctiveClosed() const {
+  std::vector<std::uint32_t> tuples = Tuples();
+  for (std::uint32_t a : tuples) {
+    for (std::uint32_t b : tuples) {
+      for (std::uint32_t c : tuples) {
+        std::uint32_t maj = (a & b) | (a & c) | (b & c);
+        if (!allowed_[maj]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+SchaeferVerdict ClassifyRelations(const std::vector<BoolRelation>& relations) {
+  SchaeferVerdict v;
+  v.zero_valid = v.one_valid = v.horn = v.dual_horn = v.affine =
+      v.bijunctive = true;
+  for (const auto& r : relations) {
+    v.zero_valid &= r.IsZeroValid();
+    v.one_valid &= r.IsOneValid();
+    v.horn &= r.IsHornClosed();
+    v.dual_horn &= r.IsDualHornClosed();
+    v.affine &= r.IsAffineClosed();
+    v.bijunctive &= r.IsBijunctiveClosed();
+  }
+  return v;
+}
+
+std::string SchaeferVerdict::ToString() const {
+  std::string out;
+  auto add = [&out](bool flag, const char* name) {
+    if (flag) {
+      if (!out.empty()) out += ",";
+      out += name;
+    }
+  };
+  add(zero_valid, "0-valid");
+  add(one_valid, "1-valid");
+  add(horn, "horn");
+  add(dual_horn, "dual-horn");
+  add(affine, "affine");
+  add(bijunctive, "bijunctive");
+  if (out.empty()) out = "np-hard";
+  return out;
+}
+
+void BoolCsp::AddConstraint(std::vector<int> scope, BoolRelation relation) {
+  if (static_cast<int>(scope.size()) != relation.arity()) std::abort();
+  constraints.push_back(Constraint{std::move(scope), std::move(relation)});
+}
+
+bool BoolCsp::Evaluate(const std::vector<bool>& assignment) const {
+  for (const auto& c : constraints) {
+    std::uint32_t tuple = 0;
+    for (std::size_t i = 0; i < c.scope.size(); ++i) {
+      if (assignment[c.scope[i]]) tuple |= 1u << i;
+    }
+    if (!c.relation.Allows(tuple)) return false;
+  }
+  return true;
+}
+
+CnfFormula BoolCsp::ToCnf() const {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (const auto& c : constraints) {
+    const int r = c.relation.arity();
+    for (std::uint32_t t = 0; t < (1u << r); ++t) {
+      if (c.relation.Allows(t)) continue;
+      // Forbid tuple t: clause with each scope literal negated wrt t.
+      std::vector<Lit> clause(r);
+      for (int i = 0; i < r; ++i) {
+        int var = c.scope[i] + 1;
+        clause[i] = ((t >> i) & 1u) ? -var : var;
+      }
+      f.AddClause(std::move(clause));
+    }
+  }
+  return f;
+}
+
+SchaeferVerdict BoolCsp::Classify() const {
+  std::vector<BoolRelation> rels;
+  rels.reserve(constraints.size());
+  for (const auto& c : constraints) rels.push_back(c.relation);
+  return ClassifyRelations(rels);
+}
+
+namespace {
+
+/// True if every allowed tuple of `rel` satisfies the clause given as
+/// (position, polarity) pairs.
+bool ClauseImplied(const BoolRelation& rel,
+                   const std::vector<std::pair<int, bool>>& clause) {
+  for (std::uint32_t t : rel.Tuples()) {
+    bool sat = false;
+    for (auto [pos, polarity] : clause) {
+      if (((t >> pos) & 1u) == static_cast<std::uint32_t>(polarity)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+/// All implied clauses of size <= 2, as a CNF over the instance variables.
+/// For a bijunctive-closed relation their conjunction defines it exactly.
+void AppendImpliedTwoClauses(const BoolCsp::Constraint& c, CnfFormula* f) {
+  const int r = c.relation.arity();
+  for (int i = 0; i < r; ++i) {
+    for (bool pi : {false, true}) {
+      if (ClauseImplied(c.relation, {{i, pi}})) {
+        f->AddClause({pi ? c.scope[i] + 1 : -(c.scope[i] + 1)});
+      }
+    }
+  }
+  for (int i = 0; i < r; ++i) {
+    for (int j = i + 1; j < r; ++j) {
+      for (bool pi : {false, true}) {
+        for (bool pj : {false, true}) {
+          if (ClauseImplied(c.relation, {{i, pi}, {j, pj}})) {
+            f->AddClause({pi ? c.scope[i] + 1 : -(c.scope[i] + 1),
+                          pj ? c.scope[j] + 1 : -(c.scope[j] + 1)});
+          }
+        }
+      }
+    }
+  }
+}
+
+/// All implied Horn clauses (<=1 positive literal); for a Horn-closed
+/// relation their conjunction defines it exactly. With `dual` the roles of
+/// the polarities are swapped (<=1 negative literal).
+void AppendImpliedHornClauses(const BoolCsp::Constraint& c, bool dual,
+                              CnfFormula* f) {
+  const int r = c.relation.arity();
+  // N = set of "default-polarity" positions, plus at most one flipped head.
+  for (std::uint32_t body = 0; body < (1u << r); ++body) {
+    for (int head = -1; head < r; ++head) {
+      if (head >= 0 && ((body >> head) & 1u)) continue;
+      std::vector<std::pair<int, bool>> clause;
+      for (int i = 0; i < r; ++i) {
+        if ((body >> i) & 1u) clause.push_back({i, dual});
+      }
+      if (head >= 0) clause.push_back({head, !dual});
+      if (clause.empty()) continue;
+      if (!ClauseImplied(c.relation, clause)) continue;
+      std::vector<Lit> lits;
+      lits.reserve(clause.size());
+      for (auto [pos, polarity] : clause) {
+        lits.push_back(polarity ? c.scope[pos] + 1 : -(c.scope[pos] + 1));
+      }
+      f->AddClause(std::move(lits));
+    }
+  }
+}
+
+/// Extracts the affine hull of an affine-closed relation as XOR equations
+/// over the instance variables: every (subset, parity) pair satisfied by all
+/// allowed tuples.
+void AppendAffineEquations(const BoolCsp::Constraint& c, XorSystem* system) {
+  const int r = c.relation.arity();
+  std::vector<std::uint32_t> tuples = c.relation.Tuples();
+  for (std::uint32_t mask = 1; mask < (1u << r); ++mask) {
+    bool first = true, parity = false, consistent = true;
+    for (std::uint32_t t : tuples) {
+      bool p = __builtin_popcount(t & mask) % 2 != 0;
+      if (first) {
+        parity = p;
+        first = false;
+      } else if (p != parity) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent || first) continue;
+    std::vector<int> vars;
+    for (int i = 0; i < r; ++i) {
+      if ((mask >> i) & 1u) vars.push_back(c.scope[i]);
+    }
+    system->AddEquation(std::move(vars), parity);
+  }
+}
+
+SchaeferSolveResult TrivialResult(const BoolCsp& csp, bool value,
+                                  SchaeferMethod method) {
+  SchaeferSolveResult r;
+  r.method = method;
+  r.satisfiable = true;
+  r.assignment.assign(csp.num_vars, value);
+  return r;
+}
+
+}  // namespace
+
+std::string ToString(SchaeferMethod method) {
+  switch (method) {
+    case SchaeferMethod::kZeroValid:
+      return "0-valid";
+    case SchaeferMethod::kOneValid:
+      return "1-valid";
+    case SchaeferMethod::kBijunctive:
+      return "2sat";
+    case SchaeferMethod::kHorn:
+      return "horn";
+    case SchaeferMethod::kDualHorn:
+      return "dual-horn";
+    case SchaeferMethod::kAffine:
+      return "affine";
+    case SchaeferMethod::kGeneral:
+      return "dpll";
+  }
+  return "?";
+}
+
+SchaeferSolveResult SolveSchaefer(const BoolCsp& csp) {
+  SchaeferSolveResult result;
+  // An empty constraint relation makes the instance trivially unsat.
+  for (const auto& c : csp.constraints) {
+    if (c.relation.IsEmpty()) return result;
+  }
+  SchaeferVerdict verdict = csp.Classify();
+  if (verdict.zero_valid) {
+    return TrivialResult(csp, false, SchaeferMethod::kZeroValid);
+  }
+  if (verdict.one_valid) {
+    return TrivialResult(csp, true, SchaeferMethod::kOneValid);
+  }
+  if (verdict.bijunctive) {
+    CnfFormula f;
+    f.num_vars = csp.num_vars;
+    for (const auto& c : csp.constraints) AppendImpliedTwoClauses(c, &f);
+    SatResult sat = SolveTwoSat(f);
+    result.method = SchaeferMethod::kBijunctive;
+    result.satisfiable = sat.satisfiable;
+    result.assignment = std::move(sat.assignment);
+    return result;
+  }
+  if (verdict.horn || verdict.dual_horn) {
+    bool dual = !verdict.horn;
+    CnfFormula f;
+    f.num_vars = csp.num_vars;
+    for (const auto& c : csp.constraints) {
+      AppendImpliedHornClauses(c, dual, &f);
+    }
+    if (dual) {
+      // Flip every literal: a dual-Horn formula becomes Horn.
+      for (auto& clause : f.clauses) {
+        for (Lit& l : clause) l = -l;
+      }
+    }
+    SatResult sat = SolveHornSat(f);
+    result.method = dual ? SchaeferMethod::kDualHorn : SchaeferMethod::kHorn;
+    result.satisfiable = sat.satisfiable;
+    if (sat.satisfiable) {
+      result.assignment = std::move(sat.assignment);
+      if (dual) {
+        for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+          result.assignment[i] = !result.assignment[i];
+        }
+      }
+    }
+    return result;
+  }
+  if (verdict.affine) {
+    XorSystem system;
+    system.num_vars = csp.num_vars;
+    for (const auto& c : csp.constraints) AppendAffineEquations(c, &system);
+    XorResult xr = SolveXorSystem(system);
+    result.method = SchaeferMethod::kAffine;
+    result.satisfiable = xr.satisfiable;
+    result.assignment = std::move(xr.assignment);
+    return result;
+  }
+  // NP-hard side of the dichotomy: general search.
+  SatResult sat = SolveDpll(csp.ToCnf());
+  result.method = SchaeferMethod::kGeneral;
+  result.satisfiable = sat.satisfiable;
+  result.assignment = std::move(sat.assignment);
+  return result;
+}
+
+BoolRelation ClauseRelation(const std::vector<bool>& polarities) {
+  const int r = static_cast<int>(polarities.size());
+  BoolRelation rel(r);
+  for (std::uint32_t t = 0; t < (1u << r); ++t) {
+    for (int i = 0; i < r; ++i) {
+      if (((t >> i) & 1u) == static_cast<std::uint32_t>(polarities[i])) {
+        rel.Allow(t);
+        break;
+      }
+    }
+  }
+  return rel;
+}
+
+BoolRelation ParityRelation(int arity, bool rhs) {
+  BoolRelation rel(arity);
+  for (std::uint32_t t = 0; t < (1u << arity); ++t) {
+    if ((__builtin_popcount(t) % 2 != 0) == rhs) rel.Allow(t);
+  }
+  return rel;
+}
+
+BoolRelation OneInThreeRelation() {
+  return BoolRelation::FromTuples(3, {0b001, 0b010, 0b100});
+}
+
+BoolRelation NaeThreeRelation() {
+  BoolRelation rel(3);
+  for (std::uint32_t t = 1; t < 7; ++t) rel.Allow(t);
+  return rel;
+}
+
+BoolRelation ImplicationRelation() {
+  return BoolRelation::FromTuples(2, {0b00, 0b10, 0b11});
+}
+
+}  // namespace qc::sat

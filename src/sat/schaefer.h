@@ -1,0 +1,141 @@
+#ifndef QC_SAT_SCHAEFER_H_
+#define QC_SAT_SCHAEFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace qc::sat {
+
+/// A Boolean relation of small arity, stored extensionally as a bitmap over
+/// the 2^arity tuples. Tuple encoding: bit i of the tuple index is the value
+/// of the i-th position of the constraint scope.
+class BoolRelation {
+ public:
+  /// Empty relation of the given arity (1 <= arity <= 16).
+  explicit BoolRelation(int arity);
+
+  static BoolRelation FromTuples(int arity,
+                                 const std::vector<std::uint32_t>& tuples);
+
+  int arity() const { return arity_; }
+  int size() const;  ///< Number of allowed tuples.
+  bool IsEmpty() const { return size() == 0; }
+
+  void Allow(std::uint32_t tuple) { allowed_[tuple] = true; }
+  bool Allows(std::uint32_t tuple) const { return allowed_[tuple]; }
+
+  std::vector<std::uint32_t> Tuples() const;
+
+  // --- The six closure properties of Schaefer's Dichotomy Theorem. ---
+
+  /// Contains the all-zero tuple.
+  bool IsZeroValid() const { return allowed_[0]; }
+  /// Contains the all-one tuple.
+  bool IsOneValid() const { return allowed_[(1u << arity_) - 1]; }
+  /// Closed under bitwise AND (definable by Horn clauses).
+  bool IsHornClosed() const;
+  /// Closed under bitwise OR (definable by dual-Horn clauses).
+  bool IsDualHornClosed() const;
+  /// Closed under ternary XOR x^y^z (definable by linear equations).
+  bool IsAffineClosed() const;
+  /// Closed under ternary majority (definable by 2-clauses).
+  bool IsBijunctiveClosed() const;
+
+  bool operator==(const BoolRelation& other) const {
+    return arity_ == other.arity_ && allowed_ == other.allowed_;
+  }
+
+ private:
+  int arity_;
+  std::vector<bool> allowed_;
+};
+
+/// Which Schaefer classes a *set* of relations falls into (each flag is the
+/// AND over all relations). CSP(R) is polynomial iff any flag holds;
+/// otherwise Schaefer's theorem says it is NP-hard.
+struct SchaeferVerdict {
+  bool zero_valid = false;
+  bool one_valid = false;
+  bool horn = false;
+  bool dual_horn = false;
+  bool affine = false;
+  bool bijunctive = false;
+
+  bool Tractable() const {
+    return zero_valid || one_valid || horn || dual_horn || affine ||
+           bijunctive;
+  }
+  std::string ToString() const;
+};
+
+SchaeferVerdict ClassifyRelations(const std::vector<BoolRelation>& relations);
+
+/// A Boolean CSP instance with extensional constraints (the CSP(R) world of
+/// Section 4, domain size 2).
+struct BoolCsp {
+  int num_vars = 0;
+  struct Constraint {
+    std::vector<int> scope;  ///< 0-based variables; scope.size() == arity.
+    BoolRelation relation;
+  };
+  std::vector<Constraint> constraints;
+
+  void AddConstraint(std::vector<int> scope, BoolRelation relation);
+
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// CNF encoding: one clause forbidding each disallowed tuple.
+  CnfFormula ToCnf() const;
+
+  /// Verdict over this instance's constraint relations.
+  SchaeferVerdict Classify() const;
+};
+
+/// How SolveSchaefer discharged the instance.
+enum class SchaeferMethod {
+  kZeroValid,
+  kOneValid,
+  kBijunctive,  // 2SAT.
+  kHorn,
+  kDualHorn,
+  kAffine,      // Gaussian elimination.
+  kGeneral,     // NP-hard side: fell back to DPLL.
+};
+
+std::string ToString(SchaeferMethod method);
+
+struct SchaeferSolveResult {
+  bool satisfiable = false;
+  std::vector<bool> assignment;
+  SchaeferMethod method = SchaeferMethod::kGeneral;
+};
+
+/// The dichotomy dispatcher: classifies the instance and runs the matching
+/// polynomial algorithm (trivial / 2SAT / Horn / dual-Horn / Gaussian);
+/// for instances outside every tractable class it falls back to DPLL.
+SchaeferSolveResult SolveSchaefer(const BoolCsp& csp);
+
+// --- Named relations for tests, examples, and generators. ---
+
+/// The relation of a k-clause with the given polarities: allowed tuples are
+/// those satisfying OR_i (x_i == polarity_i).
+BoolRelation ClauseRelation(const std::vector<bool>& polarities);
+
+/// x1 + ... + xr = rhs (mod 2).
+BoolRelation ParityRelation(int arity, bool rhs);
+
+/// The 1-in-3 relation {001, 010, 100} (NP-hard side of the dichotomy).
+BoolRelation OneInThreeRelation();
+
+/// Not-all-equal on 3 variables (NP-hard side).
+BoolRelation NaeThreeRelation();
+
+/// x -> y, i.e. {00, 01, 11}.
+BoolRelation ImplicationRelation();
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_SCHAEFER_H_

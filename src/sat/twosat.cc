@@ -1,0 +1,108 @@
+#include "sat/twosat.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace qc::sat {
+
+namespace {
+
+/// Iterative Tarjan SCC on the implication graph. Node encoding: variable v
+/// (1-based) true -> 2(v-1), false -> 2(v-1)+1.
+class TwoSatGraph {
+ public:
+  explicit TwoSatGraph(int num_vars)
+      : n_(2 * num_vars), adj_(n_) {}
+
+  static int NodeOf(Lit l) {
+    int v = l > 0 ? l : -l;
+    return 2 * (v - 1) + (l > 0 ? 0 : 1);
+  }
+  static int Negation(int node) { return node ^ 1; }
+
+  /// clause (a or b) adds implications !a -> b and !b -> a.
+  void AddClause(Lit a, Lit b) {
+    adj_[Negation(NodeOf(a))].push_back(NodeOf(b));
+    adj_[Negation(NodeOf(b))].push_back(NodeOf(a));
+  }
+
+  /// Computes SCC ids in reverse topological order of components.
+  std::vector<int> SccIds() {
+    std::vector<int> index(n_, -1), low(n_, 0), comp(n_, -1);
+    std::vector<bool> on_stack(n_, false);
+    std::vector<int> stack;
+    int next_index = 0, next_comp = 0;
+    // Explicit DFS stack: (node, child cursor).
+    std::vector<std::pair<int, std::size_t>> frames;
+    for (int s = 0; s < n_; ++s) {
+      if (index[s] >= 0) continue;
+      frames.emplace_back(s, 0);
+      while (!frames.empty()) {
+        auto& [v, cursor] = frames.back();
+        if (cursor == 0) {
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        if (cursor < adj_[v].size()) {
+          int w = adj_[v][cursor++];
+          if (index[w] < 0) {
+            frames.emplace_back(w, 0);
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            while (true) {
+              int w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              comp[w] = next_comp;
+              if (w == v) break;
+            }
+            ++next_comp;
+          }
+          int finished = v;
+          frames.pop_back();
+          if (!frames.empty()) {
+            int parent = frames.back().first;
+            low[parent] = std::min(low[parent], low[finished]);
+          }
+        }
+      }
+    }
+    return comp;
+  }
+
+ private:
+  int n_;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace
+
+SatResult SolveTwoSat(const CnfFormula& f) {
+  TwoSatGraph g(f.num_vars);
+  for (const auto& clause : f.clauses) {
+    if (clause.size() == 1) {
+      g.AddClause(clause[0], clause[0]);
+    } else if (clause.size() == 2) {
+      g.AddClause(clause[0], clause[1]);
+    } else {
+      std::abort();  // Not a 2SAT instance.
+    }
+  }
+  std::vector<int> comp = g.SccIds();
+  SatResult r;
+  r.assignment.resize(f.num_vars);
+  for (int v = 1; v <= f.num_vars; ++v) {
+    int t = TwoSatGraph::NodeOf(v), fnode = TwoSatGraph::NodeOf(-v);
+    if (comp[t] == comp[fnode]) return r;  // Unsatisfiable.
+    // Tarjan yields reverse topological order: pick the later component.
+    r.assignment[v - 1] = comp[t] < comp[fnode];
+  }
+  r.satisfiable = true;
+  return r;
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,18 @@
+#ifndef QC_SAT_TWOSAT_H_
+#define QC_SAT_TWOSAT_H_
+
+#include "sat/cnf.h"
+
+namespace qc::sat {
+
+/// Linear-time 2SAT via strongly connected components of the implication
+/// graph (Aspvall–Plass–Tarjan). This is the polynomial-time case the paper
+/// contrasts with 3SAT in Section 4 ("with |D|=2 and binary constraints the
+/// problem becomes the polynomial-time solvable 2SAT").
+///
+/// Every clause must have one or two literals; aborts otherwise.
+SatResult SolveTwoSat(const CnfFormula& f);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_TWOSAT_H_

@@ -1,0 +1,136 @@
+#include "sat/walksat.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace qc::sat {
+
+namespace {
+
+/// Occurrence-indexed state for O(clause-size) flip evaluation.
+struct WalkState {
+  const CnfFormula& f;
+  std::vector<bool> assignment;
+  std::vector<int> true_count;        ///< Satisfied literals per clause.
+  std::vector<int> unsat;             ///< Ids of unsatisfied clauses.
+  std::vector<int> unsat_pos;         ///< Position in `unsat` per clause.
+  std::vector<std::vector<int>> occ;  ///< Clauses containing each variable.
+
+  explicit WalkState(const CnfFormula& formula) : f(formula) {
+    occ.resize(f.num_vars + 1);
+    for (int ci = 0; ci < static_cast<int>(f.clauses.size()); ++ci) {
+      for (Lit l : f.clauses[ci]) {
+        occ[l > 0 ? l : -l].push_back(ci);
+      }
+    }
+  }
+
+  void Reset(util::Rng* rng) {
+    assignment.assign(f.num_vars, false);
+    for (int v = 0; v < f.num_vars; ++v) assignment[v] = rng->NextBool(0.5);
+    true_count.assign(f.clauses.size(), 0);
+    unsat.clear();
+    unsat_pos.assign(f.clauses.size(), -1);
+    for (int ci = 0; ci < static_cast<int>(f.clauses.size()); ++ci) {
+      for (Lit l : f.clauses[ci]) {
+        if (LitTrue(l)) ++true_count[ci];
+      }
+      if (true_count[ci] == 0) {
+        unsat_pos[ci] = static_cast<int>(unsat.size());
+        unsat.push_back(ci);
+      }
+    }
+  }
+
+  bool LitTrue(Lit l) const {
+    int v = l > 0 ? l : -l;
+    return assignment[v - 1] == (l > 0);
+  }
+
+  /// Number of currently-satisfied clauses that flipping `var` would break.
+  int BreakCount(int var) const {
+    int broken = 0;
+    for (int ci : occ[var]) {
+      if (true_count[ci] != 1) continue;
+      // The single satisfying literal must be var's.
+      for (Lit l : f.clauses[ci]) {
+        int v = l > 0 ? l : -l;
+        if (v == var && LitTrue(l)) {
+          ++broken;
+          break;
+        }
+      }
+    }
+    return broken;
+  }
+
+  void Flip(int var) {
+    assignment[var - 1] = !assignment[var - 1];
+    for (int ci : occ[var]) {
+      int delta = 0;
+      for (Lit l : f.clauses[ci]) {
+        int v = l > 0 ? l : -l;
+        if (v == var) delta += LitTrue(l) ? 1 : -1;
+      }
+      int before = true_count[ci];
+      true_count[ci] += delta;
+      if (before == 0 && true_count[ci] > 0) {
+        // Remove from unsat list (swap with last).
+        int pos = unsat_pos[ci];
+        int last = unsat.back();
+        unsat[pos] = last;
+        unsat_pos[last] = pos;
+        unsat.pop_back();
+        unsat_pos[ci] = -1;
+      } else if (before > 0 && true_count[ci] == 0) {
+        unsat_pos[ci] = static_cast<int>(unsat.size());
+        unsat.push_back(ci);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SatResult SolveWalkSat(const CnfFormula& f, util::Rng* rng,
+                       const WalkSatOptions& options) {
+  SatResult result;
+  for (const auto& c : f.clauses) {
+    if (c.empty()) return result;  // Trivially unsatisfiable.
+  }
+  WalkState state(f);
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    state.Reset(rng);
+    for (std::uint64_t flip = 0; flip < options.max_flips; ++flip) {
+      if (state.unsat.empty()) {
+        result.satisfiable = true;
+        result.assignment = state.assignment;
+        result.decisions = flip;
+        return result;
+      }
+      int ci = state.unsat[rng->NextBounded(state.unsat.size())];
+      const auto& clause = f.clauses[ci];
+      int var;
+      if (rng->NextBool(options.noise)) {
+        Lit l = clause[rng->NextBounded(clause.size())];
+        var = l > 0 ? l : -l;
+      } else {
+        var = -1;
+        int best_break = INT_MAX;
+        for (Lit l : clause) {
+          int v = l > 0 ? l : -l;
+          int b = state.BreakCount(v);
+          if (b < best_break) {
+            best_break = b;
+            var = v;
+          }
+        }
+      }
+      state.Flip(var);
+      ++result.propagations;
+    }
+  }
+  return result;
+}
+
+}  // namespace qc::sat

@@ -1,0 +1,28 @@
+#ifndef QC_SAT_WALKSAT_H_
+#define QC_SAT_WALKSAT_H_
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace qc::sat {
+
+/// WalkSAT local search: start from a random assignment; repeatedly pick an
+/// unsatisfied clause and flip either a random variable in it (with
+/// probability `noise`) or the variable minimizing the number of clauses
+/// broken. Incomplete — it can only certify satisfiability, never refute —
+/// which is exactly the asymmetry the paper's decision-problem framing
+/// cares about.
+struct WalkSatOptions {
+  std::uint64_t max_flips = 100000;
+  double noise = 0.5;
+  int restarts = 10;
+};
+
+/// Returns a satisfying assignment if one was found within the budget;
+/// result.satisfiable == false only means "not found".
+SatResult SolveWalkSat(const CnfFormula& f, util::Rng* rng,
+                       const WalkSatOptions& options = WalkSatOptions());
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_WALKSAT_H_

@@ -1,0 +1,69 @@
+#include "sat/xorsat.h"
+
+#include "util/bitset.h"
+
+namespace qc::sat {
+
+bool XorSystem::Evaluate(const std::vector<bool>& assignment) const {
+  for (const auto& eq : equations) {
+    bool sum = false;
+    for (int v : eq.vars) sum ^= assignment[v];
+    if (sum != eq.rhs) return false;
+  }
+  return true;
+}
+
+XorResult SolveXorSystem(const XorSystem& system) {
+  const int n = system.num_vars;
+  const int m = static_cast<int>(system.equations.size());
+  // Augmented matrix: column n is the right-hand side.
+  std::vector<util::Bitset> rows(m, util::Bitset(n + 1));
+  for (int i = 0; i < m; ++i) {
+    for (int v : system.equations[i].vars) {
+      // Duplicate variables cancel (x + x = 0).
+      if (rows[i].Test(v)) {
+        rows[i].Reset(v);
+      } else {
+        rows[i].Set(v);
+      }
+    }
+    if (system.equations[i].rhs) rows[i].Set(n);
+  }
+
+  XorResult result;
+  std::vector<int> pivot_col;
+  int row = 0;
+  for (int col = 0; col < n && row < m; ++col) {
+    int pivot = -1;
+    for (int i = row; i < m; ++i) {
+      if (rows[i].Test(col)) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[row], rows[pivot]);
+    for (int i = 0; i < m; ++i) {
+      if (i != row && rows[i].Test(col)) {
+        for (std::size_t w = 0; w < rows[i].words().size(); ++w) {
+          rows[i].words()[w] ^= rows[row].words()[w];
+        }
+      }
+    }
+    pivot_col.push_back(col);
+    ++row;
+  }
+  result.rank = row;
+  // Inconsistent row: all-zero coefficients with rhs 1.
+  for (int i = row; i < m; ++i) {
+    if (rows[i].Test(n)) return result;
+  }
+  result.satisfiable = true;
+  result.assignment.assign(n, false);
+  for (int i = 0; i < row; ++i) {
+    result.assignment[pivot_col[i]] = rows[i].Test(n);
+  }
+  return result;
+}
+
+}  // namespace qc::sat

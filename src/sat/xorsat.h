@@ -1,0 +1,41 @@
+#ifndef QC_SAT_XORSAT_H_
+#define QC_SAT_XORSAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qc::sat {
+
+/// A system of XOR (affine GF(2)) equations: each equation is
+/// x_{v1} + x_{v2} + ... = rhs (mod 2), variables 0-based.
+struct XorSystem {
+  int num_vars = 0;
+  struct Equation {
+    std::vector<int> vars;
+    bool rhs = false;
+  };
+  std::vector<Equation> equations;
+
+  void AddEquation(std::vector<int> vars, bool rhs) {
+    equations.push_back(Equation{std::move(vars), rhs});
+  }
+
+  bool Evaluate(const std::vector<bool>& assignment) const;
+};
+
+/// Result of Gaussian elimination over GF(2).
+struct XorResult {
+  bool satisfiable = false;
+  std::vector<bool> assignment;  ///< One solution (free vars set to false).
+  int rank = 0;                  ///< Rank of the coefficient matrix.
+  /// Number of solutions is 2^(num_vars - rank) when satisfiable.
+};
+
+/// Solves the system in O(m * n^2 / 64) via bitset Gaussian elimination —
+/// the polynomial "affine" case of Schaefer's dichotomy (Section 4).
+XorResult SolveXorSystem(const XorSystem& system);
+
+}  // namespace qc::sat
+
+#endif  // QC_SAT_XORSAT_H_

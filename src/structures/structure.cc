@@ -1,0 +1,237 @@
+#include "structures/structure.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "csp/solver.h"
+#include "csp/treedp.h"
+
+namespace qc::structures {
+
+Structure::Structure(std::vector<RelSymbol> vocabulary, int universe_size)
+    : vocabulary_(std::move(vocabulary)),
+      universe_size_(universe_size),
+      relations_(vocabulary_.size()) {}
+
+void Structure::AddTuple(int symbol, std::vector<int> tuple) {
+  if (symbol < 0 || symbol >= static_cast<int>(vocabulary_.size()) ||
+      static_cast<int>(tuple.size()) != vocabulary_[symbol].arity) {
+    std::abort();
+  }
+  for (int e : tuple) {
+    if (e < 0 || e >= universe_size_) std::abort();
+  }
+  relations_[symbol].push_back(std::move(tuple));
+}
+
+bool Structure::HasTuple(int symbol, const std::vector<int>& tuple) const {
+  const auto& rel = relations_[symbol];
+  return std::find(rel.begin(), rel.end(), tuple) != rel.end();
+}
+
+Structure Structure::InducedSubstructure(
+    const std::vector<int>& universe_subset) const {
+  Structure out(vocabulary_, static_cast<int>(universe_subset.size()));
+  std::vector<int> new_id(universe_size_, -1);
+  for (int i = 0; i < static_cast<int>(universe_subset.size()); ++i) {
+    new_id[universe_subset[i]] = i;
+  }
+  for (int s = 0; s < static_cast<int>(vocabulary_.size()); ++s) {
+    for (const auto& tuple : relations_[s]) {
+      std::vector<int> renamed;
+      renamed.reserve(tuple.size());
+      bool keep = true;
+      for (int e : tuple) {
+        if (new_id[e] < 0) {
+          keep = false;
+          break;
+        }
+        renamed.push_back(new_id[e]);
+      }
+      if (keep) out.AddTuple(s, std::move(renamed));
+    }
+  }
+  return out;
+}
+
+graph::Graph Structure::GaifmanGraph() const {
+  graph::Graph g(universe_size_);
+  for (const auto& rel : relations_) {
+    for (const auto& tuple : rel) {
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        for (std::size_t j = i + 1; j < tuple.size(); ++j) {
+          if (tuple[i] != tuple[j]) g.AddEdge(tuple[i], tuple[j]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool Structure::IsHomomorphism(const Structure& target,
+                               const std::vector<int>& h) const {
+  if (vocabulary_.size() != target.vocabulary_.size()) return false;
+  for (int s = 0; s < static_cast<int>(vocabulary_.size()); ++s) {
+    for (const auto& tuple : relations_[s]) {
+      std::vector<int> image;
+      image.reserve(tuple.size());
+      for (int e : tuple) image.push_back(h[e]);
+      if (!target.HasTuple(s, image)) return false;
+    }
+  }
+  return true;
+}
+
+Structure Structure::FromDigraphEdges(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges) {
+  Structure s({RelSymbol{"E", 2}}, num_vertices);
+  for (auto [u, v] : edges) s.AddTuple(0, {u, v});
+  return s;
+}
+
+Structure Structure::FromGraph(const graph::Graph& g) {
+  Structure s({RelSymbol{"E", 2}}, g.num_vertices());
+  for (auto [u, v] : g.Edges()) {
+    s.AddTuple(0, {u, v});
+    s.AddTuple(0, {v, u});
+  }
+  return s;
+}
+
+csp::CspInstance HomomorphismCsp(const Structure& a, const Structure& b) {
+  if (a.vocabulary().size() != b.vocabulary().size()) std::abort();
+  csp::CspInstance csp;
+  csp.num_vars = a.universe_size();
+  csp.domain_size = b.universe_size();
+  for (int s = 0; s < static_cast<int>(a.vocabulary().size()); ++s) {
+    if (a.vocabulary()[s].arity != b.vocabulary()[s].arity) std::abort();
+    csp::Relation rel(a.vocabulary()[s].arity);
+    for (const auto& tuple : b.relations()[s]) rel.Add(tuple);
+    rel.Seal();
+    for (const auto& tuple : a.relations()[s]) {
+      csp.AddConstraint(tuple, rel);
+    }
+  }
+  return csp;
+}
+
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b) {
+  csp::CspInstance csp = HomomorphismCsp(a, b);
+  csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  if (!sol.found) return std::nullopt;
+  return sol.assignment;
+}
+
+std::uint64_t CountHomomorphisms(const Structure& a, const Structure& b) {
+  csp::CspInstance csp = HomomorphismCsp(a, b);
+  csp::BacktrackingSolver solver;
+  return solver.CountSolutions(csp, nullptr);
+}
+
+bool AreHomEquivalent(const Structure& a, const Structure& b) {
+  return FindHomomorphism(a, b).has_value() &&
+         FindHomomorphism(b, a).has_value();
+}
+
+std::uint64_t CountHomomorphismsTreewidth(const Structure& a,
+                                          const Structure& b) {
+  csp::CspInstance csp = HomomorphismCsp(a, b);
+  return csp::SolveTreewidthDp(csp).solution_count;
+}
+
+namespace {
+
+bool IsoSearch(const Structure& a, const Structure& b, std::size_t pos,
+               std::vector<int>* f, std::vector<bool>* used) {
+  const int n = a.universe_size();
+  if (static_cast<int>(pos) == n) {
+    // f is a bijection; check it is an isomorphism: hom in both directions
+    // under f and f^{-1}. Equivalent: tuple sets map exactly.
+    for (std::size_t s = 0; s < a.vocabulary().size(); ++s) {
+      if (a.relations()[s].size() != b.relations()[s].size()) return false;
+      for (const auto& tuple : a.relations()[s]) {
+        std::vector<int> image;
+        image.reserve(tuple.size());
+        for (int e : tuple) image.push_back((*f)[e]);
+        if (!b.HasTuple(static_cast<int>(s), image)) return false;
+      }
+    }
+    return true;
+  }
+  for (int img = 0; img < n; ++img) {
+    if ((*used)[img]) continue;
+    (*f)[pos] = img;
+    (*used)[img] = true;
+    if (IsoSearch(a, b, pos + 1, f, used)) return true;
+    (*used)[img] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AreIsomorphic(const Structure& a, const Structure& b) {
+  if (a.universe_size() != b.universe_size() ||
+      a.vocabulary().size() != b.vocabulary().size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.vocabulary().size(); ++s) {
+    if (a.vocabulary()[s].arity != b.vocabulary()[s].arity ||
+        a.relations()[s].size() != b.relations()[s].size()) {
+      return false;
+    }
+  }
+  std::vector<int> f(a.universe_size(), -1);
+  std::vector<bool> used(a.universe_size(), false);
+  return IsoSearch(a, b, 0, &f, &used);
+}
+
+Structure DisjointUnion(const Structure& a, const Structure& b) {
+  if (a.vocabulary().size() != b.vocabulary().size()) std::abort();
+  Structure out(a.vocabulary(), a.universe_size() + b.universe_size());
+  for (std::size_t s = 0; s < a.vocabulary().size(); ++s) {
+    for (const auto& tuple : a.relations()[s]) {
+      out.AddTuple(static_cast<int>(s), tuple);
+    }
+    for (const auto& tuple : b.relations()[s]) {
+      std::vector<int> shifted;
+      shifted.reserve(tuple.size());
+      for (int e : tuple) shifted.push_back(e + a.universe_size());
+      out.AddTuple(static_cast<int>(s), std::move(shifted));
+    }
+  }
+  return out;
+}
+
+Structure ComputeCore(const Structure& a, std::vector<int>* kept_elements) {
+  std::vector<int> kept(a.universe_size());
+  for (int i = 0; i < a.universe_size(); ++i) kept[i] = i;
+  Structure current = a;
+  bool shrunk = true;
+  while (shrunk && current.universe_size() > 1) {
+    shrunk = false;
+    for (int drop = 0; drop < current.universe_size(); ++drop) {
+      std::vector<int> rest;
+      rest.reserve(current.universe_size() - 1);
+      for (int i = 0; i < current.universe_size(); ++i) {
+        if (i != drop) rest.push_back(i);
+      }
+      Structure candidate = current.InducedSubstructure(rest);
+      if (FindHomomorphism(current, candidate).has_value()) {
+        // current retracts into candidate: recurse on the smaller structure.
+        std::vector<int> new_kept;
+        new_kept.reserve(rest.size());
+        for (int i : rest) new_kept.push_back(kept[i]);
+        kept = std::move(new_kept);
+        current = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  if (kept_elements != nullptr) *kept_elements = kept;
+  return current;
+}
+
+}  // namespace qc::structures

@@ -1,0 +1,97 @@
+#ifndef QC_STRUCTURES_STRUCTURE_H_
+#define QC_STRUCTURES_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "csp/csp.h"
+#include "graph/graph.h"
+
+namespace qc::structures {
+
+/// A relation symbol with its arity.
+struct RelSymbol {
+  std::string name;
+  int arity;
+};
+
+/// A finite relational tau-structure (Section 2.4): a universe
+/// {0..size-1} and, for each symbol of the vocabulary, a set of tuples.
+class Structure {
+ public:
+  Structure(std::vector<RelSymbol> vocabulary, int universe_size);
+
+  int universe_size() const { return universe_size_; }
+  const std::vector<RelSymbol>& vocabulary() const { return vocabulary_; }
+  const std::vector<std::vector<std::vector<int>>>& relations() const {
+    return relations_;
+  }
+
+  /// Adds a tuple to relation `symbol` (index into the vocabulary).
+  void AddTuple(int symbol, std::vector<int> tuple);
+
+  bool HasTuple(int symbol, const std::vector<int>& tuple) const;
+
+  /// Induced substructure on `universe_subset`; element i of the result is
+  /// universe_subset[i]. Tuples touching removed elements are dropped.
+  Structure InducedSubstructure(const std::vector<int>& universe_subset) const;
+
+  /// Gaifman graph: elements adjacent iff they co-occur in a tuple.
+  graph::Graph GaifmanGraph() const;
+
+  /// True if h (size = universe) is a homomorphism from *this to `target`.
+  bool IsHomomorphism(const Structure& target,
+                      const std::vector<int>& h) const;
+
+  /// Directed graph as a single-binary-symbol structure ("E").
+  static Structure FromDigraphEdges(int num_vertices,
+                                    const std::vector<std::pair<int, int>>& edges);
+
+  /// Undirected graph: each edge yields both orientations.
+  static Structure FromGraph(const graph::Graph& g);
+
+ private:
+  std::vector<RelSymbol> vocabulary_;
+  int universe_size_;
+  std::vector<std::vector<std::vector<int>>> relations_;  ///< Per symbol.
+};
+
+/// The canonical CSP of the homomorphism problem (Section 2.4): variables =
+/// universe of A, domain = universe of B, one constraint per tuple of A.
+/// Both structures must share the vocabulary (checked by arity).
+csp::CspInstance HomomorphismCsp(const Structure& a, const Structure& b);
+
+/// Finds a homomorphism from A to B, or nullopt.
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b);
+
+/// Number of homomorphisms from A to B.
+std::uint64_t CountHomomorphisms(const Structure& a, const Structure& b);
+
+/// True if homomorphisms exist in both directions.
+bool AreHomEquivalent(const Structure& a, const Structure& b);
+
+/// Counts homomorphisms with Freuder's tree-decomposition dynamic program
+/// on A's Gaifman graph (Theorem 4.2 applied to HOM(A, _)); exact, and
+/// exponentially faster than backtracking when A has small treewidth.
+std::uint64_t CountHomomorphismsTreewidth(const Structure& a,
+                                          const Structure& b);
+
+/// Computes the core of A (Section 5): the minimal induced substructure
+/// that A retracts to, unique up to isomorphism. Returned with its elements
+/// named by their positions; writes the surviving original elements to
+/// *kept_elements if non-null.
+Structure ComputeCore(const Structure& a,
+                      std::vector<int>* kept_elements = nullptr);
+
+/// Isomorphism test by backtracking over bijections (small structures):
+/// used e.g. to check that cores are unique up to isomorphism.
+bool AreIsomorphic(const Structure& a, const Structure& b);
+
+/// Disjoint union: B's elements are shifted by A's universe size.
+/// Vocabularies must match.
+Structure DisjointUnion(const Structure& a, const Structure& b);
+
+}  // namespace qc::structures
+
+#endif  // QC_STRUCTURES_STRUCTURE_H_

@@ -1,0 +1,109 @@
+#ifndef QC_UTIL_BITSET_H_
+#define QC_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qc::util {
+
+/// Fixed-capacity dynamic bitset with word-level access.
+///
+/// Used as the substrate for word-parallel Boolean matrix multiplication and
+/// for adjacency/neighbourhood sets in the graph algorithms. Unlike
+/// std::vector<bool> it exposes the 64-bit words so callers can do
+/// word-parallel AND/OR/popcount.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(int size)
+      : size_(size), words_((size + 63) / 64, 0ULL) {}
+
+  int size() const { return size_; }
+
+  void Set(int i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Reset(int i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(int i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+
+  void Clear() { words_.assign(words_.size(), 0ULL); }
+
+  /// Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (std::uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  /// Number of set bits in `this & other` (sizes must match).
+  int IntersectCount(const Bitset& other) const {
+    int c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += __builtin_popcountll(words_[i] & other.words_[i]);
+    }
+    return c;
+  }
+
+  /// True if `this & other` is nonempty.
+  bool Intersects(const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True if every bit of *this is set in `other`.
+  bool IsSubsetOf(const Bitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  Bitset& operator|=(const Bitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+  Bitset& operator&=(const Bitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Index of the lowest set bit at or after `from`, or -1 if none.
+  int NextSetBit(int from) const {
+    if (from >= size_) return -1;
+    int wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~0ULL << (from & 63));
+    while (true) {
+      if (w) return (wi << 6) + __builtin_ctzll(w);
+      if (++wi >= static_cast<int>(words_.size())) return -1;
+      w = words_[wi];
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    for (int i = NextSetBit(0); i >= 0; i = NextSetBit(i + 1)) {
+      out.push_back(i);
+    }
+    return out;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+ private:
+  int size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_BITSET_H_

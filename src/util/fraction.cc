@@ -1,0 +1,115 @@
+#include "util/fraction.h"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+
+namespace qc::util {
+
+namespace {
+
+/// Narrows a 128-bit value to 64 bits, aborting on overflow.
+std::int64_t Narrow(__int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN) std::abort();
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) std::abort();
+  Normalize();
+}
+
+void Fraction::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+double Fraction::ToDouble() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Fraction::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Fraction Fraction::operator-() const {
+  Fraction r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Fraction Fraction::operator+(const Fraction& other) const {
+  __int128 n = static_cast<__int128>(num_) * other.den_ +
+               static_cast<__int128>(other.num_) * den_;
+  __int128 d = static_cast<__int128>(den_) * other.den_;
+  return Fraction(Narrow(n), Narrow(d));
+}
+
+Fraction Fraction::operator-(const Fraction& other) const {
+  return *this + (-other);
+}
+
+Fraction Fraction::operator*(const Fraction& other) const {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  std::int64_t a = num_, b = den_, c = other.num_, d = other.den_;
+  std::int64_t g1 = std::gcd(a < 0 ? -a : a, d);
+  std::int64_t g2 = std::gcd(c < 0 ? -c : c, b);
+  if (g1 > 1) {
+    a /= g1;
+    d /= g1;
+  }
+  if (g2 > 1) {
+    c /= g2;
+    b /= g2;
+  }
+  __int128 n = static_cast<__int128>(a) * c;
+  __int128 m = static_cast<__int128>(b) * d;
+  return Fraction(Narrow(n), Narrow(m));
+}
+
+Fraction Fraction::operator/(const Fraction& other) const {
+  if (other.num_ == 0) std::abort();
+  Fraction inv;
+  inv.num_ = other.den_;
+  inv.den_ = other.num_;
+  if (inv.den_ < 0) {
+    inv.num_ = -inv.num_;
+    inv.den_ = -inv.den_;
+  }
+  return *this * inv;
+}
+
+bool Fraction::operator<(const Fraction& other) const {
+  return static_cast<__int128>(num_) * other.den_ <
+         static_cast<__int128>(other.num_) * den_;
+}
+
+std::int64_t Fraction::Ceil() const {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  return q;
+}
+
+std::int64_t Fraction::Floor() const {
+  std::int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+  return os << f.ToString();
+}
+
+}  // namespace qc::util

@@ -1,0 +1,75 @@
+#ifndef QC_UTIL_FRACTION_H_
+#define QC_UTIL_FRACTION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace qc::util {
+
+/// Exact rational number backed by int64 numerator/denominator.
+///
+/// Always kept in canonical form: gcd(num, den) == 1 and den > 0.
+/// Intermediate products are computed in 128-bit to avoid overflow for the
+/// magnitudes that arise in small simplex tableaus; construction and
+/// arithmetic abort on true 64-bit overflow (these LPs are tiny, so an
+/// overflow indicates a logic error, not a data condition).
+class Fraction {
+ public:
+  /// Zero.
+  constexpr Fraction() : num_(0), den_(1) {}
+  /// Integer value.
+  constexpr Fraction(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// num/den; den must be nonzero.
+  Fraction(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+  bool IsInteger() const { return den_ == 1; }
+
+  /// Value as double (for reporting only; may lose precision).
+  double ToDouble() const;
+  /// "p/q" or "p" when integral.
+  std::string ToString() const;
+
+  Fraction operator-() const;
+  Fraction operator+(const Fraction& other) const;
+  Fraction operator-(const Fraction& other) const;
+  Fraction operator*(const Fraction& other) const;
+  /// Division; other must be nonzero.
+  Fraction operator/(const Fraction& other) const;
+
+  Fraction& operator+=(const Fraction& other) { return *this = *this + other; }
+  Fraction& operator-=(const Fraction& other) { return *this = *this - other; }
+  Fraction& operator*=(const Fraction& other) { return *this = *this * other; }
+  Fraction& operator/=(const Fraction& other) { return *this = *this / other; }
+
+  bool operator==(const Fraction& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Fraction& other) const { return !(*this == other); }
+  bool operator<(const Fraction& other) const;
+  bool operator>(const Fraction& other) const { return other < *this; }
+  bool operator<=(const Fraction& other) const { return !(other < *this); }
+  bool operator>=(const Fraction& other) const { return !(*this < other); }
+
+  /// Smallest integer >= value.
+  std::int64_t Ceil() const;
+  /// Largest integer <= value.
+  std::int64_t Floor() const;
+
+ private:
+  void Normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f);
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_FRACTION_H_

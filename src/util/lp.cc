@@ -1,0 +1,201 @@
+#include "util/lp.h"
+
+#include <cstdlib>
+
+namespace qc::util {
+
+void LpProblem::AddRow(std::vector<Fraction> coeffs, Sense sense,
+                       Fraction rhs) {
+  if (static_cast<int>(coeffs.size()) != num_vars) std::abort();
+  rows.push_back(Row{std::move(coeffs), sense, rhs});
+}
+
+namespace {
+
+/// Dense exact-rational simplex over an equality-form tableau.
+///
+/// Column layout: [0, num_real) are the problem's variables plus slacks,
+/// [num_real, num_total) are phase-1 artificials. The tableau is kept in
+/// B^{-1}A form with `rhs` = B^{-1}b, so the basic solution can be read off
+/// directly.
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : m_(rows), n_(cols), a_(rows), rhs_(rows) {
+    for (auto& row : a_) row.assign(cols, Fraction(0));
+    basis_.assign(rows, -1);
+  }
+
+  Fraction& At(int i, int j) { return a_[i][j]; }
+  Fraction& Rhs(int i) { return rhs_[i]; }
+  int& Basis(int i) { return basis_[i]; }
+  int rows() const { return m_; }
+  int cols() const { return n_; }
+
+  void Pivot(int row, int col) {
+    Fraction p = a_[row][col];
+    for (int j = 0; j < n_; ++j) a_[row][j] /= p;
+    rhs_[row] /= p;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row || a_[i][col].IsZero()) continue;
+      Fraction f = a_[i][col];
+      for (int j = 0; j < n_; ++j) a_[i][j] -= f * a_[row][j];
+      rhs_[i] -= f * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs simplex to optimality for the cost vector `cost` (size n_),
+  /// entering only columns with `allowed[j]`. Returns false if unbounded.
+  bool Optimize(const std::vector<Fraction>& cost,
+                const std::vector<bool>& allowed) {
+    while (true) {
+      // Reduced costs: r_j = c_j - sum_i c_{basis_i} * T[i][j].
+      int enter = -1;
+      for (int j = 0; j < n_; ++j) {
+        if (!allowed[j]) continue;
+        Fraction r = cost[j];
+        for (int i = 0; i < m_; ++i) {
+          if (!cost[basis_[i]].IsZero() && !a_[i][j].IsZero()) {
+            r -= cost[basis_[i]] * a_[i][j];
+          }
+        }
+        if (r.IsNegative()) {  // Bland: first improving column.
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;
+
+      int leave = -1;
+      Fraction best;
+      for (int i = 0; i < m_; ++i) {
+        if (!(Fraction(0) < a_[i][enter])) continue;
+        Fraction ratio = rhs_[i] / a_[i][enter];
+        if (leave < 0 || ratio < best ||
+            (ratio == best && basis_[i] < basis_[leave])) {
+          leave = i;
+          best = ratio;
+        }
+      }
+      if (leave < 0) return false;  // Unbounded.
+      Pivot(leave, enter);
+    }
+  }
+
+ private:
+  int m_, n_;
+  std::vector<std::vector<Fraction>> a_;
+  std::vector<Fraction> rhs_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.rows.size());
+
+  // Count slacks: one per inequality row.
+  int num_slacks = 0;
+  for (const auto& row : problem.rows) {
+    if (row.sense != LpProblem::Sense::kEq) ++num_slacks;
+  }
+  const int num_real = n + num_slacks;
+  const int num_total = num_real + m;  // One artificial per row (worst case).
+
+  Tableau t(m, num_total);
+  int slack = n;
+  std::vector<int> artificial_of_row(m, -1);
+  for (int i = 0; i < m; ++i) {
+    const auto& row = problem.rows[i];
+    bool flip = row.rhs.IsNegative();
+    for (int j = 0; j < n; ++j) {
+      t.At(i, j) = flip ? -row.coeffs[j] : row.coeffs[j];
+    }
+    t.Rhs(i) = flip ? -row.rhs : row.rhs;
+    Fraction slack_sign(0);
+    if (row.sense == LpProblem::Sense::kGe) slack_sign = Fraction(-1);
+    if (row.sense == LpProblem::Sense::kLe) slack_sign = Fraction(1);
+    if (!slack_sign.IsZero()) {
+      t.At(i, slack) = flip ? -slack_sign : slack_sign;
+      // A +1 slack with nonnegative rhs can serve as the initial basis.
+      if ((flip ? -slack_sign : slack_sign) == Fraction(1)) {
+        t.Basis(i) = slack;
+      }
+      ++slack;
+    }
+    if (t.Basis(i) < 0) {
+      int art = num_real + i;
+      t.At(i, art) = Fraction(1);
+      t.Basis(i) = art;
+      artificial_of_row[i] = art;
+    }
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Fraction> phase1_cost(num_total, Fraction(0));
+  std::vector<bool> allowed(num_total, true);
+  bool has_artificial = false;
+  for (int i = 0; i < m; ++i) {
+    if (artificial_of_row[i] >= 0) {
+      phase1_cost[artificial_of_row[i]] = Fraction(1);
+      has_artificial = true;
+    }
+  }
+  LpSolution result;
+  if (has_artificial) {
+    if (!t.Optimize(phase1_cost, allowed)) std::abort();  // Phase 1 bounded.
+    Fraction infeasibility(0);
+    for (int i = 0; i < m; ++i) {
+      if (phase1_cost[t.Basis(i)] == Fraction(1)) infeasibility += t.Rhs(i);
+    }
+    if (!infeasibility.IsZero()) {
+      result.status = LpSolution::Status::kInfeasible;
+      return result;
+    }
+    // Pivot any artificial still basic (at value zero) out of the basis.
+    for (int i = 0; i < m; ++i) {
+      if (t.Basis(i) < num_real) continue;
+      for (int j = 0; j < num_real; ++j) {
+        if (!t.At(i, j).IsZero()) {
+          t.Pivot(i, j);
+          break;
+        }
+      }
+      // If no pivot exists the row is redundant; the artificial stays basic
+      // at zero and can never re-enter (banned below), which is harmless.
+    }
+  }
+
+  // Phase 2: the real objective; artificials may not enter.
+  std::vector<Fraction> cost(num_total, Fraction(0));
+  for (int j = 0; j < n; ++j) cost[j] = problem.objective[j];
+  for (int j = num_real; j < num_total; ++j) allowed[j] = false;
+  if (!t.Optimize(cost, allowed)) {
+    result.status = LpSolution::Status::kUnbounded;
+    return result;
+  }
+
+  result.status = LpSolution::Status::kOptimal;
+  result.x.assign(n, Fraction(0));
+  for (int i = 0; i < m; ++i) {
+    if (t.Basis(i) < n) result.x[t.Basis(i)] = t.Rhs(i);
+  }
+  result.objective = Fraction(0);
+  for (int j = 0; j < n; ++j) {
+    result.objective += problem.objective[j] * result.x[j];
+  }
+  return result;
+}
+
+LpSolution MaximizeLp(const LpProblem& problem) {
+  LpProblem neg = problem;
+  for (auto& c : neg.objective) c = -c;
+  LpSolution sol = SolveLp(neg);
+  if (sol.status == LpSolution::Status::kOptimal) {
+    sol.objective = -sol.objective;
+  }
+  return sol;
+}
+
+}  // namespace qc::util

@@ -1,0 +1,53 @@
+#ifndef QC_UTIL_LP_H_
+#define QC_UTIL_LP_H_
+
+#include <vector>
+
+#include "util/fraction.h"
+
+namespace qc::util {
+
+/// A linear program in the form
+///     minimize    c^T x
+///     subject to  A_i x  (>=|<=|==)  b_i   for every row i
+///                 x >= 0.
+///
+/// All data is exact-rational, and the solver returns exact optima. Intended
+/// for the small LPs that arise in query analysis (fractional edge covers and
+/// friends): dozens of variables, not thousands.
+struct LpProblem {
+  enum class Sense { kGe, kLe, kEq };
+
+  struct Row {
+    std::vector<Fraction> coeffs;  ///< One per variable.
+    Sense sense = Sense::kGe;
+    Fraction rhs;
+  };
+
+  int num_vars = 0;
+  std::vector<Fraction> objective;  ///< One per variable.
+  std::vector<Row> rows;
+
+  /// Appends a constraint; `coeffs` must have `num_vars` entries.
+  void AddRow(std::vector<Fraction> coeffs, Sense sense, Fraction rhs);
+};
+
+/// Result of solving an LpProblem.
+struct LpSolution {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+  Status status = Status::kInfeasible;
+  Fraction objective;       ///< Valid when status == kOptimal.
+  std::vector<Fraction> x;  ///< Optimal point, size num_vars.
+};
+
+/// Solves `problem` (minimization) with an exact two-phase dense simplex
+/// using Bland's rule, so it always terminates.
+LpSolution SolveLp(const LpProblem& problem);
+
+/// Convenience wrapper: maximize c^T x under the same constraints.
+LpSolution MaximizeLp(const LpProblem& problem);
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_LP_H_

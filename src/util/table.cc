@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) std::abort();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToCell(double v) {
+  char buf[64];
+  if (v != 0 && (v < 1e-3 || v >= 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j].size() > width[j]) width[j] = row[j].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      out += "  ";
+      out.append(width[j] - row[j].size(), ' ');
+      out += row[j];
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(header_);
+  std::string sep;
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    sep += "  " + std::string(width[j], '-');
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace qc::util

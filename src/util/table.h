@@ -1,0 +1,47 @@
+#ifndef QC_UTIL_TABLE_H_
+#define QC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace qc::util {
+
+/// Column-aligned plain-text table used by the experiment harness to print
+/// the series each bench regenerates (the paper has no numeric tables, so
+/// these are the series backing its asymptotic claims).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with ToCell.
+  template <typename... Ts>
+  void AddRowOf(const Ts&... cells) {
+    AddRow({ToCell(cells)...});
+  }
+
+  /// Renders with a separator under the header.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(int v) { return std::to_string(v); }
+  static std::string ToCell(long v) { return std::to_string(v); }
+  static std::string ToCell(long long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long v) { return std::to_string(v); }
+  static std::string ToCell(unsigned long long v) { return std::to_string(v); }
+  static std::string ToCell(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_TABLE_H_

@@ -1,0 +1,31 @@
+#ifndef QC_UTIL_TIMER_H_
+#define QC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace qc::util {
+
+/// Wall-clock stopwatch for the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_TIMER_H_

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sat/cdcl.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+namespace qc::sat {
+namespace {
+
+CnfFormula Make(int vars, std::vector<std::vector<Lit>> clauses) {
+  CnfFormula f;
+  f.num_vars = vars;
+  for (auto& c : clauses) f.AddClause(std::move(c));
+  return f;
+}
+
+TEST(CdclTest, TrivialCases) {
+  // Empty formula.
+  EXPECT_TRUE(CdclSolver().Solve(Make(3, {})).satisfiable);
+  // Single unit.
+  SatResult r = CdclSolver().Solve(Make(1, {{1}}));
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[0]);
+  // Contradicting units.
+  EXPECT_FALSE(CdclSolver().Solve(Make(1, {{1}, {-1}})).satisfiable);
+  // Empty clause.
+  EXPECT_FALSE(CdclSolver().Solve(Make(1, {{}})).satisfiable);
+}
+
+TEST(CdclTest, TautologyAndDuplicateLiterals) {
+  // (x or !x) is dropped; (x or x or y) behaves like (x or y).
+  SatResult r = CdclSolver().Solve(Make(2, {{1, -1}, {1, 1, 2}, {-1}}));
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_FALSE(r.assignment[0]);
+  EXPECT_TRUE(r.assignment[1]);
+}
+
+TEST(CdclTest, PigeonholeUnsat) {
+  // PHP(4,3): 4 pigeons, 3 holes — classically hard for resolution but
+  // small here; must be UNSAT.
+  const int pigeons = 4, holes = 3;
+  CnfFormula f;
+  f.num_vars = pigeons * holes;
+  auto var = [holes](int p, int h) { return p * holes + h + 1; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    f.AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.AddClause({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  SatResult r = CdclSolver().Solve(f);
+  EXPECT_FALSE(r.satisfiable);
+}
+
+class CdclAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdclAgreementTest, AgreesWithDpllOnRandom3Sat) {
+  util::Rng rng(3000 + GetParam());
+  int n = 8 + static_cast<int>(rng.NextBounded(16));
+  int m = static_cast<int>(rng.NextBounded(6 * n)) + 1;
+  CnfFormula f = RandomKSat(n, m, 3, &rng);
+  SatResult cdcl = CdclSolver().Solve(f);
+  SatResult dpll = SolveDpll(f);
+  EXPECT_EQ(cdcl.satisfiable, dpll.satisfiable)
+      << "n=" << n << " m=" << m;
+  if (cdcl.satisfiable) {
+    EXPECT_TRUE(f.Evaluate(cdcl.assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdclAgreementTest, ::testing::Range(0, 40));
+
+TEST(CdclTest, MixedClauseSizes) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = 10;
+    CnfFormula f;
+    f.num_vars = n;
+    for (int i = 0; i < 25; ++i) {
+      int k = 1 + static_cast<int>(rng.NextBounded(5));
+      std::vector<int> vars = rng.Sample(n, k);
+      std::vector<Lit> clause;
+      for (int v : vars) {
+        clause.push_back((v + 1) * (rng.NextBool(0.5) ? 1 : -1));
+      }
+      f.AddClause(clause);
+    }
+    SatResult cdcl = CdclSolver().Solve(f);
+    SatResult brute = SolveBruteForce(f);
+    EXPECT_EQ(cdcl.satisfiable, brute.satisfiable) << trial;
+    if (cdcl.satisfiable) {
+      EXPECT_TRUE(f.Evaluate(cdcl.assignment));
+    }
+  }
+}
+
+TEST(CdclTest, LargePlantedInstanceSolvedFast) {
+  util::Rng rng(8);
+  CnfFormula f = PlantedKSat(120, 500, 3, &rng);
+  CdclSolver solver;
+  SatResult r = solver.Solve(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.Evaluate(r.assignment));
+}
+
+TEST(CdclTest, LearnsClausesAndRestarts) {
+  util::Rng rng(9);
+  // An unsatisfiable threshold-density instance forces real conflict
+  // analysis work.
+  CnfFormula f = RandomKSat(30, 180, 3, &rng);
+  CdclSolver solver;
+  SatResult r = solver.Solve(f);
+  EXPECT_FALSE(r.satisfiable);  // Density 6 >> threshold: UNSAT whp.
+  EXPECT_GT(solver.stats().conflicts, 0u);
+  EXPECT_GT(solver.stats().learned_clauses, 0u);
+}
+
+TEST(CdclTest, ConflictLimitAborts) {
+  util::Rng rng(10);
+  CnfFormula f = RandomKSat(60, 258, 3, &rng);
+  CdclSolver solver(CdclSolver::Options{.max_conflicts = 3,
+                                        .activity_decay = 0.95,
+                                        .luby_unit = 64});
+  solver.Solve(f);
+  // Either solved within 3 conflicts or aborted; both are fine, but it must
+  // return promptly and flag the abort when it happens.
+  if (solver.stats().conflicts >= 3) {
+    EXPECT_TRUE(solver.aborted());
+  }
+}
+
+}  // namespace
+}  // namespace qc::sat

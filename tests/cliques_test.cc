@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+namespace {
+
+TEST(CliquesTest, CompleteGraphHasAllCliques) {
+  Graph g = Complete(6);
+  for (int k = 0; k <= 6; ++k) {
+    auto c = FindKCliqueBruteForce(g, k);
+    ASSERT_TRUE(c.has_value()) << k;
+    EXPECT_EQ(c->size(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(IsClique(g, *c));
+  }
+  EXPECT_FALSE(FindKCliqueBruteForce(g, 7).has_value());
+}
+
+TEST(CliquesTest, CountsOnCompleteGraph) {
+  // C(6, 3) = 20, C(6, 4) = 15.
+  Graph g = Complete(6);
+  EXPECT_EQ(CountKCliques(g, 3), 20u);
+  EXPECT_EQ(CountKCliques(g, 4), 15u);
+  EXPECT_EQ(CountKCliques(g, 0), 1u);
+  EXPECT_EQ(CountKCliques(g, 6), 1u);
+  EXPECT_EQ(CountKCliques(g, 7), 0u);
+}
+
+TEST(CliquesTest, BipartiteHasNoTriangle) {
+  Graph g = CompleteBipartite(5, 5);
+  EXPECT_FALSE(FindKCliqueBruteForce(g, 3).has_value());
+  EXPECT_FALSE(FindKCliqueNesetrilPoljak(g, 3).has_value());
+}
+
+TEST(CliquesTest, MaxCliqueOnKnownGraphs) {
+  EXPECT_EQ(MaxClique(Complete(5)).size(), 5u);
+  EXPECT_EQ(MaxClique(Cycle(7)).size(), 2u);
+  EXPECT_EQ(MaxClique(CompleteBipartite(4, 4)).size(), 2u);
+  EXPECT_EQ(MaxClique(Graph(4)).size(), 1u);
+  EXPECT_EQ(MaxClique(Graph(0)).size(), 0u);
+}
+
+TEST(CliquesTest, PlantedCliqueFound) {
+  util::Rng rng(1);
+  std::vector<int> planted;
+  Graph g = PlantedClique(35, 0.2, 6, &rng, &planted);
+  auto bf = FindKCliqueBruteForce(g, 6);
+  ASSERT_TRUE(bf.has_value());
+  EXPECT_TRUE(IsClique(g, *bf));
+  auto np = FindKCliqueNesetrilPoljak(g, 6);
+  ASSERT_TRUE(np.has_value());
+  EXPECT_EQ(np->size(), 6u);
+  EXPECT_TRUE(IsClique(g, *np));
+  EXPECT_GE(MaxClique(g).size(), 6u);
+}
+
+class CliqueAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueAgreementTest, BruteForceAndNesetrilPoljakAgree) {
+  util::Rng rng(200 + GetParam());
+  double p = 0.3 + 0.04 * (GetParam() % 8);
+  Graph g = RandomGnp(24, p, &rng);
+  for (int k = 3; k <= 6; ++k) {
+    auto bf = FindKCliqueBruteForce(g, k);
+    auto np = FindKCliqueNesetrilPoljak(g, k);
+    EXPECT_EQ(bf.has_value(), np.has_value()) << "k=" << k;
+    if (np) {
+      EXPECT_EQ(np->size(), static_cast<std::size_t>(k));
+      EXPECT_TRUE(IsClique(g, *np));
+      // Vertices must be distinct.
+      auto v = *np;
+      std::sort(v.begin(), v.end());
+      EXPECT_EQ(std::unique(v.begin(), v.end()), v.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueAgreementTest, ::testing::Range(0, 12));
+
+TEST(CliquesTest, MaxCliqueMatchesBruteForceOnRandom) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGnp(18, 0.45, &rng);
+    std::size_t omega = MaxClique(g).size();
+    EXPECT_TRUE(
+        FindKCliqueBruteForce(g, static_cast<int>(omega)).has_value());
+    EXPECT_FALSE(
+        FindKCliqueBruteForce(g, static_cast<int>(omega) + 1).has_value());
+  }
+}
+
+TEST(CliquesTest, EnumerateKCliquesDistinctAndComplete) {
+  util::Rng rng(4);
+  Graph g = RandomGnp(14, 0.5, &rng);
+  auto cliques = EnumerateKCliques(g, 3);
+  // All distinct and valid.
+  for (const auto& c : cliques) {
+    EXPECT_TRUE(IsClique(g, c));
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  }
+  auto copy = cliques;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(std::unique(copy.begin(), copy.end()), copy.end());
+  // Count agrees with a naive triple loop.
+  std::uint64_t naive = 0;
+  for (int a = 0; a < 14; ++a) {
+    for (int b = a + 1; b < 14; ++b) {
+      for (int c = b + 1; c < 14; ++c) {
+        if (g.HasEdge(a, b) && g.HasEdge(a, c) && g.HasEdge(b, c)) ++naive;
+      }
+    }
+  }
+  EXPECT_EQ(cliques.size(), naive);
+}
+
+TEST(CliquesTest, NesetrilPoljakNonDivisibleK) {
+  // k = 4 and k = 5 exercise the unequal part sizes.
+  util::Rng rng(5);
+  std::vector<int> planted;
+  Graph g = PlantedClique(26, 0.25, 5, &rng, &planted);
+  auto c4 = FindKCliqueNesetrilPoljak(g, 4);
+  ASSERT_TRUE(c4.has_value());
+  EXPECT_EQ(c4->size(), 4u);
+  EXPECT_TRUE(IsClique(g, *c4));
+  auto c5 = FindKCliqueNesetrilPoljak(g, 5);
+  ASSERT_TRUE(c5.has_value());
+  EXPECT_EQ(c5->size(), 5u);
+  EXPECT_TRUE(IsClique(g, *c5));
+}
+
+}  // namespace
+}  // namespace qc::graph

@@ -1,0 +1,190 @@
+// Targeted edge-case coverage across modules: accessors, stats plumbing,
+// analyzer fhw field, degenerate inputs, and a few additional property
+// sweeps on query shapes not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "db/agm.h"
+#include "db/enumeration.h"
+#include "db/generic_join.h"
+#include "db/joins.h"
+#include "db/yannakakis.h"
+#include "graph/generators.h"
+#include "graph/vertexcover.h"
+#include "sat/cdcl.h"
+#include "sat/cnf.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace qc {
+namespace {
+
+TEST(AnalyzerFhwTest, ReportsFractionalHypertreeWidth) {
+  db::JoinQuery tri;
+  tri.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  core::Analysis a = core::AnalyzeQuery(tri);
+  ASSERT_TRUE(a.fhw_valid);
+  EXPECT_EQ(a.fhw_upper, util::Fraction(3, 2));
+  EXPECT_NE(a.ToString().find("fhw"), std::string::npos);
+
+  db::JoinQuery path;
+  path.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  core::Analysis ap = core::AnalyzeQuery(path);
+  ASSERT_TRUE(ap.fhw_valid);
+  EXPECT_EQ(ap.fhw_upper, util::Fraction(1));  // Acyclic.
+}
+
+TEST(GenericJoinStatsTest, ProbesAndNodesAccumulate) {
+  util::Rng rng(1);
+  db::JoinQuery tri;
+  tri.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  db::Database d = db::RandomDatabase(tri, 50, 12, &rng);
+  db::GenericJoin gj(tri, d);
+  gj.Count();
+  EXPECT_GT(gj.stats().probes, 0u);
+  EXPECT_EQ(gj.attribute_order(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(JoinStatsTest, BinaryPlanReportsIntermediates) {
+  util::Rng rng(2);
+  db::JoinQuery q;
+  q.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  db::Database d = db::RandomDatabase(q, 30, 6, &rng);
+  db::JoinStats stats;
+  db::EvaluateGreedyBinaryJoin(q, d, &stats);
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_GE(stats.max_intermediate, 0u);
+}
+
+TEST(FiveCycleQueryTest, AllEvaluatorsAgree) {
+  // rho*(C5) = 5/2; a query shape not used in the other suites.
+  util::Rng rng(3);
+  db::JoinQuery q;
+  const char* attrs[] = {"a", "b", "c", "d", "e"};
+  for (int i = 0; i < 5; ++i) {
+    q.Add("R" + std::to_string(i), {attrs[i], attrs[(i + 1) % 5]});
+  }
+  auto agm = db::AnalyzeAgm(q);
+  ASSERT_TRUE(agm.has_value());
+  EXPECT_EQ(agm->rho_star, util::Fraction(5, 2));
+  db::Database d = db::RandomDatabase(q, 40, 8, &rng);
+  db::JoinResult expected = db::EvaluateNestedLoop(q, d);
+  expected.Normalize();
+  db::JoinResult wcoj = db::GenericJoin(q, d).Evaluate();
+  wcoj.Normalize();
+  EXPECT_EQ(wcoj.tuples, expected.tuples);
+  db::JoinResult greedy = db::EvaluateGreedyBinaryJoin(q, d);
+  greedy.Normalize();
+  EXPECT_EQ(greedy.tuples, expected.tuples);
+  EXPECT_FALSE(db::IsAcyclicQuery(q));
+}
+
+TEST(StarEnumerationTest, EnumeratorHandlesHighFanout) {
+  // Star query: one centre, three leaves — stresses the enumerator's
+  // sibling-frame handling (all children share only the centre).
+  util::Rng rng(4);
+  db::JoinQuery q;
+  q.Add("R1", {"c", "x"}).Add("R2", {"c", "y"}).Add("R3", {"c", "z"});
+  db::Database d = db::RandomDatabase(q, 30, 4, &rng);
+  db::AcyclicEnumerator e(q, d);
+  ASSERT_TRUE(e.IsValid());
+  db::JoinResult got;
+  got.attributes = e.attributes();
+  while (auto t = e.Next()) got.tuples.push_back(*t);
+  std::size_t raw = got.tuples.size();
+  got.Normalize();
+  EXPECT_EQ(got.tuples.size(), raw);
+  db::JoinResult expected = db::GenericJoin(q, d).Evaluate();
+  expected.Normalize();
+  EXPECT_EQ(got.tuples, expected.tuples);
+}
+
+TEST(CdclStatsTest, CountersPlumbThrough) {
+  util::Rng rng(5);
+  sat::CnfFormula f;
+  f.num_vars = 6;
+  f.AddClause({1, 2, 3});
+  f.AddClause({-1, -2});
+  f.AddClause({4, 5});
+  f.AddClause({-4, 6});
+  sat::CdclSolver solver;
+  sat::SatResult r = solver.Solve(f);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.propagations, solver.stats().propagations);
+  EXPECT_FALSE(solver.aborted());
+}
+
+TEST(TableTest, ScientificNotationAndZero) {
+  util::Table t({"v"});
+  t.AddRowOf(0.0);
+  t.AddRowOf(1e-9);
+  t.AddRowOf(1e12);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("0.0000"), std::string::npos);
+  EXPECT_NE(s.find("e-09"), std::string::npos);
+  EXPECT_NE(s.find("e+12"), std::string::npos);
+}
+
+TEST(VertexCoverKernelTest, EmptyGraphAndZeroBudget) {
+  graph::Graph empty(5);
+  graph::VertexCoverKernel kernel = graph::KernelizeVertexCover(empty, 0);
+  EXPECT_FALSE(kernel.definitely_no);
+  EXPECT_TRUE(kernel.forced.empty());
+  auto cover = graph::FindVertexCoverKernelized(empty, 0);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(cover->empty());
+  // One edge, zero budget: definite no (via the search, not the kernel).
+  graph::Graph one(2);
+  one.AddEdge(0, 1);
+  EXPECT_FALSE(graph::FindVertexCoverKernelized(one, 0).has_value());
+}
+
+TEST(BruteForceCspTest, StatsCountNodes) {
+  csp::CspInstance csp = csp::ColoringCsp(graph::Cycle(5), 2);
+  csp::CspSolution sol = csp::SolveBruteForce(csp);
+  EXPECT_FALSE(sol.found);
+  EXPECT_EQ(sol.stats.nodes, 32u);  // All 2^5 assignments visited.
+}
+
+TEST(BacktrackingStatsTest, ChecksAndBacktracksReported) {
+  util::Rng rng(6);
+  csp::CspInstance csp =
+      csp::RandomBinaryCsp(graph::Complete(6), 3, 0.55, &rng);
+  csp::BacktrackingSolver solver;
+  csp::CspSolution sol = solver.Solve(csp);
+  EXPECT_GT(sol.stats.nodes, 0u);
+  EXPECT_GT(sol.stats.consistency_checks, 0u);
+}
+
+TEST(AgmDegenerateTest, AttributeInNoAtomImpossibleByConstruction) {
+  // Queries build their attribute set from atoms, so AnalyzeAgm always has
+  // covering edges; check a single-atom query for the trivial case.
+  db::JoinQuery q;
+  q.Add("R", {"a", "b", "c"});
+  auto agm = db::AnalyzeAgm(q);
+  ASSERT_TRUE(agm.has_value());
+  EXPECT_EQ(agm->rho_star, util::Fraction(1));
+  long long n = 0;
+  db::Database d = db::AgmTightInstance(q, *agm, 5, &n);
+  EXPECT_EQ(db::GenericJoin(q, d).Count(), static_cast<std::uint64_t>(n));
+}
+
+TEST(YannakakisSingleAtomTest, Works) {
+  db::JoinQuery q;
+  q.Add("R", {"a", "b"});
+  db::Database d;
+  d.SetRelation("R", 2, {{1, 2}, {3, 4}});
+  auto r = db::EvaluateYannakakis(q, d);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tuples.size(), 2u);
+  EXPECT_EQ(db::BooleanYannakakis(q, d), std::optional<bool>(true));
+  d.SetRelation("R", 2, {});
+  EXPECT_EQ(db::BooleanYannakakis(q, d), std::optional<bool>(false));
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,120 @@
+// Cross-domain property tests: the Section 2 equivalences must commute.
+// One instance is pushed through every representation (CSP, join query,
+// microstructure graph, relational structure) and every solver, and all
+// answers/counts must coincide.
+
+#include <gtest/gtest.h>
+
+#include "core/autosolver.h"
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "csp/treedp.h"
+#include "db/generic_join.h"
+#include "graph/coloring.h"
+#include "graph/generators.h"
+#include "graph/homomorphism.h"
+#include "reductions/query_reductions.h"
+#include "reductions/sat_reductions.h"
+#include "sat/cdcl.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "structures/structure.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+class FourDomainsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourDomainsTest, SolutionCountsCommuteAcrossRepresentations) {
+  util::Rng rng(5000 + GetParam());
+  graph::Graph structure = graph::RandomGnp(6, 0.5, &rng);
+  csp::CspInstance csp = csp::RandomBinaryCsp(structure, 3, 0.4, &rng);
+
+  // 1. Direct counts: brute force, backtracking, treewidth DP.
+  std::uint64_t brute = csp::CountSolutionsBruteForce(csp);
+  csp::BacktrackingSolver solver;
+  EXPECT_EQ(solver.CountSolutions(csp, nullptr), brute);
+  EXPECT_EQ(csp::SolveTreewidthDp(csp).solution_count, brute);
+
+  // 2. CSP -> join query -> Generic Join (Section 2.2).
+  reductions::CspToQueryReduction query = reductions::JoinQueryFromCsp(csp);
+  EXPECT_EQ(db::GenericJoin(query.query, query.db).Count(), brute);
+
+  // 3. CSP -> microstructure -> partitioned subgraph isomorphism
+  //    (Section 2.3; decision only).
+  csp::Microstructure ms = csp::BuildMicrostructure(csp);
+  auto psi = graph::FindPartitionedSubgraphIsomorphism(
+      csp.PrimalGraph(), ms.graph, ms.class_of);
+  EXPECT_EQ(psi.has_value(), brute > 0);
+
+  // 4. Auto-router agrees.
+  core::AutoCspResult routed = core::SolveCspAuto(csp);
+  EXPECT_EQ(routed.satisfiable, brute > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourDomainsTest, ::testing::Range(0, 20));
+
+class HomCountChannelsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomCountChannelsTest, GraphAndStructureAndCspHomCountsAgree) {
+  util::Rng rng(5100 + GetParam());
+  graph::Graph h = graph::RandomGnp(5, 0.5, &rng);
+  graph::Graph g = graph::RandomGnp(4, 0.6, &rng);
+  std::uint64_t via_graph = graph::CountHomomorphisms(h, g);
+  structures::Structure sh = structures::Structure::FromGraph(h);
+  structures::Structure sg = structures::Structure::FromGraph(g);
+  EXPECT_EQ(structures::CountHomomorphisms(sh, sg), via_graph);
+  EXPECT_EQ(structures::CountHomomorphismsTreewidth(sh, sg), via_graph);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomCountChannelsTest, ::testing::Range(0, 15));
+
+class SatPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatPipelineTest, ModelCountSurvivesSatToCspToQuery) {
+  util::Rng rng(5200 + GetParam());
+  int n = 5 + GetParam() % 4;
+  sat::CnfFormula f = sat::RandomKSat(n, 3 * n, 3, &rng);
+  // Reference model count.
+  std::uint64_t models = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> a(n);
+    for (int v = 0; v < n; ++v) a[v] = (mask >> v) & 1u;
+    if (f.Evaluate(a)) ++models;
+  }
+  csp::CspInstance csp = reductions::CspFromSat(f);
+  EXPECT_EQ(csp::CountSolutionsBruteForce(csp), models);
+  reductions::CspToQueryReduction q = reductions::JoinQueryFromCsp(csp);
+  EXPECT_EQ(db::GenericJoin(q.query, q.db).Count(), models);
+  // Solver ladder agrees on the decision.
+  bool satisfiable = models > 0;
+  EXPECT_EQ(sat::SolveDpll(f).satisfiable, satisfiable);
+  EXPECT_EQ(sat::CdclSolver().Solve(f).satisfiable, satisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatPipelineTest, ::testing::Range(0, 15));
+
+TEST(CrossDomainTest, ColoringEverywhere) {
+  // One 3-colouring question through five channels.
+  util::Rng rng(7);
+  graph::Graph g = graph::RandomGnp(9, 0.35, &rng);
+  bool expected = graph::FindKColoring(g, 3).has_value();
+  // Graph homomorphism into K_3.
+  EXPECT_EQ(graph::FindHomomorphism(g, graph::Complete(3)).has_value(),
+            expected);
+  // CSP with disequality constraints.
+  csp::CspInstance csp = csp::ColoringCsp(g, 3);
+  EXPECT_EQ(csp::BacktrackingSolver().Solve(csp).found, expected);
+  // Structure homomorphism.
+  structures::Structure sg = structures::Structure::FromGraph(g);
+  structures::Structure k3 =
+      structures::Structure::FromGraph(graph::Complete(3));
+  EXPECT_EQ(structures::FindHomomorphism(sg, k3).has_value(), expected);
+  // Join query emptiness via the CSP -> query reduction.
+  reductions::CspToQueryReduction q = reductions::JoinQueryFromCsp(csp);
+  EXPECT_EQ(!db::GenericJoin(q.query, q.db).IsEmpty(), expected);
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/agm.h"
+#include "db/enumeration.h"
+#include "db/generic_join.h"
+#include "graph/colorcoding.h"
+#include "graph/generators.h"
+#include "graph/vertexcover.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+TEST(AcyclicEnumeratorTest, RejectsCyclicQueries) {
+  db::JoinQuery tri;
+  tri.Add("R1", {"a", "b"}).Add("R2", {"a", "c"}).Add("R3", {"b", "c"});
+  util::Rng rng(1);
+  db::Database d = db::RandomDatabase(tri, 10, 5, &rng);
+  db::AcyclicEnumerator e(tri, d);
+  EXPECT_FALSE(e.IsValid());
+}
+
+TEST(AcyclicEnumeratorTest, PathQueryProducesAllAnswersOnce) {
+  db::JoinQuery q;
+  q.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  db::Database d;
+  d.SetRelation("R", 2, {{1, 10}, {2, 10}, {3, 11}});
+  d.SetRelation("S", 2, {{10, 7}, {10, 8}, {12, 9}});
+  db::AcyclicEnumerator e(q, d);
+  ASSERT_TRUE(e.IsValid());
+  std::set<db::Tuple> seen;
+  while (auto t = e.Next()) {
+    EXPECT_TRUE(seen.insert(*t).second) << "duplicate answer";
+  }
+  // Answers: (1,10,7), (1,10,8), (2,10,7), (2,10,8).
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count({1, 10, 7}));
+  EXPECT_TRUE(seen.count({2, 10, 8}));
+  // Exhausted stays exhausted; Reset restarts.
+  EXPECT_FALSE(e.Next().has_value());
+  e.Reset();
+  EXPECT_TRUE(e.Next().has_value());
+}
+
+TEST(AcyclicEnumeratorTest, EmptyAnswerSet) {
+  db::JoinQuery q;
+  q.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  db::Database d;
+  d.SetRelation("R", 2, {{1, 10}});
+  d.SetRelation("S", 2, {{11, 7}});
+  db::AcyclicEnumerator e(q, d);
+  ASSERT_TRUE(e.IsValid());
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+class EnumeratorAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumeratorAgreementTest, MatchesGenericJoinOnAcyclicQueries) {
+  util::Rng rng(4000 + GetParam());
+  db::JoinQuery q;
+  int shape = GetParam() % 3;
+  if (shape == 0) {
+    q.Add("R", {"a", "b"}).Add("S", {"b", "c"}).Add("T", {"c", "d"});
+  } else if (shape == 1) {
+    q.Add("R", {"a", "b"}).Add("S", {"b", "c"}).Add("T", {"b", "d"});
+  } else {
+    q.Add("R", {"a", "b", "c"}).Add("S", {"c", "d"}).Add("T", {"c", "e"});
+  }
+  db::Database d = db::RandomDatabase(q, 25, 5, &rng);
+  db::AcyclicEnumerator e(q, d);
+  ASSERT_TRUE(e.IsValid());
+  db::JoinResult enumerated;
+  enumerated.attributes = e.attributes();
+  while (auto t = e.Next()) enumerated.tuples.push_back(*t);
+  std::size_t raw = enumerated.tuples.size();
+  enumerated.Normalize();
+  EXPECT_EQ(enumerated.tuples.size(), raw) << "duplicates produced";
+  db::JoinResult reference = db::GenericJoin(q, d).Evaluate();
+  reference.Normalize();
+  EXPECT_EQ(enumerated.tuples, reference.tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratorAgreementTest,
+                         ::testing::Range(0, 18));
+
+TEST(VertexCoverKernelTest, ForcesHighDegreeVertices) {
+  // Star with 6 leaves, k = 2: the centre has degree 6 > 2, forced.
+  graph::Graph g = graph::Star(6);
+  graph::VertexCoverKernel kernel = graph::KernelizeVertexCover(g, 2);
+  EXPECT_FALSE(kernel.definitely_no);
+  EXPECT_EQ(kernel.forced, (std::vector<int>{0}));
+  EXPECT_EQ(kernel.remaining_budget, 1);
+  EXPECT_TRUE(kernel.kernel_vertices.empty());  // All edges covered.
+}
+
+TEST(VertexCoverKernelTest, EdgeBoundRejects) {
+  // K_8 needs a cover of size 7; with k = 2 no vertex has degree > 2... all
+  // do (degree 7 > 2): forced removals exhaust the budget -> NO.
+  graph::VertexCoverKernel kernel =
+      graph::KernelizeVertexCover(graph::Complete(8), 2);
+  EXPECT_TRUE(kernel.definitely_no);
+  // A k^2-edge bound rejection: many disjoint edges, tiny k.
+  graph::Graph matching(20);
+  for (int i = 0; i < 10; ++i) matching.AddEdge(2 * i, 2 * i + 1);
+  graph::VertexCoverKernel km = graph::KernelizeVertexCover(matching, 2);
+  EXPECT_TRUE(km.definitely_no);  // 10 > 2*2 edges, no high-degree rule.
+}
+
+class VcKernelAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VcKernelAgreementTest, KernelizedSearchMatchesPlain) {
+  util::Rng rng(4100 + GetParam());
+  graph::Graph g = graph::RandomGnp(16, 0.25, &rng);
+  for (int k = 2; k <= 8; k += 2) {
+    auto plain = graph::FindVertexCoverOfSize(g, k);
+    auto kerneled = graph::FindVertexCoverKernelized(g, k);
+    EXPECT_EQ(plain.has_value(), kerneled.has_value())
+        << "k=" << k << " seed=" << GetParam();
+    if (kerneled) {
+      EXPECT_TRUE(graph::IsVertexCover(g, *kerneled));
+      EXPECT_LE(kerneled->size(), static_cast<std::size_t>(k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcKernelAgreementTest, ::testing::Range(0, 12));
+
+TEST(ColorCodingTest, FindsPathsInPathGraph) {
+  util::Rng rng(5);
+  graph::Graph g = graph::Path(12);
+  for (int k : {2, 4, 6}) {
+    auto path = graph::FindKPathColorCoding(g, k, &rng);
+    ASSERT_TRUE(path.has_value()) << k;
+    EXPECT_EQ(path->size(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(graph::IsSimplePath(g, *path));
+  }
+  // No 13-vertex path exists in P_12.
+  EXPECT_FALSE(graph::FindKPathColorCoding(g, 13, &rng, 40).has_value());
+}
+
+TEST(ColorCodingTest, AgreesWithBruteForceOnRandom) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::Graph g = graph::RandomGnp(14, 0.12, &rng);
+    for (int k : {3, 5}) {
+      auto brute = graph::FindKPathBruteForce(g, k);
+      auto cc = graph::FindKPathColorCoding(g, k, &rng);
+      if (brute) {
+        // One-sided error: with the default round count a miss is possible
+        // but vanishingly rare at k = 5.
+        ASSERT_TRUE(cc.has_value()) << "trial " << trial << " k " << k;
+        EXPECT_TRUE(graph::IsSimplePath(g, *cc));
+      } else {
+        EXPECT_FALSE(cc.has_value());
+      }
+    }
+  }
+}
+
+TEST(ColorCodingTest, IsSimplePathRejectsBadWitnesses) {
+  graph::Graph g = graph::Path(5);
+  EXPECT_TRUE(graph::IsSimplePath(g, {0, 1, 2}));
+  EXPECT_FALSE(graph::IsSimplePath(g, {0, 1, 0}));   // Repeats a vertex.
+  EXPECT_FALSE(graph::IsSimplePath(g, {0, 2}));      // Not an edge.
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,275 @@
+// Tests for the extension components: WalkSAT, generalized arc consistency,
+// DTW / discrete Fréchet, graph distances, list homomorphism, and the query
+// text parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csp/gac.h"
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "db/generic_join.h"
+#include "db/parser.h"
+#include "finegrained/curves.h"
+#include "graph/coloring.h"
+#include "graph/distance.h"
+#include "graph/generators.h"
+#include "graph/homomorphism.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "sat/walksat.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+TEST(WalkSatTest, FindsPlantedSolutions) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    sat::CnfFormula f = sat::PlantedKSat(40, 150, 3, &rng);
+    sat::SatResult r = sat::SolveWalkSat(f, &rng);
+    ASSERT_TRUE(r.satisfiable) << trial;
+    EXPECT_TRUE(f.Evaluate(r.assignment));
+  }
+}
+
+TEST(WalkSatTest, NeverClaimsSatOnUnsat) {
+  util::Rng rng(2);
+  // Density 8: unsatisfiable with overwhelming probability.
+  sat::CnfFormula f = sat::RandomKSat(20, 160, 3, &rng);
+  ASSERT_FALSE(sat::SolveDpll(f).satisfiable);
+  sat::WalkSatOptions options;
+  options.max_flips = 5000;
+  options.restarts = 3;
+  sat::SatResult r = sat::SolveWalkSat(f, &rng, options);
+  EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(WalkSatTest, EmptyClauseRejected) {
+  util::Rng rng(3);
+  sat::CnfFormula f;
+  f.num_vars = 2;
+  f.AddClause({});
+  EXPECT_FALSE(sat::SolveWalkSat(f, &rng).satisfiable);
+}
+
+TEST(GacTest, MatchesAc3OnBinaryInstances) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    graph::Graph structure = graph::RandomGnp(7, 0.5, &rng);
+    csp::CspInstance csp = csp::RandomBinaryCsp(structure, 4, 0.45, &rng);
+    csp::AcResult ac3 = csp::EnforceArcConsistency(csp);
+    csp::AcResult gac = csp::EnforceGeneralizedArcConsistency(csp);
+    EXPECT_EQ(ac3.consistent, gac.consistent) << trial;
+    if (ac3.consistent) {
+      EXPECT_EQ(ac3.alive, gac.alive) << trial;
+    }
+  }
+}
+
+TEST(GacTest, PrunesTernaryConstraints) {
+  // x + y + z == 4 over domain {0,1,2}: value 0... every value has support
+  // except none pruned; tighten: x + y + z == 6 forces all = 2.
+  csp::CspInstance csp;
+  csp.num_vars = 3;
+  csp.domain_size = 3;
+  csp::Relation sum6(3);
+  sum6.Add({2, 2, 2});
+  csp.AddConstraint({0, 1, 2}, std::move(sum6));
+  csp::AcResult gac = csp::EnforceGeneralizedArcConsistency(csp);
+  ASSERT_TRUE(gac.consistent);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(gac.alive[v], (std::vector<char>{0, 0, 1}));
+  }
+}
+
+TEST(GacTest, SoundnessOnRandomTernary) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    csp::CspInstance csp;
+    csp.num_vars = 5;
+    csp.domain_size = 3;
+    for (int c = 0; c < 4; ++c) {
+      csp::Relation rel(3);
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+          for (int d = 0; d < 3; ++d) {
+            if (rng.NextBool(0.55)) rel.Add({a, b, d});
+          }
+        }
+      }
+      csp.AddConstraint(rng.Sample(5, 3), std::move(rel));
+    }
+    csp::AcResult gac = csp::EnforceGeneralizedArcConsistency(csp);
+    // Every brute-force solution must survive GAC.
+    std::uint64_t solutions = 0;
+    std::vector<int> assignment(5, 0);
+    while (true) {
+      if (csp.Check(assignment)) {
+        ++solutions;
+        ASSERT_TRUE(gac.consistent);
+        for (int v = 0; v < 5; ++v) {
+          EXPECT_TRUE(gac.alive[v][assignment[v]]);
+        }
+      }
+      int i = 0;
+      while (i < 5 && ++assignment[i] == 3) {
+        assignment[i] = 0;
+        ++i;
+      }
+      if (i == 5) break;
+    }
+    if (!gac.consistent) {
+      EXPECT_EQ(solutions, 0u);
+    }
+  }
+}
+
+TEST(GacTest, PreprocessedSolveAgreesWithPlainSolve) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 12; ++trial) {
+    graph::Graph structure = graph::RandomGnp(7, 0.5, &rng);
+    csp::CspInstance csp = csp::RandomBinaryCsp(structure, 4, 0.5, &rng);
+    csp::CspSolution pre = csp::SolveWithGacPreprocessing(csp);
+    csp::CspSolution plain = csp::BacktrackingSolver().Solve(csp);
+    EXPECT_EQ(pre.found, plain.found) << trial;
+    if (pre.found) {
+      EXPECT_TRUE(csp.Check(pre.assignment));
+    }
+  }
+}
+
+TEST(DtwTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(finegrained::DynamicTimeWarping({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(finegrained::DynamicTimeWarping({1, 2, 3}, {1, 2, 3}),
+                   0.0);
+  // Time shift is free under warping: [1,1,2,3] vs [1,2,2,3].
+  EXPECT_DOUBLE_EQ(
+      finegrained::DynamicTimeWarping({1, 1, 2, 3}, {1, 2, 2, 3}), 0.0);
+  // Constant offset: each of 3 alignments pays (1)^2.
+  EXPECT_DOUBLE_EQ(finegrained::DynamicTimeWarping({0, 0, 0}, {1, 1, 1}),
+                   3.0);
+  // Empty vs nonempty is infinite.
+  EXPECT_TRUE(std::isinf(finegrained::DynamicTimeWarping({}, {1.0})));
+}
+
+TEST(FrechetTest, KnownValues) {
+  using finegrained::Point;
+  std::vector<Point> a = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<Point> b = {{0, 1}, {1, 1}, {2, 1}};
+  EXPECT_DOUBLE_EQ(finegrained::DiscreteFrechet(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(finegrained::DiscreteFrechet(a, a), 0.0);
+  // Frechet >= endpoint distances.
+  std::vector<Point> c = {{0, 0}, {5, 5}};
+  EXPECT_GE(finegrained::DiscreteFrechet(a, c), std::sqrt(18.0) - 1e-9);
+}
+
+TEST(FrechetTest, SymmetricAndBoundedByMaxPairwise) {
+  util::Rng rng(6);
+  auto a = finegrained::RandomCurve(12, 1.0, &rng);
+  auto b = finegrained::RandomCurve(15, 1.0, &rng);
+  double ab = finegrained::DiscreteFrechet(a, b);
+  double ba = finegrained::DiscreteFrechet(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+}
+
+TEST(DistanceTest, BfsAndDiameter) {
+  EXPECT_EQ(graph::ExactDiameter(graph::Path(10)), 9);
+  EXPECT_EQ(graph::ExactDiameter(graph::Cycle(10)), 5);
+  EXPECT_EQ(graph::ExactDiameter(graph::Complete(6)), 1);
+  EXPECT_EQ(graph::ExactDiameter(graph::Grid(3, 4)), 5);
+  // Disconnected.
+  EXPECT_EQ(graph::ExactDiameter(graph::Path(3).DisjointUnion(graph::Path(2))),
+            -1);
+  auto dist = graph::BfsDistances(graph::Path(5), 2);
+  EXPECT_EQ(dist, (std::vector<int>{2, 1, 0, 1, 2}));
+}
+
+TEST(DistanceTest, TwoApproxWithinFactor) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::Graph g = graph::RandomGnp(30, 0.12, &rng);
+    int exact = graph::ExactDiameter(g);
+    int approx = graph::DiameterTwoApprox(g);
+    if (exact < 0) {
+      EXPECT_EQ(approx, -1);
+      continue;
+    }
+    EXPECT_LE(approx, exact);
+    EXPECT_GE(2 * approx, exact);
+  }
+}
+
+TEST(ListHomomorphismTest, RestrictsImages) {
+  // P_3 into K_3 with singleton lists forcing a specific colouring.
+  graph::Graph h = graph::Path(3);
+  graph::Graph g = graph::Complete(3);
+  std::vector<std::vector<int>> lists = {{0}, {1}, {0}};
+  auto f = graph::FindListHomomorphism(h, g, lists);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, (std::vector<int>{0, 1, 0}));
+  // Conflicting lists: middle vertex must differ from both neighbours.
+  std::vector<std::vector<int>> bad = {{0}, {0}, {0}};
+  EXPECT_FALSE(graph::FindListHomomorphism(h, g, bad).has_value());
+}
+
+TEST(ListHomomorphismTest, FullListsEqualPlainHomomorphism) {
+  util::Rng rng(8);
+  graph::Graph h = graph::RandomGnp(6, 0.5, &rng);
+  graph::Graph g = graph::RandomGnp(5, 0.6, &rng);
+  std::vector<std::vector<int>> full(h.num_vertices());
+  for (auto& list : full) {
+    for (int v = 0; v < g.num_vertices(); ++v) list.push_back(v);
+  }
+  EXPECT_EQ(graph::FindListHomomorphism(h, g, full).has_value(),
+            graph::FindHomomorphism(h, g).has_value());
+}
+
+TEST(ParserTest, ParsesTriangleQuery) {
+  auto q = db::ParseJoinQuery("R1(a, b), R2(a, c), R3(b, c)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->atoms.size(), 3u);
+  EXPECT_EQ(q->atoms[0].relation, "R1");
+  EXPECT_EQ(q->atoms[2].attributes, (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(q->AttributeOrder(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParserTest, WhitespaceAndRepeatedAttributes) {
+  auto q = db::ParseJoinQuery("  E ( x  y )   E(y x)  ");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->atoms.size(), 2u);
+  EXPECT_EQ(q->atoms[1].attributes, (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(ParserTest, Errors) {
+  std::string error;
+  EXPECT_FALSE(db::ParseJoinQuery("", &error).has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R(a", &error).has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R()", &error).has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("(a,b)", &error).has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R(a,1b)", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParserTest, TuplesRoundTrip) {
+  auto tuples = db::ParseTuples("1 2\n3, 4 # comment\n\n5 6\n");
+  ASSERT_TRUE(tuples.has_value());
+  EXPECT_EQ(*tuples, (std::vector<db::Tuple>{{1, 2}, {3, 4}, {5, 6}}));
+  std::string error;
+  EXPECT_FALSE(db::ParseTuples("1 2\n3\n", &error).has_value());
+  EXPECT_FALSE(db::ParseTuples("1 x\n", &error).has_value());
+}
+
+TEST(ParserTest, ParsedQueryEvaluates) {
+  auto q = db::ParseJoinQuery("R(a,b) S(b,c)");
+  ASSERT_TRUE(q.has_value());
+  db::Database d;
+  d.SetRelation("R", 2, *db::ParseTuples("1 2\n2 3"));
+  d.SetRelation("S", 2, *db::ParseTuples("2 5\n3 6"));
+  EXPECT_EQ(db::GenericJoin(*q, d).Count(), 2u);
+}
+
+}  // namespace
+}  // namespace qc

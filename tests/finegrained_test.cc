@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "finegrained/hyperclique.h"
+#include "finegrained/orthogonal_vectors.h"
+#include "finegrained/sequences.h"
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "sat/cnf.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+namespace qc::finegrained {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistanceQuadratic("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistanceQuadratic("", "abc"), 3);
+  EXPECT_EQ(EditDistanceQuadratic("abc", ""), 3);
+  EXPECT_EQ(EditDistanceQuadratic("abc", "abc"), 0);
+  EXPECT_EQ(EditDistanceQuadratic("abcdef", "azced"), 3);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a = RandomString(30, 4, &rng);
+    std::string b = RandomString(25, 4, &rng);
+    EXPECT_EQ(EditDistanceQuadratic(a, b), EditDistanceQuadratic(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnRandomTriples) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a = RandomString(20, 3, &rng);
+    std::string b = RandomString(22, 3, &rng);
+    std::string c = RandomString(18, 3, &rng);
+    EXPECT_LE(EditDistanceQuadratic(a, c),
+              EditDistanceQuadratic(a, b) + EditDistanceQuadratic(b, c));
+  }
+}
+
+class BandedEditDistanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedEditDistanceTest, MatchesQuadraticWithinBand) {
+  util::Rng rng(2000 + GetParam());
+  std::string a = RandomString(40 + GetParam(), 4, &rng);
+  std::string b = MutateString(a, GetParam() % 7, 4, &rng);
+  int exact = EditDistanceQuadratic(a, b);
+  for (int band : {0, 1, 3, 8, 60}) {
+    auto banded = EditDistanceBanded(a, b, band);
+    if (exact <= band) {
+      ASSERT_TRUE(banded.has_value()) << "band " << band;
+      EXPECT_EQ(*banded, exact) << "band " << band;
+    } else {
+      EXPECT_FALSE(banded.has_value()) << "band " << band;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedEditDistanceTest,
+                         ::testing::Range(0, 20));
+
+TEST(LcsTest, KnownValuesAndDuality) {
+  EXPECT_EQ(LongestCommonSubsequence("ABCBDAB", "BDCABA"), 4);
+  EXPECT_EQ(LongestCommonSubsequence("", "xyz"), 0);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "abc"), 3);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a = RandomString(25, 3, &rng);
+    std::string b = RandomString(30, 3, &rng);
+    EXPECT_EQ(LongestCommonSubsequence(a, b),
+              LongestCommonSubsequenceLinearSpace(a, b));
+    // For equal-length strings with only substitutions... skip; check the
+    // generic bound |a|+|b| - 2*LCS >= edit distance.
+    int lcs = LongestCommonSubsequence(a, b);
+    int indel_distance = static_cast<int>(a.size() + b.size()) - 2 * lcs;
+    EXPECT_LE(EditDistanceQuadratic(a, b), indel_distance);
+  }
+}
+
+TEST(OrthogonalVectorsTest, HandBuiltInstances) {
+  OvInstance inst;
+  inst.dimension = 3;
+  auto vec = [](std::initializer_list<int> bits) {
+    util::Bitset b(3);
+    for (int i : bits) b.Set(i);
+    return b;
+  };
+  inst.a = {vec({0, 1}), vec({2})};
+  inst.b = {vec({0}), vec({1})};
+  // a[1]={2} is orthogonal to b[0]={0} and b[1]={1}.
+  auto pair = FindOrthogonalPair(inst);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(CountOrthogonalPairs(inst), 2u);
+  // Remove orthogonality.
+  inst.a = {vec({0, 1})};
+  inst.b = {vec({0}), vec({1})};
+  EXPECT_FALSE(FindOrthogonalPair(inst).has_value());
+}
+
+TEST(OrthogonalVectorsTest, DenseRandomHasNoPairSparseDoes) {
+  util::Rng rng(4);
+  OvInstance dense = RandomOvInstance(30, 12, 0.9, &rng);
+  OvInstance sparse = RandomOvInstance(30, 12, 0.05, &rng);
+  // Statistically certain at these densities (probabilistic but with fixed
+  // deterministic seed, stable).
+  EXPECT_GT(CountOrthogonalPairs(sparse), 0u);
+  EXPECT_EQ(CountOrthogonalPairs(dense), 0u);
+}
+
+TEST(OrthogonalVectorsTest, SplitAndListMatchesSat) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 6 + static_cast<int>(rng.NextBounded(4));
+    int m = 3 + static_cast<int>(rng.NextBounded(20));
+    sat::CnfFormula f = sat::RandomKSat(n, m, 3, &rng);
+    std::vector<std::vector<int>> clauses(f.clauses.begin(), f.clauses.end());
+    OvInstance inst = OvFromCnf(f.num_vars, m, clauses);
+    bool sat = SolveBruteForce(f).satisfiable;
+    EXPECT_EQ(FindOrthogonalPair(inst).has_value(), sat) << trial;
+  }
+}
+
+TEST(HypercliqueTest, GraphCaseMatchesCliqueSearch) {
+  // d = 2 hypercliques are ordinary cliques.
+  util::Rng rng(6);
+  graph::Graph g = graph::RandomGnp(12, 0.5, &rng);
+  graph::Hypergraph h(12);
+  for (auto [u, v] : g.Edges()) h.AddEdge({u, v});
+  HypercliqueSearcher searcher(h, 2);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_EQ(searcher.Find(k).has_value(),
+              graph::FindKCliqueBruteForce(g, k).has_value())
+        << k;
+    EXPECT_EQ(searcher.Count(k), graph::CountKCliques(g, k)) << k;
+  }
+}
+
+TEST(HypercliqueTest, ThreeUniformPlanted) {
+  // All triples on {0..4} plus noise vertices: 5-hyperclique exists, k=6
+  // does not.
+  util::Rng rng(7);
+  graph::Hypergraph h(8);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      for (int c = b + 1; c < 5; ++c) h.AddEdge({a, b, c});
+    }
+  }
+  h.AddEdge({5, 6, 7});
+  HypercliqueSearcher searcher(h, 3);
+  auto found = searcher.Find(5);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(graph::InducesHyperclique(h, *found, 3));
+  EXPECT_FALSE(searcher.Find(6).has_value());
+  // k = 3 hypercliques are exactly the edges: C(5,3) + 1.
+  EXPECT_EQ(searcher.Count(3), 11u);
+  // k = 4: C(5,4) = 5 from the planted block.
+  EXPECT_EQ(searcher.Count(4), 5u);
+}
+
+TEST(HypercliqueTest, CountAgreesWithDefinitionOnRandom) {
+  util::Rng rng(8);
+  graph::Hypergraph h = graph::RandomUniformHypergraph(9, 3, 0.45, &rng);
+  HypercliqueSearcher searcher(h, 3);
+  // Exhaustive 4-subset check.
+  std::uint64_t expected = 0;
+  for (int a = 0; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      for (int c = b + 1; c < 9; ++c) {
+        for (int d = c + 1; d < 9; ++d) {
+          if (graph::InducesHyperclique(h, {a, b, c, d}, 3)) ++expected;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(searcher.Count(4), expected);
+}
+
+}  // namespace
+}  // namespace qc::finegrained

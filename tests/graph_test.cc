@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/boolmatrix.h"
+#include "graph/coloring.h"
+#include "graph/domination.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/homomorphism.h"
+#include "graph/triangles.h"
+#include "graph/vertexcover.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+namespace {
+
+TEST(GraphTest, AddEdgeIdempotentAndLoopFree) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph g = Complete(5);
+  Graph sub = g.InducedSubgraph({0, 2, 4});
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3);
+}
+
+TEST(GraphTest, ComplementOfCompleteIsEmpty) {
+  Graph g = Complete(6);
+  EXPECT_EQ(g.Complement().num_edges(), 0);
+  EXPECT_EQ(Graph(6).Complement().num_edges(), 15);
+}
+
+TEST(GraphTest, DisjointUnionShifts) {
+  Graph a = Path(3), b = Cycle(3);
+  Graph u = a.DisjointUnion(b);
+  EXPECT_EQ(u.num_vertices(), 6);
+  EXPECT_EQ(u.num_edges(), 2 + 3);
+  EXPECT_TRUE(u.HasEdge(3, 4));
+  EXPECT_FALSE(u.HasEdge(2, 3));
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g = Path(3).DisjointUnion(Complete(4));
+  auto comps = g.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(comps[1], (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(GraphTest, IsForest) {
+  EXPECT_TRUE(Path(10).IsForest());
+  EXPECT_TRUE(Path(3).DisjointUnion(Path(4)).IsForest());
+  EXPECT_FALSE(Cycle(4).IsForest());
+}
+
+TEST(GraphTest, DegeneracyOfCompleteGraph) {
+  EXPECT_EQ(Complete(7).DegeneracyOrder().second, 6);
+  EXPECT_EQ(Path(10).DegeneracyOrder().second, 1);
+  EXPECT_EQ(Cycle(10).DegeneracyOrder().second, 2);
+}
+
+TEST(GeneratorsTest, GnpEdgeCountPlausible) {
+  util::Rng rng(1);
+  Graph g = RandomGnp(100, 0.5, &rng);
+  // 100*99/2 = 4950 pairs; expect about half, generously bounded.
+  EXPECT_GT(g.num_edges(), 2000);
+  EXPECT_LT(g.num_edges(), 3000);
+}
+
+TEST(GeneratorsTest, GnmExactEdgeCount) {
+  util::Rng rng(2);
+  Graph g = RandomGnm(50, 200, &rng);
+  EXPECT_EQ(g.num_edges(), 200);
+}
+
+TEST(GeneratorsTest, BasicShapes) {
+  EXPECT_EQ(Path(5).num_edges(), 4);
+  EXPECT_EQ(Cycle(5).num_edges(), 5);
+  EXPECT_EQ(Complete(5).num_edges(), 10);
+  EXPECT_EQ(CompleteBipartite(3, 4).num_edges(), 12);
+  EXPECT_EQ(Star(6).num_edges(), 6);
+  EXPECT_EQ(Grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  util::Rng rng(5);
+  for (int n : {1, 2, 3, 10, 40}) {
+    Graph t = RandomTree(n, &rng);
+    EXPECT_TRUE(t.IsForest());
+    EXPECT_EQ(t.ConnectedComponents().size(), 1u) << "n=" << n;
+    EXPECT_EQ(t.num_edges(), n - 1);
+  }
+}
+
+TEST(GeneratorsTest, KTreeHasRightEdgeCount) {
+  util::Rng rng(6);
+  // A k-tree on n vertices has k(k+1)/2 + (n-k-1)k edges.
+  Graph g = RandomKTree(12, 3, &rng);
+  EXPECT_EQ(g.num_edges(), 3 * 4 / 2 + (12 - 4) * 3);
+}
+
+TEST(GeneratorsTest, PlantedCliqueIsClique) {
+  util::Rng rng(7);
+  std::vector<int> planted;
+  Graph g = PlantedClique(40, 0.2, 6, &rng, &planted);
+  ASSERT_EQ(planted.size(), 6u);
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    for (std::size_t j = i + 1; j < planted.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(planted[i], planted[j]));
+    }
+  }
+}
+
+TEST(GeneratorsTest, SpecialGraphShape) {
+  Graph g = SpecialGraph(4);
+  // K_4 plus a path on 16 vertices.
+  EXPECT_EQ(g.num_vertices(), 4 + 16);
+  EXPECT_EQ(g.num_edges(), 6 + 15);
+  auto comps = g.ConnectedComponents();
+  EXPECT_EQ(comps.size(), 2u);
+}
+
+TEST(BoolMatrixTest, MultiplyMatchesDefinition) {
+  util::Rng rng(11);
+  BoolMatrix a(17, 23), b(23, 9);
+  for (int i = 0; i < 17; ++i) {
+    for (int j = 0; j < 23; ++j) {
+      if (rng.NextBool(0.3)) a.Set(i, j);
+    }
+  }
+  for (int i = 0; i < 23; ++i) {
+    for (int j = 0; j < 9; ++j) {
+      if (rng.NextBool(0.3)) b.Set(i, j);
+    }
+  }
+  BoolMatrix c = a.Multiply(b);
+  for (int i = 0; i < 17; ++i) {
+    for (int j = 0; j < 9; ++j) {
+      bool expect = false;
+      for (int k = 0; k < 23 && !expect; ++k) {
+        expect = a.Test(i, k) && b.Test(k, j);
+      }
+      EXPECT_EQ(c.Test(i, j), expect) << i << "," << j;
+    }
+  }
+}
+
+class TriangleAlgorithmsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleAlgorithmsTest, AllDetectorsAgreeOnRandomGraphs) {
+  util::Rng rng(GetParam());
+  double p = 0.02 + 0.01 * (GetParam() % 7);
+  Graph g = RandomGnp(60, p, &rng);
+  bool expect = CountTriangles(g) > 0;
+  auto check = [&](std::optional<std::array<int, 3>> t) {
+    EXPECT_EQ(t.has_value(), expect);
+    if (t) {
+      EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[1]));
+      EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[2]));
+      EXPECT_TRUE(g.HasEdge((*t)[1], (*t)[2]));
+    }
+  };
+  check(FindTriangleEnumeration(g));
+  check(FindTriangleMatrix(g));
+  check(FindTriangleAyz(g));
+  check(FindTriangleAyz(g, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleAlgorithmsTest,
+                         ::testing::Range(0, 20));
+
+TEST(TriangleTest, TriangleFreeGraphs) {
+  EXPECT_FALSE(FindTriangleEnumeration(CompleteBipartite(5, 5)).has_value());
+  EXPECT_FALSE(FindTriangleMatrix(CompleteBipartite(5, 5)).has_value());
+  EXPECT_FALSE(FindTriangleAyz(Cycle(5)).has_value());
+  EXPECT_EQ(CountTriangles(Grid(4, 4)), 0u);
+}
+
+TEST(TriangleTest, CompleteGraphCount) {
+  // C(6,3) = 20 triangles in K_6.
+  EXPECT_EQ(CountTriangles(Complete(6)), 20u);
+}
+
+TEST(DominationTest, IsDominatingSet) {
+  Graph g = Star(5);
+  EXPECT_TRUE(IsDominatingSet(g, {0}));
+  EXPECT_FALSE(IsDominatingSet(g, {1}));
+  EXPECT_TRUE(IsDominatingSet(g, {1, 2, 3, 4, 5}));
+}
+
+TEST(DominationTest, BruteForceMatchesBranchAndBound) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGnp(14, 0.25, &rng);
+    std::vector<int> exact = MinDominatingSet(g);
+    EXPECT_TRUE(IsDominatingSet(g, exact));
+    int k = static_cast<int>(exact.size());
+    EXPECT_TRUE(FindDominatingSetOfSize(g, k).has_value());
+    if (k > 1) {
+      EXPECT_FALSE(FindDominatingSetOfSize(g, k - 1).has_value());
+    }
+  }
+}
+
+TEST(DominationTest, GreedyIsValid) {
+  util::Rng rng(17);
+  Graph g = RandomGnp(30, 0.15, &rng);
+  EXPECT_TRUE(IsDominatingSet(g, GreedyDominatingSet(g)));
+}
+
+TEST(DominationTest, PathDominationNumber) {
+  // gamma(P_n) = ceil(n/3).
+  EXPECT_EQ(MinDominatingSet(Path(9)).size(), 3u);
+  EXPECT_EQ(MinDominatingSet(Path(10)).size(), 4u);
+}
+
+TEST(VertexCoverTest, BranchingFindsOptimal) {
+  // VC of C_5 is 3; of K_5 is 4; of a star is 1.
+  EXPECT_EQ(MinVertexCover(Cycle(5)).size(), 3u);
+  EXPECT_EQ(MinVertexCover(Complete(5)).size(), 4u);
+  EXPECT_EQ(MinVertexCover(Star(7)).size(), 1u);
+}
+
+TEST(VertexCoverTest, TwoApproxIsCoverWithinFactor) {
+  util::Rng rng(19);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGnp(16, 0.3, &rng);
+    auto approx = TwoApproxVertexCover(g);
+    EXPECT_TRUE(IsVertexCover(g, approx));
+    auto exact = MinVertexCover(g);
+    EXPECT_LE(approx.size(), 2 * exact.size());
+  }
+}
+
+TEST(VertexCoverTest, IndependentSetComplementsCover) {
+  util::Rng rng(23);
+  Graph g = RandomGnp(14, 0.4, &rng);
+  auto is = MaxIndependentSet(g);
+  for (std::size_t i = 0; i < is.size(); ++i) {
+    for (std::size_t j = i + 1; j < is.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(is[i], is[j]));
+    }
+  }
+  EXPECT_EQ(is.size() + MinVertexCover(g).size(),
+            static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(ColoringTest, ChromaticNumbers) {
+  EXPECT_EQ(ChromaticNumber(Complete(5)), 5);
+  EXPECT_EQ(ChromaticNumber(Cycle(5)), 3);  // Odd cycle.
+  EXPECT_EQ(ChromaticNumber(Cycle(6)), 2);  // Even cycle.
+  EXPECT_EQ(ChromaticNumber(Path(8)), 2);
+  EXPECT_EQ(ChromaticNumber(CompleteBipartite(4, 4)), 2);
+  EXPECT_EQ(ChromaticNumber(Graph(3)), 1);
+}
+
+TEST(ColoringTest, FindKColoringIsProper) {
+  util::Rng rng(29);
+  Graph g = RandomGnp(20, 0.3, &rng);
+  int chi = ChromaticNumber(g);
+  auto coloring = FindKColoring(g, chi);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(IsProperColoring(g, *coloring));
+  EXPECT_FALSE(FindKColoring(g, chi - 1).has_value());
+}
+
+TEST(ColoringTest, GreedyIsProper) {
+  util::Rng rng(31);
+  Graph g = RandomGnp(25, 0.3, &rng);
+  std::vector<int> order(25);
+  for (int i = 0; i < 25; ++i) order[i] = i;
+  EXPECT_TRUE(IsProperColoring(g, GreedyColoring(g, order)));
+}
+
+TEST(HomomorphismTest, OddCycleToTriangle) {
+  // C_5 -> K_3 exists (it is 3-colourable); C_5 -> K_2 does not.
+  EXPECT_TRUE(FindHomomorphism(Cycle(5), Complete(3)).has_value());
+  EXPECT_FALSE(FindHomomorphism(Cycle(5), Complete(2)).has_value());
+  // Even cycle maps to an edge.
+  EXPECT_TRUE(FindHomomorphism(Cycle(6), Complete(2)).has_value());
+}
+
+TEST(HomomorphismTest, HomomorphismToCompleteIsColoring) {
+  util::Rng rng(37);
+  Graph g = RandomGnp(12, 0.3, &rng);
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_EQ(FindHomomorphism(g, Complete(k)).has_value(),
+              FindKColoring(g, k).has_value())
+        << "k=" << k;
+  }
+}
+
+TEST(HomomorphismTest, CountHomsPathToEdge) {
+  // Homs from P_3 (2 edges) to K_2: 2 choices for middle... exactly 2 per
+  // choice of image of the middle vertex; total 2.
+  // P_3 vertices a-b-c: f(b) in {0,1}, then f(a),f(c) forced. Count = 2.
+  EXPECT_EQ(CountHomomorphisms(Path(3), Complete(2)), 2u);
+  // Homs from a single edge to K_3: 3*2 = 6.
+  EXPECT_EQ(CountHomomorphisms(Path(2), Complete(3)), 6u);
+}
+
+TEST(HomomorphismTest, PartitionedSubgraphIsomorphism) {
+  // G: two classes joined by one edge; H: single edge.
+  Graph h = Path(2);
+  Graph g(4);
+  // Classes: {0,1} -> class 0, {2,3} -> class 1. Only edge 1-2.
+  g.AddEdge(1, 2);
+  std::vector<int> class_of = {0, 0, 1, 1};
+  auto f = FindPartitionedSubgraphIsomorphism(h, g, class_of);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ((*f)[0], 1);
+  EXPECT_EQ((*f)[1], 2);
+  // Remove the edge: no solution.
+  Graph g2(4);
+  g2.AddEdge(0, 3);  // Wrong orientation? 0 in class 0, 3 in class 1: fine.
+  auto f2 = FindPartitionedSubgraphIsomorphism(h, g2, class_of);
+  ASSERT_TRUE(f2.has_value());
+  Graph g3(4);
+  EXPECT_FALSE(FindPartitionedSubgraphIsomorphism(h, g3, class_of));
+}
+
+TEST(HomomorphismTest, PartitionedCliqueDetectsPlantedClique) {
+  util::Rng rng(41);
+  // Build the k-partite structure of Section 2.3 by hand: k classes of d
+  // vertices; plant one vertex per class forming a clique.
+  const int k = 4, d = 5;
+  Graph g(k * d);
+  std::vector<int> class_of(k * d);
+  for (int v = 0; v < k * d; ++v) class_of[v] = v / d;
+  std::vector<int> chosen(k);
+  for (int c = 0; c < k; ++c) {
+    chosen[c] = c * d + static_cast<int>(rng.NextBounded(d));
+  }
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      g.AddEdge(chosen[a], chosen[b]);
+    }
+  }
+  auto f = FindPartitionedSubgraphIsomorphism(Complete(k), g, class_of);
+  ASSERT_TRUE(f.has_value());
+  std::vector<int> got = *f;
+  std::sort(got.begin(), got.end());
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(got, chosen);
+}
+
+}  // namespace
+}  // namespace qc::graph

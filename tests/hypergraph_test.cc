@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "graph/hypergraph.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+namespace {
+
+using util::Fraction;
+
+Hypergraph TriangleQueryHypergraph() {
+  // R1(a,b) |><| R2(a,c) |><| R3(b,c): the running example of Section 3.
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 2});
+  h.AddEdge({1, 2});
+  return h;
+}
+
+TEST(HypergraphTest, BasicAccessors) {
+  Hypergraph h = TriangleQueryHypergraph();
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.EdgesContaining(0), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(h.IsUniform(2));
+  EXPECT_TRUE(h.CoversAllVertices());
+}
+
+TEST(HypergraphTest, EdgeDeduplicatesVertices) {
+  Hypergraph h(4);
+  h.AddEdge({2, 1, 2, 3});
+  EXPECT_EQ(h.Edge(0), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(HypergraphTest, PrimalGraph) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3});
+  Graph g = h.PrimalGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(FractionalCoverTest, TriangleIsThreeHalves) {
+  // The paper's flagship example: rho*(triangle) = 3/2.
+  auto fc = FractionalEdgeCoverNumber(TriangleQueryHypergraph());
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ(fc->total, Fraction(3, 2));
+  // The optimal assignment puts weight 1/2 on each edge.
+  for (const auto& w : fc->weight) EXPECT_EQ(w, Fraction(1, 2));
+}
+
+TEST(FractionalCoverTest, PathQuery) {
+  // R1(a,b) |><| R2(b,c): rho* = 2 (both edges needed at weight 1 to cover
+  // the endpoint-only attributes a and c).
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  auto fc = FractionalEdgeCoverNumber(h);
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ(fc->total, Fraction(2));
+}
+
+TEST(FractionalCoverTest, SingleEdgeCoversAll) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1, 2, 3});
+  auto fc = FractionalEdgeCoverNumber(h);
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ(fc->total, Fraction(1));
+}
+
+TEST(FractionalCoverTest, UncoveredVertexIsInfeasible) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  EXPECT_FALSE(FractionalEdgeCoverNumber(h).has_value());
+  EXPECT_FALSE(IntegralEdgeCoverNumber(h).has_value());
+}
+
+TEST(FractionalCoverTest, OddCycleIsHalfLength) {
+  // rho* of the 5-cycle hypergraph (binary edges) is 5/2.
+  Hypergraph h(5);
+  for (int i = 0; i < 5; ++i) h.AddEdge({i, (i + 1) % 5});
+  auto fc = FractionalEdgeCoverNumber(h);
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ(fc->total, Fraction(5, 2));
+  // Integral cover needs 3.
+  EXPECT_EQ(IntegralEdgeCoverNumber(h), 3);
+}
+
+TEST(FractionalCoverTest, FractionalNeverExceedsIntegral) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    Hypergraph h = RandomUniformHypergraph(7, 3, 0.4, &rng);
+    if (!h.CoversAllVertices()) continue;
+    auto frac = FractionalEdgeCoverNumber(h);
+    auto integral = IntegralEdgeCoverNumber(h);
+    ASSERT_TRUE(frac.has_value());
+    ASSERT_TRUE(integral.has_value());
+    EXPECT_LE(frac->total, Fraction(*integral));
+    // The LP weights must actually cover each vertex.
+    for (int v = 0; v < h.num_vertices(); ++v) {
+      Fraction sum(0);
+      for (int e : h.EdgesContaining(v)) sum += frac->weight[e];
+      EXPECT_GE(sum, Fraction(1));
+    }
+  }
+}
+
+TEST(AcyclicityTest, AcyclicExamples) {
+  // Single edge.
+  Hypergraph h1(3);
+  h1.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(h1));
+  // Path of relations: R(a,b), S(b,c), T(c,d).
+  Hypergraph h2(4);
+  h2.AddEdge({0, 1});
+  h2.AddEdge({1, 2});
+  h2.AddEdge({2, 3});
+  EXPECT_TRUE(IsAlphaAcyclic(h2));
+  // The classic alpha-acyclic-but-"cyclic-looking" example: a big edge
+  // containing a triangle of small edges.
+  Hypergraph h3(3);
+  h3.AddEdge({0, 1});
+  h3.AddEdge({1, 2});
+  h3.AddEdge({0, 2});
+  h3.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(h3));
+}
+
+TEST(AcyclicityTest, CyclicExamples) {
+  EXPECT_FALSE(IsAlphaAcyclic(
+      []() {
+        Hypergraph h(3);
+        h.AddEdge({0, 1});
+        h.AddEdge({1, 2});
+        h.AddEdge({0, 2});
+        return h;
+      }()));
+  // 4-cycle of binary edges.
+  Hypergraph h(4);
+  for (int i = 0; i < 4; ++i) h.AddEdge({i, (i + 1) % 4});
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+}
+
+TEST(AcyclicityTest, JoinTreeParentExported) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  std::vector<int> parent;
+  ASSERT_TRUE(IsAlphaAcyclic(h, &parent));
+  EXPECT_EQ(parent.size(), 3u);
+  int roots = 0;
+  for (int p : parent) {
+    if (p == -1) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(HypercliqueTest, DetectsCompleteTriple) {
+  // 3-uniform hypergraph on {0..4} with all triples inside {0,1,2,3}.
+  Hypergraph h(5);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      for (int c = b + 1; c < 4; ++c) h.AddEdge({a, b, c});
+    }
+  }
+  EXPECT_TRUE(InducesHyperclique(h, {0, 1, 2, 3}, 3));
+  EXPECT_TRUE(InducesHyperclique(h, {0, 1, 2}, 3));
+  EXPECT_FALSE(InducesHyperclique(h, {0, 1, 2, 4}, 3));
+  EXPECT_FALSE(InducesHyperclique(h, {0, 1}, 3));
+}
+
+TEST(HypercliqueTest, RandomUniformIsUniform) {
+  util::Rng rng(11);
+  Hypergraph h = RandomUniformHypergraph(8, 3, 0.5, &rng);
+  EXPECT_TRUE(h.IsUniform(3));
+  EXPECT_GT(h.num_edges(), 0);
+  EXPECT_LT(h.num_edges(), 56);  // C(8,3) = 56; p=0.5 should not hit either end.
+}
+
+}  // namespace
+}  // namespace qc::graph

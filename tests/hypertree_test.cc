@@ -1,0 +1,220 @@
+// Tests for fractional hypertree width, the treewidth branch & bound, the
+// #SAT counter, and subgraph isomorphism.
+
+#include <gtest/gtest.h>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/homomorphism.h"
+#include "graph/hypertree.h"
+#include "graph/treewidth.h"
+#include "sat/generators.h"
+#include "sat/model_counting.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+using util::Fraction;
+
+graph::Hypergraph TriangleHypergraph() {
+  graph::Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 2});
+  h.AddEdge({1, 2});
+  return h;
+}
+
+TEST(FhwTest, AcyclicHypergraphHasWidthOne) {
+  graph::Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  auto td = graph::JoinTreeDecomposition(h);
+  ASSERT_TRUE(td.has_value());
+  auto width = graph::FractionalHypertreeWidthOf(h, *td);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_EQ(*width, Fraction(1));
+  auto best = graph::HeuristicFractionalHypertreeWidth(h);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->width, Fraction(1));
+}
+
+TEST(FhwTest, TriangleIsThreeHalves) {
+  // The one-bag decomposition of the triangle query has fhw = rho* = 3/2,
+  // and no decomposition can beat it (fhw(triangle) = 3/2).
+  graph::Hypergraph h = TriangleHypergraph();
+  auto best = graph::HeuristicFractionalHypertreeWidth(h);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->width, Fraction(3, 2));
+}
+
+TEST(FhwTest, BigEdgeAbsorbsTriangle) {
+  // Triangle of binary edges plus a covering ternary edge: alpha-acyclic,
+  // fhw = 1 via the join tree.
+  graph::Hypergraph h = TriangleHypergraph();
+  h.AddEdge({0, 1, 2});
+  auto best = graph::HeuristicFractionalHypertreeWidth(h);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->width, Fraction(1));
+}
+
+TEST(FhwTest, JoinTreeRejectsCyclic) {
+  EXPECT_FALSE(graph::JoinTreeDecomposition(TriangleHypergraph()).has_value());
+}
+
+TEST(FhwTest, UncoveredVertexIsInfeasible) {
+  graph::Hypergraph h(3);
+  h.AddEdge({0, 1});
+  EXPECT_FALSE(graph::HeuristicFractionalHypertreeWidth(h).has_value());
+}
+
+TEST(FhwTest, FhwNeverExceedsTreewidthPlusOneOnBinaryHypergraphs) {
+  // For a graph (binary hyperedges), any bag of size s needs >= s/2 weight,
+  // and the treewidth decomposition gives fhw <= (tw+1)... just check fhw
+  // is sane: 1 <= fhw <= #edges on random covering hypergraphs.
+  util::Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::Hypergraph h = graph::RandomUniformHypergraph(7, 3, 0.4, &rng);
+    if (!h.CoversAllVertices() || h.num_edges() == 0) continue;
+    auto best = graph::HeuristicFractionalHypertreeWidth(h);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(best->width, Fraction(1));
+    EXPECT_LE(best->width, Fraction(h.num_edges()));
+    // And the decomposition is a real tree decomposition.
+    EXPECT_EQ(best->decomposition.Validate(h.PrimalGraph()), std::nullopt);
+  }
+}
+
+TEST(BranchAndBoundTreewidthTest, MatchesSubsetDpOnKnownGraphs) {
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Path(8)), 1);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Cycle(8)), 2);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Complete(6)), 5);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Grid(3, 3)), 3);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Graph(0)), -1);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(graph::Graph(3)), 0);
+}
+
+class BbTreewidthRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BbTreewidthRandomTest, AgreesWithExactDp) {
+  util::Rng rng(6000 + GetParam());
+  double p = 0.15 + 0.05 * (GetParam() % 5);
+  graph::Graph g = graph::RandomGnp(12, p, &rng);
+  EXPECT_EQ(graph::BranchAndBoundTreewidth(g),
+            graph::ExactTreewidth(g).treewidth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BbTreewidthRandomTest, ::testing::Range(0, 15));
+
+TEST(BranchAndBoundTreewidthTest, LargerPartialKTree) {
+  util::Rng rng(2);
+  graph::Graph g = graph::RandomPartialKTree(30, 3, 0.75, &rng);
+  int bb = graph::BranchAndBoundTreewidth(g);
+  EXPECT_LE(bb, 3);
+  EXPECT_GE(bb, graph::TreewidthLowerBound(g));
+}
+
+TEST(ModelCountingTest, SmallFormulas) {
+  sat::CnfFormula f;
+  f.num_vars = 3;
+  // Empty formula: all 8 assignments.
+  EXPECT_EQ(sat::CountModels(f), 8u);
+  f.AddClause({1, 2});
+  // (x1 or x2): 3 of 4 assignments, times 2 for x3.
+  EXPECT_EQ(sat::CountModels(f), 6u);
+  f.AddClause({-1});
+  // x1 = 0 and x2 = 1: 1 * 2.
+  EXPECT_EQ(sat::CountModels(f), 2u);
+  f.AddClause({-2});
+  EXPECT_EQ(sat::CountModels(f), 0u);
+}
+
+TEST(ModelCountingTest, FreedVariablesCounted) {
+  // (x1 or x2) and (x1): x1 forced true frees x2 -> 2 models.
+  sat::CnfFormula f;
+  f.num_vars = 2;
+  f.AddClause({1, 2});
+  f.AddClause({1});
+  EXPECT_EQ(sat::CountModels(f), 2u);
+}
+
+TEST(ModelCountingTest, ComponentsMultiply) {
+  // Two independent (x or y) components: 3 * 3 models.
+  sat::CnfFormula f;
+  f.num_vars = 4;
+  f.AddClause({1, 2});
+  f.AddClause({3, 4});
+  EXPECT_EQ(sat::CountModels(f), 9u);
+}
+
+class ModelCountAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelCountAgreementTest, MatchesEnumeration) {
+  util::Rng rng(6100 + GetParam());
+  int n = 5 + GetParam() % 6;
+  int m = static_cast<int>(rng.NextBounded(4 * n));
+  sat::CnfFormula f = sat::RandomKSat(n, m, 3, &rng);
+  std::uint64_t expected = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> a(n);
+    for (int v = 0; v < n; ++v) a[v] = (mask >> v) & 1u;
+    if (f.Evaluate(a)) ++expected;
+  }
+  EXPECT_EQ(sat::CountModels(f), expected)
+      << "n=" << n << " m=" << m << " seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelCountAgreementTest,
+                         ::testing::Range(0, 25));
+
+TEST(SubgraphIsomorphismTest, CliquePatternMatchesCliqueSearch) {
+  util::Rng rng(3);
+  graph::Graph g = graph::RandomGnp(14, 0.5, &rng);
+  for (int k = 3; k <= 5; ++k) {
+    auto iso = graph::FindSubgraphIsomorphism(graph::Complete(k), g);
+    EXPECT_EQ(iso.has_value(),
+              graph::FindKCliqueBruteForce(g, k).has_value());
+    if (iso) {
+      std::vector<int> img = *iso;
+      EXPECT_TRUE(graph::IsClique(g, img));
+    }
+  }
+}
+
+TEST(SubgraphIsomorphismTest, InducedVsNonInduced) {
+  // P_3 embeds in K_3 as a (non-induced) subgraph but not as an induced
+  // one (K_3 has no induced path on 3 vertices).
+  graph::Graph p3 = graph::Path(3);
+  graph::Graph k3 = graph::Complete(3);
+  EXPECT_TRUE(graph::FindSubgraphIsomorphism(p3, k3, false).has_value());
+  EXPECT_FALSE(graph::FindSubgraphIsomorphism(p3, k3, true).has_value());
+  // Both work into C_5.
+  graph::Graph c5 = graph::Cycle(5);
+  EXPECT_TRUE(graph::FindSubgraphIsomorphism(p3, c5, false).has_value());
+  EXPECT_TRUE(graph::FindSubgraphIsomorphism(p3, c5, true).has_value());
+}
+
+TEST(SubgraphIsomorphismTest, PatternLargerThanHostFails) {
+  EXPECT_FALSE(
+      graph::FindSubgraphIsomorphism(graph::Path(5), graph::Path(4))
+          .has_value());
+}
+
+TEST(SubgraphIsomorphismTest, MappingIsInjectiveAndEdgePreserving) {
+  util::Rng rng(4);
+  graph::Graph h = graph::Cycle(4);
+  graph::Graph g = graph::RandomGnp(10, 0.5, &rng);
+  auto iso = graph::FindSubgraphIsomorphism(h, g);
+  if (iso) {
+    std::vector<int> img = *iso;
+    std::sort(img.begin(), img.end());
+    EXPECT_EQ(std::unique(img.begin(), img.end()), img.end());
+    for (auto [u, v] : h.Edges()) {
+      EXPECT_TRUE(g.HasEdge((*iso)[u], (*iso)[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qc

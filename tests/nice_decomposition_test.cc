@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "graph/domination.h"
+#include "graph/generators.h"
+#include "graph/nice_decomposition.h"
+#include "graph/treewidth.h"
+#include "graph/vertexcover.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+namespace {
+
+NiceTreeDecomposition NiceOf(const Graph& g) {
+  TreeDecomposition td = ExactTreewidth(g).decomposition;
+  return NiceTreeDecomposition::FromTreeDecomposition(td, g);
+}
+
+TEST(NiceDecompositionTest, ConversionValidatesOnKnownGraphs) {
+  for (const Graph& g : {Path(6), Cycle(7), Complete(5), Grid(3, 3),
+                         Star(5), Path(3).DisjointUnion(Cycle(4))}) {
+    TreeDecomposition td = ExactTreewidth(g).decomposition;
+    NiceTreeDecomposition ntd =
+        NiceTreeDecomposition::FromTreeDecomposition(td, g);
+    EXPECT_EQ(ntd.Validate(g), std::nullopt);
+    EXPECT_EQ(ntd.Width(), td.Width());
+  }
+}
+
+TEST(NiceDecompositionTest, ConversionValidatesOnRandomGraphs) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGnp(12, 0.25, &rng);
+    NiceTreeDecomposition ntd = NiceOf(g);
+    EXPECT_EQ(ntd.Validate(g), std::nullopt) << "trial " << trial;
+  }
+}
+
+TEST(NiceDecompositionTest, EmptyGraph) {
+  Graph g(0);
+  NiceTreeDecomposition ntd = NiceTreeDecomposition::FromTreeDecomposition(
+      TreeDecomposition{}, g);
+  EXPECT_EQ(ntd.Width(), -1);
+  EXPECT_EQ(MinDominatingSetTreewidth(g, ntd), 0);
+}
+
+TEST(MisTreewidthTest, KnownGraphs) {
+  // alpha(P_6) = 3, alpha(C_7) = 3, alpha(K_5) = 1, alpha(K_{3,4}) = 4,
+  // alpha(star_5) = 5.
+  EXPECT_EQ(MaxIndependentSetTreewidth(Path(6), NiceOf(Path(6))), 3);
+  EXPECT_EQ(MaxIndependentSetTreewidth(Cycle(7), NiceOf(Cycle(7))), 3);
+  EXPECT_EQ(MaxIndependentSetTreewidth(Complete(5), NiceOf(Complete(5))), 1);
+  Graph kb = CompleteBipartite(3, 4);
+  EXPECT_EQ(MaxIndependentSetTreewidth(kb, NiceOf(kb)), 4);
+  EXPECT_EQ(MaxIndependentSetTreewidth(Star(5), NiceOf(Star(5))), 5);
+}
+
+class MisTreewidthRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisTreewidthRandomTest, AgreesWithBranchingSolver) {
+  util::Rng rng(2000 + GetParam());
+  Graph g = RandomGnp(12, 0.2 + 0.04 * (GetParam() % 5), &rng);
+  NiceTreeDecomposition ntd = NiceOf(g);
+  std::vector<int> witness;
+  int dp = MaxIndependentSetTreewidth(g, ntd, &witness);
+  int exact = static_cast<int>(MaxIndependentSet(g).size());
+  EXPECT_EQ(dp, exact);
+  // The witness is a real independent set of the claimed size.
+  EXPECT_EQ(static_cast<int>(witness.size()), dp);
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    for (std::size_t j = i + 1; j < witness.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(witness[i], witness[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisTreewidthRandomTest,
+                         ::testing::Range(0, 15));
+
+TEST(DomSetTreewidthTest, KnownGraphs) {
+  // gamma(P_9) = 3, gamma(P_10) = 4, gamma(C_9) = 3, gamma(K_5) = 1,
+  // gamma(star_6) = 1, gamma(grid 2x3) = 2.
+  EXPECT_EQ(MinDominatingSetTreewidth(Path(9), NiceOf(Path(9))), 3);
+  EXPECT_EQ(MinDominatingSetTreewidth(Path(10), NiceOf(Path(10))), 4);
+  EXPECT_EQ(MinDominatingSetTreewidth(Cycle(9), NiceOf(Cycle(9))), 3);
+  EXPECT_EQ(MinDominatingSetTreewidth(Complete(5), NiceOf(Complete(5))), 1);
+  EXPECT_EQ(MinDominatingSetTreewidth(Star(6), NiceOf(Star(6))), 1);
+  Graph grid = Grid(2, 3);
+  EXPECT_EQ(MinDominatingSetTreewidth(grid, NiceOf(grid)), 2);
+}
+
+class DomSetTreewidthRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomSetTreewidthRandomTest, AgreesWithBranchAndBound) {
+  util::Rng rng(2100 + GetParam());
+  Graph g = RandomGnp(11, 0.2 + 0.05 * (GetParam() % 4), &rng);
+  NiceTreeDecomposition ntd = NiceOf(g);
+  int dp = MinDominatingSetTreewidth(g, ntd);
+  int exact = static_cast<int>(MinDominatingSet(g).size());
+  EXPECT_EQ(dp, exact) << "trial " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomSetTreewidthRandomTest,
+                         ::testing::Range(0, 15));
+
+TEST(DomSetTreewidthTest, PartialKTreesStayFast) {
+  // Width stays ~k, so the 3^w DP handles larger graphs easily.
+  util::Rng rng(5);
+  Graph g = RandomPartialKTree(60, 3, 0.7, &rng);
+  TreeDecomposition td = HeuristicTreewidth(g).decomposition;
+  NiceTreeDecomposition ntd =
+      NiceTreeDecomposition::FromTreeDecomposition(td, g);
+  ASSERT_EQ(ntd.Validate(g), std::nullopt);
+  int dp = MinDominatingSetTreewidth(g, ntd);
+  EXPECT_GT(dp, 0);
+  EXPECT_TRUE(IsDominatingSet(g, GreedyDominatingSet(g)));
+  EXPECT_LE(dp, static_cast<int>(GreedyDominatingSet(g).size()));
+}
+
+TEST(MisTreewidthTest, LargePartialKTreeMatchesGreedyBound) {
+  util::Rng rng(6);
+  Graph g = RandomPartialKTree(80, 2, 0.8, &rng);
+  TreeDecomposition td = HeuristicTreewidth(g).decomposition;
+  NiceTreeDecomposition ntd =
+      NiceTreeDecomposition::FromTreeDecomposition(td, g);
+  std::vector<int> witness;
+  int dp = MaxIndependentSetTreewidth(g, ntd, &witness);
+  EXPECT_EQ(static_cast<int>(witness.size()), dp);
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    for (std::size_t j = i + 1; j < witness.size(); ++j) {
+      EXPECT_FALSE(g.HasEdge(witness[i], witness[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qc::graph

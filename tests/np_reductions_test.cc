@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cliques.h"
+#include "graph/generators.h"
+#include "graph/vertexcover.h"
+#include "reductions/np_reductions.h"
+#include "sat/cnf.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+namespace qc::reductions {
+namespace {
+
+class CliqueFromSatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueFromSatTest, SatisfiableIffCliqueOfSizeM) {
+  util::Rng rng(8000 + GetParam());
+  int n = 4 + GetParam() % 4;
+  int m = 3 + static_cast<int>(rng.NextBounded(5));
+  sat::CnfFormula f = sat::RandomKSat(n, m, 3, &rng);
+  CliqueFromSatReduction red = CliqueFromSat(f);
+  EXPECT_EQ(red.target_clique_size, m);
+  EXPECT_EQ(red.graph.num_vertices(), 3 * m);
+  auto clique =
+      graph::FindKCliqueBruteForce(red.graph, red.target_clique_size);
+  bool satisfiable = sat::SolveBruteForce(f).satisfiable;
+  ASSERT_EQ(clique.has_value(), satisfiable) << "n=" << n << " m=" << m;
+  if (clique) {
+    EXPECT_TRUE(f.Evaluate(red.DecodeAssignment(*clique, n)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueFromSatTest, ::testing::Range(0, 20));
+
+TEST(CliqueFromSatTest, UnsatContradiction) {
+  sat::CnfFormula f;
+  f.num_vars = 1;
+  f.AddClause({1});
+  f.AddClause({-1});
+  CliqueFromSatReduction red = CliqueFromSat(f);
+  EXPECT_FALSE(graph::FindKCliqueBruteForce(red.graph, 2).has_value());
+}
+
+TEST(ComplementIdentityTest, CoverIndependentSetCliqueTriangle) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::Graph g = graph::RandomGnp(12, 0.4, &rng);
+    std::vector<int> cover = graph::MinVertexCover(g);
+    std::vector<int> rest = ComplementVertexSet(g, cover);
+    // V \ cover is independent in G...
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      for (std::size_t j = i + 1; j < rest.size(); ++j) {
+        EXPECT_FALSE(g.HasEdge(rest[i], rest[j]));
+      }
+    }
+    // ...and a clique in the complement.
+    graph::Graph gc = ComplementGraph(g);
+    EXPECT_TRUE(graph::IsClique(gc, rest));
+    // Sizes: alpha(G) = n - tau(G) = omega(complement).
+    EXPECT_EQ(graph::MaxClique(gc).size(),
+              static_cast<std::size_t>(g.num_vertices()) - cover.size());
+  }
+}
+
+}  // namespace
+}  // namespace qc::reductions

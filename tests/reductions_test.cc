@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "csp/treedp.h"
+#include "db/agm.h"
+#include "db/generic_join.h"
+#include "graph/cliques.h"
+#include "graph/coloring.h"
+#include "graph/domination.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "reductions/clique_reductions.h"
+#include "reductions/domset_reduction.h"
+#include "reductions/query_reductions.h"
+#include "reductions/sat_reductions.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "util/rng.h"
+
+namespace qc::reductions {
+namespace {
+
+class SatToCspTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatToCspTest, PreservesSatisfiabilityAndModelCount) {
+  util::Rng rng(1000 + GetParam());
+  int n = 4 + GetParam() % 5;
+  int m = 2 + static_cast<int>(rng.NextBounded(4 * n));
+  sat::CnfFormula f = sat::RandomKSat(n, m, 3, &rng);
+  csp::CspInstance csp = CspFromSat(f);
+  EXPECT_EQ(csp.domain_size, 2);
+  sat::SatResult dpll = sat::SolveDpll(f);
+  csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  EXPECT_EQ(sol.found, dpll.satisfiable);
+  if (sol.found) {
+    std::vector<bool> assignment(csp.num_vars);
+    for (int v = 0; v < csp.num_vars; ++v) assignment[v] = sol.assignment[v];
+    EXPECT_TRUE(f.Evaluate(assignment));
+  }
+  // Model counts agree with brute force over the formula.
+  std::uint64_t models = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> a(n);
+    for (int v = 0; v < n; ++v) a[v] = (mask >> v) & 1u;
+    if (f.Evaluate(a)) ++models;
+  }
+  EXPECT_EQ(csp::CountSolutionsBruteForce(csp), models);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatToCspTest, ::testing::Range(0, 15));
+
+class ThreeColoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeColoringTest, EquivalentToSatisfiability) {
+  util::Rng rng(1100 + GetParam());
+  int n = 3 + GetParam() % 3;
+  int m = 3 + static_cast<int>(rng.NextBounded(3 * n));
+  sat::CnfFormula f = sat::RandomKSat(n, m, 3, &rng);
+  ThreeColoringReduction red = ThreeColoringFromSat(f);
+  // Size is linear: 3 + 2n + 6m vertices.
+  EXPECT_EQ(red.graph.num_vertices(), 3 + 2 * n + 6 * m);
+  auto coloring = graph::FindKColoring(red.graph, 3);
+  bool satisfiable = sat::SolveDpll(f).satisfiable;
+  ASSERT_EQ(coloring.has_value(), satisfiable);
+  if (coloring) {
+    EXPECT_TRUE(graph::IsProperColoring(red.graph, *coloring));
+    EXPECT_TRUE(f.Evaluate(red.DecodeAssignment(*coloring)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeColoringTest, ::testing::Range(0, 15));
+
+TEST(ThreeColoringTest, UnsatUnitContradiction) {
+  sat::CnfFormula f;
+  f.num_vars = 1;
+  f.AddClause({1});
+  f.AddClause({-1});
+  ThreeColoringReduction red = ThreeColoringFromSat(f);
+  EXPECT_FALSE(graph::FindKColoring(red.graph, 3).has_value());
+}
+
+class CliqueToCspTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueToCspTest, SolutionsAreCliques) {
+  util::Rng rng(1200 + GetParam());
+  graph::Graph g = graph::RandomGnp(14, 0.45, &rng);
+  for (int k = 2; k <= 4; ++k) {
+    csp::CspInstance csp = CspFromClique(g, k);
+    EXPECT_EQ(csp.num_vars, k);
+    EXPECT_EQ(static_cast<int>(csp.constraints.size()), k * (k - 1) / 2);
+    csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+    bool has = graph::FindKCliqueBruteForce(g, k).has_value();
+    EXPECT_EQ(sol.found, has) << "k=" << k;
+    if (sol.found) {
+      std::vector<int> clique = ExtractClique(sol.assignment, k);
+      EXPECT_TRUE(graph::IsClique(g, clique));
+      std::sort(clique.begin(), clique.end());
+      EXPECT_EQ(std::unique(clique.begin(), clique.end()), clique.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueToCspTest, ::testing::Range(0, 10));
+
+TEST(SpecialCspTest, ShapeAndEquivalence) {
+  util::Rng rng(5);
+  graph::Graph g = graph::RandomGnp(12, 0.5, &rng);
+  const int k = 3;
+  csp::CspInstance csp = SpecialCspFromClique(g, k);
+  EXPECT_EQ(csp.num_vars, k + 8);
+  // The primal graph is "special": a k-clique plus a path on 2^k vertices.
+  graph::Graph primal = csp.PrimalGraph();
+  auto comps = primal.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].size(), static_cast<std::size_t>(k));
+  EXPECT_EQ(comps[1].size(), 8u);
+  // Solvable iff a k-clique exists.
+  csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  EXPECT_EQ(sol.found, graph::FindKCliqueBruteForce(g, k).has_value());
+  if (sol.found) {
+    EXPECT_TRUE(graph::IsClique(g, ExtractClique(sol.assignment, k)));
+  }
+}
+
+TEST(GraphHomCspTest, MatchesColoringSemantics) {
+  util::Rng rng(6);
+  graph::Graph h = graph::RandomGnp(7, 0.4, &rng);
+  for (int k = 2; k <= 4; ++k) {
+    csp::CspInstance csp = CspFromGraphHomomorphism(h, graph::Complete(k));
+    bool solvable = csp::BacktrackingSolver().Solve(csp).found;
+    EXPECT_EQ(solvable, graph::FindKColoring(h, k).has_value()) << k;
+  }
+}
+
+class DomSetReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomSetReductionTest, EquivalentToDominatingSet) {
+  util::Rng rng(1300 + GetParam());
+  graph::Graph g = graph::RandomGnp(9, 0.3, &rng);
+  for (int t : {2, 3}) {
+    DomSetReduction red = CspFromDominatingSet(g, t);
+    bool direct = graph::FindDominatingSetOfSize(g, t).has_value();
+    csp::CspSolution sol = csp::BacktrackingSolver().Solve(red.csp);
+    EXPECT_EQ(sol.found, direct) << "t=" << t;
+    if (sol.found) {
+      std::vector<int> ds = red.ExtractDominatingSet(sol.assignment);
+      EXPECT_TRUE(graph::IsDominatingSet(g, ds));
+      EXPECT_LE(ds.size(), static_cast<std::size_t>(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomSetReductionTest, ::testing::Range(0, 10));
+
+TEST(DomSetReductionTest, GroupingPreservesSemanticsAndShrinksVariables) {
+  util::Rng rng(7);
+  graph::Graph g = graph::RandomGnp(8, 0.35, &rng);
+  const int t = 2;
+  DomSetReduction plain = CspFromDominatingSet(g, t, 1);
+  DomSetReduction grouped = CspFromDominatingSet(g, t, 2);
+  EXPECT_EQ(plain.csp.num_vars, t + 8);
+  EXPECT_EQ(grouped.csp.num_vars, t + 4);
+  bool direct = graph::FindDominatingSetOfSize(g, t).has_value();
+  EXPECT_EQ(csp::BacktrackingSolver().Solve(plain.csp).found, direct);
+  csp::CspSolution gsol = csp::BacktrackingSolver().Solve(grouped.csp);
+  EXPECT_EQ(gsol.found, direct);
+  if (gsol.found) {
+    EXPECT_TRUE(
+        graph::IsDominatingSet(g, grouped.ExtractDominatingSet(gsol.assignment)));
+  }
+}
+
+TEST(DomSetReductionTest, PrimalGraphIsCompleteBipartiteWithBoundedWidth) {
+  util::Rng rng(8);
+  graph::Graph g = graph::RandomGnp(10, 0.4, &rng);
+  const int t = 3;
+  DomSetReduction red = CspFromDominatingSet(g, t);
+  graph::Graph primal = red.csp.PrimalGraph();
+  // K_{t,n}: selectors pairwise non-adjacent, witnesses pairwise
+  // non-adjacent, all selector-witness pairs adjacent.
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < t; ++j) {
+      if (i != j) EXPECT_FALSE(primal.HasEdge(i, j));
+    }
+  }
+  for (int i = 0; i < t; ++i) {
+    for (int j = t; j < primal.num_vertices(); ++j) {
+      EXPECT_TRUE(primal.HasEdge(i, j));
+    }
+  }
+  EXPECT_LE(graph::ExactTreewidth(primal, 16).treewidth, t);
+}
+
+class QueryCspRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryCspRoundTripTest, QueryToCspBijection) {
+  util::Rng rng(1400 + GetParam());
+  db::JoinQuery q;
+  q.Add("R", {"a", "b"}).Add("S", {"b", "c"}).Add("T", {"a", "c"});
+  db::Database database = db::RandomDatabase(q, 20, 6, &rng);
+  QueryToCspReduction red = CspFromJoinQuery(q, database);
+  // Solution count == answer size.
+  std::uint64_t answers = db::GenericJoin(q, database).Count();
+  EXPECT_EQ(csp::BacktrackingSolver().CountSolutions(red.csp, nullptr),
+            answers);
+  // A decoded solution is a real answer tuple.
+  csp::CspSolution sol = csp::BacktrackingSolver().Solve(red.csp);
+  if (sol.found) {
+    db::Tuple t = red.DecodeTuple(sol.assignment);
+    EXPECT_TRUE(db::TupleSatisfiesQuery(q, database, red.attributes, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryCspRoundTripTest, ::testing::Range(0, 10));
+
+class CspQueryRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CspQueryRoundTripTest, CspToQueryBijection) {
+  util::Rng rng(1500 + GetParam());
+  graph::Graph structure = graph::RandomGnp(5, 0.6, &rng);
+  csp::CspInstance csp = csp::RandomBinaryCsp(structure, 3, 0.35, &rng);
+  CspToQueryReduction red = JoinQueryFromCsp(csp);
+  db::GenericJoin join(red.query, red.db);
+  EXPECT_EQ(join.Count(),
+            csp::BacktrackingSolver().CountSolutions(csp, nullptr));
+  db::JoinResult result = db::GenericJoin(red.query, red.db).Evaluate();
+  for (const auto& tuple : result.tuples) {
+    EXPECT_TRUE(csp.Check(red.DecodeAssignment(tuple)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspQueryRoundTripTest, ::testing::Range(0, 10));
+
+TEST(CspQueryRoundTripTest, UnconstrainedVariablesCovered) {
+  csp::CspInstance csp;
+  csp.num_vars = 3;
+  csp.domain_size = 2;
+  csp.AddConstraint({0, 1}, csp::DisequalityRelation(2));
+  // Variable 2 is unconstrained: 2 (for v0,v1) * 2 (for v2) solutions.
+  CspToQueryReduction red = JoinQueryFromCsp(csp);
+  EXPECT_EQ(db::GenericJoin(red.query, red.db).Count(), 4u);
+}
+
+TEST(SpecialCspTest, TreeDpSolvesSpecialInstancesViaStructure) {
+  // The "pedestrian NP-intermediate" discussion: the path part is easy; the
+  // clique part dominates. Check the DP on the whole special instance
+  // agrees with the backtracking solver.
+  util::Rng rng(9);
+  graph::Graph g = graph::RandomGnp(8, 0.6, &rng);
+  csp::CspInstance csp = SpecialCspFromClique(g, 3);
+  bool bt = csp::BacktrackingSolver().Solve(csp).found;
+  csp::TreeDpResult dp = csp::SolveTreewidthDp(csp, 0);  // Heuristic TD.
+  EXPECT_EQ(dp.satisfiable, bt);
+}
+
+}  // namespace
+}  // namespace qc::reductions

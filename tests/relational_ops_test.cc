@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "csp/generators.h"
+#include "csp/serialization.h"
+#include "csp/solver.h"
+#include "db/generic_join.h"
+#include "db/joins.h"
+#include "db/relational_ops.h"
+#include "graph/generators.h"
+#include "structures/structure.h"
+#include "util/rng.h"
+
+namespace qc {
+namespace {
+
+db::JoinResult SampleResult() {
+  return db::JoinResult{{"a", "b", "c"},
+                        {{1, 2, 3}, {1, 2, 4}, {5, 5, 6}, {7, 8, 7}}};
+}
+
+TEST(RelationalOpsTest, ProjectDeduplicates) {
+  db::JoinResult r = db::Project(SampleResult(), {"a", "b"});
+  EXPECT_EQ(r.attributes, (std::vector<std::string>{"a", "b"}));
+  r.Normalize();
+  EXPECT_EQ(r.tuples,
+            (std::vector<db::Tuple>{{1, 2}, {5, 5}, {7, 8}}));
+  // Column reorder works too.
+  db::JoinResult rev = db::Project(SampleResult(), {"c", "a"});
+  EXPECT_EQ(rev.attributes, (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(rev.tuples[0], (db::Tuple{3, 1}));
+}
+
+TEST(RelationalOpsTest, Selections) {
+  db::JoinResult eq = db::SelectEquals(SampleResult(), "a", 1);
+  EXPECT_EQ(eq.tuples.size(), 2u);
+  db::JoinResult coleq = db::SelectColumnsEqual(SampleResult(), "a", "b");
+  ASSERT_EQ(coleq.tuples.size(), 1u);
+  EXPECT_EQ(coleq.tuples[0], (db::Tuple{5, 5, 6}));
+  db::JoinResult ac = db::SelectColumnsEqual(SampleResult(), "a", "c");
+  ASSERT_EQ(ac.tuples.size(), 1u);
+  EXPECT_EQ(ac.tuples[0], (db::Tuple{7, 8, 7}));
+}
+
+TEST(RelationalOpsTest, UnionAndDifference) {
+  db::JoinResult a{{"x"}, {{1}, {2}, {3}}};
+  db::JoinResult b{{"x"}, {{3}, {4}}};
+  EXPECT_EQ(db::Union(a, b).tuples,
+            (std::vector<db::Tuple>{{1}, {2}, {3}, {4}}));
+  EXPECT_EQ(db::Difference(a, b).tuples,
+            (std::vector<db::Tuple>{{1}, {2}}));
+  EXPECT_EQ(db::Difference(b, a).tuples, (std::vector<db::Tuple>{{4}}));
+}
+
+TEST(RelationalOpsTest, RenameAffectsJoins) {
+  // pi_{b->x}(R) joined with S(x, y) behaves as a join on the renamed
+  // column.
+  db::JoinResult r{{"a", "b"}, {{1, 10}, {2, 20}}};
+  db::JoinResult renamed = db::Rename(r, "b", "x");
+  EXPECT_EQ(renamed.attributes, (std::vector<std::string>{"a", "x"}));
+  db::JoinResult s{{"x", "y"}, {{10, 100}}};
+  db::JoinResult joined = db::HashJoin(renamed, s);
+  ASSERT_EQ(joined.tuples.size(), 1u);
+  EXPECT_EQ(joined.tuples[0], (db::Tuple{1, 10, 100}));
+}
+
+TEST(CspSerializationTest, RoundTrip) {
+  util::Rng rng(1);
+  graph::Graph structure = graph::RandomGnp(6, 0.5, &rng);
+  csp::CspInstance csp = csp::RandomBinaryCsp(structure, 3, 0.4, &rng);
+  std::string text = csp::ToText(csp);
+  auto parsed = csp::FromText(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_vars, csp.num_vars);
+  EXPECT_EQ(parsed->domain_size, csp.domain_size);
+  ASSERT_EQ(parsed->constraints.size(), csp.constraints.size());
+  for (std::size_t i = 0; i < csp.constraints.size(); ++i) {
+    EXPECT_EQ(parsed->constraints[i].scope, csp.constraints[i].scope);
+    EXPECT_EQ(parsed->constraints[i].relation.tuples(),
+              csp.constraints[i].relation.tuples());
+  }
+  // Semantics preserved.
+  EXPECT_EQ(csp::CountSolutionsBruteForce(*parsed),
+            csp::CountSolutionsBruteForce(csp));
+}
+
+TEST(CspSerializationTest, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(csp::FromText("", &error).has_value());
+  EXPECT_FALSE(csp::FromText("constraint 2 0 1\nend\n", &error).has_value());
+  EXPECT_FALSE(csp::FromText("csp 2 2\nconstraint 2 0 5\nend\n", &error)
+                   .has_value());
+  EXPECT_FALSE(csp::FromText("csp 2 2\nconstraint 2 0 1\n0 9\nend\n", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      csp::FromText("csp 2 2\nconstraint 2 0 1\n0 1\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(StructureToolsTest, IsomorphismBasics) {
+  using structures::Structure;
+  Structure c4a = Structure::FromGraph(graph::Cycle(4));
+  // A relabelled 4-cycle: 0-2-1-3-0.
+  graph::Graph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 0);
+  Structure c4b = Structure::FromGraph(g);
+  EXPECT_TRUE(structures::AreIsomorphic(c4a, c4b));
+  // P_4 has the same vertex count and edge count as... no: use K_3 vs P_3.
+  Structure k3 = Structure::FromGraph(graph::Complete(3));
+  Structure p3 = Structure::FromGraph(graph::Path(3));
+  EXPECT_FALSE(structures::AreIsomorphic(k3, p3));
+  // C_4 vs K_{1,3}: both 4 vertices 3... C_4 has 4 edges; use star_3 vs P_4
+  // (both 4 vertices, 3 edges, different degree sequences).
+  Structure star = Structure::FromGraph(graph::Star(3));
+  Structure p4 = Structure::FromGraph(graph::Path(4));
+  EXPECT_FALSE(structures::AreIsomorphic(star, p4));
+}
+
+TEST(StructureToolsTest, CoreUniqueUpToIsomorphism) {
+  // Compute the core of C_6 + K_2 twice from differently-labelled copies;
+  // the results must be isomorphic (both are single edges).
+  using structures::Structure;
+  graph::Graph g1 = graph::Cycle(6).DisjointUnion(graph::Complete(2));
+  graph::Graph g2 = graph::Complete(2).DisjointUnion(graph::Cycle(6));
+  Structure core1 = structures::ComputeCore(Structure::FromGraph(g1));
+  Structure core2 = structures::ComputeCore(Structure::FromGraph(g2));
+  EXPECT_TRUE(structures::AreIsomorphic(core1, core2));
+  EXPECT_EQ(core1.universe_size(), 2);
+}
+
+TEST(StructureToolsTest, DisjointUnionHomBehaviour) {
+  using structures::Structure;
+  Structure c5 = Structure::FromGraph(graph::Cycle(5));
+  Structure k3 = Structure::FromGraph(graph::Complete(3));
+  Structure both = structures::DisjointUnion(c5, k3);
+  EXPECT_EQ(both.universe_size(), 8);
+  // C_5 + K_3 maps into K_3 (each component does).
+  EXPECT_TRUE(structures::FindHomomorphism(both, k3).has_value());
+  // K_3 maps into the union (into its K_3 part).
+  EXPECT_TRUE(structures::FindHomomorphism(k3, both).has_value());
+}
+
+TEST(StructureToolsTest, TreewidthHomCountMatchesBacktracking) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    graph::Graph ha = graph::RandomPartialKTree(7, 2, 0.8, &rng);
+    graph::Graph gb = graph::RandomGnp(5, 0.5, &rng);
+    structures::Structure a = structures::Structure::FromGraph(ha);
+    structures::Structure b = structures::Structure::FromGraph(gb);
+    EXPECT_EQ(structures::CountHomomorphismsTreewidth(a, b),
+              structures::CountHomomorphisms(a, b))
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace qc

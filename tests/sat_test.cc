@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "sat/cnf.h"
+#include "sat/dpll.h"
+#include "sat/generators.h"
+#include "sat/hornsat.h"
+#include "sat/twosat.h"
+#include "sat/xorsat.h"
+#include "util/rng.h"
+
+namespace qc::sat {
+namespace {
+
+CnfFormula Make(int vars, std::vector<std::vector<Lit>> clauses) {
+  CnfFormula f;
+  f.num_vars = vars;
+  for (auto& c : clauses) f.AddClause(std::move(c));
+  return f;
+}
+
+TEST(CnfTest, Evaluate) {
+  CnfFormula f = Make(3, {{1, -2}, {2, 3}});
+  EXPECT_TRUE(f.Evaluate({true, false, true}));
+  EXPECT_FALSE(f.Evaluate({false, true, false}));  // First clause dies.
+}
+
+TEST(CnfTest, Predicates) {
+  EXPECT_TRUE(Make(3, {{1, -2}, {-3}}).IsTwoSat());
+  EXPECT_FALSE(Make(3, {{1, 2, 3}}).IsTwoSat());
+  EXPECT_TRUE(Make(3, {{1, -2, -3}, {-1}}).IsHorn());
+  EXPECT_FALSE(Make(3, {{1, 2, -3}}).IsHorn());
+}
+
+TEST(CnfTest, DimacsRoundTrip) {
+  CnfFormula f = Make(4, {{1, -2, 3}, {-4}, {2, 4}});
+  auto parsed = CnfFormula::FromDimacs(f.ToDimacs());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_vars, 4);
+  EXPECT_EQ(parsed->clauses, f.clauses);
+}
+
+TEST(CnfTest, DimacsRejectsMalformed) {
+  EXPECT_FALSE(CnfFormula::FromDimacs("p cnf 2 1\n1 3 0\n").has_value());
+  EXPECT_FALSE(CnfFormula::FromDimacs("p cnf 2 2\n1 0\n").has_value());
+  EXPECT_FALSE(CnfFormula::FromDimacs("p cnf 2 1\n1 2\n").has_value());
+}
+
+TEST(DpllTest, SimpleSatAndUnsat) {
+  CnfFormula sat = Make(2, {{1, 2}, {-1, 2}});
+  SatResult r = SolveDpll(sat);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(sat.Evaluate(r.assignment));
+
+  CnfFormula unsat = Make(1, {{1}, {-1}});
+  EXPECT_FALSE(SolveDpll(unsat).satisfiable);
+
+  // Classic unsatisfiable 2^3 enumeration: all sign patterns on 3 vars.
+  CnfFormula f = Make(3, {});
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<Lit> clause;
+    for (int v = 0; v < 3; ++v) {
+      clause.push_back((mask >> v) & 1 ? (v + 1) : -(v + 1));
+    }
+    f.AddClause(clause);
+  }
+  EXPECT_FALSE(SolveDpll(f).satisfiable);
+}
+
+TEST(DpllTest, EmptyFormulaIsSat) {
+  CnfFormula f = Make(3, {});
+  SatResult r = SolveDpll(f);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.Evaluate(r.assignment));
+}
+
+TEST(DpllTest, AgreesWithBruteForceOnRandom) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 4 + static_cast<int>(rng.NextBounded(7));
+    int m = static_cast<int>(rng.NextBounded(5 * n));
+    CnfFormula f = RandomKSat(n, m, 3, &rng);
+    SatResult dpll = SolveDpll(f);
+    SatResult brute = SolveBruteForce(f);
+    EXPECT_EQ(dpll.satisfiable, brute.satisfiable) << "trial " << trial;
+    if (dpll.satisfiable) {
+      EXPECT_TRUE(f.Evaluate(dpll.assignment));
+    }
+  }
+}
+
+TEST(DpllTest, PlantedAlwaysSat) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> hidden;
+    CnfFormula f = PlantedKSat(20, 100, 3, &rng, &hidden);
+    EXPECT_TRUE(f.Evaluate(hidden));
+    SatResult r = SolveDpll(f);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(f.Evaluate(r.assignment));
+  }
+}
+
+TEST(DpllTest, DecisionLimitAborts) {
+  util::Rng rng(3);
+  CnfFormula f = RandomKSat(40, 180, 3, &rng);
+  DpllSolver solver(DpllSolver::Options{.use_pure_literal = true,
+                                        .max_decisions = 1});
+  solver.Solve(f);
+  // Either solved within one decision or aborted; no hang either way.
+  SUCCEED();
+}
+
+TEST(TwoSatTest, KnownInstances) {
+  // (x1 or x2) and (!x1 or x2) and (!x2 or x1) -> x1 = x2 = true.
+  CnfFormula f = Make(2, {{1, 2}, {-1, 2}, {-2, 1}});
+  SatResult r = SolveTwoSat(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.Evaluate(r.assignment));
+  // x1 and !x1 via units.
+  EXPECT_FALSE(SolveTwoSat(Make(1, {{1}, {-1}})).satisfiable);
+  // Chain of implications forcing contradiction:
+  // (x1->x2), (x2->!x1), (!x1->x3), (x3->x1).
+  CnfFormula g = Make(3, {{-1, 2}, {-2, -1}, {1, 3}, {-3, 1}});
+  SatResult rg = SolveTwoSat(g);
+  EXPECT_FALSE(rg.satisfiable);
+}
+
+TEST(TwoSatTest, AgreesWithDpllOnRandom) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 3 + static_cast<int>(rng.NextBounded(12));
+    int m = static_cast<int>(rng.NextBounded(4 * n)) + 1;
+    CnfFormula f = RandomTwoSat(n, m, &rng);
+    SatResult ts = SolveTwoSat(f);
+    SatResult dp = SolveDpll(f);
+    EXPECT_EQ(ts.satisfiable, dp.satisfiable) << "trial " << trial;
+    if (ts.satisfiable) {
+      EXPECT_TRUE(f.Evaluate(ts.assignment));
+    }
+  }
+}
+
+TEST(HornSatTest, MinimalModel) {
+  // facts: x1; rules: x1 -> x2; x2 & x1 -> x3; goal clause !x3 fails.
+  CnfFormula f = Make(4, {{1}, {-1, 2}, {-2, -1, 3}});
+  SatResult r = SolveHornSat(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.assignment, (std::vector<bool>{true, true, true, false}));
+  f.AddClause({-3});
+  EXPECT_FALSE(SolveHornSat(f).satisfiable);
+}
+
+TEST(HornSatTest, AllNegativeClausesSatisfiedByAllFalse) {
+  CnfFormula f = Make(3, {{-1, -2}, {-3}});
+  SatResult r = SolveHornSat(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.assignment, (std::vector<bool>{false, false, false}));
+}
+
+TEST(HornSatTest, AgreesWithDpllOnRandom) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 3 + static_cast<int>(rng.NextBounded(10));
+    int m = static_cast<int>(rng.NextBounded(3 * n)) + 1;
+    CnfFormula f = RandomHorn(n, m, 2, 0.7, &rng);
+    ASSERT_TRUE(f.IsHorn());
+    SatResult horn = SolveHornSat(f);
+    SatResult dp = SolveDpll(f);
+    EXPECT_EQ(horn.satisfiable, dp.satisfiable) << "trial " << trial;
+    if (horn.satisfiable) {
+      EXPECT_TRUE(f.Evaluate(horn.assignment));
+    }
+  }
+}
+
+TEST(XorSatTest, SmallSystems) {
+  XorSystem s;
+  s.num_vars = 3;
+  s.AddEquation({0, 1}, true);   // x0 + x1 = 1.
+  s.AddEquation({1, 2}, true);   // x1 + x2 = 1.
+  s.AddEquation({0, 2}, false);  // x0 + x2 = 0.
+  XorResult r = SolveXorSystem(s);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(s.Evaluate(r.assignment));
+  EXPECT_EQ(r.rank, 2);  // Third equation is dependent.
+
+  s.AddEquation({0, 2}, true);  // Contradicts the previous one.
+  EXPECT_FALSE(SolveXorSystem(s).satisfiable);
+}
+
+TEST(XorSatTest, DuplicateVariablesCancel) {
+  XorSystem s;
+  s.num_vars = 2;
+  s.AddEquation({0, 0, 1}, true);  // Reduces to x1 = 1.
+  XorResult r = SolveXorSystem(s);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[1]);
+}
+
+TEST(XorSatTest, RandomSystemsSolutionsVerify) {
+  util::Rng rng(6);
+  int sat_count = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    XorSystem s = RandomXorSystem(12, 10, 3, &rng);
+    XorResult r = SolveXorSystem(s);
+    if (r.satisfiable) {
+      ++sat_count;
+      EXPECT_TRUE(s.Evaluate(r.assignment));
+      EXPECT_LE(r.rank, 10);
+    }
+  }
+  EXPECT_GT(sat_count, 0);
+}
+
+TEST(BruteForceTest, CountsAllDecisionsWhenUnsat) {
+  CnfFormula f = Make(3, {{1}, {-1}});
+  SatResult r = SolveBruteForce(f);
+  EXPECT_FALSE(r.satisfiable);
+  EXPECT_EQ(r.decisions, 8u);
+}
+
+}  // namespace
+}  // namespace qc::sat

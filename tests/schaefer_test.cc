@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "sat/dpll.h"
+#include "sat/schaefer.h"
+#include "util/rng.h"
+
+namespace qc::sat {
+namespace {
+
+TEST(BoolRelationTest, FromTuplesAndAccessors) {
+  BoolRelation r = BoolRelation::FromTuples(2, {0b00, 0b11});
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_TRUE(r.Allows(0b00));
+  EXPECT_FALSE(r.Allows(0b01));
+  EXPECT_EQ(r.Tuples(), (std::vector<std::uint32_t>{0b00, 0b11}));
+}
+
+TEST(BoolRelationTest, ClosurePropertiesOfEquality) {
+  // x == y: {00, 11} is in every class.
+  BoolRelation eq = BoolRelation::FromTuples(2, {0b00, 0b11});
+  EXPECT_TRUE(eq.IsZeroValid());
+  EXPECT_TRUE(eq.IsOneValid());
+  EXPECT_TRUE(eq.IsHornClosed());
+  EXPECT_TRUE(eq.IsDualHornClosed());
+  EXPECT_TRUE(eq.IsAffineClosed());
+  EXPECT_TRUE(eq.IsBijunctiveClosed());
+}
+
+TEST(BoolRelationTest, OneInThreeIsInNoClass) {
+  BoolRelation r = OneInThreeRelation();
+  EXPECT_FALSE(r.IsZeroValid());
+  EXPECT_FALSE(r.IsOneValid());
+  EXPECT_FALSE(r.IsHornClosed());       // 001 & 010 = 000 not allowed.
+  EXPECT_FALSE(r.IsDualHornClosed());   // 001 | 010 = 011 not allowed.
+  EXPECT_FALSE(r.IsAffineClosed());     // 001^010^100 = 111 not allowed.
+  EXPECT_FALSE(r.IsBijunctiveClosed()); // maj(001,010,100) = 000.
+}
+
+TEST(BoolRelationTest, ParityIsAffineOnly) {
+  BoolRelation r = ParityRelation(3, true);
+  EXPECT_TRUE(r.IsAffineClosed());
+  EXPECT_FALSE(r.IsHornClosed());
+  EXPECT_FALSE(r.IsDualHornClosed());
+  EXPECT_FALSE(r.IsBijunctiveClosed());
+  EXPECT_FALSE(r.IsZeroValid());
+  EXPECT_TRUE(ParityRelation(3, false).IsZeroValid());
+}
+
+TEST(BoolRelationTest, ClauseRelationClasses) {
+  // All-negative clause (!x or !y or !z): Horn, 0-valid, not 1-valid.
+  BoolRelation neg = ClauseRelation({false, false, false});
+  EXPECT_TRUE(neg.IsHornClosed());
+  EXPECT_TRUE(neg.IsZeroValid());
+  EXPECT_FALSE(neg.IsOneValid());
+  // All-positive 3-clause: dual-Horn, 1-valid.
+  BoolRelation pos = ClauseRelation({true, true, true});
+  EXPECT_TRUE(pos.IsDualHornClosed());
+  EXPECT_FALSE(pos.IsHornClosed());
+  EXPECT_TRUE(pos.IsOneValid());
+  // Mixed 3-clause is in no Schaefer class except... check it is not
+  // bijunctive/affine/horn/dual-horn.
+  BoolRelation mixed = ClauseRelation({true, false, false});
+  EXPECT_TRUE(mixed.IsHornClosed());  // One positive literal: Horn.
+  EXPECT_FALSE(mixed.IsBijunctiveClosed());
+}
+
+TEST(BoolRelationTest, ImplicationIsEverywhereTractable) {
+  BoolRelation imp = ImplicationRelation();
+  EXPECT_TRUE(imp.IsHornClosed());
+  EXPECT_TRUE(imp.IsDualHornClosed());
+  EXPECT_TRUE(imp.IsBijunctiveClosed());
+  EXPECT_FALSE(imp.IsAffineClosed());  // 00^10^11 = 01 not allowed.
+}
+
+TEST(SchaeferVerdictTest, ToStringAndTractable) {
+  SchaeferVerdict v;
+  EXPECT_FALSE(v.Tractable());
+  EXPECT_EQ(v.ToString(), "np-hard");
+  v.horn = true;
+  EXPECT_TRUE(v.Tractable());
+  EXPECT_EQ(v.ToString(), "horn");
+}
+
+TEST(BoolCspTest, EvaluateAndCnf) {
+  BoolCsp csp;
+  csp.num_vars = 3;
+  csp.AddConstraint({0, 1}, ImplicationRelation());
+  csp.AddConstraint({1, 2}, ImplicationRelation());
+  EXPECT_TRUE(csp.Evaluate({false, false, false}));
+  EXPECT_TRUE(csp.Evaluate({true, true, true}));
+  EXPECT_FALSE(csp.Evaluate({true, false, false}));
+  CnfFormula f = csp.ToCnf();
+  EXPECT_EQ(f.clauses.size(), 2u);  // One forbidden tuple per constraint.
+  SatResult r = SolveDpll(f);
+  EXPECT_TRUE(r.satisfiable);
+}
+
+TEST(SchaeferSolveTest, EmptyRelationUnsat) {
+  BoolCsp csp;
+  csp.num_vars = 2;
+  csp.AddConstraint({0, 1}, BoolRelation(2));
+  EXPECT_FALSE(SolveSchaefer(csp).satisfiable);
+}
+
+TEST(SchaeferSolveTest, DispatchesToExpectedMethod) {
+  {
+    BoolCsp csp;
+    csp.num_vars = 2;
+    csp.AddConstraint({0, 1}, BoolRelation::FromTuples(2, {0b00, 0b10}));
+    auto r = SolveSchaefer(csp);
+    EXPECT_EQ(r.method, SchaeferMethod::kZeroValid);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(csp.Evaluate(r.assignment));
+  }
+  {
+    // x0+x1 = 1 (affine, not 0/1-valid) plus 1-in-3 (in no class):
+    // combined verdict is np-hard -> DPLL.
+    BoolCsp csp;
+    csp.num_vars = 3;
+    csp.AddConstraint({0, 1}, ParityRelation(2, true));
+    csp.AddConstraint({0, 1, 2}, OneInThreeRelation());
+    auto r = SolveSchaefer(csp);
+    EXPECT_EQ(r.method, SchaeferMethod::kGeneral);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(csp.Evaluate(r.assignment));
+  }
+  {
+    // x0+x1 = 1, x1+x2 = 1: affine only (parity of arity 2 is also
+    // bijunctive, so bijunctive wins the dispatch order).
+    BoolCsp csp;
+    csp.num_vars = 3;
+    csp.AddConstraint({0, 1}, ParityRelation(2, true));
+    csp.AddConstraint({1, 2}, ParityRelation(2, true));
+    auto r = SolveSchaefer(csp);
+    EXPECT_EQ(r.method, SchaeferMethod::kBijunctive);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(csp.Evaluate(r.assignment));
+  }
+  {
+    // Arity-3 odd parity is 1-valid (111 has odd weight).
+    BoolCsp csp;
+    csp.num_vars = 3;
+    csp.AddConstraint({0, 1, 2}, ParityRelation(3, true));
+    auto r = SolveSchaefer(csp);
+    EXPECT_EQ(r.method, SchaeferMethod::kOneValid);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(csp.Evaluate(r.assignment));
+  }
+  {
+    // Even parity on 3 vars together with a forbidden-all-zero unit breaks
+    // 0-validity; even parity is affine and in no other class at arity 3.
+    BoolCsp csp;
+    csp.num_vars = 4;
+    csp.AddConstraint({0, 1, 2}, ParityRelation(3, false));
+    csp.AddConstraint({1, 2, 3}, ParityRelation(3, false));
+    csp.AddConstraint({0}, BoolRelation::FromTuples(1, {1}));
+    auto r = SolveSchaefer(csp);
+    EXPECT_EQ(r.method, SchaeferMethod::kAffine);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(csp.Evaluate(r.assignment));
+  }
+}
+
+TEST(SchaeferSolveTest, HornInstance) {
+  // Not 0-valid (x0 forced true), not 1-valid (x2 forced false), Horn.
+  BoolCsp csp;
+  csp.num_vars = 3;
+  csp.AddConstraint({0}, BoolRelation::FromTuples(1, {1}));   // x0.
+  csp.AddConstraint({0, 1}, ImplicationRelation());           // x0 -> x1.
+  csp.AddConstraint({2}, BoolRelation::FromTuples(1, {0}));   // !x2.
+  auto r = SolveSchaefer(csp);
+  // Implication and units are also bijunctive; bijunctive is checked first.
+  EXPECT_EQ(r.method, SchaeferMethod::kBijunctive);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.assignment, (std::vector<bool>{true, true, false}));
+}
+
+TEST(SchaeferSolveTest, HornOnlyInstance) {
+  // Ternary AND-closed relation that is not bijunctive: x&y -> z with a
+  // forced-true and forced-false variable to break 0/1-validity.
+  BoolRelation horn3(3);
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    bool x = t & 1, y = t & 2, z = t & 4;
+    if (!(x && y) || z) horn3.Allow(t);
+  }
+  ASSERT_TRUE(horn3.IsHornClosed());
+  ASSERT_FALSE(horn3.IsBijunctiveClosed());
+  BoolCsp csp;
+  csp.num_vars = 4;
+  csp.AddConstraint({0, 1, 2}, horn3);
+  csp.AddConstraint({0}, BoolRelation::FromTuples(1, {1}));
+  csp.AddConstraint({1}, BoolRelation::FromTuples(1, {1}));
+  csp.AddConstraint({3}, BoolRelation::FromTuples(1, {0}));
+  auto r = SolveSchaefer(csp);
+  EXPECT_EQ(r.method, SchaeferMethod::kHorn);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.assignment, (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(SchaeferSolveTest, UnsatisfiableOneInThree) {
+  // Two 1-in-3 constraints sharing all variables with a unit pinning two
+  // variables true: 110 has two ones -> unsat.
+  BoolCsp csp;
+  csp.num_vars = 3;
+  csp.AddConstraint({0, 1, 2}, OneInThreeRelation());
+  csp.AddConstraint({0}, BoolRelation::FromTuples(1, {1}));
+  csp.AddConstraint({1}, BoolRelation::FromTuples(1, {1}));
+  auto r = SolveSchaefer(csp);
+  EXPECT_FALSE(r.satisfiable);
+}
+
+/// Random BoolCsp whose relations are drawn from a pool, for agreement
+/// testing against DPLL on the CNF encoding.
+BoolCsp RandomBoolCsp(int num_vars, int num_constraints,
+                      const std::vector<BoolRelation>& pool, util::Rng* rng) {
+  BoolCsp csp;
+  csp.num_vars = num_vars;
+  for (int i = 0; i < num_constraints; ++i) {
+    const BoolRelation& rel = pool[rng->NextBounded(pool.size())];
+    csp.AddConstraint(rng->Sample(num_vars, rel.arity()), rel);
+  }
+  return csp;
+}
+
+class SchaeferAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchaeferAgreementTest, DispatcherAgreesWithDpll) {
+  util::Rng rng(300 + GetParam());
+  // Pools chosen per class so the dispatcher exercises each method.
+  std::vector<std::vector<BoolRelation>> pools = {
+      {ParityRelation(3, true), ParityRelation(2, false)},      // Affine.
+      {ImplicationRelation(),
+       BoolRelation::FromTuples(2, {0b00, 0b01, 0b10})},        // 2SAT.
+      {ClauseRelation({false, false, true}),
+       BoolRelation::FromTuples(1, {1})},                       // Horn.
+      {OneInThreeRelation(), NaeThreeRelation()},               // NP-hard.
+      {ClauseRelation({true, true, false}),
+       BoolRelation::FromTuples(1, {0})},                       // Dual-horn.
+  };
+  for (const auto& pool : pools) {
+    BoolCsp csp = RandomBoolCsp(8, 6, pool, &rng);
+    auto dispatch = SolveSchaefer(csp);
+    auto dpll = SolveDpll(csp.ToCnf());
+    EXPECT_EQ(dispatch.satisfiable, dpll.satisfiable)
+        << "pool with method " << ToString(dispatch.method);
+    if (dispatch.satisfiable) {
+      EXPECT_TRUE(csp.Evaluate(dispatch.assignment))
+          << "method " << ToString(dispatch.method);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchaeferAgreementTest,
+                         ::testing::Range(0, 25));
+
+TEST(SchaeferExhaustiveTest, AllBinaryRelationsClassifiedConsistently) {
+  // For every one of the 16 binary relations, check the closure predicates
+  // against brute-force definitions.
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    BoolRelation r(2);
+    std::vector<std::uint32_t> tuples;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      if ((mask >> t) & 1u) {
+        r.Allow(t);
+        tuples.push_back(t);
+      }
+    }
+    bool horn = true, dual = true, affine = true, bij = true;
+    for (auto a : tuples) {
+      for (auto b : tuples) {
+        horn &= r.Allows(a & b);
+        dual &= r.Allows(a | b);
+        for (auto c : tuples) {
+          affine &= r.Allows(a ^ b ^ c);
+          bij &= r.Allows((a & b) | (a & c) | (b & c));
+        }
+      }
+    }
+    EXPECT_EQ(r.IsHornClosed(), horn) << mask;
+    EXPECT_EQ(r.IsDualHornClosed(), dual) << mask;
+    EXPECT_EQ(r.IsAffineClosed(), affine) << mask;
+    EXPECT_EQ(r.IsBijunctiveClosed(), bij) << mask;
+    // Every binary relation is bijunctive-definable, hence closed under
+    // majority.
+    EXPECT_TRUE(r.IsBijunctiveClosed()) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace qc::sat

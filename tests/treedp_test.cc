@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "csp/generators.h"
+#include "csp/solver.h"
+#include "csp/treedp.h"
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "util/rng.h"
+
+namespace qc::csp {
+namespace {
+
+TEST(TreeDpTest, PathColoringCounts) {
+  // Proper 3-colourings of P_4: 3 * 2^3 = 24.
+  CspInstance csp = ColoringCsp(graph::Path(4), 3);
+  TreeDpResult r = SolveTreewidthDp(csp);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.solution_count, 24u);
+  EXPECT_TRUE(csp.Check(r.assignment));
+  EXPECT_EQ(r.width_used, 1);
+}
+
+TEST(TreeDpTest, OddCycleTwoColoringUnsat) {
+  CspInstance csp = ColoringCsp(graph::Cycle(7), 2);
+  TreeDpResult r = SolveTreewidthDp(csp);
+  EXPECT_FALSE(r.satisfiable);
+  EXPECT_EQ(r.solution_count, 0u);
+}
+
+TEST(TreeDpTest, CycleColoringCountMatchesChromaticPolynomial) {
+  // Proper k-colourings of C_n: (k-1)^n + (-1)^n (k-1).
+  for (int n : {3, 4, 5, 6}) {
+    for (int k : {2, 3, 4}) {
+      CspInstance csp = ColoringCsp(graph::Cycle(n), k);
+      TreeDpResult r = SolveTreewidthDp(csp);
+      long long expected = 1;
+      for (int i = 0; i < n; ++i) expected *= (k - 1);
+      expected += (n % 2 == 0 ? 1 : -1) * (k - 1);
+      EXPECT_EQ(r.solution_count, static_cast<std::uint64_t>(expected))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TreeDpTest, UnconstrainedVariablesMultiplyCount) {
+  // 3 isolated variables over domain 4: 64 solutions.
+  CspInstance csp;
+  csp.num_vars = 3;
+  csp.domain_size = 4;
+  TreeDpResult r = SolveTreewidthDp(csp);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.solution_count, 64u);
+}
+
+TEST(TreeDpTest, ZeroVariables) {
+  CspInstance csp;
+  csp.num_vars = 0;
+  csp.domain_size = 3;
+  TreeDpResult r = SolveTreewidthDp(csp);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.solution_count, 1u);
+}
+
+TEST(TreeDpTest, NonBinaryConstraintsSupported) {
+  // Ternary all-different-ish constraint on a triangle of variables plus a
+  // pendant binary constraint.
+  CspInstance csp;
+  csp.num_vars = 4;
+  csp.domain_size = 3;
+  Relation alldiff(3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        if (a != b && b != c && a != c) alldiff.Add({a, b, c});
+      }
+    }
+  }
+  csp.AddConstraint({0, 1, 2}, std::move(alldiff));
+  csp.AddConstraint({2, 3}, DisequalityRelation(3));
+  TreeDpResult r = SolveTreewidthDp(csp);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(csp.Check(r.assignment));
+  // 3! orderings * 2 choices for var 3 = 12.
+  EXPECT_EQ(r.solution_count, 12u);
+}
+
+class TreeDpAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDpAgreementTest, MatchesBruteForceOnRandomPartialKTrees) {
+  util::Rng rng(700 + GetParam());
+  int k = 1 + GetParam() % 3;
+  graph::Graph structure = graph::RandomPartialKTree(8, k, 0.7, &rng);
+  CspInstance csp = RandomBinaryCsp(structure, 3, 0.4, &rng);
+  TreeDpResult dp = SolveTreewidthDp(csp);
+  std::uint64_t expected = CountSolutionsBruteForce(csp);
+  EXPECT_EQ(dp.solution_count, expected);
+  EXPECT_EQ(dp.satisfiable, expected > 0);
+  if (dp.satisfiable) {
+    EXPECT_TRUE(csp.Check(dp.assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDpAgreementTest, ::testing::Range(0, 20));
+
+TEST(TreeDpTest, ExplicitDecompositionUsed) {
+  // Hand-built decomposition of a path CSP.
+  CspInstance csp = ColoringCsp(graph::Path(4), 2);
+  graph::TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};
+  td.edges = {{0, 1}, {1, 2}};
+  TreeDpResult r = SolveWithDecomposition(csp, td);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.solution_count, 2u);
+  EXPECT_TRUE(csp.Check(r.assignment));
+  // Work is bounded by #bags * D^{bagsize} = 3 * 4.
+  EXPECT_EQ(r.table_entries, 12u);
+}
+
+TEST(TreeDpTest, WorkScalesAsTheoremFourTwo) {
+  // Freuder's bound: table entries <= #bags * D^{k+1}. Verify the work
+  // measure respects it on k-trees of growing domain.
+  util::Rng rng(9);
+  graph::Graph structure = graph::RandomKTree(10, 2, &rng);
+  for (int d : {2, 3, 5}) {
+    CspInstance csp = RandomBinaryCsp(structure, d, 0.3, &rng);
+    TreeDpResult r = SolveTreewidthDp(csp);
+    ASSERT_LE(r.width_used, 2);
+    std::uint64_t bound = 10ull;
+    for (int i = 0; i <= r.width_used; ++i) bound *= d;
+    EXPECT_LE(r.table_entries, bound);
+  }
+}
+
+TEST(TreeDpTest, AgreesWithBacktrackingOnColorings) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 6; ++trial) {
+    graph::Graph g = graph::RandomPartialKTree(9, 2, 0.8, &rng);
+    CspInstance csp = ColoringCsp(g, 3);
+    BacktrackingSolver solver;
+    EXPECT_EQ(SolveTreewidthDp(csp).solution_count,
+              solver.CountSolutions(csp, nullptr));
+  }
+}
+
+}  // namespace
+}  // namespace qc::csp

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/treewidth.h"
+#include "util/rng.h"
+
+namespace qc::graph {
+namespace {
+
+TEST(TreewidthTest, KnownWidths) {
+  EXPECT_EQ(ExactTreewidth(Path(8)).treewidth, 1);
+  EXPECT_EQ(ExactTreewidth(Cycle(8)).treewidth, 2);
+  EXPECT_EQ(ExactTreewidth(Complete(6)).treewidth, 5);
+  EXPECT_EQ(ExactTreewidth(CompleteBipartite(3, 5)).treewidth, 3);
+  EXPECT_EQ(ExactTreewidth(Grid(3, 3)).treewidth, 3);
+  EXPECT_EQ(ExactTreewidth(Grid(2, 6)).treewidth, 2);
+  EXPECT_EQ(ExactTreewidth(Star(9)).treewidth, 1);
+}
+
+TEST(TreewidthTest, SingleVertexAndEmpty) {
+  EXPECT_EQ(ExactTreewidth(Graph(1)).treewidth, 0);
+  EXPECT_EQ(ExactTreewidth(Graph(3)).treewidth, 0);  // No edges.
+  EXPECT_EQ(ExactTreewidth(Graph(0)).treewidth, -1);
+}
+
+TEST(TreewidthTest, ExactDecompositionValidates) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGnp(12, 0.3, &rng);
+    auto res = ExactTreewidth(g);
+    EXPECT_EQ(res.decomposition.Validate(g), std::nullopt);
+    EXPECT_EQ(res.decomposition.Width(), res.treewidth);
+  }
+}
+
+TEST(TreewidthTest, KTreeHasTreewidthExactlyK) {
+  util::Rng rng(2);
+  for (int k : {1, 2, 3, 4}) {
+    Graph g = RandomKTree(12, k, &rng);
+    EXPECT_EQ(ExactTreewidth(g).treewidth, k) << "k=" << k;
+  }
+}
+
+TEST(TreewidthTest, PartialKTreeHasTreewidthAtMostK) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomPartialKTree(13, 3, 0.6, &rng);
+    EXPECT_LE(ExactTreewidth(g).treewidth, 3);
+  }
+}
+
+TEST(TreewidthTest, HeuristicsUpperBoundExact) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGnp(13, 0.25, &rng);
+    int exact = ExactTreewidth(g).treewidth;
+    TreewidthUpperBound ub = HeuristicTreewidth(g);
+    EXPECT_GE(ub.width, exact);
+    EXPECT_EQ(ub.decomposition.Validate(g), std::nullopt);
+    EXPECT_EQ(ub.decomposition.Width(), ub.width);
+    EXPECT_LE(TreewidthLowerBound(g), exact);
+  }
+}
+
+TEST(TreewidthTest, HeuristicExactOnTreesAndCliques) {
+  util::Rng rng(5);
+  Graph t = RandomTree(30, &rng);
+  EXPECT_EQ(HeuristicTreewidth(t).width, 1);
+  EXPECT_EQ(HeuristicTreewidth(Complete(10)).width, 9);
+}
+
+TEST(TreewidthTest, EliminationOrderWidthIdentityOrder) {
+  // Eliminating a path in endpoint-first order gives width 1.
+  std::vector<int> order = {0, 1, 2, 3, 4};
+  EXPECT_EQ(EliminationOrderWidth(Path(5), order), 1);
+  // Eliminating the middle of a path first gives width 2? No: eliminating
+  // vertex 2 of P_5 has live neighbourhood {1,3}, width 2.
+  std::vector<int> bad = {2, 0, 1, 3, 4};
+  EXPECT_EQ(EliminationOrderWidth(Path(5), bad), 2);
+}
+
+TEST(TreewidthTest, ValidateCatchesBrokenDecompositions) {
+  Graph g = Path(3);
+  // Missing edge coverage.
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {2}};
+  td.edges = {{0, 1}};
+  EXPECT_NE(td.Validate(g), std::nullopt);
+  // Disconnected occurrence of vertex 1.
+  TreeDecomposition td2;
+  td2.bags = {{0, 1}, {2}, {1, 2}};
+  td2.edges = {{0, 1}, {1, 2}};
+  EXPECT_NE(td2.Validate(g), std::nullopt);
+  // Correct one.
+  TreeDecomposition td3;
+  td3.bags = {{0, 1}, {1, 2}};
+  td3.edges = {{0, 1}};
+  EXPECT_EQ(td3.Validate(g), std::nullopt);
+}
+
+TEST(TreewidthTest, DecompositionFromOrderHandlesDisconnected) {
+  Graph g = Path(3).DisjointUnion(Path(3));
+  auto res = ExactTreewidth(g);
+  EXPECT_EQ(res.treewidth, 1);
+  EXPECT_EQ(res.decomposition.Validate(g), std::nullopt);
+}
+
+class TreewidthRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreewidthRandomTest, ExactIsConsistentWithDecomposition) {
+  util::Rng rng(100 + GetParam());
+  double p = 0.15 + 0.05 * (GetParam() % 5);
+  Graph g = RandomGnp(11, p, &rng);
+  auto res = ExactTreewidth(g);
+  ASSERT_EQ(res.decomposition.Validate(g), std::nullopt);
+  EXPECT_EQ(res.decomposition.Width(), res.treewidth);
+  EXPECT_EQ(EliminationOrderWidth(g, res.elimination_order), res.treewidth);
+  EXPECT_GE(res.treewidth, TreewidthLowerBound(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreewidthRandomTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace qc::graph

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/fraction.h"
+#include "util/lp.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace qc::util {
+namespace {
+
+using Sense = LpProblem::Sense;
+
+TEST(FractionTest, DefaultIsZero) {
+  Fraction f;
+  EXPECT_TRUE(f.IsZero());
+  EXPECT_EQ(f.num(), 0);
+  EXPECT_EQ(f.den(), 1);
+}
+
+TEST(FractionTest, NormalizesSignAndGcd) {
+  Fraction f(4, -6);
+  EXPECT_EQ(f.num(), -2);
+  EXPECT_EQ(f.den(), 3);
+  EXPECT_TRUE(f.IsNegative());
+}
+
+TEST(FractionTest, Arithmetic) {
+  Fraction half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Fraction(5, 6));
+  EXPECT_EQ(half - third, Fraction(1, 6));
+  EXPECT_EQ(half * third, Fraction(1, 6));
+  EXPECT_EQ(half / third, Fraction(3, 2));
+  EXPECT_EQ(-half, Fraction(-1, 2));
+}
+
+TEST(FractionTest, Comparisons) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_LT(Fraction(-1, 2), Fraction(-1, 3));
+  EXPECT_GE(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+}
+
+TEST(FractionTest, CeilFloor) {
+  EXPECT_EQ(Fraction(3, 2).Ceil(), 2);
+  EXPECT_EQ(Fraction(3, 2).Floor(), 1);
+  EXPECT_EQ(Fraction(-3, 2).Ceil(), -1);
+  EXPECT_EQ(Fraction(-3, 2).Floor(), -2);
+  EXPECT_EQ(Fraction(4).Ceil(), 4);
+  EXPECT_EQ(Fraction(4).Floor(), 4);
+}
+
+TEST(FractionTest, ToString) {
+  EXPECT_EQ(Fraction(3, 2).ToString(), "3/2");
+  EXPECT_EQ(Fraction(4, 2).ToString(), "2");
+  EXPECT_EQ(Fraction(-1, 3).ToString(), "-1/3");
+}
+
+TEST(FractionTest, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediates.
+  Fraction a(1LL << 40, 3);
+  Fraction b(3, 1LL << 40);
+  EXPECT_EQ(a * b, Fraction(1));
+}
+
+TEST(LpTest, SimpleMinimization) {
+  // min x + y  s.t.  x + 2y >= 3, 2x + y >= 3, x,y >= 0.  Optimum at (1,1).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {Fraction(1), Fraction(1)};
+  lp.AddRow({Fraction(1), Fraction(2)}, Sense::kGe, Fraction(3));
+  lp.AddRow({Fraction(2), Fraction(1)}, Sense::kGe, Fraction(3));
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_EQ(sol.objective, Fraction(2));
+  EXPECT_EQ(sol.x[0], Fraction(1));
+  EXPECT_EQ(sol.x[1], Fraction(1));
+}
+
+TEST(LpTest, FractionalOptimum) {
+  // The triangle fractional edge cover LP: three edge variables, each vertex
+  // covered by two of them. Optimum 3/2.
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {Fraction(1), Fraction(1), Fraction(1)};
+  lp.AddRow({Fraction(1), Fraction(1), Fraction(0)}, Sense::kGe, Fraction(1));
+  lp.AddRow({Fraction(1), Fraction(0), Fraction(1)}, Sense::kGe, Fraction(1));
+  lp.AddRow({Fraction(0), Fraction(1), Fraction(1)}, Sense::kGe, Fraction(1));
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_EQ(sol.objective, Fraction(3, 2));
+}
+
+TEST(LpTest, InfeasibleDetected) {
+  // x >= 2 and x <= 1.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {Fraction(1)};
+  lp.AddRow({Fraction(1)}, Sense::kGe, Fraction(2));
+  lp.AddRow({Fraction(1)}, Sense::kLe, Fraction(1));
+  EXPECT_EQ(SolveLp(lp).status, LpSolution::Status::kInfeasible);
+}
+
+TEST(LpTest, UnboundedDetected) {
+  // min -x  s.t.  x >= 0 only.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {Fraction(-1)};
+  lp.AddRow({Fraction(1)}, Sense::kGe, Fraction(0));
+  EXPECT_EQ(SolveLp(lp).status, LpSolution::Status::kUnbounded);
+}
+
+TEST(LpTest, EqualityConstraints) {
+  // min x + y  s.t.  x + y == 5, x - y == 1  ->  x=3, y=2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {Fraction(1), Fraction(1)};
+  lp.AddRow({Fraction(1), Fraction(1)}, Sense::kEq, Fraction(5));
+  lp.AddRow({Fraction(1), Fraction(-1)}, Sense::kEq, Fraction(1));
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_EQ(sol.x[0], Fraction(3));
+  EXPECT_EQ(sol.x[1], Fraction(2));
+}
+
+TEST(LpTest, MaximizeWrapper) {
+  // max x + y  s.t.  x + y <= 4, x <= 3.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {Fraction(1), Fraction(1)};
+  lp.AddRow({Fraction(1), Fraction(1)}, Sense::kLe, Fraction(4));
+  lp.AddRow({Fraction(1), Fraction(0)}, Sense::kLe, Fraction(3));
+  LpSolution sol = MaximizeLp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_EQ(sol.objective, Fraction(4));
+}
+
+TEST(LpTest, NegativeRhsHandled) {
+  // min x  s.t.  -x >= -5 (i.e. x <= 5), x >= 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {Fraction(1)};
+  lp.AddRow({Fraction(-1)}, Sense::kGe, Fraction(-5));
+  lp.AddRow({Fraction(1)}, Sense::kGe, Fraction(2));
+  LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_EQ(sol.objective, Fraction(2));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, NextIntInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SampleDistinct) {
+  Rng rng(3);
+  auto s = rng.Sample(20, 10);
+  ASSERT_EQ(s.size(), 10u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::unique(s.begin(), s.end()), s.end());
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(BitsetTest, NextSetBit) {
+  Bitset b(200);
+  b.Set(5);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.NextSetBit(0), 5);
+  EXPECT_EQ(b.NextSetBit(6), 63);
+  EXPECT_EQ(b.NextSetBit(64), 64);
+  EXPECT_EQ(b.NextSetBit(65), 199);
+  EXPECT_EQ(b.NextSetBit(200), -1);
+  EXPECT_EQ((Bitset(10)).NextSetBit(0), -1);
+}
+
+TEST(BitsetTest, SetOperations) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(99);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectCount(b), 1);
+  Bitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3);
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  Bitset i = a;
+  i &= b;
+  EXPECT_EQ(i.ToVector(), std::vector<int>{70});
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"n", "time"});
+  t.AddRowOf(10, 0.5);
+  t.AddRowOf(1000, 2.25);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("2.2500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qc::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_csp_heuristics.dir/bench_a1_csp_heuristics.cc.o"
+  "CMakeFiles/bench_a1_csp_heuristics.dir/bench_a1_csp_heuristics.cc.o.d"
+  "bench_a1_csp_heuristics"
+  "bench_a1_csp_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_csp_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

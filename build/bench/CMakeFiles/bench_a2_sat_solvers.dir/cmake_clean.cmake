@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_sat_solvers.dir/bench_a2_sat_solvers.cc.o"
+  "CMakeFiles/bench_a2_sat_solvers.dir/bench_a2_sat_solvers.cc.o.d"
+  "bench_a2_sat_solvers"
+  "bench_a2_sat_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_sat_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_join_order.dir/bench_a3_join_order.cc.o"
+  "CMakeFiles/bench_a3_join_order.dir/bench_a3_join_order.cc.o.d"
+  "bench_a3_join_order"
+  "bench_a3_join_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_join_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

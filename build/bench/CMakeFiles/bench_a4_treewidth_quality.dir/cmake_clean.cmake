@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_treewidth_quality.dir/bench_a4_treewidth_quality.cc.o"
+  "CMakeFiles/bench_a4_treewidth_quality.dir/bench_a4_treewidth_quality.cc.o.d"
+  "bench_a4_treewidth_quality"
+  "bench_a4_treewidth_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_treewidth_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_schaefer.dir/bench_e10_schaefer.cc.o"
+  "CMakeFiles/bench_e10_schaefer.dir/bench_e10_schaefer.cc.o.d"
+  "bench_e10_schaefer"
+  "bench_e10_schaefer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_schaefer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

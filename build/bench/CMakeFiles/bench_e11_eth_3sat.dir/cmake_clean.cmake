@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_eth_3sat.dir/bench_e11_eth_3sat.cc.o"
+  "CMakeFiles/bench_e11_eth_3sat.dir/bench_e11_eth_3sat.cc.o.d"
+  "bench_e11_eth_3sat"
+  "bench_e11_eth_3sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_eth_3sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e11_eth_3sat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_core_hom.dir/bench_e12_core_hom.cc.o"
+  "CMakeFiles/bench_e12_core_hom.dir/bench_e12_core_hom.cc.o.d"
+  "bench_e12_core_hom"
+  "bench_e12_core_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_core_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_hyperclique.dir/bench_e13_hyperclique.cc.o"
+  "CMakeFiles/bench_e13_hyperclique.dir/bench_e13_hyperclique.cc.o.d"
+  "bench_e13_hyperclique"
+  "bench_e13_hyperclique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_hyperclique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_analyzer.dir/bench_e14_analyzer.cc.o"
+  "CMakeFiles/bench_e14_analyzer.dir/bench_e14_analyzer.cc.o.d"
+  "bench_e14_analyzer"
+  "bench_e14_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_tw_dp_optimal.dir/bench_e15_tw_dp_optimal.cc.o"
+  "CMakeFiles/bench_e15_tw_dp_optimal.dir/bench_e15_tw_dp_optimal.cc.o.d"
+  "bench_e15_tw_dp_optimal"
+  "bench_e15_tw_dp_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_tw_dp_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

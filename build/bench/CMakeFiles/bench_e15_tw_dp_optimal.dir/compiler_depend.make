@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e15_tw_dp_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_enumeration_delay.dir/bench_e16_enumeration_delay.cc.o"
+  "CMakeFiles/bench_e16_enumeration_delay.dir/bench_e16_enumeration_delay.cc.o.d"
+  "bench_e16_enumeration_delay"
+  "bench_e16_enumeration_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_enumeration_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_agm_bound.dir/bench_e1_agm_bound.cc.o"
+  "CMakeFiles/bench_e1_agm_bound.dir/bench_e1_agm_bound.cc.o.d"
+  "bench_e1_agm_bound"
+  "bench_e1_agm_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_agm_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

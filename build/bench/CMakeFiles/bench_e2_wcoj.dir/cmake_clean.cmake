@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_wcoj.dir/bench_e2_wcoj.cc.o"
+  "CMakeFiles/bench_e2_wcoj.dir/bench_e2_wcoj.cc.o.d"
+  "bench_e2_wcoj"
+  "bench_e2_wcoj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_wcoj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_treewidth_dp.dir/bench_e3_treewidth_dp.cc.o"
+  "CMakeFiles/bench_e3_treewidth_dp.dir/bench_e3_treewidth_dp.cc.o.d"
+  "bench_e3_treewidth_dp"
+  "bench_e3_treewidth_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_treewidth_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

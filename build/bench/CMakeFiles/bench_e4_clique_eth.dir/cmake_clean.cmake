@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_clique_eth.dir/bench_e4_clique_eth.cc.o"
+  "CMakeFiles/bench_e4_clique_eth.dir/bench_e4_clique_eth.cc.o.d"
+  "bench_e4_clique_eth"
+  "bench_e4_clique_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_clique_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

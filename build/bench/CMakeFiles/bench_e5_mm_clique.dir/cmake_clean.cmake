@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_mm_clique.dir/bench_e5_mm_clique.cc.o"
+  "CMakeFiles/bench_e5_mm_clique.dir/bench_e5_mm_clique.cc.o.d"
+  "bench_e5_mm_clique"
+  "bench_e5_mm_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_mm_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

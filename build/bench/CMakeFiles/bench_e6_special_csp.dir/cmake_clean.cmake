@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_special_csp.dir/bench_e6_special_csp.cc.o"
+  "CMakeFiles/bench_e6_special_csp.dir/bench_e6_special_csp.cc.o.d"
+  "bench_e6_special_csp"
+  "bench_e6_special_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_special_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

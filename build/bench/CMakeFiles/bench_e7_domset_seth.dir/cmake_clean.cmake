@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_domset_seth.dir/bench_e7_domset_seth.cc.o"
+  "CMakeFiles/bench_e7_domset_seth.dir/bench_e7_domset_seth.cc.o.d"
+  "bench_e7_domset_seth"
+  "bench_e7_domset_seth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_domset_seth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_edit_distance.dir/bench_e8_edit_distance.cc.o"
+  "CMakeFiles/bench_e8_edit_distance.dir/bench_e8_edit_distance.cc.o.d"
+  "bench_e8_edit_distance"
+  "bench_e8_edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_triangle_sparse.dir/bench_e9_triangle_sparse.cc.o"
+  "CMakeFiles/bench_e9_triangle_sparse.dir/bench_e9_triangle_sparse.cc.o.d"
+  "bench_e9_triangle_sparse"
+  "bench_e9_triangle_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_triangle_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpt_toolbox.dir/fpt_toolbox.cpp.o"
+  "CMakeFiles/fpt_toolbox.dir/fpt_toolbox.cpp.o.d"
+  "fpt_toolbox"
+  "fpt_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpt_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpt_toolbox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_analyzer.dir/query_analyzer.cpp.o"
+  "CMakeFiles/query_analyzer.dir/query_analyzer.cpp.o.d"
+  "query_analyzer"
+  "query_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/query_cli.cpp" "examples/CMakeFiles/query_cli.dir/query_cli.cpp.o" "gcc" "examples/CMakeFiles/query_cli.dir/query_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/qc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/qc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/qc_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/qc_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

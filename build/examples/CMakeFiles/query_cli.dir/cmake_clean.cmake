@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_cli.dir/query_cli.cpp.o"
+  "CMakeFiles/query_cli.dir/query_cli.cpp.o.d"
+  "query_cli"
+  "query_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

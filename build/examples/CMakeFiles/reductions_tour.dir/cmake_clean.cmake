@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_tour.dir/reductions_tour.cpp.o"
+  "CMakeFiles/reductions_tour.dir/reductions_tour.cpp.o.d"
+  "reductions_tour"
+  "reductions_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sudoku_csp.dir/sudoku_csp.cpp.o"
+  "CMakeFiles/sudoku_csp.dir/sudoku_csp.cpp.o.d"
+  "sudoku_csp"
+  "sudoku_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sudoku_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sudoku_csp.
+# This may be replaced when dependencies are built.

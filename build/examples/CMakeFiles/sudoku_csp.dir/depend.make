@@ -1,0 +1,2 @@
+# Empty dependencies file for sudoku_csp.
+# This may be replaced when dependencies are built.

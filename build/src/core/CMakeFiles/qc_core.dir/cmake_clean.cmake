@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_core.dir/analyzer.cc.o"
+  "CMakeFiles/qc_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/qc_core.dir/autosolver.cc.o"
+  "CMakeFiles/qc_core.dir/autosolver.cc.o.d"
+  "libqc_core.a"
+  "libqc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csp/arc_consistency.cc" "src/csp/CMakeFiles/qc_csp.dir/arc_consistency.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/arc_consistency.cc.o.d"
+  "/root/repo/src/csp/csp.cc" "src/csp/CMakeFiles/qc_csp.dir/csp.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/csp.cc.o.d"
+  "/root/repo/src/csp/gac.cc" "src/csp/CMakeFiles/qc_csp.dir/gac.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/gac.cc.o.d"
+  "/root/repo/src/csp/generators.cc" "src/csp/CMakeFiles/qc_csp.dir/generators.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/generators.cc.o.d"
+  "/root/repo/src/csp/serialization.cc" "src/csp/CMakeFiles/qc_csp.dir/serialization.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/serialization.cc.o.d"
+  "/root/repo/src/csp/solver.cc" "src/csp/CMakeFiles/qc_csp.dir/solver.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/solver.cc.o.d"
+  "/root/repo/src/csp/treedp.cc" "src/csp/CMakeFiles/qc_csp.dir/treedp.cc.o" "gcc" "src/csp/CMakeFiles/qc_csp.dir/treedp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_csp.dir/arc_consistency.cc.o"
+  "CMakeFiles/qc_csp.dir/arc_consistency.cc.o.d"
+  "CMakeFiles/qc_csp.dir/csp.cc.o"
+  "CMakeFiles/qc_csp.dir/csp.cc.o.d"
+  "CMakeFiles/qc_csp.dir/gac.cc.o"
+  "CMakeFiles/qc_csp.dir/gac.cc.o.d"
+  "CMakeFiles/qc_csp.dir/generators.cc.o"
+  "CMakeFiles/qc_csp.dir/generators.cc.o.d"
+  "CMakeFiles/qc_csp.dir/serialization.cc.o"
+  "CMakeFiles/qc_csp.dir/serialization.cc.o.d"
+  "CMakeFiles/qc_csp.dir/solver.cc.o"
+  "CMakeFiles/qc_csp.dir/solver.cc.o.d"
+  "CMakeFiles/qc_csp.dir/treedp.cc.o"
+  "CMakeFiles/qc_csp.dir/treedp.cc.o.d"
+  "libqc_csp.a"
+  "libqc_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/agm.cc" "src/db/CMakeFiles/qc_db.dir/agm.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/agm.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/qc_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/database.cc.o.d"
+  "/root/repo/src/db/enumeration.cc" "src/db/CMakeFiles/qc_db.dir/enumeration.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/enumeration.cc.o.d"
+  "/root/repo/src/db/generic_join.cc" "src/db/CMakeFiles/qc_db.dir/generic_join.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/generic_join.cc.o.d"
+  "/root/repo/src/db/joins.cc" "src/db/CMakeFiles/qc_db.dir/joins.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/joins.cc.o.d"
+  "/root/repo/src/db/parser.cc" "src/db/CMakeFiles/qc_db.dir/parser.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/parser.cc.o.d"
+  "/root/repo/src/db/relational_ops.cc" "src/db/CMakeFiles/qc_db.dir/relational_ops.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/relational_ops.cc.o.d"
+  "/root/repo/src/db/yannakakis.cc" "src/db/CMakeFiles/qc_db.dir/yannakakis.cc.o" "gcc" "src/db/CMakeFiles/qc_db.dir/yannakakis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_db.dir/agm.cc.o"
+  "CMakeFiles/qc_db.dir/agm.cc.o.d"
+  "CMakeFiles/qc_db.dir/database.cc.o"
+  "CMakeFiles/qc_db.dir/database.cc.o.d"
+  "CMakeFiles/qc_db.dir/enumeration.cc.o"
+  "CMakeFiles/qc_db.dir/enumeration.cc.o.d"
+  "CMakeFiles/qc_db.dir/generic_join.cc.o"
+  "CMakeFiles/qc_db.dir/generic_join.cc.o.d"
+  "CMakeFiles/qc_db.dir/joins.cc.o"
+  "CMakeFiles/qc_db.dir/joins.cc.o.d"
+  "CMakeFiles/qc_db.dir/parser.cc.o"
+  "CMakeFiles/qc_db.dir/parser.cc.o.d"
+  "CMakeFiles/qc_db.dir/relational_ops.cc.o"
+  "CMakeFiles/qc_db.dir/relational_ops.cc.o.d"
+  "CMakeFiles/qc_db.dir/yannakakis.cc.o"
+  "CMakeFiles/qc_db.dir/yannakakis.cc.o.d"
+  "libqc_db.a"
+  "libqc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

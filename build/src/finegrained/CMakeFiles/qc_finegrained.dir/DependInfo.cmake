@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/finegrained/curves.cc" "src/finegrained/CMakeFiles/qc_finegrained.dir/curves.cc.o" "gcc" "src/finegrained/CMakeFiles/qc_finegrained.dir/curves.cc.o.d"
+  "/root/repo/src/finegrained/hyperclique.cc" "src/finegrained/CMakeFiles/qc_finegrained.dir/hyperclique.cc.o" "gcc" "src/finegrained/CMakeFiles/qc_finegrained.dir/hyperclique.cc.o.d"
+  "/root/repo/src/finegrained/orthogonal_vectors.cc" "src/finegrained/CMakeFiles/qc_finegrained.dir/orthogonal_vectors.cc.o" "gcc" "src/finegrained/CMakeFiles/qc_finegrained.dir/orthogonal_vectors.cc.o.d"
+  "/root/repo/src/finegrained/sequences.cc" "src/finegrained/CMakeFiles/qc_finegrained.dir/sequences.cc.o" "gcc" "src/finegrained/CMakeFiles/qc_finegrained.dir/sequences.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_finegrained.dir/curves.cc.o"
+  "CMakeFiles/qc_finegrained.dir/curves.cc.o.d"
+  "CMakeFiles/qc_finegrained.dir/hyperclique.cc.o"
+  "CMakeFiles/qc_finegrained.dir/hyperclique.cc.o.d"
+  "CMakeFiles/qc_finegrained.dir/orthogonal_vectors.cc.o"
+  "CMakeFiles/qc_finegrained.dir/orthogonal_vectors.cc.o.d"
+  "CMakeFiles/qc_finegrained.dir/sequences.cc.o"
+  "CMakeFiles/qc_finegrained.dir/sequences.cc.o.d"
+  "libqc_finegrained.a"
+  "libqc_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/boolmatrix.cc" "src/graph/CMakeFiles/qc_graph.dir/boolmatrix.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/boolmatrix.cc.o.d"
+  "/root/repo/src/graph/cliques.cc" "src/graph/CMakeFiles/qc_graph.dir/cliques.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/cliques.cc.o.d"
+  "/root/repo/src/graph/colorcoding.cc" "src/graph/CMakeFiles/qc_graph.dir/colorcoding.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/colorcoding.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "src/graph/CMakeFiles/qc_graph.dir/coloring.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/coloring.cc.o.d"
+  "/root/repo/src/graph/distance.cc" "src/graph/CMakeFiles/qc_graph.dir/distance.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/distance.cc.o.d"
+  "/root/repo/src/graph/domination.cc" "src/graph/CMakeFiles/qc_graph.dir/domination.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/domination.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/qc_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/qc_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/homomorphism.cc" "src/graph/CMakeFiles/qc_graph.dir/homomorphism.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/homomorphism.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/graph/CMakeFiles/qc_graph.dir/hypergraph.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/hypergraph.cc.o.d"
+  "/root/repo/src/graph/hypertree.cc" "src/graph/CMakeFiles/qc_graph.dir/hypertree.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/hypertree.cc.o.d"
+  "/root/repo/src/graph/nice_decomposition.cc" "src/graph/CMakeFiles/qc_graph.dir/nice_decomposition.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/nice_decomposition.cc.o.d"
+  "/root/repo/src/graph/treewidth.cc" "src/graph/CMakeFiles/qc_graph.dir/treewidth.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/treewidth.cc.o.d"
+  "/root/repo/src/graph/triangles.cc" "src/graph/CMakeFiles/qc_graph.dir/triangles.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/triangles.cc.o.d"
+  "/root/repo/src/graph/vertexcover.cc" "src/graph/CMakeFiles/qc_graph.dir/vertexcover.cc.o" "gcc" "src/graph/CMakeFiles/qc_graph.dir/vertexcover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

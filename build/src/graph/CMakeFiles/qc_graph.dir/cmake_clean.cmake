@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_graph.dir/boolmatrix.cc.o"
+  "CMakeFiles/qc_graph.dir/boolmatrix.cc.o.d"
+  "CMakeFiles/qc_graph.dir/cliques.cc.o"
+  "CMakeFiles/qc_graph.dir/cliques.cc.o.d"
+  "CMakeFiles/qc_graph.dir/colorcoding.cc.o"
+  "CMakeFiles/qc_graph.dir/colorcoding.cc.o.d"
+  "CMakeFiles/qc_graph.dir/coloring.cc.o"
+  "CMakeFiles/qc_graph.dir/coloring.cc.o.d"
+  "CMakeFiles/qc_graph.dir/distance.cc.o"
+  "CMakeFiles/qc_graph.dir/distance.cc.o.d"
+  "CMakeFiles/qc_graph.dir/domination.cc.o"
+  "CMakeFiles/qc_graph.dir/domination.cc.o.d"
+  "CMakeFiles/qc_graph.dir/generators.cc.o"
+  "CMakeFiles/qc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/qc_graph.dir/graph.cc.o"
+  "CMakeFiles/qc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/qc_graph.dir/homomorphism.cc.o"
+  "CMakeFiles/qc_graph.dir/homomorphism.cc.o.d"
+  "CMakeFiles/qc_graph.dir/hypergraph.cc.o"
+  "CMakeFiles/qc_graph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/qc_graph.dir/hypertree.cc.o"
+  "CMakeFiles/qc_graph.dir/hypertree.cc.o.d"
+  "CMakeFiles/qc_graph.dir/nice_decomposition.cc.o"
+  "CMakeFiles/qc_graph.dir/nice_decomposition.cc.o.d"
+  "CMakeFiles/qc_graph.dir/treewidth.cc.o"
+  "CMakeFiles/qc_graph.dir/treewidth.cc.o.d"
+  "CMakeFiles/qc_graph.dir/triangles.cc.o"
+  "CMakeFiles/qc_graph.dir/triangles.cc.o.d"
+  "CMakeFiles/qc_graph.dir/vertexcover.cc.o"
+  "CMakeFiles/qc_graph.dir/vertexcover.cc.o.d"
+  "libqc_graph.a"
+  "libqc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

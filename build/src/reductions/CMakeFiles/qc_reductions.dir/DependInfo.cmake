@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/clique_reductions.cc" "src/reductions/CMakeFiles/qc_reductions.dir/clique_reductions.cc.o" "gcc" "src/reductions/CMakeFiles/qc_reductions.dir/clique_reductions.cc.o.d"
+  "/root/repo/src/reductions/domset_reduction.cc" "src/reductions/CMakeFiles/qc_reductions.dir/domset_reduction.cc.o" "gcc" "src/reductions/CMakeFiles/qc_reductions.dir/domset_reduction.cc.o.d"
+  "/root/repo/src/reductions/np_reductions.cc" "src/reductions/CMakeFiles/qc_reductions.dir/np_reductions.cc.o" "gcc" "src/reductions/CMakeFiles/qc_reductions.dir/np_reductions.cc.o.d"
+  "/root/repo/src/reductions/query_reductions.cc" "src/reductions/CMakeFiles/qc_reductions.dir/query_reductions.cc.o" "gcc" "src/reductions/CMakeFiles/qc_reductions.dir/query_reductions.cc.o.d"
+  "/root/repo/src/reductions/sat_reductions.cc" "src/reductions/CMakeFiles/qc_reductions.dir/sat_reductions.cc.o" "gcc" "src/reductions/CMakeFiles/qc_reductions.dir/sat_reductions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csp/CMakeFiles/qc_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/qc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/qc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

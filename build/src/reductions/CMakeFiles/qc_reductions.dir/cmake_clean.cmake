@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_reductions.dir/clique_reductions.cc.o"
+  "CMakeFiles/qc_reductions.dir/clique_reductions.cc.o.d"
+  "CMakeFiles/qc_reductions.dir/domset_reduction.cc.o"
+  "CMakeFiles/qc_reductions.dir/domset_reduction.cc.o.d"
+  "CMakeFiles/qc_reductions.dir/np_reductions.cc.o"
+  "CMakeFiles/qc_reductions.dir/np_reductions.cc.o.d"
+  "CMakeFiles/qc_reductions.dir/query_reductions.cc.o"
+  "CMakeFiles/qc_reductions.dir/query_reductions.cc.o.d"
+  "CMakeFiles/qc_reductions.dir/sat_reductions.cc.o"
+  "CMakeFiles/qc_reductions.dir/sat_reductions.cc.o.d"
+  "libqc_reductions.a"
+  "libqc_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qc_reductions.
+# This may be replaced when dependencies are built.

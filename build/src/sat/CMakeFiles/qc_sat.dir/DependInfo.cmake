@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/cdcl.cc" "src/sat/CMakeFiles/qc_sat.dir/cdcl.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/cdcl.cc.o.d"
+  "/root/repo/src/sat/cnf.cc" "src/sat/CMakeFiles/qc_sat.dir/cnf.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/cnf.cc.o.d"
+  "/root/repo/src/sat/dpll.cc" "src/sat/CMakeFiles/qc_sat.dir/dpll.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/dpll.cc.o.d"
+  "/root/repo/src/sat/generators.cc" "src/sat/CMakeFiles/qc_sat.dir/generators.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/generators.cc.o.d"
+  "/root/repo/src/sat/hornsat.cc" "src/sat/CMakeFiles/qc_sat.dir/hornsat.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/hornsat.cc.o.d"
+  "/root/repo/src/sat/model_counting.cc" "src/sat/CMakeFiles/qc_sat.dir/model_counting.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/model_counting.cc.o.d"
+  "/root/repo/src/sat/schaefer.cc" "src/sat/CMakeFiles/qc_sat.dir/schaefer.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/schaefer.cc.o.d"
+  "/root/repo/src/sat/twosat.cc" "src/sat/CMakeFiles/qc_sat.dir/twosat.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/twosat.cc.o.d"
+  "/root/repo/src/sat/walksat.cc" "src/sat/CMakeFiles/qc_sat.dir/walksat.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/walksat.cc.o.d"
+  "/root/repo/src/sat/xorsat.cc" "src/sat/CMakeFiles/qc_sat.dir/xorsat.cc.o" "gcc" "src/sat/CMakeFiles/qc_sat.dir/xorsat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_sat.dir/cdcl.cc.o"
+  "CMakeFiles/qc_sat.dir/cdcl.cc.o.d"
+  "CMakeFiles/qc_sat.dir/cnf.cc.o"
+  "CMakeFiles/qc_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/qc_sat.dir/dpll.cc.o"
+  "CMakeFiles/qc_sat.dir/dpll.cc.o.d"
+  "CMakeFiles/qc_sat.dir/generators.cc.o"
+  "CMakeFiles/qc_sat.dir/generators.cc.o.d"
+  "CMakeFiles/qc_sat.dir/hornsat.cc.o"
+  "CMakeFiles/qc_sat.dir/hornsat.cc.o.d"
+  "CMakeFiles/qc_sat.dir/model_counting.cc.o"
+  "CMakeFiles/qc_sat.dir/model_counting.cc.o.d"
+  "CMakeFiles/qc_sat.dir/schaefer.cc.o"
+  "CMakeFiles/qc_sat.dir/schaefer.cc.o.d"
+  "CMakeFiles/qc_sat.dir/twosat.cc.o"
+  "CMakeFiles/qc_sat.dir/twosat.cc.o.d"
+  "CMakeFiles/qc_sat.dir/walksat.cc.o"
+  "CMakeFiles/qc_sat.dir/walksat.cc.o.d"
+  "CMakeFiles/qc_sat.dir/xorsat.cc.o"
+  "CMakeFiles/qc_sat.dir/xorsat.cc.o.d"
+  "libqc_sat.a"
+  "libqc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_structures.dir/structure.cc.o"
+  "CMakeFiles/qc_structures.dir/structure.cc.o.d"
+  "libqc_structures.a"
+  "libqc_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

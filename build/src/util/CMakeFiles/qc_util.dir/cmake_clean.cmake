@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_util.dir/fraction.cc.o"
+  "CMakeFiles/qc_util.dir/fraction.cc.o.d"
+  "CMakeFiles/qc_util.dir/lp.cc.o"
+  "CMakeFiles/qc_util.dir/lp.cc.o.d"
+  "CMakeFiles/qc_util.dir/table.cc.o"
+  "CMakeFiles/qc_util.dir/table.cc.o.d"
+  "libqc_util.a"
+  "libqc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

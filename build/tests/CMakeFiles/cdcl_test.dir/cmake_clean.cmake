@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdcl_test.dir/cdcl_test.cc.o"
+  "CMakeFiles/cdcl_test.dir/cdcl_test.cc.o.d"
+  "cdcl_test"
+  "cdcl_test.pdb"
+  "cdcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

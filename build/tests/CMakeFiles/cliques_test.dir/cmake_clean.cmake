@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliques_test.dir/cliques_test.cc.o"
+  "CMakeFiles/cliques_test.dir/cliques_test.cc.o.d"
+  "cliques_test"
+  "cliques_test.pdb"
+  "cliques_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliques_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

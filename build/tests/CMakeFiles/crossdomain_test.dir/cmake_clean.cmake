@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossdomain_test.dir/crossdomain_test.cc.o"
+  "CMakeFiles/crossdomain_test.dir/crossdomain_test.cc.o.d"
+  "crossdomain_test"
+  "crossdomain_test.pdb"
+  "crossdomain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossdomain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

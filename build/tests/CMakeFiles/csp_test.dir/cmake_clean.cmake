@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_test.dir/csp_test.cc.o"
+  "CMakeFiles/csp_test.dir/csp_test.cc.o.d"
+  "csp_test"
+  "csp_test.pdb"
+  "csp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

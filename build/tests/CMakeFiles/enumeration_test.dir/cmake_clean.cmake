@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_test.dir/enumeration_test.cc.o"
+  "CMakeFiles/enumeration_test.dir/enumeration_test.cc.o.d"
+  "enumeration_test"
+  "enumeration_test.pdb"
+  "enumeration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/finegrained_test.cc" "tests/CMakeFiles/finegrained_test.dir/finegrained_test.cc.o" "gcc" "tests/CMakeFiles/finegrained_test.dir/finegrained_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finegrained/CMakeFiles/qc_finegrained.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/qc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

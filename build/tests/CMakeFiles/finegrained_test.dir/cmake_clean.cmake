@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finegrained_test.dir/finegrained_test.cc.o"
+  "CMakeFiles/finegrained_test.dir/finegrained_test.cc.o.d"
+  "finegrained_test"
+  "finegrained_test.pdb"
+  "finegrained_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finegrained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

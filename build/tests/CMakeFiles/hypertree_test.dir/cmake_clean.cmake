@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertree_test.dir/hypertree_test.cc.o"
+  "CMakeFiles/hypertree_test.dir/hypertree_test.cc.o.d"
+  "hypertree_test"
+  "hypertree_test.pdb"
+  "hypertree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

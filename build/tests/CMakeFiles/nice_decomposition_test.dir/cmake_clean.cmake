@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nice_decomposition_test.dir/nice_decomposition_test.cc.o"
+  "CMakeFiles/nice_decomposition_test.dir/nice_decomposition_test.cc.o.d"
+  "nice_decomposition_test"
+  "nice_decomposition_test.pdb"
+  "nice_decomposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nice_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

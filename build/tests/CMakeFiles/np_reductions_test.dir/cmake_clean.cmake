@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_reductions_test.dir/np_reductions_test.cc.o"
+  "CMakeFiles/np_reductions_test.dir/np_reductions_test.cc.o.d"
+  "np_reductions_test"
+  "np_reductions_test.pdb"
+  "np_reductions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_ops_test.dir/relational_ops_test.cc.o"
+  "CMakeFiles/relational_ops_test.dir/relational_ops_test.cc.o.d"
+  "relational_ops_test"
+  "relational_ops_test.pdb"
+  "relational_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

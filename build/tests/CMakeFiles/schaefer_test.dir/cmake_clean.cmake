@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schaefer_test.dir/schaefer_test.cc.o"
+  "CMakeFiles/schaefer_test.dir/schaefer_test.cc.o.d"
+  "schaefer_test"
+  "schaefer_test.pdb"
+  "schaefer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schaefer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

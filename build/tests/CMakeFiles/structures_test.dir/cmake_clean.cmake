@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structures_test.dir/structures_test.cc.o"
+  "CMakeFiles/structures_test.dir/structures_test.cc.o.d"
+  "structures_test"
+  "structures_test.pdb"
+  "structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

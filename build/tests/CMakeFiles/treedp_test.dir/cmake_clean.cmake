@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treedp_test.dir/treedp_test.cc.o"
+  "CMakeFiles/treedp_test.dir/treedp_test.cc.o.d"
+  "treedp_test"
+  "treedp_test.pdb"
+  "treedp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treedp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

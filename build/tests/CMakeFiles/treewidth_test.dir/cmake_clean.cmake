@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewidth_test.dir/treewidth_test.cc.o"
+  "CMakeFiles/treewidth_test.dir/treewidth_test.cc.o.d"
+  "treewidth_test"
+  "treewidth_test.pdb"
+  "treewidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

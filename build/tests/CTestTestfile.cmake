@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/treewidth_test[1]_include.cmake")
+include("/root/repo/build/tests/cliques_test[1]_include.cmake")
+include("/root/repo/build/tests/hypergraph_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/schaefer_test[1]_include.cmake")
+include("/root/repo/build/tests/csp_test[1]_include.cmake")
+include("/root/repo/build/tests/treedp_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/structures_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/finegrained_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/nice_decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/cdcl_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/enumeration_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/crossdomain_test[1]_include.cmake")
+include("/root/repo/build/tests/hypertree_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/random_query_test[1]_include.cmake")
+include("/root/repo/build/tests/np_reductions_test[1]_include.cmake")

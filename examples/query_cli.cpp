@@ -22,7 +22,9 @@
 
 #include "core/analyzer.h"
 #include "core/autosolver.h"
+#include "core/context.h"
 #include "db/parser.h"
+#include "util/counters.h"
 
 namespace {
 
@@ -67,11 +69,10 @@ int main(int argc, char** argv) {
   std::string current_relation, current_body;
   auto flush_relation = [&]() -> bool {
     if (current_relation.empty()) return true;
-    std::string error;
-    auto tuples = db::ParseTuples(current_body, &error);
+    auto tuples = db::ParseTuples(current_body);
     if (!tuples) {
       std::fprintf(stderr, "relation %s: %s\n", current_relation.c_str(),
-                   error.c_str());
+                   tuples.error.ToString().c_str());
       return false;
     }
     int arity = tuples->empty() ? 1 : static_cast<int>((*tuples)[0].size());
@@ -93,10 +94,10 @@ int main(int argc, char** argv) {
   }
   if (!flush_relation()) return 1;
 
-  std::string error;
-  auto query = db::ParseJoinQuery(query_text, &error);
+  auto query = db::ParseJoinQuery(query_text);
   if (!query) {
-    std::fprintf(stderr, "query parse error: %s\n", error.c_str());
+    std::fprintf(stderr, "query parse error: %s\n",
+                 query.error.ToString().c_str());
     return 1;
   }
   for (const auto& atom : query->atoms) {
@@ -106,9 +107,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  util::Counters counters;
+  ExecutionContext ctx;
+  ctx.counters = &counters;
+
   std::printf("=== analysis ===\n%s\n\n",
-              core::AnalyzeQuery(*query).ToString().c_str());
-  core::AutoQueryResult result = core::EvaluateQueryAuto(*query, database);
+              core::AnalyzeQuery(*query, ctx).ToString().c_str());
+  core::AutoQueryResult result = core::EvaluateQueryAuto(*query, database, ctx);
   std::printf("=== answer (via %s): %zu tuples ===\n",
               core::ToString(result.method).c_str(),
               result.result.tuples.size());
@@ -124,6 +129,10 @@ int main(int argc, char** argv) {
       std::printf("... (%zu more)\n", result.result.tuples.size() - 20);
       break;
     }
+  }
+  if (!counters.empty()) {
+    std::printf("\n=== effort (threads=%d) ===\n%s\n",
+                ctx.ResolvedThreads(), counters.ToString().c_str());
   }
   return 0;
 }

@@ -28,9 +28,10 @@ struct CanonicalStructure {
 };
 
 /// Computes core size + core treewidth for the canonical structure.
-void AnalyzeCore(const CanonicalStructure& cs, const AnalyzerOptions& options,
+void AnalyzeCore(const CanonicalStructure& cs, const ExecutionContext& ctx,
                  Analysis* a) {
-  if (cs.universe > options.core_computation_below) return;
+  if (cs.universe > ctx.core_computation_below) return;
+  if (ctx.DeadlineExpired()) return;  // Soft deadline: skip the O(n^n) step.
   std::vector<structures::RelSymbol> vocab;
   vocab.reserve(cs.symbol_arity.size());
   for (std::size_t s = 0; s < cs.symbol_arity.size(); ++s) {
@@ -43,9 +44,13 @@ void AnalyzeCore(const CanonicalStructure& cs, const AnalyzerOptions& options,
   }
   structures::Structure core = structures::ComputeCore(st);
   a->core_universe_size = core.universe_size();
+  a->counters.Add("analyzer.core_computed", 1);
   graph::Graph core_primal = core.GaifmanGraph();
-  if (core_primal.num_vertices() <= options.exact_treewidth_below) {
-    a->core_treewidth = graph::ExactTreewidth(core_primal).treewidth;
+  if (core_primal.num_vertices() <= ctx.exact_treewidth_below) {
+    auto exact =
+        graph::ExactTreewidth(core_primal, 24, ctx.ResolvedThreads());
+    a->core_treewidth = exact.treewidth;
+    a->counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
   } else {
     a->core_treewidth = graph::HeuristicTreewidth(core_primal).width;
   }
@@ -53,16 +58,19 @@ void AnalyzeCore(const CanonicalStructure& cs, const AnalyzerOptions& options,
 
 /// Metrics that depend only on the hypergraph.
 Analysis AnalyzeHypergraph(const graph::Hypergraph& hypergraph,
-                           const AnalyzerOptions& options) {
+                           const ExecutionContext& ctx) {
   Analysis a;
   a.num_variables = hypergraph.num_vertices();
   a.num_constraints = hypergraph.num_edges();
   a.acyclic = graph::IsAlphaAcyclic(hypergraph);
 
   graph::Graph primal = hypergraph.PrimalGraph();
-  if (primal.num_vertices() <= options.exact_treewidth_below) {
-    a.treewidth = graph::ExactTreewidth(primal).treewidth;
+  if (primal.num_vertices() <= ctx.exact_treewidth_below &&
+      !ctx.DeadlineExpired()) {
+    auto exact = graph::ExactTreewidth(primal, 24, ctx.ResolvedThreads());
+    a.treewidth = exact.treewidth;
     a.treewidth_exact = true;
+    a.counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
   } else {
     a.treewidth = graph::HeuristicTreewidth(primal).width;
     a.treewidth_exact = false;
@@ -164,12 +172,17 @@ std::string Analysis::ToString() const {
     out << "\n[" << lb.assumption << ", " << lb.theorem << "] "
         << lb.statement;
   }
+  if (!counters.empty()) {
+    out << "\neffort:";
+    for (const auto& [key, value] : counters.items()) {
+      out << "\n  " << key << " = " << value;
+    }
+  }
   return out.str();
 }
 
-Analysis AnalyzeQuery(const db::JoinQuery& query,
-                      const AnalyzerOptions& options) {
-  Analysis a = AnalyzeHypergraph(query.Hypergraph(), options);
+Analysis AnalyzeQuery(const db::JoinQuery& query, const ExecutionContext& ctx) {
+  Analysis a = AnalyzeHypergraph(query.Hypergraph(), ctx);
   CanonicalStructure cs;
   std::map<std::string, int> attr = query.AttributeIndex();
   cs.universe = static_cast<int>(attr.size());
@@ -186,14 +199,14 @@ Analysis AnalyzeQuery(const db::JoinQuery& query,
     cs.symbol_of_tuple.push_back(it->second);
     cs.tuples.push_back(std::move(tuple));
   }
-  AnalyzeCore(cs, options, &a);
+  AnalyzeCore(cs, ctx, &a);
   Finalize(&a);
+  if (ctx.counters != nullptr) ctx.counters->Merge(a.counters);
   return a;
 }
 
-Analysis AnalyzeCsp(const csp::CspInstance& csp,
-                    const AnalyzerOptions& options) {
-  Analysis a = AnalyzeHypergraph(csp.ConstraintHypergraph(), options);
+Analysis AnalyzeCsp(const csp::CspInstance& csp, const ExecutionContext& ctx) {
+  Analysis a = AnalyzeHypergraph(csp.ConstraintHypergraph(), ctx);
   CanonicalStructure cs;
   cs.universe = csp.num_vars;
   // Group constraints by extensional relation content.
@@ -205,8 +218,9 @@ Analysis AnalyzeCsp(const csp::CspInstance& csp,
     cs.symbol_of_tuple.push_back(it->second);
     cs.tuples.push_back(c.scope);
   }
-  AnalyzeCore(cs, options, &a);
+  AnalyzeCore(cs, ctx, &a);
   Finalize(&a);
+  if (ctx.counters != nullptr) ctx.counters->Merge(a.counters);
   return a;
 }
 

@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "core/context.h"
 #include "csp/csp.h"
 #include "db/database.h"
+#include "util/counters.h"
 #include "util/fraction.h"
 
 namespace qc::core {
@@ -41,6 +43,11 @@ struct Analysis {
   std::string recommended_algorithm;
   std::vector<LowerBoundCertificate> lower_bounds;
 
+  /// Unified effort counters recorded while analyzing (treewidth DP states,
+  /// core computation, ...), included in ToString(). Also merged into
+  /// ExecutionContext::counters when a sink is set.
+  util::Counters counters;
+
   /// AGM output-size bound N^{rho*}.
   double AgmBound(double n) const;
 
@@ -48,18 +55,20 @@ struct Analysis {
   std::string ToString() const;
 };
 
-struct AnalyzerOptions {
-  int exact_treewidth_below = 18;  ///< Use the 2^n DP up to this many vars.
-  int core_computation_below = 12; ///< Compute the core up to this size.
-};
+/// Deprecated alias: analyzer thresholds now live on qc::ExecutionContext
+/// (which adds thread count, soft deadline, seed, and a stats sink).
+using AnalyzerOptions = ExecutionContext;
 
 /// Analyzes a join query's structure (Sections 3-8 applied to one query).
+/// Honors ctx.threads for the exact treewidth DP and, when
+/// ctx.soft_deadline_seconds is set and expires, degrades gracefully from
+/// exact to heuristic measures (treewidth_exact = false, core skipped).
 Analysis AnalyzeQuery(const db::JoinQuery& query,
-                      const AnalyzerOptions& options = AnalyzerOptions());
+                      const ExecutionContext& ctx = ExecutionContext());
 
 /// Analyzes a CSP instance (same metrics over its hypergraph).
 Analysis AnalyzeCsp(const csp::CspInstance& csp,
-                    const AnalyzerOptions& options = AnalyzerOptions());
+                    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace qc::core
 

@@ -56,14 +56,18 @@ bool TrySchaefer(const csp::CspInstance& csp, int max_arity,
 }  // namespace
 
 AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
-                           const AutoSolverOptions& options) {
+                           const ExecutionContext& ctx) {
   AutoCspResult result;
-  if (TrySchaefer(csp, options.max_schaefer_arity, &result)) return result;
+  if (TrySchaefer(csp, ctx.max_schaefer_arity, &result)) {
+    ctx.Count("schaefer.dispatches", 1);
+    return result;
+  }
 
   graph::Graph primal = csp.PrimalGraph();
   graph::TreewidthUpperBound ub = graph::HeuristicTreewidth(primal);
-  if (ub.width <= options.treewidth_dp_max_width) {
+  if (ub.width <= ctx.treewidth_dp_max_width) {
     csp::TreeDpResult dp = csp::SolveWithDecomposition(csp, ub.decomposition);
+    ctx.Count("treedp.table_entries", dp.table_entries);
     result.method = SolveMethod::kTreewidthDp;
     result.satisfiable = dp.satisfiable;
     result.assignment = std::move(dp.assignment);
@@ -71,6 +75,9 @@ AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
   }
 
   csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  ctx.Count("backtracking.nodes", sol.stats.nodes);
+  ctx.Count("backtracking.backtracks", sol.stats.backtracks);
+  ctx.Count("backtracking.consistency_checks", sol.stats.consistency_checks);
   result.method = SolveMethod::kBacktracking;
   result.satisfiable = sol.found;
   result.assignment = std::move(sol.assignment);
@@ -78,16 +85,20 @@ AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
 }
 
 AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
-                                  const db::Database& db) {
+                                  const db::Database& db,
+                                  const ExecutionContext& ctx) {
   AutoQueryResult result;
   auto yan = db::EvaluateYannakakis(query, db);
   if (yan.has_value()) {
+    ctx.Count("yannakakis.output_tuples", yan->tuples.size());
     result.method = SolveMethod::kYannakakis;
     result.result = std::move(*yan);
     return result;
   }
   result.method = SolveMethod::kGenericJoin;
-  result.result = db::GenericJoin(query, db).Evaluate();
+  // GenericJoin inherits ctx: thread count for the parallel root partition
+  // and the counters sink for "generic_join.*".
+  result.result = db::GenericJoin(query, db, ctx).Evaluate();
   return result;
 }
 

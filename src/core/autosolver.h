@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/context.h"
 #include "csp/solver.h"
 #include "csp/treedp.h"
 #include "db/database.h"
@@ -26,18 +27,17 @@ struct AutoCspResult {
   SolveMethod method = SolveMethod::kBacktracking;
 };
 
-struct AutoSolverOptions {
-  int treewidth_dp_max_width = 3;
-  int max_schaefer_arity = 12;
-};
+/// Deprecated alias: auto-solver thresholds now live on qc::ExecutionContext
+/// (which adds thread count, soft deadline, seed, and a stats sink).
+using AutoSolverOptions = ExecutionContext;
 
 /// Routes a CSP instance to the cheapest applicable engine, in the order the
 /// paper's upper-bound results suggest: Schaefer's dichotomy dispatcher for
 /// Boolean domains in a tractable class, Freuder's DP for small treewidth,
-/// and backtracking search otherwise.
+/// and backtracking search otherwise. Engine effort is reported into
+/// ctx.counters ("treedp.table_entries", "backtracking.nodes", ...).
 AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
-                           const AutoSolverOptions& options =
-                               AutoSolverOptions());
+                           const ExecutionContext& ctx = ExecutionContext());
 
 struct AutoQueryResult {
   db::JoinResult result;
@@ -45,9 +45,12 @@ struct AutoQueryResult {
 };
 
 /// Routes a join query: Yannakakis when alpha-acyclic, Generic Join
-/// otherwise.
+/// otherwise. ctx.threads (or QC_THREADS) parallelizes the Generic Join
+/// path; effort counters land in ctx.counters.
 AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
-                                  const db::Database& db);
+                                  const db::Database& db,
+                                  const ExecutionContext& ctx =
+                                      ExecutionContext());
 
 }  // namespace qc::core
 

@@ -1,0 +1,71 @@
+#ifndef QC_CORE_CONTEXT_H_
+#define QC_CORE_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/counters.h"
+#include "util/threadpool.h"
+
+namespace qc {
+
+/// One knob surface for every engine in the library.
+///
+/// Historically each entry point grew its own options struct
+/// (`AnalyzerOptions`, `AutoSolverOptions`) and its own stats struct, which
+/// left nowhere to hang cross-cutting execution concerns. ExecutionContext
+/// folds them together: analysis/solver thresholds, the parallel runtime's
+/// thread count, a soft deadline, the RNG seed for randomized engines, and
+/// an optional shared Counters sink every engine reports effort into.
+///
+/// Header-only and dependency-free below util/, so the db and csp layers can
+/// accept it without linking core.
+struct ExecutionContext {
+  // -- analysis thresholds (field order is kept stable: existing call sites
+  //    use designated initializers against the old AnalyzerOptions alias) --
+  int exact_treewidth_below = 18;   ///< Use the 2^n DP up to this many vars.
+  int core_computation_below = 12;  ///< Compute the core up to this size.
+
+  // -- auto-solver thresholds (formerly AutoSolverOptions) --
+  int treewidth_dp_max_width = 3;
+  int max_schaefer_arity = 12;
+
+  // -- execution runtime --
+  /// Worker count for the parallel kernels; 0 defers to the QC_THREADS
+  /// environment variable (default 1). All kernels produce bit-identical
+  /// results at any thread count.
+  int threads = 0;
+  /// Soft deadline in seconds from construction (0 = none). Advisory:
+  /// engines consult DeadlineExpired() at safe points — the analyzer falls
+  /// back from exact to heuristic structure measures, color coding stops
+  /// opening new trial rounds — but never return a wrong answer for it.
+  double soft_deadline_seconds = 0.0;
+  /// Seed for randomized engines (color coding, generators).
+  std::uint64_t seed = 1;
+  /// Optional effort sink; engines Add() their counters when non-null.
+  util::Counters* counters = nullptr;
+
+  int ResolvedThreads() const {
+    return threads > 0 ? threads : util::ThreadPool::DefaultThreadCount();
+  }
+
+  bool DeadlineExpired() const {
+    if (soft_deadline_seconds <= 0.0) return false;
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_time;
+    return elapsed.count() >= soft_deadline_seconds;
+  }
+
+  void Count(std::string_view key, std::uint64_t delta) const {
+    if (counters != nullptr) counters->Add(key, delta);
+  }
+
+  /// When the clock for soft_deadline_seconds started; defaults to context
+  /// construction, re-armable by assigning steady_clock::now().
+  std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace qc
+
+#endif  // QC_CORE_CONTEXT_H_

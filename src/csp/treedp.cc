@@ -205,11 +205,12 @@ TreeDpResult SolveWithDecomposition(const CspInstance& csp,
   return result;
 }
 
-TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below) {
+TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below,
+                              int threads) {
   graph::Graph primal = csp.PrimalGraph();
   graph::TreeDecomposition td;
   if (primal.num_vertices() <= exact_below) {
-    td = graph::ExactTreewidth(primal).decomposition;
+    td = graph::ExactTreewidth(primal, 24, threads).decomposition;
   } else {
     td = graph::HeuristicTreewidth(primal).decomposition;
   }

@@ -31,8 +31,10 @@ TreeDpResult SolveWithDecomposition(const CspInstance& csp,
 
 /// Convenience: builds a heuristic tree decomposition of the primal graph
 /// (min-degree / min-fill, exact for small graphs when `exact_below` vertices
-/// or fewer) and runs the DP.
-TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below = 16);
+/// or fewer) and runs the DP. `threads` parallelizes the exact-treewidth
+/// per-component DP (0 = QC_THREADS).
+TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below = 16,
+                              int threads = 0);
 
 }  // namespace qc::csp
 

@@ -1,14 +1,18 @@
 #include "db/generic_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 #include "db/joins.h"
+#include "util/threadpool.h"
 
 namespace qc::db {
 
 GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
-                         std::vector<std::string> attribute_order) {
+                         std::vector<std::string> attribute_order,
+                         const ExecutionContext& ctx)
+    : ctx_(ctx) {
   attribute_order_ = attribute_order.empty() ? query.AttributeOrder()
                                              : std::move(attribute_order);
   std::map<std::string, int> global;
@@ -48,10 +52,32 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
   }
 }
 
+int GenericJoin::ResolvedThreads() const { return ctx_.ResolvedThreads(); }
+
+void GenericJoin::ExportStats(const GenericJoinStats& run) const {
+  ctx_.Count("generic_join.nodes", run.nodes);
+  ctx_.Count("generic_join.probes", run.probes);
+}
+
+std::pair<int, int> GenericJoin::Narrow(
+    int atom, int col, Value v, const std::vector<std::pair<int, int>>& ranges,
+    GenericJoinStats* stats) const {
+  const auto& tuples = atoms_[atom].tuples;
+  auto lo = std::lower_bound(
+      tuples.begin() + ranges[atom].first, tuples.begin() + ranges[atom].second,
+      v, [col](const Tuple& t, Value value) { return t[col] < value; });
+  auto hi = std::upper_bound(
+      tuples.begin() + ranges[atom].first, tuples.begin() + ranges[atom].second,
+      v, [col](Value value, const Tuple& t) { return value < t[col]; });
+  ++stats->probes;
+  return {static_cast<int>(lo - tuples.begin()),
+          static_cast<int>(hi - tuples.begin())};
+}
+
 void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
                          Tuple& binding,
                          const std::function<bool(const Tuple&)>& visitor,
-                         bool* stop) {
+                         bool* stop, GenericJoinStats* stats) const {
   if (depth == static_cast<int>(attribute_order_.size())) {
     if (!visitor(binding)) *stop = true;
     return;
@@ -68,31 +94,19 @@ void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
       it_col = col;
     }
   }
-  auto narrowed = [&](int a, int col, Value v) -> std::pair<int, int> {
-    const auto& tuples = atoms_[a].tuples;
-    auto lo = std::lower_bound(
-        tuples.begin() + ranges[a].first, tuples.begin() + ranges[a].second, v,
-        [col](const Tuple& t, Value value) { return t[col] < value; });
-    auto hi = std::upper_bound(
-        tuples.begin() + ranges[a].first, tuples.begin() + ranges[a].second, v,
-        [col](Value value, const Tuple& t) { return value < t[col]; });
-    ++stats_.probes;
-    return {static_cast<int>(lo - tuples.begin()),
-            static_cast<int>(hi - tuples.begin())};
-  };
 
   int pos = ranges[it_atom].first;
   while (pos < ranges[it_atom].second && !*stop) {
     Value v = atoms_[it_atom].tuples[pos][it_col];
     // Sub-range of the iterator atom with this value.
-    auto it_range = narrowed(it_atom, it_col, v);
+    auto it_range = Narrow(it_atom, it_col, v, ranges, stats);
     // Intersect with every other holder.
     std::vector<std::pair<int, int>> saved;
     saved.reserve(holders.size());
     bool ok = true;
     for (auto [a, col] : holders) {
       saved.push_back(ranges[a]);
-      auto r = (a == it_atom) ? it_range : narrowed(a, col, v);
+      auto r = (a == it_atom) ? it_range : Narrow(a, col, v, ranges, stats);
       if (r.first >= r.second) {
         ok = false;
         // Restore what we already narrowed.
@@ -104,9 +118,9 @@ void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
       ranges[a] = r;
     }
     if (ok) {
-      ++stats_.nodes;
+      ++stats->nodes;
       binding[depth] = v;
-      Search(depth + 1, ranges, binding, visitor, stop);
+      Search(depth + 1, ranges, binding, visitor, stop, stats);
       for (std::size_t i = 0; i < holders.size(); ++i) {
         ranges[holders[i].first] = saved[i];
       }
@@ -115,42 +129,201 @@ void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
   }
 }
 
+bool GenericJoin::RootCandidates(std::vector<RootCandidate>* candidates,
+                                 int* it_atom_out,
+                                 std::vector<std::pair<int, int>>* base_ranges,
+                                 GenericJoinStats* stats) const {
+  base_ranges->resize(atoms_.size());
+  for (std::size_t a = 0; a < atoms_.size(); ++a) {
+    (*base_ranges)[a] = {0, static_cast<int>(atoms_[a].tuples.size())};
+    if (atoms_[a].tuples.empty()) return false;  // Empty relation: empty join.
+  }
+  const auto& holders = atoms_of_attr_[0];
+  if (holders.empty()) std::abort();
+
+  int it_atom = -1, it_col = -1;
+  for (auto [a, col] : holders) {
+    if (it_atom < 0 ||
+        (*base_ranges)[a].second - (*base_ranges)[a].first <
+            (*base_ranges)[it_atom].second - (*base_ranges)[it_atom].first) {
+      it_atom = a;
+      it_col = col;
+    }
+  }
+  int pos = (*base_ranges)[it_atom].first;
+  while (pos < (*base_ranges)[it_atom].second) {
+    Value v = atoms_[it_atom].tuples[pos][it_col];
+    auto it_range = Narrow(it_atom, it_col, v, *base_ranges, stats);
+    candidates->push_back({v, it_range});
+    pos = it_range.second;  // Skip past all copies of v.
+  }
+  *it_atom_out = it_atom;
+  return true;
+}
+
+void GenericJoin::SearchCandidate(
+    const RootCandidate& candidate, int it_atom,
+    const std::vector<std::pair<int, int>>& base_ranges,
+    const std::function<bool(const Tuple&)>& visitor, bool* stop,
+    GenericJoinStats* stats) const {
+  const auto& holders = atoms_of_attr_[0];
+  std::vector<std::pair<int, int>> ranges = base_ranges;
+  for (auto [a, col] : holders) {
+    auto r = (a == it_atom) ? candidate.it_range
+                            : Narrow(a, col, candidate.value, ranges, stats);
+    if (r.first >= r.second) return;
+    ranges[a] = r;
+  }
+  ++stats->nodes;
+  Tuple binding(attribute_order_.size());
+  binding[0] = candidate.value;
+  Search(1, ranges, binding, visitor, stop, stats);
+}
+
 void GenericJoin::Enumerate(const std::function<bool(const Tuple&)>& visitor) {
+  GenericJoinStats run;
   std::vector<std::pair<int, int>> ranges(atoms_.size());
+  bool empty = false;
   for (std::size_t a = 0; a < atoms_.size(); ++a) {
     ranges[a] = {0, static_cast<int>(atoms_[a].tuples.size())};
-    if (atoms_[a].tuples.empty()) return;  // Empty relation: empty join.
+    if (atoms_[a].tuples.empty()) empty = true;  // Empty relation: empty join.
   }
-  Tuple binding(attribute_order_.size());
-  bool stop = false;
-  Search(0, ranges, binding, visitor, &stop);
+  if (!empty) {
+    Tuple binding(attribute_order_.size());
+    bool stop = false;
+    Search(0, ranges, binding, visitor, &stop, &run);
+  }
+  stats_ += run;
+  ExportStats(run);
 }
 
 JoinResult GenericJoin::Evaluate() {
   JoinResult out;
   out.attributes = attribute_order_;
-  Enumerate([&out](const Tuple& t) {
-    out.tuples.push_back(t);
-    return true;
-  });
+  if (ResolvedThreads() <= 1) {
+    Enumerate([&out](const Tuple& t) {
+      out.tuples.push_back(t);
+      return true;
+    });
+    return out;
+  }
+
+  GenericJoinStats run;
+  std::vector<RootCandidate> candidates;
+  int it_atom = -1;
+  std::vector<std::pair<int, int>> base_ranges;
+  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
+    // Per-candidate output buffers, merged in candidate order below: the
+    // result is bit-identical to the serial enumeration order.
+    std::vector<std::vector<Tuple>> buffers(candidates.size());
+    std::vector<GenericJoinStats> worker_stats(candidates.size());
+    util::ThreadPool::Shared().ParallelFor(
+        0, static_cast<std::int64_t>(candidates.size()),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            bool stop = false;
+            SearchCandidate(
+                candidates[i], it_atom, base_ranges,
+                [&buffers, i](const Tuple& t) {
+                  buffers[i].push_back(t);
+                  return true;
+                },
+                &stop, &worker_stats[i]);
+          }
+        },
+        ResolvedThreads());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      run += worker_stats[i];
+      out.tuples.insert(out.tuples.end(),
+                        std::make_move_iterator(buffers[i].begin()),
+                        std::make_move_iterator(buffers[i].end()));
+    }
+  }
+  stats_ += run;
+  ExportStats(run);
   return out;
 }
 
 bool GenericJoin::IsEmpty() {
-  bool found = false;
-  Enumerate([&found](const Tuple&) {
-    found = true;
-    return false;
-  });
-  return !found;
+  if (ResolvedThreads() <= 1) {
+    bool found = false;
+    Enumerate([&found](const Tuple&) {
+      found = true;
+      return false;
+    });
+    return !found;
+  }
+
+  GenericJoinStats run;
+  std::vector<RootCandidate> candidates;
+  int it_atom = -1;
+  std::vector<std::pair<int, int>> base_ranges;
+  std::atomic<bool> found(false);
+  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
+    std::vector<GenericJoinStats> worker_stats(candidates.size());
+    util::ThreadPool::Shared().ParallelFor(
+        0, static_cast<std::int64_t>(candidates.size()),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            if (found.load(std::memory_order_relaxed)) return;
+            bool stop = false;
+            SearchCandidate(
+                candidates[i], it_atom, base_ranges,
+                [&found](const Tuple&) {
+                  found.store(true, std::memory_order_relaxed);
+                  return false;  // Stop this partition's search.
+                },
+                &stop, &worker_stats[i]);
+          }
+        },
+        ResolvedThreads());
+    for (const auto& ws : worker_stats) run += ws;
+  }
+  stats_ += run;
+  ExportStats(run);
+  return !found.load();
 }
 
 std::uint64_t GenericJoin::Count() {
+  if (ResolvedThreads() <= 1) {
+    std::uint64_t count = 0;
+    Enumerate([&count](const Tuple&) {
+      ++count;
+      return true;
+    });
+    return count;
+  }
+
+  GenericJoinStats run;
+  std::vector<RootCandidate> candidates;
+  int it_atom = -1;
+  std::vector<std::pair<int, int>> base_ranges;
   std::uint64_t count = 0;
-  Enumerate([&count](const Tuple&) {
-    ++count;
-    return true;
-  });
+  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
+    std::vector<std::uint64_t> counts(candidates.size(), 0);
+    std::vector<GenericJoinStats> worker_stats(candidates.size());
+    util::ThreadPool::Shared().ParallelFor(
+        0, static_cast<std::int64_t>(candidates.size()),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            bool stop = false;
+            SearchCandidate(
+                candidates[i], it_atom, base_ranges,
+                [&counts, i](const Tuple&) {
+                  ++counts[i];
+                  return true;
+                },
+                &stop, &worker_stats[i]);
+          }
+        },
+        ResolvedThreads());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      run += worker_stats[i];
+      count += counts[i];
+    }
+  }
+  stats_ += run;
+  ExportStats(run);
   return count;
 }
 

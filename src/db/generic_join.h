@@ -5,14 +5,23 @@
 #include <functional>
 #include <optional>
 
+#include "core/context.h"
 #include "db/database.h"
 
 namespace qc::db {
 
-/// Effort counters for the worst-case-optimal join.
+/// Effort counters for the worst-case-optimal join. Also exported through
+/// ExecutionContext::counters under "generic_join.nodes" /
+/// "generic_join.probes" (the unified util::Counters surface).
 struct GenericJoinStats {
   std::uint64_t nodes = 0;          ///< Search-tree nodes (partial bindings).
   std::uint64_t probes = 0;         ///< Binary-search probes.
+
+  GenericJoinStats& operator+=(const GenericJoinStats& other) {
+    nodes += other.nodes;
+    probes += other.probes;
+    return *this;
+  }
 };
 
 /// Worst-case-optimal join in the Generic Join / Leapfrog Triejoin family
@@ -21,12 +30,26 @@ struct GenericJoinStats {
 /// matching columns of every relation containing the attribute, computed by
 /// scanning the smallest current range and galloping in the others. Runs in
 /// O~(N^{rho*}) total time.
+///
+/// With `ctx.threads > 1` (or QC_THREADS set), Evaluate/Count/IsEmpty
+/// partition the first attribute's candidate values into independent subtree
+/// searches executed on the shared ThreadPool, with per-worker buffers and
+/// stats merged in candidate order — the answer (and, for full traversals,
+/// the stats) are bit-identical to the serial run. Enumerate always streams
+/// serially: its visitor contract (in-order delivery, early stop) is
+/// order-sensitive.
 class GenericJoin {
  public:
   /// Prepares sorted tries for `query` over `db`. If `attribute_order` is
   /// empty, the first-appearance order is used.
   GenericJoin(const JoinQuery& query, const Database& db,
-              std::vector<std::string> attribute_order = {});
+              std::vector<std::string> attribute_order = {},
+              const ExecutionContext& ctx = ExecutionContext());
+
+  /// Convenience: default attribute order with an execution context.
+  GenericJoin(const JoinQuery& query, const Database& db,
+              const ExecutionContext& ctx)
+      : GenericJoin(query, db, {}, ctx) {}
 
   /// Materializes the full answer Q(D).
   JoinResult Evaluate();
@@ -52,9 +75,42 @@ class GenericJoin {
                                       ///< lexicographically sorted, distinct.
   };
 
+  /// One candidate value of the first attribute with its sub-range in the
+  /// depth-0 iterator atom — the unit of parallel work.
+  struct RootCandidate {
+    Value value;
+    std::pair<int, int> it_range;
+  };
+
   void Search(int depth, std::vector<std::pair<int, int>>& ranges,
               Tuple& binding,
-              const std::function<bool(const Tuple&)>& visitor, bool* stop);
+              const std::function<bool(const Tuple&)>& visitor, bool* stop,
+              GenericJoinStats* stats) const;
+
+  /// Narrows `ranges[atom]` to the tuples whose `col` equals `v`.
+  std::pair<int, int> Narrow(int atom, int col, Value v,
+                             const std::vector<std::pair<int, int>>& ranges,
+                             GenericJoinStats* stats) const;
+
+  /// Enumerates the distinct depth-0 candidate values (the serial prefix of
+  /// every parallel run). Returns false when some relation is empty.
+  bool RootCandidates(std::vector<RootCandidate>* candidates, int* it_atom,
+                      std::vector<std::pair<int, int>>* base_ranges,
+                      GenericJoinStats* stats) const;
+
+  /// Runs the search subtree of one root candidate; `visitor`/`stop` as in
+  /// Search. Used by both the parallel partitions and the serial fallback.
+  void SearchCandidate(const RootCandidate& candidate, int it_atom,
+                       const std::vector<std::pair<int, int>>& base_ranges,
+                       const std::function<bool(const Tuple&)>& visitor,
+                       bool* stop, GenericJoinStats* stats) const;
+
+  /// True when this instance should parallelize (resolved threads > 1 and
+  /// more than one attribute to bind).
+  int ResolvedThreads() const;
+
+  /// Publishes one run's effort into ctx_.counters, if any.
+  void ExportStats(const GenericJoinStats& run) const;
 
   std::vector<std::string> attribute_order_;
   std::vector<AtomIndex> atoms_;
@@ -62,6 +118,7 @@ class GenericJoin {
   /// attribute in that atom.
   std::vector<std::vector<std::pair<int, int>>> atoms_of_attr_;
   GenericJoinStats stats_;
+  ExecutionContext ctx_;
 };
 
 }  // namespace qc::db

@@ -1,15 +1,11 @@
 #include "db/parser.h"
 
 #include <cctype>
-#include <sstream>
+#include <charconv>
 
 namespace qc::db {
 
 namespace {
-
-void SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-}
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -18,10 +14,30 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// 1-based line/column of byte offset `pos` in `text`.
+ParseError ErrorAt(const std::string& text, std::size_t pos,
+                   std::string message) {
+  int line = 1, column = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return ParseError{line, column, std::move(message)};
+}
+
 }  // namespace
 
-std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
-                                        std::string* error) {
+std::string ParseError::ToString() const {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column) +
+         ": " + message;
+}
+
+ParseResult<JoinQuery> ParseJoinQuery(const std::string& text) {
+  using Result = ParseResult<JoinQuery>;
   JoinQuery query;
   std::size_t i = 0;
   auto skip_separators = [&] {
@@ -42,14 +58,12 @@ std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
   while (i < text.size()) {
     auto relation = parse_ident();
     if (!relation) {
-      SetError(error, "expected relation name at position " +
-                          std::to_string(i));
-      return std::nullopt;
+      return Result::Fail(ErrorAt(text, i, "expected relation name"));
     }
     skip_separators();
     if (i >= text.size() || text[i] != '(') {
-      SetError(error, "expected '(' after relation " + *relation);
-      return std::nullopt;
+      return Result::Fail(
+          ErrorAt(text, i, "expected '(' after relation " + *relation));
     }
     ++i;
     std::vector<std::string> attributes;
@@ -61,58 +75,77 @@ std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
       }
       auto attr = parse_ident();
       if (!attr) {
-        SetError(error, "expected attribute name in " + *relation +
-                            " at position " + std::to_string(i));
-        return std::nullopt;
+        return Result::Fail(
+            ErrorAt(text, i, "expected attribute name in " + *relation));
       }
       attributes.push_back(*attr);
     }
     if (attributes.empty()) {
-      SetError(error, "relation " + *relation + " has no attributes");
-      return std::nullopt;
+      return Result::Fail(
+          ErrorAt(text, i, "relation " + *relation + " has no attributes"));
     }
     query.Add(*relation, std::move(attributes));
     skip_separators();
   }
   if (query.atoms.empty()) {
-    SetError(error, "no atoms in query");
-    return std::nullopt;
+    return Result::Fail(ErrorAt(text, 0, "no atoms in query"));
   }
-  return query;
+  return Result::Ok(std::move(query));
 }
 
-std::optional<std::vector<Tuple>> ParseTuples(const std::string& text,
-                                              std::string* error) {
+ParseResult<std::vector<Tuple>> ParseTuples(const std::string& text) {
+  using Result = ParseResult<std::vector<Tuple>>;
   std::vector<Tuple> tuples;
-  std::istringstream in(text);
-  std::string line;
   int line_no = 0;
   std::size_t arity = 0;
-  while (std::getline(in, line)) {
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
     ++line_no;
-    std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    for (auto& c : line) {
-      if (c == ',') c = ' ';
-    }
-    std::istringstream ls(line);
+    std::size_t body_end = line_end;
+    std::size_t hash = text.find('#', line_start);
+    if (hash != std::string::npos && hash < body_end) body_end = hash;
+
     Tuple tuple;
-    Value v;
-    while (ls >> v) tuple.push_back(v);
-    if (!ls.eof()) {
-      SetError(error, "bad value on line " + std::to_string(line_no));
-      return std::nullopt;
+    std::size_t i = line_start;
+    while (i < body_end) {
+      if (std::isspace(static_cast<unsigned char>(text[i])) ||
+          text[i] == ',') {
+        ++i;
+        continue;
+      }
+      std::size_t start = i;
+      while (i < body_end &&
+             !std::isspace(static_cast<unsigned char>(text[i])) &&
+             text[i] != ',') {
+        ++i;
+      }
+      Value v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data() + start, text.data() + i, v);
+      if (ec != std::errc() || ptr != text.data() + i) {
+        return Result::Fail(ErrorAt(
+            text, start,
+            "bad value '" + text.substr(start, i - start) + "'"));
+      }
+      tuple.push_back(v);
     }
-    if (tuple.empty()) continue;
-    if (arity == 0) {
-      arity = tuple.size();
-    } else if (tuple.size() != arity) {
-      SetError(error, "arity mismatch on line " + std::to_string(line_no));
-      return std::nullopt;
+    if (!tuple.empty()) {
+      if (arity == 0) {
+        arity = tuple.size();
+      } else if (tuple.size() != arity) {
+        return Result::Fail(
+            ErrorAt(text, line_start,
+                    "arity mismatch: expected " + std::to_string(arity) +
+                        " values, got " + std::to_string(tuple.size())));
+      }
+      tuples.push_back(std::move(tuple));
     }
-    tuples.push_back(std::move(tuple));
+    if (line_end == text.size()) break;
+    line_start = line_end + 1;
   }
-  return tuples;
+  return Result::Ok(std::move(tuples));
 }
 
 }  // namespace qc::db

@@ -3,26 +3,60 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "db/database.h"
 
 namespace qc::db {
+
+/// A parse failure with the 1-based source position it occurred at.
+struct ParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  /// "line L, column C: message".
+  std::string ToString() const;
+};
+
+/// Outcome of a parse: either a value or a position-annotated error.
+/// Replaces the old nullopt-plus-out-parameter reporting.
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  ParseError error;  ///< Meaningful only when !has_value().
+
+  bool has_value() const { return value.has_value(); }
+  explicit operator bool() const { return value.has_value(); }
+  T& operator*() { return *value; }
+  const T& operator*() const { return *value; }
+  T* operator->() { return &*value; }
+  const T* operator->() const { return &*value; }
+
+  static ParseResult Ok(T v) {
+    ParseResult r;
+    r.value = std::move(v);
+    return r;
+  }
+  static ParseResult Fail(ParseError e) {
+    ParseResult r;
+    r.error = std::move(e);
+    return r;
+  }
+};
 
 /// Parses a join query in the conventional text form
 ///
 ///     R1(a, b), R2(a, c), R3(b, c)
 ///
 /// (atom separators: comma or whitespace; identifiers are
-/// [A-Za-z_][A-Za-z0-9_]*). On failure returns nullopt and, if `error` is
-/// non-null, stores a message with the offending position.
-std::optional<JoinQuery> ParseJoinQuery(const std::string& text,
-                                        std::string* error = nullptr);
+/// [A-Za-z_][A-Za-z0-9_]*).
+ParseResult<JoinQuery> ParseJoinQuery(const std::string& text);
 
 /// Parses a relation body: one tuple per line, integer values separated by
 /// whitespace or commas; blank lines and '#' comments ignored. All tuples
 /// must have the same arity.
-std::optional<std::vector<Tuple>> ParseTuples(const std::string& text,
-                                              std::string* error = nullptr);
+ParseResult<std::vector<Tuple>> ParseTuples(const std::string& text);
 
 }  // namespace qc::db
 

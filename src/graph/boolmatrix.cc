@@ -1,19 +1,25 @@
 #include "graph/boolmatrix.h"
 
+#include "util/threadpool.h"
+
 namespace qc::graph {
 
 BoolMatrix::BoolMatrix(int rows, int cols)
     : rows_(rows), cols_(cols), data_(rows, util::Bitset(cols)) {}
 
-BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other) const {
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other, int threads) const {
   BoolMatrix c(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    const util::Bitset& row = data_[i];
-    util::Bitset& out = c.data_[i];
-    for (int k = row.NextSetBit(0); k >= 0; k = row.NextSetBit(k + 1)) {
-      out |= other.data_[k];
+  auto row_block = [this, &other, &c](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const util::Bitset& row = data_[i];
+      util::Bitset& out = c.data_[i];
+      for (int k = row.NextSetBit(0); k >= 0; k = row.NextSetBit(k + 1)) {
+        out |= other.data_[k];
+      }
     }
-  }
+  };
+  util::ThreadPool::Shared().ParallelFor(0, rows_, row_block, threads,
+                                         /*min_grain=*/16);
   return c;
 }
 

@@ -29,8 +29,11 @@ class BoolMatrix {
   const util::Bitset& Row(int i) const { return data_[i]; }
 
   /// Boolean product: (A*B)[i][j] = OR_k A[i][k] AND B[k][j].
-  /// Runs in O(rows * A.cols * B.cols/64) word operations.
-  BoolMatrix Multiply(const BoolMatrix& other) const;
+  /// Runs in O(rows * A.cols * B.cols/64) word operations. Row blocks are
+  /// computed in parallel on `threads` workers (0 = the QC_THREADS default);
+  /// every row is written independently, so the product is bit-identical at
+  /// any thread count.
+  BoolMatrix Multiply(const BoolMatrix& other, int threads = 0) const;
 
   /// Adjacency matrix of g.
   static BoolMatrix FromGraph(const Graph& g);

@@ -1,7 +1,10 @@
 #include "graph/colorcoding.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "util/threadpool.h"
 
 namespace qc::graph {
 
@@ -75,18 +78,47 @@ std::optional<std::vector<int>> ColorfulPath(const Graph& g, int k,
 
 std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
                                                      util::Rng* rng,
-                                                     int rounds) {
+                                                     int rounds, int threads) {
   if (k <= 0 || k > 20 || g.num_vertices() == 0) return std::nullopt;
   if (k == 1) return std::vector<int>{0};
   if (rounds <= 0) {
     // P[path colourful] = k!/k^k ~ e^{-k}; e^k * 3 rounds give ~95%.
     rounds = static_cast<int>(std::ceil(std::exp(k) * 3.0));
   }
-  std::vector<int> color(g.num_vertices());
-  for (int round = 0; round < rounds; ++round) {
-    for (auto& c : color) c = static_cast<int>(rng->NextBounded(k));
-    auto path = ColorfulPath(g, k, color);
-    if (path) return path;
+  // Trials are processed in fixed-size batches so rng advances by whole
+  // batches: round r's seed is the (r+1)-th draw from `rng` no matter how
+  // many threads run, and the lowest successful round index wins. The batch
+  // size is deliberately independent of `threads` to keep rng's final state
+  // identical across thread counts.
+  constexpr int kBatch = 32;
+  std::vector<std::uint64_t> seeds(kBatch);
+  std::vector<std::optional<std::vector<int>>> found(kBatch);
+  for (int done = 0; done < rounds; done += kBatch) {
+    const int batch = std::min(kBatch, rounds - done);
+    for (int r = 0; r < batch; ++r) seeds[r] = rng->Next();
+    std::atomic<int> first_success(batch);
+    auto trial_block = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t r = lo; r < hi; ++r) {
+        // A lower round already succeeded: this one cannot win.
+        if (static_cast<int>(r) > first_success.load(std::memory_order_relaxed))
+          continue;
+        util::Rng local(seeds[r]);
+        std::vector<int> color(g.num_vertices());
+        for (auto& c : color) c = static_cast<int>(local.NextBounded(k));
+        found[r] = ColorfulPath(g, k, color);
+        if (found[r].has_value()) {
+          int expect = first_success.load(std::memory_order_relaxed);
+          while (static_cast<int>(r) < expect &&
+                 !first_success.compare_exchange_weak(
+                     expect, static_cast<int>(r), std::memory_order_relaxed)) {
+          }
+        }
+      }
+    };
+    util::ThreadPool::Shared().ParallelFor(0, batch, trial_block, threads);
+    int winner = first_success.load();
+    if (winner < batch) return found[winner];
+    for (int r = 0; r < batch; ++r) found[r].reset();
   }
   return std::nullopt;
 }

@@ -18,9 +18,15 @@ namespace qc::graph {
 ///
 /// Returns a simple path with k vertices, or nullopt if none was found
 /// (one-sided error: a returned path is always real).
+///
+/// Rounds run `threads` at a time (0 = the QC_THREADS default). Each round
+/// is coloured by its own child generator seeded serially from `rng`, and
+/// the lowest-numbered successful round wins, so the returned path — and
+/// `rng`'s final state — are bit-identical at any thread count.
 std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
                                                      util::Rng* rng,
-                                                     int rounds = 0);
+                                                     int rounds = 0,
+                                                     int threads = 0);
 
 /// Deterministic backtracking for a simple k-vertex path (baseline).
 std::optional<std::vector<int>> FindKPathBruteForce(const Graph& g, int k);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "util/threadpool.h"
+
 namespace qc::graph {
 
 int TreeDecomposition::Width() const {
@@ -445,17 +447,18 @@ int QValue(const std::vector<util::Bitset>& adj, std::uint32_t s_mask, int v,
   return q;
 }
 
-}  // namespace
+/// The elimination-ordering DP over one connected component, on a local
+/// adjacency (ids 0..n-1).
+struct ComponentDp {
+  int width = 0;
+  std::vector<int> order;  ///< Local elimination order.
+  std::uint64_t states = 0;
+};
 
-ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices) {
-  const int n = g.num_vertices();
-  if (n > max_vertices || n > 28) std::abort();
-  if (n == 0) return {-1, TreeDecomposition{}, {}};
-
-  std::vector<util::Bitset> adj(n);
-  for (int v = 0; v < n; ++v) adj[v] = g.Neighbors(v);
-
-  const std::uint32_t full = (n == 32) ? ~0U : ((1U << n) - 1U);
+ComponentDp SolveComponentDp(const std::vector<util::Bitset>& adj) {
+  const int n = static_cast<int>(adj.size());
+  ComponentDp result;
+  const std::uint32_t full = (1U << n) - 1U;
   // f[S] = min over elimination prefixes equal to S of the max elimination
   // degree so far; int8 suffices since widths are < 28.
   std::vector<std::int8_t> f(static_cast<std::size_t>(full) + 1, -1);
@@ -468,6 +471,7 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices) {
       if (!((s >> v) & 1U)) continue;
       std::uint32_t prev = s & ~(1U << v);
       int q = QValue(adj, prev, v, n);
+      ++result.states;
       int val = std::max(static_cast<int>(f[prev]), q);
       if (val < best) {
         best = val;
@@ -479,17 +483,68 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices) {
   }
 
   // Recover the elimination order (choice[S] is eliminated *last* in S).
-  std::vector<int> order(n);
+  result.order.resize(n);
   std::uint32_t s = full;
   for (int i = n - 1; i >= 0; --i) {
     int v = choice[s];
-    order[i] = v;
+    result.order[i] = v;
     s &= ~(1U << v);
   }
+  result.width = f[full];
+  return result;
+}
+
+}  // namespace
+
+ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
+                                    int threads) {
+  const int n = g.num_vertices();
+  if (n == 0) return {-1, TreeDecomposition{}, {}, 0};
+
+  // Treewidth is the max over connected components; solving each component's
+  // 2^{n_c} DP separately is exponentially cheaper than one 2^n DP and the
+  // components are independent, so they parallelize with no shared state.
+  std::vector<std::vector<int>> components = g.ConnectedComponents();
+  for (const auto& comp : components) {
+    if (static_cast<int>(comp.size()) > max_vertices ||
+        static_cast<int>(comp.size()) > 28) {
+      std::abort();  // The component DP needs 2^{n_c} bytes.
+    }
+  }
+
+  std::vector<ComponentDp> solved(components.size());
+  auto solve_block = [&g, &components, &solved](std::int64_t lo,
+                                                std::int64_t hi) {
+    for (std::int64_t ci = lo; ci < hi; ++ci) {
+      const std::vector<int>& comp = components[ci];
+      const int nc = static_cast<int>(comp.size());
+      std::vector<int> local_id(g.num_vertices(), -1);
+      for (int i = 0; i < nc; ++i) local_id[comp[i]] = i;
+      std::vector<util::Bitset> adj(nc, util::Bitset(nc));
+      for (int i = 0; i < nc; ++i) {
+        for (int u : g.NeighborList(comp[i])) {
+          if (local_id[u] >= 0) adj[i].Set(local_id[u]);
+        }
+      }
+      solved[ci] = SolveComponentDp(adj);
+    }
+  };
+  util::ThreadPool::Shared().ParallelFor(
+      0, static_cast<std::int64_t>(components.size()), solve_block, threads);
+
+  // Merge in component order: the concatenated elimination orders realize
+  // max-over-components width, and the merge is deterministic regardless of
+  // which worker solved which component.
   ExactTreewidthResult result;
-  result.treewidth = f[full];
-  result.elimination_order = order;
-  result.decomposition = DecompositionFromOrder(g, order);
+  result.treewidth = 0;
+  for (std::size_t ci = 0; ci < components.size(); ++ci) {
+    result.treewidth = std::max(result.treewidth, solved[ci].width);
+    result.dp_states += solved[ci].states;
+    for (int local : solved[ci].order) {
+      result.elimination_order.push_back(components[ci][local]);
+    }
+  }
+  result.decomposition = DecompositionFromOrder(g, result.elimination_order);
   return result;
 }
 

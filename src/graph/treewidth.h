@@ -1,6 +1,7 @@
 #ifndef QC_GRAPH_TREEWIDTH_H_
 #define QC_GRAPH_TREEWIDTH_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -27,13 +28,19 @@ struct TreeDecomposition {
 
 /// Exact treewidth via the O*(2^n) elimination-ordering dynamic program
 /// (Bodlaender et al.). Also produces an optimal tree decomposition.
-/// Aborts if g has more than `max_vertices` vertices (memory is 2^n bytes).
+/// The DP runs per connected component (treewidth is the max over
+/// components), so only each *component* may have at most `max_vertices`
+/// vertices (memory is 2^{n_c} bytes); aborts otherwise. With `threads > 1`
+/// the components are solved in parallel and merged in component order, so
+/// the result is bit-identical to the serial run.
 struct ExactTreewidthResult {
   int treewidth;
   TreeDecomposition decomposition;
   std::vector<int> elimination_order;
+  std::uint64_t dp_states = 0;  ///< (S, v) pairs evaluated by the DP.
 };
-ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices = 24);
+ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices = 24,
+                                    int threads = 0);
 
 /// Width of the decomposition induced by a given elimination order
 /// (max over v of the degree of v at its elimination time, after fill-in).

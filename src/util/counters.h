@@ -1,0 +1,77 @@
+#ifndef QC_UTIL_COUNTERS_H_
+#define QC_UTIL_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace qc::util {
+
+/// Unified effort-counter sink: a key -> uint64 accumulator.
+///
+/// Every engine (Generic Join, the treewidth DPs, the CSP solvers, ...)
+/// reports its work measures here under dotted keys such as
+/// "generic_join.probes" or "treedp.table_entries", replacing the per-engine
+/// stats structs as the cross-engine reporting surface. Not thread-safe:
+/// parallel kernels accumulate into per-worker Counters and Merge them in a
+/// deterministic order.
+class Counters {
+ public:
+  void Add(std::string_view key, std::uint64_t delta = 1) {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      values_.emplace(std::string(key), delta);
+    } else {
+      it->second += delta;
+    }
+  }
+
+  void Set(std::string_view key, std::uint64_t value) {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      values_.emplace(std::string(key), value);
+    } else {
+      it->second = value;
+    }
+  }
+
+  /// 0 when the key was never touched.
+  std::uint64_t Get(std::string_view key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  void Merge(const Counters& other) {
+    for (const auto& [key, value] : other.values_) Add(key, value);
+  }
+
+  void Clear() { values_.clear(); }
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  /// Sorted key -> value view (std::map iterates in key order).
+  const std::map<std::string, std::uint64_t, std::less<>>& items() const {
+    return values_;
+  }
+
+  /// One "key=value" per line, keys sorted.
+  std::string ToString() const {
+    std::ostringstream out;
+    bool first = true;
+    for (const auto& [key, value] : values_) {
+      if (!first) out << '\n';
+      first = false;
+      out << key << '=' << value;
+    }
+    return out.str();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> values_;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_COUNTERS_H_

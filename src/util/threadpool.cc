@@ -1,0 +1,150 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace qc::util {
+
+namespace {
+
+/// Depth of ParallelFor/worker nesting on this thread; nested parallel
+/// regions run inline (see header).
+thread_local int tl_parallel_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++tl_parallel_depth; }
+  ~DepthGuard() { --tl_parallel_depth; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int default_parallelism)
+    : default_parallelism_(default_parallelism > 0 ? default_parallelism
+                                                   : DefaultThreadCount()) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  static const int count = [] {
+    const char* env = std::getenv("QC_THREADS");
+    if (env != nullptr) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return 1;
+  }();
+  return count;
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked deliberately: worker threads may outlive other static objects,
+  // and joining them during static destruction races user tasks.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  DepthGuard guard;  // Tasks that call ParallelFor run their chunks inline.
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  EnsureWorkers(1);
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    int parallelism, std::int64_t min_grain) {
+  if (end <= begin) return;
+  if (parallelism <= 0) parallelism = default_parallelism_;
+  if (min_grain < 1) min_grain = 1;
+  const std::int64_t n = end - begin;
+  const std::int64_t max_chunks = (n + min_grain - 1) / min_grain;
+  const int workers =
+      static_cast<int>(std::min<std::int64_t>(parallelism, max_chunks));
+  if (workers <= 1 || tl_parallel_depth > 0) {
+    body(begin, end);
+    return;
+  }
+
+  // Several chunks per worker for load balance; chunk layout depends only on
+  // (n, workers, min_grain), so the decomposition is deterministic.
+  std::int64_t chunks =
+      std::min<std::int64_t>(max_chunks, static_cast<std::int64_t>(workers) * 4);
+  const std::int64_t grain = (n + chunks - 1) / chunks;
+  chunks = (n + grain - 1) / grain;
+
+  struct ForState {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  auto run_chunks = [state, begin, end, grain, chunks, &body] {
+    DepthGuard guard;
+    for (;;) {
+      std::int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks || state->failed.load(std::memory_order_relaxed)) break;
+      std::int64_t lo = begin + c * grain;
+      std::int64_t hi = std::min(lo + grain, end);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  EnsureWorkers(workers - 1);
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(workers - 1);
+  for (int i = 0; i < workers - 1; ++i) helpers.push_back(Submit(run_chunks));
+  run_chunks();  // The caller participates.
+  for (auto& h : helpers) h.get();  // run_chunks never throws.
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace qc::util

@@ -1,0 +1,78 @@
+#ifndef QC_UTIL_THREADPOOL_H_
+#define QC_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qc::util {
+
+/// Lazily-started worker pool shared by all parallel kernels.
+///
+/// Workers are spawned on first use and grow on demand up to whatever
+/// parallelism a call requests, so constructing a pool (or the process-wide
+/// `Shared()` instance) costs nothing until a kernel actually runs parallel.
+/// All parallel kernels in this library are written so that the chunk
+/// decomposition — and therefore the merged output — depends only on the
+/// requested parallelism, never on thread scheduling: results are
+/// bit-identical across any thread count, including the serial path.
+class ThreadPool {
+ public:
+  /// `default_parallelism` is used by ParallelFor when the caller passes 0;
+  /// 0 here means DefaultThreadCount() (the QC_THREADS environment
+  /// variable, else 1).
+  explicit ThreadPool(int default_parallelism = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int default_parallelism() const { return default_parallelism_; }
+
+  /// Schedules `fn` on a worker; the future rethrows fn's exception.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Chunked parallel loop over [begin, end): `body(chunk_begin, chunk_end)`
+  /// is invoked for disjoint chunks covering the range, each at least
+  /// `min_grain` long (except possibly the last). The calling thread
+  /// participates, so `parallelism == 1` (or a range smaller than
+  /// 2 * min_grain) runs `body(begin, end)` inline with no synchronization.
+  /// Nested calls — from inside a chunk body or a Submitted task — run
+  /// inline, which makes recursion safe (no worker-starvation deadlock).
+  /// The first exception thrown by any chunk is rethrown to the caller
+  /// after all chunks settle.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t, std::int64_t)>& body,
+                   int parallelism = 0, std::int64_t min_grain = 1);
+
+  /// Process-wide pool used by kernels that are not handed one explicitly.
+  static ThreadPool& Shared();
+
+  /// QC_THREADS environment variable when set to a positive integer, else 1
+  /// (parallelism is strictly opt-in: results are bit-identical either way,
+  /// but single-thread defaults keep timings reproducible).
+  static int DefaultThreadCount();
+
+  /// std::thread::hardware_concurrency, at least 1.
+  static int HardwareThreads();
+
+ private:
+  void EnsureWorkers(int n);  // Grows the worker set to >= n threads.
+  void WorkerLoop();
+
+  int default_parallelism_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_THREADPOOL_H_

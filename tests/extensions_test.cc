@@ -244,22 +244,27 @@ TEST(ParserTest, WhitespaceAndRepeatedAttributes) {
 }
 
 TEST(ParserTest, Errors) {
-  std::string error;
-  EXPECT_FALSE(db::ParseJoinQuery("", &error).has_value());
-  EXPECT_FALSE(db::ParseJoinQuery("R(a", &error).has_value());
-  EXPECT_FALSE(db::ParseJoinQuery("R()", &error).has_value());
-  EXPECT_FALSE(db::ParseJoinQuery("(a,b)", &error).has_value());
-  EXPECT_FALSE(db::ParseJoinQuery("R(a,1b)", &error).has_value());
-  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(db::ParseJoinQuery("").has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R(a").has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R()").has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("(a,b)").has_value());
+  EXPECT_FALSE(db::ParseJoinQuery("R(a,1b)").has_value());
+  auto r = db::ParseJoinQuery("R(a,1b)");
+  EXPECT_FALSE(r.error.message.empty());
+  EXPECT_EQ(r.error.line, 1);
+  EXPECT_EQ(r.error.column, 5);  // The '1' of "1b".
+  EXPECT_NE(r.error.ToString().find("column 5"), std::string::npos);
 }
 
 TEST(ParserTest, TuplesRoundTrip) {
   auto tuples = db::ParseTuples("1 2\n3, 4 # comment\n\n5 6\n");
   ASSERT_TRUE(tuples.has_value());
   EXPECT_EQ(*tuples, (std::vector<db::Tuple>{{1, 2}, {3, 4}, {5, 6}}));
-  std::string error;
-  EXPECT_FALSE(db::ParseTuples("1 2\n3\n", &error).has_value());
-  EXPECT_FALSE(db::ParseTuples("1 x\n", &error).has_value());
+  EXPECT_FALSE(db::ParseTuples("1 2\n3\n").has_value());
+  auto bad = db::ParseTuples("1 2\n3 x\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error.line, 2);
+  EXPECT_EQ(bad.error.column, 3);  // The 'x'.
 }
 
 TEST(ParserTest, ParsedQueryEvaluates) {

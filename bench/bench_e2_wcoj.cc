@@ -37,7 +37,8 @@ db::Database BowtieInstance(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(&argc, argv);
   bench::Banner("E2: worst-case-optimal join vs binary plans (Theorem 3.3)",
                 "Generic Join O~(N^{3/2}) on triangles; binary plans pay "
                 "Omega(N^2) intermediates on adversarial inputs");
@@ -70,6 +71,8 @@ int main() {
     binary_times.push_back(binary_ms);
     wcoj_times.push_back(wcoj_ms);
     intermediates.push_back(static_cast<double>(stats.max_intermediate));
+    json.Record("e2.bowtie.binary", {{"n", double(n)}}, binary_ms);
+    json.Record("e2.bowtie.generic_join", {{"n", double(n)}}, wcoj_ms);
   }
   t.Print();
   std::printf("binary-plan intermediate exponent: %.2f (paper: 2)\n",
@@ -79,12 +82,16 @@ int main() {
   std::printf("generic-join time exponent:        %.2f (paper: ~1, output-"
               "linear here)\n",
               bench::FitPowerLawExponent(ns, wcoj_times));
+  json.Record("e2.bowtie.binary", {{"n", ns.back()}}, binary_times.back(),
+              bench::FitPowerLawExponent(ns, binary_times));
+  json.Record("e2.bowtie.generic_join", {{"n", ns.back()}},
+              wcoj_times.back(), bench::FitPowerLawExponent(ns, wcoj_times));
 
   std::printf("\n--- AGM-extremal instance (output = N^{3/2}) ---\n");
   auto agm = db::AnalyzeAgm(q);
   util::Table t2({"N", "|Q(D)|", "generic-join ms", "ms / N^{1.5}"});
   std::vector<double> n2, time2;
-  for (int base : {8, 12, 16, 24, 32}) {
+  for (int base : {16, 24, 32, 48, 64}) {
     long long n = 0;
     db::Database d = db::AgmTightInstance(q, *agm, base, &n);
     util::Timer timer;
@@ -95,10 +102,13 @@ int main() {
                 ms / std::pow(static_cast<double>(n), 1.5));
     n2.push_back(static_cast<double>(n));
     time2.push_back(ms);
+    json.Record("e2.agm.generic_join", {{"n", double(n)}}, ms);
   }
   t2.Print();
   std::printf("generic-join time exponent on extremal inputs: %.2f "
               "(paper: 3/2)\n",
+              bench::FitPowerLawExponent(n2, time2));
+  json.Record("e2.agm.generic_join", {{"n", n2.back()}}, time2.back(),
               bench::FitPowerLawExponent(n2, time2));
 
   std::printf("\n--- random instance (both fine; who wins) ---\n");

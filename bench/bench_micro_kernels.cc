@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/context.h"
 #include "csp/arc_consistency.h"
 #include "csp/generators.h"
@@ -144,6 +145,36 @@ void BM_Dpll3SatThreshold(benchmark::State& state) {
 }
 BENCHMARK(BM_Dpll3SatThreshold)->Arg(20)->Arg(28)->Arg(36);
 
+// Console output as usual, plus one JsonReport record per benchmark run
+// when --json <file> is given (the flag is stripped before
+// benchmark::Initialize sees argv).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::JsonReport* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      double iters = static_cast<double>(
+          run.iterations > 0 ? run.iterations : 1);
+      json_->Record(run.benchmark_name(), {{"iterations", iters}},
+                    run.real_accumulated_time / iters * 1e3);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReport* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  qc::bench::JsonReport json(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

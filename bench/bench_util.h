@@ -3,6 +3,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/table.h"
@@ -47,6 +50,79 @@ inline double FitExponentialRate(const std::vector<double>& x,
   if (n < 2) return 0.0;
   return (n * sxy - sx * sy) / (n * sxx - sx * sx);
 }
+
+/// Machine-readable benchmark output behind the shared `--json <file>`
+/// flag. Construct with (&argc, argv): when the flag is present it (and its
+/// argument) are removed from argv so downstream parsers — including
+/// google-benchmark's Initialize — never see them. Each Record() appends one
+/// object {"bench", "params", "wall_ms", "fitted_exponent"}; the full array
+/// is written on Flush() (also called from the destructor). Without the
+/// flag every call is a no-op, so harnesses can record unconditionally.
+class JsonReport {
+ public:
+  JsonReport(int* argc, char** argv) {
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+        *argc -= 2;
+        break;
+      }
+    }
+  }
+  ~JsonReport() { Flush(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends one record. Pass NaN (the default) as `fitted_exponent` to
+  /// emit null — per-point records have no exponent; series summaries do.
+  void Record(const std::string& bench,
+              const std::vector<std::pair<std::string, double>>& params,
+              double wall_ms,
+              double fitted_exponent =
+                  std::numeric_limits<double>::quiet_NaN()) {
+    if (!enabled()) return;
+    std::string r = "  {\"bench\": \"" + bench + "\", \"params\": {";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) r += ", ";
+      r += "\"" + params[i].first + "\": " + Number(params[i].second);
+    }
+    r += "}, \"wall_ms\": " + Number(wall_ms) + ", \"fitted_exponent\": ";
+    r += std::isnan(fitted_exponent) ? "null" : Number(fitted_exponent);
+    r += "}";
+    records_.push_back(std::move(r));
+  }
+
+  void Flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  static std::string Number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+  bool flushed_ = false;
+};
 
 /// Prints the experiment banner used by EXPERIMENTS.md.
 inline void Banner(const char* id, const char* claim) {

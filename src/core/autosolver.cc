@@ -97,7 +97,8 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
   }
   result.method = SolveMethod::kGenericJoin;
   // GenericJoin inherits ctx: thread count for the parallel root partition
-  // and the counters sink for "generic_join.*".
+  // and the counters sink for "generic_join.*" (search effort) and
+  // "trie.nodes" (index size, exported once at construction).
   result.result = db::GenericJoin(query, db, ctx).Evaluate();
   return result;
 }

@@ -51,16 +51,25 @@ void Database::SetRelation(const std::string& name, int arity,
   for (const auto& t : tuples) {
     if (static_cast<int>(t.size()) != arity) std::abort();
   }
-  relations_[name] = Rel{arity, std::move(tuples)};
+  SetRelation(name, FlatRelation::FromRows(arity, tuples));
+}
+
+void Database::SetRelation(const std::string& name, FlatRelation relation) {
+  Rel& rel = relations_[name];
+  rel.flat = std::move(relation);
+  rel.row_cache.clear();
+  rel.row_cache_valid = false;
 }
 
 void Database::AddTuple(const std::string& name, Tuple tuple) {
   auto it = relations_.find(name);
   if (it == relations_.end() ||
-      static_cast<int>(tuple.size()) != it->second.arity) {
+      static_cast<int>(tuple.size()) != it->second.flat.arity()) {
     std::abort();
   }
-  it->second.tuples.push_back(std::move(tuple));
+  it->second.flat.PushRow(tuple);
+  it->second.row_cache.clear();
+  it->second.row_cache_valid = false;
 }
 
 bool Database::HasRelation(const std::string& name) const {
@@ -68,17 +77,30 @@ bool Database::HasRelation(const std::string& name) const {
 }
 
 int Database::Arity(const std::string& name) const {
-  return relations_.at(name).arity;
+  return relations_.at(name).flat.arity();
+}
+
+const FlatRelation& Database::Flat(const std::string& name) const {
+  return relations_.at(name).flat;
+}
+
+std::size_t Database::NumTuples(const std::string& name) const {
+  return relations_.at(name).flat.size();
 }
 
 const std::vector<Tuple>& Database::Tuples(const std::string& name) const {
-  return relations_.at(name).tuples;
+  const Rel& rel = relations_.at(name);
+  if (!rel.row_cache_valid) {
+    rel.row_cache = rel.flat.ToRows();
+    rel.row_cache_valid = true;
+  }
+  return rel.row_cache;
 }
 
 std::size_t Database::MaxRelationSize() const {
   std::size_t n = 0;
   for (const auto& [name, rel] : relations_) {
-    n = std::max(n, rel.tuples.size());
+    n = std::max(n, rel.flat.size());
   }
   return n;
 }
@@ -92,6 +114,18 @@ std::vector<std::string> Database::RelationNames() const {
 void JoinResult::Normalize() {
   std::sort(tuples.begin(), tuples.end());
   tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+}
+
+FlatRelation JoinResult::ToFlat() const {
+  return FlatRelation::FromRows(static_cast<int>(attributes.size()), tuples);
+}
+
+JoinResult JoinResult::FromFlat(std::vector<std::string> attributes,
+                                const FlatRelation& relation) {
+  JoinResult out;
+  out.attributes = std::move(attributes);
+  out.tuples = relation.ToRows();
+  return out;
 }
 
 bool TupleSatisfiesQuery(const JoinQuery& query, const Database& db,

@@ -6,13 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "db/flat_relation.h"
 #include "graph/graph.h"
 #include "graph/hypergraph.h"
 
 namespace qc::db {
-
-using Value = std::int64_t;
-using Tuple = std::vector<Value>;
 
 /// One atom R(a1, ..., ar) of a join query.
 struct Atom {
@@ -44,17 +42,35 @@ struct JoinQuery {
 };
 
 /// A database instance: named relations with explicit arity.
+///
+/// Storage is flat and columnar (FlatRelation): every relation is one
+/// contiguous Value array with arity stride. The engines (Generic Join's
+/// trie build, semijoins, enumeration) read the flat data directly via
+/// Flat(); the legacy row-wise Tuples() accessor materializes a cached
+/// vector<Tuple> on first use so existing callers stay source-compatible.
 class Database {
  public:
   /// Creates/replaces a relation. All tuples must have size `arity`.
   void SetRelation(const std::string& name, int arity,
                    std::vector<Tuple> tuples);
 
+  /// Creates/replaces a relation from flat storage directly (zero-copy).
+  void SetRelation(const std::string& name, FlatRelation relation);
+
   /// Appends one tuple (relation must exist).
   void AddTuple(const std::string& name, Tuple tuple);
 
   bool HasRelation(const std::string& name) const;
   int Arity(const std::string& name) const;
+
+  /// Flat columnar storage of the relation — the primary representation.
+  const FlatRelation& Flat(const std::string& name) const;
+
+  /// Number of tuples without materializing rows.
+  std::size_t NumTuples(const std::string& name) const;
+
+  /// Legacy row-wise view; lazily materialized from the flat storage and
+  /// cached until the relation is next mutated.
   const std::vector<Tuple>& Tuples(const std::string& name) const;
 
   /// N = max number of tuples in any relation (0 for the empty database).
@@ -64,13 +80,16 @@ class Database {
 
  private:
   struct Rel {
-    int arity;
-    std::vector<Tuple> tuples;
+    FlatRelation flat;
+    mutable std::vector<Tuple> row_cache;
+    mutable bool row_cache_valid = false;
   };
   std::map<std::string, Rel> relations_;
 };
 
-/// A materialized query result: schema plus tuples.
+/// A materialized query result: schema plus tuples. This row-wise struct is
+/// the stable materialized-output boundary — engines compute on FlatRelation
+/// internally and convert at the edges.
 struct JoinResult {
   std::vector<std::string> attributes;
   std::vector<Tuple> tuples;
@@ -78,6 +97,13 @@ struct JoinResult {
   /// Sorts tuples (for order-insensitive comparison in tests) and removes
   /// duplicates.
   void Normalize();
+
+  /// Copies the tuples into flat columnar storage.
+  FlatRelation ToFlat() const;
+
+  /// Builds a result from flat storage (copies rows out).
+  static JoinResult FromFlat(std::vector<std::string> attributes,
+                             const FlatRelation& relation);
 };
 
 /// Reference evaluation by full nested-loop enumeration over the attribute

@@ -1,7 +1,7 @@
 #include "db/enumeration.h"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 #include "db/yannakakis.h"
 
@@ -9,11 +9,14 @@ namespace qc::db {
 
 namespace {
 
-Tuple Project(const Tuple& t, const std::vector<int>& cols) {
-  Tuple out;
-  out.reserve(cols.size());
-  for (int c : cols) out.push_back(t[c]);
-  return out;
+/// Compares the projection of flat row `row` onto `cols` against `key`:
+/// <0, 0, >0 as in memcmp.
+int CompareProjection(const Value* row, const std::vector<int>& cols,
+                      const Tuple& key) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (row[cols[i]] != key[i]) return row[cols[i]] < key[i] ? -1 : 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -61,15 +64,21 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
         }
       }
     }
-    node.tuples = std::move(rel[e].tuples);
-    // Sort by the projection onto the shared columns, then the rest.
-    std::sort(node.tuples.begin(), node.tuples.end(),
-              [&node](const Tuple& a, const Tuple& b) {
-                Tuple ka = Project(a, node.shared_cols);
-                Tuple kb = Project(b, node.shared_cols);
-                if (ka != kb) return ka < kb;
-                return a < b;
+    node.rows = rel[e].ToFlat();
+    // Sort by the projection onto the shared columns, then the rest:
+    // index sort over flat rows, one gather.
+    std::vector<std::uint32_t> idx(node.rows.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(),
+              [&node](std::uint32_t a, std::uint32_t b) {
+                const Value* ra = node.rows.Row(a);
+                const Value* rb = node.rows.Row(b);
+                for (int c : node.shared_cols) {
+                  if (ra[c] != rb[c]) return ra[c] < rb[c];
+                }
+                return node.rows.View(a) < node.rows.View(b);
               });
+    node.rows.ApplyPermutation(idx);
   }
   frames_.resize(m);
   valid_ = true;
@@ -85,23 +94,35 @@ bool AcyclicEnumerator::Descend(std::size_t level) {
   Frame& frame = frames_[e];
   if (node.parent < 0) {
     frame.lo = 0;
-    frame.hi = static_cast<int>(node.tuples.size());
+    frame.hi = static_cast<int>(node.rows.size());
   } else {
     const TreeNode& pnode = nodes_[node.parent];
     const Frame& pframe = frames_[node.parent];
-    Tuple key = Project(pnode.tuples[pframe.cursor], node.parent_shared_cols);
-    auto cmp_lo = [&node](const Tuple& t, const Tuple& k) {
-      return Project(t, node.shared_cols) < k;
-    };
-    auto cmp_hi = [&node](const Tuple& k, const Tuple& t) {
-      return k < Project(t, node.shared_cols);
-    };
-    auto lo = std::lower_bound(node.tuples.begin(), node.tuples.end(), key,
-                               cmp_lo);
-    auto hi = std::upper_bound(node.tuples.begin(), node.tuples.end(), key,
-                               cmp_hi);
-    frame.lo = static_cast<int>(lo - node.tuples.begin());
-    frame.hi = static_cast<int>(hi - node.tuples.begin());
+    const Value* prow = pnode.rows.Row(pframe.cursor);
+    Tuple key;
+    key.reserve(node.parent_shared_cols.size());
+    for (int c : node.parent_shared_cols) key.push_back(prow[c]);
+    // Binary search the shared-key block directly on the flat rows.
+    int lo = 0, hi = static_cast<int>(node.rows.size());
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (CompareProjection(node.rows.Row(mid), node.shared_cols, key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    frame.lo = lo;
+    hi = static_cast<int>(node.rows.size());
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (CompareProjection(node.rows.Row(mid), node.shared_cols, key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    frame.hi = lo;
   }
   frame.cursor = frame.lo;
   return frame.lo < frame.hi;
@@ -154,7 +175,7 @@ std::optional<Tuple> AcyclicEnumerator::Next() {
   Tuple answer(attributes_.size());
   for (int e : order_) {
     const TreeNode& node = nodes_[e];
-    const Tuple& t = node.tuples[frames_[e].cursor];
+    const Value* t = node.rows.Row(frames_[e].cursor);
     for (std::size_t i = 0; i < node.attrs.size(); ++i) {
       auto it = std::find(attributes_.begin(), attributes_.end(),
                           node.attrs[i]);

@@ -46,7 +46,10 @@ class AcyclicEnumerator {
     std::vector<std::string> attrs;
     std::vector<int> shared_cols;        ///< Columns shared with the parent.
     std::vector<int> parent_shared_cols; ///< Matching columns in the parent.
-    std::vector<Tuple> tuples;           ///< Sorted by shared projection.
+    /// Reduced relation in flat storage, sorted by the projection onto
+    /// shared_cols and then by the full row — Descend() binary-searches the
+    /// shared-key block without materializing projection keys.
+    FlatRelation rows;
   };
   std::vector<TreeNode> nodes_;
   std::vector<int> order_;  ///< Root-first traversal order.

@@ -1,0 +1,112 @@
+#include "db/flat_relation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace qc::db {
+
+FlatRelation FlatRelation::FromRows(int arity, const std::vector<Tuple>& rows) {
+  FlatRelation rel(arity);
+  rel.Reserve(rows.size());
+  for (const auto& t : rows) rel.PushRow(t);
+  return rel;
+}
+
+std::vector<Tuple> FlatRelation::ToRows() const {
+  std::vector<Tuple> rows;
+  rows.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Value* r = Row(i);
+    rows.emplace_back(r, r + arity_);
+  }
+  return rows;
+}
+
+void FlatRelation::PushRow(const Value* row) {
+  data_.insert(data_.end(), row, row + arity_);
+  ++size_;
+}
+
+void FlatRelation::PushRow(const Tuple& row) {
+  if (static_cast<int>(row.size()) != arity_) std::abort();
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++size_;
+}
+
+void FlatRelation::Reserve(std::size_t rows) {
+  data_.reserve(rows * static_cast<std::size_t>(arity_));
+}
+
+void FlatRelation::Clear() {
+  data_.clear();
+  size_ = 0;
+}
+
+void FlatRelation::SortLexAndDedup() {
+  if (size_ <= 1) return;
+  std::vector<std::uint32_t> idx(size_);
+  std::iota(idx.begin(), idx.end(), 0u);
+  const int r = arity_;
+  const Value* base = data_.data();
+  std::sort(idx.begin(), idx.end(), [base, r](std::uint32_t a, std::uint32_t b) {
+    const Value* pa = base + a * static_cast<std::size_t>(r);
+    const Value* pb = base + b * static_cast<std::size_t>(r);
+    for (int i = 0; i < r; ++i) {
+      if (pa[i] != pb[i]) return pa[i] < pb[i];
+    }
+    return false;
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(data_.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Value* row = base + idx[i] * static_cast<std::size_t>(r);
+    if (kept > 0) {
+      const Value* prev = sorted.data() + (kept - 1) * static_cast<std::size_t>(r);
+      if (std::equal(row, row + r, prev)) continue;
+    }
+    sorted.insert(sorted.end(), row, row + r);
+    ++kept;
+  }
+  data_ = std::move(sorted);
+  size_ = kept;
+}
+
+bool SortedContains(const FlatRelation& sorted, const Value* row) {
+  const int r = sorted.arity();
+  std::size_t lo = 0, hi = sorted.size();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    const Value* m = sorted.Row(mid);
+    int cmp = 0;
+    for (int i = 0; i < r; ++i) {
+      if (m[i] != row[i]) {
+        cmp = m[i] < row[i] ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Arity-0 rows are all equal: present iff the relation is nonempty.
+  return r == 0 && !sorted.empty();
+}
+
+void FlatRelation::ApplyPermutation(const std::vector<std::uint32_t>& perm) {
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  const int r = arity_;
+  for (std::uint32_t i : perm) {
+    const Value* row = data_.data() + i * static_cast<std::size_t>(r);
+    out.insert(out.end(), row, row + r);
+  }
+  data_ = std::move(out);
+  size_ = perm.size();
+}
+
+}  // namespace qc::db

@@ -22,34 +22,23 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
   atoms_of_attr_.resize(attribute_order_.size());
 
   for (const auto& atom : query.atoms) {
-    // Deduplicated schema + equality filtering for repeated attributes.
-    JoinResult mat = MaterializeAtom(atom, db);
     AtomIndex idx;
-    // Column permutation: schema attributes sorted by global position.
-    std::vector<int> perm(mat.attributes.size());
-    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
-    std::sort(perm.begin(), perm.end(), [&](int a, int b) {
-      return global.at(mat.attributes[a]) < global.at(mat.attributes[b]);
-    });
-    idx.attr_positions.reserve(perm.size());
-    for (int c : perm) idx.attr_positions.push_back(global.at(mat.attributes[c]));
-    idx.tuples.reserve(mat.tuples.size());
-    for (const auto& t : mat.tuples) {
-      Tuple permuted;
-      permuted.reserve(perm.size());
-      for (int c : perm) permuted.push_back(t[c]);
-      idx.tuples.push_back(std::move(permuted));
-    }
-    std::sort(idx.tuples.begin(), idx.tuples.end());
-    idx.tuples.erase(std::unique(idx.tuples.begin(), idx.tuples.end()),
-                     idx.tuples.end());
+    // Deduplicated schema + equality filtering for repeated attributes,
+    // columns already permuted into global order, flat storage throughout.
+    FlatRelation flat =
+        MaterializeAtomFlat(atom, db, global, &idx.attr_positions);
+    flat.SortLexAndDedup();
+    idx.trie = TrieIndex(flat);
+    idx.no_rows = flat.empty();
     int atom_id = static_cast<int>(atoms_.size());
     for (std::size_t col = 0; col < idx.attr_positions.size(); ++col) {
       atoms_of_attr_[idx.attr_positions[col]].push_back(
           {atom_id, static_cast<int>(col)});
     }
+    trie_nodes_ += idx.trie.num_nodes();
     atoms_.push_back(std::move(idx));
   }
+  ctx_.Count("trie.nodes", trie_nodes_);
 }
 
 int GenericJoin::ResolvedThreads() const { return ctx_.ResolvedThreads(); }
@@ -57,25 +46,116 @@ int GenericJoin::ResolvedThreads() const { return ctx_.ResolvedThreads(); }
 void GenericJoin::ExportStats(const GenericJoinStats& run) const {
   ctx_.Count("generic_join.nodes", run.nodes);
   ctx_.Count("generic_join.probes", run.probes);
+  ctx_.Count("generic_join.gallops", run.gallops);
 }
 
-std::pair<int, int> GenericJoin::Narrow(
-    int atom, int col, Value v, const std::vector<std::pair<int, int>>& ranges,
-    GenericJoinStats* stats) const {
-  const auto& tuples = atoms_[atom].tuples;
-  auto lo = std::lower_bound(
-      tuples.begin() + ranges[atom].first, tuples.begin() + ranges[atom].second,
-      v, [col](const Tuple& t, Value value) { return t[col] < value; });
-  auto hi = std::upper_bound(
-      tuples.begin() + ranges[atom].first, tuples.begin() + ranges[atom].second,
-      v, [col](Value value, const Tuple& t) { return value < t[col]; });
+bool GenericJoin::HasEmptyAtom() const {
+  for (const auto& a : atoms_) {
+    if (a.no_rows) return true;
+  }
+  return false;
+}
+
+std::vector<GenericJoin::Span> GenericJoin::FullSpans() const {
+  std::vector<Span> spans(atoms_.size());
+  for (std::size_t a = 0; a < atoms_.size(); ++a) {
+    std::int32_t n = atoms_[a].trie.levels() > 0
+                         ? static_cast<std::int32_t>(atoms_[a].trie.LevelSize(0))
+                         : 0;
+    spans[a] = Span{0, n};
+  }
+  return spans;
+}
+
+std::vector<GenericJoin::DepthScratch> GenericJoin::MakeScratch() const {
+  std::vector<DepthScratch> scratch(atoms_of_attr_.size());
+  for (std::size_t d = 0; d < atoms_of_attr_.size(); ++d) {
+    const std::size_t h = atoms_of_attr_[d].size();
+    scratch[d].cursors.resize(h);
+    scratch[d].values.resize(h);
+    scratch[d].ends.resize(h);
+    scratch[d].saved.resize(h);
+  }
+  return scratch;
+}
+
+std::int32_t GenericJoin::GallopSeek(const Value* vals, std::int32_t pos,
+                                     std::int32_t end, Value target,
+                                     GenericJoinStats* stats) const {
+  // Doubling probe: grow the window until it brackets the target (or hits
+  // the span end), then one bounded binary search inside it.
+  std::int32_t offset = 1;
+  while (pos + offset < end && vals[pos + offset] < target) {
+    ++stats->gallops;
+    offset <<= 1;
+  }
+  std::int32_t lo = pos + (offset >> 1);
+  std::int32_t hi = std::min<std::int64_t>(
+      static_cast<std::int64_t>(pos) + offset + 1, end);
   ++stats->probes;
-  return {static_cast<int>(lo - tuples.begin()),
-          static_cast<int>(hi - tuples.begin())};
+  return static_cast<std::int32_t>(
+      std::lower_bound(vals + lo, vals + hi, target) - vals);
 }
 
-void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
-                         Tuple& binding,
+GenericJoin::Span GenericJoin::DescendSpan(int atom, int col,
+                                           std::int32_t pos) const {
+  const TrieIndex& trie = atoms_[atom].trie;
+  if (col + 1 >= trie.levels()) return Span{0, 0};  // Leaf: fully bound.
+  return Span{trie.ChildrenBegin(col, pos), trie.ChildrenEnd(col, pos)};
+}
+
+template <class Emit>
+void GenericJoin::LeapfrogIntersect(int depth, const std::vector<Span>& spans,
+                                    DepthScratch& scratch,
+                                    GenericJoinStats* stats,
+                                    Emit&& emit) const {
+  const auto& holders = atoms_of_attr_[depth];
+  if (holders.empty()) std::abort();  // Every attribute comes from an atom.
+  const int h = static_cast<int>(holders.size());
+  auto& cur = scratch.cursors;
+  auto& vals = scratch.values;
+  auto& ends = scratch.ends;
+  for (int i = 0; i < h; ++i) {
+    auto [a, col] = holders[i];
+    vals[i] = atoms_[a].trie.Values(col);
+    cur[i] = spans[a].begin;
+    ends[i] = spans[a].end;
+    if (cur[i] >= ends[i]) return;  // Empty span: empty intersection.
+  }
+  if (h == 1) {
+    // Single holder: every node value survives; pure pointer bump.
+    for (; cur[0] < ends[0]; ++cur[0]) {
+      if (!emit(vals[0][cur[0]], cur.data())) return;
+    }
+    return;
+  }
+  Value max_v = vals[0][cur[0]];
+  for (int i = 1; i < h; ++i) max_v = std::max(max_v, vals[i][cur[i]]);
+  for (;;) {
+    // Leapfrog: gallop every lagging cursor up to the current maximum until
+    // all cursors agree; each overshoot raises the maximum.
+    bool aligned = false;
+    while (!aligned) {
+      aligned = true;
+      for (int i = 0; i < h; ++i) {
+        if (vals[i][cur[i]] < max_v) {
+          cur[i] = GallopSeek(vals[i], cur[i], ends[i], max_v, stats);
+          if (cur[i] == ends[i]) return;
+          if (vals[i][cur[i]] > max_v) {
+            max_v = vals[i][cur[i]];
+            aligned = false;
+          }
+        }
+      }
+    }
+    if (!emit(max_v, cur.data())) return;
+    if (++cur[0] == ends[0]) return;
+    max_v = vals[0][cur[0]];
+  }
+}
+
+void GenericJoin::Search(int depth, std::vector<Span>& spans,
+                         std::vector<DepthScratch>& scratch, Tuple& binding,
                          const std::function<bool(const Tuple&)>& visitor,
                          bool* stop, GenericJoinStats* stats) const {
   if (depth == static_cast<int>(attribute_order_.size())) {
@@ -83,115 +163,87 @@ void GenericJoin::Search(int depth, std::vector<std::pair<int, int>>& ranges,
     return;
   }
   const auto& holders = atoms_of_attr_[depth];
-  if (holders.empty()) std::abort();  // Every attribute comes from an atom.
-
-  // Iterate the atom with the smallest live range.
-  int it_atom = -1, it_col = -1;
-  for (auto [a, col] : holders) {
-    if (it_atom < 0 || ranges[a].second - ranges[a].first <
-                           ranges[it_atom].second - ranges[it_atom].first) {
-      it_atom = a;
-      it_col = col;
-    }
-  }
-
-  int pos = ranges[it_atom].first;
-  while (pos < ranges[it_atom].second && !*stop) {
-    Value v = atoms_[it_atom].tuples[pos][it_col];
-    // Sub-range of the iterator atom with this value.
-    auto it_range = Narrow(it_atom, it_col, v, ranges, stats);
-    // Intersect with every other holder.
-    std::vector<std::pair<int, int>> saved;
-    saved.reserve(holders.size());
-    bool ok = true;
-    for (auto [a, col] : holders) {
-      saved.push_back(ranges[a]);
-      auto r = (a == it_atom) ? it_range : Narrow(a, col, v, ranges, stats);
-      if (r.first >= r.second) {
-        ok = false;
-        // Restore what we already narrowed.
-        for (std::size_t i = 0; i < saved.size(); ++i) {
-          ranges[holders[i].first] = saved[i];
-        }
-        break;
-      }
-      ranges[a] = r;
-    }
-    if (ok) {
-      ++stats->nodes;
-      binding[depth] = v;
-      Search(depth + 1, ranges, binding, visitor, stop, stats);
-      for (std::size_t i = 0; i < holders.size(); ++i) {
-        ranges[holders[i].first] = saved[i];
-      }
-    }
-    pos = it_range.second;  // Skip past all copies of v.
-  }
+  const int h = static_cast<int>(holders.size());
+  DepthScratch& ds = scratch[depth];
+  LeapfrogIntersect(depth, spans, ds, stats,
+                    [&](Value v, const std::int32_t* pos) {
+                      ++stats->nodes;
+                      binding[depth] = v;
+                      for (int i = 0; i < h; ++i) {
+                        auto [a, col] = holders[i];
+                        ds.saved[i] = spans[a];
+                        spans[a] = DescendSpan(a, col, pos[i]);
+                      }
+                      Search(depth + 1, spans, scratch, binding, visitor, stop,
+                             stats);
+                      for (int i = 0; i < h; ++i) {
+                        spans[holders[i].first] = ds.saved[i];
+                      }
+                      return !*stop;
+                    });
 }
 
-bool GenericJoin::RootCandidates(std::vector<RootCandidate>* candidates,
-                                 int* it_atom_out,
-                                 std::vector<std::pair<int, int>>* base_ranges,
-                                 GenericJoinStats* stats) const {
-  base_ranges->resize(atoms_.size());
-  for (std::size_t a = 0; a < atoms_.size(); ++a) {
-    (*base_ranges)[a] = {0, static_cast<int>(atoms_[a].tuples.size())};
-    if (atoms_[a].tuples.empty()) return false;  // Empty relation: empty join.
-  }
-  const auto& holders = atoms_of_attr_[0];
-  if (holders.empty()) std::abort();
-
-  int it_atom = -1, it_col = -1;
-  for (auto [a, col] : holders) {
-    if (it_atom < 0 ||
-        (*base_ranges)[a].second - (*base_ranges)[a].first <
-            (*base_ranges)[it_atom].second - (*base_ranges)[it_atom].first) {
-      it_atom = a;
-      it_col = col;
-    }
-  }
-  int pos = (*base_ranges)[it_atom].first;
-  while (pos < (*base_ranges)[it_atom].second) {
-    Value v = atoms_[it_atom].tuples[pos][it_col];
-    auto it_range = Narrow(it_atom, it_col, v, *base_ranges, stats);
-    candidates->push_back({v, it_range});
-    pos = it_range.second;  // Skip past all copies of v.
-  }
-  *it_atom_out = it_atom;
+bool GenericJoin::ComputeRootCandidates(RootCandidates* candidates,
+                                        GenericJoinStats* stats) const {
+  if (attribute_order_.empty() || HasEmptyAtom()) return false;
+  std::vector<Span> spans = FullSpans();
+  const std::size_t h = atoms_of_attr_[0].size();
+  DepthScratch scratch;
+  scratch.cursors.resize(h);
+  scratch.values.resize(h);
+  scratch.ends.resize(h);
+  LeapfrogIntersect(0, spans, scratch, stats,
+                    [&](Value v, const std::int32_t* pos) {
+                      candidates->values.push_back(v);
+                      candidates->positions.insert(candidates->positions.end(),
+                                                   pos, pos + h);
+                      return true;
+                    });
   return true;
 }
 
 void GenericJoin::SearchCandidate(
-    const RootCandidate& candidate, int it_atom,
-    const std::vector<std::pair<int, int>>& base_ranges,
+    const RootCandidates& candidates, std::size_t i, std::vector<Span>& spans,
+    std::vector<DepthScratch>& scratch, Tuple& binding,
     const std::function<bool(const Tuple&)>& visitor, bool* stop,
     GenericJoinStats* stats) const {
   const auto& holders = atoms_of_attr_[0];
-  std::vector<std::pair<int, int>> ranges = base_ranges;
-  for (auto [a, col] : holders) {
-    auto r = (a == it_atom) ? candidate.it_range
-                            : Narrow(a, col, candidate.value, ranges, stats);
-    if (r.first >= r.second) return;
-    ranges[a] = r;
-  }
+  const std::size_t h = holders.size();
+  const std::int32_t* pos = candidates.positions.data() + i * h;
+  DepthScratch& ds = scratch[0];
   ++stats->nodes;
-  Tuple binding(attribute_order_.size());
-  binding[0] = candidate.value;
-  Search(1, ranges, binding, visitor, stop, stats);
+  binding[0] = candidates.values[i];
+  for (std::size_t j = 0; j < h; ++j) {
+    auto [a, col] = holders[j];
+    ds.saved[j] = spans[a];
+    spans[a] = DescendSpan(a, col, pos[j]);
+  }
+  Search(1, spans, scratch, binding, visitor, stop, stats);
+  for (std::size_t j = 0; j < h; ++j) {
+    spans[holders[j].first] = ds.saved[j];
+  }
 }
 
 void GenericJoin::Enumerate(const std::function<bool(const Tuple&)>& visitor) {
   GenericJoinStats run;
-  std::vector<std::pair<int, int>> ranges(atoms_.size());
-  bool empty = false;
-  for (std::size_t a = 0; a < atoms_.size(); ++a) {
-    ranges[a] = {0, static_cast<int>(atoms_[a].tuples.size())};
-    if (atoms_[a].tuples.empty()) empty = true;  // Empty relation: empty join.
-  }
-  if (!empty) {
-    Tuple binding(attribute_order_.size());
-    bool stop = false;
-    Search(0, ranges, binding, visitor, &stop, &run);
+  if (attribute_order_.empty()) {
+    // No attributes to bind: one empty answer unless some atom is empty.
+    if (!HasEmptyAtom()) {
+      Tuple binding;
+      visitor(binding);
+    }
+  } else {
+    RootCandidates candidates;
+    if (ComputeRootCandidates(&candidates, &run)) {
+      std::vector<Span> spans = FullSpans();
+      std::vector<DepthScratch> scratch = MakeScratch();
+      Tuple binding(attribute_order_.size());
+      bool stop = false;
+      for (std::size_t i = 0; i < candidates.values.size() && !stop; ++i) {
+        SearchCandidate(candidates, i, spans, scratch, binding, visitor, &stop,
+                        &run);
+      }
+    }
   }
   stats_ += run;
   ExportStats(run);
@@ -200,7 +252,7 @@ void GenericJoin::Enumerate(const std::function<bool(const Tuple&)>& visitor) {
 JoinResult GenericJoin::Evaluate() {
   JoinResult out;
   out.attributes = attribute_order_;
-  if (ResolvedThreads() <= 1) {
+  if (ResolvedThreads() <= 1 || attribute_order_.empty()) {
     Enumerate([&out](const Tuple& t) {
       out.tuples.push_back(t);
       return true;
@@ -209,34 +261,43 @@ JoinResult GenericJoin::Evaluate() {
   }
 
   GenericJoinStats run;
-  std::vector<RootCandidate> candidates;
-  int it_atom = -1;
-  std::vector<std::pair<int, int>> base_ranges;
-  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
-    // Per-candidate output buffers, merged in candidate order below: the
-    // result is bit-identical to the serial enumeration order.
-    std::vector<std::vector<Tuple>> buffers(candidates.size());
-    std::vector<GenericJoinStats> worker_stats(candidates.size());
+  RootCandidates candidates;
+  if (ComputeRootCandidates(&candidates, &run)) {
+    // Contiguous chunks of candidates with per-chunk output buffers and
+    // stats (not per-candidate: one allocation per chunk, not per root
+    // value), merged in chunk order below — the result is bit-identical to
+    // the serial enumeration order at any thread count.
+    const std::int64_t n = static_cast<std::int64_t>(candidates.values.size());
+    const int threads = ResolvedThreads();
+    const std::int64_t chunks =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(threads) * 8);
+    std::vector<std::vector<Tuple>> buffers(chunks);
+    std::vector<GenericJoinStats> chunk_stats(chunks);
     util::ThreadPool::Shared().ParallelFor(
-        0, static_cast<std::int64_t>(candidates.size()),
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
+        0, chunks,
+        [&](std::int64_t clo, std::int64_t chi) {
+          for (std::int64_t c = clo; c < chi; ++c) {
+            std::vector<Span> spans = FullSpans();
+            std::vector<DepthScratch> scratch = MakeScratch();
+            Tuple binding(attribute_order_.size());
             bool stop = false;
-            SearchCandidate(
-                candidates[i], it_atom, base_ranges,
-                [&buffers, i](const Tuple& t) {
-                  buffers[i].push_back(t);
-                  return true;
-                },
-                &stop, &worker_stats[i]);
+            auto sink = [&buffers, c](const Tuple& t) {
+              buffers[c].push_back(t);
+              return true;
+            };
+            for (std::int64_t i = c * n / chunks; i < (c + 1) * n / chunks;
+                 ++i) {
+              SearchCandidate(candidates, static_cast<std::size_t>(i), spans,
+                              scratch, binding, sink, &stop, &chunk_stats[c]);
+            }
           }
         },
-        ResolvedThreads());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      run += worker_stats[i];
+        threads);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      run += chunk_stats[c];
       out.tuples.insert(out.tuples.end(),
-                        std::make_move_iterator(buffers[i].begin()),
-                        std::make_move_iterator(buffers[i].end()));
+                        std::make_move_iterator(buffers[c].begin()),
+                        std::make_move_iterator(buffers[c].end()));
     }
   }
   stats_ += run;
@@ -245,7 +306,7 @@ JoinResult GenericJoin::Evaluate() {
 }
 
 bool GenericJoin::IsEmpty() {
-  if (ResolvedThreads() <= 1) {
+  if (ResolvedThreads() <= 1 || attribute_order_.empty()) {
     bool found = false;
     Enumerate([&found](const Tuple&) {
       found = true;
@@ -255,29 +316,36 @@ bool GenericJoin::IsEmpty() {
   }
 
   GenericJoinStats run;
-  std::vector<RootCandidate> candidates;
-  int it_atom = -1;
-  std::vector<std::pair<int, int>> base_ranges;
+  RootCandidates candidates;
   std::atomic<bool> found(false);
-  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
-    std::vector<GenericJoinStats> worker_stats(candidates.size());
+  if (ComputeRootCandidates(&candidates, &run)) {
+    const std::int64_t n = static_cast<std::int64_t>(candidates.values.size());
+    const int threads = ResolvedThreads();
+    const std::int64_t chunks =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(threads) * 8);
+    std::vector<GenericJoinStats> chunk_stats(chunks);
     util::ThreadPool::Shared().ParallelFor(
-        0, static_cast<std::int64_t>(candidates.size()),
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
+        0, chunks,
+        [&](std::int64_t clo, std::int64_t chi) {
+          for (std::int64_t c = clo; c < chi; ++c) {
             if (found.load(std::memory_order_relaxed)) return;
+            std::vector<Span> spans = FullSpans();
+            std::vector<DepthScratch> scratch = MakeScratch();
+            Tuple binding(attribute_order_.size());
             bool stop = false;
-            SearchCandidate(
-                candidates[i], it_atom, base_ranges,
-                [&found](const Tuple&) {
-                  found.store(true, std::memory_order_relaxed);
-                  return false;  // Stop this partition's search.
-                },
-                &stop, &worker_stats[i]);
+            auto sink = [&found](const Tuple&) {
+              found.store(true, std::memory_order_relaxed);
+              return false;  // Stop this partition's search.
+            };
+            for (std::int64_t i = c * n / chunks;
+                 i < (c + 1) * n / chunks && !stop; ++i) {
+              SearchCandidate(candidates, static_cast<std::size_t>(i), spans,
+                              scratch, binding, sink, &stop, &chunk_stats[c]);
+            }
           }
         },
-        ResolvedThreads());
-    for (const auto& ws : worker_stats) run += ws;
+        threads);
+    for (const auto& cs : chunk_stats) run += cs;
   }
   stats_ += run;
   ExportStats(run);
@@ -285,7 +353,7 @@ bool GenericJoin::IsEmpty() {
 }
 
 std::uint64_t GenericJoin::Count() {
-  if (ResolvedThreads() <= 1) {
+  if (ResolvedThreads() <= 1 || attribute_order_.empty()) {
     std::uint64_t count = 0;
     Enumerate([&count](const Tuple&) {
       ++count;
@@ -295,31 +363,38 @@ std::uint64_t GenericJoin::Count() {
   }
 
   GenericJoinStats run;
-  std::vector<RootCandidate> candidates;
-  int it_atom = -1;
-  std::vector<std::pair<int, int>> base_ranges;
+  RootCandidates candidates;
   std::uint64_t count = 0;
-  if (RootCandidates(&candidates, &it_atom, &base_ranges, &run)) {
-    std::vector<std::uint64_t> counts(candidates.size(), 0);
-    std::vector<GenericJoinStats> worker_stats(candidates.size());
+  if (ComputeRootCandidates(&candidates, &run)) {
+    const std::int64_t n = static_cast<std::int64_t>(candidates.values.size());
+    const int threads = ResolvedThreads();
+    const std::int64_t chunks =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(threads) * 8);
+    std::vector<std::uint64_t> counts(chunks, 0);
+    std::vector<GenericJoinStats> chunk_stats(chunks);
     util::ThreadPool::Shared().ParallelFor(
-        0, static_cast<std::int64_t>(candidates.size()),
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
+        0, chunks,
+        [&](std::int64_t clo, std::int64_t chi) {
+          for (std::int64_t c = clo; c < chi; ++c) {
+            std::vector<Span> spans = FullSpans();
+            std::vector<DepthScratch> scratch = MakeScratch();
+            Tuple binding(attribute_order_.size());
             bool stop = false;
-            SearchCandidate(
-                candidates[i], it_atom, base_ranges,
-                [&counts, i](const Tuple&) {
-                  ++counts[i];
-                  return true;
-                },
-                &stop, &worker_stats[i]);
+            auto sink = [&counts, c](const Tuple&) {
+              ++counts[c];
+              return true;
+            };
+            for (std::int64_t i = c * n / chunks; i < (c + 1) * n / chunks;
+                 ++i) {
+              SearchCandidate(candidates, static_cast<std::size_t>(i), spans,
+                              scratch, binding, sink, &stop, &chunk_stats[c]);
+            }
           }
         },
-        ResolvedThreads());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      run += worker_stats[i];
-      count += counts[i];
+        threads);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      run += chunk_stats[c];
+      count += counts[c];
     }
   }
   stats_ += run;

@@ -7,19 +7,24 @@
 
 #include "core/context.h"
 #include "db/database.h"
+#include "db/trie_index.h"
 
 namespace qc::db {
 
 /// Effort counters for the worst-case-optimal join. Also exported through
 /// ExecutionContext::counters under "generic_join.nodes" /
-/// "generic_join.probes" (the unified util::Counters surface).
+/// "generic_join.probes" / "generic_join.gallops" (the unified
+/// util::Counters surface); the per-instance trie size is exported once at
+/// construction under "trie.nodes".
 struct GenericJoinStats {
-  std::uint64_t nodes = 0;          ///< Search-tree nodes (partial bindings).
-  std::uint64_t probes = 0;         ///< Binary-search probes.
+  std::uint64_t nodes = 0;    ///< Search-tree nodes (partial bindings).
+  std::uint64_t probes = 0;   ///< Bounded binary searches, each counted once.
+  std::uint64_t gallops = 0;  ///< Doubling steps of the galloping seeks.
 
   GenericJoinStats& operator+=(const GenericJoinStats& other) {
     nodes += other.nodes;
     probes += other.probes;
+    gallops += other.gallops;
     return *this;
   }
 };
@@ -27,17 +32,25 @@ struct GenericJoinStats {
 /// Worst-case-optimal join in the Generic Join / Leapfrog Triejoin family
 /// (Theorem 3.3, [54, 61]): attributes are bound one at a time in a global
 /// order; at each step the candidate values are the intersection of the
-/// matching columns of every relation containing the attribute, computed by
-/// scanning the smallest current range and galloping in the others. Runs in
+/// matching trie levels of every relation containing the attribute.
+///
+/// Each atom is materialized into flat columnar storage (FlatRelation),
+/// sorted once, and indexed by a TrieIndex whose level l holds the distinct
+/// prefixes of length l+1 as contiguous (value, child-range) spans. The
+/// search descends the tries: binding attribute d moves every holder atom
+/// from its matched node to that node's child span — a pointer bump — and
+/// the per-level intersection leapfrogs the holder spans with galloping
+/// (doubling probe + bounded std::lower_bound). No tuple rows are ever
+/// re-scanned or re-binary-searched during the descent. Runs in
 /// O~(N^{rho*}) total time.
 ///
 /// With `ctx.threads > 1` (or QC_THREADS set), Evaluate/Count/IsEmpty
-/// partition the first attribute's candidate values into independent subtree
-/// searches executed on the shared ThreadPool, with per-worker buffers and
-/// stats merged in candidate order — the answer (and, for full traversals,
-/// the stats) are bit-identical to the serial run. Enumerate always streams
-/// serially: its visitor contract (in-order delivery, early stop) is
-/// order-sensitive.
+/// partition the trie level-0 candidate values into contiguous chunks
+/// executed on the shared ThreadPool with per-chunk buffers and stats,
+/// merged in candidate order — the answer (and, for full traversals, the
+/// stats) are bit-identical to the serial run at any thread count.
+/// Enumerate always streams serially: its visitor contract (in-order
+/// delivery, early stop) is order-sensitive.
 class GenericJoin {
  public:
   /// Prepares sorted tries for `query` over `db`. If `attribute_order` is
@@ -67,46 +80,82 @@ class GenericJoin {
   const std::vector<std::string>& attribute_order() const {
     return attribute_order_;
   }
+  /// Total nodes across all atom tries (also exported as "trie.nodes").
+  std::uint64_t trie_nodes() const { return trie_nodes_; }
 
  private:
   struct AtomIndex {
-    std::vector<int> attr_positions;  ///< Global order index per column.
-    std::vector<Tuple> tuples;        ///< Columns in attr_positions order,
-                                      ///< lexicographically sorted, distinct.
+    std::vector<int> attr_positions;  ///< Global order index per trie level.
+    TrieIndex trie;                   ///< Over the sorted flat projection.
+    bool no_rows = false;             ///< True when the projection is empty.
   };
 
-  /// One candidate value of the first attribute with its sub-range in the
-  /// depth-0 iterator atom — the unit of parallel work.
-  struct RootCandidate {
-    Value value;
-    std::pair<int, int> it_range;
+  /// Live node-index span of one atom at its current trie level.
+  struct Span {
+    std::int32_t begin = 0;
+    std::int32_t end = 0;
   };
 
-  void Search(int depth, std::vector<std::pair<int, int>>& ranges,
-              Tuple& binding,
+  /// Per-depth reusable scratch (leapfrog cursors and saved spans), sized
+  /// once per chunk/run so the descent allocates nothing per node.
+  struct DepthScratch {
+    std::vector<std::int32_t> cursors;  ///< One per holder of the attribute.
+    std::vector<const Value*> values;   ///< Cached level value arrays.
+    std::vector<std::int32_t> ends;     ///< Cached span ends.
+    std::vector<Span> saved;            ///< Holder spans before the descent.
+  };
+
+  /// The depth-0 candidate values with each holder's matched level-0 node,
+  /// stored flat (stride = number of depth-0 holders) — the unit of
+  /// parallel work.
+  struct RootCandidates {
+    std::vector<Value> values;
+    std::vector<std::int32_t> positions;  ///< values.size() x holders(0).
+  };
+
+  /// Galloping lower bound for `target` in vals[pos..end), requiring
+  /// vals[pos] < target. Counts one probe plus one gallop per doubling step.
+  std::int32_t GallopSeek(const Value* vals, std::int32_t pos,
+                          std::int32_t end, Value target,
+                          GenericJoinStats* stats) const;
+
+  /// Leapfrogs the holder spans of attribute `depth`; calls
+  /// `emit(value, matched_positions)` for every value of the intersection
+  /// in ascending order. `emit` returns false to stop early.
+  template <class Emit>
+  void LeapfrogIntersect(int depth, const std::vector<Span>& spans,
+                         DepthScratch& scratch, GenericJoinStats* stats,
+                         Emit&& emit) const;
+
+  /// Moves holder `(atom, col)` from matched node `pos` to its child span.
+  Span DescendSpan(int atom, int col, std::int32_t pos) const;
+
+  void Search(int depth, std::vector<Span>& spans,
+              std::vector<DepthScratch>& scratch, Tuple& binding,
               const std::function<bool(const Tuple&)>& visitor, bool* stop,
               GenericJoinStats* stats) const;
 
-  /// Narrows `ranges[atom]` to the tuples whose `col` equals `v`.
-  std::pair<int, int> Narrow(int atom, int col, Value v,
-                             const std::vector<std::pair<int, int>>& ranges,
+  /// Enumerates the depth-0 intersection (the serial prefix of every
+  /// parallel run). Returns false when some relation is empty or the query
+  /// binds no attributes.
+  bool ComputeRootCandidates(RootCandidates* candidates,
                              GenericJoinStats* stats) const;
 
-  /// Enumerates the distinct depth-0 candidate values (the serial prefix of
-  /// every parallel run). Returns false when some relation is empty.
-  bool RootCandidates(std::vector<RootCandidate>* candidates, int* it_atom,
-                      std::vector<std::pair<int, int>>* base_ranges,
-                      GenericJoinStats* stats) const;
-
-  /// Runs the search subtree of one root candidate; `visitor`/`stop` as in
-  /// Search. Used by both the parallel partitions and the serial fallback.
-  void SearchCandidate(const RootCandidate& candidate, int it_atom,
-                       const std::vector<std::pair<int, int>>& base_ranges,
+  /// Runs the search subtree of candidate `i`. `spans` must hold every
+  /// atom's full level-0 span; holder spans are restored before returning.
+  /// `binding` is caller-owned scratch of size attribute_order().size().
+  void SearchCandidate(const RootCandidates& candidates, std::size_t i,
+                       std::vector<Span>& spans,
+                       std::vector<DepthScratch>& scratch, Tuple& binding,
                        const std::function<bool(const Tuple&)>& visitor,
                        bool* stop, GenericJoinStats* stats) const;
 
-  /// True when this instance should parallelize (resolved threads > 1 and
-  /// more than one attribute to bind).
+  std::vector<Span> FullSpans() const;
+  std::vector<DepthScratch> MakeScratch() const;
+
+  /// True when some atom's relation is empty (the join is empty).
+  bool HasEmptyAtom() const;
+
   int ResolvedThreads() const;
 
   /// Publishes one run's effort into ctx_.counters, if any.
@@ -114,9 +163,10 @@ class GenericJoin {
 
   std::vector<std::string> attribute_order_;
   std::vector<AtomIndex> atoms_;
-  /// Atoms containing each attribute, with the column index of the
-  /// attribute in that atom.
+  /// Atoms containing each attribute, with the trie level (column index) of
+  /// the attribute in that atom.
   std::vector<std::vector<std::pair<int, int>>> atoms_of_attr_;
+  std::uint64_t trie_nodes_ = 0;
   GenericJoinStats stats_;
   ExecutionContext ctx_;
 };

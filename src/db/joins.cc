@@ -2,34 +2,93 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 namespace qc::db {
 
-JoinResult MaterializeAtom(const Atom& atom, const Database& db) {
-  JoinResult out;
-  std::vector<int> keep_cols;
+namespace {
+
+/// Shared prep for atom materialization: distinct attributes in
+/// first-occurrence order, the source column of each, and the repeated
+/// columns that must agree with their first occurrence.
+struct AtomColumns {
+  std::vector<std::string> attributes;       ///< Deduplicated schema.
+  std::vector<int> keep_cols;                ///< Source column per attribute.
+  std::vector<std::pair<int, int>> eq_cols;  ///< (first, repeat) pairs.
+};
+
+AtomColumns AnalyzeAtomColumns(const Atom& atom) {
+  AtomColumns cols;
   for (std::size_t i = 0; i < atom.attributes.size(); ++i) {
-    if (std::find(out.attributes.begin(), out.attributes.end(),
-                  atom.attributes[i]) == out.attributes.end()) {
-      out.attributes.push_back(atom.attributes[i]);
-      keep_cols.push_back(static_cast<int>(i));
+    auto it = std::find(cols.attributes.begin(), cols.attributes.end(),
+                        atom.attributes[i]);
+    if (it == cols.attributes.end()) {
+      cols.attributes.push_back(atom.attributes[i]);
+      cols.keep_cols.push_back(static_cast<int>(i));
+    } else {
+      cols.eq_cols.push_back(
+          {cols.keep_cols[it - cols.attributes.begin()], static_cast<int>(i)});
     }
   }
-  for (const auto& t : db.Tuples(atom.relation)) {
-    // Repeated attributes must agree.
-    bool ok = true;
-    for (std::size_t i = 0; i < atom.attributes.size() && ok; ++i) {
-      for (std::size_t j = i + 1; j < atom.attributes.size() && ok; ++j) {
-        if (atom.attributes[i] == atom.attributes[j] && t[i] != t[j]) {
-          ok = false;
-        }
-      }
-    }
-    if (!ok) continue;
+  return cols;
+}
+
+bool RowPassesEquality(const Value* row, const AtomColumns& cols) {
+  for (auto [first, repeat] : cols.eq_cols) {
+    if (row[first] != row[repeat]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JoinResult MaterializeAtom(const Atom& atom, const Database& db) {
+  AtomColumns cols = AnalyzeAtomColumns(atom);
+  JoinResult out;
+  out.attributes = cols.attributes;
+  const FlatRelation& rel = db.Flat(atom.relation);
+  out.tuples.reserve(rel.size());
+  for (std::size_t r = 0; r < rel.size(); ++r) {
+    const Value* row = rel.Row(r);
+    if (!RowPassesEquality(row, cols)) continue;
     Tuple projected;
-    projected.reserve(keep_cols.size());
-    for (int c : keep_cols) projected.push_back(t[c]);
+    projected.reserve(cols.keep_cols.size());
+    for (int c : cols.keep_cols) projected.push_back(row[c]);
     out.tuples.push_back(std::move(projected));
+  }
+  return out;
+}
+
+FlatRelation MaterializeAtomFlat(const Atom& atom, const Database& db,
+                                 const std::map<std::string, int>& global_order,
+                                 std::vector<int>* attr_positions) {
+  AtomColumns cols = AnalyzeAtomColumns(atom);
+  // Permute the kept columns into global attribute-order position.
+  std::vector<int> perm(cols.attributes.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return global_order.at(cols.attributes[a]) <
+           global_order.at(cols.attributes[b]);
+  });
+  attr_positions->clear();
+  attr_positions->reserve(perm.size());
+  std::vector<int> src_cols;
+  src_cols.reserve(perm.size());
+  for (int k : perm) {
+    attr_positions->push_back(global_order.at(cols.attributes[k]));
+    src_cols.push_back(cols.keep_cols[k]);
+  }
+  const FlatRelation& rel = db.Flat(atom.relation);
+  FlatRelation out(static_cast<int>(src_cols.size()));
+  out.Reserve(rel.size());
+  Tuple buffer(src_cols.size());
+  for (std::size_t r = 0; r < rel.size(); ++r) {
+    const Value* row = rel.Row(r);
+    if (!RowPassesEquality(row, cols)) continue;
+    for (std::size_t c = 0; c < src_cols.size(); ++c) {
+      buffer[c] = row[src_cols[c]];
+    }
+    out.PushRow(buffer.data());
   }
   return out;
 }
@@ -110,8 +169,8 @@ std::vector<int> GreedyJoinOrder(const JoinQuery& query, const Database& db) {
   // Start with the smallest relation.
   int first = -1;
   for (int i = 0; i < m; ++i) {
-    if (first < 0 || db.Tuples(query.atoms[i].relation).size() <
-                         db.Tuples(query.atoms[first].relation).size()) {
+    if (first < 0 || db.NumTuples(query.atoms[i].relation) <
+                         db.NumTuples(query.atoms[first].relation)) {
       first = i;
     }
   }
@@ -139,8 +198,8 @@ std::vector<int> GreedyJoinOrder(const JoinQuery& query, const Database& db) {
       }
       if (best < 0 || (connected && !best_connected) ||
           (connected == best_connected &&
-           db.Tuples(query.atoms[i].relation).size() <
-               db.Tuples(query.atoms[best].relation).size())) {
+           db.NumTuples(query.atoms[i].relation) <
+               db.NumTuples(query.atoms[best].relation))) {
         best = i;
         best_connected = connected;
       }

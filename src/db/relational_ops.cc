@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <set>
+#include <numeric>
 
 namespace qc::db {
 
@@ -23,14 +23,34 @@ JoinResult Project(const JoinResult& input,
   for (const auto& a : attributes) cols.push_back(ColumnOf(input, a));
   JoinResult out;
   out.attributes = attributes;
-  std::set<Tuple> seen;
+  // First-occurrence dedup without a tree of heap-allocated keys: project
+  // into flat storage, sort row indices, and keep the smallest original
+  // index of every distinct row — emitted in original order.
+  FlatRelation projected(static_cast<int>(cols.size()));
+  projected.Reserve(input.tuples.size());
+  Tuple buffer(cols.size());
   for (const auto& t : input.tuples) {
-    Tuple projected;
-    projected.reserve(cols.size());
-    for (int c : cols) projected.push_back(t[c]);
-    if (seen.insert(projected).second) {
-      out.tuples.push_back(std::move(projected));
+    for (std::size_t i = 0; i < cols.size(); ++i) buffer[i] = t[cols[i]];
+    projected.PushRow(buffer.data());
+  }
+  std::vector<std::uint32_t> idx(projected.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(),
+            [&projected](std::uint32_t a, std::uint32_t b) {
+              RowView ra = projected.View(a), rb = projected.View(b);
+              if (ra == rb) return a < b;
+              return ra < rb;
+            });
+  std::vector<bool> keep(projected.size(), false);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i == 0 || !(projected.View(idx[i]) == projected.View(idx[i - 1]))) {
+      keep[idx[i]] = true;
     }
+  }
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    if (!keep[i]) continue;
+    const Value* row = projected.Row(i);
+    out.tuples.emplace_back(row, row + projected.arity());
   }
   return out;
 }
@@ -71,11 +91,12 @@ JoinResult Union(const JoinResult& a, const JoinResult& b) {
 
 JoinResult Difference(const JoinResult& a, const JoinResult& b) {
   if (a.attributes != b.attributes) std::abort();
-  std::set<Tuple> remove(b.tuples.begin(), b.tuples.end());
+  FlatRelation remove = b.ToFlat();
+  remove.SortLexAndDedup();
   JoinResult out;
   out.attributes = a.attributes;
   for (const auto& t : a.tuples) {
-    if (!remove.count(t)) out.tuples.push_back(t);
+    if (!SortedContains(remove, t.data())) out.tuples.push_back(t);
   }
   out.Normalize();
   return out;

@@ -1,0 +1,40 @@
+#include "db/trie_index.h"
+
+namespace qc::db {
+
+TrieIndex::TrieIndex(const FlatRelation& rel) {
+  const int arity = rel.arity();
+  const std::size_t n = rel.size();
+  if (arity == 0 || n == 0) return;
+  levels_.resize(arity);
+
+  // Row ranges of the nodes at the previous level (one virtual root range
+  // to start). Splitting a range by the values in column `l` yields that
+  // node's children; the rows are sorted, so each child is a contiguous run.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
+      {0u, static_cast<std::uint32_t>(n)}};
+  for (int l = 0; l < arity; ++l) {
+    Level& level = levels_[l];
+    std::vector<std::int32_t> parent_offsets;
+    parent_offsets.reserve(ranges.size() + 1);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> next_ranges;
+    for (const auto& [begin, end] : ranges) {
+      parent_offsets.push_back(static_cast<std::int32_t>(level.values.size()));
+      std::uint32_t i = begin;
+      while (i < end) {
+        Value v = rel.At(i, l);
+        std::uint32_t j = i + 1;
+        while (j < end && rel.At(j, l) == v) ++j;
+        level.values.push_back(v);
+        next_ranges.push_back({i, j});
+        i = j;
+      }
+    }
+    parent_offsets.push_back(static_cast<std::int32_t>(level.values.size()));
+    if (l > 0) levels_[l - 1].child_offsets = std::move(parent_offsets);
+    num_nodes_ += level.values.size();
+    ranges = std::move(next_ranges);
+  }
+}
+
+}  // namespace qc::db

@@ -1,0 +1,70 @@
+#ifndef QC_DB_TRIE_INDEX_H_
+#define QC_DB_TRIE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/flat_relation.h"
+
+namespace qc::db {
+
+/// Sorted path-compressed-free trie over a lexicographically sorted,
+/// duplicate-free FlatRelation: level l holds one node per distinct prefix
+/// of length l+1, stored as a contiguous (value, child-range) span in
+/// prefix order. Children of a node are the contiguous run
+/// [ChildrenBegin(l, i), ChildrenEnd(l, i)) of level l+1, and the values
+/// inside any such run are strictly increasing — so per-level intersection
+/// is a pointer bump plus galloping search, never a re-scan of tuple rows.
+///
+///   level 0:  [ v00 | v01 | v02 ]          (children of the virtual root)
+///               |     |      |
+///   level 1:  [ v10 v11 | v12 | v13 v14 ]  (child spans, CSR offsets)
+///
+/// Invariants (checked by construction from the sorted relation):
+///   - values are strictly increasing within every child span;
+///   - child spans partition the next level (offsets are monotone, CSR);
+///   - every node at the last level corresponds to exactly one tuple.
+class TrieIndex {
+ public:
+  TrieIndex() = default;
+
+  /// Builds the index. `rel` must already be sorted lexicographically with
+  /// duplicates removed (FlatRelation::SortLexAndDedup).
+  explicit TrieIndex(const FlatRelation& rel);
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  std::size_t num_nodes() const { return num_nodes_; }
+  bool empty() const { return levels_.empty() || levels_[0].values.empty(); }
+
+  std::size_t LevelSize(int level) const { return levels_[level].values.size(); }
+
+  /// Node values at `level`, contiguous in prefix order.
+  const Value* Values(int level) const { return levels_[level].values.data(); }
+
+  Value ValueAt(int level, std::int32_t node) const {
+    return levels_[level].values[node];
+  }
+
+  /// Child span of `node` at `level` within level + 1. Only valid for
+  /// non-leaf levels.
+  std::int32_t ChildrenBegin(int level, std::int32_t node) const {
+    return levels_[level].child_offsets[node];
+  }
+  std::int32_t ChildrenEnd(int level, std::int32_t node) const {
+    return levels_[level].child_offsets[node + 1];
+  }
+
+ private:
+  struct Level {
+    std::vector<Value> values;
+    /// CSR offsets into level + 1: node i's children occupy
+    /// [child_offsets[i], child_offsets[i+1]). Empty at the leaf level.
+    std::vector<std::int32_t> child_offsets;
+  };
+  std::vector<Level> levels_;
+  std::size_t num_nodes_ = 0;
+};
+
+}  // namespace qc::db
+
+#endif  // QC_DB_TRIE_INDEX_H_

@@ -1,7 +1,6 @@
 #include "db/yannakakis.h"
 
 #include <algorithm>
-#include <map>
 
 #include "graph/hypergraph.h"
 
@@ -55,18 +54,19 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
     if (!b.tuples.empty()) out.tuples = a.tuples;
     return out;
   }
-  std::map<Tuple, bool> keys;
+  // Flat sorted key set from B, probed by binary search: no per-tuple key
+  // allocation on either side.
+  FlatRelation keys(static_cast<int>(b_cols.size()));
+  keys.Reserve(b.tuples.size());
+  Tuple key(b_cols.size());
   for (const auto& t : b.tuples) {
-    Tuple key;
-    key.reserve(b_cols.size());
-    for (int c : b_cols) key.push_back(t[c]);
-    keys[std::move(key)] = true;
+    for (std::size_t i = 0; i < b_cols.size(); ++i) key[i] = t[b_cols[i]];
+    keys.PushRow(key.data());
   }
+  keys.SortLexAndDedup();
   for (const auto& t : a.tuples) {
-    Tuple key;
-    key.reserve(a_cols.size());
-    for (int c : a_cols) key.push_back(t[c]);
-    if (keys.count(key)) out.tuples.push_back(t);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) key[i] = t[a_cols[i]];
+    if (SortedContains(keys, key.data())) out.tuples.push_back(t);
   }
   return out;
 }

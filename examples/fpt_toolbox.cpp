@@ -3,8 +3,16 @@
 // (the FPT side), colour coding for k-Path, and the treewidth dynamic
 // programs — against the brute-force baselines whose optimality the
 // paper's lower bounds assert for the W[1]-hard problems (Clique).
+//
+// Flags: --deadline-ms N caps the tour's wall-clock time (the budgeted
+// engines — exact treewidth, colour coding — stop at the next safe point;
+// exit code 4). --max-rows N is accepted for interface parity with
+// query_cli but the graph engines here produce no row stream.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "graph/cliques.h"
 #include "graph/colorcoding.h"
@@ -12,12 +20,49 @@
 #include "graph/nice_decomposition.h"
 #include "graph/treewidth.h"
 #include "graph/vertexcover.h"
+#include "util/budget.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+/// If the shared budget tripped, report how and exit with its code.
+int FinishIfTripped(qc::util::Budget* budget) {
+  if (!budget->Stopped()) return 0;
+  std::printf("\nstatus: %s (tour cut short)\n",
+              std::string(qc::util::ToString(budget->status())).c_str());
+  return qc::util::ExitCode(budget->status());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace qc;
   util::Rng rng(11);
+
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t max_rows = 0;
+  for (int i = 1; i < argc; ++i) {
+    char* end = nullptr;
+    if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtoull(argv[++i], &end, 10);
+    } else if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
+      max_rows = std::strtoull(argv[++i], &end, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--deadline-ms N] [--max-rows N]\n", argv[0]);
+      return 1;
+    }
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "bad value for %s\n", argv[i - 1]);
+      return 1;
+    }
+  }
+  util::Budget budget;
+  if (deadline_ms > 0) {
+    budget.ArmDeadlineAfter(static_cast<double>(deadline_ms) / 1000.0);
+  }
+  if (max_rows > 0) budget.ArmRowLimit(max_rows);
 
   // A sparse graph with some high-degree hubs: the friendly regime for the
   // Buss kernel.
@@ -47,16 +92,27 @@ int main() {
   std::printf("[vertex cover] kernelized 2^k branching: %s (%.2f ms)\n",
               cover ? "cover found" : "no cover <= k", timer.Millis());
   if (cover && !graph::IsVertexCover(g, *cover)) return 1;
+  budget.Poll();  // Safe point between phases (the VC engines don't poll).
+  if (int code = FinishIfTripped(&budget)) return code;
 
   // --- k-Path: randomized FPT via colour coding. ---
   timer.Reset();
-  auto path = graph::FindKPathColorCoding(g, 7, &rng);
+  auto path = graph::FindKPathColorCoding(g, 7, &rng, /*rounds=*/0,
+                                          /*threads=*/0, &budget);
   std::printf("[k-path]       colour coding, k = 7: %s (%.2f ms)\n",
               path ? "path found" : "none found", timer.Millis());
+  if (int code = FinishIfTripped(&budget)) return code;
   if (path && !graph::IsSimplePath(g, *path)) return 1;
 
   // --- Treewidth DPs on a bounded-width instance. ---
   graph::Graph ktree = graph::RandomPartialKTree(200, 3, 0.85, &rng);
+  timer.Reset();
+  graph::ExactTreewidthResult exact_tw =
+      graph::ExactTreewidth(graph::RandomPartialKTree(16, 3, 0.85, &rng), 24,
+                            /*threads=*/0, &budget);
+  std::printf("[treewidth]    exact DP on 16 vertices: width %d (%.2f ms)\n",
+              exact_tw.treewidth, timer.Millis());
+  if (int code = FinishIfTripped(&budget)) return code;
   graph::TreeDecomposition td = graph::HeuristicTreewidth(ktree).decomposition;
   graph::NiceTreeDecomposition ntd =
       graph::NiceTreeDecomposition::FromTreeDecomposition(td, ktree);

@@ -2,7 +2,7 @@
 // query, relation contents, and evaluates it with the auto-router, printing
 // the structural analysis first.
 //
-// Input format (stdin, or a file given as argv[1]):
+// Input format (stdin, or a file given as the positional argument):
 //
 //   query: R(a,b), S(b,c)
 //   relation R:
@@ -12,11 +12,18 @@
 //   2 10
 //   3 11
 //
-// Running with no stdin redirection uses a built-in demo input.
+// Flags: --deadline-ms N caps wall-clock time, --max-rows N caps the answer
+// size. On truncation the status and effort counters are printed and the
+// exit code reports the cause (4 deadline, 5 budget, 6 cancelled; 1 is a
+// usage/parse/input error). Running with no stdin redirection uses a
+// built-in demo input.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <unistd.h>
 
@@ -24,6 +31,7 @@
 #include "core/autosolver.h"
 #include "core/context.h"
 #include "db/parser.h"
+#include "util/budget.h"
 #include "util/counters.h"
 
 namespace {
@@ -34,16 +42,51 @@ constexpr char kDemo[] =
     "relation R2:\n0 1\n1 2\n2 0\n0 2\n"
     "relation R3:\n0 1\n1 2\n2 0\n0 2\n";
 
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--deadline-ms N] [--max-rows N] [input-file]\n",
+               argv0);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace qc;
 
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t max_rows = 0;
+  const char* input_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    auto flag_value = [&](const char* name, std::uint64_t* out) {
+      if (std::strcmp(argv[i], name) != 0) return false;
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtoull(argv[++i], &end, 10);
+      return end != nullptr && *end == '\0';
+    };
+    if (std::strcmp(argv[i], "--deadline-ms") == 0 ||
+        std::strcmp(argv[i], "--max-rows") == 0) {
+      const char* name = argv[i];
+      if (!flag_value(name, std::strcmp(name, "--deadline-ms") == 0
+                                ? &deadline_ms
+                                : &max_rows)) {
+        return Usage(argv[0]);
+      }
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+      return Usage(argv[0]);
+    } else if (input_path == nullptr) {
+      input_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
   std::string input;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (input_path != nullptr) {
+    std::ifstream file(input_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", input_path);
       return 1;
     }
     std::stringstream ss;
@@ -110,13 +153,27 @@ int main(int argc, char** argv) {
   util::Counters counters;
   ExecutionContext ctx;
   ctx.counters = &counters;
+  // One budget shared by the analysis and the evaluation: the deadline is
+  // end-to-end, and the row meter survives across both phases.
+  auto budget = std::make_shared<util::Budget>();
+  if (deadline_ms > 0) {
+    budget->ArmDeadlineAfter(static_cast<double>(deadline_ms) / 1000.0);
+  }
+  if (max_rows > 0) budget->ArmRowLimit(max_rows);
+  ctx.budget = budget;
 
-  std::printf("=== analysis ===\n%s\n\n",
-              core::AnalyzeQuery(*query, ctx).ToString().c_str());
+  core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
+  std::printf("=== analysis ===\n%s\n", analysis.ToString().c_str());
+  if (analysis.status != util::RunStatus::kCompleted) {
+    std::printf("(analysis degraded to heuristic measures: %s)\n",
+                std::string(util::ToString(analysis.status)).c_str());
+  }
+  std::printf("\n");
   core::AutoQueryResult result = core::EvaluateQueryAuto(*query, database, ctx);
-  std::printf("=== answer (via %s): %zu tuples ===\n",
+  std::printf("=== answer (via %s): %zu tuples%s ===\n",
               core::ToString(result.method).c_str(),
-              result.result.tuples.size());
+              result.result.tuples.size(),
+              result.result.truncated ? " (truncated)" : "");
   std::string header;
   for (const auto& a : result.result.attributes) header += a + " ";
   std::printf("%s\n", header.c_str());
@@ -130,9 +187,14 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  if (result.status != util::RunStatus::kCompleted) {
+    std::printf("\nstatus: %s after %llu output rows (partial answer)\n",
+                std::string(util::ToString(result.status)).c_str(),
+                static_cast<unsigned long long>(budget->rows_used()));
+  }
   if (!counters.empty()) {
     std::printf("\n=== effort (threads=%d) ===\n%s\n",
                 ctx.ResolvedThreads(), counters.ToString().c_str());
   }
-  return 0;
+  return util::ExitCode(result.status);
 }

@@ -29,9 +29,9 @@ struct CanonicalStructure {
 
 /// Computes core size + core treewidth for the canonical structure.
 void AnalyzeCore(const CanonicalStructure& cs, const ExecutionContext& ctx,
-                 Analysis* a) {
+                 util::Budget* budget, Analysis* a) {
   if (cs.universe > ctx.core_computation_below) return;
-  if (ctx.DeadlineExpired()) return;  // Soft deadline: skip the O(n^n) step.
+  if (budget->Poll()) return;  // Budget tripped: skip the O(n^n) step.
   std::vector<structures::RelSymbol> vocab;
   vocab.reserve(cs.symbol_arity.size());
   for (std::size_t s = 0; s < cs.symbol_arity.size(); ++s) {
@@ -48,32 +48,39 @@ void AnalyzeCore(const CanonicalStructure& cs, const ExecutionContext& ctx,
   graph::Graph core_primal = core.GaifmanGraph();
   if (core_primal.num_vertices() <= ctx.exact_treewidth_below) {
     auto exact =
-        graph::ExactTreewidth(core_primal, 24, ctx.ResolvedThreads());
-    a->core_treewidth = exact.treewidth;
+        graph::ExactTreewidth(core_primal, 24, ctx.ResolvedThreads(), budget);
     a->counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
-  } else {
-    a->core_treewidth = graph::HeuristicTreewidth(core_primal).width;
+    if (exact.status == util::RunStatus::kCompleted) {
+      a->core_treewidth = exact.treewidth;
+      return;
+    }
   }
+  a->core_treewidth = graph::HeuristicTreewidth(core_primal).width;
 }
 
 /// Metrics that depend only on the hypergraph.
 Analysis AnalyzeHypergraph(const graph::Hypergraph& hypergraph,
-                           const ExecutionContext& ctx) {
+                           const ExecutionContext& ctx,
+                           util::Budget* budget) {
   Analysis a;
   a.num_variables = hypergraph.num_vertices();
   a.num_constraints = hypergraph.num_edges();
   a.acyclic = graph::IsAlphaAcyclic(hypergraph);
 
   graph::Graph primal = hypergraph.PrimalGraph();
+  a.treewidth_exact = false;
   if (primal.num_vertices() <= ctx.exact_treewidth_below &&
-      !ctx.DeadlineExpired()) {
-    auto exact = graph::ExactTreewidth(primal, 24, ctx.ResolvedThreads());
-    a.treewidth = exact.treewidth;
-    a.treewidth_exact = true;
+      !budget->Poll()) {
+    auto exact =
+        graph::ExactTreewidth(primal, 24, ctx.ResolvedThreads(), budget);
     a.counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
-  } else {
+    if (exact.status == util::RunStatus::kCompleted) {
+      a.treewidth = exact.treewidth;
+      a.treewidth_exact = true;
+    }
+  }
+  if (!a.treewidth_exact) {
     a.treewidth = graph::HeuristicTreewidth(primal).width;
-    a.treewidth_exact = false;
   }
 
   auto cover = graph::FractionalEdgeCoverNumber(hypergraph);
@@ -182,7 +189,8 @@ std::string Analysis::ToString() const {
 }
 
 Analysis AnalyzeQuery(const db::JoinQuery& query, const ExecutionContext& ctx) {
-  Analysis a = AnalyzeHypergraph(query.Hypergraph(), ctx);
+  std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
+  Analysis a = AnalyzeHypergraph(query.Hypergraph(), ctx, budget.get());
   CanonicalStructure cs;
   std::map<std::string, int> attr = query.AttributeIndex();
   cs.universe = static_cast<int>(attr.size());
@@ -199,14 +207,16 @@ Analysis AnalyzeQuery(const db::JoinQuery& query, const ExecutionContext& ctx) {
     cs.symbol_of_tuple.push_back(it->second);
     cs.tuples.push_back(std::move(tuple));
   }
-  AnalyzeCore(cs, ctx, &a);
+  AnalyzeCore(cs, ctx, budget.get(), &a);
   Finalize(&a);
+  a.status = budget->status();
   if (ctx.counters != nullptr) ctx.counters->Merge(a.counters);
   return a;
 }
 
 Analysis AnalyzeCsp(const csp::CspInstance& csp, const ExecutionContext& ctx) {
-  Analysis a = AnalyzeHypergraph(csp.ConstraintHypergraph(), ctx);
+  std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
+  Analysis a = AnalyzeHypergraph(csp.ConstraintHypergraph(), ctx, budget.get());
   CanonicalStructure cs;
   cs.universe = csp.num_vars;
   // Group constraints by extensional relation content.
@@ -218,8 +228,9 @@ Analysis AnalyzeCsp(const csp::CspInstance& csp, const ExecutionContext& ctx) {
     cs.symbol_of_tuple.push_back(it->second);
     cs.tuples.push_back(c.scope);
   }
-  AnalyzeCore(cs, ctx, &a);
+  AnalyzeCore(cs, ctx, budget.get(), &a);
   Finalize(&a);
+  a.status = budget->status();
   if (ctx.counters != nullptr) ctx.counters->Merge(a.counters);
   return a;
 }

@@ -7,6 +7,7 @@
 #include "core/context.h"
 #include "csp/csp.h"
 #include "db/database.h"
+#include "util/budget.h"
 #include "util/counters.h"
 #include "util/fraction.h"
 
@@ -48,6 +49,11 @@ struct Analysis {
   /// ExecutionContext::counters when a sink is set.
   util::Counters counters;
 
+  /// How the analysis run ended. On anything but kCompleted the exact
+  /// measures degraded to heuristic bounds (treewidth_exact = false, core
+  /// skipped) — the report is still well-formed, just coarser.
+  util::RunStatus status = util::RunStatus::kCompleted;
+
   /// AGM output-size bound N^{rho*}.
   double AgmBound(double n) const;
 
@@ -60,9 +66,11 @@ struct Analysis {
 using AnalyzerOptions = ExecutionContext;
 
 /// Analyzes a join query's structure (Sections 3-8 applied to one query).
-/// Honors ctx.threads for the exact treewidth DP and, when
-/// ctx.soft_deadline_seconds is set and expires, degrades gracefully from
-/// exact to heuristic measures (treewidth_exact = false, core skipped).
+/// Honors ctx.threads for the exact treewidth DP and observes the budget
+/// resolved from ctx (deadline, work limit, cancellation): when it trips,
+/// the analysis degrades gracefully from exact to heuristic measures
+/// (treewidth_exact = false, core skipped) and reports the cause in
+/// Analysis::status.
 Analysis AnalyzeQuery(const db::JoinQuery& query,
                       const ExecutionContext& ctx = ExecutionContext());
 

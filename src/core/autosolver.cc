@@ -58,6 +58,8 @@ bool TrySchaefer(const csp::CspInstance& csp, int max_arity,
 AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
                            const ExecutionContext& ctx) {
   AutoCspResult result;
+  std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
+  // Schaefer is polynomial-time: no safe points needed inside.
   if (TrySchaefer(csp, ctx.max_schaefer_arity, &result)) {
     ctx.Count("schaefer.dispatches", 1);
     return result;
@@ -66,21 +68,26 @@ AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
   graph::Graph primal = csp.PrimalGraph();
   graph::TreewidthUpperBound ub = graph::HeuristicTreewidth(primal);
   if (ub.width <= ctx.treewidth_dp_max_width) {
-    csp::TreeDpResult dp = csp::SolveWithDecomposition(csp, ub.decomposition);
+    csp::TreeDpResult dp =
+        csp::SolveWithDecomposition(csp, ub.decomposition, budget.get());
     ctx.Count("treedp.table_entries", dp.table_entries);
     result.method = SolveMethod::kTreewidthDp;
     result.satisfiable = dp.satisfiable;
     result.assignment = std::move(dp.assignment);
+    result.status = dp.status;
     return result;
   }
 
-  csp::CspSolution sol = csp::BacktrackingSolver().Solve(csp);
+  csp::BacktrackingSolver::Options options;
+  options.budget = budget.get();
+  csp::CspSolution sol = csp::BacktrackingSolver(options).Solve(csp);
   ctx.Count("backtracking.nodes", sol.stats.nodes);
   ctx.Count("backtracking.backtracks", sol.stats.backtracks);
   ctx.Count("backtracking.consistency_checks", sol.stats.consistency_checks);
   result.method = SolveMethod::kBacktracking;
   result.satisfiable = sol.found;
   result.assignment = std::move(sol.assignment);
+  result.status = sol.status;
   return result;
 }
 
@@ -88,18 +95,26 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
                                   const db::Database& db,
                                   const ExecutionContext& ctx) {
   AutoQueryResult result;
-  auto yan = db::EvaluateYannakakis(query, db);
+  std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
+  auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get());
   if (yan.has_value()) {
     ctx.Count("yannakakis.output_tuples", yan->tuples.size());
     result.method = SolveMethod::kYannakakis;
     result.result = std::move(*yan);
+    result.status = result.result.truncated ? budget->status()
+                                            : util::RunStatus::kCompleted;
     return result;
   }
   result.method = SolveMethod::kGenericJoin;
   // GenericJoin inherits ctx: thread count for the parallel root partition
   // and the counters sink for "generic_join.*" (search effort) and
-  // "trie.nodes" (index size, exported once at construction).
-  result.result = db::GenericJoin(query, db, ctx).Evaluate();
+  // "trie.nodes" (index size, exported once at construction). Share the
+  // budget already resolved here so both paths charge the same meters.
+  ExecutionContext sub = ctx;
+  sub.budget = budget;
+  db::GenericJoin join(query, db, sub);
+  result.result = join.Evaluate();
+  result.status = join.status();
   return result;
 }
 

@@ -25,6 +25,9 @@ struct AutoCspResult {
   bool satisfiable = false;
   std::vector<int> assignment;
   SolveMethod method = SolveMethod::kBacktracking;
+  /// How the routed engine ended. On anything but kCompleted,
+  /// `satisfiable == false` means *Unknown*, not unsatisfiable.
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// Deprecated alias: auto-solver thresholds now live on qc::ExecutionContext
@@ -35,18 +38,26 @@ using AutoSolverOptions = ExecutionContext;
 /// paper's upper-bound results suggest: Schaefer's dichotomy dispatcher for
 /// Boolean domains in a tractable class, Freuder's DP for small treewidth,
 /// and backtracking search otherwise. Engine effort is reported into
-/// ctx.counters ("treedp.table_entries", "backtracking.nodes", ...).
+/// ctx.counters ("treedp.table_entries", "backtracking.nodes", ...). The
+/// budget resolved from ctx is threaded into whichever engine runs; a trip
+/// surfaces in AutoCspResult::status.
 AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
                            const ExecutionContext& ctx = ExecutionContext());
 
 struct AutoQueryResult {
   db::JoinResult result;
   SolveMethod method = SolveMethod::kGenericJoin;
+  /// How the routed engine ended. On anything but kCompleted,
+  /// `result.truncated` is set and `result.tuples` is a subset of the
+  /// answer.
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// Routes a join query: Yannakakis when alpha-acyclic, Generic Join
 /// otherwise. ctx.threads (or QC_THREADS) parallelizes the Generic Join
-/// path; effort counters land in ctx.counters.
+/// path; effort counters land in ctx.counters. Both engines observe the
+/// budget resolved from ctx; a trip surfaces in AutoQueryResult::status and
+/// `result.truncated`.
 AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
                                   const db::Database& db,
                                   const ExecutionContext& ctx =

@@ -1,13 +1,45 @@
 #include "csp/serialization.h"
 
+#include <charconv>
 #include <sstream>
 
 namespace qc::csp {
 
 namespace {
 
-void SetError(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
+/// A whitespace-delimited token with its 1-based column (embedded NUL bytes
+/// are ordinary token characters; from_chars rejects them later).
+struct Token {
+  std::string_view text;
+  int column;
+};
+
+std::vector<Token> SplitLine(std::string_view line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    tokens.push_back(
+        {line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return tokens;
+}
+
+std::optional<long long> ParseInt(std::string_view token) {
+  long long v = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return v;
 }
 
 }  // namespace
@@ -30,10 +62,8 @@ std::string ToText(const CspInstance& csp) {
   return out.str();
 }
 
-std::optional<CspInstance> FromText(const std::string& text,
-                                    std::string* error) {
-  std::istringstream in(text);
-  std::string line;
+util::ParseResult<CspInstance> ParseCsp(const std::string& text) {
+  using Result = util::ParseResult<CspInstance>;
   CspInstance csp;
   bool have_header = false;
   int line_no = 0;
@@ -41,65 +71,121 @@ std::optional<CspInstance> FromText(const std::string& text,
   std::optional<std::vector<int>> pending_scope;
   std::optional<Relation> pending_relation;
 
-  auto fail = [&](const std::string& message) {
-    SetError(error, "line " + std::to_string(line_no) + ": " + message);
-    return std::nullopt;
+  auto fail = [&](int column, std::string message) {
+    return Result::Fail(util::ParseError{line_no, column, std::move(message)});
   };
 
-  while (std::getline(in, line)) {
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string_view line =
+        std::string_view(text).substr(line_start, line_end - line_start);
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string keyword;
-    if (line.rfind("csp ", 0) == 0) {
-      ls >> keyword >> csp.num_vars >> csp.domain_size;
-      if (ls.fail() || csp.num_vars < 0 || csp.domain_size < 0) {
-        return fail("bad header");
+    bool last_line = line_end == text.size();
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == '#') {
+      if (last_line) break;
+      continue;
+    }
+    std::vector<Token> tokens = SplitLine(line);
+    if (tokens.empty()) {
+      if (last_line) break;
+      continue;
+    }
+    const Token& head = tokens[0];
+    if (head.text == "csp") {
+      if (tokens.size() != 3) return fail(head.column, "bad header");
+      auto nv = ParseInt(tokens[1].text);
+      auto ds = ParseInt(tokens[2].text);
+      if (!nv || *nv < 0 || *nv > kMaxCspVars) {
+        return fail(tokens[1].column,
+                    "bad variable count '" +
+                        util::ClipForError(tokens[1].text) + "'");
       }
+      if (!ds || *ds < 0 || *ds > kMaxCspDomain) {
+        return fail(tokens[2].column,
+                    "bad domain size '" + util::ClipForError(tokens[2].text) +
+                        "'");
+      }
+      csp.num_vars = static_cast<int>(*nv);
+      csp.domain_size = static_cast<int>(*ds);
       have_header = true;
-    } else if (line.rfind("constraint", 0) == 0) {
-      if (!have_header) return fail("constraint before header");
-      if (pending_scope) return fail("nested constraint");
-      int arity = 0;
-      ls >> keyword >> arity;
-      if (ls.fail() || arity < 1) return fail("bad constraint arity");
-      std::vector<int> scope(arity);
-      for (int& v : scope) {
-        ls >> v;
-        if (ls.fail() || v < 0 || v >= csp.num_vars) {
-          return fail("bad scope variable");
+    } else if (head.text == "constraint") {
+      if (!have_header) return fail(head.column, "constraint before header");
+      if (pending_scope) return fail(head.column, "nested constraint");
+      if (tokens.size() < 2) return fail(head.column, "missing arity");
+      auto arity = ParseInt(tokens[1].text);
+      if (!arity || *arity < 1 || *arity > kMaxCspArity) {
+        return fail(tokens[1].column,
+                    "bad constraint arity '" +
+                        util::ClipForError(tokens[1].text) + "'");
+      }
+      if (static_cast<long long>(tokens.size()) != 2 + *arity) {
+        return fail(head.column, "scope has " +
+                                     std::to_string(tokens.size() - 2) +
+                                     " variables, arity says " +
+                                     std::to_string(*arity));
+      }
+      std::vector<int> scope(static_cast<std::size_t>(*arity));
+      for (std::size_t i = 0; i < scope.size(); ++i) {
+        auto v = ParseInt(tokens[2 + i].text);
+        if (!v || *v < 0 || *v >= csp.num_vars) {
+          return fail(tokens[2 + i].column,
+                      "bad scope variable '" +
+                          util::ClipForError(tokens[2 + i].text) + "'");
         }
+        scope[i] = static_cast<int>(*v);
       }
       pending_scope = std::move(scope);
-      pending_relation = Relation(arity);
-    } else if (line.rfind("end", 0) == 0) {
-      if (!pending_scope) return fail("'end' without constraint");
+      pending_relation = Relation(static_cast<int>(*arity));
+    } else if (head.text == "end") {
+      if (!pending_scope) return fail(head.column, "'end' without constraint");
       pending_relation->Seal();
       csp.AddConstraint(std::move(*pending_scope),
                         std::move(*pending_relation));
       pending_scope.reset();
       pending_relation.reset();
     } else {
-      if (!pending_scope) return fail("tuple outside constraint");
-      std::vector<int> tuple(pending_scope->size());
-      for (int& v : tuple) {
-        ls >> v;
-        if (ls.fail() || v < 0 || v >= csp.domain_size) {
-          return fail("bad tuple value");
+      if (!pending_scope) return fail(head.column, "tuple outside constraint");
+      if (tokens.size() != pending_scope->size()) {
+        return fail(head.column,
+                    "tuple has " + std::to_string(tokens.size()) +
+                        " values, constraint arity is " +
+                        std::to_string(pending_scope->size()));
+      }
+      std::vector<int> tuple(tokens.size());
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        auto v = ParseInt(tokens[i].text);
+        if (!v || *v < 0 || *v >= csp.domain_size) {
+          return fail(tokens[i].column,
+                      "bad tuple value '" +
+                          util::ClipForError(tokens[i].text) + "'");
         }
+        tuple[i] = static_cast<int>(*v);
       }
       pending_relation->Add(std::move(tuple));
     }
+    if (last_line) break;
   }
   if (!have_header) {
-    SetError(error, "missing header");
-    return std::nullopt;
+    return Result::Fail(util::ParseError{1, 1, "missing header"});
   }
   if (pending_scope) {
-    SetError(error, "unterminated constraint");
+    return Result::Fail(
+        util::ParseError{line_no, 1, "unterminated constraint"});
+  }
+  return Result::Ok(std::move(csp));
+}
+
+std::optional<CspInstance> FromText(const std::string& text,
+                                    std::string* error) {
+  util::ParseResult<CspInstance> parsed = ParseCsp(text);
+  if (!parsed) {
+    if (error != nullptr) *error = parsed.error.ToString();
     return std::nullopt;
   }
-  return csp;
+  return std::move(*parsed);
 }
 
 }  // namespace qc::csp

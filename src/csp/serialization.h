@@ -5,8 +5,16 @@
 #include <string>
 
 #include "csp/csp.h"
+#include "util/parse.h"
 
 namespace qc::csp {
+
+/// Hardening caps on untrusted CSP text: inputs past these are rejected with
+/// a position-annotated error rather than allocated (a 5-billion-ary
+/// constraint, an implausible variable count).
+inline constexpr long long kMaxCspArity = 1024;
+inline constexpr long long kMaxCspVars = 1LL << 26;
+inline constexpr long long kMaxCspDomain = 1LL << 26;
 
 /// Serializes a CSP instance in a simple line format:
 ///
@@ -19,8 +27,12 @@ namespace qc::csp {
 /// Lines starting with '#' are comments.
 std::string ToText(const CspInstance& csp);
 
-/// Parses the ToText format; returns nullopt (with a message in *error) on
-/// malformed input.
+/// Parses the ToText format with 1-based line/column positions on failure —
+/// the same error shape as db/parser.
+util::ParseResult<CspInstance> ParseCsp(const std::string& text);
+
+/// Legacy wrapper over ParseCsp: returns nullopt with the rendered
+/// "line L, column C: message" in *error on malformed input.
 std::optional<CspInstance> FromText(const std::string& text,
                                     std::string* error = nullptr);
 

@@ -115,6 +115,10 @@ class Searcher {
       aborted_ = true;
       return true;  // Unwind as if stopped.
     }
+    if (options_.budget != nullptr && options_.budget->Poll()) {
+      aborted_ = true;
+      return true;
+    }
     if (depth == csp_.num_vars) return !visitor(assignment_);
     int var = PickVariable();
     for (int d = 0; d < csp_.domain_size; ++d) {
@@ -163,7 +167,12 @@ CspSolution BacktrackingSolver::Solve(const CspInstance& csp) {
   });
   aborted_ = searcher.aborted();
   (void)stopped;
-  if (aborted_) result.found = false;
+  if (aborted_) {
+    result.found = false;
+    result.status = options_.budget != nullptr && options_.budget->Stopped()
+                        ? options_.budget->status()
+                        : util::RunStatus::kBudgetExhausted;
+  }
   return result;
 }
 

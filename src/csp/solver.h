@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "csp/csp.h"
+#include "util/budget.h"
 
 namespace qc::csp {
 
@@ -16,11 +17,14 @@ struct SearchStats {
   std::uint64_t consistency_checks = 0;
 };
 
-/// Result of a satisfiability search.
+/// Result of a satisfiability search. When `status != kCompleted` the search
+/// gave up (budget trip or max_nodes) and `found == false` means *Unknown*,
+/// not unsatisfiable; `stats` still reports the effort spent.
 struct CspSolution {
   bool found = false;
   std::vector<int> assignment;  ///< One value per variable, when found.
   SearchStats stats;
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// Backtracking search with minimum-remaining-values variable ordering and
@@ -32,6 +36,8 @@ class BacktrackingSolver {
     bool forward_checking = true;
     bool mrv = true;  ///< Minimum-remaining-values order (else index order).
     std::uint64_t max_nodes = 0;  ///< 0 = unlimited.
+    /// Optional cooperative budget, polled once per search node.
+    util::Budget* budget = nullptr;
   };
 
   BacktrackingSolver();
@@ -49,7 +55,8 @@ class BacktrackingSolver {
       const CspInstance& csp,
       const std::function<bool(const std::vector<int>&)>& callback);
 
-  /// True if the last Solve hit max_nodes.
+  /// True if the last Solve/Count/Enumerate hit max_nodes or a tripped
+  /// budget (CspSolution::status distinguishes the causes).
   bool aborted() const { return aborted_; }
 
  private:

@@ -32,7 +32,8 @@ std::vector<int> Project(const std::vector<int>& bag_vars,
 }  // namespace
 
 TreeDpResult SolveWithDecomposition(const CspInstance& csp,
-                                    const graph::TreeDecomposition& td) {
+                                    const graph::TreeDecomposition& td,
+                                    util::Budget* budget) {
   TreeDpResult result;
   result.width_used = td.Width();
   const int nb = static_cast<int>(td.bags.size());
@@ -127,6 +128,11 @@ TreeDpResult SolveWithDecomposition(const CspInstance& csp,
       total_rows *= static_cast<unsigned long long>(csp.domain_size);
     }
     for (unsigned long long row = 0; row < total_rows; ++row) {
+      // Safe point per table row — the |D|^{k+1} factor that blows up.
+      if (budget != nullptr && budget->ChargeWork(1)) {
+        result.status = budget->status();
+        return result;
+      }
       ++result.table_entries;
       // Check this bag's constraints.
       bool ok = true;
@@ -206,15 +212,24 @@ TreeDpResult SolveWithDecomposition(const CspInstance& csp,
 }
 
 TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below,
-                              int threads) {
+                              int threads, util::Budget* budget) {
   graph::Graph primal = csp.PrimalGraph();
   graph::TreeDecomposition td;
+  bool have_exact = false;
   if (primal.num_vertices() <= exact_below) {
-    td = graph::ExactTreewidth(primal, 24, threads).decomposition;
-  } else {
+    graph::ExactTreewidthResult tw =
+        graph::ExactTreewidth(primal, 24, threads, budget);
+    if (tw.status == util::RunStatus::kCompleted) {
+      td = std::move(tw.decomposition);
+      have_exact = true;
+    }
+  }
+  if (!have_exact) {
+    // Heuristic fallback (also when the exact search was cut off — the DP
+    // below re-polls the budget immediately, so a tripped run stays prompt).
     td = graph::HeuristicTreewidth(primal).decomposition;
   }
-  return SolveWithDecomposition(csp, td);
+  return SolveWithDecomposition(csp, td, budget);
 }
 
 }  // namespace qc::csp

@@ -6,10 +6,14 @@
 
 #include "csp/csp.h"
 #include "graph/treewidth.h"
+#include "util/budget.h"
 
 namespace qc::csp {
 
-/// Result of the tree-decomposition dynamic program.
+/// Result of the tree-decomposition dynamic program. When
+/// `status != kCompleted` the DP was cut off by its budget: satisfiable/
+/// solution_count are meaningless (*Unknown*), but table_entries still
+/// reports the work done.
 struct TreeDpResult {
   bool satisfiable = false;
   std::vector<int> assignment;      ///< A witness, when satisfiable.
@@ -18,23 +22,27 @@ struct TreeDpResult {
                                     ///< the |V| * |D|^{k+1} work measure of
                                     ///< Theorem 4.2.
   int width_used = -1;              ///< Width of the decomposition used.
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// Freuder's algorithm (Theorem 4.2): solves and counts a CSP by dynamic
 /// programming over the given tree decomposition of its primal graph.
+/// Charges `budget` one work step per bag-assignment row.
 ///
 /// Every constraint scope is a clique of the primal graph and therefore lies
 /// inside some bag; aborts if the decomposition misses one (i.e. it is not a
 /// valid decomposition of the primal graph).
 TreeDpResult SolveWithDecomposition(const CspInstance& csp,
-                                    const graph::TreeDecomposition& td);
+                                    const graph::TreeDecomposition& td,
+                                    util::Budget* budget = nullptr);
 
 /// Convenience: builds a heuristic tree decomposition of the primal graph
 /// (min-degree / min-fill, exact for small graphs when `exact_below` vertices
 /// or fewer) and runs the DP. `threads` parallelizes the exact-treewidth
-/// per-component DP (0 = QC_THREADS).
+/// per-component DP (0 = QC_THREADS). The budget covers both the
+/// decomposition search and the DP itself.
 TreeDpResult SolveTreewidthDp(const CspInstance& csp, int exact_below = 16,
-                              int threads = 0);
+                              int threads = 0, util::Budget* budget = nullptr);
 
 }  // namespace qc::csp
 

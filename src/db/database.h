@@ -93,6 +93,9 @@ class Database {
 struct JoinResult {
   std::vector<std::string> attributes;
   std::vector<Tuple> tuples;
+  /// True when the producing engine stopped early (deadline, row limit,
+  /// cancellation): `tuples` is a subset of the true answer.
+  bool truncated = false;
 
   /// Sorts tuples (for order-insensitive comparison in tests) and removes
   /// duplicates.

@@ -22,7 +22,9 @@ int CompareProjection(const Value* row, const std::vector<int>& cols,
 }  // namespace
 
 AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
-                                     const Database& db) {
+                                     const Database& db,
+                                     util::Budget* budget)
+    : budget_(budget) {
   std::vector<int> parent, bottom_up;
   if (!BuildJoinTree(query, &parent, &bottom_up)) return;
   const int m = static_cast<int>(query.atoms.size());
@@ -33,23 +35,40 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
   }
   attributes_ = query.AttributeOrder();
 
+  // A trip during preprocessing leaves the enumerator invalid — a partially
+  // reduced tree cannot promise constant-delay answers.
+  auto tripped = [&] {
+    if (budget_ == nullptr || !budget_->Stopped()) return false;
+    status_ = budget_->status();
+    return true;
+  };
+
   // Materialize + full semijoin reduction (the linear preprocessing pass).
   std::vector<JoinResult> rel(m);
   for (int e = 0; e < m; ++e) {
+    if (budget_ != nullptr && budget_->Poll()) break;
     rel[e] = MaterializeAtom(query.atoms[e], db);
     rel[e].Normalize();
   }
+  if (tripped()) return;
   for (int e : bottom_up) {
-    if (parent[e] >= 0) rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+    if (parent[e] >= 0) {
+      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget_);
+    }
   }
+  if (tripped()) return;
   for (auto it = bottom_up.rbegin(); it != bottom_up.rend(); ++it) {
-    if (parent[*it] >= 0) rel[*it] = Semijoin(rel[*it], rel[parent[*it]]);
+    if (parent[*it] >= 0) {
+      rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget_);
+    }
   }
+  if (tripped()) return;
 
   // Root-first order.
   order_.assign(bottom_up.rbegin(), bottom_up.rend());
   nodes_.resize(m);
   for (int e = 0; e < m; ++e) {
+    if (budget_ != nullptr && budget_->Poll()) break;
     TreeNode& node = nodes_[e];
     node.parent = parent[e];
     node.attrs = rel[e].attributes;
@@ -80,6 +99,7 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
               });
     node.rows.ApplyPermutation(idx);
   }
+  if (tripped()) return;
   frames_.resize(m);
   valid_ = true;
   Reset();
@@ -135,6 +155,11 @@ void AcyclicEnumerator::Reset() {
 
 std::optional<Tuple> AcyclicEnumerator::Next() {
   if (!valid_ || done_) return std::nullopt;
+  if (budget_ != nullptr && budget_->Poll()) {
+    status_ = budget_->status();
+    done_ = true;
+    return std::nullopt;
+  }
   if (order_.empty()) {
     // Zero atoms: exactly one empty answer.
     done_ = true;
@@ -181,6 +206,11 @@ std::optional<Tuple> AcyclicEnumerator::Next() {
                           node.attrs[i]);
       answer[it - attributes_.begin()] = t[i];
     }
+  }
+  // Charge the row being delivered: with a row limit of R, exactly R answers
+  // stream out and the (R+1)-th call observes the trip at its entry poll.
+  if (budget_ != nullptr && budget_->ChargeRows(1)) {
+    status_ = budget_->status();
   }
   return answer;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "db/joins.h"
+#include "util/budget.h"
 
 namespace qc::db {
 
@@ -17,9 +18,19 @@ namespace qc::db {
 class AcyclicEnumerator {
  public:
   /// Preprocesses; fails (IsValid() == false) if the query is cyclic.
-  AcyclicEnumerator(const JoinQuery& query, const Database& db);
+  /// `budget` (optional, not owned; must outlive the enumerator) is polled
+  /// during the preprocessing pass and once per Next(): if it trips during
+  /// preprocessing the enumerator comes up invalid with status() recording
+  /// the cause; if it trips mid-enumeration, Next() returns nullopt early —
+  /// distinguish exhaustion from a trip via status().
+  AcyclicEnumerator(const JoinQuery& query, const Database& db,
+                    util::Budget* budget = nullptr);
 
   bool IsValid() const { return valid_; }
+
+  /// kCompleted unless the budget cut the run short (then the tripped
+  /// status; the answers streamed so far are a prefix of the full answer).
+  util::RunStatus status() const { return status_; }
 
   /// Result schema (canonical attribute order).
   const std::vector<std::string>& attributes() const { return attributes_; }
@@ -60,6 +71,8 @@ class AcyclicEnumerator {
   std::vector<Frame> frames_;
   bool done_ = false;
   bool started_ = false;
+  util::Budget* budget_ = nullptr;  ///< Not owned; may be null.
+  util::RunStatus status_ = util::RunStatus::kCompleted;
 };
 
 }  // namespace qc::db

@@ -39,6 +39,7 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
     atoms_.push_back(std::move(idx));
   }
   ctx_.Count("trie.nodes", trie_nodes_);
+  budget_ = ctx_.ResolveBudget();
 }
 
 int GenericJoin::ResolvedThreads() const { return ctx_.ResolvedThreads(); }
@@ -167,6 +168,12 @@ void GenericJoin::Search(int depth, std::vector<Span>& spans,
   DepthScratch& ds = scratch[depth];
   LeapfrogIntersect(depth, spans, ds, stats,
                     [&](Value v, const std::int32_t* pos) {
+                      // Safe point: one budget poll per search node (~1
+                      // relaxed atomic load; see util::Budget).
+                      if (budget_->Poll()) {
+                        *stop = true;
+                        return false;
+                      }
                       ++stats->nodes;
                       binding[depth] = v;
                       for (int i = 0; i < h; ++i) {
@@ -194,6 +201,9 @@ bool GenericJoin::ComputeRootCandidates(RootCandidates* candidates,
   scratch.ends.resize(h);
   LeapfrogIntersect(0, spans, scratch, stats,
                     [&](Value v, const std::int32_t* pos) {
+                      // A tripped budget leaves a prefix of the candidates —
+                      // a subset of the answer, consistent with truncation.
+                      if (budget_->Poll()) return false;
                       candidates->values.push_back(v);
                       candidates->positions.insert(candidates->positions.end(),
                                                    pos, pos + h);
@@ -211,6 +221,10 @@ void GenericJoin::SearchCandidate(
   const std::size_t h = holders.size();
   const std::int32_t* pos = candidates.positions.data() + i * h;
   DepthScratch& ds = scratch[0];
+  if (budget_->Poll()) {
+    *stop = true;
+    return;
+  }
   ++stats->nodes;
   binding[0] = candidates.values[i];
   for (std::size_t j = 0; j < h; ++j) {
@@ -247,16 +261,20 @@ void GenericJoin::Enumerate(const std::function<bool(const Tuple&)>& visitor) {
   }
   stats_ += run;
   ExportStats(run);
+  run_status_ = budget_->status();
 }
 
 JoinResult GenericJoin::Evaluate() {
   JoinResult out;
   out.attributes = attribute_order_;
   if (ResolvedThreads() <= 1 || attribute_order_.empty()) {
-    Enumerate([&out](const Tuple& t) {
+    // Charge after pushing: at a row limit R, exactly R rows materialize.
+    Enumerate([this, &out](const Tuple& t) {
       out.tuples.push_back(t);
-      return true;
+      return !budget_->ChargeRows(1);
     });
+    run_status_ = budget_->status();
+    out.truncated = run_status_ != util::RunStatus::kCompleted;
     return out;
   }
 
@@ -281,27 +299,38 @@ JoinResult GenericJoin::Evaluate() {
             std::vector<DepthScratch> scratch = MakeScratch();
             Tuple binding(attribute_order_.size());
             bool stop = false;
-            auto sink = [&buffers, c](const Tuple& t) {
+            auto sink = [this, &buffers, &stop, c](const Tuple& t) {
               buffers[c].push_back(t);
+              if (budget_->ChargeRows(1)) {
+                stop = true;
+                return false;
+              }
               return true;
             };
-            for (std::int64_t i = c * n / chunks; i < (c + 1) * n / chunks;
-                 ++i) {
+            for (std::int64_t i = c * n / chunks;
+                 i < (c + 1) * n / chunks && !stop; ++i) {
               SearchCandidate(candidates, static_cast<std::size_t>(i), spans,
                               scratch, binding, sink, &stop, &chunk_stats[c]);
             }
           }
         },
-        threads);
+        threads, /*min_grain=*/1, budget_.get());
     for (std::int64_t c = 0; c < chunks; ++c) {
       run += chunk_stats[c];
       out.tuples.insert(out.tuples.end(),
                         std::make_move_iterator(buffers[c].begin()),
                         std::make_move_iterator(buffers[c].end()));
     }
+    // Concurrent chunks may each materialize a last row before observing the
+    // global row limit; clamp so the merged answer honours it exactly.
+    if (budget_->row_limit() > 0 && out.tuples.size() > budget_->row_limit()) {
+      out.tuples.resize(budget_->row_limit());
+    }
   }
   stats_ += run;
   ExportStats(run);
+  run_status_ = budget_->status();
+  out.truncated = run_status_ != util::RunStatus::kCompleted;
   return out;
 }
 
@@ -314,6 +343,8 @@ bool GenericJoin::IsEmpty() {
     });
     return !found;
   }
+  // "Non-empty" is always a real witness; "empty" under a tripped budget
+  // (status() != kCompleted) means Unknown.
 
   GenericJoinStats run;
   RootCandidates candidates;
@@ -344,20 +375,24 @@ bool GenericJoin::IsEmpty() {
             }
           }
         },
-        threads);
+        threads, /*min_grain=*/1, budget_.get());
     for (const auto& cs : chunk_stats) run += cs;
   }
   stats_ += run;
   ExportStats(run);
+  run_status_ = budget_->status();
   return !found.load();
 }
 
 std::uint64_t GenericJoin::Count() {
+  // Counted rows are charged like materialized ones, so --max-rows bounds
+  // counting effort too; on a trip the count-so-far is returned (a lower
+  // bound on the true count) with status() recording the cause.
   if (ResolvedThreads() <= 1 || attribute_order_.empty()) {
     std::uint64_t count = 0;
-    Enumerate([&count](const Tuple&) {
+    Enumerate([this, &count](const Tuple&) {
       ++count;
-      return true;
+      return !budget_->ChargeRows(1);
     });
     return count;
   }
@@ -380,18 +415,22 @@ std::uint64_t GenericJoin::Count() {
             std::vector<DepthScratch> scratch = MakeScratch();
             Tuple binding(attribute_order_.size());
             bool stop = false;
-            auto sink = [&counts, c](const Tuple&) {
+            auto sink = [this, &counts, &stop, c](const Tuple&) {
               ++counts[c];
+              if (budget_->ChargeRows(1)) {
+                stop = true;
+                return false;
+              }
               return true;
             };
-            for (std::int64_t i = c * n / chunks; i < (c + 1) * n / chunks;
-                 ++i) {
+            for (std::int64_t i = c * n / chunks;
+                 i < (c + 1) * n / chunks && !stop; ++i) {
               SearchCandidate(candidates, static_cast<std::size_t>(i), spans,
                               scratch, binding, sink, &stop, &chunk_stats[c]);
             }
           }
         },
-        threads);
+        threads, /*min_grain=*/1, budget_.get());
     for (std::int64_t c = 0; c < chunks; ++c) {
       run += chunk_stats[c];
       count += counts[c];
@@ -399,6 +438,7 @@ std::uint64_t GenericJoin::Count() {
   }
   stats_ += run;
   ExportStats(run);
+  run_status_ = budget_->status();
   return count;
 }
 

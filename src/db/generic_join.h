@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/context.h"
 #include "db/database.h"
 #include "db/trie_index.h"
+#include "util/budget.h"
 
 namespace qc::db {
 
@@ -51,6 +53,16 @@ struct GenericJoinStats {
 /// stats) are bit-identical to the serial run at any thread count.
 /// Enumerate always streams serially: its visitor contract (in-order
 /// delivery, early stop) is order-sensitive.
+///
+/// The join observes the budget resolved from `ctx` (deadline, row limit,
+/// cancellation): the search polls it once per node and Evaluate charges one
+/// output row per materialized tuple. After any entry point, status()
+/// reports how the run ended. Partial-result semantics on a trip:
+/// Evaluate returns the rows materialized so far with `truncated = true`
+/// (a subset of the true answer, at most `max_output_rows` rows when that
+/// limit tripped); Count returns the count so far; IsEmpty's "empty" verdict
+/// is only trustworthy when status() == kCompleted ("non-empty" is always
+/// real). When the budget never trips, results are untouched.
 class GenericJoin {
  public:
   /// Prepares sorted tries for `query` over `db`. If `attribute_order` is
@@ -77,6 +89,8 @@ class GenericJoin {
   void Enumerate(const std::function<bool(const Tuple&)>& visitor);
 
   const GenericJoinStats& stats() const { return stats_; }
+  /// How the most recent Evaluate/Count/IsEmpty/Enumerate ended.
+  util::RunStatus status() const { return run_status_; }
   const std::vector<std::string>& attribute_order() const {
     return attribute_order_;
   }
@@ -169,6 +183,9 @@ class GenericJoin {
   std::uint64_t trie_nodes_ = 0;
   GenericJoinStats stats_;
   ExecutionContext ctx_;
+  /// Resolved once at construction and shared by every worker; never null.
+  std::shared_ptr<util::Budget> budget_;
+  util::RunStatus run_status_ = util::RunStatus::kCompleted;
 };
 
 }  // namespace qc::db

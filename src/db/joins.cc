@@ -94,11 +94,12 @@ FlatRelation MaterializeAtomFlat(const Atom& atom, const Database& db,
 }
 
 JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
-                    JoinStats* stats) {
+                    JoinStats* stats, util::Budget* budget) {
   // Shared attributes and column maps.
   std::vector<int> left_shared, right_shared, right_extra;
   JoinResult out;
   out.attributes = left.attributes;
+  out.truncated = left.truncated || right.truncated;
   for (std::size_t j = 0; j < right.attributes.size(); ++j) {
     auto it = std::find(left.attributes.begin(), left.attributes.end(),
                         right.attributes[j]);
@@ -119,6 +120,10 @@ JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
     index[std::move(key)].push_back(&t);
   }
   for (const auto& t : left.tuples) {
+    if (budget != nullptr && budget->Poll()) {
+      out.truncated = true;
+      break;
+    }
     Tuple key;
     key.reserve(left_shared.size());
     for (int c : left_shared) key.push_back(t[c]);

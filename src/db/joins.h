@@ -5,6 +5,7 @@
 #include <map>
 
 #include "db/database.h"
+#include "util/budget.h"
 
 namespace qc::db {
 
@@ -18,9 +19,12 @@ struct JoinStats {
 
 /// Hash-joins two materialized results on their shared attributes
 /// (natural join). The output schema is left's attributes followed by
-/// right's non-shared attributes.
+/// right's non-shared attributes. Polls `budget` once per probed left tuple;
+/// on a trip the result carries the rows produced so far with
+/// `truncated = true`.
 JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
-                    JoinStats* stats = nullptr);
+                    JoinStats* stats = nullptr,
+                    util::Budget* budget = nullptr);
 
 /// Evaluates the query with a left-deep sequence of binary hash joins in the
 /// given atom order (indices into query.atoms).

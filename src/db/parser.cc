@@ -14,27 +14,12 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// 1-based line/column of byte offset `pos` in `text`.
 ParseError ErrorAt(const std::string& text, std::size_t pos,
                    std::string message) {
-  int line = 1, column = 1;
-  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
-    if (text[i] == '\n') {
-      ++line;
-      column = 1;
-    } else {
-      ++column;
-    }
-  }
-  return ParseError{line, column, std::move(message)};
+  return util::ErrorAtOffset(text, pos, std::move(message));
 }
 
 }  // namespace
-
-std::string ParseError::ToString() const {
-  return "line " + std::to_string(line) + ", column " + std::to_string(column) +
-         ": " + message;
-}
 
 ParseResult<JoinQuery> ParseJoinQuery(const std::string& text) {
   using Result = ParseResult<JoinQuery>;
@@ -47,10 +32,17 @@ ParseResult<JoinQuery> ParseJoinQuery(const std::string& text) {
       ++i;
     }
   };
+  // Returns the identifier starting at i, or an empty optional when i does
+  // not start one. Identifiers past kMaxIdentifierLength are scanned to the
+  // end (so the error position is right) but reported, not materialized.
+  std::size_t ident_start = 0;
+  std::size_t ident_length = 0;
   auto parse_ident = [&]() -> std::optional<std::string> {
     if (i >= text.size() || !IsIdentStart(text[i])) return std::nullopt;
     std::size_t start = i;
     while (i < text.size() && IsIdentChar(text[i])) ++i;
+    ident_start = start;
+    ident_length = i - start;
     return text.substr(start, i - start);
   };
 
@@ -60,10 +52,15 @@ ParseResult<JoinQuery> ParseJoinQuery(const std::string& text) {
     if (!relation) {
       return Result::Fail(ErrorAt(text, i, "expected relation name"));
     }
+    if (ident_length > kMaxIdentifierLength) {
+      return Result::Fail(ErrorAt(
+          text, ident_start,
+          "relation name too long: " + util::ClipForError(*relation)));
+    }
     skip_separators();
     if (i >= text.size() || text[i] != '(') {
-      return Result::Fail(
-          ErrorAt(text, i, "expected '(' after relation " + *relation));
+      return Result::Fail(ErrorAt(
+          text, i, "expected '(' after relation " + util::ClipForError(*relation)));
     }
     ++i;
     std::vector<std::string> attributes;
@@ -75,14 +72,27 @@ ParseResult<JoinQuery> ParseJoinQuery(const std::string& text) {
       }
       auto attr = parse_ident();
       if (!attr) {
-        return Result::Fail(
-            ErrorAt(text, i, "expected attribute name in " + *relation));
+        return Result::Fail(ErrorAt(
+            text, i,
+            "expected attribute name in " + util::ClipForError(*relation)));
+      }
+      if (ident_length > kMaxIdentifierLength) {
+        return Result::Fail(ErrorAt(
+            text, ident_start,
+            "attribute name too long: " + util::ClipForError(*attr)));
+      }
+      if (attributes.size() >= kMaxAtomArity) {
+        return Result::Fail(ErrorAt(
+            text, ident_start,
+            "atom " + util::ClipForError(*relation) + " exceeds max arity " +
+                std::to_string(kMaxAtomArity)));
       }
       attributes.push_back(*attr);
     }
     if (attributes.empty()) {
-      return Result::Fail(
-          ErrorAt(text, i, "relation " + *relation + " has no attributes"));
+      return Result::Fail(ErrorAt(
+          text, i,
+          "relation " + util::ClipForError(*relation) + " has no attributes"));
     }
     query.Add(*relation, std::move(attributes));
     skip_separators();
@@ -127,7 +137,15 @@ ParseResult<std::vector<Tuple>> ParseTuples(const std::string& text) {
       if (ec != std::errc() || ptr != text.data() + i) {
         return Result::Fail(ErrorAt(
             text, start,
-            "bad value '" + text.substr(start, i - start) + "'"));
+            "bad value '" +
+                util::ClipForError(
+                    std::string_view(text).substr(start, i - start)) +
+                "'"));
+      }
+      if (tuple.size() >= kMaxTupleArity) {
+        return Result::Fail(
+            ErrorAt(text, start,
+                    "tuple exceeds max arity " + std::to_string(kMaxTupleArity)));
       }
       tuple.push_back(v);
     }

@@ -1,49 +1,26 @@
 #ifndef QC_DB_PARSER_H_
 #define QC_DB_PARSER_H_
 
-#include <optional>
 #include <string>
-#include <utility>
 
 #include "db/database.h"
+#include "util/parse.h"
 
 namespace qc::db {
 
-/// A parse failure with the 1-based source position it occurred at.
-struct ParseError {
-  int line = 0;
-  int column = 0;
-  std::string message;
-
-  /// "line L, column C: message".
-  std::string ToString() const;
-};
-
-/// Outcome of a parse: either a value or a position-annotated error.
-/// Replaces the old nullopt-plus-out-parameter reporting.
+/// Parse errors/results are the shared util types so db and csp front ends
+/// report failures identically; the aliases keep existing call sites
+/// (`db::ParseError`, `db::ParseResult<T>`) source-compatible.
+using ParseError = util::ParseError;
 template <typename T>
-struct ParseResult {
-  std::optional<T> value;
-  ParseError error;  ///< Meaningful only when !has_value().
+using ParseResult = util::ParseResult<T>;
 
-  bool has_value() const { return value.has_value(); }
-  explicit operator bool() const { return value.has_value(); }
-  T& operator*() { return *value; }
-  const T& operator*() const { return *value; }
-  T* operator->() { return &*value; }
-  const T* operator->() const { return &*value; }
-
-  static ParseResult Ok(T v) {
-    ParseResult r;
-    r.value = std::move(v);
-    return r;
-  }
-  static ParseResult Fail(ParseError e) {
-    ParseResult r;
-    r.error = std::move(e);
-    return r;
-  }
-};
+/// Hardening caps on untrusted text input. Inputs past these are rejected
+/// with a position-annotated error rather than parsed into pathological
+/// in-memory structures (a 10MB identifier, a 100k-ary atom).
+inline constexpr std::size_t kMaxIdentifierLength = 1 << 16;
+inline constexpr std::size_t kMaxAtomArity = 4096;
+inline constexpr std::size_t kMaxTupleArity = 1 << 16;
 
 /// Parses a join query in the conventional text form
 ///

@@ -37,7 +37,8 @@ bool IsAcyclicQuery(const JoinQuery& query) {
   return graph::IsAlphaAcyclic(h);
 }
 
-JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
+JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
+                    util::Budget* budget) {
   std::vector<int> a_cols, b_cols;
   for (std::size_t i = 0; i < a.attributes.size(); ++i) {
     auto it =
@@ -49,6 +50,7 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
   }
   JoinResult out;
   out.attributes = a.attributes;
+  out.truncated = a.truncated || b.truncated;
   if (a_cols.empty()) {
     // No shared attributes: keep all of A iff B is nonempty.
     if (!b.tuples.empty()) out.tuples = a.tuples;
@@ -65,6 +67,10 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
   }
   keys.SortLexAndDedup();
   for (const auto& t : a.tuples) {
+    if (budget != nullptr && budget->Poll()) {
+      out.truncated = true;
+      break;
+    }
     for (std::size_t i = 0; i < a_cols.size(); ++i) key[i] = t[a_cols[i]];
     if (SortedContains(keys, key.data())) out.tuples.push_back(t);
   }
@@ -73,7 +79,8 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b) {
 
 std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
-                                             JoinStats* stats) {
+                                             JoinStats* stats,
+                                             util::Budget* budget) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
@@ -82,16 +89,35 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
     empty.tuples.push_back({});
     return empty;
   }
+  // On a budget trip, bail out with the canonical schema and whatever subset
+  // of the answer the phases below produced (often nothing) — a dropped
+  // tuple anywhere in the pipeline only ever shrinks the final answer.
+  auto truncated_result = [&](std::vector<Tuple> tuples = {}) {
+    JoinResult out;
+    out.attributes = query.AttributeOrder();
+    out.tuples = std::move(tuples);
+    out.truncated = true;
+    return out;
+  };
   std::vector<JoinResult> rel(m);
-  for (int e = 0; e < m; ++e) rel[e] = MaterializeAtom(query.atoms[e], db);
+  for (int e = 0; e < m; ++e) {
+    if (budget != nullptr && budget->Poll()) return truncated_result();
+    rel[e] = MaterializeAtom(query.atoms[e], db);
+  }
 
   // Upward sweep: parent ⋉ child, children first.
   for (int e : order) {
-    if (parent[e] >= 0) rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+    if (parent[e] >= 0) {
+      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
+      if (rel[parent[e]].truncated) return truncated_result();
+    }
   }
   // Downward sweep: child ⋉ parent, root first.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (parent[*it] >= 0) rel[*it] = Semijoin(rel[*it], rel[parent[*it]]);
+    if (parent[*it] >= 0) {
+      rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget);
+      if (rel[*it].truncated) return truncated_result();
+    }
   }
   // Join phase: fold children into parents bottom-up; the root accumulates
   // the full answer.
@@ -99,7 +125,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
   int root = -1;
   for (int e : order) {
     if (parent[e] >= 0) {
-      acc[parent[e]] = HashJoin(acc[parent[e]], acc[e], stats);
+      acc[parent[e]] = HashJoin(acc[parent[e]], acc[e], stats, budget);
+      if (acc[parent[e]].truncated) return truncated_result();
     } else {
       root = e;
     }
@@ -117,26 +144,36 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
   out.attributes = want;
   out.tuples.reserve(answer.tuples.size());
   for (const auto& t : answer.tuples) {
+    // Charge each delivered answer row so `--max-rows` caps the final
+    // output exactly, mirroring GenericJoin::Evaluate.
     Tuple reordered;
     reordered.reserve(perm.size());
     for (int c : perm) reordered.push_back(t[c]);
     out.tuples.push_back(std::move(reordered));
+    if (budget != nullptr && budget->ChargeRows(1)) {
+      out.truncated = true;
+      break;
+    }
   }
   return out;
 }
 
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
-                                      const Database& db) {
+                                      const Database& db,
+                                      util::Budget* budget) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
   if (m == 0) return true;
   std::vector<JoinResult> rel(m);
-  for (int e = 0; e < m; ++e) rel[e] = MaterializeAtom(query.atoms[e], db);
+  for (int e = 0; e < m; ++e) {
+    if (budget != nullptr && budget->Poll()) return false;  // Unknown.
+    rel[e] = MaterializeAtom(query.atoms[e], db);
+  }
   int root = -1;
   for (int e : order) {
     if (parent[e] >= 0) {
-      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e]);
+      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
     } else {
       root = e;
     }

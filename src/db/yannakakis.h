@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "db/joins.h"
+#include "util/budget.h"
 
 namespace qc::db {
 
@@ -17,21 +18,30 @@ bool BuildJoinTree(const JoinQuery& query, std::vector<int>* parent,
                    std::vector<int>* order);
 
 /// Semijoin A ⋉ B: tuples of A whose projection onto the shared attributes
-/// occurs in B.
-JoinResult Semijoin(const JoinResult& a, const JoinResult& b);
+/// occurs in B. Polls `budget` once per probed tuple; on a trip the result
+/// carries the tuples kept so far with `truncated = true`.
+JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
+                    util::Budget* budget = nullptr);
 
 /// Yannakakis' algorithm for alpha-acyclic queries: two semijoin sweeps over
 /// the GYO join tree (full reduction), then joins along the tree, keeping
 /// every intermediate no larger than its own size times the output.
-/// Returns nullopt if the query is cyclic.
+/// Returns nullopt if the query is cyclic. Observes `budget` at every
+/// per-tuple safe point; when it trips, the returned result has
+/// `truncated = true`, the canonical attribute schema, and a subset of the
+/// answer rows (possibly none) — inspect budget->status() for the cause.
 std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
-                                             JoinStats* stats = nullptr);
+                                             JoinStats* stats = nullptr,
+                                             util::Budget* budget = nullptr);
 
 /// Boolean acyclic query evaluation: one semijoin sweep towards the root;
-/// nonempty root == nonempty answer. Returns nullopt if cyclic.
+/// nonempty root == nonempty answer. Returns nullopt if cyclic. On a budget
+/// trip the verdict is unreliable only when it says "empty": callers must
+/// treat a `false` under budget->Stopped() as Unknown.
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
-                                      const Database& db);
+                                      const Database& db,
+                                      util::Budget* budget = nullptr);
 
 }  // namespace qc::db
 

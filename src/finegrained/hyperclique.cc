@@ -5,8 +5,9 @@
 
 namespace qc::finegrained {
 
-HypercliqueSearcher::HypercliqueSearcher(const graph::Hypergraph& h, int d)
-    : h_(h), d_(d) {
+HypercliqueSearcher::HypercliqueSearcher(const graph::Hypergraph& h, int d,
+                                         util::Budget* budget)
+    : h_(h), d_(d), budget_(budget) {
   if (!h.IsUniform(d)) std::abort();
   sorted_edges_ = h.Edges();
   std::sort(sorted_edges_.begin(), sorted_edges_.end());
@@ -45,6 +46,12 @@ bool HypercliqueSearcher::Extend(int k, int next, std::vector<int>* current,
     return !count_all;
   }
   for (int v = next; v < h_.num_vertices(); ++v) {
+    // Safe point per candidate vertex; `stopped_` marks the unwind so the
+    // true return below is not mistaken for a witness.
+    if (budget_ != nullptr && budget_->Poll()) {
+      stopped_ = true;
+      return true;
+    }
     ++nodes_;
     if (!ClosesAllEdges(*current, v)) continue;
     current->push_back(v);
@@ -56,18 +63,28 @@ bool HypercliqueSearcher::Extend(int k, int next, std::vector<int>* current,
 
 std::optional<std::vector<int>> HypercliqueSearcher::Find(int k) {
   nodes_ = 0;
+  stopped_ = false;
+  status_ = util::RunStatus::kCompleted;
   if (k < d_) return std::nullopt;  // Degenerate: no edges to witness.
   std::vector<int> current;
-  if (Extend(k, 0, &current, nullptr, false)) return current;
+  bool found = Extend(k, 0, &current, nullptr, false);
+  if (stopped_) {
+    status_ = budget_->status();
+    return std::nullopt;
+  }
+  if (found) return current;
   return std::nullopt;
 }
 
 std::uint64_t HypercliqueSearcher::Count(int k) {
   nodes_ = 0;
+  stopped_ = false;
+  status_ = util::RunStatus::kCompleted;
   if (k < d_) return 0;
   std::vector<int> current;
   std::uint64_t count = 0;
   Extend(k, 0, &current, &count, true);
+  if (stopped_) status_ = budget_->status();
   return count;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/hypergraph.h"
+#include "util/budget.h"
 
 namespace qc::finegrained {
 
@@ -15,16 +16,25 @@ namespace qc::finegrained {
 /// in contrast to d = 2, where matrix multiplication helps.
 class HypercliqueSearcher {
  public:
-  HypercliqueSearcher(const graph::Hypergraph& h, int d);
+  /// `budget` (optional, not owned; must outlive the searcher) is polled
+  /// once per examined candidate vertex. On a trip, Find returns nullopt
+  /// without having exhausted the space and Count returns the count so far
+  /// (a lower bound); status() distinguishes both from a completed run.
+  HypercliqueSearcher(const graph::Hypergraph& h, int d,
+                      util::Budget* budget = nullptr);
 
-  /// Finds a k-hyperclique, or nullopt.
+  /// Finds a k-hyperclique, or nullopt. A nullopt is "none exists" only
+  /// when status() == kCompleted.
   std::optional<std::vector<int>> Find(int k);
 
-  /// Counts all k-hypercliques.
+  /// Counts all k-hypercliques (a lower bound when the budget tripped).
   std::uint64_t Count(int k);
 
   /// Candidate sets examined during the last call.
   std::uint64_t nodes_visited() const { return nodes_; }
+
+  /// How the last Find/Count ended.
+  util::RunStatus status() const { return status_; }
 
  private:
   bool Extend(int k, int next, std::vector<int>* current,
@@ -35,6 +45,11 @@ class HypercliqueSearcher {
   int d_;
   std::vector<std::vector<int>> sorted_edges_;
   std::uint64_t nodes_ = 0;
+  util::Budget* budget_ = nullptr;  ///< Not owned; may be null.
+  /// True while unwinding out of a tripped search — distinguishes the abort
+  /// unwind from a genuine witness (both make Extend return true).
+  bool stopped_ = false;
+  util::RunStatus status_ = util::RunStatus::kCompleted;
 };
 
 }  // namespace qc::finegrained

@@ -2,9 +2,11 @@
 
 namespace qc::finegrained {
 
-std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst) {
+std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst,
+                                                      util::Budget* budget) {
   for (std::size_t i = 0; i < inst.a.size(); ++i) {
     for (std::size_t j = 0; j < inst.b.size(); ++j) {
+      if (budget != nullptr && budget->Poll()) return std::nullopt;
       if (!inst.a[i].Intersects(inst.b[j])) {
         return std::make_pair(static_cast<int>(i), static_cast<int>(j));
       }
@@ -13,10 +15,12 @@ std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst) {
   return std::nullopt;
 }
 
-std::uint64_t CountOrthogonalPairs(const OvInstance& inst) {
+std::uint64_t CountOrthogonalPairs(const OvInstance& inst,
+                                   util::Budget* budget) {
   std::uint64_t count = 0;
   for (const auto& a : inst.a) {
     for (const auto& b : inst.b) {
+      if (budget != nullptr && budget->Poll()) return count;
       if (!a.Intersects(b)) ++count;
     }
   }

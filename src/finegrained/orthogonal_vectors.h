@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/budget.h"
 #include "util/rng.h"
 
 namespace qc::finegrained {
@@ -20,11 +21,16 @@ struct OvInstance {
 };
 
 /// Quadratic scan with word-parallel inner product: finds (i, j) with
-/// a_i . b_j = 0, or nullopt.
-std::optional<std::pair<int, int>> FindOrthogonalPair(const OvInstance& inst);
+/// a_i . b_j = 0, or nullopt. Polls `budget` once per examined pair; on a
+/// trip the nullopt means "not found in the pairs scanned so far", not
+/// "none exists" — check budget->Stopped() to tell them apart.
+std::optional<std::pair<int, int>> FindOrthogonalPair(
+    const OvInstance& inst, util::Budget* budget = nullptr);
 
-/// Exhaustive count of orthogonal pairs.
-std::uint64_t CountOrthogonalPairs(const OvInstance& inst);
+/// Exhaustive count of orthogonal pairs (a lower bound when `budget`
+/// tripped mid-scan).
+std::uint64_t CountOrthogonalPairs(const OvInstance& inst,
+                                   util::Budget* budget = nullptr);
 
 /// Random OV instance: each coordinate is 1 with probability `density`.
 OvInstance RandomOvInstance(int n, int dimension, double density,

@@ -23,7 +23,8 @@ namespace {
 /// One colour-coding round: DP over (colour subset, endpoint). Returns a
 /// colourful k-path under `color` or nullopt.
 std::optional<std::vector<int>> ColorfulPath(const Graph& g, int k,
-                                             const std::vector<int>& color) {
+                                             const std::vector<int>& color,
+                                             util::Budget* budget) {
   const int n = g.num_vertices();
   const unsigned full = (1u << k) - 1u;
   // reachable[S * n + v]: a colourful path with colour set S ends at v.
@@ -34,6 +35,8 @@ std::optional<std::vector<int>> ColorfulPath(const Graph& g, int k,
   // Process subsets in increasing popcount (increasing numeric order works:
   // S' = S \ {c} < S).
   for (unsigned s = 1; s <= full; ++s) {
+    // Safe point per colour subset: bounds the drain to one O(n*deg) sweep.
+    if (budget != nullptr && budget->Poll()) return std::nullopt;
     for (int v = 0; v < n; ++v) {
       unsigned bit = 1u << color[v];
       if (!(s & bit) || reachable[static_cast<std::size_t>(s) * n + v]) continue;
@@ -78,7 +81,8 @@ std::optional<std::vector<int>> ColorfulPath(const Graph& g, int k,
 
 std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
                                                      util::Rng* rng,
-                                                     int rounds, int threads) {
+                                                     int rounds, int threads,
+                                                     util::Budget* budget) {
   if (k <= 0 || k > 20 || g.num_vertices() == 0) return std::nullopt;
   if (k == 1) return std::vector<int>{0};
   if (rounds <= 0) {
@@ -99,13 +103,14 @@ std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
     std::atomic<int> first_success(batch);
     auto trial_block = [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t r = lo; r < hi; ++r) {
+        if (budget != nullptr && budget->Stopped()) return;
         // A lower round already succeeded: this one cannot win.
         if (static_cast<int>(r) > first_success.load(std::memory_order_relaxed))
           continue;
         util::Rng local(seeds[r]);
         std::vector<int> color(g.num_vertices());
         for (auto& c : color) c = static_cast<int>(local.NextBounded(k));
-        found[r] = ColorfulPath(g, k, color);
+        found[r] = ColorfulPath(g, k, color, budget);
         if (found[r].has_value()) {
           int expect = first_success.load(std::memory_order_relaxed);
           while (static_cast<int>(r) < expect &&
@@ -115,10 +120,14 @@ std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
         }
       }
     };
-    util::ThreadPool::Shared().ParallelFor(0, batch, trial_block, threads);
+    util::ThreadPool::Shared().ParallelFor(0, batch, trial_block, threads,
+                                           /*min_grain=*/1, budget);
     int winner = first_success.load();
     if (winner < batch) return found[winner];
     for (int r = 0; r < batch; ++r) found[r].reset();
+    // Stop opening new batches once the budget has tripped; a "not found"
+    // under a tripped budget means "unknown", which budget->status() records.
+    if (budget != nullptr && budget->Poll()) return std::nullopt;
   }
   return std::nullopt;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/budget.h"
 #include "util/rng.h"
 
 namespace qc::graph {
@@ -23,10 +24,15 @@ namespace qc::graph {
 /// is coloured by its own child generator seeded serially from `rng`, and
 /// the lowest-numbered successful round wins, so the returned path — and
 /// `rng`'s final state — are bit-identical at any thread count.
-std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
-                                                     util::Rng* rng,
-                                                     int rounds = 0,
-                                                     int threads = 0);
+///
+/// When `budget` trips mid-search the function stops opening new rounds and
+/// returns nullopt promptly (partial semantics: "not found within budget" —
+/// query budget->status() to distinguish from an exhausted search). rng
+/// still advances by whole batches, so a completed run is unaffected by the
+/// budget being armed.
+std::optional<std::vector<int>> FindKPathColorCoding(
+    const Graph& g, int k, util::Rng* rng, int rounds = 0, int threads = 0,
+    util::Budget* budget = nullptr);
 
 /// Deterministic backtracking for a simple k-vertex path (baseline).
 std::optional<std::vector<int>> FindKPathBruteForce(const Graph& g, int k);

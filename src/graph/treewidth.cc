@@ -453,9 +453,11 @@ struct ComponentDp {
   int width = 0;
   std::vector<int> order;  ///< Local elimination order.
   std::uint64_t states = 0;
+  bool aborted = false;  ///< Budget tripped mid-DP; width/order meaningless.
 };
 
-ComponentDp SolveComponentDp(const std::vector<util::Bitset>& adj) {
+ComponentDp SolveComponentDp(const std::vector<util::Bitset>& adj,
+                             util::Budget* budget) {
   const int n = static_cast<int>(adj.size());
   ComponentDp result;
   const std::uint32_t full = (1U << n) - 1U;
@@ -465,6 +467,12 @@ ComponentDp SolveComponentDp(const std::vector<util::Bitset>& adj) {
   std::vector<std::int8_t> choice(static_cast<std::size_t>(full) + 1, -1);
   f[0] = 0;
   for (std::uint32_t s = 1; s <= full; ++s) {
+    // Safe point: one subset per step keeps the poll off the inner QValue
+    // loop while still bounding the drain to O(n) QValue calls.
+    if (budget != nullptr && budget->ChargeWork(1)) {
+      result.aborted = true;
+      return result;
+    }
     int best = std::numeric_limits<int>::max();
     int best_v = -1;
     for (int v = 0; v < n; ++v) {
@@ -497,7 +505,7 @@ ComponentDp SolveComponentDp(const std::vector<util::Bitset>& adj) {
 }  // namespace
 
 ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
-                                    int threads) {
+                                    int threads, util::Budget* budget) {
   const int n = g.num_vertices();
   if (n == 0) return {-1, TreeDecomposition{}, {}, 0};
 
@@ -512,10 +520,15 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
     }
   }
 
+  // Components start out aborted: ParallelFor skips all chunks when the
+  // budget is already tripped at entry, and a chunk that never runs must
+  // not be mistaken for a solved (width 0, empty order) component.
   std::vector<ComponentDp> solved(components.size());
-  auto solve_block = [&g, &components, &solved](std::int64_t lo,
-                                                std::int64_t hi) {
+  for (ComponentDp& dp : solved) dp.aborted = true;
+  auto solve_block = [&g, &components, &solved, budget](std::int64_t lo,
+                                                        std::int64_t hi) {
     for (std::int64_t ci = lo; ci < hi; ++ci) {
+      if (budget != nullptr && budget->Stopped()) return;
       const std::vector<int>& comp = components[ci];
       const int nc = static_cast<int>(comp.size());
       std::vector<int> local_id(g.num_vertices(), -1);
@@ -526,23 +539,36 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
           if (local_id[u] >= 0) adj[i].Set(local_id[u]);
         }
       }
-      solved[ci] = SolveComponentDp(adj);
+      solved[ci] = SolveComponentDp(adj, budget);
     }
   };
   util::ThreadPool::Shared().ParallelFor(
-      0, static_cast<std::int64_t>(components.size()), solve_block, threads);
+      0, static_cast<std::int64_t>(components.size()), solve_block, threads,
+      /*min_grain=*/1, budget);
 
   // Merge in component order: the concatenated elimination orders realize
   // max-over-components width, and the merge is deterministic regardless of
   // which worker solved which component.
   ExactTreewidthResult result;
   result.treewidth = 0;
+  bool aborted = false;
   for (std::size_t ci = 0; ci < components.size(); ++ci) {
+    aborted = aborted || solved[ci].aborted;
     result.treewidth = std::max(result.treewidth, solved[ci].width);
     result.dp_states += solved[ci].states;
     for (int local : solved[ci].order) {
       result.elimination_order.push_back(components[ci][local]);
     }
+  }
+  if (aborted) {
+    // ParallelFor chunks that never started leave aborted=true even when the
+    // budget tripped between them; status() reports the actual cause.
+    result.treewidth = -1;
+    result.elimination_order.clear();
+    result.decomposition = TreeDecomposition{};
+    result.status = budget != nullptr ? budget->status()
+                                      : util::RunStatus::kBudgetExhausted;
+    return result;
   }
   result.decomposition = DecompositionFromOrder(g, result.elimination_order);
   return result;

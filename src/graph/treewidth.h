@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/budget.h"
 
 namespace qc::graph {
 
@@ -33,14 +34,19 @@ struct TreeDecomposition {
 /// vertices (memory is 2^{n_c} bytes); aborts otherwise. With `threads > 1`
 /// the components are solved in parallel and merged in component order, so
 /// the result is bit-identical to the serial run.
+/// On a tripped budget `status` records the cause, `treewidth` is -1 and
+/// the decomposition/order are empty — there is no meaningful partial
+/// answer for an exact width, so the caller falls back to a heuristic.
 struct ExactTreewidthResult {
   int treewidth;
   TreeDecomposition decomposition;
   std::vector<int> elimination_order;
   std::uint64_t dp_states = 0;  ///< (S, v) pairs evaluated by the DP.
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices = 24,
-                                    int threads = 0);
+                                    int threads = 0,
+                                    util::Budget* budget = nullptr);
 
 /// Width of the decomposition induced by a given elimination order
 /// (max over v of the degree of v at its elimination time, after fill-in).

@@ -96,6 +96,7 @@ class Engine {
             stats_->conflicts >= options_.max_conflicts) {
           return -1;
         }
+        if (options_.budget != nullptr && options_.budget->Poll()) return -1;
         if (stats_->conflicts - conflicts_at_restart >= restart_budget) {
           ++stats_->restarts;
           conflicts_at_restart = stats_->conflicts;
@@ -103,6 +104,9 @@ class Engine {
           Backtrack(0);
         }
       } else {
+        // Safe point per decision as well: satisfiable runs can make long
+        // conflict-free progress and must still honour the budget.
+        if (options_.budget != nullptr && options_.budget->Poll()) return -1;
         int var = PickVariable();
         if (var < 0) return 1;  // All assigned: model found.
         ++stats_->decisions;
@@ -310,8 +314,12 @@ SatResult CdclSolver::Solve(const CnfFormula& f) {
   int outcome = engine.Run();
   result.decisions = stats_.decisions;
   result.propagations = stats_.propagations;
+  result.conflicts = stats_.conflicts;
   if (outcome < 0) {
     aborted_ = true;
+    result.status = options_.budget != nullptr && options_.budget->Stopped()
+                        ? options_.budget->status()
+                        : util::RunStatus::kBudgetExhausted;
     return result;
   }
   if (outcome == 1) {

@@ -20,6 +20,10 @@ class CdclSolver {
     std::uint64_t max_conflicts = 0;  ///< 0 = unlimited.
     double activity_decay = 0.95;
     int luby_unit = 64;  ///< Conflicts per Luby restart unit.
+    /// Optional cooperative budget, polled once per decision and per
+    /// conflict. On a trip Solve reports Unknown: satisfiable=false with
+    /// `status` recording the cause and `conflicts` the effort so far.
+    util::Budget* budget = nullptr;
   };
 
   struct Stats {
@@ -38,7 +42,8 @@ class CdclSolver {
   SatResult Solve(const CnfFormula& f);
 
   const Stats& stats() const { return stats_; }
-  /// True if the last Solve gave up at max_conflicts.
+  /// True if the last Solve gave up (max_conflicts or a tripped budget);
+  /// the SatResult's `status` distinguishes the causes.
   bool aborted() const { return aborted_; }
 
  private:

@@ -89,11 +89,15 @@ std::optional<CnfFormula> CnfFormula::FromDimacs(const std::string& text) {
   return f;
 }
 
-SatResult SolveBruteForce(const CnfFormula& f) {
+SatResult SolveBruteForce(const CnfFormula& f, util::Budget* budget) {
   SatResult r;
   if (f.num_vars > 62) std::abort();
   std::vector<bool> assignment(f.num_vars);
   for (std::uint64_t mask = 0; mask < (1ULL << f.num_vars); ++mask) {
+    if (budget != nullptr && budget->ChargeWork(1)) {
+      r.status = budget->status();
+      return r;
+    }
     ++r.decisions;
     for (int v = 0; v < f.num_vars; ++v) assignment[v] = (mask >> v) & 1ULL;
     if (f.Evaluate(assignment)) {

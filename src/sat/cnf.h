@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace qc::sat {
 
 /// Literals use the DIMACS convention: variables are 1..num_vars, literal
@@ -44,15 +46,23 @@ struct CnfFormula {
 
 /// Result of a satisfiability search, with solver effort counters so the
 /// ETH/SETH experiments can report search-tree sizes alongside wall time.
+///
+/// When `status != kCompleted` the search gave up (deadline/budget/cancel or
+/// a solver-native limit like max_conflicts): the answer is *Unknown*, so
+/// `satisfiable == false` must not be read as UNSAT. The effort counters
+/// (decisions, propagations, conflicts) still report the work done.
 struct SatResult {
   bool satisfiable = false;
   std::vector<bool> assignment;  ///< Valid when satisfiable.
   std::uint64_t decisions = 0;   ///< Branching nodes explored.
   std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;   ///< CDCL only; 0 for the other solvers.
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// Tries all 2^n assignments (the "brute force search" of Hypothesis 3).
-SatResult SolveBruteForce(const CnfFormula& f);
+/// Polls `budget` once per candidate assignment.
+SatResult SolveBruteForce(const CnfFormula& f, util::Budget* budget = nullptr);
 
 }  // namespace qc::sat
 

@@ -101,6 +101,10 @@ bool DpllSolver::Search(const CnfFormula& f, std::vector<signed char>* value,
     aborted_ = true;
     return false;
   }
+  if (options_.budget != nullptr && options_.budget->Poll()) {
+    aborted_ = true;
+    return false;
+  }
   std::vector<int> trail;
   auto undo = [&]() {
     for (int v : trail) (*value)[v] = -1;
@@ -169,6 +173,11 @@ SatResult DpllSolver::Solve(const CnfFormula& f) {
       // Unset variables (untouched by any clause) default to false.
       result.assignment[v - 1] = value[v] == 1;
     }
+  }
+  if (aborted_) {
+    result.status = options_.budget != nullptr && options_.budget->Stopped()
+                        ? options_.budget->status()
+                        : util::RunStatus::kBudgetExhausted;
   }
   return result;
 }

@@ -17,6 +17,9 @@ class DpllSolver {
     /// Stop after this many decisions (0 = unlimited); when hit, the result
     /// is reported unsatisfiable with `aborted` set.
     std::uint64_t max_decisions = 0;
+    /// Optional cooperative budget, polled once per search node. On a trip
+    /// the result is Unknown: satisfiable=false with `status` set.
+    util::Budget* budget = nullptr;
   };
 
   DpllSolver();

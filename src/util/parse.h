@@ -1,0 +1,97 @@
+#ifndef QC_UTIL_PARSE_H_
+#define QC_UTIL_PARSE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qc::util {
+
+/// A parse failure with the 1-based source position it occurred at.
+/// Shared by every text front end (db/parser, csp/serialization) so callers
+/// get one error shape regardless of which format failed.
+struct ParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  /// "line L, column C: message".
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ": " + message;
+  }
+};
+
+/// Outcome of a parse: either a value or a position-annotated error.
+/// Replaces the old nullopt-plus-out-parameter reporting.
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  ParseError error;  ///< Meaningful only when !has_value().
+
+  bool has_value() const { return value.has_value(); }
+  explicit operator bool() const { return value.has_value(); }
+  T& operator*() { return *value; }
+  const T& operator*() const { return *value; }
+  T* operator->() { return &*value; }
+  const T* operator->() const { return &*value; }
+
+  static ParseResult Ok(T v) {
+    ParseResult r;
+    r.value = std::move(v);
+    return r;
+  }
+  static ParseResult Fail(ParseError e) {
+    ParseResult r;
+    r.error = std::move(e);
+    return r;
+  }
+};
+
+/// Computes the 1-based line/column of byte offset `pos` in `text` and wraps
+/// `message` into a ParseError. O(pos) scan; parse errors are cold.
+inline ParseError ErrorAtOffset(const std::string& text, std::size_t pos,
+                                std::string message) {
+  int line = 1, column = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return ParseError{line, column, std::move(message)};
+}
+
+/// Clips a (possibly attacker-sized) token for inclusion in an error
+/// message: at most `max` bytes, non-printable bytes hex-escaped, with an
+/// elision marker when clipped. Keeps a 10MB atom name from producing a
+/// 10MB error string.
+inline std::string ClipForError(std::string_view token, std::size_t max = 40) {
+  std::string out;
+  bool clipped = token.size() > max;
+  std::size_t n = clipped ? max : token.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned char c = static_cast<unsigned char>(token[i]);
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      static const char* kHex = "0123456789abcdef";
+      out += "\\x";
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    }
+  }
+  if (clipped) {
+    out += "... (";
+    out += std::to_string(token.size());
+    out += " bytes)";
+  }
+  return out;
+}
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_PARSE_H_

@@ -94,8 +94,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
 void ThreadPool::ParallelFor(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& body,
-    int parallelism, std::int64_t min_grain) {
+    int parallelism, std::int64_t min_grain, Budget* budget) {
   if (end <= begin) return;
+  if (budget != nullptr && budget->Stopped()) return;
   if (parallelism <= 0) parallelism = default_parallelism_;
   if (min_grain < 1) min_grain = 1;
   const std::int64_t n = end - begin;
@@ -121,9 +122,10 @@ void ThreadPool::ParallelFor(
     std::exception_ptr error;
   };
   auto state = std::make_shared<ForState>();
-  auto run_chunks = [state, begin, end, grain, chunks, &body] {
+  auto run_chunks = [state, begin, end, grain, chunks, budget, &body] {
     DepthGuard guard;
     for (;;) {
+      if (budget != nullptr && budget->Stopped()) break;
       std::int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks || state->failed.load(std::memory_order_relaxed)) break;
       std::int64_t lo = begin + c * grain;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace qc::util {
 
 /// Lazily-started worker pool shared by all parallel kernels.
@@ -46,9 +48,16 @@ class ThreadPool {
   /// inline, which makes recursion safe (no worker-starvation deadlock).
   /// The first exception thrown by any chunk is rethrown to the caller
   /// after all chunks settle.
+  ///
+  /// When `budget` is non-null the loop is cancellable: once the budget
+  /// trips, no new chunks are claimed and the call drains cleanly (chunks
+  /// already running poll the budget themselves at their own safe points).
+  /// The chunk decomposition never depends on the budget, so results stay
+  /// bit-identical at any thread count whenever the run completes.
   void ParallelFor(std::int64_t begin, std::int64_t end,
                    const std::function<void(std::int64_t, std::int64_t)>& body,
-                   int parallelism = 0, std::int64_t min_grain = 1);
+                   int parallelism = 0, std::int64_t min_grain = 1,
+                   Budget* budget = nullptr);
 
   /// Process-wide pool used by kernels that are not handed one explicitly.
   static ThreadPool& Shared();

@@ -1,0 +1,194 @@
+// Malformed-input hardening corpus for the text front ends (db/parser and
+// csp/serialization): truncated input, unbalanced parens, huge arities,
+// embedded NUL bytes, multi-megabyte tokens. Every case must come back as a
+// position-annotated ParseError — never a crash, hang, or unbounded
+// allocation. The asan preset runs this suite under
+// -fsanitize=address,undefined to also catch leaks and UB on these paths.
+
+#include <string>
+#include <vector>
+
+#include "csp/serialization.h"
+#include "db/parser.h"
+#include "gtest/gtest.h"
+#include "util/parse.h"
+
+namespace qc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// db::ParseJoinQuery
+
+struct QueryCase {
+  const char* name;
+  std::string text;
+};
+
+std::vector<QueryCase> BadQueryCorpus() {
+  std::vector<QueryCase> corpus = {
+      {"empty", ""},
+      {"whitespace_only", "  \t\n  "},
+      {"truncated_after_paren", "R("},
+      {"truncated_attr_list", "R(a,b"},
+      {"lone_close_paren", ")"},
+      {"close_before_open", "R)a("},
+      {"no_attributes", "R()"},
+      {"missing_paren", "R a, b"},
+      {"bad_start", "123(a)"},
+      {"nul_in_name", std::string("R\0S(a)", 6)},
+      {"nul_at_attr", std::string("R(\0)", 4)},
+      {"second_atom_truncated", "R(a,b), S(b"},
+  };
+  // A 10MB relation name: must be rejected with a clipped message, not
+  // echoed back verbatim or materialized into an atom.
+  corpus.push_back({"huge_relation_name",
+                    std::string(10u << 20, 'x') + "(a,b)"});
+  // An atom with more attributes than kMaxAtomArity.
+  std::string wide = "R(";
+  for (std::size_t i = 0; i <= db::kMaxAtomArity; ++i) {
+    wide += "a" + std::to_string(i) + ",";
+  }
+  wide += "z)";
+  corpus.push_back({"huge_arity_atom", std::move(wide)});
+  return corpus;
+}
+
+TEST(RobustnessQueryParser, CorpusRejectsWithPositions) {
+  for (const QueryCase& c : BadQueryCorpus()) {
+    SCOPED_TRACE(c.name);
+    auto result = db::ParseJoinQuery(c.text);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_GE(result.error.line, 1);
+    EXPECT_GE(result.error.column, 1);
+    EXPECT_FALSE(result.error.message.empty());
+    // Error strings stay bounded no matter how large the input token was.
+    EXPECT_LT(result.error.message.size(), 256u);
+  }
+}
+
+TEST(RobustnessQueryParser, GoodQueriesStillParse) {
+  auto q = db::ParseJoinQuery("R1(a, b), R2(a, c), R3(b, c)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->atoms.size(), 3u);
+  auto self_join = db::ParseJoinQuery("E(x,y) E(y,z)");
+  ASSERT_TRUE(self_join.has_value());
+  EXPECT_EQ(self_join->atoms.size(), 2u);
+}
+
+TEST(RobustnessQueryParser, ErrorPositionPointsAtOffendingToken) {
+  auto r = db::ParseJoinQuery("R(a,b),\nS(b,");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error.line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// db::ParseTuples
+
+TEST(RobustnessTupleParser, CorpusRejectsWithPositions) {
+  std::vector<QueryCase> corpus = {
+      {"alpha_value", "1 2\n3 x\n"},
+      {"arity_mismatch", "1 2\n3 4 5\n"},
+      {"bare_minus", "1 -\n"},
+      {"overflow_value", "1 99999999999999999999999999\n"},
+      {"nul_value", std::string("1 \0002\n", 5)},
+  };
+  corpus.push_back({"huge_token", std::string(5u << 20, '7') + "9x\n"});
+  std::string wide;
+  for (std::size_t i = 0; i <= db::kMaxTupleArity; ++i) wide += "1 ";
+  corpus.push_back({"huge_tuple_arity", wide + "\n"});
+  for (const QueryCase& c : corpus) {
+    SCOPED_TRACE(c.name);
+    auto result = db::ParseTuples(c.text);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_GE(result.error.line, 1);
+    EXPECT_GE(result.error.column, 1);
+    EXPECT_LT(result.error.message.size(), 256u);
+  }
+}
+
+TEST(RobustnessTupleParser, GoodTuplesStillParse) {
+  auto t = db::ParseTuples("1 2\n# comment\n3 4\n\n-5 6\n");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->size(), 3u);
+  EXPECT_EQ((*t)[2][0], -5);
+}
+
+// ---------------------------------------------------------------------------
+// csp serialization
+
+TEST(RobustnessCspParser, CorpusRejectsWithPositions) {
+  std::vector<QueryCase> corpus = {
+      {"empty", ""},
+      {"missing_header", "constraint 1 0\n0\nend\n"},
+      {"bad_header_token_count", "csp 3\n"},
+      {"bad_var_count", "csp x 2\n"},
+      {"negative_vars", "csp -4 2\n"},
+      {"implausible_vars", "csp 99999999999 2\n"},
+      {"huge_arity", "csp 3 2\nconstraint 5000000000 0\n"},
+      {"arity_scope_mismatch", "csp 3 2\nconstraint 2 0\n"},
+      {"scope_var_out_of_range", "csp 3 2\nconstraint 1 7\n0\nend\n"},
+      {"tuple_value_out_of_domain", "csp 3 2\nconstraint 1 0\n5\nend\n"},
+      {"tuple_arity_mismatch", "csp 3 2\nconstraint 2 0 1\n0\nend\n"},
+      {"end_without_constraint", "csp 3 2\nend\n"},
+      {"nested_constraint",
+       "csp 3 2\nconstraint 1 0\nconstraint 1 1\nend\n"},
+      {"unterminated_constraint", "csp 3 2\nconstraint 1 0\n0\n"},
+      {"tuple_outside_constraint", "csp 3 2\n0 1\n"},
+      {"nul_in_value", std::string("csp 3 2\nconstraint 1 0\n\0\nend\n", 29)},
+  };
+  corpus.push_back({"huge_token",
+                    "csp 3 2\nconstraint 1 0\n" + std::string(5u << 20, '1') +
+                        "\nend\n"});
+  for (const QueryCase& c : corpus) {
+    SCOPED_TRACE(c.name);
+    auto result = csp::ParseCsp(c.text);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_GE(result.error.line, 1);
+    EXPECT_GE(result.error.column, 1);
+    EXPECT_LT(result.error.message.size(), 256u);
+  }
+}
+
+TEST(RobustnessCspParser, RoundTripStillWorks) {
+  csp::CspInstance csp;
+  csp.num_vars = 3;
+  csp.domain_size = 2;
+  csp::Relation rel(2);
+  rel.Add({0, 1});
+  rel.Add({1, 0});
+  rel.Seal();
+  csp.AddConstraint({0, 2}, std::move(rel));
+  auto parsed = csp::ParseCsp(csp::ToText(csp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_vars, 3);
+  EXPECT_EQ(parsed->domain_size, 2);
+  ASSERT_EQ(parsed->constraints.size(), 1u);
+  EXPECT_EQ(parsed->constraints[0].scope, (std::vector<int>{0, 2}));
+}
+
+TEST(RobustnessCspParser, LegacyWrapperReportsRenderedError) {
+  std::string error;
+  auto csp = csp::FromText("csp 3\n", &error);
+  EXPECT_FALSE(csp.has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(RobustnessCspParser, CommentsAndBlankLinesIgnored) {
+  auto parsed = csp::ParseCsp(
+      "# a comment\n\ncsp 2 2\n# another\nconstraint 1 0\n0\n1\nend\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->constraints.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Clipping helper
+
+TEST(RobustnessClipForError, ClipsAndEscapes) {
+  std::string clipped = util::ClipForError(std::string(1000, 'a'));
+  EXPECT_LT(clipped.size(), 80u);
+  EXPECT_NE(clipped.find("1000 bytes"), std::string::npos);
+  EXPECT_EQ(util::ClipForError(std::string("a\0b", 3)), "a\\x00b");
+}
+
+}  // namespace
+}  // namespace qc

@@ -4,12 +4,18 @@
 // multiplication; it should beat plain per-edge enumeration on skewed
 // graphs whose heavy core is where the triangles hide.
 
+#include <chrono>
+#include <cstring>
+
 #include "bench_util.h"
 #include "db/database.h"
 #include "db/generic_join.h"
 #include "graph/generators.h"
 #include "graph/triangles.h"
+#include "util/budget.h"
 #include "util/rng.h"
+#include "util/run_report.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -41,6 +47,19 @@ std::uint64_t CountTrianglesWcoj(const graph::Graph& g) {
 int main(int argc, char** argv) {
   using namespace qc;
   bench::JsonReport json(&argc, argv);
+  // --report-json FILE: a RunReport with the harness's span tree — the
+  // triangles.ayz light/heavy split is the headline (EXPERIMENTS.md E9).
+  const char* report_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      report_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (report_path != nullptr) util::Trace::Enable();
+  auto run_start = std::chrono::steady_clock::now();
   bench::Banner("E9: sparse triangle detection (Section 8)",
                 "AYZ m^{2w/(w+1)}-style split vs per-edge enumeration; the "
                 "split wins on degree-skewed graphs");
@@ -102,5 +121,17 @@ int main(int argc, char** argv) {
     if (!agree) return 1;
   }
   t2.Print();
+  if (report_path != nullptr) {
+    util::RunReport report;
+    report.tool = "bench_e9_triangle_sparse";
+    report.status = util::RunStatus::kCompleted;
+    report.threads = 1;
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - run_start)
+                         .count();
+    report.trace = util::Trace::Collect();
+    util::Trace::Disable();
+    if (!report.WriteJsonFile(report_path)) return 1;
+  }
   return 0;
 }

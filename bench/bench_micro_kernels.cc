@@ -21,6 +21,7 @@
 #include "sat/dpll.h"
 #include "sat/generators.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -32,6 +33,10 @@ db::JoinQuery TriangleQuery() {
   return q;
 }
 
+// Since the search kernel carries per-level ScopedSpans, this row doubles
+// as the disabled-tracing overhead check: tracing stays off here, so the
+// spans cost one relaxed load per node (< 2% vs the pre-span baseline, the
+// same bound as BudgetPoll below).
 void BM_GenericJoinTriangle(benchmark::State& state) {
   util::Rng rng(1);
   db::JoinQuery q = TriangleQuery();
@@ -45,6 +50,25 @@ void BM_GenericJoinTriangle(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_GenericJoinTriangle)->Range(256, 4096)->Complexity();
+
+// The same join with tracing recording every span, for the enabled-path
+// cost (two clock reads + one ring-buffer append per span).
+void BM_GenericJoinTriangleTraced(benchmark::State& state) {
+  util::Rng rng(1);
+  db::JoinQuery q = TriangleQuery();
+  db::Database d =
+      db::RandomDatabase(q, static_cast<int>(state.range(0)),
+                         state.range(0) / 2, &rng);
+  util::Trace::Enable();
+  for (auto _ : state) {
+    db::GenericJoin join(q, d);
+    benchmark::DoNotOptimize(join.Count());
+  }
+  util::Trace::Disable();
+  util::Trace::Reset();
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GenericJoinTriangleTraced)->Range(256, 4096)->Complexity();
 
 // The same E2 triangle join with an armed (far-future) deadline: every
 // search node pays one Budget::Poll(). Compare against the unarmed

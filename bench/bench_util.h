@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -84,43 +85,48 @@ class JsonReport {
               double fitted_exponent =
                   std::numeric_limits<double>::quiet_NaN()) {
     if (!enabled()) return;
-    std::string r = "  {\"bench\": \"" + bench + "\", \"params\": {";
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      if (i > 0) r += ", ";
-      r += "\"" + params[i].first + "\": " + Number(params[i].second);
-    }
-    r += "}, \"wall_ms\": " + Number(wall_ms) + ", \"fitted_exponent\": ";
-    r += std::isnan(fitted_exponent) ? "null" : Number(fitted_exponent);
-    r += "}";
-    records_.push_back(std::move(r));
+    records_.push_back(Entry{bench, params, wall_ms, fitted_exponent});
   }
 
   void Flush() {
     if (!enabled() || flushed_) return;
     flushed_ = true;
+    // Serialized with the shared util::JsonWriter (the same serializer the
+    // RunReport uses), so escaping and number formatting match repo-wide.
+    util::JsonWriter w;
+    w.BeginArray();
+    for (const Entry& e : records_) {
+      w.BeginObject();
+      w.Key("bench").String(e.bench);
+      w.Key("params").BeginObject();
+      for (const auto& [name, value] : e.params) w.Key(name).Double(value);
+      w.EndObject();
+      w.Key("wall_ms").Double(e.wall_ms);
+      w.Key("fitted_exponent").Double(e.fitted_exponent);
+      w.EndObject();
+    }
+    w.EndArray();
     FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write --json file %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "%s%s\n", records_[i].c_str(),
-                   i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
+    std::string json = w.Take();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
   }
 
  private:
-  static std::string Number(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-  }
+  struct Entry {
+    std::string bench;
+    std::vector<std::pair<std::string, double>> params;
+    double wall_ms;
+    double fitted_exponent;
+  };
 
   std::string path_;
-  std::vector<std::string> records_;
+  std::vector<Entry> records_;
   bool flushed_ = false;
 };
 

@@ -8,7 +8,10 @@
 // engines — exact treewidth, colour coding — stop at the next safe point;
 // exit code 4). --max-rows N is accepted for interface parity with
 // query_cli but the graph engines here produce no row stream.
+// --report-json FILE writes a machine-readable RunReport (same schema as
+// query_cli's).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,16 +25,51 @@
 #include "graph/vertexcover.h"
 #include "util/budget.h"
 #include "util/rng.h"
+#include "util/run_report.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace {
+
+/// Shared by every exit path so --report-json sees aborted tours too.
+struct ReportSink {
+  const char* path = nullptr;
+  bool deadline_armed = false;
+  std::chrono::steady_clock::time_point start;
+
+  /// Writes the report (when requested) and surfaces unknown statuses.
+  /// Returns the status's exit code.
+  int Finish(const qc::util::Budget& budget, qc::util::RunStatus status) {
+    if (path != nullptr) {
+      qc::util::RunReport report;
+      report.tool = "fpt_toolbox";
+      report.status = status;
+      report.threads = 1;
+      report.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      report.FillBudget(budget, deadline_armed);
+      report.trace = qc::util::Trace::Collect();
+      qc::util::Trace::Disable();
+      if (!report.WriteJsonFile(path)) return 1;
+    }
+    if (!qc::util::IsKnown(status)) {
+      std::fprintf(stderr,
+                   "internal error: unknown run status %d (please report)\n",
+                   static_cast<int>(status));
+    }
+    return qc::util::ExitCode(status);
+  }
+};
+
+ReportSink g_report;
 
 /// If the shared budget tripped, report how and exit with its code.
 int FinishIfTripped(qc::util::Budget* budget) {
   if (!budget->Stopped()) return 0;
   std::printf("\nstatus: %s (tour cut short)\n",
               std::string(qc::util::ToString(budget->status())).c_str());
-  return qc::util::ExitCode(budget->status());
+  return g_report.Finish(*budget, budget->status());
 }
 
 }  // namespace
@@ -48,9 +86,14 @@ int main(int argc, char** argv) {
       deadline_ms = std::strtoull(argv[++i], &end, 10);
     } else if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
       max_rows = std::strtoull(argv[++i], &end, 10);
+    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      g_report.path = argv[++i];
+      continue;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--deadline-ms N] [--max-rows N]\n", argv[0]);
+                   "usage: %s [--deadline-ms N] [--max-rows N] "
+                   "[--report-json FILE]\n",
+                   argv[0]);
       return 1;
     }
     if (end == nullptr || *end != '\0') {
@@ -63,6 +106,9 @@ int main(int argc, char** argv) {
     budget.ArmDeadlineAfter(static_cast<double>(deadline_ms) / 1000.0);
   }
   if (max_rows > 0) budget.ArmRowLimit(max_rows);
+  g_report.deadline_armed = deadline_ms > 0;
+  g_report.start = std::chrono::steady_clock::now();
+  if (g_report.path != nullptr) util::Trace::Enable();
 
   // A sparse graph with some high-degree hubs: the friendly regime for the
   // Buss kernel.
@@ -138,5 +184,5 @@ int main(int argc, char** argv) {
   std::printf("\n(vertex cover, k-path and the treewidth problems are FPT; "
               "clique's cost climbs with k — the FPT vs W[1] divide of "
               "Section 5)\n");
-  return 0;
+  return g_report.Finish(budget, budget.status());
 }

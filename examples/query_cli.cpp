@@ -13,11 +13,13 @@
 //   3 11
 //
 // Flags: --deadline-ms N caps wall-clock time, --max-rows N caps the answer
-// size. On truncation the status and effort counters are printed and the
-// exit code reports the cause (4 deadline, 5 budget, 6 cancelled; 1 is a
-// usage/parse/input error). Running with no stdin redirection uses a
-// built-in demo input.
+// size, --report-json FILE writes a machine-readable RunReport (status,
+// budget usage, counters, span tree). On truncation the status and effort
+// counters are printed and the exit code reports the cause (4 deadline, 5
+// budget, 6 cancelled; 1 is a usage/parse/input error). Running with no
+// stdin redirection uses a built-in demo input.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +35,8 @@
 #include "db/parser.h"
 #include "util/budget.h"
 #include "util/counters.h"
+#include "util/run_report.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -44,7 +48,8 @@ constexpr char kDemo[] =
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--deadline-ms N] [--max-rows N] [input-file]\n",
+               "usage: %s [--deadline-ms N] [--max-rows N] "
+               "[--report-json FILE] [input-file]\n",
                argv0);
   return 1;
 }
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t deadline_ms = 0;
   std::uint64_t max_rows = 0;
+  const char* report_path = nullptr;
   const char* input_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     auto flag_value = [&](const char* name, std::uint64_t* out) {
@@ -73,6 +79,9 @@ int main(int argc, char** argv) {
                                 : &max_rows)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--report-json") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      report_path = argv[++i];
     } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       return Usage(argv[0]);
     } else if (input_path == nullptr) {
@@ -161,6 +170,8 @@ int main(int argc, char** argv) {
   }
   if (max_rows > 0) budget->ArmRowLimit(max_rows);
   ctx.budget = budget;
+  if (report_path != nullptr) util::Trace::Enable();
+  auto run_start = std::chrono::steady_clock::now();
 
   core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
   std::printf("=== analysis ===\n%s\n", analysis.ToString().c_str());
@@ -195,6 +206,28 @@ int main(int argc, char** argv) {
   if (!counters.empty()) {
     std::printf("\n=== effort (threads=%d) ===\n%s\n",
                 ctx.ResolvedThreads(), counters.ToString().c_str());
+  }
+  if (report_path != nullptr) {
+    util::RunReport report;
+    report.tool = "query_cli";
+    report.status = result.status;
+    report.threads = ctx.ResolvedThreads();
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - run_start)
+                         .count();
+    report.FillBudget(*budget, deadline_ms > 0);
+    report.counters = counters;
+    report.counters.Set("threads", ctx.ResolvedThreads());
+    report.trace = util::Trace::Collect();
+    util::Trace::Disable();
+    if (!report.WriteJsonFile(report_path)) return 1;
+  }
+  if (!util::IsKnown(result.status)) {
+    // Fall-through of the status enum: report it loudly instead of exiting
+    // with a silent "?" — exit code 7 marks the internal error.
+    std::fprintf(stderr,
+                 "internal error: unknown run status %d (please report)\n",
+                 static_cast<int>(result.status));
   }
   return util::ExitCode(result.status);
 }

@@ -9,6 +9,7 @@
 #include "graph/hypertree.h"
 #include "graph/treewidth.h"
 #include "structures/structure.h"
+#include "util/trace.h"
 
 namespace qc::core {
 
@@ -32,6 +33,9 @@ void AnalyzeCore(const CanonicalStructure& cs, const ExecutionContext& ctx,
                  util::Budget* budget, Analysis* a) {
   if (cs.universe > ctx.core_computation_below) return;
   if (budget->Poll()) return;  // Budget tripped: skip the O(n^n) step.
+  static const std::uint32_t kCoreSpan =
+      util::Trace::InternName("analyzer.core");
+  util::ScopedSpan core_span(kCoreSpan);
   std::vector<structures::RelSymbol> vocab;
   vocab.reserve(cs.symbol_arity.size());
   for (std::size_t s = 0; s < cs.symbol_arity.size(); ++s) {
@@ -69,20 +73,28 @@ Analysis AnalyzeHypergraph(const graph::Hypergraph& hypergraph,
 
   graph::Graph primal = hypergraph.PrimalGraph();
   a.treewidth_exact = false;
-  if (primal.num_vertices() <= ctx.exact_treewidth_below &&
-      !budget->Poll()) {
-    auto exact =
-        graph::ExactTreewidth(primal, 24, ctx.ResolvedThreads(), budget);
-    a.counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
-    if (exact.status == util::RunStatus::kCompleted) {
-      a.treewidth = exact.treewidth;
-      a.treewidth_exact = true;
+  {
+    static const std::uint32_t kTreewidthSpan =
+        util::Trace::InternName("analyzer.treewidth");
+    util::ScopedSpan treewidth_span(kTreewidthSpan);
+    if (primal.num_vertices() <= ctx.exact_treewidth_below &&
+        !budget->Poll()) {
+      auto exact =
+          graph::ExactTreewidth(primal, 24, ctx.ResolvedThreads(), budget);
+      a.counters.Add("analyzer.treewidth_dp_states", exact.dp_states);
+      if (exact.status == util::RunStatus::kCompleted) {
+        a.treewidth = exact.treewidth;
+        a.treewidth_exact = true;
+      }
+    }
+    if (!a.treewidth_exact) {
+      a.treewidth = graph::HeuristicTreewidth(primal).width;
     }
   }
-  if (!a.treewidth_exact) {
-    a.treewidth = graph::HeuristicTreewidth(primal).width;
-  }
 
+  static const std::uint32_t kCoversSpan =
+      util::Trace::InternName("analyzer.fractional_covers");
+  util::ScopedSpan covers_span(kCoversSpan);
   auto cover = graph::FractionalEdgeCoverNumber(hypergraph);
   if (cover.has_value()) {
     a.rho_star = cover->total;

@@ -4,6 +4,7 @@
 #include "db/yannakakis.h"
 #include "graph/treewidth.h"
 #include "sat/schaefer.h"
+#include "util/trace.h"
 
 namespace qc::core {
 
@@ -59,15 +60,25 @@ AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
                            const ExecutionContext& ctx) {
   AutoCspResult result;
   std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
+  // One span per routing decision: the report shows which engine the
+  // autosolver picked and how long that route ran.
   // Schaefer is polynomial-time: no safe points needed inside.
-  if (TrySchaefer(csp, ctx.max_schaefer_arity, &result)) {
-    ctx.Count("schaefer.dispatches", 1);
-    return result;
+  {
+    static const std::uint32_t kSchaeferSpan =
+        util::Trace::InternName("autosolver.schaefer");
+    util::ScopedSpan span(kSchaeferSpan);
+    if (TrySchaefer(csp, ctx.max_schaefer_arity, &result)) {
+      ctx.Count("schaefer.dispatches", 1);
+      return result;
+    }
   }
 
   graph::Graph primal = csp.PrimalGraph();
   graph::TreewidthUpperBound ub = graph::HeuristicTreewidth(primal);
   if (ub.width <= ctx.treewidth_dp_max_width) {
+    static const std::uint32_t kTreeDpSpan =
+        util::Trace::InternName("autosolver.treedp");
+    util::ScopedSpan span(kTreeDpSpan);
     csp::TreeDpResult dp =
         csp::SolveWithDecomposition(csp, ub.decomposition, budget.get());
     ctx.Count("treedp.table_entries", dp.table_entries);
@@ -78,6 +89,9 @@ AutoCspResult SolveCspAuto(const csp::CspInstance& csp,
     return result;
   }
 
+  static const std::uint32_t kBacktrackingSpan =
+      util::Trace::InternName("autosolver.backtracking");
+  util::ScopedSpan backtracking_span(kBacktrackingSpan);
   csp::BacktrackingSolver::Options options;
   options.budget = budget.get();
   csp::CspSolution sol = csp::BacktrackingSolver(options).Solve(csp);
@@ -96,15 +110,23 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
                                   const ExecutionContext& ctx) {
   AutoQueryResult result;
   std::shared_ptr<util::Budget> budget = ctx.ResolveBudget();
-  auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get());
-  if (yan.has_value()) {
-    ctx.Count("yannakakis.output_tuples", yan->tuples.size());
-    result.method = SolveMethod::kYannakakis;
-    result.result = std::move(*yan);
-    result.status = result.result.truncated ? budget->status()
-                                            : util::RunStatus::kCompleted;
-    return result;
+  {
+    static const std::uint32_t kYannakakisSpan =
+        util::Trace::InternName("autosolver.yannakakis");
+    util::ScopedSpan span(kYannakakisSpan);
+    auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get());
+    if (yan.has_value()) {
+      ctx.Count("yannakakis.output_tuples", yan->tuples.size());
+      result.method = SolveMethod::kYannakakis;
+      result.result = std::move(*yan);
+      result.status = result.result.truncated ? budget->status()
+                                              : util::RunStatus::kCompleted;
+      return result;
+    }
   }
+  static const std::uint32_t kGenericJoinSpan =
+      util::Trace::InternName("autosolver.generic_join");
+  util::ScopedSpan generic_join_span(kGenericJoinSpan);
   result.method = SolveMethod::kGenericJoin;
   // GenericJoin inherits ctx: thread count for the parallel root partition
   // and the counters sink for "generic_join.*" (search effort) and

@@ -20,7 +20,16 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
     global[attribute_order_[i]] = i;
   }
   atoms_of_attr_.resize(attribute_order_.size());
+  root_span_ = util::Trace::InternName("generic_join.search.root");
+  level_spans_.reserve(attribute_order_.size());
+  for (std::size_t d = 0; d < attribute_order_.size(); ++d) {
+    level_spans_.push_back(util::Trace::InternName(
+        "generic_join.search.level" + std::to_string(d)));
+  }
 
+  static const std::uint32_t kBuildSpan =
+      util::Trace::InternName("generic_join.build_trie");
+  util::ScopedSpan build_span(kBuildSpan);
   for (const auto& atom : query.atoms) {
     AtomIndex idx;
     // Deduplicated schema + equality filtering for repeated attributes,
@@ -163,6 +172,10 @@ void GenericJoin::Search(int depth, std::vector<Span>& spans,
     if (!visitor(binding)) *stop = true;
     return;
   }
+  // Span per parent node at this level (inclusive of the whole descent
+  // below); ~1 relaxed load when tracing is off, same placement cost as the
+  // budget poll.
+  util::ScopedSpan level_span(level_spans_[depth]);
   const auto& holders = atoms_of_attr_[depth];
   const int h = static_cast<int>(holders.size());
   DepthScratch& ds = scratch[depth];
@@ -193,6 +206,7 @@ void GenericJoin::Search(int depth, std::vector<Span>& spans,
 bool GenericJoin::ComputeRootCandidates(RootCandidates* candidates,
                                         GenericJoinStats* stats) const {
   if (attribute_order_.empty() || HasEmptyAtom()) return false;
+  util::ScopedSpan root_span(root_span_);
   std::vector<Span> spans = FullSpans();
   const std::size_t h = atoms_of_attr_[0].size();
   DepthScratch scratch;
@@ -220,6 +234,9 @@ void GenericJoin::SearchCandidate(
   const auto& holders = atoms_of_attr_[0];
   const std::size_t h = holders.size();
   const std::int32_t* pos = candidates.positions.data() + i * h;
+  // Level-0 span opens once per root candidate, independent of how the
+  // candidate range is partitioned across worker threads.
+  util::ScopedSpan level_span(level_spans_[0]);
   DepthScratch& ds = scratch[0];
   if (budget_->Poll()) {
     *stop = true;

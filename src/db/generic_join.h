@@ -10,6 +10,7 @@
 #include "db/database.h"
 #include "db/trie_index.h"
 #include "util/budget.h"
+#include "util/trace.h"
 
 namespace qc::db {
 
@@ -180,6 +181,13 @@ class GenericJoin {
   /// Atoms containing each attribute, with the trie level (column index) of
   /// the attribute in that atom.
   std::vector<std::vector<std::pair<int, int>>> atoms_of_attr_;
+  /// Interned trace span ids (see DESIGN.md §9): the root intersection and
+  /// one "generic_join.search.level<d>" per variable level. The per-level
+  /// span is opened once per parent search node, so its count equals the
+  /// number of nodes expanded at the level above — deterministic at any
+  /// thread count because the traversal itself is.
+  std::uint32_t root_span_ = 0;
+  std::vector<std::uint32_t> level_spans_;
   std::uint64_t trie_nodes_ = 0;
   GenericJoinStats stats_;
   ExecutionContext ctx_;

@@ -1,8 +1,10 @@
 #include "db/yannakakis.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "graph/hypergraph.h"
+#include "util/trace.h"
 
 namespace qc::db {
 
@@ -99,38 +101,63 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
     out.truncated = true;
     return out;
   };
+  // One span per phase of Theorem 4.1's three-pass evaluation: the report's
+  // tree makes the semijoin/join cost split visible per run.
+  static const std::uint32_t kMaterializeSpan =
+      util::Trace::InternName("yannakakis.materialize");
+  static const std::uint32_t kUpSpan =
+      util::Trace::InternName("yannakakis.semijoin_up");
+  static const std::uint32_t kDownSpan =
+      util::Trace::InternName("yannakakis.semijoin_down");
+  static const std::uint32_t kJoinSpan =
+      util::Trace::InternName("yannakakis.join");
+  static const std::uint32_t kProjectSpan =
+      util::Trace::InternName("yannakakis.project");
   std::vector<JoinResult> rel(m);
-  for (int e = 0; e < m; ++e) {
-    if (budget != nullptr && budget->Poll()) return truncated_result();
-    rel[e] = MaterializeAtom(query.atoms[e], db);
+  {
+    util::ScopedSpan span(kMaterializeSpan);
+    for (int e = 0; e < m; ++e) {
+      if (budget != nullptr && budget->Poll()) return truncated_result();
+      rel[e] = MaterializeAtom(query.atoms[e], db);
+    }
   }
 
   // Upward sweep: parent ⋉ child, children first.
-  for (int e : order) {
-    if (parent[e] >= 0) {
-      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
-      if (rel[parent[e]].truncated) return truncated_result();
+  {
+    util::ScopedSpan span(kUpSpan);
+    for (int e : order) {
+      if (parent[e] >= 0) {
+        rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
+        if (rel[parent[e]].truncated) return truncated_result();
+      }
     }
   }
   // Downward sweep: child ⋉ parent, root first.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (parent[*it] >= 0) {
-      rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget);
-      if (rel[*it].truncated) return truncated_result();
+  {
+    util::ScopedSpan span(kDownSpan);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (parent[*it] >= 0) {
+        rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget);
+        if (rel[*it].truncated) return truncated_result();
+      }
     }
   }
   // Join phase: fold children into parents bottom-up; the root accumulates
   // the full answer.
   std::vector<JoinResult> acc = rel;
   int root = -1;
-  for (int e : order) {
-    if (parent[e] >= 0) {
-      acc[parent[e]] = HashJoin(acc[parent[e]], acc[e], stats, budget);
-      if (acc[parent[e]].truncated) return truncated_result();
-    } else {
-      root = e;
+  {
+    util::ScopedSpan span(kJoinSpan);
+    for (int e : order) {
+      if (parent[e] >= 0) {
+        acc[parent[e]] = HashJoin(acc[parent[e]], acc[e], stats, budget);
+        if (acc[parent[e]].truncated) return truncated_result();
+      } else {
+        root = e;
+      }
     }
   }
+  util::ScopedSpan project_span(kProjectSpan);
   JoinResult answer = std::move(acc[root]);
   // Align the schema with the canonical attribute order.
   std::vector<std::string> want = query.AttributeOrder();

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/threadpool.h"
+#include "util/trace.h"
 
 namespace qc::graph {
 
@@ -95,9 +96,15 @@ std::optional<std::vector<int>> FindKPathColorCoding(const Graph& g, int k,
   // size is deliberately independent of `threads` to keep rng's final state
   // identical across thread counts.
   constexpr int kBatch = 32;
+  // Span per *batch*, opened on the coordinating thread: individual rounds
+  // are raced and skipped once a lower round wins, so per-round spans would
+  // not be thread-count-invariant, but the number of batches opened is.
+  static const std::uint32_t kBatchSpan =
+      util::Trace::InternName("colorcoding.batch");
   std::vector<std::uint64_t> seeds(kBatch);
   std::vector<std::optional<std::vector<int>>> found(kBatch);
   for (int done = 0; done < rounds; done += kBatch) {
+    util::ScopedSpan batch_span(kBatchSpan);
     const int batch = std::min(kBatch, rounds - done);
     for (int r = 0; r < batch; ++r) seeds[r] = rng->Next();
     std::atomic<int> first_success(batch);

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/threadpool.h"
+#include "util/trace.h"
 
 namespace qc::graph {
 
@@ -508,6 +509,9 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
                                     int threads, util::Budget* budget) {
   const int n = g.num_vertices();
   if (n == 0) return {-1, TreeDecomposition{}, {}, 0};
+  static const std::uint32_t kExactSpan =
+      util::Trace::InternName("treewidth.exact");
+  util::ScopedSpan exact_span(kExactSpan);
 
   // Treewidth is the max over connected components; solving each component's
   // 2^{n_c} DP separately is exponentially cheaper than one 2^n DP and the
@@ -527,8 +531,14 @@ ExactTreewidthResult ExactTreewidth(const Graph& g, int max_vertices,
   for (ComponentDp& dp : solved) dp.aborted = true;
   auto solve_block = [&g, &components, &solved, budget](std::int64_t lo,
                                                         std::int64_t hi) {
+    // Per-component span: the count equals the number of solved components
+    // (deterministic — skipped chunks record nothing only on budget trips,
+    // which also abort the run), independent of which worker ran it.
+    static const std::uint32_t kComponentSpan =
+        util::Trace::InternName("treewidth.exact.component");
     for (std::int64_t ci = lo; ci < hi; ++ci) {
       if (budget != nullptr && budget->Stopped()) return;
+      util::ScopedSpan component_span(kComponentSpan);
       const std::vector<int>& comp = components[ci];
       const int nc = static_cast<int>(comp.size());
       std::vector<int> local_id(g.num_vertices(), -1);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/boolmatrix.h"
+#include "util/trace.h"
 
 namespace qc::graph {
 
@@ -114,21 +115,29 @@ std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta) {
   }
   // Light phase: any triangle with a low-degree vertex is found by scanning
   // that vertex's neighbour pairs — O(m * delta).
-  for (int v = 0; v < n; ++v) {
-    if (g.Degree(v) > delta) continue;
-    std::vector<int> nb = g.NeighborList(v);
-    for (std::size_t i = 0; i < nb.size(); ++i) {
-      for (std::size_t j = i + 1; j < nb.size(); ++j) {
-        if (g.HasEdge(nb[i], nb[j])) {
-          std::array<int, 3> t = {v, nb[i], nb[j]};
-          std::sort(t.begin(), t.end());
-          return t;
+  {
+    static const std::uint32_t kLightSpan =
+        util::Trace::InternName("triangles.ayz.light");
+    util::ScopedSpan light_span(kLightSpan);
+    for (int v = 0; v < n; ++v) {
+      if (g.Degree(v) > delta) continue;
+      std::vector<int> nb = g.NeighborList(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        for (std::size_t j = i + 1; j < nb.size(); ++j) {
+          if (g.HasEdge(nb[i], nb[j])) {
+            std::array<int, 3> t = {v, nb[i], nb[j]};
+            std::sort(t.begin(), t.end());
+            return t;
+          }
         }
       }
     }
   }
   // Heavy phase: at most 2m/delta heavy vertices; all-heavy triangles via
   // matrix multiplication on the induced subgraph.
+  static const std::uint32_t kHeavySpan =
+      util::Trace::InternName("triangles.ayz.heavy");
+  util::ScopedSpan heavy_span(kHeavySpan);
   std::vector<int> heavy;
   for (int v = 0; v < n; ++v) {
     if (g.Degree(v) > delta) heavy.push_back(v);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <vector>
+
+#include "util/trace.h"
 
 namespace qc::sat {
 
@@ -74,6 +77,12 @@ class Engine {
   /// Returns +1 SAT, 0 UNSAT, -1 aborted.
   int Run() {
     if (!ok_) return 0;
+    // One span per Luby restart segment (the solver is serial, so the
+    // segment count is deterministic); re-emplaced at each restart.
+    static const std::uint32_t kSegmentSpan =
+        util::Trace::InternName("sat.cdcl.restart_segment");
+    std::optional<util::ScopedSpan> segment_span;
+    segment_span.emplace(kSegmentSpan);
     std::uint64_t restart_budget = options_.luby_unit * Luby(0);
     std::uint64_t conflicts_at_restart = 0;
     while (true) {
@@ -102,6 +111,7 @@ class Engine {
           conflicts_at_restart = stats_->conflicts;
           restart_budget = options_.luby_unit * Luby(stats_->restarts);
           Backtrack(0);
+          segment_span.emplace(kSegmentSpan);
         }
       } else {
         // Safe point per decision as well: satisfiable runs can make long

@@ -18,6 +18,21 @@ enum class RunStatus {
   kCancelled = 3,         ///< External cancellation was requested.
 };
 
+/// True for the enumerators above; false for any other value (memory
+/// corruption, a version-skewed serialized status, a missed enum extension).
+/// CLIs use this to print an explicit internal-error diagnostic instead of
+/// silently exiting 7.
+constexpr bool IsKnown(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+    case RunStatus::kDeadlineExceeded:
+    case RunStatus::kBudgetExhausted:
+    case RunStatus::kCancelled:
+      return true;
+  }
+  return false;
+}
+
 constexpr std::string_view ToString(RunStatus status) {
   switch (status) {
     case RunStatus::kCompleted:
@@ -29,7 +44,7 @@ constexpr std::string_view ToString(RunStatus status) {
     case RunStatus::kCancelled:
       return "cancelled";
   }
-  return "?";
+  return "internal-error";
 }
 
 /// Process exit code for a status, shared by the CLIs (query_cli,
@@ -83,6 +98,7 @@ class Budget {
   void ArmDeadlineAt(std::chrono::steady_clock::time_point when) {
     has_deadline_ = true;
     deadline_ = when;
+    arm_epoch_ = NextArmEpoch();
   }
 
   /// Arms a work-step budget; ChargeWork trips kBudgetExhausted at `steps`.
@@ -102,9 +118,21 @@ class Budget {
       return true;
     }
     if (!has_deadline_) return false;
-    thread_local int countdown = 0;
-    if (--countdown > 0) return false;
-    countdown = kPollStride;
+    // The stride cache is a per-thread slot *tagged with this budget's arm
+    // epoch*, so it only ever amortizes polls against the same arming of the
+    // same budget: polling budget A can never defer budget B's deadline
+    // check (each switch, and the first poll after Arm/Reset, consults the
+    // clock immediately — a pre-expired deadline trips at the very first
+    // safe point). Epochs come from a process-wide counter, so a recycled
+    // Budget address can never match a stale slot.
+    struct PollSlot {
+      std::uint64_t epoch = 0;  ///< 0 matches no armed budget.
+      int countdown = 0;
+    };
+    thread_local PollSlot slot;
+    if (slot.epoch == arm_epoch_ && --slot.countdown > 0) return false;
+    slot.epoch = arm_epoch_;
+    slot.countdown = kPollStride;
     return CheckDeadline();
   }
 
@@ -158,12 +186,16 @@ class Budget {
   std::uint64_t work_limit() const { return work_limit_; }
 
   /// Clears a tripped status and the usage counters (limits stay armed).
-  /// Not thread-safe; for reusing one budget across sequential runs.
+  /// Not thread-safe; for reusing one budget across sequential runs. The arm
+  /// epoch is bumped so every thread's stride cache is invalidated: the
+  /// first poll after Reset always consults the deadline clock (a stale
+  /// countdown can never mask an already-expired deadline).
   void Reset() {
     status_.store(static_cast<int>(RunStatus::kCompleted),
                   std::memory_order_relaxed);
     work_used_.store(0, std::memory_order_relaxed);
     rows_used_.store(0, std::memory_order_relaxed);
+    if (has_deadline_) arm_epoch_ = NextArmEpoch();
   }
 
  private:
@@ -184,8 +216,18 @@ class Budget {
     return false;
   }
 
+  /// Process-unique id per (budget, arming) pair; never 0.
+  static std::uint64_t NextArmEpoch() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::atomic<int> status_{static_cast<int>(RunStatus::kCompleted)};
   bool has_deadline_ = false;
+  /// Identifies the current arming for the Poll stride cache. Written by
+  /// Arm*/Reset under the same "arm before sharing" contract as
+  /// has_deadline_/deadline_.
+  std::uint64_t arm_epoch_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
   std::uint64_t work_limit_ = 0;  ///< 0 = unlimited.
   std::uint64_t row_limit_ = 0;   ///< 0 = unlimited.

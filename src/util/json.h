@@ -1,0 +1,150 @@
+#ifndef QC_UTIL_JSON_H_
+#define QC_UTIL_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace qc::util {
+
+/// Minimal streaming JSON writer shared by every machine-readable output in
+/// the repo: util::RunReport::ToJson (the `--report-json` reports of
+/// query_cli / fpt_toolbox / the E-harnesses) and bench::JsonReport (the
+/// bench `--json` artifacts). Comma placement is handled automatically; the
+/// caller is responsible for balancing Begin/End calls.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Separate();
+    out_ += '{';
+    PushScope();
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    PopScope();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separate();
+    out_ += '[';
+    PushScope();
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    PopScope();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Object key; the next value written belongs to it.
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    AppendString(key);
+    out_ += ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view value) {
+    Separate();
+    AppendString(value);
+    return *this;
+  }
+  JsonWriter& Uint(std::uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Int(std::int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Null() {
+    Separate();
+    out_ += "null";
+    return *this;
+  }
+  /// %.10g, matching the historical bench `--json` number format; NaN and
+  /// infinities (not representable in JSON) become null.
+  JsonWriter& Double(double value) {
+    if (!std::isfinite(value)) return Null();
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out_ += buf;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void PushScope() {
+    depth_ <<= 1;  // New scope: no element written yet.
+  }
+  void PopScope() {
+    depth_ >>= 1;
+    depth_ |= 1;  // The closed container counts as the parent's element.
+  }
+  /// Emits ", " before the second and later elements of the current scope.
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;  // The value right after a key is never preceded
+      return;                // by a comma of its own.
+    }
+    if (depth_ & 1) out_ += ", ";
+    depth_ |= 1;
+  }
+
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  /// One bit per open scope: set once the scope has an element. 64 levels of
+  /// nesting is far beyond anything the reports emit.
+  std::uint64_t depth_ = 0;
+  bool pending_key_ = false;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_JSON_H_

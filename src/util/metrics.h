@@ -1,0 +1,75 @@
+#ifndef QC_UTIL_METRICS_H_
+#define QC_UTIL_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "util/counters.h"
+
+namespace qc::util {
+
+/// Thread-safe metrics sink: the concurrent front door to Counters.
+///
+/// Parallel kernels historically accumulated into per-worker Counters and
+/// merged them on the coordinating thread; MetricsRegistry subsumes that
+/// pattern behind one lock so workers (or long-lived services holding one
+/// registry across many runs) can report directly. It keeps the Counters
+/// kind split: AddCounter sums monotonically, SetGauge is last-write with
+/// max-merge, so merging N workers' views never double-counts a gauge.
+///
+/// Locking: one mutex per registry. These are per-run reporting paths, not
+/// per-node hot loops — engines keep their thread-local Counters for the hot
+/// path and MergeCounters once per worker, exactly like the old manual
+/// pattern but with the gauge semantics applied centrally.
+class MetricsRegistry {
+ public:
+  void AddCounter(std::string_view key, std::uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.Add(key, delta);
+  }
+
+  /// Last-write gauge; use for level readings (thread counts, limits).
+  void SetGauge(std::string_view key, std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.Set(key, value);
+  }
+
+  /// Max-semantics gauge; use for high-water marks merged from workers.
+  void MaxGauge(std::string_view key, std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.Set(key, std::max(merged_.Get(key), value));
+  }
+
+  /// Folds one worker's Counters in: counter keys sum, gauge keys take the
+  /// max (deterministic regardless of worker arrival order).
+  void MergeCounters(const Counters& worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.Merge(worker);
+  }
+
+  /// Consistent copy of the merged view.
+  Counters Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return merged_;
+  }
+
+  std::uint64_t Get(std::string_view key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return merged_.Get(key);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Counters merged_;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_METRICS_H_

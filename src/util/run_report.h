@@ -1,0 +1,67 @@
+#ifndef QC_UTIL_RUN_REPORT_H_
+#define QC_UTIL_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/budget.h"
+#include "util/counters.h"
+#include "util/trace.h"
+
+namespace qc::util {
+
+/// Machine-readable record of one run: how it ended, what it spent, and
+/// where the time went. One JSON serializer, shared by query_cli and
+/// fpt_toolbox (`--report-json <file>`) and by the experiment harnesses, so
+/// every tool in the repo emits the same schema (checked in CI by
+/// tools/check_report_schema.py).
+///
+/// JSON shape:
+///   {
+///     "tool": "query_cli",
+///     "status": "completed",          // util::ToString(RunStatus)
+///     "exit_code": 0,                 // util::ExitCode(status)
+///     "threads": 1,
+///     "wall_ms": 12.5,
+///     "budget": { "deadline_armed": false, "work_used": 0, "work_limit": 0,
+///                 "rows_used": 4, "row_limit": 0 },
+///     "counters": { "generic_join.nodes": 10, ... },  // monotonic keys
+///     "gauges":   { "threads": 8, ... },              // level keys
+///     "spans": [ { "name": "generic_join", "count": 1, "total_ms": 12.1,
+///                  "children": [ ... ] } ]            // sorted by name
+///   }
+struct RunReport {
+  std::string tool;
+  RunStatus status = RunStatus::kCompleted;
+  int threads = 1;
+  double wall_ms = 0.0;
+
+  struct BudgetUsage {
+    bool deadline_armed = false;
+    std::uint64_t work_used = 0;
+    std::uint64_t work_limit = 0;  ///< 0 = unlimited.
+    std::uint64_t rows_used = 0;
+    std::uint64_t row_limit = 0;   ///< 0 = unlimited.
+  };
+  BudgetUsage budget;
+
+  /// Merged counters + gauges (Counters keeps the kind split).
+  Counters counters;
+
+  /// Merged span tree, typically Trace::Collect() after a traced run.
+  TraceReport trace;
+
+  /// Copies usage and limits out of a run's budget. `deadline_armed` is
+  /// inferred from the status or set by the caller via `deadline_armed`.
+  void FillBudget(const Budget& b, bool deadline_armed);
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() plus a trailing newline; false (with a stderr message)
+  /// when the file cannot be written.
+  bool WriteJsonFile(const std::string& path) const;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_RUN_REPORT_H_

@@ -1,0 +1,177 @@
+#include "util/trace.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace qc::util {
+
+namespace {
+
+struct SpanRecord {
+  std::uint32_t name_id;
+  std::int64_t dur_ns;
+};
+
+struct Agg {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+};
+
+/// One per thread that ever recorded a span. Owned by the global registry so
+/// records survive thread exit (ThreadPool workers are long-lived, but ad-hoc
+/// std::threads are not); the owning thread is the only writer, and readers
+/// (Collect/Reset) run between parallel regions, after the joins/futures that
+/// establish happens-before.
+struct ThreadBuffer {
+  std::vector<SpanRecord> records;
+  std::unordered_map<std::uint32_t, Agg> folded;
+
+  void Fold() {
+    for (const SpanRecord& r : records) {
+      Agg& a = folded[r.name_id];
+      ++a.count;
+      a.total_ns += r.dur_ns;
+    }
+    records.clear();
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint32_t> name_ids;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry();  // Leaked: usable during exit.
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    tls = new ThreadBuffer();
+    tls->records.reserve(Trace::kBufferCapacity);
+    Registry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(tls);
+  }
+  return *tls;
+}
+
+/// Inserts `agg` at the node addressed by the dotted `name`.
+void Insert(TraceNode* root, std::string_view name, const Agg& agg) {
+  TraceNode* node = root;
+  while (!name.empty()) {
+    std::size_t dot = name.find('.');
+    std::string_view head = name.substr(0, dot);
+    node = &node->children[std::string(head)];
+    name = dot == std::string_view::npos ? std::string_view()
+                                         : name.substr(dot + 1);
+  }
+  node->count += agg.count;
+  node->total_ns += agg.total_ns;
+}
+
+void TreeLines(const TraceNode& node, const std::string& indent,
+               std::string* out) {
+  for (const auto& [name, child] : node.children) {
+    *out += indent;
+    *out += name;
+    *out += " count=";
+    *out += std::to_string(child.count);
+    *out += '\n';
+    TreeLines(child, indent + "  ", out);
+  }
+}
+
+}  // namespace
+
+const TraceNode* TraceNode::Find(std::string_view dotted_path) const {
+  const TraceNode* node = this;
+  while (!dotted_path.empty()) {
+    std::size_t dot = dotted_path.find('.');
+    auto it = node->children.find(std::string(dotted_path.substr(0, dot)));
+    if (it == node->children.end()) return nullptr;
+    node = &it->second;
+    dotted_path = dot == std::string_view::npos
+                      ? std::string_view()
+                      : dotted_path.substr(dot + 1);
+  }
+  return node;
+}
+
+std::string TraceReport::TreeString() const {
+  std::string out;
+  TreeLines(root, "", &out);
+  return out;
+}
+
+void Trace::Enable() {
+  Reset();
+  trace_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() {
+  trace_internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Trace::Reset() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadBuffer* b : reg.buffers) {
+    b->records.clear();
+    b->folded.clear();
+  }
+}
+
+TraceReport Trace::Collect() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Aggregate by interned id first (cheap), then resolve names once. The
+  // result depends only on the multiset of records, not on which thread
+  // recorded what or in which order buffers were registered.
+  std::unordered_map<std::uint32_t, Agg> total;
+  std::uint64_t n = 0;
+  for (const ThreadBuffer* b : reg.buffers) {
+    for (const auto& [id, agg] : b->folded) {
+      Agg& a = total[id];
+      a.count += agg.count;
+      a.total_ns += agg.total_ns;
+      n += agg.count;
+    }
+    for (const SpanRecord& r : b->records) {
+      Agg& a = total[r.name_id];
+      ++a.count;
+      a.total_ns += r.dur_ns;
+      ++n;
+    }
+  }
+  TraceReport report;
+  report.total_records = n;
+  for (const auto& [id, agg] : total) {
+    Insert(&report.root, reg.names[id], agg);
+  }
+  return report;
+}
+
+std::uint32_t Trace::InternName(std::string_view name) {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.name_ids.find(std::string(name));
+  if (it != reg.name_ids.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(reg.names.size());
+  reg.names.emplace_back(name);
+  reg.name_ids.emplace(reg.names.back(), id);
+  return id;
+}
+
+void Trace::Record(std::uint32_t name_id, std::int64_t dur_ns) {
+  ThreadBuffer& buf = LocalBuffer();
+  if (buf.records.size() >= kBufferCapacity) buf.Fold();
+  buf.records.push_back(SpanRecord{name_id, dur_ns});
+}
+
+}  // namespace qc::util

@@ -1,0 +1,134 @@
+#ifndef QC_UTIL_TRACE_H_
+#define QC_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace qc::util {
+
+namespace trace_internal {
+/// Process-wide recording flag. Inline so ScopedSpan's fast path compiles to
+/// a single relaxed load at every call site, with no function call when
+/// tracing is off.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+/// One node of the merged span tree: the tree structure comes from the
+/// dotted span names (`engine.stage`, DESIGN.md §9), so "generic_join.level.0"
+/// is a child of "level" under "generic_join". `count`/`total_ns` are the
+/// records that landed exactly on this path; timings are inclusive of
+/// everything executed while the span was open (children included).
+struct TraceNode {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::map<std::string, TraceNode> children;
+
+  const TraceNode* Find(std::string_view dotted_path) const;
+};
+
+/// Deterministically merged view of every thread's span buffer.
+struct TraceReport {
+  TraceNode root;  ///< Unnamed; its children are the top-level engines.
+  std::uint64_t total_records = 0;
+
+  bool empty() const { return root.children.empty(); }
+
+  /// Canonical deterministic rendering: one "path count=N" line per node,
+  /// two-space indentation, children in name order. Timings are deliberately
+  /// excluded, so for a deterministic workload the string is bit-identical
+  /// across runs and thread counts (the acceptance check for the span layer).
+  std::string TreeString() const;
+};
+
+/// Lightweight span/trace subsystem.
+///
+/// Engines open ScopedSpan RAII guards around their stages; each completed
+/// span appends one (interned name, duration) record to a per-thread buffer.
+/// Buffers have fixed capacity (kBufferCapacity); on overflow they fold into
+/// a per-thread aggregate map, so nothing is ever dropped and memory stays
+/// bounded no matter how many spans a run emits. Collect() merges every
+/// thread's buffer into a TraceReport keyed by dotted span name — a merge
+/// that is independent of thread scheduling and registration order, which is
+/// what makes the span tree deterministic across thread counts for the
+/// bit-identical parallel kernels of DESIGN.md §6.
+///
+/// Cost contract: when disabled, constructing a ScopedSpan is one relaxed
+/// atomic load (the same budget as Budget::Poll's fast path; the
+/// BM_GenericJoinTriangle* microbenches keep the disabled overhead under
+/// 2%). When enabled, a span costs two steady_clock reads plus one buffer
+/// append.
+///
+/// Threading contract: spans may be opened and closed on any thread.
+/// Enable/Disable/Collect/Reset must not race in-flight spans — call them
+/// from the coordinating thread between runs (ParallelFor joins its workers
+/// before returning, which establishes the needed happens-before for worker
+/// buffers).
+class Trace {
+ public:
+  static bool enabled() {
+    return trace_internal::g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all per-thread buffers and starts recording.
+  static void Enable();
+
+  /// Stops recording; buffers are kept for Collect().
+  static void Disable();
+
+  /// Clears all per-thread buffers without changing the enabled flag.
+  static void Reset();
+
+  /// Merges every thread's buffer into one report (buffers are left
+  /// untouched; collect is repeatable).
+  static TraceReport Collect();
+
+  /// Interns `name`, returning a stable id for ScopedSpan. Interning takes a
+  /// global lock: do it once per call site (static local) or per engine
+  /// instance (member), not per span.
+  static std::uint32_t InternName(std::string_view name);
+
+  /// Appends one completed-span record to the calling thread's buffer.
+  /// Internal to ScopedSpan; exposed for tests.
+  static void Record(std::uint32_t name_id, std::int64_t dur_ns);
+
+  /// Per-thread buffer capacity in records before folding into the
+  /// aggregate map.
+  static constexpr std::size_t kBufferCapacity = 1 << 14;
+};
+
+/// RAII span guard. The name id comes from Trace::InternName; spans nest
+/// naturally (the enclosing span's duration includes the nested one), and
+/// the dotted naming convention places them in the merged tree.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint32_t name_id) {
+    if (!Trace::enabled()) return;
+    name_id_ = name_id;
+    start_ = std::chrono::steady_clock::now();
+    active_ = true;
+  }
+
+  ~ScopedSpan() {
+    if (!active_) return;
+    Trace::Record(name_id_,
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::uint32_t name_id_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_TRACE_H_

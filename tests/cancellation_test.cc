@@ -54,12 +54,10 @@ constexpr double kPromptMillis = 100.0;
 #endif
 
 /// A budget whose deadline has already passed and whose trip has been
-/// registered (the stride cache can absorb up to kPollStride polls before
-/// the clock is consulted, so we drain it here; engines then observe the
-/// trip at their first safe point, making the promptness tests
-/// deterministic). Mid-run clock trips are covered by
-/// BudgetTest.ExpiredDeadlineTripsWithinOneStride and the concurrent-cancel
-/// test.
+/// registered. Arming bumps the budget's epoch, which invalidates every
+/// thread's stride cache, so the very first Poll() consults the clock and
+/// trips; the loop is belt-and-braces. Engines then observe the trip at
+/// their first safe point, making the promptness tests deterministic.
 void ArmExpired(util::Budget* b) {
   b->ArmDeadlineAfter(0.0);
   while (!b->Poll()) {
@@ -128,10 +126,19 @@ TEST(BudgetTest, ExpiredDeadlineTripsWithinOneStride) {
   util::Budget b;
   ArmExpired(&b);
   bool tripped = false;
-  // The thread-local stride counter may absorb up to kPollStride polls
-  // before the clock is consulted.
+  // Arming invalidates the stride cache, so the first poll already consults
+  // the clock; the loop only documents the stride upper bound.
   for (int i = 0; i < 1000 && !tripped; ++i) tripped = b.Poll();
   EXPECT_TRUE(tripped);
+  EXPECT_EQ(b.status(), util::RunStatus::kDeadlineExceeded);
+}
+
+TEST(BudgetTest, ExpiredDeadlineTripsOnTheVeryFirstPoll) {
+  // Regression for the cross-instance stride cache: the first poll after
+  // arming must consult the clock, not inherit another budget's countdown.
+  util::Budget b;
+  b.ArmDeadlineAfter(-1.0);
+  EXPECT_TRUE(b.Poll());
   EXPECT_EQ(b.status(), util::RunStatus::kDeadlineExceeded);
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validates a --report-json RunReport against the shared schema.
+
+Usage: check_report_schema.py report.json [report2.json ...]
+
+The schema is the one documented in src/util/run_report.h and emitted by
+query_cli, fpt_toolbox and the E-harnesses. Exits nonzero (with a message
+naming the offending key) on the first violation. Stdlib only.
+"""
+
+import json
+import sys
+
+KNOWN_STATUSES = {
+    "completed",
+    "deadline-exceeded",
+    "budget-exhausted",
+    "cancelled",
+    "internal-error",
+}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(path, obj, key, expected):
+    if key not in obj:
+        fail(path, f"missing required key {key!r}")
+    if not isinstance(obj[key], expected):
+        fail(path, f"key {key!r} has type {type(obj[key]).__name__}, "
+                   f"expected {expected}")
+
+
+def check_span(path, span, where):
+    if not isinstance(span, dict):
+        fail(path, f"{where}: span is not an object")
+    for key, expected in (("name", str), ("count", int),
+                          ("total_ms", (int, float)), ("children", list)):
+        if key not in span:
+            fail(path, f"{where}: span missing {key!r}")
+        if not isinstance(span[key], expected):
+            fail(path, f"{where}.{key}: wrong type")
+    if span["count"] < 0:
+        fail(path, f"{where}: negative count")
+    for i, child in enumerate(span["children"]):
+        check_span(path, child, f"{where}.children[{i}]")
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    if not isinstance(report, dict):
+        fail(path, "top level is not an object")
+
+    check_type(path, report, "tool", str)
+    check_type(path, report, "status", str)
+    check_type(path, report, "exit_code", int)
+    check_type(path, report, "threads", int)
+    check_type(path, report, "wall_ms", (int, float))
+    check_type(path, report, "budget", dict)
+    check_type(path, report, "counters", dict)
+    check_type(path, report, "gauges", dict)
+    check_type(path, report, "spans", list)
+
+    if report["status"] not in KNOWN_STATUSES:
+        fail(path, f"unknown status {report['status']!r}")
+    if report["threads"] < 1:
+        fail(path, "threads < 1")
+    if report["wall_ms"] < 0:
+        fail(path, "negative wall_ms")
+
+    budget = report["budget"]
+    check_type(path, budget, "deadline_armed", bool)
+    for key in ("work_used", "work_limit", "rows_used", "row_limit"):
+        check_type(path, budget, key, int)
+        if budget[key] < 0:
+            fail(path, f"budget.{key} is negative")
+
+    for section in ("counters", "gauges"):
+        for key, value in report[section].items():
+            if not isinstance(value, int) or value < 0:
+                fail(path, f"{section}[{key!r}] is not a non-negative int")
+
+    for i, span in enumerate(report["spans"]):
+        check_span(path, span, f"spans[{i}]")
+
+    print(f"{path}: ok ({report['tool']}, status={report['status']}, "
+          f"{len(report['spans'])} top-level spans)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        check_report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

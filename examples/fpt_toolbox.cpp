@@ -6,10 +6,11 @@
 //
 // Flags: --deadline-ms N caps the tour's wall-clock time (the budgeted
 // engines — exact treewidth, colour coding — stop at the next safe point;
-// exit code 4). --max-rows N is accepted for interface parity with
-// query_cli but the graph engines here produce no row stream.
-// --report-json FILE writes a machine-readable RunReport (same schema as
-// query_cli's).
+// exit code 4). --max-rows N and --index-cache-mb N are accepted for
+// interface parity with query_cli but the graph engines here produce no
+// row stream and build no relational indexes (the report's cache section
+// records the configured capacity with zero traffic). --report-json FILE
+// writes a machine-readable RunReport (same schema as query_cli's).
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +36,7 @@ namespace {
 struct ReportSink {
   const char* path = nullptr;
   bool deadline_armed = false;
+  std::uint64_t index_cache_bytes = 0;  ///< --index-cache-mb, in bytes.
   std::chrono::steady_clock::time_point start;
 
   /// Writes the report (when requested) and surfaces unknown statuses.
@@ -49,6 +51,8 @@ struct ReportSink {
                            std::chrono::steady_clock::now() - start)
                            .count();
       report.FillBudget(budget, deadline_armed);
+      report.cache.enabled = index_cache_bytes > 0;
+      report.cache.capacity_bytes = index_cache_bytes;
       report.trace = qc::util::Trace::Collect();
       qc::util::Trace::Disable();
       if (!report.WriteJsonFile(path)) return 1;
@@ -80,19 +84,22 @@ int main(int argc, char** argv) {
 
   std::uint64_t deadline_ms = 0;
   std::uint64_t max_rows = 0;
+  std::uint64_t index_cache_mb = 0;
   for (int i = 1; i < argc; ++i) {
     char* end = nullptr;
     if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       deadline_ms = std::strtoull(argv[++i], &end, 10);
     } else if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
       max_rows = std::strtoull(argv[++i], &end, 10);
+    } else if (std::strcmp(argv[i], "--index-cache-mb") == 0 && i + 1 < argc) {
+      index_cache_mb = std::strtoull(argv[++i], &end, 10);
     } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
       g_report.path = argv[++i];
       continue;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--deadline-ms N] [--max-rows N] "
-                   "[--report-json FILE]\n",
+                   "[--index-cache-mb N] [--report-json FILE]\n",
                    argv[0]);
       return 1;
     }
@@ -107,6 +114,7 @@ int main(int argc, char** argv) {
   }
   if (max_rows > 0) budget.ArmRowLimit(max_rows);
   g_report.deadline_armed = deadline_ms > 0;
+  g_report.index_cache_bytes = index_cache_mb << 20;
   g_report.start = std::chrono::steady_clock::now();
   if (g_report.path != nullptr) util::Trace::Enable();
 

@@ -12,12 +12,20 @@
 //   2 10
 //   3 11
 //
+// Repeating a "relation X:" block appends its tuples to the existing
+// relation (AddTuple per row) instead of replacing it; malformed rows —
+// arity mismatches, appends to unknown relations — are reported as
+// diagnostics with exit code 1, never a process abort.
+//
 // Flags: --deadline-ms N caps wall-clock time, --max-rows N caps the answer
-// size, --report-json FILE writes a machine-readable RunReport (status,
-// budget usage, counters, span tree). On truncation the status and effort
-// counters are printed and the exit code reports the cause (4 deadline, 5
-// budget, 6 cancelled; 1 is a usage/parse/input error). Running with no
-// stdin redirection uses a built-in demo input.
+// size, --index-cache-mb N enables a shared trie-index cache of that many
+// MiB (0 = off; answers are identical either way, repeated/self-join atoms
+// just skip rebuilding their indexes), --report-json FILE writes a
+// machine-readable RunReport (status, budget usage, cache usage, counters,
+// span tree). On truncation the status and effort counters are printed and
+// the exit code reports the cause (4 deadline, 5 budget, 6 cancelled; 1 is
+// a usage/parse/input error). Running with no stdin redirection uses a
+// built-in demo input.
 
 #include <chrono>
 #include <cstdio>
@@ -32,6 +40,7 @@
 #include "core/analyzer.h"
 #include "core/autosolver.h"
 #include "core/context.h"
+#include "db/index_cache.h"
 #include "db/parser.h"
 #include "util/budget.h"
 #include "util/counters.h"
@@ -49,7 +58,7 @@ constexpr char kDemo[] =
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--deadline-ms N] [--max-rows N] "
-               "[--report-json FILE] [input-file]\n",
+               "[--index-cache-mb N] [--report-json FILE] [input-file]\n",
                argv0);
   return 1;
 }
@@ -61,6 +70,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t deadline_ms = 0;
   std::uint64_t max_rows = 0;
+  std::uint64_t index_cache_mb = 0;
   const char* report_path = nullptr;
   const char* input_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -72,11 +82,15 @@ int main(int argc, char** argv) {
       return end != nullptr && *end == '\0';
     };
     if (std::strcmp(argv[i], "--deadline-ms") == 0 ||
-        std::strcmp(argv[i], "--max-rows") == 0) {
+        std::strcmp(argv[i], "--max-rows") == 0 ||
+        std::strcmp(argv[i], "--index-cache-mb") == 0) {
       const char* name = argv[i];
-      if (!flag_value(name, std::strcmp(name, "--deadline-ms") == 0
-                                ? &deadline_ms
-                                : &max_rows)) {
+      std::uint64_t* out = std::strcmp(name, "--deadline-ms") == 0
+                               ? &deadline_ms
+                               : std::strcmp(name, "--max-rows") == 0
+                                     ? &max_rows
+                                     : &index_cache_mb;
+      if (!flag_value(name, out)) {
         return Usage(argv[0]);
       }
     } else if (std::strcmp(argv[i], "--report-json") == 0) {
@@ -127,8 +141,26 @@ int main(int argc, char** argv) {
                    tuples.error.ToString().c_str());
       return false;
     }
-    int arity = tuples->empty() ? 1 : static_cast<int>((*tuples)[0].size());
-    database.SetRelation(current_relation, arity, std::move(*tuples));
+    if (database.HasRelation(current_relation)) {
+      // A repeated "relation X:" block appends to the existing relation.
+      for (auto& t : *tuples) {
+        db::MutationResult added =
+            database.AddTuple(current_relation, std::move(t));
+        if (!added) {
+          // The mutation diagnostic already names the relation.
+          std::fprintf(stderr, "input error: %s\n", added.message.c_str());
+          return false;
+        }
+      }
+    } else {
+      int arity = tuples->empty() ? 1 : static_cast<int>((*tuples)[0].size());
+      db::MutationResult set =
+          database.SetRelation(current_relation, arity, std::move(*tuples));
+      if (!set) {
+        std::fprintf(stderr, "input error: %s\n", set.message.c_str());
+        return false;
+      }
+    }
     current_relation.clear();
     current_body.clear();
     return true;
@@ -162,6 +194,12 @@ int main(int argc, char** argv) {
   util::Counters counters;
   ExecutionContext ctx;
   ctx.counters = &counters;
+  std::unique_ptr<db::IndexCache> index_cache;
+  if (index_cache_mb > 0) {
+    index_cache = std::make_unique<db::IndexCache>(
+        static_cast<std::size_t>(index_cache_mb) << 20);
+    ctx.index_cache = index_cache.get();
+  }
   // One budget shared by the analysis and the evaluation: the deadline is
   // end-to-end, and the row meter survives across both phases.
   auto budget = std::make_shared<util::Budget>();
@@ -203,6 +241,7 @@ int main(int argc, char** argv) {
                 std::string(util::ToString(result.status)).c_str(),
                 static_cast<unsigned long long>(budget->rows_used()));
   }
+  if (index_cache != nullptr) index_cache->ExportCounters(&counters);
   if (!counters.empty()) {
     std::printf("\n=== effort (threads=%d) ===\n%s\n",
                 ctx.ResolvedThreads(), counters.ToString().c_str());
@@ -216,6 +255,16 @@ int main(int argc, char** argv) {
                          std::chrono::steady_clock::now() - run_start)
                          .count();
     report.FillBudget(*budget, deadline_ms > 0);
+    if (index_cache != nullptr) {
+      db::IndexCacheStats cache_stats = index_cache->stats();
+      report.cache.enabled = true;
+      report.cache.hits = cache_stats.hits;
+      report.cache.misses = cache_stats.misses;
+      report.cache.evictions = cache_stats.evictions;
+      report.cache.bytes = cache_stats.bytes;
+      report.cache.capacity_bytes = cache_stats.capacity_bytes;
+      report.cache.entries = cache_stats.entries;
+    }
     report.counters = counters;
     report.counters.Set("threads", ctx.ResolvedThreads());
     report.trace = util::Trace::Collect();

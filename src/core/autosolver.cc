@@ -114,7 +114,8 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
     static const std::uint32_t kYannakakisSpan =
         util::Trace::InternName("autosolver.yannakakis");
     util::ScopedSpan span(kYannakakisSpan);
-    auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get());
+    auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get(),
+                                      ctx.index_cache);
     if (yan.has_value()) {
       ctx.Count("yannakakis.output_tuples", yan->tuples.size());
       result.method = SolveMethod::kYannakakis;

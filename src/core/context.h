@@ -11,6 +11,10 @@
 
 namespace qc {
 
+namespace db {
+class IndexCache;  // core/context.h stays header-only below db/.
+}  // namespace db
+
 /// One knob surface for every engine in the library.
 ///
 /// Historically each entry point grew its own options struct
@@ -47,6 +51,12 @@ struct ExecutionContext {
   std::uint64_t seed = 1;
   /// Optional effort sink; engines Add() their counters when non-null.
   util::Counters* counters = nullptr;
+  /// Optional shared trie-index cache (db::IndexCache). When non-null,
+  /// trie-based engines key their per-atom indexes by
+  /// (relation, version, projection signature) and reuse warm entries
+  /// instead of rebuilding; results stay bit-identical to cold runs. Safe
+  /// to share across concurrent evaluations and contexts.
+  db::IndexCache* index_cache = nullptr;
 
   // -- cancellation / resource budget --
   /// Output-row budget for row-producing engines (0 = unlimited); folded

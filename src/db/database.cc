@@ -46,30 +46,64 @@ graph::Hypergraph JoinQuery::Hypergraph() const {
 
 graph::Graph JoinQuery::PrimalGraph() const { return Hypergraph().PrimalGraph(); }
 
-void Database::SetRelation(const std::string& name, int arity,
-                           std::vector<Tuple> tuples) {
-  for (const auto& t : tuples) {
-    if (static_cast<int>(t.size()) != arity) std::abort();
-  }
-  SetRelation(name, FlatRelation::FromRows(arity, tuples));
+namespace {
+
+/// Process-wide version stamps: unique across relations and Database
+/// instances, never 0. Uniqueness is what lets the shared IndexCache key on
+/// (name, version) without ever confusing two databases that reuse a name.
+std::uint64_t NextVersionStamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-void Database::SetRelation(const std::string& name, FlatRelation relation) {
+}  // namespace
+
+void Database::Touch(Rel& rel) {
+  rel.version = NextVersionStamp();
+  std::lock_guard<std::mutex> lock(rel.row_cache_mu);
+  rel.row_cache.clear();
+  rel.row_cache_version.store(0, std::memory_order_relaxed);
+}
+
+MutationResult Database::SetRelation(const std::string& name, int arity,
+                                     std::vector<Tuple> tuples) {
+  if (arity < 0) {
+    return MutationResult::Fail("relation " + name + ": negative arity " +
+                                std::to_string(arity));
+  }
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (static_cast<int>(tuples[i].size()) != arity) {
+      return MutationResult::Fail(
+          "relation " + name + ": tuple " + std::to_string(i) + " has arity " +
+          std::to_string(tuples[i].size()) + ", expected " +
+          std::to_string(arity));
+    }
+  }
+  return SetRelation(name, FlatRelation::FromRows(arity, tuples));
+}
+
+MutationResult Database::SetRelation(const std::string& name,
+                                     FlatRelation relation) {
   Rel& rel = relations_[name];
   rel.flat = std::move(relation);
-  rel.row_cache.clear();
-  rel.row_cache_valid = false;
+  Touch(rel);
+  return MutationResult::Ok();
 }
 
-void Database::AddTuple(const std::string& name, Tuple tuple) {
+MutationResult Database::AddTuple(const std::string& name, Tuple tuple) {
   auto it = relations_.find(name);
-  if (it == relations_.end() ||
-      static_cast<int>(tuple.size()) != it->second.flat.arity()) {
-    std::abort();
+  if (it == relations_.end()) {
+    return MutationResult::Fail("no such relation " + name);
+  }
+  if (static_cast<int>(tuple.size()) != it->second.flat.arity()) {
+    return MutationResult::Fail(
+        "relation " + name + ": tuple has arity " +
+        std::to_string(tuple.size()) + ", expected " +
+        std::to_string(it->second.flat.arity()));
   }
   it->second.flat.PushRow(tuple);
-  it->second.row_cache.clear();
-  it->second.row_cache_valid = false;
+  Touch(it->second);
+  return MutationResult::Ok();
 }
 
 bool Database::HasRelation(const std::string& name) const {
@@ -88,11 +122,24 @@ std::size_t Database::NumTuples(const std::string& name) const {
   return relations_.at(name).flat.size();
 }
 
+std::uint64_t Database::RelationVersion(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? 0 : it->second.version;
+}
+
 const std::vector<Tuple>& Database::Tuples(const std::string& name) const {
   const Rel& rel = relations_.at(name);
-  if (!rel.row_cache_valid) {
-    rel.row_cache = rel.flat.ToRows();
-    rel.row_cache_valid = true;
+  // Double-checked lazy materialization: the acquire load pairs with the
+  // release store so a reader that observes the current version also
+  // observes the fully built row_cache. ThreadPool workers sharing one
+  // const Database may race here freely; mutations follow the class-level
+  // "mutate before sharing" contract.
+  if (rel.row_cache_version.load(std::memory_order_acquire) != rel.version) {
+    std::lock_guard<std::mutex> lock(rel.row_cache_mu);
+    if (rel.row_cache_version.load(std::memory_order_relaxed) != rel.version) {
+      rel.row_cache = rel.flat.ToRows();
+      rel.row_cache_version.store(rel.version, std::memory_order_release);
+    }
   }
   return rel.row_cache;
 }

@@ -1,8 +1,10 @@
 #ifndef QC_DB_DATABASE_H_
 #define QC_DB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,23 @@
 #include "graph/hypergraph.h"
 
 namespace qc::db {
+
+/// Outcome of a Database mutation. Malformed input (arity mismatch, missing
+/// relation) is a diagnostic, not a process abort: the mutation is rejected,
+/// the database is left unchanged, and the caller decides how to surface the
+/// message (the CLIs print it and exit 1 — the same structured-error
+/// convention the text parsers follow with util::ParseError).
+struct MutationResult {
+  bool ok = true;
+  std::string message;  ///< Meaningful only when !ok.
+
+  explicit operator bool() const { return ok; }
+
+  static MutationResult Ok() { return MutationResult{}; }
+  static MutationResult Fail(std::string message) {
+    return MutationResult{false, std::move(message)};
+  }
+};
 
 /// One atom R(a1, ..., ar) of a join query.
 struct Atom {
@@ -48,20 +67,41 @@ struct JoinQuery {
 /// trie build, semijoins, enumeration) read the flat data directly via
 /// Flat(); the legacy row-wise Tuples() accessor materializes a cached
 /// vector<Tuple> on first use so existing callers stay source-compatible.
+///
+/// Every successful mutation stamps the relation with a process-unique
+/// version (RelationVersion); derived read-side structures — the internal
+/// row cache and the shared trie IndexCache — key on that stamp, so any
+/// mutation path provably invalidates them without per-site cache-clearing
+/// code. Versions are unique across relations and Database instances, which
+/// makes (name, version) a safe cache key even when several databases reuse
+/// a relation name.
+///
+/// Threading contract: concurrent *const* access (Flat, Tuples, versions,
+/// lookups) from any number of threads is safe — Tuples() guards its lazy
+/// materialization internally. Mutations are not synchronized against
+/// readers: mutate before sharing, or externally serialize mutations with
+/// reads (the same "arm before sharing" contract as util::Budget).
 class Database {
  public:
-  /// Creates/replaces a relation. All tuples must have size `arity`.
-  void SetRelation(const std::string& name, int arity,
-                   std::vector<Tuple> tuples);
+  /// Creates/replaces a relation. All tuples must have size `arity`; on a
+  /// mismatch the database is unchanged and the result carries a diagnostic.
+  MutationResult SetRelation(const std::string& name, int arity,
+                             std::vector<Tuple> tuples);
 
   /// Creates/replaces a relation from flat storage directly (zero-copy).
-  void SetRelation(const std::string& name, FlatRelation relation);
+  MutationResult SetRelation(const std::string& name, FlatRelation relation);
 
-  /// Appends one tuple (relation must exist).
-  void AddTuple(const std::string& name, Tuple tuple);
+  /// Appends one tuple. Fails (database unchanged) when the relation does
+  /// not exist or the tuple's arity does not match.
+  MutationResult AddTuple(const std::string& name, Tuple tuple);
 
   bool HasRelation(const std::string& name) const;
   int Arity(const std::string& name) const;
+
+  /// Version stamp of the relation's last mutation: process-unique, bumped
+  /// by every SetRelation/AddTuple, never 0 for an existing relation.
+  /// Returns 0 when the relation does not exist.
+  std::uint64_t RelationVersion(const std::string& name) const;
 
   /// Flat columnar storage of the relation — the primary representation.
   const FlatRelation& Flat(const std::string& name) const;
@@ -70,7 +110,9 @@ class Database {
   std::size_t NumTuples(const std::string& name) const;
 
   /// Legacy row-wise view; lazily materialized from the flat storage and
-  /// cached until the relation is next mutated.
+  /// cached until the relation is next mutated (the cache is keyed on the
+  /// relation version, so every mutation path invalidates it). Safe to call
+  /// concurrently from many threads on a shared const Database.
   const std::vector<Tuple>& Tuples(const std::string& name) const;
 
   /// N = max number of tuples in any relation (0 for the empty database).
@@ -81,9 +123,21 @@ class Database {
  private:
   struct Rel {
     FlatRelation flat;
+    /// Stamp of the last mutation; see RelationVersion().
+    std::uint64_t version = 0;
+    /// Lazy row-wise view: valid iff row_cache_version == version. The
+    /// acquire/release pair on row_cache_version publishes row_cache to
+    /// concurrent readers; row_cache_mu serializes the materialization.
+    mutable std::mutex row_cache_mu;
     mutable std::vector<Tuple> row_cache;
-    mutable bool row_cache_valid = false;
+    mutable std::atomic<std::uint64_t> row_cache_version{0};
   };
+
+  /// Stamps `rel` with a fresh version after a mutation. The version bump
+  /// alone invalidates the row cache (version 0 never matches a stamp); the
+  /// stale rows are dropped eagerly to return their memory.
+  static void Touch(Rel& rel);
+
   std::map<std::string, Rel> relations_;
 };
 

@@ -23,7 +23,8 @@ int CompareProjection(const Value* row, const std::vector<int>& cols,
 
 AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
                                      const Database& db,
-                                     util::Budget* budget)
+                                     util::Budget* budget,
+                                     IndexCache* cache)
     : budget_(budget) {
   std::vector<int> parent, bottom_up;
   if (!BuildJoinTree(query, &parent, &bottom_up)) return;
@@ -44,22 +45,49 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
   };
 
   // Materialize + full semijoin reduction (the linear preprocessing pass).
+  // The normalized (sorted, deduplicated) atom projection is exactly what a
+  // cached trie indexes, so a warm cache serves it back via ToFlat() with no
+  // scan or sort; atoms without attributes stay on the direct path (a trie
+  // cannot represent a non-empty arity-0 projection).
   std::vector<JoinResult> rel(m);
   for (int e = 0; e < m; ++e) {
     if (budget_ != nullptr && budget_->Poll()) break;
-    rel[e] = MaterializeAtom(query.atoms[e], db);
-    rel[e].Normalize();
+    const Atom& atom = query.atoms[e];
+    std::vector<std::string> attrs = AtomAttributes(atom);
+    if (cache != nullptr && !attrs.empty()) {
+      IndexCache::EntryPtr entry = cache->GetOrBuild(
+          atom.relation, db.RelationVersion(atom.relation),
+          AtomProjectionSignature(atom, attrs), [&]() {
+            IndexCache::Entry fresh;
+            FlatRelation proj = MaterializeSortedProjection(atom, db, attrs);
+            fresh.no_rows = proj.empty();
+            fresh.trie = TrieIndex(proj);
+            return fresh;
+          });
+      rel[e] = JoinResult::FromFlat(attrs, entry->trie.ToFlat());
+    } else {
+      rel[e] = MaterializeAtom(atom, db);
+      rel[e].Normalize();
+    }
   }
   if (tripped()) return;
+  std::vector<bool> pristine(m, true);
   for (int e : bottom_up) {
     if (parent[e] >= 0) {
-      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget_);
+      rel[parent[e]] = SemijoinAgainstAtom(rel[parent[e]], rel[e],
+                                           query.atoms[e], db,
+                                           pristine[e] ? cache : nullptr,
+                                           budget_);
+      pristine[parent[e]] = false;
     }
   }
   if (tripped()) return;
   for (auto it = bottom_up.rbegin(); it != bottom_up.rend(); ++it) {
     if (parent[*it] >= 0) {
-      rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget_);
+      rel[*it] = SemijoinAgainstAtom(
+          rel[*it], rel[parent[*it]], query.atoms[parent[*it]], db,
+          pristine[parent[*it]] ? cache : nullptr, budget_);
+      pristine[*it] = false;
     }
   }
   if (tripped()) return;

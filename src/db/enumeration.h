@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "db/index_cache.h"
 #include "db/joins.h"
 #include "util/budget.h"
 
@@ -23,8 +24,15 @@ class AcyclicEnumerator {
   /// preprocessing the enumerator comes up invalid with status() recording
   /// the cause; if it trips mid-enumeration, Next() returns nullopt early —
   /// distinguish exhaustion from a trip via status().
+  ///
+  /// `cache` (optional, not owned) is the shared trie-index cache: when set,
+  /// preprocessing loads each atom's sorted projection from a warm cache
+  /// entry (skipping the scan+sort) and probes cached key-set tries in the
+  /// semijoin sweeps for pristine sides. The enumeration order and answers
+  /// are bit-identical with or without it.
   AcyclicEnumerator(const JoinQuery& query, const Database& db,
-                    util::Budget* budget = nullptr);
+                    util::Budget* budget = nullptr,
+                    IndexCache* cache = nullptr);
 
   bool IsValid() const { return valid_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <optional>
 
 #include "db/joins.h"
 #include "util/threadpool.h"
@@ -29,22 +30,51 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
 
   static const std::uint32_t kBuildSpan =
       util::Trace::InternName("generic_join.build_trie");
-  util::ScopedSpan build_span(kBuildSpan);
+  IndexCache* cache = ctx_.index_cache;
+  // Without a cache every atom builds, so one span wraps the whole loop (the
+  // historical shape). With a cache the span moves inside the builder: it
+  // records only actual builds and is absent from a fully warm run.
+  std::optional<util::ScopedSpan> all_builds_span;
+  if (cache == nullptr) all_builds_span.emplace(kBuildSpan);
   for (const auto& atom : query.atoms) {
     AtomIndex idx;
     // Deduplicated schema + equality filtering for repeated attributes,
-    // columns already permuted into global order, flat storage throughout.
-    FlatRelation flat =
-        MaterializeAtomFlat(atom, db, global, &idx.attr_positions);
-    flat.SortLexAndDedup();
-    idx.trie = TrieIndex(flat);
-    idx.no_rows = flat.empty();
+    // columns permuted into global order: the atom's distinct attributes
+    // sorted by global position, which is both the trie level order and the
+    // canonical projection the cache keys on.
+    std::vector<std::string> ordered = AtomAttributes(atom);
+    std::sort(ordered.begin(), ordered.end(),
+              [&](const std::string& a, const std::string& b) {
+                return global.at(a) < global.at(b);
+              });
+    idx.attr_positions.reserve(ordered.size());
+    for (const auto& a : ordered) idx.attr_positions.push_back(global.at(a));
+    auto build = [&]() {
+      std::optional<util::ScopedSpan> build_span;
+      if (cache != nullptr) build_span.emplace(kBuildSpan);
+      IndexCache::Entry entry;
+      FlatRelation flat = MaterializeSortedProjection(atom, db, ordered);
+      entry.no_rows = flat.empty();
+      entry.trie = TrieIndex(flat);
+      return entry;
+    };
+    if (cache != nullptr) {
+      // Hit/miss/eviction accounting lives in the cache itself (exported
+      // once per tool via ExportCounters/ExportMetrics, not per engine run,
+      // so shared-cache totals are never double-counted).
+      idx.entry = cache->GetOrBuild(atom.relation,
+                                    db.RelationVersion(atom.relation),
+                                    AtomProjectionSignature(atom, ordered),
+                                    build);
+    } else {
+      idx.entry = std::make_shared<const IndexCache::Entry>(build());
+    }
     int atom_id = static_cast<int>(atoms_.size());
     for (std::size_t col = 0; col < idx.attr_positions.size(); ++col) {
       atoms_of_attr_[idx.attr_positions[col]].push_back(
           {atom_id, static_cast<int>(col)});
     }
-    trie_nodes_ += idx.trie.num_nodes();
+    trie_nodes_ += idx.trie().num_nodes();
     atoms_.push_back(std::move(idx));
   }
   ctx_.Count("trie.nodes", trie_nodes_);
@@ -61,7 +91,7 @@ void GenericJoin::ExportStats(const GenericJoinStats& run) const {
 
 bool GenericJoin::HasEmptyAtom() const {
   for (const auto& a : atoms_) {
-    if (a.no_rows) return true;
+    if (a.no_rows()) return true;
   }
   return false;
 }
@@ -69,8 +99,9 @@ bool GenericJoin::HasEmptyAtom() const {
 std::vector<GenericJoin::Span> GenericJoin::FullSpans() const {
   std::vector<Span> spans(atoms_.size());
   for (std::size_t a = 0; a < atoms_.size(); ++a) {
-    std::int32_t n = atoms_[a].trie.levels() > 0
-                         ? static_cast<std::int32_t>(atoms_[a].trie.LevelSize(0))
+    const TrieIndex& trie = atoms_[a].trie();
+    std::int32_t n = trie.levels() > 0
+                         ? static_cast<std::int32_t>(trie.LevelSize(0))
                          : 0;
     spans[a] = Span{0, n};
   }
@@ -109,7 +140,7 @@ std::int32_t GenericJoin::GallopSeek(const Value* vals, std::int32_t pos,
 
 GenericJoin::Span GenericJoin::DescendSpan(int atom, int col,
                                            std::int32_t pos) const {
-  const TrieIndex& trie = atoms_[atom].trie;
+  const TrieIndex& trie = atoms_[atom].trie();
   if (col + 1 >= trie.levels()) return Span{0, 0};  // Leaf: fully bound.
   return Span{trie.ChildrenBegin(col, pos), trie.ChildrenEnd(col, pos)};
 }
@@ -127,7 +158,7 @@ void GenericJoin::LeapfrogIntersect(int depth, const std::vector<Span>& spans,
   auto& ends = scratch.ends;
   for (int i = 0; i < h; ++i) {
     auto [a, col] = holders[i];
-    vals[i] = atoms_[a].trie.Values(col);
+    vals[i] = atoms_[a].trie().Values(col);
     cur[i] = spans[a].begin;
     ends[i] = spans[a].end;
     if (cur[i] >= ends[i]) return;  // Empty span: empty intersection.

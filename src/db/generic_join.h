@@ -8,6 +8,7 @@
 
 #include "core/context.h"
 #include "db/database.h"
+#include "db/index_cache.h"
 #include "db/trie_index.h"
 #include "util/budget.h"
 #include "util/trace.h"
@@ -64,6 +65,12 @@ struct GenericJoinStats {
 /// limit tripped); Count returns the count so far; IsEmpty's "empty" verdict
 /// is only trustworthy when status() == kCompleted ("non-empty" is always
 /// real). When the budget never trips, results are untouched.
+///
+/// When `ctx.index_cache` is set, construction looks each atom's trie up by
+/// (relation name, relation version, projection signature) and only builds
+/// on a miss — a warm cache skips materialize+sort+build entirely, and the
+/// per-build "generic_join.build_trie" span is absent on hits. Answers and
+/// stats are bit-identical with or without the cache at any thread count.
 class GenericJoin {
  public:
   /// Prepares sorted tries for `query` over `db`. If `attribute_order` is
@@ -99,10 +106,17 @@ class GenericJoin {
   std::uint64_t trie_nodes() const { return trie_nodes_; }
 
  private:
+  /// One atom's index. The trie lives behind an IndexCache entry pointer in
+  /// both modes: with ctx.index_cache set the entry may be shared with other
+  /// evaluations (warm hits skip the build entirely); without a cache the
+  /// constructor builds a private entry. Either way the trie is immutable
+  /// for this object's lifetime — eviction can't invalidate it.
   struct AtomIndex {
     std::vector<int> attr_positions;  ///< Global order index per trie level.
-    TrieIndex trie;                   ///< Over the sorted flat projection.
-    bool no_rows = false;             ///< True when the projection is empty.
+    IndexCache::EntryPtr entry;       ///< Never null after construction.
+
+    const TrieIndex& trie() const { return entry->trie; }
+    bool no_rows() const { return entry->no_rows; }
   };
 
   /// Live node-index span of one atom at its current trie level.

@@ -1,0 +1,129 @@
+#include "db/index_cache.h"
+
+#include <utility>
+
+#include "util/trace.h"
+
+namespace qc::db {
+
+namespace {
+
+std::string MakeKey(const std::string& relation, std::uint64_t version,
+                    const std::string& signature) {
+  // '\x1f' (unit separator) cannot appear in relation names or signatures,
+  // so the concatenation is injective.
+  std::string key;
+  key.reserve(relation.size() + signature.size() + 24);
+  key += relation;
+  key += '\x1f';
+  key += std::to_string(version);
+  key += '\x1f';
+  key += signature;
+  return key;
+}
+
+}  // namespace
+
+IndexCache::EntryPtr IndexCache::GetOrBuild(
+    const std::string& relation, std::uint64_t version,
+    const std::string& signature, const std::function<Entry()>& build) {
+  static const std::uint32_t kHitSpan = util::Trace::InternName("index_cache.hit");
+  static const std::uint32_t kMissSpan =
+      util::Trace::InternName("index_cache.miss");
+  const std::string key = MakeKey(relation, version, signature);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      util::ScopedSpan span(kHitSpan);
+      return it->second.entry;
+    }
+    ++misses_;
+  }
+  // Build outside the lock: a large build must not serialize unrelated
+  // lookups. Concurrent misses on one key may both reach here; the second
+  // insert below detects the race and adopts the first winner's entry.
+  EntryPtr built;
+  {
+    util::ScopedSpan span(kMissSpan);
+    auto fresh = std::make_shared<Entry>(build());
+    if (fresh->bytes == 0) {
+      fresh->bytes = fresh->trie.MemoryBytes() + sizeof(Entry) +
+                     sizeof(Slot) + 2 * key.size();
+    }
+    built = std::move(fresh);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Lost the build race: keep the resident entry so both callers share
+    // one footprint.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.entry;
+  }
+  if (built->bytes > capacity_bytes_) {
+    ++rejected_;
+    return built;  // Usable, but too large to ever share.
+  }
+  EvictToFitLocked(built->bytes);
+  lru_.push_front(key);
+  bytes_ += built->bytes;
+  map_.emplace(key, Slot{built, lru_.begin()});
+  return built;
+}
+
+void IndexCache::EvictToFitLocked(std::size_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > capacity_bytes_) {
+    auto victim = map_.find(lru_.back());
+    bytes_ -= victim->second.entry->bytes;
+    map_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+IndexCacheStats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.rejected = rejected_;
+  s.bytes = bytes_;
+  s.entries = map_.size();
+  s.capacity_bytes = capacity_bytes_;
+  return s;
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void IndexCache::ExportCounters(util::Counters* sink) const {
+  IndexCacheStats s = stats();
+  sink->Add("index_cache.hits", s.hits);
+  sink->Add("index_cache.misses", s.misses);
+  sink->Add("index_cache.evictions", s.evictions);
+  sink->Add("index_cache.rejected", s.rejected);
+  sink->Set("index_cache.bytes", s.bytes);
+  sink->Set("index_cache.entries", s.entries);
+  sink->Set("index_cache.capacity_bytes", s.capacity_bytes);
+}
+
+void IndexCache::ExportMetrics(util::MetricsRegistry* registry) const {
+  IndexCacheStats s = stats();
+  registry->AddCounter("index_cache.hits", s.hits);
+  registry->AddCounter("index_cache.misses", s.misses);
+  registry->AddCounter("index_cache.evictions", s.evictions);
+  registry->AddCounter("index_cache.rejected", s.rejected);
+  registry->SetGauge("index_cache.bytes", s.bytes);
+  registry->SetGauge("index_cache.entries", s.entries);
+  registry->SetGauge("index_cache.capacity_bytes", s.capacity_bytes);
+}
+
+}  // namespace qc::db

@@ -1,0 +1,120 @@
+#ifndef QC_DB_INDEX_CACHE_H_
+#define QC_DB_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "db/trie_index.h"
+#include "util/counters.h"
+#include "util/metrics.h"
+
+namespace qc::db {
+
+/// Point-in-time view of one IndexCache's counters and occupancy.
+struct IndexCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Entries built but never inserted because they alone exceed the cap
+  /// (the caller still gets a working index — it just isn't shared).
+  std::uint64_t rejected = 0;
+  std::size_t bytes = 0;    ///< Current accounted footprint.
+  std::size_t entries = 0;  ///< Current resident entry count.
+  std::size_t capacity_bytes = 0;
+};
+
+/// Shared, thread-safe cache of trie indexes keyed by
+/// (relation name, relation version, projection signature).
+///
+/// Every Database mutation stamps the relation with a process-unique version
+/// (Database::RelationVersion), so a key can never alias stale data: a
+/// mutated relation simply misses under its new version and the old entries
+/// age out through LRU eviction. The signature
+/// (db::AtomProjectionSignature) canonicalizes which columns the index
+/// covers, in which order, and under which repeated-attribute equality
+/// filter — equal keys are guaranteed byte-identical indexes, which is what
+/// lets self-join atoms and repeated queries share one build.
+///
+/// Memory accounting is byte-accurate against the configured cap: each
+/// entry is charged TrieIndex::MemoryBytes() (capacity-accurate heap
+/// footprint) plus the entry and key bookkeeping, and insertion evicts
+/// least-recently-used entries until the new total fits. An entry larger
+/// than the whole cap is never inserted — the caller keeps a private copy
+/// and the workload degrades to cold builds (counted under `rejected`)
+/// instead of wrong answers or a blown cap. Entries are handed out as
+/// shared_ptr, so eviction never invalidates an evaluation that is still
+/// reading the index.
+///
+/// Threading contract: all members are thread-safe behind one mutex.
+/// Builders run *outside* the lock, so concurrent misses on one key may
+/// build twice; the first insertion wins and later builders adopt it —
+/// duplicated work, never duplicated memory or inconsistent state.
+///
+/// Observability: every lookup records an `index_cache.hit` or
+/// `index_cache.miss` trace span (count markers in the PR-4 span tree), and
+/// ExportCounters/ExportMetrics publish the "index_cache.*" counter/gauge
+/// split into the unified Counters / MetricsRegistry surfaces.
+class IndexCache {
+ public:
+  /// One immutable cached index over a sorted, deduplicated projection.
+  struct Entry {
+    TrieIndex trie;
+    bool no_rows = false;   ///< True when the projection had zero rows.
+    std::size_t bytes = 0;  ///< Accounted footprint; filled on insert.
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit IndexCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the cached entry for (relation, version, signature), invoking
+  /// `build` on a miss. Never returns null: on a miss the freshly built
+  /// entry is returned even when it cannot be inserted under the cap.
+  EntryPtr GetOrBuild(const std::string& relation, std::uint64_t version,
+                      const std::string& signature,
+                      const std::function<Entry()>& build);
+
+  IndexCacheStats stats() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Drops every entry (counters are kept; in-flight EntryPtrs stay valid).
+  void Clear();
+
+  /// Publishes "index_cache.{hits,misses,evictions,rejected}" as counters
+  /// and "index_cache.{bytes,entries,capacity_bytes}" as gauges.
+  void ExportCounters(util::Counters* sink) const;
+  void ExportMetrics(util::MetricsRegistry* registry) const;
+
+ private:
+  struct Slot {
+    EntryPtr entry;
+    std::list<std::string>::iterator lru_it;  ///< Position in lru_.
+  };
+
+  /// Evicts LRU entries until `incoming` more bytes fit under the cap.
+  /// Caller holds mu_.
+  void EvictToFitLocked(std::size_t incoming);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_ = 0;
+  /// Most-recently-used at the front; values are the map keys.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Slot> map_;
+};
+
+}  // namespace qc::db
+
+#endif  // QC_DB_INDEX_CACHE_H_

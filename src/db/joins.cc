@@ -93,6 +93,58 @@ FlatRelation MaterializeAtomFlat(const Atom& atom, const Database& db,
   return out;
 }
 
+std::vector<std::string> AtomAttributes(const Atom& atom) {
+  return AnalyzeAtomColumns(atom).attributes;
+}
+
+std::string AtomProjectionSignature(const Atom& atom,
+                                    const std::vector<std::string>& attrs) {
+  AtomColumns cols = AnalyzeAtomColumns(atom);
+  std::string sig = "e:";
+  for (auto [first, repeat] : cols.eq_cols) {
+    sig += std::to_string(first) + "=" + std::to_string(repeat) + ";";
+  }
+  sig += "c:";
+  for (const auto& a : attrs) {
+    auto it = std::find(cols.attributes.begin(), cols.attributes.end(), a);
+    // Unknown attribute: encode an impossible column so the signature can
+    // never alias a valid one (callers pass attributes of the atom).
+    int col = it == cols.attributes.end()
+                  ? -1
+                  : cols.keep_cols[it - cols.attributes.begin()];
+    sig += std::to_string(col) + ";";
+  }
+  return sig;
+}
+
+FlatRelation MaterializeSortedProjection(
+    const Atom& atom, const Database& db,
+    const std::vector<std::string>& attrs) {
+  AtomColumns cols = AnalyzeAtomColumns(atom);
+  std::vector<int> src_cols;
+  src_cols.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    auto it = std::find(cols.attributes.begin(), cols.attributes.end(), a);
+    if (it != cols.attributes.end()) {
+      src_cols.push_back(cols.keep_cols[it - cols.attributes.begin()]);
+    }
+  }
+  const FlatRelation& rel = db.Flat(atom.relation);
+  FlatRelation out(static_cast<int>(src_cols.size()));
+  out.Reserve(rel.size());
+  Tuple buffer(src_cols.size());
+  for (std::size_t r = 0; r < rel.size(); ++r) {
+    const Value* row = rel.Row(r);
+    if (!RowPassesEquality(row, cols)) continue;
+    for (std::size_t c = 0; c < src_cols.size(); ++c) {
+      buffer[c] = row[src_cols[c]];
+    }
+    out.PushRow(buffer.data());
+  }
+  out.SortLexAndDedup();
+  return out;
+}
+
 JoinResult HashJoin(const JoinResult& left, const JoinResult& right,
                     JoinStats* stats, util::Budget* budget) {
   // Shared attributes and column maps.

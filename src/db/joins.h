@@ -56,6 +56,28 @@ FlatRelation MaterializeAtomFlat(const Atom& atom, const Database& db,
                                  const std::map<std::string, int>& global_order,
                                  std::vector<int>* attr_positions);
 
+/// Distinct attributes of `atom` in first-occurrence order — the schema
+/// MaterializeAtom produces.
+std::vector<std::string> AtomAttributes(const Atom& atom);
+
+/// Canonical cache signature of the sorted projection of `atom` onto
+/// `attrs` (a subset of the atom's distinct attributes, in output-column
+/// order): the row filter (equality classes of repeated attributes) plus
+/// the source column of each output attribute. Two (atom, attrs) pairs with
+/// equal signatures over the same relation version produce byte-identical
+/// MaterializeSortedProjection results — the IndexCache keys trie indexes
+/// by (relation name, version, signature).
+std::string AtomProjectionSignature(const Atom& atom,
+                                    const std::vector<std::string>& attrs);
+
+/// Sorted, duplicate-free flat projection of `atom` onto `attrs` (output
+/// columns in that order): rows failing the atom's repeated-attribute
+/// equality filter are dropped, the kept source columns are gathered, and
+/// the result is SortLexAndDedup'ed — the canonical relation a TrieIndex
+/// (and a cached semijoin key set) is built over.
+FlatRelation MaterializeSortedProjection(const Atom& atom, const Database& db,
+                                         const std::vector<std::string>& attrs);
+
 }  // namespace qc::db
 
 #endif  // QC_DB_JOINS_H_

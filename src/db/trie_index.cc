@@ -1,5 +1,7 @@
 #include "db/trie_index.h"
 
+#include <algorithm>
+
 namespace qc::db {
 
 TrieIndex::TrieIndex(const FlatRelation& rel) {
@@ -35,6 +37,66 @@ TrieIndex::TrieIndex(const FlatRelation& rel) {
     num_nodes_ += level.values.size();
     ranges = std::move(next_ranges);
   }
+}
+
+std::size_t TrieIndex::MemoryBytes() const {
+  std::size_t bytes = sizeof(TrieIndex);
+  bytes += levels_.capacity() * sizeof(Level);
+  for (const Level& level : levels_) {
+    bytes += level.values.capacity() * sizeof(Value);
+    bytes += level.child_offsets.capacity() * sizeof(std::int32_t);
+  }
+  return bytes;
+}
+
+bool TrieIndex::ContainsRow(const Value* row) const {
+  if (empty()) return false;
+  std::int32_t begin = 0;
+  std::int32_t end = static_cast<std::int32_t>(levels_[0].values.size());
+  for (int l = 0; l < levels(); ++l) {
+    const Value* vals = levels_[l].values.data();
+    const Value* hit = std::lower_bound(vals + begin, vals + end, row[l]);
+    if (hit == vals + end || *hit != row[l]) return false;
+    if (l + 1 == levels()) return true;
+    std::int32_t node = static_cast<std::int32_t>(hit - vals);
+    begin = ChildrenBegin(l, node);
+    end = ChildrenEnd(l, node);
+  }
+  return true;
+}
+
+FlatRelation TrieIndex::ToFlat() const {
+  const int arity = levels();
+  FlatRelation out(arity);
+  if (arity == 0 || empty()) return out;
+  out.Reserve(levels_.back().values.size());
+  Tuple row(arity);
+  // Depth-first over the child spans; leaves appear in lexicographic row
+  // order because every span's values are sorted.
+  struct Frame {
+    std::int32_t node, end;
+  };
+  std::vector<Frame> stack(arity);
+  stack[0] = {0, static_cast<std::int32_t>(levels_[0].values.size())};
+  int depth = 0;
+  while (depth >= 0) {
+    Frame& f = stack[depth];
+    if (f.node == f.end) {
+      --depth;
+      if (depth >= 0) ++stack[depth].node;
+      continue;
+    }
+    row[depth] = levels_[depth].values[f.node];
+    if (depth + 1 == arity) {
+      out.PushRow(row.data());
+      ++f.node;
+    } else {
+      stack[depth + 1] = {ChildrenBegin(depth, f.node),
+                          ChildrenEnd(depth, f.node)};
+      ++depth;
+    }
+  }
+  return out;
 }
 
 }  // namespace qc::db

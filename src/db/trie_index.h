@@ -54,6 +54,21 @@ class TrieIndex {
     return levels_[level].child_offsets[node + 1];
   }
 
+  /// Heap + object footprint in bytes (capacity-accurate: what the vectors
+  /// actually reserved, not just what they hold). The unit of the
+  /// IndexCache's memory accounting.
+  std::size_t MemoryBytes() const;
+
+  /// True when the indexed relation contains the tuple `row` (levels()
+  /// values): one bounded binary search per level. The flat-membership
+  /// primitive behind cached semijoin probes; equivalent to SortedContains
+  /// on the source relation.
+  bool ContainsRow(const Value* row) const;
+
+  /// Reconstructs the indexed relation: sorted, duplicate-free rows in
+  /// lexicographic order (exactly the FlatRelation the trie was built from).
+  FlatRelation ToFlat() const;
+
  private:
   struct Level {
     std::vector<Value> values;

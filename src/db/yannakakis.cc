@@ -79,10 +79,56 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
   return out;
 }
 
+JoinResult SemijoinAgainstAtom(const JoinResult& a, const JoinResult& b,
+                               const Atom& b_atom, const Database& db,
+                               IndexCache* cache, util::Budget* budget) {
+  if (cache == nullptr) return Semijoin(a, b, budget);
+  std::vector<int> a_cols;
+  std::vector<std::string> shared;
+  for (std::size_t i = 0; i < a.attributes.size(); ++i) {
+    if (std::find(b.attributes.begin(), b.attributes.end(), a.attributes[i]) !=
+        b.attributes.end()) {
+      a_cols.push_back(static_cast<int>(i));
+      shared.push_back(a.attributes[i]);
+    }
+  }
+  JoinResult out;
+  out.attributes = a.attributes;
+  out.truncated = a.truncated || b.truncated;
+  if (a_cols.empty()) {
+    if (!b.tuples.empty()) out.tuples = a.tuples;
+    return out;
+  }
+  // Because `b` is b_atom's pristine materialization, its projection onto
+  // the shared attributes — what Semijoin would sort per call — equals
+  // MaterializeSortedProjection(b_atom, ..., shared), which the cache keys
+  // by relation version + signature and shares across calls and sweeps.
+  IndexCache::EntryPtr keys = cache->GetOrBuild(
+      b_atom.relation, db.RelationVersion(b_atom.relation),
+      AtomProjectionSignature(b_atom, shared), [&]() {
+        IndexCache::Entry entry;
+        FlatRelation proj = MaterializeSortedProjection(b_atom, db, shared);
+        entry.no_rows = proj.empty();
+        entry.trie = TrieIndex(proj);
+        return entry;
+      });
+  Tuple key(a_cols.size());
+  for (const auto& t : a.tuples) {
+    if (budget != nullptr && budget->Poll()) {
+      out.truncated = true;
+      break;
+    }
+    for (std::size_t i = 0; i < a_cols.size(); ++i) key[i] = t[a_cols[i]];
+    if (keys->trie.ContainsRow(key.data())) out.tuples.push_back(t);
+  }
+  return out;
+}
+
 std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
                                              JoinStats* stats,
-                                             util::Budget* budget) {
+                                             util::Budget* budget,
+                                             IndexCache* cache) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
@@ -122,12 +168,19 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
     }
   }
 
+  // Pristine = still exactly MaterializeAtom's output; only those B-sides
+  // may be served from the shared key-set cache (a shrunk side's key set is
+  // run-specific and must be rebuilt per call).
+  std::vector<bool> pristine(m, true);
   // Upward sweep: parent ⋉ child, children first.
   {
     util::ScopedSpan span(kUpSpan);
     for (int e : order) {
       if (parent[e] >= 0) {
-        rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
+        rel[parent[e]] = SemijoinAgainstAtom(
+            rel[parent[e]], rel[e], query.atoms[e], db,
+            pristine[e] ? cache : nullptr, budget);
+        pristine[parent[e]] = false;
         if (rel[parent[e]].truncated) return truncated_result();
       }
     }
@@ -137,7 +190,10 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
     util::ScopedSpan span(kDownSpan);
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       if (parent[*it] >= 0) {
-        rel[*it] = Semijoin(rel[*it], rel[parent[*it]], budget);
+        rel[*it] = SemijoinAgainstAtom(
+            rel[*it], rel[parent[*it]], query.atoms[parent[*it]], db,
+            pristine[parent[*it]] ? cache : nullptr, budget);
+        pristine[*it] = false;
         if (rel[*it].truncated) return truncated_result();
       }
     }
@@ -187,7 +243,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
 
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
                                       const Database& db,
-                                      util::Budget* budget) {
+                                      util::Budget* budget,
+                                      IndexCache* cache) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
@@ -197,10 +254,15 @@ std::optional<bool> BooleanYannakakis(const JoinQuery& query,
     if (budget != nullptr && budget->Poll()) return false;  // Unknown.
     rel[e] = MaterializeAtom(query.atoms[e], db);
   }
+  std::vector<bool> pristine(m, true);
   int root = -1;
   for (int e : order) {
     if (parent[e] >= 0) {
-      rel[parent[e]] = Semijoin(rel[parent[e]], rel[e], budget);
+      rel[parent[e]] = SemijoinAgainstAtom(rel[parent[e]], rel[e],
+                                           query.atoms[e], db,
+                                           pristine[e] ? cache : nullptr,
+                                           budget);
+      pristine[parent[e]] = false;
     } else {
       root = e;
     }

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "db/index_cache.h"
 #include "db/joins.h"
 #include "util/budget.h"
 
@@ -23,6 +24,21 @@ bool BuildJoinTree(const JoinQuery& query, std::vector<int>* parent,
 JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
                     util::Budget* budget = nullptr);
 
+/// Semijoin A ⋉ B where B is the *pristine* materialization of `b_atom`:
+/// MaterializeAtom(b_atom, db), possibly Normalize()d, but never shrunk by
+/// an earlier semijoin (reordering/deduplicating B cannot change its key
+/// set; dropping rows can). Produces output identical to
+/// Semijoin(a, b, budget) — same
+/// tuples, same order, same per-probe budget poll points — but when `cache`
+/// is non-null the sorted key set over the shared attributes comes from the
+/// shared IndexCache (keyed by relation version + projection signature), so
+/// a warm cache skips the per-call project+sort entirely and probes the
+/// cached trie instead. With `cache == nullptr` it defers to Semijoin.
+JoinResult SemijoinAgainstAtom(const JoinResult& a, const JoinResult& b,
+                               const Atom& b_atom, const Database& db,
+                               IndexCache* cache,
+                               util::Budget* budget = nullptr);
+
 /// Yannakakis' algorithm for alpha-acyclic queries: two semijoin sweeps over
 /// the GYO join tree (full reduction), then joins along the tree, keeping
 /// every intermediate no larger than its own size times the output.
@@ -30,10 +46,14 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
 /// per-tuple safe point; when it trips, the returned result has
 /// `truncated = true`, the canonical attribute schema, and a subset of the
 /// answer rows (possibly none) — inspect budget->status() for the cause.
+/// When `cache` is non-null, the semijoin sweeps probe cached key-set tries
+/// for pristine (never-yet-shrunk) B-sides — in tree order that is exactly
+/// the leaf atoms of the upward sweep; answers are bit-identical either way.
 std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
                                              JoinStats* stats = nullptr,
-                                             util::Budget* budget = nullptr);
+                                             util::Budget* budget = nullptr,
+                                             IndexCache* cache = nullptr);
 
 /// Boolean acyclic query evaluation: one semijoin sweep towards the root;
 /// nonempty root == nonempty answer. Returns nullopt if cyclic. On a budget
@@ -41,7 +61,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
 /// treat a `false` under budget->Stopped() as Unknown.
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
                                       const Database& db,
-                                      util::Budget* budget = nullptr);
+                                      util::Budget* budget = nullptr,
+                                      IndexCache* cache = nullptr);
 
 }  // namespace qc::db
 

@@ -47,6 +47,15 @@ std::string RunReport::ToJson() const {
   w.Key("rows_used").Uint(budget.rows_used);
   w.Key("row_limit").Uint(budget.row_limit);
   w.EndObject();
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(cache.enabled);
+  w.Key("hits").Uint(cache.hits);
+  w.Key("misses").Uint(cache.misses);
+  w.Key("evictions").Uint(cache.evictions);
+  w.Key("bytes").Uint(cache.bytes);
+  w.Key("capacity_bytes").Uint(cache.capacity_bytes);
+  w.Key("entries").Uint(cache.entries);
+  w.EndObject();
   w.Key("counters").BeginObject();
   for (const auto& [key, value] : counters.items()) {
     if (!counters.IsGauge(key)) w.Key(key).Uint(value);

@@ -25,6 +25,8 @@ namespace qc::util {
 ///     "wall_ms": 12.5,
 ///     "budget": { "deadline_armed": false, "work_used": 0, "work_limit": 0,
 ///                 "rows_used": 4, "row_limit": 0 },
+///     "cache":  { "enabled": false, "hits": 0, "misses": 0, "evictions": 0,
+///                 "bytes": 0, "capacity_bytes": 0, "entries": 0 },
 ///     "counters": { "generic_join.nodes": 10, ... },  // monotonic keys
 ///     "gauges":   { "threads": 8, ... },              // level keys
 ///     "spans": [ { "name": "generic_join", "count": 1, "total_ms": 12.1,
@@ -44,6 +46,20 @@ struct RunReport {
     std::uint64_t row_limit = 0;   ///< 0 = unlimited.
   };
   BudgetUsage budget;
+
+  /// Trie-index cache usage (db::IndexCacheStats snapshot, flattened here so
+  /// util/ stays below db/). Always serialized; `enabled = false` with zeros
+  /// means no cache was configured for the run.
+  struct CacheUsage {
+    bool enabled = false;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t entries = 0;
+  };
+  CacheUsage cache;
 
   /// Merged counters + gauges (Counters keeps the kind split).
   Counters counters;

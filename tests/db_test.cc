@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "db/agm.h"
 #include "db/database.h"
 #include "db/generic_join.h"
@@ -254,6 +256,79 @@ TEST(GenericJoinTest, EmptyRelationShortCircuits) {
   GenericJoin gj(q, db);
   EXPECT_TRUE(gj.IsEmpty());
   EXPECT_EQ(gj.Count(), 0u);
+}
+
+TEST(DatabaseMutationTest, MalformedInputRejectedWithDiagnostic) {
+  Database db;
+  // Arity mismatch inside SetRelation: rejected, database unchanged.
+  MutationResult bad = db.SetRelation("R", 2, {{1, 2}, {3}});
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.message.find("tuple 1"), std::string::npos);
+  EXPECT_FALSE(db.HasRelation("R"));
+
+  ASSERT_TRUE(db.SetRelation("R", 2, {{1, 2}}));
+  // AddTuple to a missing relation and with the wrong arity: both rejected,
+  // both leave the relation untouched.
+  EXPECT_FALSE(db.AddTuple("S", {1, 2}));
+  MutationResult wrong_arity = db.AddTuple("R", {1, 2, 3});
+  EXPECT_FALSE(wrong_arity);
+  EXPECT_NE(wrong_arity.message.find("arity"), std::string::npos);
+  EXPECT_EQ(db.NumTuples("R"), 1u);
+  EXPECT_FALSE(db.SetRelation("N", -1, {}));
+}
+
+TEST(DatabaseMutationTest, EveryMutationBumpsVersion) {
+  Database db;
+  EXPECT_EQ(db.RelationVersion("R"), 0u);  // Missing relation.
+  ASSERT_TRUE(db.SetRelation("R", 2, {{1, 2}}));
+  std::uint64_t v1 = db.RelationVersion("R");
+  EXPECT_NE(v1, 0u);
+  ASSERT_TRUE(db.AddTuple("R", {3, 4}));
+  std::uint64_t v2 = db.RelationVersion("R");
+  EXPECT_NE(v2, v1);
+  ASSERT_TRUE(db.SetRelation("R", 2, {{5, 6}}));
+  std::uint64_t v3 = db.RelationVersion("R");
+  EXPECT_NE(v3, v2);
+  // Rejected mutations must NOT bump the version.
+  EXPECT_FALSE(db.AddTuple("R", {1}));
+  EXPECT_EQ(db.RelationVersion("R"), v3);
+  // Versions are process-unique: a second database reusing the name gets a
+  // distinct stamp.
+  Database other;
+  ASSERT_TRUE(other.SetRelation("R", 2, {{5, 6}}));
+  EXPECT_NE(other.RelationVersion("R"), v3);
+}
+
+TEST(DatabaseMutationTest, RowCacheInvalidatedByVersionBump) {
+  Database db;
+  ASSERT_TRUE(db.SetRelation("R", 2, {{1, 2}}));
+  EXPECT_EQ(db.Tuples("R").size(), 1u);  // Materializes the row cache.
+  ASSERT_TRUE(db.AddTuple("R", {3, 4}));
+  EXPECT_EQ(db.Tuples("R").size(), 2u);  // Stale cache dropped via version.
+  ASSERT_TRUE(db.SetRelation("R", 2, {{7, 8}, {9, 10}, {11, 12}}));
+  EXPECT_EQ(db.Tuples("R").size(), 3u);
+  EXPECT_EQ(db.Tuples("R")[0], (Tuple{7, 8}));
+}
+
+TEST(DatabaseConcurrentTuplesTest, EightThreadsShareLazyRowCache) {
+  // Regression for the lazy row_cache data race: Tuples() on a shared const
+  // Database used to materialize the mutable cache unguarded, so two threads
+  // could write it concurrently (caught by TSan, occasionally a crash).
+  Database db;
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 512; ++i) rows.push_back({i, i * 2});
+  ASSERT_TRUE(db.SetRelation("R", 2, rows));
+  const Database& shared = db;
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> sizes(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&shared, &sizes, t]() {
+      sizes[t] = shared.Tuples("R").size();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(sizes[t], 512u);
+  EXPECT_EQ(shared.Tuples("R")[511], (Tuple{511, 1022}));
 }
 
 TEST(GenericJoinTest, SelfJoinSharedRelation) {

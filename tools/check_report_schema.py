@@ -60,6 +60,7 @@ def check_report(path):
     check_type(path, report, "threads", int)
     check_type(path, report, "wall_ms", (int, float))
     check_type(path, report, "budget", dict)
+    check_type(path, report, "cache", dict)
     check_type(path, report, "counters", dict)
     check_type(path, report, "gauges", dict)
     check_type(path, report, "spans", list)
@@ -77,6 +78,17 @@ def check_report(path):
         check_type(path, budget, key, int)
         if budget[key] < 0:
             fail(path, f"budget.{key} is negative")
+
+    cache = report["cache"]
+    check_type(path, cache, "enabled", bool)
+    for key in ("hits", "misses", "evictions", "bytes", "capacity_bytes",
+                "entries"):
+        check_type(path, cache, key, int)
+        if cache[key] < 0:
+            fail(path, f"cache.{key} is negative")
+    if not cache["enabled"] and any(
+            cache[k] for k in ("hits", "misses", "bytes", "entries")):
+        fail(path, "cache disabled but reports nonzero usage")
 
     for section in ("counters", "gauges"):
         for key, value in report[section].items():

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "api/query_api.h"
+#include "api/session_options.h"
 #include "bench_util.h"
 #include "db/database.h"
 #include "db/generic_join.h"
@@ -121,17 +123,20 @@ int main(int argc, char** argv) {
     if (!agree) return 1;
   }
   t2.Print();
+  // Emission goes through the same api::FinishReport path as query_cli,
+  // fpt_toolbox and qc_serverd — one schema, one writer.
+  api::SessionOptions report_opts;
+  if (report_path != nullptr) report_opts.report_json = report_path;
+  util::RunReport report;
+  report.tool = "bench_e9_triangle_sparse";
+  report.status = util::RunStatus::kCompleted;
+  report.threads = 1;
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - run_start)
+                       .count();
   if (report_path != nullptr) {
-    util::RunReport report;
-    report.tool = "bench_e9_triangle_sparse";
-    report.status = util::RunStatus::kCompleted;
-    report.threads = 1;
-    report.wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - run_start)
-                         .count();
     report.trace = util::Trace::Collect();
     util::Trace::Disable();
-    if (!report.WriteJsonFile(report_path)) return 1;
   }
-  return 0;
+  return api::FinishReport(report_opts, report, report.status);
 }

@@ -4,20 +4,22 @@
 // programs — against the brute-force baselines whose optimality the
 // paper's lower bounds assert for the W[1]-hard problems (Clique).
 //
-// Flags: --deadline-ms N caps the tour's wall-clock time (the budgeted
-// engines — exact treewidth, colour coding — stop at the next safe point;
-// exit code 4). --max-rows N and --index-cache-mb N are accepted for
-// interface parity with query_cli but the graph engines here produce no
-// row stream and build no relational indexes (the report's cache section
-// records the configured capacity with zero traffic). --report-json FILE
-// writes a machine-readable RunReport (same schema as query_cli's).
+// Flags are the shared qc::api session set: --deadline-ms N caps the
+// tour's wall-clock time (the budgeted engines — exact treewidth, colour
+// coding — stop at the next safe point; exit code 4), --threads N feeds
+// the parallel engines. --max-rows N and --index-cache-mb N are accepted
+// for interface parity with query_cli but the graph engines here produce
+// no row stream and build no relational indexes (the report's cache
+// section records the configured capacity with zero traffic).
+// --report-json FILE writes a machine-readable RunReport (same schema as
+// query_cli's, emitted through the same api::FinishReport path).
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "api/query_api.h"
+#include "api/session_options.h"
 #include "graph/cliques.h"
 #include "graph/colorcoding.h"
 #include "graph/generators.h"
@@ -34,35 +36,28 @@ namespace {
 
 /// Shared by every exit path so --report-json sees aborted tours too.
 struct ReportSink {
-  const char* path = nullptr;
-  bool deadline_armed = false;
-  std::uint64_t index_cache_bytes = 0;  ///< --index-cache-mb, in bytes.
+  qc::api::SessionOptions options;
   std::chrono::steady_clock::time_point start;
 
-  /// Writes the report (when requested) and surfaces unknown statuses.
-  /// Returns the status's exit code.
+  /// Builds the tour's RunReport and hands it to api::FinishReport — the
+  /// same finishing path query_cli and qc_serverd use. Returns the exit
+  /// code.
   int Finish(const qc::util::Budget& budget, qc::util::RunStatus status) {
-    if (path != nullptr) {
-      qc::util::RunReport report;
-      report.tool = "fpt_toolbox";
-      report.status = status;
-      report.threads = 1;
-      report.wall_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      report.FillBudget(budget, deadline_armed);
-      report.cache.enabled = index_cache_bytes > 0;
-      report.cache.capacity_bytes = index_cache_bytes;
+    qc::util::RunReport report;
+    report.tool = "fpt_toolbox";
+    report.status = status;
+    report.threads = options.threads > 0 ? options.threads : 1;
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    report.FillBudget(budget, options.deadline_ms > 0);
+    report.cache.enabled = options.index_cache_mb > 0;
+    report.cache.capacity_bytes = options.index_cache_mb << 20;
+    if (!options.report_json.empty()) {
       report.trace = qc::util::Trace::Collect();
       qc::util::Trace::Disable();
-      if (!report.WriteJsonFile(path)) return 1;
     }
-    if (!qc::util::IsKnown(status)) {
-      std::fprintf(stderr,
-                   "internal error: unknown run status %d (please report)\n",
-                   static_cast<int>(status));
-    }
-    return qc::util::ExitCode(status);
+    return qc::api::FinishReport(options, report, status);
   }
 };
 
@@ -82,41 +77,26 @@ int main(int argc, char** argv) {
   using namespace qc;
   util::Rng rng(11);
 
-  std::uint64_t deadline_ms = 0;
-  std::uint64_t max_rows = 0;
-  std::uint64_t index_cache_mb = 0;
-  for (int i = 1; i < argc; ++i) {
-    char* end = nullptr;
-    if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      deadline_ms = std::strtoull(argv[++i], &end, 10);
-    } else if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
-      max_rows = std::strtoull(argv[++i], &end, 10);
-    } else if (std::strcmp(argv[i], "--index-cache-mb") == 0 && i + 1 < argc) {
-      index_cache_mb = std::strtoull(argv[++i], &end, 10);
-    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
-      g_report.path = argv[++i];
-      continue;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--deadline-ms N] [--max-rows N] "
-                   "[--index-cache-mb N] [--report-json FILE]\n",
-                   argv[0]);
+  for (int i = 1; i < argc;) {
+    std::string error;
+    int consumed =
+        api::ParseSessionFlag(argc, argv, i, &g_report.options, &error);
+    if (consumed < 0) {
+      std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    if (end == nullptr || *end != '\0') {
-      std::fprintf(stderr, "bad value for %s\n", argv[i - 1]);
+    if (consumed == 0) {
+      std::fprintf(stderr, "usage: %s%s\n", argv[0],
+                   api::SessionFlagsUsage().c_str());
       return 1;
     }
+    i += consumed;
   }
-  util::Budget budget;
-  if (deadline_ms > 0) {
-    budget.ArmDeadlineAfter(static_cast<double>(deadline_ms) / 1000.0);
-  }
-  if (max_rows > 0) budget.ArmRowLimit(max_rows);
-  g_report.deadline_armed = deadline_ms > 0;
-  g_report.index_cache_bytes = index_cache_mb << 20;
+  auto budget_ptr = g_report.options.MakeBudget();
+  util::Budget& budget = *budget_ptr;
+  const int threads = g_report.options.threads;
   g_report.start = std::chrono::steady_clock::now();
-  if (g_report.path != nullptr) util::Trace::Enable();
+  if (!g_report.options.report_json.empty()) util::Trace::Enable();
 
   // A sparse graph with some high-degree hubs: the friendly regime for the
   // Buss kernel.
@@ -151,8 +131,8 @@ int main(int argc, char** argv) {
 
   // --- k-Path: randomized FPT via colour coding. ---
   timer.Reset();
-  auto path = graph::FindKPathColorCoding(g, 7, &rng, /*rounds=*/0,
-                                          /*threads=*/0, &budget);
+  auto path = graph::FindKPathColorCoding(g, 7, &rng, /*rounds=*/0, threads,
+                                          &budget);
   std::printf("[k-path]       colour coding, k = 7: %s (%.2f ms)\n",
               path ? "path found" : "none found", timer.Millis());
   if (int code = FinishIfTripped(&budget)) return code;
@@ -163,7 +143,7 @@ int main(int argc, char** argv) {
   timer.Reset();
   graph::ExactTreewidthResult exact_tw =
       graph::ExactTreewidth(graph::RandomPartialKTree(16, 3, 0.85, &rng), 24,
-                            /*threads=*/0, &budget);
+                            threads, &budget);
   std::printf("[treewidth]    exact DP on 16 vertices: width %d (%.2f ms)\n",
               exact_tw.treewidth, timer.Millis());
   if (int code = FinishIfTripped(&budget)) return code;

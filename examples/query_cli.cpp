@@ -1,6 +1,7 @@
-// Interactive/stdin query runner built on the text parser: reads a join
-// query, relation contents, and evaluates it with the auto-router, printing
-// the structural analysis first.
+// Interactive/stdin query runner built on the qc::api layer: reads a join
+// query plus relation contents in the shared dataset format, loads them via
+// api::LoadDataset, and evaluates with api::ExecuteQuery — the same entry
+// points qc_serverd serves over the wire, so CLI and daemon cannot drift.
 //
 // Input format (stdin, or a file given as the positional argument):
 //
@@ -13,39 +14,28 @@
 //   3 11
 //
 // Repeating a "relation X:" block appends its tuples to the existing
-// relation (AddTuple per row) instead of replacing it; malformed rows —
-// arity mismatches, appends to unknown relations — are reported as
-// diagnostics with exit code 1, never a process abort.
+// relation instead of replacing it. Malformed rows — parse errors, arity
+// mismatches — are reported with their 1-based input line number, every bad
+// statement (not just the first). `--on-input-error abort` (default)
+// rejects the whole input and applies nothing; `--on-input-error continue`
+// applies the valid rows and reports each skipped one.
 //
-// Flags: --deadline-ms N caps wall-clock time, --max-rows N caps the answer
-// size, --index-cache-mb N enables a shared trie-index cache of that many
-// MiB (0 = off; answers are identical either way, repeated/self-join atoms
-// just skip rebuilding their indexes), --report-json FILE writes a
-// machine-readable RunReport (status, budget usage, cache usage, counters,
-// span tree). On truncation the status and effort counters are printed and
-// the exit code reports the cause (4 deadline, 5 budget, 6 cancelled; 1 is
-// a usage/parse/input error). Running with no stdin redirection uses a
+// Flags are the shared session set (see --help): --threads, --deadline-ms,
+// --max-rows, --index-cache-mb, --report-json, --on-input-error. On
+// truncation the status and effort counters are printed and the exit code
+// reports the cause (4 deadline, 5 budget, 6 cancelled; 1 is a
+// usage/parse/input error). Running with no stdin redirection uses a
 // built-in demo input.
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <unistd.h>
 
-#include "core/analyzer.h"
-#include "core/autosolver.h"
-#include "core/context.h"
-#include "db/index_cache.h"
-#include "db/parser.h"
-#include "util/budget.h"
-#include "util/counters.h"
-#include "util/run_report.h"
-#include "util/trace.h"
+#include "api/query_api.h"
+#include "api/session_options.h"
+#include "db/database.h"
 
 namespace {
 
@@ -56,10 +46,8 @@ constexpr char kDemo[] =
     "relation R3:\n0 1\n1 2\n2 0\n0 2\n";
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--deadline-ms N] [--max-rows N] "
-               "[--index-cache-mb N] [--report-json FILE] [input-file]\n",
-               argv0);
+  std::fprintf(stderr, "usage: %s%s [input-file]\n", argv0,
+               qc::api::SessionFlagsUsage().c_str());
   return 1;
 }
 
@@ -68,41 +56,25 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace qc;
 
-  std::uint64_t deadline_ms = 0;
-  std::uint64_t max_rows = 0;
-  std::uint64_t index_cache_mb = 0;
-  const char* report_path = nullptr;
+  api::SessionOptions options;
   const char* input_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    auto flag_value = [&](const char* name, std::uint64_t* out) {
-      if (std::strcmp(argv[i], name) != 0) return false;
-      if (i + 1 >= argc) return false;
-      char* end = nullptr;
-      *out = std::strtoull(argv[++i], &end, 10);
-      return end != nullptr && *end == '\0';
-    };
-    if (std::strcmp(argv[i], "--deadline-ms") == 0 ||
-        std::strcmp(argv[i], "--max-rows") == 0 ||
-        std::strcmp(argv[i], "--index-cache-mb") == 0) {
-      const char* name = argv[i];
-      std::uint64_t* out = std::strcmp(name, "--deadline-ms") == 0
-                               ? &deadline_ms
-                               : std::strcmp(name, "--max-rows") == 0
-                                     ? &max_rows
-                                     : &index_cache_mb;
-      if (!flag_value(name, out)) {
-        return Usage(argv[0]);
-      }
-    } else if (std::strcmp(argv[i], "--report-json") == 0) {
-      if (i + 1 >= argc) return Usage(argv[0]);
-      report_path = argv[++i];
-    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
-      return Usage(argv[0]);
-    } else if (input_path == nullptr) {
-      input_path = argv[i];
-    } else {
+  for (int i = 1; i < argc;) {
+    std::string error;
+    int consumed = api::ParseSessionFlag(argc, argv, i, &options, &error);
+    if (consumed < 0) {
+      std::fprintf(stderr, "%s\n", error.c_str());
       return Usage(argv[0]);
     }
+    if (consumed > 0) {
+      i += consumed;
+      continue;
+    }
+    if (argv[i][0] == '-' && argv[i][1] != '\0') {
+      return Usage(argv[0]);
+    }
+    if (input_path != nullptr) return Usage(argv[0]);
+    input_path = argv[i];
+    ++i;
   }
 
   std::string input;
@@ -128,155 +100,67 @@ int main(int argc, char** argv) {
     input = kDemo;
   }
 
-  // Split into the query line and "relation <name>:" blocks.
-  std::istringstream in(input);
-  std::string line, query_text;
   db::Database database;
-  std::string current_relation, current_body;
-  auto flush_relation = [&]() -> bool {
-    if (current_relation.empty()) return true;
-    auto tuples = db::ParseTuples(current_body);
-    if (!tuples) {
-      std::fprintf(stderr, "relation %s: %s\n", current_relation.c_str(),
-                   tuples.error.ToString().c_str());
-      return false;
-    }
-    if (database.HasRelation(current_relation)) {
-      // A repeated "relation X:" block appends to the existing relation.
-      for (auto& t : *tuples) {
-        db::MutationResult added =
-            database.AddTuple(current_relation, std::move(t));
-        if (!added) {
-          // The mutation diagnostic already names the relation.
-          std::fprintf(stderr, "input error: %s\n", added.message.c_str());
-          return false;
-        }
-      }
-    } else {
-      int arity = tuples->empty() ? 1 : static_cast<int>((*tuples)[0].size());
-      db::MutationResult set =
-          database.SetRelation(current_relation, arity, std::move(*tuples));
-      if (!set) {
-        std::fprintf(stderr, "input error: %s\n", set.message.c_str());
-        return false;
-      }
-    }
-    current_relation.clear();
-    current_body.clear();
-    return true;
-  };
-  while (std::getline(in, line)) {
-    if (line.rfind("query:", 0) == 0) {
-      query_text = line.substr(6);
-    } else if (line.rfind("relation ", 0) == 0) {
-      if (!flush_relation()) return 1;
-      std::size_t colon = line.find(':');
-      current_relation = line.substr(9, colon - 9);
-    } else {
-      current_body += line + "\n";
-    }
+  api::DatasetLoad load =
+      api::LoadDataset(input, &database, options.continue_on_input_error);
+  for (const api::InputDiagnostic& d : load.diagnostics) {
+    std::fprintf(stderr, "input error: %s\n", d.ToString().c_str());
   }
-  if (!flush_relation()) return 1;
-
-  auto query = db::ParseJoinQuery(query_text);
-  if (!query) {
-    std::fprintf(stderr, "query parse error: %s\n",
-                 query.error.ToString().c_str());
+  if (!load.ok) {
+    std::fprintf(stderr, "input rejected (%zu error%s); nothing applied\n",
+                 load.diagnostics.size(),
+                 load.diagnostics.size() == 1 ? "" : "s");
     return 1;
   }
-  for (const auto& atom : query->atoms) {
-    if (!database.HasRelation(atom.relation)) {
-      std::fprintf(stderr, "missing relation %s\n", atom.relation.c_str());
-      return 1;
-    }
+  if (load.tuples_skipped > 0) {
+    std::fprintf(stderr, "(continuing past %zu bad row%s)\n",
+                 load.tuples_skipped, load.tuples_skipped == 1 ? "" : "s");
   }
 
-  util::Counters counters;
-  ExecutionContext ctx;
-  ctx.counters = &counters;
-  std::unique_ptr<db::IndexCache> index_cache;
-  if (index_cache_mb > 0) {
-    index_cache = std::make_unique<db::IndexCache>(
-        static_cast<std::size_t>(index_cache_mb) << 20);
-    ctx.index_cache = index_cache.get();
-  }
-  // One budget shared by the analysis and the evaluation: the deadline is
-  // end-to-end, and the row meter survives across both phases.
-  auto budget = std::make_shared<util::Budget>();
-  if (deadline_ms > 0) {
-    budget->ArmDeadlineAfter(static_cast<double>(deadline_ms) / 1000.0);
-  }
-  if (max_rows > 0) budget->ArmRowLimit(max_rows);
-  ctx.budget = budget;
-  if (report_path != nullptr) util::Trace::Enable();
-  auto run_start = std::chrono::steady_clock::now();
+  api::QueryRequest request;
+  request.query_text = load.query_text;
+  request.options = options;
+  request.want_analysis = true;
+  // The CLI owns the process-wide Trace, so span collection is safe here
+  // (unlike qc_serverd, which serves concurrent requests).
+  request.collect_trace = !options.report_json.empty();
 
-  core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
-  std::printf("=== analysis ===\n%s\n", analysis.ToString().c_str());
-  if (analysis.status != util::RunStatus::kCompleted) {
-    std::printf("(analysis degraded to heuristic measures: %s)\n",
-                std::string(util::ToString(analysis.status)).c_str());
+  auto cache = options.MakeIndexCache();
+  api::QueryResponse resp =
+      api::ExecuteQuery(request, database, cache.get());
+  if (!resp.input_ok) {
+    std::fprintf(stderr, "%s\n", resp.error.c_str());
+    return 1;
   }
+
+  std::printf("=== analysis ===\n%s\n", resp.analysis_text.c_str());
   std::printf("\n");
-  core::AutoQueryResult result = core::EvaluateQueryAuto(*query, database, ctx);
-  std::printf("=== answer (via %s): %zu tuples%s ===\n",
-              core::ToString(result.method).c_str(),
-              result.result.tuples.size(),
-              result.result.truncated ? " (truncated)" : "");
+  std::printf("=== answer (via %s): %zu tuples%s ===\n", resp.method.c_str(),
+              resp.result.tuples.size(),
+              resp.result.truncated ? " (truncated)" : "");
   std::string header;
-  for (const auto& a : result.result.attributes) header += a + " ";
+  for (const auto& a : resp.result.attributes) header += a + " ";
   std::printf("%s\n", header.c_str());
   std::size_t shown = 0;
-  for (const auto& t : result.result.tuples) {
+  for (const auto& t : resp.result.tuples) {
     std::string row;
     for (db::Value v : t) row += std::to_string(v) + " ";
     std::printf("%s\n", row.c_str());
-    if (++shown == 20 && result.result.tuples.size() > 20) {
-      std::printf("... (%zu more)\n", result.result.tuples.size() - 20);
+    if (++shown == 20 && resp.result.tuples.size() > 20) {
+      std::printf("... (%zu more)\n", resp.result.tuples.size() - 20);
       break;
     }
   }
-  if (result.status != util::RunStatus::kCompleted) {
+  if (resp.status != util::RunStatus::kCompleted) {
     std::printf("\nstatus: %s after %llu output rows (partial answer)\n",
-                std::string(util::ToString(result.status)).c_str(),
-                static_cast<unsigned long long>(budget->rows_used()));
+                std::string(util::ToString(resp.status)).c_str(),
+                static_cast<unsigned long long>(resp.report.budget.rows_used));
   }
-  if (index_cache != nullptr) index_cache->ExportCounters(&counters);
-  if (!counters.empty()) {
-    std::printf("\n=== effort (threads=%d) ===\n%s\n",
-                ctx.ResolvedThreads(), counters.ToString().c_str());
+  if (!resp.report.counters.empty()) {
+    std::printf("\n=== effort (threads=%d) ===\n%s\n", resp.report.threads,
+                resp.report.counters.ToString().c_str());
   }
-  if (report_path != nullptr) {
-    util::RunReport report;
-    report.tool = "query_cli";
-    report.status = result.status;
-    report.threads = ctx.ResolvedThreads();
-    report.wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - run_start)
-                         .count();
-    report.FillBudget(*budget, deadline_ms > 0);
-    if (index_cache != nullptr) {
-      db::IndexCacheStats cache_stats = index_cache->stats();
-      report.cache.enabled = true;
-      report.cache.hits = cache_stats.hits;
-      report.cache.misses = cache_stats.misses;
-      report.cache.evictions = cache_stats.evictions;
-      report.cache.bytes = cache_stats.bytes;
-      report.cache.capacity_bytes = cache_stats.capacity_bytes;
-      report.cache.entries = cache_stats.entries;
-    }
-    report.counters = counters;
-    report.counters.Set("threads", ctx.ResolvedThreads());
-    report.trace = util::Trace::Collect();
-    util::Trace::Disable();
-    if (!report.WriteJsonFile(report_path)) return 1;
-  }
-  if (!util::IsKnown(result.status)) {
-    // Fall-through of the status enum: report it loudly instead of exiting
-    // with a silent "?" — exit code 7 marks the internal error.
-    std::fprintf(stderr,
-                 "internal error: unknown run status %d (please report)\n",
-                 static_cast<int>(result.status));
-  }
-  return util::ExitCode(result.status);
+
+  resp.report.tool = "query_cli";
+  return api::FinishReport(options, resp.report, resp.status);
 }

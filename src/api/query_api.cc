@@ -1,0 +1,272 @@
+#include "api/query_api.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "core/analyzer.h"
+#include "core/autosolver.h"
+#include "db/parser.h"
+#include "util/trace.h"
+
+namespace qc::api {
+
+std::string InputDiagnostic::ToString() const {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+namespace {
+
+/// One staged tuple with the input line it came from.
+struct StagedRow {
+  int line = 0;
+  db::Tuple tuple;
+};
+
+/// One "relation X:" block occurrence, rows already parsed.
+struct StagedBlock {
+  std::string relation;
+  int header_line = 0;
+  std::vector<StagedRow> rows;
+};
+
+bool IsBlankOrComment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DatasetLoad LoadDataset(const std::string& text, db::Database* db,
+                        bool continue_on_error) {
+  DatasetLoad out;
+  std::vector<StagedBlock> blocks;
+  StagedBlock* current = nullptr;
+
+  // Pass 1: split into the query line and relation blocks, parsing each
+  // tuple line individually so every malformed row gets its own
+  // line-numbered diagnostic (not just the first).
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      if (pos == text.size()) break;
+      eol = text.size();
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    if (line.rfind("query:", 0) == 0) {
+      out.query_text = line.substr(6);
+      continue;
+    }
+    if (line.rfind("relation ", 0) == 0) {
+      std::size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        out.diagnostics.push_back(
+            {line_no, "relation header is missing ':'"});
+        current = nullptr;
+        continue;
+      }
+      std::string name = line.substr(9, colon - 9);
+      while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+        name.pop_back();
+      }
+      if (name.empty()) {
+        out.diagnostics.push_back({line_no, "relation header has no name"});
+        current = nullptr;
+        continue;
+      }
+      blocks.push_back(StagedBlock{std::move(name), line_no, {}});
+      current = &blocks.back();
+      continue;
+    }
+    if (IsBlankOrComment(line)) continue;
+    if (current == nullptr) {
+      out.diagnostics.push_back(
+          {line_no, "tuple outside any 'relation X:' block"});
+      continue;
+    }
+    auto parsed = db::ParseTuples(line);
+    if (!parsed) {
+      out.diagnostics.push_back(
+          {line_no, "relation " + current->relation + ": column " +
+                        std::to_string(parsed.error.column) + ": " +
+                        parsed.error.message});
+      continue;
+    }
+    for (auto& t : *parsed) {
+      current->rows.push_back(StagedRow{line_no, std::move(t)});
+    }
+  }
+
+  // Pass 2: resolve arities and validate every row before anything is
+  // applied. Existing relations fix the arity; a new name takes the arity
+  // of its first valid row.
+  std::map<std::string, int> arity;
+  for (StagedBlock& block : blocks) {
+    auto it = arity.find(block.relation);
+    int expected = -1;
+    if (it != arity.end()) {
+      expected = it->second;
+    } else if (db->HasRelation(block.relation)) {
+      expected = db->Arity(block.relation);
+      arity[block.relation] = expected;
+    }
+    std::vector<StagedRow> kept;
+    kept.reserve(block.rows.size());
+    for (StagedRow& row : block.rows) {
+      if (expected < 0) {
+        expected = static_cast<int>(row.tuple.size());
+        arity[block.relation] = expected;
+      }
+      if (static_cast<int>(row.tuple.size()) != expected) {
+        out.diagnostics.push_back(
+            {row.line, "relation " + block.relation + ": tuple has arity " +
+                           std::to_string(row.tuple.size()) + ", expected " +
+                           std::to_string(expected)});
+        ++out.tuples_skipped;
+        continue;
+      }
+      kept.push_back(std::move(row));
+    }
+    block.rows = std::move(kept);
+    if (expected < 0) arity[block.relation] = 1;  // Empty new relation.
+  }
+
+  // Abort semantics: any diagnostic rejects the whole input — the database
+  // is untouched, mirroring SetRelation's all-or-nothing validation.
+  if (!out.diagnostics.empty() && !continue_on_error) {
+    out.ok = false;
+    out.applied = false;
+    out.tuples_skipped = 0;
+    return out;
+  }
+
+  // Pass 3: apply, block order preserved (repeated blocks append).
+  for (const StagedBlock& block : blocks) {
+    if (!db->HasRelation(block.relation)) {
+      std::vector<db::Tuple> tuples;
+      tuples.reserve(block.rows.size());
+      for (const StagedRow& row : block.rows) tuples.push_back(row.tuple);
+      db::MutationResult set = db->SetRelation(
+          block.relation, arity.at(block.relation), std::move(tuples));
+      if (!set) {  // Unreachable after validation; surfaced, not ignored.
+        out.diagnostics.push_back({block.header_line, set.message});
+        out.ok = false;
+        return out;
+      }
+      out.tuples_applied += block.rows.size();
+      continue;
+    }
+    for (const StagedRow& row : block.rows) {
+      db::MutationResult added = db->AddTuple(block.relation, row.tuple);
+      if (!added) {
+        out.diagnostics.push_back({row.line, added.message});
+        out.ok = false;
+        return out;
+      }
+      ++out.tuples_applied;
+    }
+  }
+  out.ok = true;
+  out.applied = true;
+  return out;
+}
+
+int QueryResponse::ExitCode() const {
+  return input_ok ? util::ExitCode(status) : 1;
+}
+
+QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
+                           db::IndexCache* cache) {
+  QueryResponse resp;
+  auto query = db::ParseJoinQuery(req.query_text);
+  if (!query) {
+    resp.error = "query parse error: " + query.error.ToString();
+    return resp;
+  }
+  for (const auto& atom : query->atoms) {
+    if (!db.HasRelation(atom.relation)) {
+      resp.error = "missing relation " + atom.relation;
+      return resp;
+    }
+  }
+  resp.input_ok = true;
+
+  util::Counters counters;
+  ExecutionContext ctx;
+  req.options.ApplyTo(&ctx);
+  ctx.counters = &counters;
+  ctx.index_cache = cache;
+  // One budget across analysis and evaluation: the deadline is end-to-end
+  // and the row meter survives both phases.
+  auto budget = req.options.MakeBudget();
+  ctx.budget = budget;
+  if (req.collect_trace) util::Trace::Enable();
+  auto start = std::chrono::steady_clock::now();
+
+  if (req.want_analysis) {
+    core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
+    resp.analysis_text = analysis.ToString();
+    if (analysis.status != util::RunStatus::kCompleted) {
+      resp.analysis_text +=
+          "\n(analysis degraded to heuristic measures: " +
+          std::string(util::ToString(analysis.status)) + ")";
+    }
+  }
+
+  core::AutoQueryResult result = core::EvaluateQueryAuto(*query, db, ctx);
+  resp.status = result.status;
+  resp.method = core::ToString(result.method);
+  resp.result = std::move(result.result);
+
+  resp.report.status = resp.status;
+  resp.report.threads = ctx.ResolvedThreads();
+  resp.report.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  resp.report.FillBudget(*budget, req.options.deadline_ms > 0);
+  FillCacheSection(&resp.report, cache);
+  if (cache != nullptr) cache->ExportCounters(&counters);
+  resp.report.counters = std::move(counters);
+  resp.report.counters.Set("threads", ctx.ResolvedThreads());
+  if (req.collect_trace) {
+    resp.report.trace = util::Trace::Collect();
+    util::Trace::Disable();
+  }
+  resp.report.server.request_id = req.id;
+  return resp;
+}
+
+void FillCacheSection(util::RunReport* report, const db::IndexCache* cache) {
+  if (cache == nullptr) return;
+  db::IndexCacheStats stats = cache->stats();
+  report->cache.enabled = true;
+  report->cache.hits = stats.hits;
+  report->cache.misses = stats.misses;
+  report->cache.evictions = stats.evictions;
+  report->cache.bytes = stats.bytes;
+  report->cache.capacity_bytes = stats.capacity_bytes;
+  report->cache.entries = stats.entries;
+}
+
+int FinishReport(const SessionOptions& opts, const util::RunReport& report,
+                 util::RunStatus status) {
+  if (!opts.report_json.empty() && !report.WriteJsonFile(opts.report_json)) {
+    return 1;
+  }
+  if (!util::IsKnown(status)) {
+    std::fprintf(stderr,
+                 "internal error: unknown run status %d (please report)\n",
+                 static_cast<int>(status));
+  }
+  return util::ExitCode(status);
+}
+
+}  // namespace qc::api

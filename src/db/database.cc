@@ -85,7 +85,10 @@ MutationResult Database::SetRelation(const std::string& name, int arity,
 MutationResult Database::SetRelation(const std::string& name,
                                      FlatRelation relation) {
   Rel& rel = relations_[name];
-  rel.flat = std::move(relation);
+  // A replacement never mutates the old payload in place, so clones that
+  // still hold the previous shared_ptr keep reading their snapshot.
+  rel.flat = std::make_shared<FlatRelation>(std::move(relation));
+  rel.maybe_shared = false;
   Touch(rel);
   return MutationResult::Ok();
 }
@@ -95,15 +98,36 @@ MutationResult Database::AddTuple(const std::string& name, Tuple tuple) {
   if (it == relations_.end()) {
     return MutationResult::Fail("no such relation " + name);
   }
-  if (static_cast<int>(tuple.size()) != it->second.flat.arity()) {
+  Rel& rel = it->second;
+  if (static_cast<int>(tuple.size()) != rel.flat->arity()) {
     return MutationResult::Fail(
         "relation " + name + ": tuple has arity " +
         std::to_string(tuple.size()) + ", expected " +
-        std::to_string(it->second.flat.arity()));
+        std::to_string(rel.flat->arity()));
   }
-  it->second.flat.PushRow(tuple);
-  Touch(it->second);
+  if (rel.maybe_shared) {
+    // Copy-on-write: a Clone() snapshot still reads the old payload. One
+    // private copy here un-shares the relation, so a burst of appends
+    // between snapshots pays the copy once and then appends in place.
+    rel.flat = std::make_shared<FlatRelation>(*rel.flat);
+    rel.maybe_shared = false;
+  }
+  rel.flat->PushRow(tuple);
+  Touch(rel);
   return MutationResult::Ok();
+}
+
+Database Database::Clone() const {
+  Database out;
+  for (const auto& [name, rel] : relations_) {
+    Rel& copy = out.relations_[name];
+    copy.flat = rel.flat;
+    copy.version = rel.version;
+    // Both sides now share one payload; whichever mutates first copies.
+    copy.maybe_shared = true;
+    rel.maybe_shared = true;
+  }
+  return out;
 }
 
 bool Database::HasRelation(const std::string& name) const {
@@ -111,15 +135,15 @@ bool Database::HasRelation(const std::string& name) const {
 }
 
 int Database::Arity(const std::string& name) const {
-  return relations_.at(name).flat.arity();
+  return relations_.at(name).flat->arity();
 }
 
 const FlatRelation& Database::Flat(const std::string& name) const {
-  return relations_.at(name).flat;
+  return *relations_.at(name).flat;
 }
 
 std::size_t Database::NumTuples(const std::string& name) const {
-  return relations_.at(name).flat.size();
+  return relations_.at(name).flat->size();
 }
 
 std::uint64_t Database::RelationVersion(const std::string& name) const {
@@ -137,7 +161,7 @@ const std::vector<Tuple>& Database::Tuples(const std::string& name) const {
   if (rel.row_cache_version.load(std::memory_order_acquire) != rel.version) {
     std::lock_guard<std::mutex> lock(rel.row_cache_mu);
     if (rel.row_cache_version.load(std::memory_order_relaxed) != rel.version) {
-      rel.row_cache = rel.flat.ToRows();
+      rel.row_cache = rel.flat->ToRows();
       rel.row_cache_version.store(rel.version, std::memory_order_release);
     }
   }
@@ -147,7 +171,7 @@ const std::vector<Tuple>& Database::Tuples(const std::string& name) const {
 std::size_t Database::MaxRelationSize() const {
   std::size_t n = 0;
   for (const auto& [name, rel] : relations_) {
-    n = std::max(n, rel.flat.size());
+    n = std::max(n, rel.flat->size());
   }
   return n;
 }

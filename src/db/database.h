@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -76,11 +77,20 @@ struct JoinQuery {
 /// makes (name, version) a safe cache key even when several databases reuse
 /// a relation name.
 ///
+/// Relation storage is copy-on-write: Clone() produces a second Database
+/// that *shares* every relation's flat payload (and keeps its version
+/// stamp, so IndexCache entries built against the original stay valid for
+/// the clone). The first mutation of a shared relation copies it privately
+/// first — a clone is therefore an immutable point-in-time snapshot for as
+/// long as nobody mutates the clone itself. This is the primitive
+/// db::MvccDatabase builds reader snapshots from.
+///
 /// Threading contract: concurrent *const* access (Flat, Tuples, versions,
 /// lookups) from any number of threads is safe — Tuples() guards its lazy
-/// materialization internally. Mutations are not synchronized against
-/// readers: mutate before sharing, or externally serialize mutations with
-/// reads (the same "arm before sharing" contract as util::Budget).
+/// materialization internally. Mutations and Clone() are not synchronized
+/// against readers or each other: mutate/clone before sharing, or
+/// externally serialize them with reads (the same "arm before sharing"
+/// contract as util::Budget; MvccDatabase provides that serialization).
 class Database {
  public:
   /// Creates/replaces a relation. All tuples must have size `arity`; on a
@@ -120,9 +130,24 @@ class Database {
 
   std::vector<std::string> RelationNames() const;
 
+  /// Copy-on-write snapshot: the clone shares every relation's flat payload
+  /// and keeps its version stamp. O(#relations) pointer copies — no tuple
+  /// data moves until one side mutates a shared relation (that mutation
+  /// pays one private copy of just that relation). Must be serialized with
+  /// mutations of *this* database (see the class threading contract); the
+  /// clone starts with cold row caches.
+  Database Clone() const;
+
  private:
   struct Rel {
-    FlatRelation flat;
+    /// Shared flat payload. Never null for a live relation; shared (use
+    /// maybe_shared) with clones until the next mutation copies it.
+    std::shared_ptr<FlatRelation> flat;
+    /// True when `flat` may be shared with a Clone(): the next in-place
+    /// mutation must copy first. Set on both sides by Clone(), cleared by
+    /// the copy (plain bool — Clone and mutations are externally
+    /// serialized per the class contract).
+    mutable bool maybe_shared = false;
     /// Stamp of the last mutation; see RelationVersion().
     std::uint64_t version = 0;
     /// Lazy row-wise view: valid iff row_cache_version == version. The

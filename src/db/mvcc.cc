@@ -1,0 +1,95 @@
+#include "db/mvcc.h"
+
+namespace qc::db {
+
+void MvccDatabase::TouchLocked() {
+  ++epoch_;
+  ++stats_.mutations;
+  cached_.reset();  // The next Snapshot() re-clones at the new epoch.
+}
+
+MutationResult MvccDatabase::SetRelation(const std::string& name, int arity,
+                                         std::vector<Tuple> tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationResult r = db_.SetRelation(name, arity, std::move(tuples));
+  if (r) TouchLocked();
+  return r;
+}
+
+MutationResult MvccDatabase::SetRelation(const std::string& name,
+                                         FlatRelation relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationResult r = db_.SetRelation(name, std::move(relation));
+  if (r) TouchLocked();
+  return r;
+}
+
+MutationResult MvccDatabase::AddTuple(const std::string& name, Tuple tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationResult r = db_.AddTuple(name, std::move(tuple));
+  if (r) TouchLocked();
+  return r;
+}
+
+MutationResult MvccDatabase::AddTuples(const std::string& name,
+                                       std::vector<Tuple> tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!db_.HasRelation(name)) {
+    return MutationResult::Fail("no such relation " + name);
+  }
+  const int arity = db_.Arity(name);
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (static_cast<int>(tuples[i].size()) != arity) {
+      return MutationResult::Fail(
+          "relation " + name + ": batch tuple " + std::to_string(i) +
+          " has arity " + std::to_string(tuples[i].size()) + ", expected " +
+          std::to_string(arity));
+    }
+  }
+  for (auto& t : tuples) {
+    MutationResult r = db_.AddTuple(name, std::move(t));
+    if (!r) return r;  // Unreachable after validation; kept for safety.
+  }
+  TouchLocked();
+  return MutationResult::Ok();
+}
+
+MutationResult MvccDatabase::Mutate(
+    const std::function<MutationResult(Database&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationResult r = fn(db_);
+  // `fn` may have applied part of its work before failing; the epoch bumps
+  // unconditionally so no snapshot can alias a half-applied state.
+  TouchLocked();
+  return r;
+}
+
+MvccSnapshot MvccDatabase::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.snapshots;
+  if (cached_ == nullptr || cached_epoch_ != epoch_) {
+    cached_ = std::make_shared<const Database>(db_.Clone());
+    cached_epoch_ = epoch_;
+    ++stats_.snapshot_builds;
+  }
+  return MvccSnapshot{cached_, epoch_};
+}
+
+std::uint64_t MvccDatabase::Epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+MvccStats MvccDatabase::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MvccDatabase::ExportCounters(util::Counters* sink) const {
+  MvccStats s = stats();
+  sink->Add("mvcc.mutations", s.mutations);
+  sink->Add("mvcc.snapshots", s.snapshots);
+  sink->Add("mvcc.snapshot_builds", s.snapshot_builds);
+}
+
+}  // namespace qc::db

@@ -1,0 +1,106 @@
+#ifndef QC_DB_MVCC_H_
+#define QC_DB_MVCC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/counters.h"
+
+namespace qc::db {
+
+/// Point-in-time usage counters of one MvccDatabase.
+struct MvccStats {
+  std::uint64_t mutations = 0;        ///< Successful write transactions.
+  std::uint64_t snapshots = 0;        ///< Snapshot() calls served.
+  std::uint64_t snapshot_builds = 0;  ///< Snapshots that cloned (cache miss).
+};
+
+/// A reader snapshot: an immutable Database pinned at a write epoch.
+/// Relation payloads are shared copy-on-write with the live database, and
+/// version stamps are preserved — IndexCache entries keyed on
+/// (relation, version) built against one snapshot stay valid for every
+/// other snapshot and for the live database until the relation mutates.
+struct MvccSnapshot {
+  std::shared_ptr<const Database> db;
+  /// Number of write transactions applied before this snapshot was taken.
+  /// Two snapshots at the same epoch see bit-identical data.
+  std::uint64_t epoch = 0;
+};
+
+/// Multi-version concurrency control over one Database: serialized writers,
+/// lock-free readers.
+///
+/// Writers (SetRelation/AddTuple/AddTuples/Mutate) are serialized behind one
+/// mutex and bump the write epoch. Readers call Snapshot() — a short
+/// critical section that hands out a cached shared_ptr<const Database>
+/// clone, rebuilding it (O(#relations) pointer copies, no tuple data) only
+/// when a write happened since the last snapshot. After Snapshot() returns,
+/// a reader never takes a lock again: it evaluates against its pinned,
+/// immutable clone while writers keep mutating the live database.
+///
+/// Writers never block readers: the first mutation of a relation shared
+/// with an outstanding snapshot copies that relation privately
+/// (Database::Clone copy-on-write), so snapshot readers keep scanning the
+/// old payload untouched. A stream of AddTuples between two snapshots pays
+/// one such copy per mutated relation, then appends in place.
+class MvccDatabase {
+ public:
+  MvccDatabase() = default;
+  MvccDatabase(const MvccDatabase&) = delete;
+  MvccDatabase& operator=(const MvccDatabase&) = delete;
+
+  /// Seeds the live database (epoch bumps like any write).
+  MutationResult SetRelation(const std::string& name, int arity,
+                             std::vector<Tuple> tuples);
+  MutationResult SetRelation(const std::string& name, FlatRelation relation);
+
+  /// Appends one tuple as one write transaction.
+  MutationResult AddTuple(const std::string& name, Tuple tuple);
+
+  /// Appends a batch as ONE write transaction (one epoch bump, one
+  /// copy-on-write at most). All-or-nothing: every tuple's arity is
+  /// validated against the relation before any is applied, and the failure
+  /// diagnostic names the offending batch index — the batched-append
+  /// counterpart of SetRelation's atomic validation.
+  MutationResult AddTuples(const std::string& name, std::vector<Tuple> tuples);
+
+  /// Runs `fn(Database&)` as one serialized write transaction. `fn` returns
+  /// a MutationResult; the epoch is bumped (and the snapshot cache
+  /// invalidated) even on failure when `fn` may have partially applied —
+  /// pass `applied=false` semantics by returning early before mutating.
+  MutationResult Mutate(const std::function<MutationResult(Database&)>& fn);
+
+  /// Pins the current state. Lock held only for the (cheap) clone; the
+  /// returned snapshot is immutable and safe to read from any thread with
+  /// no further synchronization. Consecutive calls with no intervening
+  /// write share one clone.
+  MvccSnapshot Snapshot() const;
+
+  /// Write epoch: number of write transactions applied so far.
+  std::uint64_t Epoch() const;
+
+  MvccStats stats() const;
+
+  /// Publishes "mvcc.{mutations,snapshots,snapshot_builds}" counters.
+  void ExportCounters(util::Counters* sink) const;
+
+ private:
+  /// Caller holds mu_. Bumps the epoch and drops the cached snapshot.
+  void TouchLocked();
+
+  mutable std::mutex mu_;
+  Database db_;
+  std::uint64_t epoch_ = 0;
+  mutable std::shared_ptr<const Database> cached_;
+  mutable std::uint64_t cached_epoch_ = 0;
+  mutable MvccStats stats_;
+};
+
+}  // namespace qc::db
+
+#endif  // QC_DB_MVCC_H_

@@ -1,0 +1,96 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace qc::server {
+
+AdmissionController::Decision AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  Decision decision;
+  auto snapshot_state = [&] {
+    decision.queue_depth = queued_;
+    decision.running = running_;
+  };
+  if (closed_) {
+    decision.outcome = Outcome::kClosed;
+    snapshot_state();
+    return decision;
+  }
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    ++admitted_;
+    decision.outcome = Outcome::kAdmitted;
+    snapshot_state();
+    return decision;
+  }
+  if (queued_ >= options_.queue_capacity) {
+    ++rejected_;
+    decision.outcome = Outcome::kRejectedSaturated;
+    snapshot_state();
+    return decision;
+  }
+
+  ++queued_;
+  if (static_cast<std::uint64_t>(queued_) > max_queued_) {
+    max_queued_ = static_cast<std::uint64_t>(queued_);
+  }
+  auto wait_start = std::chrono::steady_clock::now();
+  auto admissible = [&] {
+    return closed_ || running_ < options_.max_concurrent;
+  };
+  bool got_slot;
+  if (options_.queue_timeout_ms > 0) {
+    got_slot = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.queue_timeout_ms),
+        admissible);
+  } else {
+    cv_.wait(lock, admissible);
+    got_slot = true;
+  }
+  --queued_;
+  decision.queue_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wait_start)
+                          .count();
+  if (closed_) {
+    decision.outcome = Outcome::kClosed;
+  } else if (!got_slot) {
+    ++timed_out_;
+    decision.outcome = Outcome::kTimedOut;
+  } else {
+    ++running_;
+    ++admitted_;
+    decision.outcome = Outcome::kAdmitted;
+  }
+  snapshot_state();
+  return decision;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.timed_out = timed_out_;
+  s.max_queued = max_queued_;
+  s.running = running_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace qc::server

@@ -1,0 +1,237 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace qc::server {
+
+namespace {
+
+std::uint64_t FieldUint(const api::Frame& f, const char* key) {
+  return f.FindUint(key, 0);
+}
+
+int FieldInt(const api::Frame& f, const char* key) {
+  return static_cast<int>(f.FindUint(key, 0));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad address " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    Close();
+    return false;
+  }
+  // Request frames are small; without this Nagle holds the tail of a
+  // frame until the server's delayed ACK (~40ms per request).
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::SendFrame(const api::Frame& frame, std::string* error) {
+  const std::string wire = api::EncodeFrame(frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::RecvFrame(api::Frame* frame, std::string* error) {
+  char buf[1 << 16];
+  while (true) {
+    std::string parse_error;
+    api::FrameParser::Result r = parser_.Next(frame, &parse_error);
+    if (r == api::FrameParser::Result::kFrame) return true;
+    if (r == api::FrameParser::Result::kError) {
+      *error = "protocol: " + parse_error;
+      return false;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    parser_.Feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+QueryReply Client::Query(
+    const std::string& query_text,
+    const std::vector<std::pair<std::string, std::string>>& extra_fields) {
+  QueryReply reply;
+  api::Frame req;
+  req.kind = "query";
+  req.Add("id", std::to_string(next_id_++));
+  for (const auto& [k, v] : extra_fields) req.Add(k, v);
+  req.body = query_text;
+  if (!SendFrame(req, &reply.error)) return reply;
+
+  while (true) {
+    api::Frame f;
+    if (!RecvFrame(&f, &reply.error)) return reply;
+    if (f.kind == "error") {
+      reply.ok = true;
+      reply.rejected = true;
+      reply.code = FieldInt(f, "code");
+      if (const std::string* s = f.Find("reason")) reply.reason = *s;
+      if (const std::string* s = f.Find("message")) reply.message = *s;
+      reply.queue_depth = FieldInt(f, "queue_depth");
+      reply.running = FieldInt(f, "running");
+      return reply;
+    }
+    if (f.kind == "hdr") {
+      if (const std::string* s = f.Find("status")) reply.status = *s;
+      if (const std::string* s = f.Find("method")) reply.method = *s;
+      reply.rows = FieldUint(f, "rows");
+      reply.truncated = FieldUint(f, "truncated") != 0;
+      reply.epoch = FieldUint(f, "epoch");
+      if (const std::string* s = f.Find("attributes")) {
+        std::string attr;
+        for (char c : *s) {
+          if (c == ' ') {
+            if (!attr.empty()) reply.attributes.push_back(attr);
+            attr.clear();
+          } else {
+            attr += c;
+          }
+        }
+        if (!attr.empty()) reply.attributes.push_back(attr);
+      }
+      reply.analysis_text = f.body;
+    } else if (f.kind == "batch") {
+      reply.row_text += f.body;
+    } else if (f.kind == "report") {
+      reply.report_json = f.body;
+    } else if (f.kind == "end") {
+      reply.code = FieldInt(f, "code");
+      reply.ok = true;
+      return reply;
+    } else {
+      reply.error = "unexpected reply frame '" + f.kind + "'";
+      return reply;
+    }
+  }
+}
+
+MutateReply Client::Mutate(const std::string& dataset_text,
+                           const std::string& on_input_error) {
+  MutateReply reply;
+  api::Frame req;
+  req.kind = "mutate";
+  req.Add("id", std::to_string(next_id_++));
+  if (!on_input_error.empty()) req.Add("on_input_error", on_input_error);
+  req.body = dataset_text;
+  if (!SendFrame(req, &reply.error)) return reply;
+
+  api::Frame f;
+  if (!RecvFrame(&f, &reply.error)) return reply;
+  if (f.kind == "error") {
+    reply.ok = true;
+    reply.rejected = true;
+    reply.code = FieldInt(f, "code");
+    reply.diagnostics = f.body;
+    return reply;
+  }
+  if (f.kind != "end") {
+    reply.error = "unexpected reply frame '" + f.kind + "'";
+    return reply;
+  }
+  reply.ok = true;
+  reply.code = FieldInt(f, "code");
+  reply.applied = FieldUint(f, "applied");
+  reply.skipped = FieldUint(f, "skipped");
+  reply.epoch = FieldUint(f, "epoch");
+  reply.diagnostics = f.body;
+  return reply;
+}
+
+bool Client::Ping(std::string* error) {
+  api::Frame req;
+  req.kind = "ping";
+  req.Add("id", std::to_string(next_id_++));
+  if (!SendFrame(req, error)) return false;
+  api::Frame f;
+  if (!RecvFrame(&f, error)) return false;
+  if (f.kind != "pong") {
+    *error = "unexpected reply frame '" + f.kind + "'";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Stats(std::string* stats_json, std::string* error) {
+  api::Frame req;
+  req.kind = "stats";
+  req.Add("id", std::to_string(next_id_++));
+  if (!SendFrame(req, error)) return false;
+  api::Frame f;
+  if (!RecvFrame(&f, error)) return false;
+  if (f.kind != "stats-reply") {
+    *error = "unexpected reply frame '" + f.kind + "'";
+    return false;
+  }
+  *stats_json = f.body;
+  return true;
+}
+
+bool Client::Shutdown(std::string* error) {
+  api::Frame req;
+  req.kind = "shutdown";
+  req.Add("id", std::to_string(next_id_++));
+  if (!SendFrame(req, error)) return false;
+  api::Frame f;
+  if (!RecvFrame(&f, error)) return false;
+  if (f.kind != "end") {
+    *error = "unexpected reply frame '" + f.kind + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qc::server

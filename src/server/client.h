@@ -1,0 +1,90 @@
+#ifndef QC_SERVER_CLIENT_H_
+#define QC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/wire.h"
+
+namespace qc::server {
+
+/// Outcome of one `query` round trip.
+struct QueryReply {
+  bool ok = false;           ///< Transport + protocol completed.
+  std::string error;         ///< Transport/protocol failure text when !ok.
+
+  bool rejected = false;     ///< Server answered with an error frame.
+  int code = 0;              ///< Exit-style code (end frame, or error code).
+  std::string reason;        ///< error frame reason (e.g. admission-rejected).
+  std::string message;       ///< error frame message.
+  int queue_depth = 0;       ///< From admission rejection diagnostics.
+  int running = 0;
+
+  std::string status;        ///< hdr: completed/deadline-exceeded/...
+  std::string method;        ///< hdr: solver method.
+  std::uint64_t rows = 0;    ///< hdr: total result rows.
+  bool truncated = false;
+  std::uint64_t epoch = 0;   ///< Snapshot epoch the query ran against.
+  std::vector<std::string> attributes;
+  /// Result rows as space-separated value lines, concatenated batches.
+  std::string row_text;
+  std::string analysis_text;
+  std::string report_json;   ///< Per-request RunReport.
+};
+
+/// Outcome of one `mutate` round trip.
+struct MutateReply {
+  bool ok = false;
+  std::string error;
+  bool rejected = false;     ///< Dataset rejected (abort semantics).
+  int code = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t epoch = 0;
+  std::string diagnostics;   ///< Line-numbered input diagnostics.
+};
+
+/// Minimal blocking qcp/1 client: one TCP connection, synchronous
+/// request/reply. Not thread-safe; use one Client per thread (qc_loadgen
+/// does exactly that).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs one query; extra_fields may carry per-request options
+  /// (deadline_ms/max_rows/threads) or want_analysis.
+  QueryReply Query(
+      const std::string& query_text,
+      const std::vector<std::pair<std::string, std::string>>& extra_fields =
+          {});
+
+  /// Applies a dataset-format mutation batch; on_input_error is "",
+  /// "abort", or "continue".
+  MutateReply Mutate(const std::string& dataset_text,
+                     const std::string& on_input_error = "");
+
+  bool Ping(std::string* error);
+  bool Stats(std::string* stats_json, std::string* error);
+  bool Shutdown(std::string* error);
+
+ private:
+  bool SendFrame(const api::Frame& frame, std::string* error);
+  bool RecvFrame(api::Frame* frame, std::string* error);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  api::FrameParser parser_;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_CLIENT_H_

@@ -1,0 +1,335 @@
+// qc_loadgen: load-generator client for qc_serverd.
+//
+// Spawns N client threads issuing mixed read/write traffic (each client
+// owns one connection), measures per-request latency, and reports
+// queries/sec with p50/p99. Admission rejections (codes 8/9) are counted
+// separately — under deliberate overload they are the expected signal, not
+// a failure.
+//
+// Usage:
+//   qc_loadgen --port N [--host ADDR] [--clients N] [--duration-ms N]
+//              [--write-ratio PCT] [--query TEXT] [--write-relation NAME]
+//              [--write-arity N] [--seed-demo] [--deadline-ms N]
+//              [--max-rows N] [--json FILE] [--sample-report FILE]
+//              [--shutdown]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/client.h"
+#include "util/json.h"
+
+namespace {
+
+constexpr char kDemoDataset[] =
+    "query: R1(a,b), R2(a,c), R3(b,c)\n"
+    "relation R1:\n0 1\n1 2\n2 0\n0 2\n"
+    "relation R2:\n0 1\n1 2\n2 0\n0 2\n"
+    "relation R3:\n0 1\n1 2\n2 0\n0 2\n";
+
+struct Config {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 8;
+  std::uint64_t duration_ms = 3000;
+  int write_ratio = 0;  // Percent of requests that are mutations.
+  std::string query = "R1(a,b), R2(a,c), R3(b,c)";
+  std::string write_relation = "R1";
+  int write_arity = 2;
+  bool seed_demo = false;
+  std::uint64_t deadline_ms = 0;  // Per-request option field.
+  std::uint64_t max_rows = 0;     // Per-request option field.
+  std::string json_path;
+  std::string sample_report_path;
+  bool send_shutdown = false;
+};
+
+struct WorkerResult {
+  std::vector<double> query_latencies_ms;
+  std::uint64_t queries = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t rejected = 0;   // Admission code 8.
+  std::uint64_t timed_out = 0;  // Admission code 9.
+  std::uint64_t input_errors = 0;
+  std::uint64_t transport_errors = 0;
+  std::string first_error;
+};
+
+std::mutex g_sample_mu;
+std::string g_sample_report;
+
+void Worker(const Config& cfg, unsigned seed, WorkerResult* out) {
+  qc::server::Client client;
+  std::string error;
+  if (!client.Connect(cfg.host, cfg.port, &error)) {
+    out->transport_errors++;
+    out->first_error = error;
+    return;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields;
+  if (cfg.deadline_ms > 0)
+    fields.emplace_back("deadline_ms", std::to_string(cfg.deadline_ms));
+  if (cfg.max_rows > 0)
+    fields.emplace_back("max_rows", std::to_string(cfg.max_rows));
+
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull ^ seed;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg.duration_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const bool write = cfg.write_ratio > 0 &&
+                       static_cast<int>(next_rand() % 100) < cfg.write_ratio;
+    if (write) {
+      // Append one random tuple from a small domain so result sizes stay
+      // bounded while still churning relation versions.
+      std::string body = "relation " + cfg.write_relation + ":\n";
+      for (int i = 0; i < cfg.write_arity; ++i) {
+        if (i > 0) body += ' ';
+        body += std::to_string(next_rand() % 32);
+      }
+      body += '\n';
+      qc::server::MutateReply r = client.Mutate(body);
+      if (!r.ok) {
+        out->transport_errors++;
+        if (out->first_error.empty()) out->first_error = r.error;
+        return;
+      }
+      if (r.rejected) {
+        out->input_errors++;
+      } else {
+        out->mutations++;
+      }
+      continue;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    qc::server::QueryReply r = client.Query(cfg.query, fields);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!r.ok) {
+      out->transport_errors++;
+      if (out->first_error.empty()) out->first_error = r.error;
+      return;
+    }
+    if (r.rejected) {
+      if (r.code == qc::server::kAdmissionRejectedCode) {
+        out->rejected++;
+      } else if (r.code == qc::server::kAdmissionTimeoutCode) {
+        out->timed_out++;
+      } else {
+        out->input_errors++;
+        if (out->first_error.empty()) out->first_error = r.message;
+      }
+      continue;
+    }
+    out->queries++;
+    out->query_latencies_ms.push_back(ms);
+    if (!r.report_json.empty()) {
+      std::lock_guard<std::mutex> lock(g_sample_mu);
+      if (g_sample_report.empty()) g_sample_report = r.report_json;
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: qc_loadgen --port N [--host ADDR] [--clients N]\n"
+      << "  [--duration-ms N] [--write-ratio PCT] [--query TEXT]\n"
+      << "  [--write-relation NAME] [--write-arity N] [--seed-demo]\n"
+      << "  [--deadline-ms N] [--max-rows N] [--json FILE]\n"
+      << "  [--sample-report FILE] [--shutdown]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = value())) {
+      cfg.host = v;
+    } else if (arg == "--port" && (v = value())) {
+      cfg.port = std::atoi(v);
+    } else if (arg == "--clients" && (v = value())) {
+      cfg.clients = std::atoi(v);
+    } else if (arg == "--duration-ms" && (v = value())) {
+      cfg.duration_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--write-ratio" && (v = value())) {
+      cfg.write_ratio = std::atoi(v);
+    } else if (arg == "--query" && (v = value())) {
+      cfg.query = v;
+    } else if (arg == "--write-relation" && (v = value())) {
+      cfg.write_relation = v;
+    } else if (arg == "--write-arity" && (v = value())) {
+      cfg.write_arity = std::atoi(v);
+    } else if (arg == "--seed-demo") {
+      cfg.seed_demo = true;
+    } else if (arg == "--deadline-ms" && (v = value())) {
+      cfg.deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-rows" && (v = value())) {
+      cfg.max_rows = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--json" && (v = value())) {
+      cfg.json_path = v;
+    } else if (arg == "--sample-report" && (v = value())) {
+      cfg.sample_report_path = v;
+    } else if (arg == "--shutdown") {
+      cfg.send_shutdown = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (cfg.port <= 0 || cfg.clients <= 0) return Usage();
+
+  if (cfg.seed_demo) {
+    qc::server::Client seeder;
+    std::string error;
+    if (!seeder.Connect(cfg.host, cfg.port, &error)) {
+      std::cerr << "qc_loadgen: " << error << "\n";
+      return 7;
+    }
+    qc::server::MutateReply r = seeder.Mutate(kDemoDataset);
+    if (!r.ok || r.rejected) {
+      std::cerr << "qc_loadgen: demo seed failed: "
+                << (r.ok ? r.diagnostics : r.error) << "\n";
+      return 7;
+    }
+  }
+
+  std::vector<WorkerResult> results(static_cast<std::size_t>(cfg.clients));
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back(Worker, std::cref(cfg), static_cast<unsigned>(c + 1),
+                         &results[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  WorkerResult total;
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    total.queries += r.queries;
+    total.mutations += r.mutations;
+    total.rejected += r.rejected;
+    total.timed_out += r.timed_out;
+    total.input_errors += r.input_errors;
+    total.transport_errors += r.transport_errors;
+    if (total.first_error.empty()) total.first_error = r.first_error;
+    latencies.insert(latencies.end(), r.query_latencies_ms.begin(),
+                     r.query_latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  double mean = 0.0;
+  for (double ms : latencies) mean += ms;
+  if (!latencies.empty()) mean /= static_cast<double>(latencies.size());
+  const double qps =
+      wall_ms > 0.0
+          ? static_cast<double>(total.queries + total.mutations) * 1000.0 /
+                wall_ms
+          : 0.0;
+
+  std::printf(
+      "clients=%d wall_ms=%.0f qps=%.1f queries=%llu mutations=%llu "
+      "p50_ms=%.3f p99_ms=%.3f rejected=%llu timed_out=%llu "
+      "input_errors=%llu transport_errors=%llu\n",
+      cfg.clients, wall_ms, qps,
+      static_cast<unsigned long long>(total.queries),
+      static_cast<unsigned long long>(total.mutations), p50, p99,
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.timed_out),
+      static_cast<unsigned long long>(total.input_errors),
+      static_cast<unsigned long long>(total.transport_errors));
+  if (!total.first_error.empty()) {
+    std::cerr << "first error: " << total.first_error << "\n";
+  }
+
+  if (!cfg.json_path.empty()) {
+    qc::util::JsonWriter w;
+    w.BeginObject();
+    w.Key("tool").String("qc_loadgen");
+    w.Key("clients").Int(cfg.clients);
+    w.Key("duration_ms").Uint(cfg.duration_ms);
+    w.Key("write_ratio").Int(cfg.write_ratio);
+    w.Key("wall_ms").Double(wall_ms);
+    w.Key("qps").Double(qps);
+    w.Key("queries").Uint(total.queries);
+    w.Key("mutations").Uint(total.mutations);
+    w.Key("p50_ms").Double(p50);
+    w.Key("p99_ms").Double(p99);
+    w.Key("mean_ms").Double(mean);
+    w.Key("rejected").Uint(total.rejected);
+    w.Key("timed_out").Uint(total.timed_out);
+    w.Key("input_errors").Uint(total.input_errors);
+    w.Key("transport_errors").Uint(total.transport_errors);
+    w.EndObject();
+    std::ofstream out(cfg.json_path);
+    out << w.Take() << "\n";
+    if (!out) {
+      std::cerr << "qc_loadgen: cannot write " << cfg.json_path << "\n";
+      return 1;
+    }
+  }
+
+  if (!cfg.sample_report_path.empty()) {
+    std::lock_guard<std::mutex> lock(g_sample_mu);
+    if (g_sample_report.empty()) {
+      std::cerr << "qc_loadgen: no successful query; no sample report\n";
+      return 7;
+    }
+    std::ofstream out(cfg.sample_report_path);
+    out << g_sample_report << "\n";
+    if (!out) {
+      std::cerr << "qc_loadgen: cannot write " << cfg.sample_report_path
+                << "\n";
+      return 1;
+    }
+  }
+
+  if (cfg.send_shutdown) {
+    qc::server::Client closer;
+    std::string error;
+    if (closer.Connect(cfg.host, cfg.port, &error) &&
+        !closer.Shutdown(&error)) {
+      std::cerr << "qc_loadgen: shutdown failed: " << error << "\n";
+    }
+  }
+
+  return total.transport_errors == 0 ? 0 : 7;
+}

@@ -1,0 +1,189 @@
+// qc_serverd: the MVCC-snapshot query daemon.
+//
+// Serves concurrent qcp/1 clients over loopback TCP. Every query pins a
+// consistent snapshot of the database (writers never block readers), runs
+// under the merged per-request budget, passes global admission control,
+// and streams back batched rows plus a machine-readable RunReport.
+//
+// Usage:
+//   qc_serverd [--port N] [--host ADDR] [--preload FILE]
+//              [--max-concurrent N] [--queue-capacity N]
+//              [--queue-timeout-ms N] [--batch-rows N]
+//              [session flags: --threads/--deadline-ms/--max-rows/...]
+//
+// Prints "qc_serverd listening on HOST:PORT" once ready (scripts key off
+// this line), then serves until SIGINT/SIGTERM or a `shutdown` frame, then
+// prints final stats JSON to stderr.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/query_api.h"
+#include "api/session_options.h"
+#include "server/server.h"
+
+namespace {
+
+qc::server::QueryServer* g_server = nullptr;
+
+extern "C" void HandleSignal(int) {
+  if (g_server != nullptr) g_server->SignalShutdown();
+}
+
+void PrintUsage() {
+  std::cout
+      << "usage: qc_serverd [options]\n"
+      << "  --port N              listen port (default 0 = ephemeral)\n"
+      << "  --host ADDR           listen address (default 127.0.0.1)\n"
+      << "  --preload FILE        load a dataset file before serving\n"
+      << "  --max-concurrent N    queries executing at once (default 8)\n"
+      << "  --queue-capacity N    admission queue slots (default 64)\n"
+      << "  --queue-timeout-ms N  max queue wait, 0 = forever (default 0)\n"
+      << "  --batch-rows N        rows per result batch frame (default 256)\n"
+      << "  session defaults:" << qc::api::SessionFlagsUsage() << "\n";
+}
+
+bool ParseIntFlag(const char* flag, const char* text, int min_value,
+                  int* out) {
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min_value || v > 1 << 30) {
+    std::cerr << flag << ": bad value '" << text << "'\n";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qc::server::ServerOptions options;
+  std::string preload_path;
+
+  for (int i = 1; i < argc;) {
+    std::string arg = argv[i];
+    std::string error;
+    int consumed =
+        qc::api::ParseSessionFlag(argc, argv, i, &options.session, &error);
+    if (consumed < 0) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    if (consumed > 0) {
+      i += consumed;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << ": missing value\n";
+        return nullptr;
+      }
+      return argv[i + 1];
+    };
+    if (arg == "--port") {
+      const char* v = need_value("--port");
+      if (v == nullptr || !ParseIntFlag("--port", v, 0, &options.port))
+        return 1;
+      i += 2;
+    } else if (arg == "--host") {
+      const char* v = need_value("--host");
+      if (v == nullptr) return 1;
+      options.host = v;
+      i += 2;
+    } else if (arg == "--preload") {
+      const char* v = need_value("--preload");
+      if (v == nullptr) return 1;
+      preload_path = v;
+      i += 2;
+    } else if (arg == "--max-concurrent") {
+      const char* v = need_value("--max-concurrent");
+      if (v == nullptr ||
+          !ParseIntFlag("--max-concurrent", v, 0,
+                        &options.admission.max_concurrent))
+        return 1;
+      i += 2;
+    } else if (arg == "--queue-capacity") {
+      const char* v = need_value("--queue-capacity");
+      if (v == nullptr ||
+          !ParseIntFlag("--queue-capacity", v, 0,
+                        &options.admission.queue_capacity))
+        return 1;
+      i += 2;
+    } else if (arg == "--queue-timeout-ms") {
+      const char* v = need_value("--queue-timeout-ms");
+      int ms = 0;
+      if (v == nullptr || !ParseIntFlag("--queue-timeout-ms", v, 0, &ms))
+        return 1;
+      options.admission.queue_timeout_ms = static_cast<std::uint64_t>(ms);
+      i += 2;
+    } else if (arg == "--batch-rows") {
+      const char* v = need_value("--batch-rows");
+      if (v == nullptr ||
+          !ParseIntFlag("--batch-rows", v, 1, &options.batch_rows))
+        return 1;
+      i += 2;
+    } else {
+      std::cerr << "unknown flag '" << arg << "' (see --help)\n";
+      return 1;
+    }
+  }
+
+  qc::server::QueryServer server(options);
+
+  if (!preload_path.empty()) {
+    std::ifstream in(preload_path);
+    if (!in) {
+      std::cerr << "cannot open preload file " << preload_path << "\n";
+      return 3;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    qc::api::DatasetLoad load;
+    server.database().Mutate([&](qc::db::Database& db) {
+      load = qc::api::LoadDataset(
+          text.str(), &db, options.session.continue_on_input_error);
+      return load.ok ? qc::db::MutationResult::Ok()
+                     : qc::db::MutationResult::Fail("preload rejected");
+    });
+    for (const auto& d : load.diagnostics) {
+      std::cerr << preload_path << ": " << d.ToString() << "\n";
+    }
+    if (!load.ok) {
+      std::cerr << "preload rejected; nothing applied\n";
+      return 3;
+    }
+    std::cerr << "preloaded " << load.tuples_applied << " tuples from "
+              << preload_path << "\n";
+  }
+
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "qc_serverd: " << error << "\n";
+    return 7;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "qc_serverd listening on " << options.host << ":"
+            << server.port() << std::endl;
+
+  server.Wait();
+  server.Stop();
+  g_server = nullptr;
+
+  std::cerr << server.StatsJson() << "\n";
+  return 0;
+}

@@ -1,0 +1,441 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/json.h"
+
+namespace qc::server {
+
+namespace {
+
+/// Request option fields a client may set per query. Everything else on
+/// the SessionOptions surface (report paths, cache sizing, input-error
+/// policy) is server configuration and is rejected per-request.
+bool IsPerQueryOption(const std::string& key) {
+  return key == "deadline_ms" || key == "max_rows" || key == "threads";
+}
+
+api::Frame ErrorFrame(std::uint64_t id, int code, const std::string& reason,
+                      const std::string& message) {
+  api::Frame frame;
+  frame.kind = "error";
+  frame.Add("id", std::to_string(id));
+  frame.Add("code", std::to_string(code));
+  frame.Add("reason", reason);
+  frame.Add("message", message);
+  return frame;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const ServerOptions& options)
+    : options_(options),
+      cache_(options.session.MakeIndexCache()),
+      admission_(options.admission) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+std::vector<api::Frame> QueryServer::HandleRequest(
+    const api::Frame& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.FindUint("id", 0);
+  if (request.kind == "query") return HandleQuery(request);
+  if (request.kind == "mutate") return HandleMutate(request);
+  if (request.kind == "ping") {
+    api::Frame pong;
+    pong.kind = "pong";
+    pong.Add("id", std::to_string(id));
+    return {pong};
+  }
+  if (request.kind == "stats") {
+    api::Frame reply;
+    reply.kind = "stats-reply";
+    reply.Add("id", std::to_string(id));
+    reply.body = StatsJson();
+    return {reply};
+  }
+  if (request.kind == "shutdown") {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+    CloseListener();  // Unblocks the accept loop; Wait() returns.
+    api::Frame end;
+    end.kind = "end";
+    end.Add("id", std::to_string(id));
+    end.Add("code", "0");
+    return {end};
+  }
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  return {ErrorFrame(id, 2, "bad-request",
+                     "unknown request kind '" + request.kind + "'")};
+}
+
+std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.FindUint("id", 0);
+
+  api::SessionOptions opts = options_.session;
+  opts.report_json.clear();  // Per-request reports travel on the wire.
+  bool want_analysis = false;
+  for (const auto& [key, value] : request.fields) {
+    if (key == "id") continue;
+    if (key == "want_analysis") {
+      want_analysis = value == "1" || value == "true";
+      continue;
+    }
+    if (IsPerQueryOption(key)) {
+      std::string err;
+      if (!api::SetSessionOption(&opts, key, value, &err)) {
+        input_errors_.fetch_add(1, std::memory_order_relaxed);
+        return {ErrorFrame(id, 2, "bad-request", err)};
+      }
+      continue;
+    }
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 2, "bad-request",
+                       "unknown request field '" + key + "'")};
+  }
+
+  // 1. Admission: queue-or-reject before any work is done. A saturated
+  // queue pushes back on this request alone with a structured diagnostic
+  // instead of degrading every running client.
+  AdmissionTicket ticket(&admission_, admission_.Admit());
+  if (!ticket.admitted()) {
+    const auto& d = ticket.decision();
+    int code = kAdmissionRejectedCode;
+    std::string reason = "admission-rejected";
+    if (d.outcome == AdmissionController::Outcome::kTimedOut) {
+      code = kAdmissionTimeoutCode;
+      reason = "admission-timeout";
+    } else if (d.outcome == AdmissionController::Outcome::kClosed) {
+      code = util::ExitCode(util::RunStatus::kCancelled);
+      reason = "server-shutting-down";
+    }
+    api::Frame frame = ErrorFrame(
+        id, code, reason,
+        "admission queue saturated (" + std::to_string(d.running) +
+            " running, " + std::to_string(d.queue_depth) + " queued)");
+    frame.Add("queue_depth", std::to_string(d.queue_depth));
+    frame.Add("running", std::to_string(d.running));
+    return {frame};
+  }
+
+  // 2. Snapshot: pin an immutable MVCC view. Writers keep going; this
+  // query reads frozen relation handles whose version stamps keep the
+  // shared IndexCache warm across snapshots.
+  db::MvccSnapshot snapshot = mvcc_.Snapshot();
+
+  // 3. Execute under the merged per-request budget.
+  api::QueryRequest qreq;
+  qreq.id = id;
+  qreq.query_text = request.body;
+  qreq.options = opts;
+  qreq.want_analysis = want_analysis;
+  api::QueryResponse resp = api::ExecuteQuery(qreq, *snapshot.db,
+                                              cache_.get());
+  if (!resp.input_ok) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 1, "input", resp.error)};
+  }
+  resp.report.tool = "qc_serverd";
+  resp.report.server.present = true;
+  resp.report.server.request_id = id;
+  resp.report.server.queue_ms = ticket.decision().queue_ms;
+  resp.report.server.snapshot_epoch = snapshot.epoch;
+
+  // 4. Stream: hdr, bounded row batches, per-request report, end.
+  std::vector<api::Frame> frames;
+  api::Frame hdr;
+  hdr.kind = "hdr";
+  hdr.Add("id", std::to_string(id));
+  hdr.Add("status", std::string(util::ToString(resp.status)));
+  hdr.Add("method", resp.method);
+  hdr.Add("rows", std::to_string(resp.result.tuples.size()));
+  hdr.Add("truncated", resp.result.truncated ? "1" : "0");
+  hdr.Add("epoch", std::to_string(snapshot.epoch));
+  std::string attrs;
+  for (const auto& a : resp.result.attributes) {
+    if (!attrs.empty()) attrs += ' ';
+    attrs += a;
+  }
+  hdr.Add("attributes", attrs);
+  hdr.body = resp.analysis_text;
+  frames.push_back(std::move(hdr));
+
+  const std::size_t batch_rows =
+      options_.batch_rows > 0 ? static_cast<std::size_t>(options_.batch_rows)
+                              : 256;
+  for (std::size_t begin = 0; begin < resp.result.tuples.size();
+       begin += batch_rows) {
+    std::size_t end = std::min(begin + batch_rows, resp.result.tuples.size());
+    api::Frame batch;
+    batch.kind = "batch";
+    batch.Add("id", std::to_string(id));
+    batch.Add("rows", std::to_string(end - begin));
+    for (std::size_t i = begin; i < end; ++i) {
+      std::string line;
+      for (db::Value v : resp.result.tuples[i]) {
+        if (!line.empty()) line += ' ';
+        line += std::to_string(v);
+      }
+      batch.body += line;
+      batch.body += '\n';
+    }
+    frames.push_back(std::move(batch));
+  }
+
+  api::Frame report;
+  report.kind = "report";
+  report.Add("id", std::to_string(id));
+  report.body = resp.report.ToJson();
+  frames.push_back(std::move(report));
+
+  api::Frame end;
+  end.kind = "end";
+  end.Add("id", std::to_string(id));
+  end.Add("code", std::to_string(resp.ExitCode()));
+  frames.push_back(std::move(end));
+  return frames;
+}
+
+std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.FindUint("id", 0);
+  bool continue_on_error = options_.session.continue_on_input_error;
+  if (const std::string* v = request.Find("on_input_error")) {
+    api::SessionOptions tmp;
+    std::string err;
+    if (!api::SetSessionOption(&tmp, "on_input_error", *v, &err)) {
+      input_errors_.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorFrame(id, 2, "bad-request", err)};
+    }
+    continue_on_error = tmp.continue_on_input_error;
+  }
+
+  api::DatasetLoad load;
+  mvcc_.Mutate([&](db::Database& live) {
+    load = api::LoadDataset(request.body, &live, continue_on_error);
+    return load.ok ? db::MutationResult::Ok()
+                   : db::MutationResult::Fail("dataset rejected");
+  });
+
+  std::string diag_body;
+  for (const api::InputDiagnostic& d : load.diagnostics) {
+    diag_body += d.ToString();
+    diag_body += '\n';
+  }
+  if (!load.ok) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    api::Frame frame = ErrorFrame(
+        id, 1, "input",
+        "dataset rejected with " + std::to_string(load.diagnostics.size()) +
+            " error(s); nothing applied");
+    frame.Add("diagnostics", std::to_string(load.diagnostics.size()));
+    frame.body = diag_body;
+    return {frame};
+  }
+  api::Frame end;
+  end.kind = "end";
+  end.Add("id", std::to_string(id));
+  end.Add("code", "0");
+  end.Add("applied", std::to_string(load.tuples_applied));
+  end.Add("skipped", std::to_string(load.tuples_skipped));
+  end.Add("diagnostics", std::to_string(load.diagnostics.size()));
+  end.Add("epoch", std::to_string(mvcc_.Epoch()));
+  end.body = diag_body;
+  return {end};
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats s;
+  s.admission = admission_.stats();
+  s.mvcc = mvcc_.stats();
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.mutations = mutations_.load(std::memory_order_relaxed);
+  s.input_errors = input_errors_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string QueryServer::StatsJson() const {
+  ServerStats s = stats();
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("connections").Uint(s.connections);
+  w.Key("requests").Uint(s.requests);
+  w.Key("queries").Uint(s.queries);
+  w.Key("mutations").Uint(s.mutations);
+  w.Key("input_errors").Uint(s.input_errors);
+  w.Key("protocol_errors").Uint(s.protocol_errors);
+  w.Key("admission").BeginObject();
+  w.Key("admitted").Uint(s.admission.admitted);
+  w.Key("rejected").Uint(s.admission.rejected);
+  w.Key("timed_out").Uint(s.admission.timed_out);
+  w.Key("max_queued").Uint(s.admission.max_queued);
+  w.Key("running").Int(s.admission.running);
+  w.Key("queued").Int(s.admission.queued);
+  w.EndObject();
+  w.Key("mvcc").BeginObject();
+  w.Key("mutations").Uint(s.mvcc.mutations);
+  w.Key("snapshots").Uint(s.mvcc.snapshots);
+  w.Key("snapshot_builds").Uint(s.mvcc.snapshot_builds);
+  w.EndObject();
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(cache_ != nullptr);
+  w.Key("hits").Uint(s.cache.hits);
+  w.Key("misses").Uint(s.cache.misses);
+  w.Key("evictions").Uint(s.cache.evictions);
+  w.Key("bytes").Uint(s.cache.bytes);
+  w.Key("capacity_bytes").Uint(s.cache.capacity_bytes);
+  w.Key("entries").Uint(s.cache.entries);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+bool QueryServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad listen address " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    *error = std::string("bind/listen ") + options_.host + ":" +
+             std::to_string(options_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  return true;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener was shut down (Stop or shutdown frame).
+    }
+    // Frames are small request/reply units; Nagle + delayed ACK adds
+    // ~40ms per exchange on loopback without this.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+      ++live_connections_;
+    }
+    std::thread(&QueryServer::ServeConnection, this, fd).detach();
+  }
+}
+
+void QueryServer::ServeConnection(int fd) {
+  api::FrameParser parser;
+  char buf[1 << 16];
+  bool open = true;
+  while (open) {
+    api::Frame frame;
+    std::string err;
+    api::FrameParser::Result r = parser.Next(&frame, &err);
+    if (r == api::FrameParser::Result::kFrame) {
+      std::vector<api::Frame> replies = HandleRequest(frame);
+      for (const api::Frame& reply : replies) {
+        if (!SendAll(fd, api::EncodeFrame(reply))) {
+          open = false;
+          break;
+        }
+      }
+      if (frame.kind == "shutdown") open = false;
+      continue;
+    }
+    if (r == api::FrameParser::Result::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, api::EncodeFrame(ErrorFrame(0, 2, "protocol", err)));
+      break;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    parser.Feed(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+    --live_connections_;
+  }
+  conn_cv_.notify_all();
+}
+
+void QueryServer::CloseListener() {
+  // shutdown() (not close) wakes a blocked accept() without racing fd
+  // reuse; the fd itself is closed once the accept thread is joined.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void QueryServer::Wait() {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  // The accept loop exits when the listener shuts down; connections may
+  // still be draining — Stop() handles those.
+  lock.unlock();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void QueryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the teardown below already ran (or is running in the
+    // first caller); nothing left to release.
+    return;
+  }
+  CloseListener();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  admission_.Close();  // Queued queries unwind with "server-shutting-down".
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  conn_cv_.wait(lock, [&] { return live_connections_ == 0; });
+}
+
+}  // namespace qc::server

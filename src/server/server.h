@@ -1,0 +1,144 @@
+#ifndef QC_SERVER_SERVER_H_
+#define QC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/query_api.h"
+#include "api/session_options.h"
+#include "api/wire.h"
+#include "db/index_cache.h"
+#include "db/mvcc.h"
+#include "server/admission.h"
+
+namespace qc::server {
+
+struct ServerOptions {
+  /// Session defaults applied to every request; a request's own `option`
+  /// fields override deadline_ms/max_rows/threads per query (they can
+  /// tighten or set, never touch the server's report/cache config).
+  api::SessionOptions session;
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; resolved port via QueryServer::port().
+  AdmissionOptions admission;
+  /// Result rows streamed per "batch" frame.
+  int batch_rows = 256;
+};
+
+struct ServerStats {
+  AdmissionStats admission;
+  db::MvccStats mvcc;
+  db::IndexCacheStats cache;
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t input_errors = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+/// qc_serverd's engine: a long-lived multi-tenant query service over one
+/// MvccDatabase.
+///
+/// Request lifecycle (the tentpole pipeline):
+///   1. admission  — the global AdmissionController queues or rejects with
+///                   a structured diagnostic (code 8/9) when saturated;
+///   2. snapshot   — the query pins an MVCC snapshot (copy-on-write
+///                   relation handles; writers never block readers, and
+///                   IndexCache entries stay valid across snapshots since
+///                   they are immutable and version-keyed);
+///   3. execute    — api::ExecuteQuery under the per-request budget merged
+///                   from the server session defaults;
+///   4. stream     — result rows go out in bounded "batch" frames followed
+///                   by a per-request RunReport frame.
+///
+/// Mutations (`mutate` frames) apply the shared dataset format as one
+/// serialized write transaction with line-numbered diagnostics and the
+/// same continue-vs-abort semantics as query_cli.
+///
+/// Transport is pluggable-by-construction: HandleRequest() maps one
+/// request frame to its reply frames with no socket anywhere, which is how
+/// the unit tests drive the full pipeline in-process; Start() adds the
+/// loopback TCP front end (one thread per connection, frames over qcp/1).
+class QueryServer {
+ public:
+  explicit QueryServer(const ServerOptions& options);
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// The live database, e.g. for preloading before Start().
+  db::MvccDatabase& database() { return mvcc_; }
+
+  /// Binds host:port and spawns the accept loop. False + error on failure.
+  bool Start(std::string* error);
+  /// Resolved listening port (after Start).
+  int port() const { return port_; }
+  /// Blocks until the listener shuts down (Stop() or a `shutdown` frame).
+  void Wait();
+  /// Closes the listener and every connection, then joins. Idempotent.
+  void Stop();
+  /// True once a `shutdown` frame was honored.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Async-signal-safe shutdown trigger (atomic store + shutdown(2) on the
+  /// listener): Wait() returns, then the caller runs Stop(). qc_serverd's
+  /// SIGINT/SIGTERM handler calls this.
+  void SignalShutdown() {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+    CloseListener();
+  }
+
+  /// Serves one request frame, returning the reply frame sequence. Thread-
+  /// safe; this is the whole server minus sockets.
+  std::vector<api::Frame> HandleRequest(const api::Frame& request);
+
+  ServerStats stats() const;
+  /// Stats as JSON (the `stats` frame body).
+  std::string StatsJson() const;
+
+ private:
+  std::vector<api::Frame> HandleQuery(const api::Frame& request);
+  std::vector<api::Frame> HandleMutate(const api::Frame& request);
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void CloseListener();
+
+  const ServerOptions options_;
+  db::MvccDatabase mvcc_;
+  std::unique_ptr<db::IndexCache> cache_;
+  AdmissionController admission_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> mutations_{0};
+  std::atomic<std::uint64_t> input_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Live connection fds (for Stop() to shut down) and a count of
+  /// in-flight detached connection threads, drained on Stop().
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::set<int> conn_fds_;
+  int live_connections_ = 0;
+};
+
+}  // namespace qc::server
+
+#endif  // QC_SERVER_SERVER_H_

@@ -32,8 +32,7 @@ void RunReport::FillBudget(const Budget& b, bool deadline_armed) {
   budget.row_limit = b.row_limit();
 }
 
-std::string RunReport::ToJson() const {
-  JsonWriter w;
+void RunReport::Emit(JsonWriter& w) const {
   w.BeginObject();
   w.Key("tool").String(tool);
   w.Key("status").String(ToString(status));
@@ -68,7 +67,19 @@ std::string RunReport::ToJson() const {
   w.EndObject();
   w.Key("spans");
   WriteSpans(&w, trace.root);
+  if (server.present) {
+    w.Key("server").BeginObject();
+    w.Key("request_id").Uint(server.request_id);
+    w.Key("queue_ms").Double(server.queue_ms);
+    w.Key("snapshot_epoch").Uint(server.snapshot_epoch);
+    w.EndObject();
+  }
   w.EndObject();
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  Emit(w);
   return w.Take();
 }
 

@@ -10,10 +10,13 @@
 
 namespace qc::util {
 
+class JsonWriter;
+
 /// Machine-readable record of one run: how it ended, what it spent, and
-/// where the time went. One JSON serializer, shared by query_cli and
-/// fpt_toolbox (`--report-json <file>`) and by the experiment harnesses, so
-/// every tool in the repo emits the same schema (checked in CI by
+/// where the time went. One JSON serializer — Emit(JsonWriter&) — shared by
+/// query_cli and fpt_toolbox (`--report-json <file>`), the experiment
+/// harnesses, and qc_serverd's per-request reports, so every tool in the
+/// repo emits the same schema (checked in CI by
 /// tools/check_report_schema.py).
 ///
 /// JSON shape:
@@ -30,8 +33,10 @@ namespace qc::util {
 ///     "counters": { "generic_join.nodes": 10, ... },  // monotonic keys
 ///     "gauges":   { "threads": 8, ... },              // level keys
 ///     "spans": [ { "name": "generic_join", "count": 1, "total_ms": 12.1,
-///                  "children": [ ... ] } ]            // sorted by name
-///   }
+///                  "children": [ ... ] } ],           // sorted by name
+///     "server": { "request_id": 7, "queue_ms": 0.3,   // only when the run
+///                 "snapshot_epoch": 12 }              // was served by
+///   }                                                 // qc_serverd
 struct RunReport {
   std::string tool;
   RunStatus status = RunStatus::kCompleted;
@@ -67,9 +72,26 @@ struct RunReport {
   /// Merged span tree, typically Trace::Collect() after a traced run.
   TraceReport trace;
 
+  /// Per-request context when the run was served by qc_serverd. Serialized
+  /// (as a "server" object) only when `present` — standalone CLI/bench
+  /// reports keep the historical schema byte-for-byte.
+  struct ServerInfo {
+    bool present = false;
+    std::uint64_t request_id = 0;
+    double queue_ms = 0.0;  ///< Time spent waiting in the admission queue.
+    std::uint64_t snapshot_epoch = 0;  ///< MVCC write epoch the query saw.
+  };
+  ServerInfo server;
+
   /// Copies usage and limits out of a run's budget. `deadline_armed` is
   /// inferred from the status or set by the caller via `deadline_armed`.
   void FillBudget(const Budget& b, bool deadline_armed);
+
+  /// THE serialization entry point: writes the report object into `w`.
+  /// Every emission path — ToJson/WriteJsonFile, the bench `--json`
+  /// harnesses, qc_serverd's report frames — funnels through this one
+  /// method, so the schema cannot fork per tool.
+  void Emit(JsonWriter& w) const;
 
   std::string ToJson() const;
 

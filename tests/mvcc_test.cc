@@ -1,0 +1,234 @@
+// Copy-on-write Database::Clone and MvccDatabase snapshot isolation.
+//
+// The snapshot-isolation suite is the tentpole's correctness core: one
+// writer streaming AddTuple against 8 concurrent readers, where every
+// reader must observe a database bit-identical to a serial reconstruction
+// at its pinned epoch. The suite names match the tsan preset filter
+// (Mvcc*/DatabaseClone*), so the race-detecting build runs them too.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "db/database.h"
+#include "db/generic_join.h"
+#include "db/index_cache.h"
+#include "db/mvcc.h"
+
+namespace qc {
+namespace {
+
+db::Database TwoRelationDb() {
+  db::Database d;
+  EXPECT_TRUE(d.SetRelation("R", 2, {{1, 2}, {2, 3}}));
+  EXPECT_TRUE(d.SetRelation("S", 2, {{2, 10}, {3, 11}}));
+  return d;
+}
+
+TEST(DatabaseCloneTest, SharesPayloadAndPreservesVersions) {
+  db::Database original = TwoRelationDb();
+  const std::uint64_t r_version = original.RelationVersion("R");
+  const std::uint64_t s_version = original.RelationVersion("S");
+
+  db::Database clone = original.Clone();
+  // Version stamps carry over — this is what keeps (name, version)-keyed
+  // IndexCache entries warm across snapshots.
+  EXPECT_EQ(clone.RelationVersion("R"), r_version);
+  EXPECT_EQ(clone.RelationVersion("S"), s_version);
+  // The flat payload is shared, not copied.
+  EXPECT_EQ(&clone.Flat("R"), &original.Flat("R"));
+  EXPECT_EQ(&clone.Flat("S"), &original.Flat("S"));
+}
+
+TEST(DatabaseCloneTest, MutatingOriginalLeavesCloneUntouched) {
+  db::Database original = TwoRelationDb();
+  db::Database clone = original.Clone();
+
+  ASSERT_TRUE(original.AddTuple("R", {7, 8}));
+  EXPECT_EQ(original.NumTuples("R"), 3u);
+  EXPECT_EQ(clone.NumTuples("R"), 2u);
+  // The mutation copied privately and restamped only the original.
+  EXPECT_NE(&clone.Flat("R"), &original.Flat("R"));
+  EXPECT_NE(clone.RelationVersion("R"), original.RelationVersion("R"));
+  // The untouched relation stays shared.
+  EXPECT_EQ(&clone.Flat("S"), &original.Flat("S"));
+  EXPECT_EQ(clone.Tuples("R"), (std::vector<db::Tuple>{{1, 2}, {2, 3}}));
+}
+
+TEST(DatabaseCloneTest, MutatingCloneLeavesOriginalUntouched) {
+  db::Database original = TwoRelationDb();
+  db::Database clone = original.Clone();
+
+  ASSERT_TRUE(clone.SetRelation("R", 2, {{9, 9}}));
+  ASSERT_TRUE(clone.AddTuple("S", {5, 5}));
+  EXPECT_EQ(original.NumTuples("R"), 2u);
+  EXPECT_EQ(original.NumTuples("S"), 2u);
+  EXPECT_EQ(clone.NumTuples("R"), 1u);
+  EXPECT_EQ(clone.NumTuples("S"), 3u);
+}
+
+TEST(DatabaseCloneTest, CloneChainsShareUntilMutation) {
+  db::Database a = TwoRelationDb();
+  db::Database b = a.Clone();
+  db::Database c = b.Clone();
+  EXPECT_EQ(&a.Flat("R"), &c.Flat("R"));
+  ASSERT_TRUE(b.AddTuple("R", {4, 5}));
+  // b copied privately; a and c still share the original payload.
+  EXPECT_EQ(&a.Flat("R"), &c.Flat("R"));
+  EXPECT_NE(&b.Flat("R"), &a.Flat("R"));
+  EXPECT_EQ(a.NumTuples("R"), 2u);
+  EXPECT_EQ(c.NumTuples("R"), 2u);
+  EXPECT_EQ(b.NumTuples("R"), 3u);
+}
+
+TEST(MvccTest, SnapshotsAtSameEpochShareOneClone) {
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 1, {{1}}));
+  db::MvccSnapshot s1 = mvcc.Snapshot();
+  db::MvccSnapshot s2 = mvcc.Snapshot();
+  EXPECT_EQ(s1.epoch, s2.epoch);
+  EXPECT_EQ(s1.db.get(), s2.db.get());
+  EXPECT_EQ(mvcc.stats().snapshot_builds, 1u);
+  EXPECT_EQ(mvcc.stats().snapshots, 2u);
+
+  ASSERT_TRUE(mvcc.AddTuple("R", {2}));
+  db::MvccSnapshot s3 = mvcc.Snapshot();
+  EXPECT_GT(s3.epoch, s1.epoch);
+  EXPECT_NE(s3.db.get(), s1.db.get());
+  EXPECT_EQ(mvcc.stats().snapshot_builds, 2u);
+  // The pre-mutation snapshot still reads the old payload.
+  EXPECT_EQ(s1.db->NumTuples("R"), 1u);
+  EXPECT_EQ(s3.db->NumTuples("R"), 2u);
+}
+
+TEST(MvccTest, AddTuplesIsOneAtomicTransaction) {
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 2, {{1, 1}}));
+  const std::uint64_t epoch_before = mvcc.Epoch();
+
+  // Batch with a bad arity at index 2: all-or-nothing, named index.
+  db::MutationResult r =
+      mvcc.AddTuples("R", {{2, 2}, {3, 3}, {4, 4, 4}, {5, 5}});
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.message.find("2"), std::string::npos) << r.message;
+  EXPECT_EQ(mvcc.Epoch(), epoch_before);
+  EXPECT_EQ(mvcc.Snapshot().db->NumTuples("R"), 1u);
+
+  // A valid batch is one epoch bump, not four.
+  ASSERT_TRUE(mvcc.AddTuples("R", {{2, 2}, {3, 3}, {4, 4}, {5, 5}}));
+  EXPECT_EQ(mvcc.Epoch(), epoch_before + 1);
+  EXPECT_EQ(mvcc.Snapshot().db->NumTuples("R"), 5u);
+}
+
+TEST(MvccTest, FailedMutateLambdaLeavesEpochUsable) {
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 1, {{1}}));
+  db::MutationResult r = mvcc.Mutate([](db::Database&) {
+    return db::MutationResult::Fail("rejected before touching anything");
+  });
+  EXPECT_FALSE(r);
+  // Snapshots still serve the last good state.
+  EXPECT_EQ(mvcc.Snapshot().db->NumTuples("R"), 1u);
+}
+
+// The headline isolation test: one writer streams single-tuple appends
+// while 8 readers concurrently pin snapshots. Every snapshot at epoch e
+// must contain exactly the serial prefix [0, e - 1) — bit-identical to a
+// serial run paused at that version.
+TEST(MvccSnapshotIsolationTest, WriterStreamsAgainstEightReaders) {
+  constexpr int kWrites = 400;
+  constexpr int kReaders = 8;
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 1, {}));  // Epoch 1, empty.
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> isolation_failures{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      ASSERT_TRUE(mvcc.AddTuple("R", {i}));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      do {
+        db::MvccSnapshot snap = mvcc.Snapshot();
+        // SetRelation was write #1, so epoch e pins e - 1 appends.
+        const std::size_t expected_rows =
+            static_cast<std::size_t>(snap.epoch - 1);
+        const std::vector<db::Tuple>& rows = snap.db->Tuples("R");
+        if (rows.size() != expected_rows) {
+          isolation_failures.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] != db::Tuple{static_cast<db::Value>(i)}) {
+            isolation_failures.fetch_add(1);
+            break;
+          }
+        }
+      } while (!writer_done.load());
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(isolation_failures.load(), 0);
+  EXPECT_EQ(mvcc.Epoch(), static_cast<std::uint64_t>(kWrites) + 1);
+  EXPECT_EQ(mvcc.Snapshot().db->NumTuples("R"),
+            static_cast<std::size_t>(kWrites));
+}
+
+// IndexCache entries are keyed on (relation, version, signature) and
+// snapshots preserve version stamps, so a query on a *new* snapshot hits
+// the index built by a query on an *old* snapshot as long as the relation
+// itself did not change.
+TEST(MvccTest, IndexCacheStaysWarmAcrossSnapshots) {
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 2, {{1, 2}, {2, 3}, {3, 1}}));
+  ASSERT_TRUE(mvcc.SetRelation("S", 2, {{2, 7}, {3, 8}, {1, 9}}));
+
+  db::IndexCache cache(64 << 20);
+  db::JoinQuery query;
+  query.Add("R", {"a", "b"}).Add("S", {"b", "c"});
+  auto run = [&](const db::Database& snapshot_db) {
+    ExecutionContext ctx;
+    ctx.index_cache = &cache;
+    db::GenericJoin join(query, snapshot_db, ctx);
+    db::JoinResult result = join.Evaluate();
+    result.Normalize();
+    return result;
+  };
+
+  db::MvccSnapshot snap1 = mvcc.Snapshot();
+  db::JoinResult first = run(*snap1.db);
+  const db::IndexCacheStats cold = cache.stats();
+  EXPECT_GT(cold.misses, 0u);
+
+  // Mutate an *unrelated* relation: new epoch, new snapshot, same R/S
+  // versions.
+  ASSERT_TRUE(mvcc.SetRelation("T", 1, {{42}}));
+  db::MvccSnapshot snap2 = mvcc.Snapshot();
+  ASSERT_NE(snap2.epoch, snap1.epoch);
+  db::JoinResult second = run(*snap2.db);
+
+  const db::IndexCacheStats warm = cache.stats();
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(warm.misses, cold.misses);  // Nothing rebuilt.
+  EXPECT_EQ(first.tuples, second.tuples);
+
+  // Mutating R invalidates by version: the next query misses for R.
+  ASSERT_TRUE(mvcc.AddTuple("R", {9, 9}));
+  run(*mvcc.Snapshot().db);
+  EXPECT_GT(cache.stats().misses, warm.misses);
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,424 @@
+// qc_serverd's engine: admission control, the socket-free HandleRequest
+// pipeline (admission → snapshot → execute → stream), and the loopback TCP
+// front end with the blocking Client. Suite names match the tsan preset
+// filter (Admission*/ServerConcurrency*).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/wire.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace qc {
+namespace {
+
+using server::AdmissionController;
+using server::AdmissionOptions;
+
+// --- AdmissionController ------------------------------------------------
+
+TEST(AdmissionTest, AdmitsUpToMaxConcurrent) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 2;
+  opts.queue_capacity = 0;  // No queue: reject on saturation.
+  AdmissionController ctl(opts);
+
+  auto d1 = ctl.Admit();
+  auto d2 = ctl.Admit();
+  EXPECT_EQ(d1.outcome, AdmissionController::Outcome::kAdmitted);
+  EXPECT_EQ(d2.outcome, AdmissionController::Outcome::kAdmitted);
+  auto d3 = ctl.Admit();
+  EXPECT_EQ(d3.outcome, AdmissionController::Outcome::kRejectedSaturated);
+  EXPECT_EQ(d3.running, 2);
+
+  ctl.Release();
+  EXPECT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kAdmitted);
+  ctl.Release();
+  ctl.Release();
+  server::AdmissionStats s = ctl.stats();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.running, 0);
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsTheFreedSlot) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.queue_capacity = 4;
+  AdmissionController ctl(opts);
+  ASSERT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kAdmitted);
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto d = ctl.Admit();
+    EXPECT_EQ(d.outcome, AdmissionController::Outcome::kAdmitted);
+    admitted.store(true);
+    ctl.Release();
+  });
+  // The waiter is queued, not admitted, until the slot frees.
+  while (ctl.stats().queued == 0 && !admitted.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(admitted.load());
+  ctl.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_GE(ctl.stats().max_queued, 1u);
+}
+
+TEST(AdmissionTest, QueueTimeoutReturnsStructuredOutcome) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.queue_capacity = 4;
+  opts.queue_timeout_ms = 30;
+  AdmissionController ctl(opts);
+  ASSERT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kAdmitted);
+  auto d = ctl.Admit();  // Queues, then gives up.
+  EXPECT_EQ(d.outcome, AdmissionController::Outcome::kTimedOut);
+  EXPECT_GE(d.queue_ms, 0.0);
+  EXPECT_EQ(ctl.stats().timed_out, 1u);
+  ctl.Release();
+}
+
+TEST(AdmissionTest, CloseWakesWaitersWithClosed) {
+  AdmissionOptions opts;
+  opts.max_concurrent = 1;
+  opts.queue_capacity = 4;
+  AdmissionController ctl(opts);
+  ASSERT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kAdmitted);
+  std::thread waiter([&] {
+    EXPECT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kClosed);
+  });
+  while (ctl.stats().queued == 0) std::this_thread::yield();
+  ctl.Close();
+  waiter.join();
+  EXPECT_EQ(ctl.Admit().outcome, AdmissionController::Outcome::kClosed);
+}
+
+// --- HandleRequest: the whole pipeline, no sockets ----------------------
+
+// Dense enough that the triangle query below returns 6 rows — multiple
+// batch frames at batch_rows = 2.
+constexpr char kTriangleDataset[] =
+    "relation R1:\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n2 1\n"
+    "relation R2:\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n2 1\n"
+    "relation R3:\n0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n2 1\n";
+constexpr char kTriangleQuery[] = "R1(a,b), R2(a,c), R3(b,c)";
+
+server::ServerOptions SmallServerOptions() {
+  server::ServerOptions options;
+  options.session.index_cache_mb = 4;
+  options.batch_rows = 2;  // Force multiple batch frames.
+  return options;
+}
+
+std::map<std::string, int> CountKinds(const std::vector<api::Frame>& frames) {
+  std::map<std::string, int> kinds;
+  for (const api::Frame& f : frames) kinds[f.kind]++;
+  return kinds;
+}
+
+TEST(ServerPipelineTest, QueryStreamsHdrBatchesReportEnd) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame mutate;
+  mutate.kind = "mutate";
+  mutate.Add("id", "1");
+  mutate.body = kTriangleDataset;
+  std::vector<api::Frame> replies = server.HandleRequest(mutate);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].kind, "end");
+  EXPECT_EQ(replies[0].FindUint("applied", 0), 21u);
+
+  api::Frame query;
+  query.kind = "query";
+  query.Add("id", "2").Add("want_analysis", "1");
+  query.body = kTriangleQuery;
+  replies = server.HandleRequest(query);
+  auto kinds = CountKinds(replies);
+  EXPECT_EQ(kinds["hdr"], 1);
+  EXPECT_EQ(kinds["report"], 1);
+  EXPECT_EQ(kinds["end"], 1);
+  // The dataset has 6 result rows; batch_rows = 2 gives 3 batches.
+  EXPECT_EQ(kinds["batch"], 3);
+  ASSERT_EQ(replies.front().kind, "hdr");
+  const api::Frame& hdr = replies.front();
+  EXPECT_EQ(*hdr.Find("status"), "completed");
+  EXPECT_EQ(hdr.FindUint("rows", 0), 6u);
+  EXPECT_FALSE(hdr.body.empty());  // want_analysis text rides in the hdr.
+  ASSERT_EQ(replies.back().kind, "end");
+  EXPECT_EQ(replies.back().FindUint("code", 99), 0u);
+
+  // The per-request report is branded and carries the server section.
+  const api::Frame* report = nullptr;
+  for (const api::Frame& f : replies) {
+    if (f.kind == "report") report = &f;
+  }
+  ASSERT_NE(report, nullptr);
+  EXPECT_NE(report->body.find("\"tool\": \"qc_serverd\""), std::string::npos);
+  EXPECT_NE(report->body.find("\"server\":"), std::string::npos);
+  EXPECT_NE(report->body.find("\"request_id\": 2"), std::string::npos);
+  EXPECT_NE(report->body.find("\"snapshot_epoch\":"), std::string::npos);
+}
+
+TEST(ServerPipelineTest, PerRequestBudgetTruncates) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame mutate;
+  mutate.kind = "mutate";
+  mutate.body = kTriangleDataset;
+  server.HandleRequest(mutate);
+
+  api::Frame query;
+  query.kind = "query";
+  query.Add("id", "3").Add("max_rows", "1");
+  query.body = kTriangleQuery;
+  std::vector<api::Frame> replies = server.HandleRequest(query);
+  ASSERT_EQ(replies.front().kind, "hdr");
+  EXPECT_EQ(*replies.front().Find("status"), "budget-exhausted");
+  EXPECT_EQ(*replies.front().Find("truncated"), "1");
+  EXPECT_EQ(replies.back().FindUint("code", 0), 5u);
+}
+
+TEST(ServerPipelineTest, AdmissionRejectionIsStructured) {
+  server::ServerOptions options = SmallServerOptions();
+  options.admission.max_concurrent = 0;  // Reject everything.
+  options.admission.queue_capacity = 0;
+  server::QueryServer server(options);
+  api::Frame query;
+  query.kind = "query";
+  query.Add("id", "4");
+  query.body = kTriangleQuery;
+  std::vector<api::Frame> replies = server.HandleRequest(query);
+  ASSERT_EQ(replies.size(), 1u);
+  const api::Frame& err = replies[0];
+  EXPECT_EQ(err.kind, "error");
+  EXPECT_EQ(err.FindUint("code", 0),
+            static_cast<std::uint64_t>(server::kAdmissionRejectedCode));
+  EXPECT_EQ(*err.Find("reason"), "admission-rejected");
+  ASSERT_NE(err.Find("running"), nullptr);
+  ASSERT_NE(err.Find("queue_depth"), nullptr);
+  EXPECT_EQ(server.stats().admission.rejected, 1u);
+}
+
+TEST(ServerPipelineTest, InputAndProtocolErrors) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame query;
+  query.kind = "query";
+  query.Add("id", "5");
+  query.body = "Missing(a,b)";
+  std::vector<api::Frame> replies = server.HandleRequest(query);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, "error");
+  EXPECT_EQ(replies[0].FindUint("code", 0), 1u);
+
+  query.fields.clear();
+  query.Add("id", "6").Add("report_json", "/tmp/forbidden.json");
+  replies = server.HandleRequest(query);
+  EXPECT_EQ(replies[0].kind, "error");
+  EXPECT_EQ(replies[0].FindUint("code", 0), 2u);  // Unknown request field.
+
+  api::Frame bogus;
+  bogus.kind = "dance";
+  replies = server.HandleRequest(bogus);
+  EXPECT_EQ(replies[0].kind, "error");
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(ServerPipelineTest, MutateAbortVsContinue) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame bad;
+  bad.kind = "mutate";
+  bad.Add("id", "7");
+  bad.body = "relation R:\n1 2\n1 2 3\n";
+  std::vector<api::Frame> replies = server.HandleRequest(bad);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, "error");
+  EXPECT_EQ(replies[0].FindUint("code", 0), 1u);
+  EXPECT_NE(replies[0].body.find("line 3"), std::string::npos);
+  const std::uint64_t epoch_after_reject =
+      server.database().Epoch();
+
+  bad.Add("on_input_error", "continue");
+  replies = server.HandleRequest(bad);
+  ASSERT_EQ(replies[0].kind, "end");
+  EXPECT_EQ(replies[0].FindUint("applied", 0), 1u);
+  EXPECT_EQ(replies[0].FindUint("skipped", 0), 1u);
+  EXPECT_GT(server.database().Epoch(), epoch_after_reject);
+}
+
+// --- Snapshot isolation through the full pipeline: 8 concurrent client
+// threads issue queries while a writer streams appends; every reply must
+// be internally consistent with its pinned snapshot_epoch.
+TEST(ServerConcurrencyTest, ConcurrentQueriesSeeConsistentSnapshots) {
+  server::ServerOptions options;
+  options.session.index_cache_mb = 8;
+  options.admission.max_concurrent = 16;
+  server::QueryServer server(options);
+  // R starts empty; the writer appends k-th tuple {k}; a query counts R.
+  ASSERT_TRUE(server.database().SetRelation("R", 1, {}));
+  const std::uint64_t base_epoch = server.database().Epoch();
+
+  constexpr int kWrites = 200;
+  constexpr int kReaders = 8;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> mismatches{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      api::Frame mutate;
+      mutate.kind = "mutate";
+      mutate.body = "relation R:\n" + std::to_string(i) + "\n";
+      std::vector<api::Frame> replies = server.HandleRequest(mutate);
+      ASSERT_EQ(replies[0].kind, "end");
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      do {
+        api::Frame query;
+        query.kind = "query";
+        query.Add("id", "1");
+        query.body = "R(a)";
+        std::vector<api::Frame> replies = server.HandleRequest(query);
+        if (replies.front().kind != "hdr") {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const api::Frame& hdr = replies.front();
+        const std::uint64_t epoch = hdr.FindUint("epoch", 0);
+        const std::uint64_t rows = hdr.FindUint("rows", 9999);
+        // Epoch base_epoch + k pins exactly k appended tuples: the count a
+        // serial run at that version would produce.
+        if (rows != epoch - base_epoch) mismatches.fetch_add(1);
+        // The streamed batches must agree with the header.
+        std::size_t streamed = 0;
+        for (const api::Frame& f : replies) {
+          if (f.kind == "batch") streamed += f.FindUint("rows", 0);
+        }
+        if (streamed != rows) mismatches.fetch_add(1);
+      } while (!writer_done.load());
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.database().Epoch(),
+            base_epoch + static_cast<std::uint64_t>(kWrites));
+}
+
+// --- Socket end-to-end --------------------------------------------------
+
+TEST(ServerSocketTest, ClientRoundtripOverTcp) {
+  server::ServerOptions options = SmallServerOptions();
+  server::QueryServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  EXPECT_TRUE(client.Ping(&error)) << error;
+
+  server::MutateReply m = client.Mutate(kTriangleDataset);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_FALSE(m.rejected);
+  EXPECT_EQ(m.applied, 21u);
+
+  server::QueryReply q = client.Query(
+      kTriangleQuery, {{"want_analysis", "1"}, {"deadline_ms", "60000"}});
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_FALSE(q.rejected);
+  EXPECT_EQ(q.code, 0);
+  EXPECT_EQ(q.status, "completed");
+  EXPECT_EQ(q.rows, 6u);
+  EXPECT_EQ(q.attributes, (std::vector<std::string>{"a", "b", "c"}));
+  // Six rows of "a b c\n" text.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(q.row_text.begin(), q.row_text.end(), '\n')),
+            q.rows);
+  EXPECT_NE(q.report_json.find("\"tool\": \"qc_serverd\""), std::string::npos);
+  EXPECT_FALSE(q.analysis_text.empty());
+
+  std::string stats_json;
+  ASSERT_TRUE(client.Stats(&stats_json, &error)) << error;
+  EXPECT_NE(stats_json.find("\"queries\": 1"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(ServerSocketTest, ShutdownFrameStopsTheListener) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  ASSERT_TRUE(client.Shutdown(&error)) << error;
+  server.Wait();  // Returns because the shutdown frame closed the listener.
+  EXPECT_TRUE(server.shutdown_requested());
+  server.Stop();
+
+  // New connections are refused after shutdown.
+  server::Client late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port(), &error));
+}
+
+// Client always frames correctly; the server must survive peers that do
+// not — a raw socket spews garbage and must get a structured error frame
+// back, not a hang or a crash.
+TEST(ServerSocketTest, GarbageBytesGetProtocolError) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+
+  // The server answers with one error frame, then closes the connection.
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string parse_error;
+  char buf[4096];
+  bool got_error_frame = false;
+  while (true) {
+    if (parser.Next(&frame, &parse_error) ==
+        api::FrameParser::Result::kFrame) {
+      got_error_frame = frame.kind == "error";
+      break;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    parser.Feed(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_TRUE(got_error_frame);
+  ::close(fd);
+  server.Stop();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+}  // namespace
+}  // namespace qc

@@ -4,8 +4,10 @@
 Usage: check_report_schema.py report.json [report2.json ...]
 
 The schema is the one documented in src/util/run_report.h and emitted by
-query_cli, fpt_toolbox and the E-harnesses. Exits nonzero (with a message
-naming the offending key) on the first violation. Stdlib only.
+query_cli, fpt_toolbox, the E-harnesses and qc_serverd's per-request
+report frames (which add the optional "server" section). Exits nonzero
+(with a message naming the offending key) on the first violation.
+Stdlib only.
 """
 
 import json
@@ -98,8 +100,26 @@ def check_report(path):
     for i, span in enumerate(report["spans"]):
         check_span(path, span, f"spans[{i}]")
 
+    # Optional "server" section: present only on qc_serverd per-request
+    # reports (request id, admission queue wait, pinned MVCC epoch).
+    if "server" in report:
+        server = report["server"]
+        if not isinstance(server, dict):
+            fail(path, "server is not an object")
+        for key in ("request_id", "snapshot_epoch"):
+            check_type(path, server, key, int)
+            if server[key] < 0:
+                fail(path, f"server.{key} is negative")
+        check_type(path, server, "queue_ms", (int, float))
+        if server["queue_ms"] < 0:
+            fail(path, "server.queue_ms is negative")
+        unknown = set(server) - {"request_id", "queue_ms", "snapshot_epoch"}
+        if unknown:
+            fail(path, f"server has unknown keys {sorted(unknown)}")
+
+    served = " (served)" if "server" in report else ""
     print(f"{path}: ok ({report['tool']}, status={report['status']}, "
-          f"{len(report['spans'])} top-level spans)")
+          f"{len(report['spans'])} top-level spans){served}")
 
 
 def main():

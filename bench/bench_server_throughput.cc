@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "kernels/dispatch.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/rng.h"
@@ -164,9 +165,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nserver on 127.0.0.1:%d  executors=%d  write-ratio=%d%%  "
-              "step=%llums\n",
+              "step=%llums  simd=%s\n",
               server.port(), options.admission.max_concurrent, write_ratio,
-              static_cast<unsigned long long>(step_ms));
+              static_cast<unsigned long long>(step_ms),
+              kernels::SimdLevelName(kernels::ActiveSimdLevel()));
 
   util::Table t({"clients", "req/s", "queries", "mutations", "p50 ms",
                  "p99 ms", "rejected", "errors"});

@@ -7,6 +7,8 @@
 #include "core/analyzer.h"
 #include "core/autosolver.h"
 #include "db/parser.h"
+#include "kernels/dispatch.h"
+#include "util/arena.h"
 #include "util/trace.h"
 
 namespace qc::api {
@@ -204,6 +206,11 @@ QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
   req.options.ApplyTo(&ctx);
   ctx.counters = &counters;
   ctx.index_cache = cache;
+  // Per-request scratch arena: the serial engines route their join-time
+  // buffers (sort scratch, trie-build ranges, semijoin keys) through it and
+  // the whole footprint is released here when the request finishes.
+  util::Arena arena;
+  ctx.arena = &arena;
   // One budget across analysis and evaluation: the deadline is end-to-end
   // and the row meter survives both phases.
   auto budget = req.options.MakeBudget();
@@ -234,8 +241,13 @@ QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
   resp.report.FillBudget(*budget, req.options.deadline_ms > 0);
   FillCacheSection(&resp.report, cache);
   if (cache != nullptr) cache->ExportCounters(&counters);
+  resp.report.stats.arena_high_water_bytes = arena.high_water_bytes();
   resp.report.counters = std::move(counters);
   resp.report.counters.Set("threads", ctx.ResolvedThreads());
+  resp.report.counters.Set(
+      "simd.level", static_cast<std::uint64_t>(kernels::ActiveSimdLevel()));
+  resp.report.counters.Set("arena.high_water_bytes",
+                           arena.high_water_bytes());
   if (req.collect_trace) {
     resp.report.trace = util::Trace::Collect();
     util::Trace::Disable();

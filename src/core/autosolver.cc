@@ -115,7 +115,7 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
         util::Trace::InternName("autosolver.yannakakis");
     util::ScopedSpan span(kYannakakisSpan);
     auto yan = db::EvaluateYannakakis(query, db, nullptr, budget.get(),
-                                      ctx.index_cache);
+                                      ctx.index_cache, ctx.arena);
     if (yan.has_value()) {
       ctx.Count("yannakakis.output_tuples", yan->tuples.size());
       result.method = SolveMethod::kYannakakis;

@@ -15,6 +15,10 @@ namespace db {
 class IndexCache;  // core/context.h stays header-only below db/.
 }  // namespace db
 
+namespace util {
+class Arena;  // forward-declared for the same header-only reason.
+}  // namespace util
+
 /// One knob surface for every engine in the library.
 ///
 /// Historically each entry point grew its own options struct
@@ -57,6 +61,13 @@ struct ExecutionContext {
   /// instead of rebuilding; results stay bit-identical to cold runs. Safe
   /// to share across concurrent evaluations and contexts.
   db::IndexCache* index_cache = nullptr;
+  /// Optional per-query scratch arena (util::Arena) for join-time
+  /// allocations: leapfrog span buffers, trie-build scratch, enumerator
+  /// frontiers. NOT thread-safe — single-threaded engines use it directly;
+  /// parallel engines must give each worker its own arena and leave this
+  /// one to the coordinating thread. Owners reset/destroy it after the
+  /// query; engines never free individual allocations.
+  util::Arena* arena = nullptr;
 
   // -- cancellation / resource budget --
   /// Output-row budget for row-producing engines (0 = unlimited); folded

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "db/yannakakis.h"
+#include "kernels/sort.h"
 
 namespace qc::db {
 
@@ -24,7 +25,8 @@ int CompareProjection(const Value* row, const std::vector<int>& cols,
 AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
                                      const Database& db,
                                      util::Budget* budget,
-                                     IndexCache* cache)
+                                     IndexCache* cache,
+                                     util::Arena* arena)
     : budget_(budget) {
   std::vector<int> parent, bottom_up;
   if (!BuildJoinTree(query, &parent, &bottom_up)) return;
@@ -59,9 +61,10 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
           atom.relation, db.RelationVersion(atom.relation),
           AtomProjectionSignature(atom, attrs), [&]() {
             IndexCache::Entry fresh;
-            FlatRelation proj = MaterializeSortedProjection(atom, db, attrs);
+            FlatRelation proj =
+                MaterializeSortedProjection(atom, db, attrs, arena);
             fresh.no_rows = proj.empty();
-            fresh.trie = TrieIndex(proj);
+            fresh.trie = TrieIndex(proj, arena);
             return fresh;
           });
       rel[e] = JoinResult::FromFlat(attrs, entry->trie.ToFlat());
@@ -77,7 +80,7 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
       rel[parent[e]] = SemijoinAgainstAtom(rel[parent[e]], rel[e],
                                            query.atoms[e], db,
                                            pristine[e] ? cache : nullptr,
-                                           budget_);
+                                           budget_, arena);
       pristine[parent[e]] = false;
     }
   }
@@ -86,7 +89,7 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
     if (parent[*it] >= 0) {
       rel[*it] = SemijoinAgainstAtom(
           rel[*it], rel[parent[*it]], query.atoms[parent[*it]], db,
-          pristine[parent[*it]] ? cache : nullptr, budget_);
+          pristine[parent[*it]] ? cache : nullptr, budget_, arena);
       pristine[*it] = false;
     }
   }
@@ -113,18 +116,33 @@ AcyclicEnumerator::AcyclicEnumerator(const JoinQuery& query,
     }
     node.rows = rel[e].ToFlat();
     // Sort by the projection onto the shared columns, then the rest:
-    // index sort over flat rows, one gather.
+    // index sort over flat rows, one gather. The rows are distinct (fully
+    // reduced), so the shared-then-all-columns key is a strict total order
+    // and the radix kernel yields the identical permutation as the
+    // comparator for any row count.
     std::vector<std::uint32_t> idx(node.rows.size());
     std::iota(idx.begin(), idx.end(), 0u);
-    std::sort(idx.begin(), idx.end(),
-              [&node](std::uint32_t a, std::uint32_t b) {
-                const Value* ra = node.rows.Row(a);
-                const Value* rb = node.rows.Row(b);
-                for (int c : node.shared_cols) {
-                  if (ra[c] != rb[c]) return ra[c] < rb[c];
-                }
-                return node.rows.View(a) < node.rows.View(b);
-              });
+    const int arity = node.rows.arity();
+    if (node.rows.size() >= kernels::kRadixMinRows && arity > 0) {
+      std::vector<std::int32_t> cols;
+      cols.reserve(node.shared_cols.size() + static_cast<std::size_t>(arity));
+      for (int c : node.shared_cols) cols.push_back(c);
+      for (int c = 0; c < arity; ++c) cols.push_back(c);
+      kernels::SortRowsByColumns(node.rows.data().data(),
+                                 static_cast<std::size_t>(arity),
+                                 node.rows.size(), cols.data(), cols.size(),
+                                 idx.data(), arena);
+    } else {
+      std::sort(idx.begin(), idx.end(),
+                [&node](std::uint32_t a, std::uint32_t b) {
+                  const Value* ra = node.rows.Row(a);
+                  const Value* rb = node.rows.Row(b);
+                  for (int c : node.shared_cols) {
+                    if (ra[c] != rb[c]) return ra[c] < rb[c];
+                  }
+                  return node.rows.View(a) < node.rows.View(b);
+                });
+    }
     node.rows.ApplyPermutation(idx);
   }
   if (tripped()) return;
@@ -147,8 +165,8 @@ bool AcyclicEnumerator::Descend(std::size_t level) {
     const TreeNode& pnode = nodes_[node.parent];
     const Frame& pframe = frames_[node.parent];
     const Value* prow = pnode.rows.Row(pframe.cursor);
-    Tuple key;
-    key.reserve(node.parent_shared_cols.size());
+    Tuple& key = key_buf_;
+    key.clear();
     for (int c : node.parent_shared_cols) key.push_back(prow[c]);
     // Binary search the shared-key block directly on the flat rows.
     int lo = 0, hi = static_cast<int>(node.rows.size());

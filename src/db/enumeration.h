@@ -30,9 +30,13 @@ class AcyclicEnumerator {
   /// entry (skipping the scan+sort) and probes cached key-set tries in the
   /// semijoin sweeps for pristine sides. The enumeration order and answers
   /// are bit-identical with or without it.
+  ///
+  /// `arena` (optional, not owned; only used during construction) backs the
+  /// preprocessing scratch: sort-kernel buffers and semijoin key sorts.
   AcyclicEnumerator(const JoinQuery& query, const Database& db,
                     util::Budget* budget = nullptr,
-                    IndexCache* cache = nullptr);
+                    IndexCache* cache = nullptr,
+                    util::Arena* arena = nullptr);
 
   bool IsValid() const { return valid_; }
 
@@ -77,6 +81,9 @@ class AcyclicEnumerator {
     int lo = 0, hi = 0, cursor = 0;
   };
   std::vector<Frame> frames_;
+  /// Reusable projection-key buffer for Descend(): constant-delay Next()
+  /// calls allocate nothing per answer.
+  Tuple key_buf_;
   bool done_ = false;
   bool started_ = false;
   util::Budget* budget_ = nullptr;  ///< Not owned; may be null.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "kernels/sort.h"
+
 namespace qc::db {
 
 FlatRelation FlatRelation::FromRows(int arity, const std::vector<Tuple>& rows) {
@@ -43,20 +45,31 @@ void FlatRelation::Clear() {
   size_ = 0;
 }
 
-void FlatRelation::SortLexAndDedup() {
+void FlatRelation::SortLexAndDedup(SortPolicy policy, util::Arena* scratch) {
   if (size_ <= 1) return;
   std::vector<std::uint32_t> idx(size_);
   std::iota(idx.begin(), idx.end(), 0u);
   const int r = arity_;
   const Value* base = data_.data();
-  std::sort(idx.begin(), idx.end(), [base, r](std::uint32_t a, std::uint32_t b) {
-    const Value* pa = base + a * static_cast<std::size_t>(r);
-    const Value* pb = base + b * static_cast<std::size_t>(r);
-    for (int i = 0; i < r; ++i) {
-      if (pa[i] != pb[i]) return pa[i] < pb[i];
-    }
-    return false;
-  });
+  const bool radix =
+      r > 0 && (policy == SortPolicy::kRadix ||
+                (policy == SortPolicy::kAuto && size_ >= kernels::kRadixMinRows));
+  if (radix) {
+    std::vector<std::int32_t> cols(static_cast<std::size_t>(r));
+    std::iota(cols.begin(), cols.end(), 0);
+    kernels::SortRowsByColumns(base, static_cast<std::size_t>(r), size_,
+                               cols.data(), cols.size(), idx.data(), scratch);
+  } else {
+    std::sort(idx.begin(), idx.end(),
+              [base, r](std::uint32_t a, std::uint32_t b) {
+                const Value* pa = base + a * static_cast<std::size_t>(r);
+                const Value* pb = base + b * static_cast<std::size_t>(r);
+                for (int i = 0; i < r; ++i) {
+                  if (pa[i] != pb[i]) return pa[i] < pb[i];
+                }
+                return false;
+              });
+  }
   std::vector<Value> sorted;
   sorted.reserve(data_.size());
   std::size_t kept = 0;

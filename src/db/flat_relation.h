@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace qc::util {
+class Arena;
+}  // namespace qc::util
+
 namespace qc::db {
 
 using Value = std::int64_t;
@@ -73,8 +77,17 @@ class FlatRelation {
   void Reserve(std::size_t rows);
   void Clear();
 
-  /// Sorts rows lexicographically and removes exact duplicates.
-  void SortLexAndDedup();
+  /// How SortLexAndDedup orders the permutation. kAuto picks the LSD radix
+  /// kernel (kernels::SortRowsByColumns) above its break-even row count and
+  /// comparison sort below it; both are stable and produce the identical
+  /// lexicographic order, so the choice never changes results — only time.
+  enum class SortPolicy { kAuto, kComparison, kRadix };
+
+  /// Sorts rows lexicographically and removes exact duplicates. `scratch`,
+  /// when non-null, supplies the radix kernel's key/index buffers so
+  /// repeated sorts in one query reuse the same blocks.
+  void SortLexAndDedup(SortPolicy policy = SortPolicy::kAuto,
+                       util::Arena* scratch = nullptr);
 
   /// Reorders rows into the order given by `perm` (a permutation of
   /// [0, size())). Used to sort by arbitrary keys: sort the index vector,

@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "db/joins.h"
+#include "kernels/dispatch.h"
+#include "kernels/intersect.h"
 #include "util/threadpool.h"
 
 namespace qc::db {
@@ -53,9 +55,12 @@ GenericJoin::GenericJoin(const JoinQuery& query, const Database& db,
       std::optional<util::ScopedSpan> build_span;
       if (cache != nullptr) build_span.emplace(kBuildSpan);
       IndexCache::Entry entry;
-      FlatRelation flat = MaterializeSortedProjection(atom, db, ordered);
+      // ctx.arena backs the sort and trie-build scratch; the entry itself
+      // owns its memory, so a cached trie never outlives into the arena.
+      FlatRelation flat =
+          MaterializeSortedProjection(atom, db, ordered, ctx_.arena);
       entry.no_rows = flat.empty();
-      entry.trie = TrieIndex(flat);
+      entry.trie = TrieIndex(flat, ctx_.arena);
       return entry;
     };
     if (cache != nullptr) {
@@ -87,6 +92,7 @@ void GenericJoin::ExportStats(const GenericJoinStats& run) const {
   ctx_.Count("generic_join.nodes", run.nodes);
   ctx_.Count("generic_join.probes", run.probes);
   ctx_.Count("generic_join.gallops", run.gallops);
+  ctx_.Count("generic_join.simd_blocks", run.simd_blocks);
 }
 
 bool GenericJoin::HasEmptyAtom() const {
@@ -146,6 +152,46 @@ GenericJoin::Span GenericJoin::DescendSpan(int atom, int col,
 }
 
 template <class Emit>
+void GenericJoin::PairIntersect(DepthScratch& scratch, GenericJoinStats* stats,
+                                Emit&& emit) const {
+  auto& cur = scratch.cursors;
+  const Value* A = scratch.values[0];
+  const Value* B = scratch.values[1];
+  const std::int32_t ea = scratch.ends[0], eb = scratch.ends[1];
+  std::int32_t ia = cur[0], jb = cur[1];
+  if (scratch.pos_a.size() < static_cast<std::size_t>(kPairChunk)) {
+    scratch.pos_a.resize(kPairChunk);
+    scratch.pos_b.resize(kPairChunk);
+  }
+  while (ia < ea && jb < eb) {
+    const std::int32_t ca = std::min(kPairChunk, ea - ia);
+    const Value amax = A[ia + ca - 1];
+    // First B index past this chunk's maximum: doubling probe from jb, then
+    // one bounded upper_bound — every B value at or below amax belongs to
+    // this chunk and is consumed by it.
+    std::int32_t off = 1;
+    while (jb + off < eb && B[jb + off] <= amax) off <<= 1;
+    const std::int32_t lo = jb + (off >> 1);
+    const std::int32_t hi = static_cast<std::int32_t>(std::min<std::int64_t>(
+        static_cast<std::int64_t>(jb) + off + 1, eb));
+    const std::int32_t bhi =
+        static_cast<std::int32_t>(std::upper_bound(B + lo, B + hi, amax) - B);
+    const std::size_t k = kernels::IntersectPairPositions(
+        A + ia, static_cast<std::size_t>(ca), B + jb,
+        static_cast<std::size_t>(bhi - jb), scratch.pos_a.data(),
+        scratch.pos_b.data());
+    ++stats->simd_blocks;
+    for (std::size_t t = 0; t < k; ++t) {
+      cur[0] = ia + scratch.pos_a[t];
+      cur[1] = jb + scratch.pos_b[t];
+      if (!emit(A[cur[0]], cur.data())) return;
+    }
+    ia += ca;
+    jb = bhi;
+  }
+}
+
+template <class Emit>
 void GenericJoin::LeapfrogIntersect(int depth, const std::vector<Span>& spans,
                                     DepthScratch& scratch,
                                     GenericJoinStats* stats,
@@ -169,6 +215,22 @@ void GenericJoin::LeapfrogIntersect(int depth, const std::vector<Span>& spans,
       if (!emit(vals[0][cur[0]], cur.data())) return;
     }
     return;
+  }
+  if (h == 2 && kernels::ActiveSimdLevel() != kernels::SimdLevel::kScalar) {
+    // Two holders cover most real per-level intersections (binary-relation
+    // queries); hand non-skewed, non-trivial pairs to the blocked SIMD
+    // kernel. Skewed pairs stay on the leapfrog, whose galloping already is
+    // the right algorithm there. QC_SIMD=scalar never enters this branch —
+    // it runs the historical engine path unchanged.
+    const std::int64_t na = ends[0] - cur[0], nb = ends[1] - cur[1];
+    const std::int64_t shorter = std::min(na, nb);
+    const std::int64_t longer = std::max(na, nb);
+    if (shorter >= 16 &&
+        longer <= shorter * static_cast<std::int64_t>(
+                                kernels::kGallopSkewRatio)) {
+      PairIntersect(scratch, stats, static_cast<Emit&&>(emit));
+      return;
+    }
   }
   Value max_v = vals[0][cur[0]];
   for (int i = 1; i < h; ++i) max_v = std::max(max_v, vals[i][cur[i]]);

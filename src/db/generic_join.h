@@ -24,11 +24,16 @@ struct GenericJoinStats {
   std::uint64_t nodes = 0;    ///< Search-tree nodes (partial bindings).
   std::uint64_t probes = 0;   ///< Bounded binary searches, each counted once.
   std::uint64_t gallops = 0;  ///< Doubling steps of the galloping seeks.
+  /// Blocked kernel calls of the two-holder SIMD intersection path
+  /// (kernels::IntersectPairPositions); zero under QC_SIMD=scalar, where
+  /// the historical leapfrog runs instead.
+  std::uint64_t simd_blocks = 0;
 
   GenericJoinStats& operator+=(const GenericJoinStats& other) {
     nodes += other.nodes;
     probes += other.probes;
     gallops += other.gallops;
+    simd_blocks += other.simd_blocks;
     return *this;
   }
 };
@@ -132,6 +137,10 @@ class GenericJoin {
     std::vector<const Value*> values;   ///< Cached level value arrays.
     std::vector<std::int32_t> ends;     ///< Cached span ends.
     std::vector<Span> saved;            ///< Holder spans before the descent.
+    /// Match-position buffers of the two-holder SIMD path (kPairChunk
+    /// entries each, sized on first use).
+    std::vector<std::int32_t> pos_a;
+    std::vector<std::int32_t> pos_b;
   };
 
   /// The depth-0 candidate values with each holder's matched level-0 node,
@@ -155,6 +164,22 @@ class GenericJoin {
   void LeapfrogIntersect(int depth, const std::vector<Span>& spans,
                          DepthScratch& scratch, GenericJoinStats* stats,
                          Emit&& emit) const;
+
+  /// A-side chunk length of the two-holder blocked intersection: large
+  /// enough to amortize the kernel call, small enough that an early-stopped
+  /// emit wastes at most one chunk of kernel work.
+  static constexpr std::int32_t kPairChunk = 2048;
+
+  /// Two-holder intersection through the dispatched SIMD kernel: the A span
+  /// is walked in kPairChunk blocks, the B span clipped per block by a
+  /// galloping upper bound, and each block handed to
+  /// kernels::IntersectPairPositions. Emits the identical (value, cursors)
+  /// sequence as the historical leapfrog — the engine-level answers stay
+  /// bit-identical across QC_SIMD levels. `scratch` cursors/values/ends must
+  /// already be loaded for the two holders.
+  template <class Emit>
+  void PairIntersect(DepthScratch& scratch, GenericJoinStats* stats,
+                     Emit&& emit) const;
 
   /// Moves holder `(atom, col)` from matched node `pos` to its child span.
   Span DescendSpan(int atom, int col, std::int32_t pos) const;

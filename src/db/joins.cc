@@ -117,9 +117,9 @@ std::string AtomProjectionSignature(const Atom& atom,
   return sig;
 }
 
-FlatRelation MaterializeSortedProjection(
-    const Atom& atom, const Database& db,
-    const std::vector<std::string>& attrs) {
+FlatRelation MaterializeSortedProjection(const Atom& atom, const Database& db,
+                                         const std::vector<std::string>& attrs,
+                                         util::Arena* scratch) {
   AtomColumns cols = AnalyzeAtomColumns(atom);
   std::vector<int> src_cols;
   src_cols.reserve(attrs.size());
@@ -141,7 +141,7 @@ FlatRelation MaterializeSortedProjection(
     }
     out.PushRow(buffer.data());
   }
-  out.SortLexAndDedup();
+  out.SortLexAndDedup(FlatRelation::SortPolicy::kAuto, scratch);
   return out;
 }
 

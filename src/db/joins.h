@@ -74,9 +74,11 @@ std::string AtomProjectionSignature(const Atom& atom,
 /// columns in that order): rows failing the atom's repeated-attribute
 /// equality filter are dropped, the kept source columns are gathered, and
 /// the result is SortLexAndDedup'ed — the canonical relation a TrieIndex
-/// (and a cached semijoin key set) is built over.
+/// (and a cached semijoin key set) is built over. `scratch`, when non-null,
+/// backs the sort kernel's transient buffers.
 FlatRelation MaterializeSortedProjection(const Atom& atom, const Database& db,
-                                         const std::vector<std::string>& attrs);
+                                         const std::vector<std::string>& attrs,
+                                         util::Arena* scratch = nullptr);
 
 }  // namespace qc::db
 

@@ -1,10 +1,13 @@
 #include "db/trie_index.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/arena.h"
 
 namespace qc::db {
 
-TrieIndex::TrieIndex(const FlatRelation& rel) {
+TrieIndex::TrieIndex(const FlatRelation& rel, util::Arena* scratch) {
   const int arity = rel.arity();
   const std::size_t n = rel.size();
   if (arity == 0 || n == 0) return;
@@ -13,14 +16,24 @@ TrieIndex::TrieIndex(const FlatRelation& rel) {
   // Row ranges of the nodes at the previous level (one virtual root range
   // to start). Splitting a range by the values in column `l` yields that
   // node's children; the rows are sorted, so each child is a contiguous run.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
-      {0u, static_cast<std::uint32_t>(n)}};
+  // A level never has more nodes than rows, so two n-sized ping-pong arrays
+  // cover every level without reallocation.
+  struct Range {
+    std::uint32_t begin, end;
+  };
+  util::Arena local;
+  util::Arena* a = scratch != nullptr ? scratch : &local;
+  Range* ranges = a->AllocateArray<Range>(n);
+  Range* next_ranges = a->AllocateArray<Range>(n);
+  ranges[0] = {0u, static_cast<std::uint32_t>(n)};
+  std::size_t num_ranges = 1;
   for (int l = 0; l < arity; ++l) {
     Level& level = levels_[l];
     std::vector<std::int32_t> parent_offsets;
-    parent_offsets.reserve(ranges.size() + 1);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> next_ranges;
-    for (const auto& [begin, end] : ranges) {
+    parent_offsets.reserve(num_ranges + 1);
+    std::size_t num_next = 0;
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+      const auto [begin, end] = ranges[r];
       parent_offsets.push_back(static_cast<std::int32_t>(level.values.size()));
       std::uint32_t i = begin;
       while (i < end) {
@@ -28,14 +41,15 @@ TrieIndex::TrieIndex(const FlatRelation& rel) {
         std::uint32_t j = i + 1;
         while (j < end && rel.At(j, l) == v) ++j;
         level.values.push_back(v);
-        next_ranges.push_back({i, j});
+        next_ranges[num_next++] = {i, j};
         i = j;
       }
     }
     parent_offsets.push_back(static_cast<std::int32_t>(level.values.size()));
     if (l > 0) levels_[l - 1].child_offsets = std::move(parent_offsets);
     num_nodes_ += level.values.size();
-    ranges = std::move(next_ranges);
+    std::swap(ranges, next_ranges);
+    num_ranges = num_next;
   }
 }
 

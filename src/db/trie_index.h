@@ -6,6 +6,10 @@
 
 #include "db/flat_relation.h"
 
+namespace qc::util {
+class Arena;
+}  // namespace qc::util
+
 namespace qc::db {
 
 /// Sorted path-compressed-free trie over a lexicographically sorted,
@@ -29,8 +33,10 @@ class TrieIndex {
   TrieIndex() = default;
 
   /// Builds the index. `rel` must already be sorted lexicographically with
-  /// duplicates removed (FlatRelation::SortLexAndDedup).
-  explicit TrieIndex(const FlatRelation& rel);
+  /// duplicates removed (FlatRelation::SortLexAndDedup). `scratch`, when
+  /// non-null, supplies the build's transient row-range buffers (two
+  /// n-sized arrays); the built index itself never points into the arena.
+  explicit TrieIndex(const FlatRelation& rel, util::Arena* scratch = nullptr);
 
   int levels() const { return static_cast<int>(levels_.size()); }
   std::size_t num_nodes() const { return num_nodes_; }

@@ -40,7 +40,7 @@ bool IsAcyclicQuery(const JoinQuery& query) {
 }
 
 JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
-                    util::Budget* budget) {
+                    util::Budget* budget, util::Arena* arena) {
   std::vector<int> a_cols, b_cols;
   for (std::size_t i = 0; i < a.attributes.size(); ++i) {
     auto it =
@@ -67,7 +67,7 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
     for (std::size_t i = 0; i < b_cols.size(); ++i) key[i] = t[b_cols[i]];
     keys.PushRow(key.data());
   }
-  keys.SortLexAndDedup();
+  keys.SortLexAndDedup(FlatRelation::SortPolicy::kAuto, arena);
   for (const auto& t : a.tuples) {
     if (budget != nullptr && budget->Poll()) {
       out.truncated = true;
@@ -81,8 +81,9 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
 
 JoinResult SemijoinAgainstAtom(const JoinResult& a, const JoinResult& b,
                                const Atom& b_atom, const Database& db,
-                               IndexCache* cache, util::Budget* budget) {
-  if (cache == nullptr) return Semijoin(a, b, budget);
+                               IndexCache* cache, util::Budget* budget,
+                               util::Arena* arena) {
+  if (cache == nullptr) return Semijoin(a, b, budget, arena);
   std::vector<int> a_cols;
   std::vector<std::string> shared;
   for (std::size_t i = 0; i < a.attributes.size(); ++i) {
@@ -107,9 +108,10 @@ JoinResult SemijoinAgainstAtom(const JoinResult& a, const JoinResult& b,
       b_atom.relation, db.RelationVersion(b_atom.relation),
       AtomProjectionSignature(b_atom, shared), [&]() {
         IndexCache::Entry entry;
-        FlatRelation proj = MaterializeSortedProjection(b_atom, db, shared);
+        FlatRelation proj =
+            MaterializeSortedProjection(b_atom, db, shared, arena);
         entry.no_rows = proj.empty();
-        entry.trie = TrieIndex(proj);
+        entry.trie = TrieIndex(proj, arena);
         return entry;
       });
   Tuple key(a_cols.size());
@@ -128,7 +130,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
                                              JoinStats* stats,
                                              util::Budget* budget,
-                                             IndexCache* cache) {
+                                             IndexCache* cache,
+                                             util::Arena* arena) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
@@ -179,7 +182,7 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
       if (parent[e] >= 0) {
         rel[parent[e]] = SemijoinAgainstAtom(
             rel[parent[e]], rel[e], query.atoms[e], db,
-            pristine[e] ? cache : nullptr, budget);
+            pristine[e] ? cache : nullptr, budget, arena);
         pristine[parent[e]] = false;
         if (rel[parent[e]].truncated) return truncated_result();
       }
@@ -192,7 +195,7 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
       if (parent[*it] >= 0) {
         rel[*it] = SemijoinAgainstAtom(
             rel[*it], rel[parent[*it]], query.atoms[parent[*it]], db,
-            pristine[parent[*it]] ? cache : nullptr, budget);
+            pristine[parent[*it]] ? cache : nullptr, budget, arena);
         pristine[*it] = false;
         if (rel[*it].truncated) return truncated_result();
       }
@@ -244,7 +247,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
                                       const Database& db,
                                       util::Budget* budget,
-                                      IndexCache* cache) {
+                                      IndexCache* cache,
+                                      util::Arena* arena) {
   std::vector<int> parent, order;
   if (!BuildJoinTree(query, &parent, &order)) return std::nullopt;
   const int m = static_cast<int>(query.atoms.size());
@@ -261,7 +265,7 @@ std::optional<bool> BooleanYannakakis(const JoinQuery& query,
       rel[parent[e]] = SemijoinAgainstAtom(rel[parent[e]], rel[e],
                                            query.atoms[e], db,
                                            pristine[e] ? cache : nullptr,
-                                           budget);
+                                           budget, arena);
       pristine[parent[e]] = false;
     } else {
       root = e;

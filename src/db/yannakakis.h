@@ -20,9 +20,11 @@ bool BuildJoinTree(const JoinQuery& query, std::vector<int>* parent,
 
 /// Semijoin A ⋉ B: tuples of A whose projection onto the shared attributes
 /// occurs in B. Polls `budget` once per probed tuple; on a trip the result
-/// carries the tuples kept so far with `truncated = true`.
+/// carries the tuples kept so far with `truncated = true`. `arena`, when
+/// non-null, backs the key-set sort scratch.
 JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
-                    util::Budget* budget = nullptr);
+                    util::Budget* budget = nullptr,
+                    util::Arena* arena = nullptr);
 
 /// Semijoin A ⋉ B where B is the *pristine* materialization of `b_atom`:
 /// MaterializeAtom(b_atom, db), possibly Normalize()d, but never shrunk by
@@ -37,7 +39,8 @@ JoinResult Semijoin(const JoinResult& a, const JoinResult& b,
 JoinResult SemijoinAgainstAtom(const JoinResult& a, const JoinResult& b,
                                const Atom& b_atom, const Database& db,
                                IndexCache* cache,
-                               util::Budget* budget = nullptr);
+                               util::Budget* budget = nullptr,
+                               util::Arena* arena = nullptr);
 
 /// Yannakakis' algorithm for alpha-acyclic queries: two semijoin sweeps over
 /// the GYO join tree (full reduction), then joins along the tree, keeping
@@ -53,7 +56,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
                                              const Database& db,
                                              JoinStats* stats = nullptr,
                                              util::Budget* budget = nullptr,
-                                             IndexCache* cache = nullptr);
+                                             IndexCache* cache = nullptr,
+                                             util::Arena* arena = nullptr);
 
 /// Boolean acyclic query evaluation: one semijoin sweep towards the root;
 /// nonempty root == nonempty answer. Returns nullopt if cyclic. On a budget
@@ -62,7 +66,8 @@ std::optional<JoinResult> EvaluateYannakakis(const JoinQuery& query,
 std::optional<bool> BooleanYannakakis(const JoinQuery& query,
                                       const Database& db,
                                       util::Budget* budget = nullptr,
-                                      IndexCache* cache = nullptr);
+                                      IndexCache* cache = nullptr,
+                                      util::Arena* arena = nullptr);
 
 }  // namespace qc::db
 

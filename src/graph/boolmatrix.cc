@@ -1,20 +1,63 @@
 #include "graph/boolmatrix.h"
 
+#include <algorithm>
+
+#include "kernels/boolmm.h"
 #include "util/threadpool.h"
 
 namespace qc::graph {
 
+namespace {
+
+/// Row stride: enough words for `cols` bits, padded up to a multiple of 8
+/// words so every row starts 64-byte aligned relative to the first.
+std::size_t PaddedWordsPerRow(int cols) {
+  const std::size_t used = (static_cast<std::size_t>(cols) + 63) / 64;
+  return (used + 7) & ~std::size_t{7};
+}
+
+}  // namespace
+
 BoolMatrix::BoolMatrix(int rows, int cols)
-    : rows_(rows), cols_(cols), data_(rows, util::Bitset(cols)) {}
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(PaddedWordsPerRow(cols)),
+      words_(static_cast<std::size_t>(rows) * PaddedWordsPerRow(cols), 0u) {}
+
+util::Bitset BoolMatrix::Row(int i) const {
+  util::Bitset out(cols_);
+  const std::uint64_t* src = RowWords(i);
+  std::copy(src, src + out.words().size(), out.words().begin());
+  return out;
+}
 
 BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other, int threads) const {
   BoolMatrix c(rows_, other.cols_);
-  auto row_block = [this, &other, &c](std::int64_t lo, std::int64_t hi) {
+  const std::size_t wn = other.words_per_row_;  // == c.words_per_row_
+  auto row_block = [this, &other, &c, wn](std::int64_t lo, std::int64_t hi) {
+    std::vector<int> ks;
     for (std::int64_t i = lo; i < hi; ++i) {
-      const util::Bitset& row = data_[i];
-      util::Bitset& out = c.data_[i];
-      for (int k = row.NextSetBit(0); k >= 0; k = row.NextSetBit(k + 1)) {
-        out |= other.data_[k];
+      // Gather row i's set columns once, then OR the corresponding B rows
+      // into the output in groups of 4 — quartering the dst read/write
+      // traffic of the one-row-at-a-time loop.
+      ks.clear();
+      const std::uint64_t* row = RowWords(static_cast<int>(i));
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        std::uint64_t bits = row[w];
+        while (bits != 0) {
+          ks.push_back(static_cast<int>(w * 64) + __builtin_ctzll(bits));
+          bits &= bits - 1;
+        }
+      }
+      std::uint64_t* out = c.RowWords(static_cast<int>(i));
+      std::size_t t = 0;
+      for (; t + 4 <= ks.size(); t += 4) {
+        kernels::OrWords4(out, other.RowWords(ks[t]),
+                          other.RowWords(ks[t + 1]), other.RowWords(ks[t + 2]),
+                          other.RowWords(ks[t + 3]), wn);
+      }
+      for (; t < ks.size(); ++t) {
+        kernels::OrWords(out, other.RowWords(ks[t]), wn);
       }
     }
   };

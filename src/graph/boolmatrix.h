@@ -1,6 +1,8 @@
 #ifndef QC_GRAPH_BOOLMATRIX_H_
 #define QC_GRAPH_BOOLMATRIX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -8,13 +10,19 @@
 
 namespace qc::graph {
 
-/// Dense Boolean matrix with bitset-packed rows.
+/// Dense Boolean matrix with bit-packed rows in one contiguous allocation.
 ///
 /// This is the project's matrix-multiplication substrate (see DESIGN.md §1):
 /// the paper's omega < 2.3729 algorithms are replaced by word-parallel cubic
 /// multiplication, which preserves the *shape* of every "via matrix
 /// multiplication" claim because it only needs the MM primitive to beat
 /// per-entry scalar work.
+///
+/// Rows are stored row-major with a stride padded to a multiple of 8 words
+/// (64 bytes), so consecutive rows start on cache-line boundaries and the
+/// SIMD OR kernels (kernels::OrWords/OrWords4) stream whole lines with no
+/// per-row tail handling. Padding words are always zero — Set/Test never
+/// touch them — so whole-stride operations are safe and comparisons exact.
 class BoolMatrix {
  public:
   BoolMatrix() = default;
@@ -23,29 +31,54 @@ class BoolMatrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
-  void Set(int i, int j) { data_[i].Set(j); }
-  bool Test(int i, int j) const { return data_[i].Test(j); }
+  void Set(int i, int j) {
+    words_[RowOffset(i) + (static_cast<std::size_t>(j) >> 6)] |=
+        std::uint64_t{1} << (j & 63);
+  }
+  bool Test(int i, int j) const {
+    return (words_[RowOffset(i) + (static_cast<std::size_t>(j) >> 6)] >>
+            (j & 63)) &
+           1u;
+  }
 
-  const util::Bitset& Row(int i) const { return data_[i]; }
+  /// Row `i` materialized as a Bitset (a copy; the matrix itself no longer
+  /// stores per-row Bitset objects). Use RowWords for zero-copy access.
+  util::Bitset Row(int i) const;
+
+  /// Words of row `i`: words_per_row() words, bits beyond cols() are zero.
+  const std::uint64_t* RowWords(int i) const {
+    return words_.data() + RowOffset(i);
+  }
+  std::uint64_t* RowWords(int i) { return words_.data() + RowOffset(i); }
+
+  /// Padded row stride in 64-bit words (a multiple of 8).
+  std::size_t words_per_row() const { return words_per_row_; }
 
   /// Boolean product: (A*B)[i][j] = OR_k A[i][k] AND B[k][j].
-  /// Runs in O(rows * A.cols * B.cols/64) word operations. Row blocks are
-  /// computed in parallel on `threads` workers (0 = the QC_THREADS default);
-  /// every row is written independently, so the product is bit-identical at
-  /// any thread count.
+  /// Runs in O(rows * A.cols * B.cols/64) word operations through the
+  /// dispatched OR kernels, 4 source rows per pass. Row blocks are computed
+  /// in parallel on `threads` workers (0 = the QC_THREADS default); every
+  /// row is written independently, so the product is bit-identical at any
+  /// thread count and any QC_SIMD level.
   BoolMatrix Multiply(const BoolMatrix& other, int threads = 0) const;
 
   /// Adjacency matrix of g.
   static BoolMatrix FromGraph(const Graph& g);
 
   bool operator==(const BoolMatrix& other) const {
+    // Equal dims imply equal strides, and padding is identically zero.
     return rows_ == other.rows_ && cols_ == other.cols_ &&
-           data_ == other.data_;
+           words_ == other.words_;
   }
 
  private:
+  std::size_t RowOffset(int i) const {
+    return static_cast<std::size_t>(i) * words_per_row_;
+  }
+
   int rows_ = 0, cols_ = 0;
-  std::vector<util::Bitset> data_;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace qc::graph

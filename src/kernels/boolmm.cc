@@ -1,0 +1,146 @@
+#include "kernels/boolmm.h"
+
+#include "kernels/dispatch.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define QC_KERNELS_X86 1
+#endif
+
+namespace qc::kernels {
+
+void OrWordsScalar(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void OrWords4Scalar(std::uint64_t* dst, const std::uint64_t* s0,
+                    const std::uint64_t* s1, const std::uint64_t* s2,
+                    const std::uint64_t* s3, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] |= (s0[i] | s1[i]) | (s2[i] | s3[i]);
+  }
+}
+
+#if defined(QC_KERNELS_X86)
+
+__attribute__((target("avx2"))) void OrWordsAvx2(std::uint64_t* dst,
+                                                 const std::uint64_t* src,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void OrWords4Avx2(
+    std::uint64_t* dst, const std::uint64_t* s0, const std::uint64_t* s1,
+    const std::uint64_t* s2, const std::uint64_t* s3, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2 + i));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s3 + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i merged = _mm256_or_si256(_mm256_or_si256(v0, v1),
+                                           _mm256_or_si256(v2, v3));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, merged));
+  }
+  for (; i < n; ++i) dst[i] |= (s0[i] | s1[i]) | (s2[i] | s3[i]);
+}
+
+__attribute__((target("avx512f"))) void OrWordsAvx512(std::uint64_t* dst,
+                                                      const std::uint64_t* src,
+                                                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx512f"))) void OrWords4Avx512(
+    std::uint64_t* dst, const std::uint64_t* s0, const std::uint64_t* s1,
+    const std::uint64_t* s2, const std::uint64_t* s3, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v0 = _mm512_loadu_si512(s0 + i);
+    const __m512i v1 = _mm512_loadu_si512(s1 + i);
+    const __m512i v2 = _mm512_loadu_si512(s2 + i);
+    const __m512i v3 = _mm512_loadu_si512(s3 + i);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i merged = _mm512_or_si512(_mm512_or_si512(v0, v1),
+                                           _mm512_or_si512(v2, v3));
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(d, merged));
+  }
+  for (; i < n; ++i) dst[i] |= (s0[i] | s1[i]) | (s2[i] | s3[i]);
+}
+
+#else  // !QC_KERNELS_X86
+
+void OrWordsAvx2(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  OrWordsScalar(dst, src, n);
+}
+void OrWords4Avx2(std::uint64_t* dst, const std::uint64_t* s0,
+                  const std::uint64_t* s1, const std::uint64_t* s2,
+                  const std::uint64_t* s3, std::size_t n) {
+  OrWords4Scalar(dst, s0, s1, s2, s3, n);
+}
+void OrWordsAvx512(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  OrWordsScalar(dst, src, n);
+}
+void OrWords4Avx512(std::uint64_t* dst, const std::uint64_t* s0,
+                    const std::uint64_t* s1, const std::uint64_t* s2,
+                    const std::uint64_t* s3, std::size_t n) {
+  OrWords4Scalar(dst, s0, s1, s2, s3, n);
+}
+
+#endif  // QC_KERNELS_X86
+
+void OrWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx512:
+      OrWordsAvx512(dst, src, n);
+      return;
+    case SimdLevel::kAvx2:
+      OrWordsAvx2(dst, src, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  OrWordsScalar(dst, src, n);
+}
+
+void OrWords4(std::uint64_t* dst, const std::uint64_t* s0,
+              const std::uint64_t* s1, const std::uint64_t* s2,
+              const std::uint64_t* s3, std::size_t n) {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx512:
+      OrWords4Avx512(dst, s0, s1, s2, s3, n);
+      return;
+    case SimdLevel::kAvx2:
+      OrWords4Avx2(dst, s0, s1, s2, s3, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  OrWords4Scalar(dst, s0, s1, s2, s3, n);
+}
+
+}  // namespace qc::kernels

@@ -1,0 +1,41 @@
+#ifndef QC_KERNELS_BOOLMM_H_
+#define QC_KERNELS_BOOLMM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qc::kernels {
+
+/// Word-parallel OR kernels behind BoolMatrix::Multiply (DESIGN.md §12).
+///
+/// The Boolean product's inner loop is "dst |= B.row(k)" over the set bits
+/// k of A's row. OrWords is that primitive; OrWords4 is the blocked form
+/// that folds four source rows per pass, quartering the dst load/store
+/// traffic that dominates the scalar loop. Rows of the contiguous
+/// BoolMatrix layout are 64-byte aligned in stride, so the 256/512-bit
+/// variants stream whole cache lines. Dispatched on ActiveSimdLevel();
+/// all variants are bitwise-identical.
+void OrWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+void OrWords4(std::uint64_t* dst, const std::uint64_t* s0,
+              const std::uint64_t* s1, const std::uint64_t* s2,
+              const std::uint64_t* s3, std::size_t n);
+
+/// Per-level implementations, exposed for the equivalence tests.
+void OrWordsScalar(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+void OrWords4Scalar(std::uint64_t* dst, const std::uint64_t* s0,
+                    const std::uint64_t* s1, const std::uint64_t* s2,
+                    const std::uint64_t* s3, std::size_t n);
+void OrWordsAvx2(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+void OrWords4Avx2(std::uint64_t* dst, const std::uint64_t* s0,
+                  const std::uint64_t* s1, const std::uint64_t* s2,
+                  const std::uint64_t* s3, std::size_t n);
+void OrWordsAvx512(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+void OrWords4Avx512(std::uint64_t* dst, const std::uint64_t* s0,
+                    const std::uint64_t* s1, const std::uint64_t* s2,
+                    const std::uint64_t* s3, std::size_t n);
+
+}  // namespace qc::kernels
+
+#endif  // QC_KERNELS_BOOLMM_H_

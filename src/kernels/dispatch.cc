@@ -1,0 +1,84 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qc::kernels {
+
+namespace {
+
+SimdLevel ProbeCpu() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  // AVX512BW gives the epi64 mask compares + byte ops and AVX512VL the
+  // 256-bit masked compress-stores the kernels use on top of the F
+  // foundation; every AVX-512 server part since Skylake-X has all three,
+  // so requiring the trio costs nothing real and keeps the kernels free
+  // of per-instruction feature checks.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ResolveFromEnv() {
+  SimdLevel best = BestSupportedSimdLevel();
+  const char* env = std::getenv("QC_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  SimdLevel asked = best;
+  if (std::strcmp(env, "scalar") == 0) {
+    asked = SimdLevel::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    asked = SimdLevel::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    asked = SimdLevel::kAvx512;
+  }
+  return asked <= best ? asked : best;
+}
+
+std::atomic<int>& ActiveSlot() {
+  static std::atomic<int> active(-1);
+  return active;
+}
+
+}  // namespace
+
+SimdLevel BestSupportedSimdLevel() {
+  static const SimdLevel best = ProbeCpu();
+  return best;
+}
+
+SimdLevel ActiveSimdLevel() {
+  int cur = ActiveSlot().load(std::memory_order_acquire);
+  if (cur >= 0) return static_cast<SimdLevel>(cur);
+  SimdLevel resolved = ResolveFromEnv();
+  int expected = -1;
+  ActiveSlot().compare_exchange_strong(expected, static_cast<int>(resolved),
+                                       std::memory_order_acq_rel);
+  return static_cast<SimdLevel>(ActiveSlot().load(std::memory_order_acquire));
+}
+
+SimdLevel ForceSimdLevel(SimdLevel level) {
+  SimdLevel best = BestSupportedSimdLevel();
+  SimdLevel installed = level <= best ? level : best;
+  ActiveSlot().store(static_cast<int>(installed), std::memory_order_release);
+  return installed;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+}  // namespace qc::kernels

@@ -1,0 +1,33 @@
+#ifndef QC_KERNELS_DISPATCH_H_
+#define QC_KERNELS_DISPATCH_H_
+
+namespace qc::kernels {
+
+/// Instruction-set tier of the kernel layer, ordered so "wider" compares
+/// greater. Every kernel in src/kernels/ has a scalar reference
+/// implementation plus AVX2/AVX-512 variants compiled behind per-function
+/// target attributes; the variant actually run is chosen once per process.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The widest level this CPU can execute (cpuid probe, cached).
+SimdLevel BestSupportedSimdLevel();
+
+/// The level the dispatched kernels run at. Resolved once on first use:
+/// the QC_SIMD environment variable (scalar | avx2 | avx512) when set and
+/// supported — an unsupported or unrecognized request clamps down to
+/// BestSupportedSimdLevel() — else the best supported level. Every
+/// RunReport records this under "stats.simd_level", so numbers from
+/// different machines are always attributable to the path that ran.
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the active level for tests and benchmarks (clamped to
+/// BestSupportedSimdLevel()). Returns the level actually installed.
+/// Process-global; not meant for concurrent use with running kernels.
+SimdLevel ForceSimdLevel(SimdLevel level);
+
+/// "scalar" | "avx2" | "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace qc::kernels
+
+#endif  // QC_KERNELS_DISPATCH_H_

@@ -1,0 +1,253 @@
+#include "kernels/intersect.h"
+
+#include <algorithm>
+
+#include "kernels/dispatch.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define QC_KERNELS_X86 1
+#endif
+
+namespace qc::kernels {
+
+namespace {
+
+/// Scalar merge over the remaining suffixes — the tail of every blocked
+/// variant and the body of the scalar reference.
+std::size_t MergeTail(const std::int64_t* a, std::size_t i, std::size_t na,
+                      const std::int64_t* b, std::size_t j, std::size_t nb,
+                      std::int32_t* pos_a, std::int32_t* pos_b,
+                      std::size_t k) {
+  while (i < na && j < nb) {
+    const std::int64_t x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      pos_a[k] = static_cast<std::int32_t>(i);
+      pos_b[k] = static_cast<std::int32_t>(j);
+      ++k;
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+/// First index in [lo, n) with arr[index] >= target: doubling probe from
+/// `lo`, then bounded binary search. The building block of the gallop
+/// variant.
+std::size_t GallopLowerBound(const std::int64_t* arr, std::size_t lo,
+                             std::size_t n, std::int64_t target) {
+  std::size_t offset = 1;
+  while (lo + offset < n && arr[lo + offset] < target) offset <<= 1;
+  std::size_t begin = lo + offset / 2;
+  std::size_t end = std::min(lo + offset + 1, n);
+  return static_cast<std::size_t>(
+      std::lower_bound(arr + begin, arr + end, target) - arr);
+}
+
+}  // namespace
+
+std::size_t IntersectPairPositionsScalar(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b) {
+  return MergeTail(a, 0, na, b, 0, nb, pos_a, pos_b, 0);
+}
+
+std::size_t IntersectPairPositionsGallop(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b) {
+  std::size_t k = 0, j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const std::int64_t x = a[i];
+    if (b[j] < x) {
+      j = GallopLowerBound(b, j, nb, x);
+      if (j == nb) break;
+    }
+    if (b[j] == x) {
+      pos_a[k] = static_cast<std::int32_t>(i);
+      pos_b[k] = static_cast<std::int32_t>(j);
+      ++k;
+      ++j;
+    }
+  }
+  return k;
+}
+
+#if defined(QC_KERNELS_X86)
+
+__attribute__((target("avx2"))) std::size_t IntersectPairPositionsAvx2(
+    const std::int64_t* a, std::size_t na, const std::int64_t* b,
+    std::size_t nb, std::int32_t* pos_a, std::int32_t* pos_b) {
+  std::size_t i = 0, j = 0, k = 0;
+  // All-pairs 4x4 block compare: one 256-bit load per side, the b block
+  // rotated through its 4 lane orders so every (a-lane, b-lane) pair meets
+  // exactly one cmpeq. Inputs are strictly increasing, so each a-lane
+  // matches at most one rotation; because a lane hits rotation r exactly
+  // when bit l of m_r is set, the two bits of r are recovered without a
+  // search as OR-combinations of the rotation masks. The block advance is
+  // branchless — the only data-dependent branches left are the
+  // non-overlap skips, which are near-perfectly predicted on both dense
+  // (never taken) and disjoint (always taken) inputs.
+  while (i + 4 <= na && j + 4 <= nb) {
+    if (a[i + 3] < b[j]) {
+      i += 4;
+      continue;
+    }
+    if (b[j + 3] < a[i]) {
+      j += 4;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i vb1 = _mm256_permute4x64_epi64(vb, 0x39);  // lanes 1,2,3,0
+    const __m256i vb2 = _mm256_permute4x64_epi64(vb, 0x4E);  // lanes 2,3,0,1
+    const __m256i vb3 = _mm256_permute4x64_epi64(vb, 0x93);  // lanes 3,0,1,2
+    const unsigned m0 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb))));
+    const unsigned m1 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb1))));
+    const unsigned m2 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb2))));
+    const unsigned m3 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb3))));
+    const unsigned r_bit0 = m1 | m3;  // rotations 1 and 3 set bit 0 of r
+    const unsigned r_bit1 = m2 | m3;  // rotations 2 and 3 set bit 1 of r
+    unsigned any = m0 | r_bit0 | r_bit1;
+    while (any != 0) {
+      const int l = __builtin_ctz(any);
+      any &= any - 1;
+      const int r = static_cast<int>((r_bit0 >> l) & 1u) |
+                    (static_cast<int>((r_bit1 >> l) & 1u) << 1);
+      pos_a[k] = static_cast<std::int32_t>(i + static_cast<std::size_t>(l));
+      pos_b[k] = static_cast<std::int32_t>(
+          j + static_cast<std::size_t>((l + r) & 3));
+      ++k;
+    }
+    const std::size_t step_a = a[i + 3] <= b[j + 3] ? 4 : 0;
+    const std::size_t step_b = b[j + 3] <= a[i + 3] ? 4 : 0;
+    i += step_a;
+    j += step_b;
+  }
+  return MergeTail(a, i, na, b, j, nb, pos_a, pos_b, k);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) std::size_t
+IntersectPairPositionsAvx512(const std::int64_t* a, std::size_t na,
+                             const std::int64_t* b, std::size_t nb,
+                             std::int32_t* pos_a, std::int32_t* pos_b) {
+  std::size_t i = 0, j = 0, k = 0;
+  const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i ones = _mm256_set1_epi32(1);
+  const __m256i twos = _mm256_set1_epi32(2);
+  const __m256i fours = _mm256_set1_epi32(4);
+  const __m256i seven = _mm256_set1_epi32(7);
+  // 8x8 all-pairs block: valignq(vb, vb, r) rotates the b block left by r
+  // lanes, so rotation r's lane-l hit pairs a[i+l] with b[j+((l+r)&7)].
+  // Each a lane matches at most one rotation, so the three bits of r are
+  // plain ORs of the rotation masks; both position streams are then formed
+  // in-register and emitted with one mask-compressed store each — the
+  // whole block body is branch-free.
+  while (i + 8 <= na && j + 8 <= nb) {
+    if (a[i + 7] < b[j]) {
+      i += 8;
+      continue;
+    }
+    if (b[j + 7] < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    const __mmask8 m0 = _mm512_cmpeq_epi64_mask(va, vb);
+    const __mmask8 m1 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 1));
+    const __mmask8 m2 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 2));
+    const __mmask8 m3 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 3));
+    const __mmask8 m4 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 4));
+    const __mmask8 m5 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 5));
+    const __mmask8 m6 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 6));
+    const __mmask8 m7 =
+        _mm512_cmpeq_epi64_mask(va, _mm512_alignr_epi64(vb, vb, 7));
+    const __mmask8 r_bit0 = m1 | m3 | m5 | m7;
+    const __mmask8 r_bit1 = m2 | m3 | m6 | m7;
+    const __mmask8 r_bit2 = m4 | m5 | m6 | m7;
+    const __mmask8 any = m0 | r_bit0 | r_bit1 | r_bit2;
+    if (any != 0) {
+      const __m256i a_lanes =
+          _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(i)), lane_ids);
+      const __m256i r = _mm256_or_si256(
+          _mm256_or_si256(_mm256_maskz_mov_epi32(r_bit0, ones),
+                          _mm256_maskz_mov_epi32(r_bit1, twos)),
+          _mm256_maskz_mov_epi32(r_bit2, fours));
+      const __m256i b_lanes = _mm256_add_epi32(
+          _mm256_set1_epi32(static_cast<int>(j)),
+          _mm256_and_si256(_mm256_add_epi32(lane_ids, r), seven));
+      _mm256_mask_compressstoreu_epi32(pos_a + k, any, a_lanes);
+      _mm256_mask_compressstoreu_epi32(pos_b + k, any, b_lanes);
+      k += static_cast<std::size_t>(__builtin_popcount(any));
+    }
+    const std::size_t step_a = a[i + 7] <= b[j + 7] ? 8 : 0;
+    const std::size_t step_b = b[j + 7] <= a[i + 7] ? 8 : 0;
+    i += step_a;
+    j += step_b;
+  }
+  return MergeTail(a, i, na, b, j, nb, pos_a, pos_b, k);
+}
+
+#else  // !QC_KERNELS_X86: the SIMD names stay callable, running the
+       // reference implementation.
+
+std::size_t IntersectPairPositionsAvx2(const std::int64_t* a, std::size_t na,
+                                       const std::int64_t* b, std::size_t nb,
+                                       std::int32_t* pos_a,
+                                       std::int32_t* pos_b) {
+  return IntersectPairPositionsScalar(a, na, b, nb, pos_a, pos_b);
+}
+
+std::size_t IntersectPairPositionsAvx512(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b) {
+  return IntersectPairPositionsScalar(a, na, b, nb, pos_a, pos_b);
+}
+
+#endif  // QC_KERNELS_X86
+
+std::size_t IntersectPairPositions(const std::int64_t* a, std::size_t na,
+                                   const std::int64_t* b, std::size_t nb,
+                                   std::int32_t* pos_a, std::int32_t* pos_b) {
+  if (na == 0 || nb == 0) return 0;
+  // Skewed pairs gallop: the block compare would stream the long side for
+  // nothing. The short side must drive the gallop.
+  if (na > nb * kGallopSkewRatio) {
+    std::size_t k = IntersectPairPositionsGallop(b, nb, a, na, pos_b, pos_a);
+    return k;
+  }
+  if (nb > na * kGallopSkewRatio) {
+    return IntersectPairPositionsGallop(a, na, b, nb, pos_a, pos_b);
+  }
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx512:
+      return IntersectPairPositionsAvx512(a, na, b, nb, pos_a, pos_b);
+    case SimdLevel::kAvx2:
+      return IntersectPairPositionsAvx2(a, na, b, nb, pos_a, pos_b);
+    case SimdLevel::kScalar:
+      break;
+  }
+  return IntersectPairPositionsScalar(a, na, b, nb, pos_a, pos_b);
+}
+
+}  // namespace qc::kernels

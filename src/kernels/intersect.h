@@ -1,0 +1,61 @@
+#ifndef QC_KERNELS_INTERSECT_H_
+#define QC_KERNELS_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qc::kernels {
+
+/// Sorted-set intersection with positions, the per-level primitive behind
+/// leapfrog triejoin (DESIGN.md §12).
+///
+/// Inputs are STRICTLY increasing 64-bit values (trie level spans are
+/// deduplicated by construction, so every a-element matches at most one
+/// b-element). For each common value, ascending, the kernel records the
+/// matching index into `pos_a` / `pos_b` and returns the match count.
+/// Capacity of both position arrays must be >= min(na, nb); na and nb must
+/// fit in int32.
+///
+/// All variants produce byte-identical outputs; the property tests compare
+/// them over randomized sizes, alignments and adversarial skew. The SIMD
+/// variants run an all-pairs block compare (4x4 epi64 lanes under AVX2,
+/// 8x8 under AVX-512: one load pair plus lane rotations and mask extraction
+/// per block) with a scalar merge tail; on hardware without the level they
+/// fall back to the scalar reference.
+std::size_t IntersectPairPositionsScalar(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b);
+std::size_t IntersectPairPositionsAvx2(const std::int64_t* a, std::size_t na,
+                                       const std::int64_t* b, std::size_t nb,
+                                       std::int32_t* pos_a, std::int32_t* pos_b);
+std::size_t IntersectPairPositionsAvx512(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b);
+
+/// Galloping variant for skewed pairs (one side many times the other): the
+/// short side drives, each element located in the long side by a doubling
+/// probe + bounded binary search — O(short * log(long/short)). Output is
+/// identical to the merge kernels. `a` must be the short side for the
+/// complexity claim to hold; correctness does not depend on it.
+std::size_t IntersectPairPositionsGallop(const std::int64_t* a, std::size_t na,
+                                         const std::int64_t* b, std::size_t nb,
+                                         std::int32_t* pos_a,
+                                         std::int32_t* pos_b);
+
+/// Dispatched entry point: galloping when the size ratio exceeds
+/// kGallopSkewRatio (SIMD block compares cannot amortize a span they mostly
+/// skip), else the widest variant ActiveSimdLevel() allows.
+std::size_t IntersectPairPositions(const std::int64_t* a, std::size_t na,
+                                   const std::int64_t* b, std::size_t nb,
+                                   std::int32_t* pos_a, std::int32_t* pos_b);
+
+/// Skew threshold above which IntersectPairPositions gallops instead of
+/// block-comparing. Exposed so engine-side span heuristics and the
+/// microbenchmarks agree with the kernel's own policy.
+inline constexpr std::size_t kGallopSkewRatio = 32;
+
+}  // namespace qc::kernels
+
+#endif  // QC_KERNELS_INTERSECT_H_

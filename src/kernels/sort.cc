@@ -1,0 +1,73 @@
+#include "kernels/sort.h"
+
+#include <cstring>
+#include <utility>
+
+namespace qc::kernels {
+
+namespace {
+
+/// Maps int64 to uint64 preserving order (flips the sign bit).
+inline std::uint64_t Bias(std::int64_t v) {
+  return static_cast<std::uint64_t>(v) ^ (std::uint64_t{1} << 63);
+}
+
+}  // namespace
+
+void SortRowsByColumns(const std::int64_t* base, std::size_t stride,
+                       std::size_t n, const std::int32_t* cols,
+                       std::size_t ncols, std::uint32_t* idx,
+                       util::Arena* arena) {
+  if (n <= 1 || ncols == 0) return;
+  util::Arena local;
+  util::Arena* a = arena != nullptr ? arena : &local;
+  std::uint64_t* keys = a->AllocateArray<std::uint64_t>(n);
+  std::uint64_t* tmp_keys = a->AllocateArray<std::uint64_t>(n);
+  std::uint32_t* tmp_idx = a->AllocateArray<std::uint32_t>(n);
+
+  // LSD over columns: least-significant column first; stability of each
+  // column's byte passes makes the whole order lexicographic by the end.
+  for (std::size_t c = ncols; c-- > 0;) {
+    const std::int32_t col = cols[c];
+    // One gather pass materializes the column in current idx order and
+    // histograms all 8 byte positions at once.
+    std::size_t hist[8][256];
+    std::memset(hist, 0, sizeof(hist));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key =
+          Bias(base[static_cast<std::size_t>(idx[i]) * stride + col]);
+      keys[i] = key;
+      for (int byte = 0; byte < 8; ++byte) {
+        ++hist[byte][(key >> (byte * 8)) & 0xFF];
+      }
+    }
+    std::uint64_t* k_src = keys;
+    std::uint64_t* k_dst = tmp_keys;
+    std::uint32_t* i_src = idx;
+    std::uint32_t* i_dst = tmp_idx;
+    for (int byte = 0; byte < 8; ++byte) {
+      std::size_t* counts = hist[byte];
+      // All keys share this byte: nothing to move.
+      if (counts[(k_src[0] >> (byte * 8)) & 0xFF] == n) continue;
+      std::size_t offsets[256];
+      std::size_t running = 0;
+      for (int d = 0; d < 256; ++d) {
+        offsets[d] = running;
+        running += counts[d];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t slot = offsets[(k_src[i] >> (byte * 8)) & 0xFF]++;
+        k_dst[slot] = k_src[i];
+        i_dst[slot] = i_src[i];
+      }
+      std::swap(k_src, k_dst);
+      std::swap(i_src, i_dst);
+    }
+    // An odd number of scatter passes leaves the live permutation in the
+    // temporary; copy it home (keys need no copy — they are rebuilt from
+    // the next column).
+    if (i_src != idx) std::memcpy(idx, i_src, n * sizeof(std::uint32_t));
+  }
+}
+
+}  // namespace qc::kernels

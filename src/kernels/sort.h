@@ -1,0 +1,43 @@
+#ifndef QC_KERNELS_SORT_H_
+#define QC_KERNELS_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/arena.h"
+
+namespace qc::kernels {
+
+/// Stable LSD radix sort of a row permutation (DESIGN.md §12).
+///
+/// Sorts `idx` (a permutation of [0, n), in place) so that the rows
+/// base[idx[i] * stride ...] are ordered lexicographically by the columns
+/// `cols[0..ncols)` in that significance order (cols[0] most significant).
+/// Ties beyond the listed columns keep their incoming `idx` order (the sort
+/// is stable), so callers append tie-breaking columns rather than relying
+/// on input order.
+///
+/// This replaces the comparison sort in the trie build's materialize+sort
+/// phase: columns are processed least-significant first, each one
+/// materialized into a contiguous biased-u64 key buffer and sorted with
+/// byte-wise counting passes. A single prefix scan per column histograms
+/// all 8 byte positions at once and passes over bytes on which every key
+/// agrees are skipped, so a column of small IDs costs 1-2 scatter passes
+/// instead of the log(n) cache-missing gather comparisons per element of
+/// std::sort. Signed order is preserved by biasing keys with the sign bit.
+///
+/// Scratch (three n-sized buffers) comes from `arena` when non-null, else
+/// from a function-local allocation.
+void SortRowsByColumns(const std::int64_t* base, std::size_t stride,
+                       std::size_t n, const std::int32_t* cols,
+                       std::size_t ncols, std::uint32_t* idx,
+                       util::Arena* arena);
+
+/// Row count below which SortRowsByColumns is not expected to beat a
+/// comparison sort; FlatRelation::SortLexAndDedup's auto policy switches
+/// on this bound.
+inline constexpr std::size_t kRadixMinRows = 128;
+
+}  // namespace qc::kernels
+
+#endif  // QC_KERNELS_SORT_H_

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "kernels/dispatch.h"
 #include "util/json.h"
 
 namespace qc::util {
@@ -54,6 +55,11 @@ void RunReport::Emit(JsonWriter& w) const {
   w.Key("bytes").Uint(cache.bytes);
   w.Key("capacity_bytes").Uint(cache.capacity_bytes);
   w.Key("entries").Uint(cache.entries);
+  w.EndObject();
+  w.Key("stats").BeginObject();
+  w.Key("simd_level")
+      .String(kernels::SimdLevelName(kernels::ActiveSimdLevel()));
+  w.Key("arena_high_water_bytes").Uint(stats.arena_high_water_bytes);
   w.EndObject();
   w.Key("counters").BeginObject();
   for (const auto& [key, value] : counters.items()) {

@@ -30,6 +30,8 @@ class JsonWriter;
 ///                 "rows_used": 4, "row_limit": 0 },
 ///     "cache":  { "enabled": false, "hits": 0, "misses": 0, "evictions": 0,
 ///                 "bytes": 0, "capacity_bytes": 0, "entries": 0 },
+///     "stats":  { "simd_level": "avx512",   // dispatched kernel level
+///                 "arena_high_water_bytes": 0 },
 ///     "counters": { "generic_join.nodes": 10, ... },  // monotonic keys
 ///     "gauges":   { "threads": 8, ... },              // level keys
 ///     "spans": [ { "name": "generic_join", "count": 1, "total_ms": 12.1,
@@ -65,6 +67,17 @@ struct RunReport {
     std::uint64_t entries = 0;
   };
   CacheUsage cache;
+
+  /// Execution-substrate stats, serialized as the "stats" object. The SIMD
+  /// level is read at Emit() time straight from kernels::ActiveSimdLevel()
+  /// (qc_util links qc_kernels), so every report truthfully records the
+  /// dispatched kernel path with zero per-tool wiring; the arena high-water
+  /// mark is filled by owners that route scratch through a util::Arena
+  /// (0 = no arena in use).
+  struct SubstrateStats {
+    std::uint64_t arena_high_water_bytes = 0;
+  };
+  SubstrateStats stats;
 
   /// Merged counters + gauges (Counters keeps the kind split).
   Counters counters;

@@ -16,6 +16,7 @@
 #include "db/database.h"
 #include "db/generic_join.h"
 #include "gtest/gtest.h"
+#include "kernels/dispatch.h"
 #include "util/budget.h"
 #include "util/counters.h"
 #include "util/metrics.h"
@@ -439,9 +440,17 @@ TEST(RunReportTest, TriangleJoinReportIsValidJsonWithAllSections) {
   // Required top-level sections.
   for (const char* key : {"\"tool\"", "\"status\"", "\"exit_code\"",
                           "\"threads\"", "\"wall_ms\"", "\"budget\"",
-                          "\"counters\"", "\"gauges\"", "\"spans\""}) {
+                          "\"stats\"", "\"counters\"", "\"gauges\"",
+                          "\"spans\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+  // The stats section records the dispatched kernel level truthfully.
+  EXPECT_NE(json.find("\"simd_level\": \"" +
+                      std::string(kernels::SimdLevelName(
+                          kernels::ActiveSimdLevel())) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"arena_high_water_bytes\": "), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"completed\""), std::string::npos);
   EXPECT_NE(json.find("\"rows_used\": "), std::string::npos);
   // The traced run landed in the span tree; counters and gauges are split.

@@ -21,6 +21,8 @@ KNOWN_STATUSES = {
     "internal-error",
 }
 
+KNOWN_SIMD_LEVELS = {"scalar", "avx2", "avx512"}
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -63,6 +65,7 @@ def check_report(path):
     check_type(path, report, "wall_ms", (int, float))
     check_type(path, report, "budget", dict)
     check_type(path, report, "cache", dict)
+    check_type(path, report, "stats", dict)
     check_type(path, report, "counters", dict)
     check_type(path, report, "gauges", dict)
     check_type(path, report, "spans", list)
@@ -92,6 +95,16 @@ def check_report(path):
             cache[k] for k in ("hits", "misses", "bytes", "entries")):
         fail(path, "cache disabled but reports nonzero usage")
 
+    # Execution-substrate stats: the kernel SIMD level the run dispatched to
+    # and the per-query arena scratch footprint (0 = no arena in use).
+    stats = report["stats"]
+    check_type(path, stats, "simd_level", str)
+    if stats["simd_level"] not in KNOWN_SIMD_LEVELS:
+        fail(path, f"unknown stats.simd_level {stats['simd_level']!r}")
+    check_type(path, stats, "arena_high_water_bytes", int)
+    if stats["arena_high_water_bytes"] < 0:
+        fail(path, "stats.arena_high_water_bytes is negative")
+
     for section in ("counters", "gauges"):
         for key, value in report[section].items():
             if not isinstance(value, int) or value < 0:
@@ -119,6 +132,7 @@ def check_report(path):
 
     served = " (served)" if "server" in report else ""
     print(f"{path}: ok ({report['tool']}, status={report['status']}, "
+          f"simd={stats['simd_level']}, "
           f"{len(report['spans'])} top-level spans){served}")
 
 

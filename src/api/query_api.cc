@@ -1,14 +1,19 @@
 #include "api/query_api.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <new>
+#include <set>
 
 #include "core/analyzer.h"
 #include "core/autosolver.h"
 #include "db/parser.h"
 #include "kernels/dispatch.h"
 #include "util/arena.h"
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace qc::api {
@@ -42,9 +47,10 @@ bool IsBlankOrComment(const std::string& line) {
 
 }  // namespace
 
-DatasetLoad LoadDataset(const std::string& text, db::Database* db,
-                        bool continue_on_error) {
-  DatasetLoad out;
+DatasetStaging StageDataset(const std::string& text, const db::Database& db,
+                            bool continue_on_error) {
+  DatasetStaging staging;
+  DatasetLoad& out = staging.load;
   std::vector<StagedBlock> blocks;
   StagedBlock* current = nullptr;
 
@@ -116,8 +122,8 @@ DatasetLoad LoadDataset(const std::string& text, db::Database* db,
     int expected = -1;
     if (it != arity.end()) {
       expected = it->second;
-    } else if (db->HasRelation(block.relation)) {
-      expected = db->Arity(block.relation);
+    } else if (db.HasRelation(block.relation)) {
+      expected = db.Arity(block.relation);
       arity[block.relation] = expected;
     }
     std::vector<StagedRow> kept;
@@ -147,42 +153,104 @@ DatasetLoad LoadDataset(const std::string& text, db::Database* db,
     out.ok = false;
     out.applied = false;
     out.tuples_skipped = 0;
-    return out;
+    return staging;
   }
 
-  // Pass 3: apply, block order preserved (repeated blocks append).
-  for (const StagedBlock& block : blocks) {
-    if (!db->HasRelation(block.relation)) {
-      std::vector<db::Tuple> tuples;
-      tuples.reserve(block.rows.size());
-      for (const StagedRow& row : block.rows) tuples.push_back(row.tuple);
-      db::MutationResult set = db->SetRelation(
-          block.relation, arity.at(block.relation), std::move(tuples));
-      if (!set) {  // Unreachable after validation; surfaced, not ignored.
-        out.diagnostics.push_back({block.header_line, set.message});
-        out.ok = false;
-        return out;
-      }
-      out.tuples_applied += block.rows.size();
-      continue;
+  // Resolve blocks into apply-ready batches, block order preserved. The
+  // FIRST block of a name the database does not know creates the relation;
+  // every later block of that name (and every block of an existing name)
+  // appends — the same decision pass 3 used to make against the live
+  // database mid-apply.
+  std::set<std::string> created;
+  staging.blocks.reserve(blocks.size());
+  for (StagedBlock& block : blocks) {
+    DatasetStaging::Block resolved;
+    resolved.relation = block.relation;
+    resolved.header_line = block.header_line;
+    resolved.arity = arity.at(block.relation);
+    resolved.create =
+        !db.HasRelation(block.relation) && created.insert(block.relation).second;
+    resolved.tuples.reserve(block.rows.size());
+    for (StagedRow& row : block.rows) {
+      resolved.tuples.push_back(std::move(row.tuple));
     }
-    for (const StagedRow& row : block.rows) {
-      db::MutationResult added = db->AddTuple(block.relation, row.tuple);
-      if (!added) {
-        out.diagnostics.push_back({row.line, added.message});
-        out.ok = false;
-        return out;
-      }
-      ++out.tuples_applied;
-    }
+    staging.blocks.push_back(std::move(resolved));
   }
   out.ok = true;
+  return staging;
+}
+
+db::MutationResult ApplyDataset(DatasetStaging* staging, db::Database* db) {
+  DatasetLoad& out = staging->load;
+  if (!out.ok) {
+    return db::MutationResult::Fail("dataset staging was rejected");
+  }
+  for (DatasetStaging::Block& block : staging->blocks) {
+    db::MutationResult r;
+    if (block.create) {
+      const std::size_t rows = block.tuples.size();
+      r = db->SetRelation(block.relation, block.arity,
+                          std::move(block.tuples));
+      if (r) out.tuples_applied += rows;
+    } else {
+      // Unreachable failures after staging validated arities — but the
+      // database may have changed if the caller broke the same-state
+      // contract, so surface instead of ignoring.
+      for (db::Tuple& tuple : block.tuples) {
+        r = db->AddTuple(block.relation, std::move(tuple));
+        if (!r) break;
+        ++out.tuples_applied;
+      }
+    }
+    if (!r) {
+      out.diagnostics.push_back({block.header_line, r.message});
+      out.ok = false;
+      return r;
+    }
+  }
   out.applied = true;
+  return db::MutationResult::Ok();
+}
+
+DatasetLoad LoadDataset(const std::string& text, db::Database* db,
+                        bool continue_on_error) {
+  DatasetStaging staging = StageDataset(text, *db, continue_on_error);
+  if (staging.load.ok) ApplyDataset(&staging, db);
+  return std::move(staging.load);
+}
+
+DatasetFileLoad LoadDatasetFile(const std::string& path, db::Database* db,
+                                bool continue_on_error) {
+  DatasetFileLoad out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.io_error = path + ": " + std::strerror(errno);
+    return out;
+  }
+  std::string text;
+  char buf[1 << 16];
+  while (true) {
+    std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    text.append(buf, n);
+    if (n < sizeof(buf)) {
+      if (std::ferror(f)) {
+        out.io_error = path + ": read error: " + std::strerror(errno);
+        std::fclose(f);
+        return out;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  out.io_ok = true;
+  out.load = LoadDataset(text, db, continue_on_error);
   return out;
 }
 
 int QueryResponse::ExitCode() const {
-  return input_ok ? util::ExitCode(status) : 1;
+  if (!input_ok) return 1;
+  if (internal_error) return 7;
+  return util::ExitCode(status);
 }
 
 QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
@@ -218,20 +286,31 @@ QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
   if (req.collect_trace) util::Trace::Enable();
   auto start = std::chrono::steady_clock::now();
 
-  if (req.want_analysis) {
-    core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
-    resp.analysis_text = analysis.ToString();
-    if (analysis.status != util::RunStatus::kCompleted) {
-      resp.analysis_text +=
-          "\n(analysis degraded to heuristic measures: " +
-          std::string(util::ToString(analysis.status)) + ")";
+  // Allocation failure (a genuinely exhausted heap, or the arena.alloc
+  // fault point) must come back as a structured internal error, not a
+  // crash: the engines assume allocation succeeds, so the containment
+  // boundary is here, where a per-request failure cannot take down the
+  // process (qc_serverd turns it into a retryable code-7 error frame).
+  try {
+    if (req.want_analysis) {
+      core::Analysis analysis = core::AnalyzeQuery(*query, ctx);
+      resp.analysis_text = analysis.ToString();
+      if (analysis.status != util::RunStatus::kCompleted) {
+        resp.analysis_text +=
+            "\n(analysis degraded to heuristic measures: " +
+            std::string(util::ToString(analysis.status)) + ")";
+      }
     }
-  }
 
-  core::AutoQueryResult result = core::EvaluateQueryAuto(*query, db, ctx);
-  resp.status = result.status;
-  resp.method = core::ToString(result.method);
-  resp.result = std::move(result.result);
+    core::AutoQueryResult result = core::EvaluateQueryAuto(*query, db, ctx);
+    resp.status = result.status;
+    resp.method = core::ToString(result.method);
+    resp.result = std::move(result.result);
+  } catch (const std::bad_alloc&) {
+    resp.internal_error = true;
+    resp.error = "allocation failure during query evaluation";
+    resp.result = db::JoinResult{};
+  }
 
   resp.report.status = resp.status;
   resp.report.threads = ctx.ResolvedThreads();
@@ -241,6 +320,11 @@ QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
   resp.report.FillBudget(*budget, req.options.deadline_ms > 0);
   FillCacheSection(&resp.report, cache);
   if (cache != nullptr) cache->ExportCounters(&counters);
+  // With fault injection active, the report shows which failure paths this
+  // request exercised ("fault.<point>.evals"/".fires").
+  if (util::FaultsEnabled()) {
+    util::FaultRegistry::Global().ExportCounters(&counters);
+  }
   resp.report.stats.arena_high_water_bytes = arena.high_water_bytes();
   resp.report.counters = std::move(counters);
   resp.report.counters.Set("threads", ctx.ResolvedThreads());

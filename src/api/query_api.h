@@ -55,6 +55,45 @@ struct DatasetLoad {
 DatasetLoad LoadDataset(const std::string& text, db::Database* db,
                         bool continue_on_error);
 
+/// LoadDataset split at its parse/apply seam, for callers that must
+/// validate under one lock and mutate under the same lock without a staged
+/// database clone (MvccDatabase::MutateLoggedInPlace). StageDataset runs
+/// the parse and validation passes read-only against `db` and resolves
+/// every block into a structured batch; `load` carries the verdict with
+/// the exact diagnostics/skipped accounting LoadDataset reports. When
+/// `load.ok`, ApplyDataset(&staging, db) against the SAME database state
+/// cannot fail; it fills `load.tuples_applied` and flips `load.applied`.
+struct DatasetStaging {
+  struct Block {
+    std::string relation;
+    int header_line = 0;
+    int arity = 0;
+    bool create = false;  ///< SetRelation (new name) vs per-row append.
+    std::vector<db::Tuple> tuples;
+  };
+  std::vector<Block> blocks;
+  DatasetLoad load;
+};
+DatasetStaging StageDataset(const std::string& text, const db::Database& db,
+                            bool continue_on_error);
+db::MutationResult ApplyDataset(DatasetStaging* staging, db::Database* db);
+
+/// LoadDataset over a file, with the failure classes kept apart: an
+/// unreadable file (missing, permission, I/O error mid-read) sets
+/// `io_ok == false` with an errno-backed `io_error` and never touches the
+/// database, while a readable file with bad content surfaces through
+/// `load.diagnostics` exactly like the in-memory form. Callers that used
+/// to funnel both through one "load failed" message can now report (and
+/// exit-code) them differently — an I/O error is an environment problem,
+/// a parse error is an input problem.
+struct DatasetFileLoad {
+  bool io_ok = false;
+  std::string io_error;  ///< Meaningful only when !io_ok.
+  DatasetLoad load;      ///< Meaningful only when io_ok.
+};
+DatasetFileLoad LoadDatasetFile(const std::string& path, db::Database* db,
+                                bool continue_on_error);
+
 /// One query execution request against a pinned database snapshot — the
 /// single programmatic entry point shared by query_cli and qc_serverd.
 struct QueryRequest {
@@ -74,13 +113,18 @@ struct QueryRequest {
 struct QueryResponse {
   bool input_ok = false;
   std::string error;  ///< Parse error / missing relation when !input_ok.
+  /// The engine died on a resource failure (allocation) that is neither an
+  /// input error nor a budget trip. `error` carries the diagnostic, the
+  /// result is empty, and ExitCode() is 7 ("internal"). Callers can treat
+  /// it as retryable — the next attempt may find memory.
+  bool internal_error = false;
   util::RunStatus status = util::RunStatus::kCompleted;
   std::string method;         ///< Engine the auto-router picked.
   std::string analysis_text;  ///< Filled when want_analysis.
   db::JoinResult result;
   util::RunReport report;
 
-  /// 1 for input errors, else util::ExitCode(status).
+  /// 1 for input errors, 7 for internal errors, else util::ExitCode(status).
   int ExitCode() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace qc::db {
@@ -66,6 +67,13 @@ IndexCache::EntryPtr IndexCache::GetOrBuild(
   if (built->bytes > capacity_bytes_) {
     ++rejected_;
     return built;  // Usable, but too large to ever share.
+  }
+  // "index_cache.insert" degrades exactly like the oversized path above:
+  // the caller keeps a private, fully usable index and only the sharing is
+  // lost — the graceful-degradation contract for cache faults.
+  if (util::FaultsEnabled() && util::FaultPoint("index_cache.insert")) {
+    ++rejected_;
+    return built;
   }
   EvictToFitLocked(built->bytes);
   lru_.push_front(key);

@@ -1,6 +1,13 @@
 #include "db/mvcc.h"
 
+#include <utility>
+
 namespace qc::db {
+
+void MvccDatabase::AttachWal(Wal* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
 
 void MvccDatabase::TouchLocked() {
   ++epoch_;
@@ -8,9 +15,39 @@ void MvccDatabase::TouchLocked() {
   cached_.reset();  // The next Snapshot() re-clones at the new epoch.
 }
 
+bool MvccDatabase::LogLocked(const WalRecord& record, MutationResult* out) {
+  if (wal_ == nullptr) return true;
+  std::string error;
+  if (!wal_->Append(record, &error)) {
+    ++stats_.wal_rejections;
+    *out = MutationResult::Fail("wal append failed: " + error);
+    return false;
+  }
+  return true;
+}
+
 MutationResult MvccDatabase::SetRelation(const std::string& name, int arity,
                                          std::vector<Tuple> tuples) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Validate (cheaply, before logging): SetRelation only fails on an arity
+  // mismatch inside the batch.
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (static_cast<int>(tuples[i].size()) != arity) {
+      return MutationResult::Fail(
+          "relation " + name + ": tuple " + std::to_string(i) +
+          " has arity " + std::to_string(tuples[i].size()) + ", expected " +
+          std::to_string(arity));
+    }
+  }
+  MutationResult out = MutationResult::Ok();
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kSetRelation;
+    record.relation = name;
+    record.arity = arity;
+    record.tuples = tuples;  // Copy: the db takes the originals below.
+    if (!LogLocked(record, &out)) return out;
+  }
   MutationResult r = db_.SetRelation(name, arity, std::move(tuples));
   if (r) TouchLocked();
   return r;
@@ -19,6 +56,19 @@ MutationResult MvccDatabase::SetRelation(const std::string& name, int arity,
 MutationResult MvccDatabase::SetRelation(const std::string& name,
                                          FlatRelation relation) {
   std::lock_guard<std::mutex> lock(mu_);
+  MutationResult out = MutationResult::Ok();
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kSetRelation;
+    record.relation = name;
+    record.arity = relation.arity();
+    record.tuples.reserve(relation.size());
+    for (std::size_t i = 0; i < relation.size(); ++i) {
+      const Value* row = relation.Row(i);
+      record.tuples.emplace_back(row, row + relation.arity());
+    }
+    if (!LogLocked(record, &out)) return out;
+  }
   MutationResult r = db_.SetRelation(name, std::move(relation));
   if (r) TouchLocked();
   return r;
@@ -26,6 +76,25 @@ MutationResult MvccDatabase::SetRelation(const std::string& name,
 
 MutationResult MvccDatabase::AddTuple(const std::string& name, Tuple tuple) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    // Validate first so that a logged record is guaranteed to apply.
+    if (!db_.HasRelation(name)) {
+      return MutationResult::Fail("no such relation " + name);
+    }
+    if (static_cast<int>(tuple.size()) != db_.Arity(name)) {
+      return MutationResult::Fail(
+          "relation " + name + ": tuple has arity " +
+          std::to_string(tuple.size()) + ", expected " +
+          std::to_string(db_.Arity(name)));
+    }
+    WalRecord record;
+    record.kind = WalRecord::Kind::kAddTuples;
+    record.relation = name;
+    record.arity = static_cast<int>(tuple.size());
+    record.tuples.push_back(tuple);
+    MutationResult out = MutationResult::Ok();
+    if (!LogLocked(record, &out)) return out;
+  }
   MutationResult r = db_.AddTuple(name, std::move(tuple));
   if (r) TouchLocked();
   return r;
@@ -46,6 +115,15 @@ MutationResult MvccDatabase::AddTuples(const std::string& name,
           std::to_string(arity));
     }
   }
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kAddTuples;
+    record.relation = name;
+    record.arity = arity;
+    record.tuples = tuples;
+    MutationResult out = MutationResult::Ok();
+    if (!LogLocked(record, &out)) return out;
+  }
   for (auto& t : tuples) {
     MutationResult r = db_.AddTuple(name, std::move(t));
     if (!r) return r;  // Unreachable after validation; kept for safety.
@@ -56,12 +134,79 @@ MutationResult MvccDatabase::AddTuples(const std::string& name,
 
 MutationResult MvccDatabase::Mutate(
     const std::function<MutationResult(Database&)>& fn) {
+  // An empty kDataset record is the "nothing to log" sentinel — plain
+  // Mutate offers transactional semantics but no durable replay record
+  // (callers that need durability use MutateLogged or the structured ops).
+  WalRecord unlogged;
+  unlogged.kind = WalRecord::Kind::kDataset;
+  return MutateLogged(unlogged, fn);
+}
+
+MutationResult MvccDatabase::MutateLogged(
+    const WalRecord& record,
+    const std::function<MutationResult(Database&)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  MutationResult r = fn(db_);
-  // `fn` may have applied part of its work before failing; the epoch bumps
-  // unconditionally so no snapshot can alias a half-applied state.
+  // Stage on a copy-on-write clone: a failing lambda (or a WAL rejection)
+  // rolls back by simply dropping the clone — the live database and the
+  // epoch never see the partial work. The clone is O(#relations) pointer
+  // copies; only relations `fn` actually mutates get copied.
+  Database staged = db_.Clone();
+  MutationResult r = fn(staged);
+  if (!r) return r;
+  // Log after `fn` succeeded but before publishing: an acknowledged
+  // mutation is exactly one that is durable AND applied. Kind kDataset
+  // with empty text (the default record) carries no replay work; skip it.
+  const bool loggable = record.kind != WalRecord::Kind::kDataset ||
+                        !record.dataset.empty();
+  if (loggable && !LogLocked(record, &r)) return r;
+  db_ = std::move(staged);
   TouchLocked();
   return r;
+}
+
+MutationResult MvccDatabase::MutateLoggedInPlace(
+    const WalRecord& record,
+    const std::function<MutationResult(const Database&)>& validate,
+    const std::function<MutationResult(Database&)>& apply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationResult r = validate(db_);
+  if (!r) return r;
+  // Log-before-apply, same as the structured ops: a WAL rejection leaves
+  // the database and the epoch untouched. An empty kDataset record is the
+  // "nothing to log" sentinel, as in MutateLogged.
+  const bool loggable = record.kind != WalRecord::Kind::kDataset ||
+                        !record.dataset.empty();
+  if (loggable && !LogLocked(record, &r)) return r;
+  r = apply(db_);
+  // Touch even on (contract-breaking) apply failure: the database may be
+  // part-mutated, and a stale cached snapshot would hide that from readers.
+  TouchLocked();
+  return r;
+}
+
+MutationResult MvccDatabase::CompactWal(
+    const std::vector<std::uint64_t>& request_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return MutationResult::Ok();
+  std::string error;
+  if (!wal_->Compact(db_, request_ids, &error)) {
+    return MutationResult::Fail("wal compaction failed: " + error);
+  }
+  return MutationResult::Ok();
+}
+
+bool MvccDatabase::MaybeCompactWal(
+    const std::vector<std::uint64_t>& request_ids, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return false;
+  const std::uint64_t threshold = wal_->options().compact_bytes;
+  if (threshold == 0 || wal_->log_bytes() < threshold) return false;
+  std::string local;
+  if (!wal_->Compact(db_, request_ids, &local)) {
+    if (error != nullptr) *error = local;
+    return false;
+  }
+  return true;
 }
 
 MvccSnapshot MvccDatabase::Snapshot() const {
@@ -90,6 +235,7 @@ void MvccDatabase::ExportCounters(util::Counters* sink) const {
   sink->Add("mvcc.mutations", s.mutations);
   sink->Add("mvcc.snapshots", s.snapshots);
   sink->Add("mvcc.snapshot_builds", s.snapshot_builds);
+  sink->Add("mvcc.wal_rejections", s.wal_rejections);
 }
 
 }  // namespace qc::db

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/wal.h"
 #include "util/counters.h"
 
 namespace qc::db {
@@ -18,6 +19,7 @@ struct MvccStats {
   std::uint64_t mutations = 0;        ///< Successful write transactions.
   std::uint64_t snapshots = 0;        ///< Snapshot() calls served.
   std::uint64_t snapshot_builds = 0;  ///< Snapshots that cloned (cache miss).
+  std::uint64_t wal_rejections = 0;   ///< Mutations refused by a WAL append.
 };
 
 /// A reader snapshot: an immutable Database pinned at a write epoch.
@@ -48,11 +50,24 @@ struct MvccSnapshot {
 /// (Database::Clone copy-on-write), so snapshot readers keep scanning the
 /// old payload untouched. A stream of AddTuples between two snapshots pays
 /// one such copy per mutated relation, then appends in place.
+///
+/// Durability: after AttachWal, every write transaction is logged before it
+/// is applied — a mutation the WAL refuses (I/O error, injected fault) is
+/// rejected without touching the database or the epoch, so acknowledged
+/// writes are exactly the durable ones. Mutate() runs its lambda against a
+/// staged copy-on-write clone and only publishes the clone after the WAL
+/// accepts the record; a failed lambda leaves database and epoch untouched.
 class MvccDatabase {
  public:
   MvccDatabase() = default;
   MvccDatabase(const MvccDatabase&) = delete;
   MvccDatabase& operator=(const MvccDatabase&) = delete;
+
+  /// Routes every subsequent mutation through `wal` (log-before-apply).
+  /// Call once after recovery, before serving writers; `wal` must stay
+  /// alive as long as this database and must already be Open. Pass nullptr
+  /// to detach.
+  void AttachWal(Wal* wal);
 
   /// Seeds the live database (epoch bumps like any write).
   MutationResult SetRelation(const std::string& name, int arity,
@@ -69,11 +84,48 @@ class MvccDatabase {
   /// counterpart of SetRelation's atomic validation.
   MutationResult AddTuples(const std::string& name, std::vector<Tuple> tuples);
 
-  /// Runs `fn(Database&)` as one serialized write transaction. `fn` returns
-  /// a MutationResult; the epoch is bumped (and the snapshot cache
-  /// invalidated) even on failure when `fn` may have partially applied —
-  /// pass `applied=false` semantics by returning early before mutating.
+  /// Runs `fn(Database&)` as one serialized write transaction against a
+  /// staged copy-on-write clone. On success the clone is published and the
+  /// epoch bumps; on failure (from `fn` or from the WAL) the live database
+  /// and the epoch are untouched — callers get transactional rollback for
+  /// free, at the cost of one copy-on-write clone per call.
   MutationResult Mutate(const std::function<MutationResult(Database&)>& fn);
+
+  /// Mutate() that also appends `record` to the attached WAL before
+  /// publishing — the durable form of a server `mutate` frame. `record`
+  /// must describe exactly what `fn` does (it is what recovery replays).
+  /// Without an attached WAL this is identical to Mutate().
+  MutationResult MutateLogged(
+      const WalRecord& record,
+      const std::function<MutationResult(Database&)>& fn);
+
+  /// Two-phase durable write for callers that can validate before applying:
+  /// `validate` runs read-only against the live database; if it passes,
+  /// `record` is logged and `apply` mutates the live database directly —
+  /// no staged clone. This is what keeps a stream of single-tuple dataset
+  /// mutations O(total rows): the staged clone marks every relation shared,
+  /// so the first append after it copies the whole payload, turning bulk
+  /// ingest (and kDataset recovery replay) quadratic. In exchange `apply`
+  /// MUST succeed once `validate` passed under the same lock; an `apply`
+  /// failure means a durable record that cannot replay and is surfaced as
+  /// a failed mutation with the database possibly part-mutated (the epoch
+  /// still bumps so readers refresh).
+  MutationResult MutateLoggedInPlace(
+      const WalRecord& record,
+      const std::function<MutationResult(const Database&)>& validate,
+      const std::function<MutationResult(Database&)>& apply);
+
+  /// Compacts the attached WAL (snapshot + log rotation) under the writer
+  /// lock, so no mutation can slip between the snapshot and the log
+  /// truncation. `request_ids` is the dedup window to persist. No-op
+  /// without an attached WAL.
+  MutationResult CompactWal(const std::vector<std::uint64_t>& request_ids);
+
+  /// CompactWal iff the attached WAL's log has outgrown
+  /// WalOptions::compact_bytes (0 = never). Returns true when a compaction
+  /// ran and succeeded.
+  bool MaybeCompactWal(const std::vector<std::uint64_t>& request_ids,
+                       std::string* error);
 
   /// Pins the current state. Lock held only for the (cheap) clone; the
   /// returned snapshot is immutable and safe to read from any thread with
@@ -86,15 +138,21 @@ class MvccDatabase {
 
   MvccStats stats() const;
 
-  /// Publishes "mvcc.{mutations,snapshots,snapshot_builds}" counters.
+  /// Publishes "mvcc.{mutations,snapshots,snapshot_builds,wal_rejections}"
+  /// counters.
   void ExportCounters(util::Counters* sink) const;
 
  private:
   /// Caller holds mu_. Bumps the epoch and drops the cached snapshot.
   void TouchLocked();
 
+  /// Caller holds mu_. Appends `record` to the attached WAL (no-op when
+  /// detached); false means the mutation must be rejected.
+  bool LogLocked(const WalRecord& record, MutationResult* out);
+
   mutable std::mutex mu_;
   Database db_;
+  Wal* wal_ = nullptr;
   std::uint64_t epoch_ = 0;
   mutable std::shared_ptr<const Database> cached_;
   mutable std::uint64_t cached_epoch_ = 0;

@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace qc::server {
 
@@ -33,8 +35,37 @@ void Client::Close() {
   }
 }
 
+void Client::set_retry(const RetryOptions& retry) {
+  retry_ = retry;
+  rng_ = retry.seed != 0 ? retry.seed : 1;
+}
+
+std::uint64_t Client::NextRand() {
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  return rng_;
+}
+
+void Client::Backoff(int attempt) {
+  std::uint64_t cap = retry_.base_backoff_ms;
+  for (int i = 0; i < attempt && cap < retry_.max_backoff_ms; ++i) cap *= 2;
+  if (cap > retry_.max_backoff_ms) cap = retry_.max_backoff_ms;
+  if (cap == 0) return;
+  // Jitter in [cap/2, cap]: enough spread to de-synchronize clients,
+  // never less than half the intended delay.
+  const std::uint64_t half = cap / 2;
+  const std::uint64_t sleep_ms = half + NextRand() % (cap - half + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
 bool Client::Connect(const std::string& host, int port, std::string* error) {
   Close();
+  // A parser carried over from a dead connection may hold a torn partial
+  // frame (or be poisoned); the new byte stream starts clean.
+  parser_ = api::FrameParser();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -48,7 +79,11 @@ bool Client::Connect(const std::string& host, int port, std::string* error) {
     Close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     *error = "connect " + host + ":" + std::to_string(port) + ": " +
              std::strerror(errno);
     Close();
@@ -61,7 +96,20 @@ bool Client::Connect(const std::string& host, int port, std::string* error) {
   return true;
 }
 
+bool Client::EnsureConnected(std::string* error) {
+  if (fd_ >= 0) return true;
+  if (host_.empty()) {
+    *error = "not connected";
+    return false;
+  }
+  return Connect(host_, port_, error);
+}
+
 bool Client::SendFrame(const api::Frame& frame, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
   const std::string wire = api::EncodeFrame(frame);
   std::size_t sent = 0;
   while (sent < wire.size()) {
@@ -69,6 +117,8 @@ bool Client::SendFrame(const api::Frame& frame, std::string* error) {
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // ECONNRESET/EPIPE here mean the server went away mid-send — a
+      // transport failure the retry layer can heal with a reconnect.
       *error = std::string("send: ") + std::strerror(errno);
       return false;
     }
@@ -89,6 +139,8 @@ bool Client::RecvFrame(api::Frame* frame, std::string* error) {
     }
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {
+      // Mid-reply EOF: the server died or dropped us. The parser may hold
+      // a torn frame — Connect() resets it before the stream restarts.
       *error = "connection closed by server";
       return false;
     }
@@ -102,6 +154,29 @@ bool Client::RecvFrame(api::Frame* frame, std::string* error) {
 }
 
 QueryReply Client::Query(
+    const std::string& query_text,
+    const std::vector<std::pair<std::string, std::string>>& extra_fields) {
+  QueryReply reply = QueryOnce(query_text, extra_fields);
+  int attempt = 0;
+  while (attempt < retry_.max_retries &&
+         (!reply.ok || (reply.rejected && reply.retryable))) {
+    if (!reply.ok) Close();  // Transport failure: the stream is garbage.
+    Backoff(attempt);
+    ++attempt;
+    std::string error;
+    if (!EnsureConnected(&error)) {
+      reply = QueryReply{};
+      reply.error = error;
+      reply.attempts = attempt + 1;
+      continue;
+    }
+    reply = QueryOnce(query_text, extra_fields);
+    reply.attempts = attempt + 1;
+  }
+  return reply;
+}
+
+QueryReply Client::QueryOnce(
     const std::string& query_text,
     const std::vector<std::pair<std::string, std::string>>& extra_fields) {
   QueryReply reply;
@@ -118,6 +193,7 @@ QueryReply Client::Query(
     if (f.kind == "error") {
       reply.ok = true;
       reply.rejected = true;
+      reply.retryable = FieldUint(f, "retryable") != 0;
       reply.code = FieldInt(f, "code");
       if (const std::string* s = f.Find("reason")) reply.reason = *s;
       if (const std::string* s = f.Find("message")) reply.message = *s;
@@ -160,11 +236,46 @@ QueryReply Client::Query(
 }
 
 MutateReply Client::Mutate(const std::string& dataset_text,
-                           const std::string& on_input_error) {
+                           const std::string& on_input_error,
+                           std::uint64_t request_id) {
+  // A retried mutation MUST carry an idempotency id, or a lost ack would
+  // double-apply on replay. Auto-generate one (nonzero) whenever a retry
+  // policy could resend.
+  if (request_id == 0 && retry_.max_retries > 0) {
+    do {
+      request_id = NextRand();
+    } while (request_id == 0);
+  }
+  MutateReply reply = MutateOnce(dataset_text, on_input_error, request_id);
+  int attempt = 0;
+  while (attempt < retry_.max_retries &&
+         (!reply.ok || (reply.rejected && reply.retryable))) {
+    if (!reply.ok) Close();
+    Backoff(attempt);
+    ++attempt;
+    std::string error;
+    if (!EnsureConnected(&error)) {
+      reply = MutateReply{};
+      reply.error = error;
+      reply.request_id = request_id;
+      reply.attempts = attempt + 1;
+      continue;
+    }
+    reply = MutateOnce(dataset_text, on_input_error, request_id);
+    reply.attempts = attempt + 1;
+  }
+  return reply;
+}
+
+MutateReply Client::MutateOnce(const std::string& dataset_text,
+                               const std::string& on_input_error,
+                               std::uint64_t request_id) {
   MutateReply reply;
+  reply.request_id = request_id;
   api::Frame req;
   req.kind = "mutate";
   req.Add("id", std::to_string(next_id_++));
+  if (request_id != 0) req.Add("request_id", std::to_string(request_id));
   if (!on_input_error.empty()) req.Add("on_input_error", on_input_error);
   req.body = dataset_text;
   if (!SendFrame(req, &reply.error)) return reply;
@@ -174,6 +285,7 @@ MutateReply Client::Mutate(const std::string& dataset_text,
   if (f.kind == "error") {
     reply.ok = true;
     reply.rejected = true;
+    reply.retryable = FieldUint(f, "retryable") != 0;
     reply.code = FieldInt(f, "code");
     reply.diagnostics = f.body;
     return reply;
@@ -184,6 +296,7 @@ MutateReply Client::Mutate(const std::string& dataset_text,
   }
   reply.ok = true;
   reply.code = FieldInt(f, "code");
+  reply.deduped = FieldUint(f, "deduped") != 0;
   reply.applied = FieldUint(f, "applied");
   reply.skipped = FieldUint(f, "skipped");
   reply.epoch = FieldUint(f, "epoch");
@@ -203,6 +316,27 @@ bool Client::Ping(std::string* error) {
     return false;
   }
   return true;
+}
+
+HealthReply Client::Health() {
+  HealthReply reply;
+  api::Frame req;
+  req.kind = "health";
+  req.Add("id", std::to_string(next_id_++));
+  if (!SendFrame(req, &reply.error)) return reply;
+  api::Frame f;
+  if (!RecvFrame(&f, &reply.error)) return reply;
+  if (f.kind != "health-reply") {
+    reply.error = "unexpected reply frame '" + f.kind + "'";
+    return reply;
+  }
+  reply.ok = true;
+  if (const std::string* s = f.Find("status")) reply.status = *s;
+  reply.epoch = FieldUint(f, "epoch");
+  reply.wal = FieldUint(f, "wal") != 0;
+  reply.running = FieldInt(f, "running");
+  reply.queued = FieldInt(f, "queued");
+  return reply;
 }
 
 bool Client::Stats(std::string* stats_json, std::string* error) {

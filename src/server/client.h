@@ -10,17 +10,36 @@
 
 namespace qc::server {
 
+/// Client-side retry policy. Retries fire on transport failures (ECONNRESET,
+/// server restart, mid-stream EOF) and on server rejections whose error
+/// frame carries `retryable 1` (draining, admission pushback, internal
+/// resource errors, queue-deadline sheds). Backoff is exponential with
+/// deterministic jitter: sleep = min(max_backoff_ms, base << attempt),
+/// halved and re-filled from a seeded xorshift so two clients with
+/// different seeds never synchronize their retry storms — and a test with
+/// a fixed seed replays the same schedule every run.
+struct RetryOptions {
+  /// Additional attempts after the first (0 = never retry).
+  int max_retries = 0;
+  std::uint64_t base_backoff_ms = 10;
+  std::uint64_t max_backoff_ms = 2000;
+  /// Jitter stream seed; also salts auto-generated mutation request ids.
+  std::uint64_t seed = 1;
+};
+
 /// Outcome of one `query` round trip.
 struct QueryReply {
   bool ok = false;           ///< Transport + protocol completed.
   std::string error;         ///< Transport/protocol failure text when !ok.
 
   bool rejected = false;     ///< Server answered with an error frame.
+  bool retryable = false;    ///< error frame said a retry may succeed.
   int code = 0;              ///< Exit-style code (end frame, or error code).
   std::string reason;        ///< error frame reason (e.g. admission-rejected).
   std::string message;       ///< error frame message.
   int queue_depth = 0;       ///< From admission rejection diagnostics.
   int running = 0;
+  int attempts = 1;          ///< Round trips taken (retries + 1).
 
   std::string status;        ///< hdr: completed/deadline-exceeded/...
   std::string method;        ///< hdr: solver method.
@@ -39,16 +58,40 @@ struct MutateReply {
   bool ok = false;
   std::string error;
   bool rejected = false;     ///< Dataset rejected (abort semantics).
+  bool retryable = false;
+  bool deduped = false;      ///< Server had already applied this request_id.
   int code = 0;
+  int attempts = 1;
+  std::uint64_t request_id = 0;  ///< Idempotency id the mutation carried.
   std::uint64_t applied = 0;
   std::uint64_t skipped = 0;
   std::uint64_t epoch = 0;
   std::string diagnostics;   ///< Line-numbered input diagnostics.
 };
 
+/// Reply to a `health` probe.
+struct HealthReply {
+  bool ok = false;
+  std::string error;
+  std::string status;        ///< "serving" | "draining".
+  std::uint64_t epoch = 0;
+  bool wal = false;          ///< Durability on.
+  int running = 0;
+  int queued = 0;
+};
+
 /// Minimal blocking qcp/1 client: one TCP connection, synchronous
 /// request/reply. Not thread-safe; use one Client per thread (qc_loadgen
 /// does exactly that).
+///
+/// With a RetryOptions policy set, Query() and Mutate() transparently
+/// reconnect (fresh socket AND fresh FrameParser — a parser poisoned by a
+/// torn stream must never survive into the new connection) and re-send
+/// after transport failures or retryable server rejections. Mutation
+/// retries are made safe by idempotency ids: every Mutate carries a
+/// request_id (caller-supplied or auto-generated) that the server
+/// deduplicates against its WAL-recovered window, so "ack lost, retry
+/// arrives" cannot double-apply.
 class Client {
  public:
   Client() = default;
@@ -60,6 +103,9 @@ class Client {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  void set_retry(const RetryOptions& retry);
+  const RetryOptions& retry() const { return retry_; }
+
   /// Runs one query; extra_fields may carry per-request options
   /// (deadline_ms/max_rows/threads) or want_analysis.
   QueryReply Query(
@@ -68,21 +114,39 @@ class Client {
           {});
 
   /// Applies a dataset-format mutation batch; on_input_error is "",
-  /// "abort", or "continue".
+  /// "abort", or "continue". request_id 0 auto-generates one when a retry
+  /// policy is set (a retried mutation must always be deduplicable).
   MutateReply Mutate(const std::string& dataset_text,
-                     const std::string& on_input_error = "");
+                     const std::string& on_input_error = "",
+                     std::uint64_t request_id = 0);
 
   bool Ping(std::string* error);
+  HealthReply Health();
   bool Stats(std::string* stats_json, std::string* error);
   bool Shutdown(std::string* error);
 
  private:
   bool SendFrame(const api::Frame& frame, std::string* error);
   bool RecvFrame(api::Frame* frame, std::string* error);
+  QueryReply QueryOnce(
+      const std::string& query_text,
+      const std::vector<std::pair<std::string, std::string>>& extra_fields);
+  MutateReply MutateOnce(const std::string& dataset_text,
+                         const std::string& on_input_error,
+                         std::uint64_t request_id);
+  /// Reconnects to the last Connect() endpoint if currently closed.
+  bool EnsureConnected(std::string* error);
+  /// Sleeps the exponential-backoff-with-jitter delay for `attempt`.
+  void Backoff(int attempt);
+  std::uint64_t NextRand();
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   api::FrameParser parser_;
+  RetryOptions retry_;
+  std::uint64_t rng_ = 1;
+  std::string host_;
+  int port_ = 0;
 };
 
 }  // namespace qc::server

@@ -11,7 +11,22 @@
 //              [--write-ratio PCT] [--query TEXT] [--write-relation NAME]
 //              [--write-arity N] [--seed-demo] [--deadline-ms N]
 //              [--max-rows N] [--json FILE] [--sample-report FILE]
-//              [--shutdown]
+//              [--retries N] [--shutdown]
+//
+// Crash-recovery smoke modes (single connection, mutually exclusive with
+// the load loop):
+//   --stream-mutations K   append tuple {i} for i = 0..K-1 to
+//                          --write-relation as K individual mutations, each
+//                          carrying a deterministic request id; prints
+//                          "stream_acked=N stream_sent=K". The acked count
+//                          is the durability floor a recovered server must
+//                          reproduce.
+//   --verify-prefix REL    query REL back and check its rows are exactly
+//                          {0..n-1}; prints "verify_rows=n". With
+//                          --expect-at-least N, fails unless n >= N.
+//   --dump-rows REL        print REL's rows sorted, one per line (oracle
+//                          material for diffing a recovered server against
+//                          a never-crashed run).
 
 #include <algorithm>
 #include <atomic>
@@ -53,6 +68,11 @@ struct Config {
   std::string json_path;
   std::string sample_report_path;
   bool send_shutdown = false;
+  int retries = 0;  // Client retry policy (0 = no retries).
+  std::uint64_t stream_mutations = 0;
+  std::string verify_prefix_relation;
+  std::uint64_t expect_at_least = 0;
+  std::string dump_rows_relation;
 };
 
 struct WorkerResult {
@@ -69,8 +89,16 @@ struct WorkerResult {
 std::mutex g_sample_mu;
 std::string g_sample_report;
 
+qc::server::RetryOptions RetryPolicy(const Config& cfg, std::uint64_t seed) {
+  qc::server::RetryOptions retry;
+  retry.max_retries = cfg.retries;
+  retry.seed = 0x9e3779b97f4a7c15ull ^ seed;
+  return retry;
+}
+
 void Worker(const Config& cfg, unsigned seed, WorkerResult* out) {
   qc::server::Client client;
+  client.set_retry(RetryPolicy(cfg, seed));
   std::string error;
   if (!client.Connect(cfg.host, cfg.port, &error)) {
     out->transport_errors++;
@@ -150,6 +178,125 @@ void Worker(const Config& cfg, unsigned seed, WorkerResult* out) {
   }
 }
 
+// --stream-mutations: append {0}, {1}, ..., {K-1} to the write relation as
+// K individual single-tuple mutations. Each carries a deterministic
+// request id, so a retry after a lost ack deduplicates instead of
+// double-appending. Prints the acked count — the recovery oracle's floor.
+int StreamMutations(const Config& cfg) {
+  qc::server::Client client;
+  client.set_retry(RetryPolicy(cfg, 0xabcdefull));
+  std::string error;
+  if (!client.Connect(cfg.host, cfg.port, &error)) {
+    std::cerr << "qc_loadgen: " << error << "\n";
+    return 7;
+  }
+  std::uint64_t acked = 0;
+  std::string first_error;
+  // Ids must be stable across reruns of the same stream (so a client that
+  // restarts after a partial stream re-deduplicates its prefix) but
+  // distinct across target relations.
+  std::uint64_t id_base = 0x51c0ull;
+  for (char c : cfg.write_relation) {
+    id_base = id_base * 131 + static_cast<unsigned char>(c);
+  }
+  for (std::uint64_t i = 0; i < cfg.stream_mutations; ++i) {
+    const std::string body =
+        "relation " + cfg.write_relation + ":\n" + std::to_string(i) + "\n";
+    const std::uint64_t request_id = (id_base << 24) + i + 1;
+    qc::server::MutateReply r = client.Mutate(body, "", request_id);
+    if (!r.ok || r.rejected) {
+      first_error = r.ok ? r.diagnostics : r.error;
+      break;
+    }
+    ++acked;
+  }
+  std::printf("stream_acked=%llu stream_sent=%llu\n",
+              static_cast<unsigned long long>(acked),
+              static_cast<unsigned long long>(cfg.stream_mutations));
+  std::fflush(stdout);
+  if (acked < cfg.stream_mutations) {
+    std::cerr << "qc_loadgen: stream stopped early: " << first_error << "\n";
+    return 7;
+  }
+  return 0;
+}
+
+// Queries a unary relation back and returns its sorted rows, or nullopt on
+// transport/query failure.
+bool FetchRows(const Config& cfg, const std::string& relation,
+               std::vector<std::uint64_t>* rows, std::string* error) {
+  qc::server::Client client;
+  client.set_retry(RetryPolicy(cfg, 0xfe7c4ull));
+  if (!client.Connect(cfg.host, cfg.port, error)) return false;
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("max_rows", "0");
+  qc::server::QueryReply r = client.Query(relation + "(x)", fields);
+  if (!r.ok) {
+    *error = r.error;
+    return false;
+  }
+  if (r.rejected) {
+    *error = "query rejected: " + r.message;
+    return false;
+  }
+  rows->clear();
+  std::uint64_t value = 0;
+  bool in_number = false;
+  for (char c : r.row_text + "\n") {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      in_number = true;
+    } else {
+      if (in_number) rows->push_back(value);
+      value = 0;
+      in_number = false;
+    }
+  }
+  std::sort(rows->begin(), rows->end());
+  return true;
+}
+
+// --verify-prefix: the streamed relation must hold exactly {0..n-1} — every
+// acked mutation durable, no tuple applied twice, no gap. n may exceed the
+// acked count (an ack lost to the crash can still have committed).
+int VerifyPrefix(const Config& cfg) {
+  std::vector<std::uint64_t> rows;
+  std::string error;
+  if (!FetchRows(cfg, cfg.verify_prefix_relation, &rows, &error)) {
+    std::cerr << "qc_loadgen: verify: " << error << "\n";
+    return 7;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] != i) {
+      std::cerr << "qc_loadgen: verify: row " << i << " is " << rows[i]
+                << " (want contiguous prefix {0.." << rows.size() - 1
+                << "})\n";
+      return 7;
+    }
+  }
+  std::printf("verify_rows=%llu\n",
+              static_cast<unsigned long long>(rows.size()));
+  if (rows.size() < cfg.expect_at_least) {
+    std::cerr << "qc_loadgen: verify: " << rows.size()
+              << " rows recovered but " << cfg.expect_at_least
+              << " were acked — durability violation\n";
+    return 7;
+  }
+  return 0;
+}
+
+int DumpRows(const Config& cfg) {
+  std::vector<std::uint64_t> rows;
+  std::string error;
+  if (!FetchRows(cfg, cfg.dump_rows_relation, &rows, &error)) {
+    std::cerr << "qc_loadgen: dump: " << error << "\n";
+    return 7;
+  }
+  for (std::uint64_t v : rows) std::printf("%llu\n",
+                                           static_cast<unsigned long long>(v));
+  return 0;
+}
+
 double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double idx = p * static_cast<double>(sorted.size() - 1);
@@ -165,7 +312,9 @@ int Usage() {
       << "  [--duration-ms N] [--write-ratio PCT] [--query TEXT]\n"
       << "  [--write-relation NAME] [--write-arity N] [--seed-demo]\n"
       << "  [--deadline-ms N] [--max-rows N] [--json FILE]\n"
-      << "  [--sample-report FILE] [--shutdown]\n";
+      << "  [--sample-report FILE] [--retries N] [--shutdown]\n"
+      << "  [--stream-mutations K] [--verify-prefix REL]\n"
+      << "  [--expect-at-least N] [--dump-rows REL]\n";
   return 1;
 }
 
@@ -205,6 +354,16 @@ int main(int argc, char** argv) {
       cfg.json_path = v;
     } else if (arg == "--sample-report" && (v = value())) {
       cfg.sample_report_path = v;
+    } else if (arg == "--retries" && (v = value())) {
+      cfg.retries = std::atoi(v);
+    } else if (arg == "--stream-mutations" && (v = value())) {
+      cfg.stream_mutations = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verify-prefix" && (v = value())) {
+      cfg.verify_prefix_relation = v;
+    } else if (arg == "--expect-at-least" && (v = value())) {
+      cfg.expect_at_least = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--dump-rows" && (v = value())) {
+      cfg.dump_rows_relation = v;
     } else if (arg == "--shutdown") {
       cfg.send_shutdown = true;
     } else {
@@ -212,6 +371,18 @@ int main(int argc, char** argv) {
     }
   }
   if (cfg.port <= 0 || cfg.clients <= 0) return Usage();
+
+  // Smoke modes run a single scripted connection and skip the load loop.
+  if (cfg.stream_mutations > 0) return StreamMutations(cfg);
+  if (!cfg.verify_prefix_relation.empty()) return VerifyPrefix(cfg);
+  if (!cfg.dump_rows_relation.empty()) {
+    const int rc = DumpRows(cfg);
+    if (rc != 0 || !cfg.send_shutdown) return rc;
+    qc::server::Client closer;
+    std::string error;
+    if (closer.Connect(cfg.host, cfg.port, &error)) closer.Shutdown(&error);
+    return 0;
+  }
 
   if (cfg.seed_demo) {
     qc::server::Client seeder;

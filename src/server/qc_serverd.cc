@@ -7,9 +7,16 @@
 //
 // Usage:
 //   qc_serverd [--port N] [--host ADDR] [--preload FILE]
+//              [--wal-dir DIR] [--fsync always|batch|off]
+//              [--wal-batch-bytes N] [--wal-compact-bytes N]
 //              [--max-concurrent N] [--queue-capacity N]
 //              [--queue-timeout-ms N] [--batch-rows N]
 //              [session flags: --threads/--deadline-ms/--max-rows/...]
+//
+// With --wal-dir the daemon is durable: it replays DIR's snapshot + log on
+// boot (truncating any torn tail a crash left), logs every mutation before
+// acknowledging it, and a kill -9 at any point recovers to exactly the
+// acknowledged state (fsync=always) or a bounded tail (fsync=batch).
 //
 // Prints "qc_serverd listening on HOST:PORT" once ready (scripts key off
 // this line), then serves until SIGINT/SIGTERM or a `shutdown` frame, then
@@ -46,6 +53,10 @@ void PrintUsage() {
       << "  --queue-capacity N    admission queue slots (default 64)\n"
       << "  --queue-timeout-ms N  max queue wait, 0 = forever (default 0)\n"
       << "  --batch-rows N        rows per result batch frame (default 256)\n"
+      << "  --wal-dir DIR         write-ahead-log directory (durability on)\n"
+      << "  --fsync POLICY        always|batch|off (default always)\n"
+      << "  --wal-batch-bytes N   fsync=batch: bytes between syncs (1MiB)\n"
+      << "  --wal-compact-bytes N log size triggering compaction (64MiB)\n"
       << "  session defaults:" << qc::api::SessionFlagsUsage() << "\n";
 }
 
@@ -133,6 +144,34 @@ int main(int argc, char** argv) {
           !ParseIntFlag("--batch-rows", v, 1, &options.batch_rows))
         return 1;
       i += 2;
+    } else if (arg == "--wal-dir") {
+      const char* v = need_value("--wal-dir");
+      if (v == nullptr) return 1;
+      options.wal.dir = v;
+      i += 2;
+    } else if (arg == "--fsync") {
+      const char* v = need_value("--fsync");
+      if (v == nullptr) return 1;
+      if (!qc::db::ParseFsyncPolicy(v, &options.wal.fsync)) {
+        std::cerr << "--fsync: bad value '" << v
+                  << "' (want always|batch|off)\n";
+        return 1;
+      }
+      i += 2;
+    } else if (arg == "--wal-batch-bytes") {
+      const char* v = need_value("--wal-batch-bytes");
+      int n = 0;
+      if (v == nullptr || !ParseIntFlag("--wal-batch-bytes", v, 1, &n))
+        return 1;
+      options.wal.batch_bytes = static_cast<std::uint64_t>(n);
+      i += 2;
+    } else if (arg == "--wal-compact-bytes") {
+      const char* v = need_value("--wal-compact-bytes");
+      int n = 0;
+      if (v == nullptr || !ParseIntFlag("--wal-compact-bytes", v, 0, &n))
+        return 1;
+      options.wal.compact_bytes = static_cast<std::uint64_t>(n);
+      i += 2;
     } else {
       std::cerr << "unknown flag '" << arg << "' (see --help)\n";
       return 1;
@@ -141,33 +180,76 @@ int main(int argc, char** argv) {
 
   qc::server::QueryServer server(options);
 
-  if (!preload_path.empty()) {
-    std::ifstream in(preload_path);
-    if (!in) {
-      std::cerr << "cannot open preload file " << preload_path << "\n";
+  std::string error;
+  if (!server.Recover(&error)) {
+    std::cerr << "qc_serverd: " << error << "\n";
+    return 7;
+  }
+  qc::server::RecoveryInfo rec = server.recovery();
+  if (rec.ran) {
+    std::cerr << "recovered " << rec.snapshot_records
+              << " snapshot record(s) + " << rec.log_records
+              << " log record(s), " << rec.torn_bytes_truncated
+              << " torn byte(s) truncated, " << rec.request_ids
+              << " request id(s) remembered\n";
+  }
+
+  // A durable restart already holds its data; re-applying --preload on top
+  // would double every row. Preload only seeds an empty store.
+  const bool skip_preload =
+      rec.ran && (rec.snapshot_records + rec.log_records) > 0;
+  if (!preload_path.empty() && skip_preload) {
+    std::cerr << "skipping --preload " << preload_path
+              << ": WAL recovery restored existing data\n";
+  }
+  if (!preload_path.empty() && !skip_preload) {
+    // LoadDatasetFile keeps environment problems (unreadable file, exit 3
+    // with an errno-backed message) apart from input problems (parse
+    // diagnostics). Probe against a scratch database first so the I/O and
+    // parse outcome is known before anything touches the live store.
+    qc::db::Database probe;
+    qc::api::DatasetFileLoad file_load = qc::api::LoadDatasetFile(
+        preload_path, &probe, options.session.continue_on_input_error);
+    if (!file_load.io_ok) {
+      std::cerr << "cannot read preload file: " << file_load.io_error
+                << "\n";
       return 3;
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    qc::api::DatasetLoad load;
-    server.database().Mutate([&](qc::db::Database& db) {
-      load = qc::api::LoadDataset(
-          text.str(), &db, options.session.continue_on_input_error);
-      return load.ok ? qc::db::MutationResult::Ok()
-                     : qc::db::MutationResult::Fail("preload rejected");
-    });
-    for (const auto& d : load.diagnostics) {
+    for (const auto& d : file_load.load.diagnostics) {
       std::cerr << preload_path << ": " << d.ToString() << "\n";
     }
-    if (!load.ok) {
+    if (!file_load.load.ok) {
       std::cerr << "preload rejected; nothing applied\n";
+      return 3;
+    }
+    // Re-read for the live (and, with --wal-dir, logged) application: a
+    // preload must be durable like any other mutation, or a crash after
+    // ingest would recover the ingested rows onto an empty base.
+    std::ifstream in(preload_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    qc::db::WalRecord record;
+    record.kind = qc::db::WalRecord::Kind::kDataset;
+    record.dataset = text.str();
+    record.continue_on_error = options.session.continue_on_input_error;
+    qc::api::DatasetLoad load;
+    qc::db::MutationResult committed = server.database().MutateLogged(
+        record, [&](qc::db::Database& db) {
+          load = qc::api::LoadDataset(
+              record.dataset, &db,
+              options.session.continue_on_input_error);
+          return load.ok
+                     ? qc::db::MutationResult::Ok()
+                     : qc::db::MutationResult::Fail("preload rejected");
+        });
+    if (!committed) {
+      std::cerr << "preload failed: " << committed.message << "\n";
       return 3;
     }
     std::cerr << "preloaded " << load.tuples_applied << " tuples from "
               << preload_path << "\n";
   }
 
-  std::string error;
   if (!server.Start(&error)) {
     std::cerr << "qc_serverd: " << error << "\n";
     return 7;

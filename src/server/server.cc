@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/json.h"
 
 namespace qc::server {
@@ -22,18 +23,35 @@ bool IsPerQueryOption(const std::string& key) {
   return key == "deadline_ms" || key == "max_rows" || key == "threads";
 }
 
+/// Codes a client may retry after backoff: admission pushback (8/9), the
+/// draining/cancelled rejection (6), and internal resource failures (7).
+/// Input and protocol errors (1-3) and deadline/budget trips (4/5) will
+/// fail identically on a retry, so they are final.
+bool IsRetryableCode(int code) {
+  return code == 6 || code == 7 || code == kAdmissionRejectedCode ||
+         code == kAdmissionTimeoutCode;
+}
+
+/// `retryable`: -1 = derive from the code, 0/1 = explicit override (the
+/// queue-deadline shed reuses the deadline code 4 but IS retryable — the
+/// queue, not the query, consumed the budget).
 api::Frame ErrorFrame(std::uint64_t id, int code, const std::string& reason,
-                      const std::string& message) {
+                      const std::string& message, int retryable = -1) {
   api::Frame frame;
   frame.kind = "error";
   frame.Add("id", std::to_string(id));
   frame.Add("code", std::to_string(code));
   frame.Add("reason", reason);
+  const bool retry = retryable < 0 ? IsRetryableCode(code) : retryable != 0;
+  frame.Add("retryable", retry ? "1" : "0");
   frame.Add("message", message);
   return frame;
 }
 
 bool SendAll(int fd, const std::string& data) {
+  if (util::FaultsEnabled() && util::FaultPoint("socket.write")) {
+    return false;  // Injected connection failure: caller drops the conn.
+  }
   std::size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
@@ -56,10 +74,101 @@ QueryServer::QueryServer(const ServerOptions& options)
 
 QueryServer::~QueryServer() { Stop(); }
 
+bool QueryServer::Recover(std::string* error) {
+  if (options_.wal.dir.empty()) return true;
+
+  // Replay the durable state into the database. Structured records go
+  // through the (not yet logging) MvccDatabase ops; dataset records go
+  // through the exact LoadDataset path their original mutate frames took.
+  db::WalRecovery recovered = db::Wal::Replay(
+      options_.wal, [this](const db::WalRecord& record) {
+        switch (record.kind) {
+          case db::WalRecord::Kind::kSetRelation:
+            return mvcc_.SetRelation(record.relation, record.arity,
+                                     record.tuples);
+          case db::WalRecord::Kind::kAddTuples:
+            return mvcc_.AddTuples(record.relation, record.tuples);
+          case db::WalRecord::Kind::kDataset: {
+            // Same staged in-place path live mutate frames take (the WAL
+            // is not attached yet, so nothing is re-logged). Replaying a
+            // long ingest log this way is O(total rows); the old
+            // clone-per-record form made recovery time quadratic in the
+            // log length.
+            api::DatasetStaging staging;
+            return mvcc_.MutateLoggedInPlace(
+                record,
+                [&](const db::Database& live) {
+                  staging = api::StageDataset(record.dataset, live,
+                                              record.continue_on_error);
+                  return staging.load.ok
+                             ? db::MutationResult::Ok()
+                             : db::MutationResult::Fail("dataset rejected");
+                },
+                [&](db::Database& live) {
+                  return api::ApplyDataset(&staging, &live);
+                });
+          }
+          case db::WalRecord::Kind::kDedup:
+            break;  // Consumed by Replay itself.
+        }
+        return db::MutationResult::Ok();
+      });
+  if (!recovered.ok) {
+    *error = "wal recovery failed: " + recovered.error;
+    return false;
+  }
+  for (std::uint64_t id : recovered.request_ids) RememberRequestId(id);
+
+  if (!wal_.Open(options_.wal, error)) return false;
+  mvcc_.AttachWal(&wal_);
+
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_.ran = true;
+  recovery_.snapshot_records = recovered.snapshot_records;
+  recovery_.log_records = recovered.log_records;
+  recovery_.torn_bytes_truncated = recovered.torn_bytes_truncated;
+  recovery_.request_ids = recovered.request_ids.size();
+  return true;
+}
+
+RecoveryInfo QueryServer::recovery() const {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  return recovery_;
+}
+
+bool QueryServer::SeenRequestId(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  return dedup_set_.count(id) != 0;
+}
+
+void QueryServer::RememberRequestId(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  if (!dedup_set_.insert(id).second) return;
+  dedup_order_.push_back(id);
+  while (dedup_order_.size() > options_.dedup_window) {
+    dedup_set_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+std::vector<std::uint64_t> QueryServer::DedupWindow() const {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  return {dedup_order_.begin(), dedup_order_.end()};
+}
+
 std::vector<api::Frame> QueryServer::HandleRequest(
     const api::Frame& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t id = request.FindUint("id", 0);
+  // Draining: in-flight work keeps going, new work gets a retryable
+  // rejection. Health, stats and ping stay up so orchestration can watch.
+  if (draining() && (request.kind == "query" || request.kind == "mutate")) {
+    drain_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 6, "server-draining",
+                       "server is draining; retry against a serving "
+                       "instance")};
+  }
   if (request.kind == "query") return HandleQuery(request);
   if (request.kind == "mutate") return HandleMutate(request);
   if (request.kind == "ping") {
@@ -68,6 +177,7 @@ std::vector<api::Frame> QueryServer::HandleRequest(
     pong.Add("id", std::to_string(id));
     return {pong};
   }
+  if (request.kind == "health") return {HandleHealth(id)};
   if (request.kind == "stats") {
     api::Frame reply;
     reply.kind = "stats-reply";
@@ -76,6 +186,7 @@ std::vector<api::Frame> QueryServer::HandleRequest(
     return {reply};
   }
   if (request.kind == "shutdown") {
+    Drain();  // In-flight work finishes; new work is rejected retryably.
     shutdown_requested_.store(true, std::memory_order_relaxed);
     CloseListener();  // Unblocks the accept loop; Wait() returns.
     api::Frame end;
@@ -87,6 +198,23 @@ std::vector<api::Frame> QueryServer::HandleRequest(
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   return {ErrorFrame(id, 2, "bad-request",
                      "unknown request kind '" + request.kind + "'")};
+}
+
+api::Frame QueryServer::HandleHealth(std::uint64_t id) const {
+  api::Frame reply;
+  reply.kind = "health-reply";
+  reply.Add("id", std::to_string(id));
+  reply.Add("status", draining() ? "draining" : "serving");
+  reply.Add("epoch", std::to_string(mvcc_.Epoch()));
+  reply.Add("wal", wal_.is_open() ? "1" : "0");
+  if (wal_.is_open()) {
+    reply.Add("wal_bytes", std::to_string(wal_.log_bytes()));
+    reply.Add("fsync", db::ToString(wal_.options().fsync));
+  }
+  AdmissionStats adm = admission_.stats();
+  reply.Add("running", std::to_string(adm.running));
+  reply.Add("queued", std::to_string(adm.queued));
+  return reply;
 }
 
 std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
@@ -139,6 +267,29 @@ std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
     return {frame};
   }
 
+  // 1b. Deadline-aware shedding: a request whose deadline already elapsed
+  // while it sat in the admission queue would only burn an executor slot
+  // to produce a deadline error. Shed it now with its own structured
+  // diagnostic — a retry (with fresh deadline) may well succeed, so the
+  // deadline code 4 is augmented with an explicit shed reason.
+  if (opts.deadline_ms > 0 &&
+      ticket.decision().queue_ms >= static_cast<double>(opts.deadline_ms)) {
+    queue_sheds_.fetch_add(1, std::memory_order_relaxed);
+    api::Frame frame = ErrorFrame(
+        id, util::ExitCode(util::RunStatus::kDeadlineExceeded),
+        "shed-queue-deadline",
+        "deadline_ms=" + std::to_string(opts.deadline_ms) +
+            " elapsed during " +
+            std::to_string(static_cast<std::uint64_t>(
+                ticket.decision().queue_ms)) +
+            "ms in the admission queue; request shed before execution",
+        /*retryable=*/1);
+    frame.Add("queue_ms",
+              std::to_string(static_cast<std::uint64_t>(
+                  ticket.decision().queue_ms)));
+    return {frame};
+  }
+
   // 2. Snapshot: pin an immutable MVCC view. Writers keep going; this
   // query reads frozen relation handles whose version stamps keep the
   // shared IndexCache warm across snapshots.
@@ -155,6 +306,12 @@ std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
   if (!resp.input_ok) {
     input_errors_.fetch_add(1, std::memory_order_relaxed);
     return {ErrorFrame(id, 1, "input", resp.error)};
+  }
+  if (resp.internal_error) {
+    // Resource failure inside the engine (bad_alloc — real or injected):
+    // the request dies structurally, the server and every other request
+    // keep going, and the client may retry.
+    return {ErrorFrame(id, 7, "internal", resp.error)};
   }
   resp.report.tool = "qc_serverd";
   resp.report.server.present = true;
@@ -220,6 +377,7 @@ std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
 std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
   mutations_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t id = request.FindUint("id", 0);
+  const std::uint64_t request_id = request.FindUint("request_id", 0);
   bool continue_on_error = options_.session.continue_on_input_error;
   if (const std::string* v = request.Find("on_input_error")) {
     api::SessionOptions tmp;
@@ -231,12 +389,45 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
     continue_on_error = tmp.continue_on_input_error;
   }
 
-  api::DatasetLoad load;
-  mvcc_.Mutate([&](db::Database& live) {
-    load = api::LoadDataset(request.body, &live, continue_on_error);
-    return load.ok ? db::MutationResult::Ok()
+  // Idempotent replay: a mutation whose request_id already committed
+  // (possibly before a crash — the dedup window is recovered from the WAL)
+  // is acknowledged without re-applying. This is what makes client-side
+  // mutation retry safe: ack lost on the wire, retry arrives, no double
+  // insert.
+  if (request_id != 0 && SeenRequestId(request_id)) {
+    mutations_deduped_.fetch_add(1, std::memory_order_relaxed);
+    api::Frame end;
+    end.kind = "end";
+    end.Add("id", std::to_string(id));
+    end.Add("code", "0");
+    end.Add("applied", "0");
+    end.Add("skipped", "0");
+    end.Add("diagnostics", "0");
+    end.Add("deduped", "1");
+    end.Add("epoch", std::to_string(mvcc_.Epoch()));
+    return {end};
+  }
+
+  db::WalRecord record;
+  record.kind = db::WalRecord::Kind::kDataset;
+  record.request_id = request_id;
+  record.dataset = request.body;
+  record.continue_on_error = continue_on_error;
+
+  // Stage (parse + validate, read-only) and apply in place under one
+  // writer lock — no staged database clone, so a long stream of
+  // single-tuple mutate frames costs O(total rows), not O(rows^2).
+  api::DatasetStaging staging;
+  db::MutationResult committed = mvcc_.MutateLoggedInPlace(
+      record,
+      [&](const db::Database& live) {
+        staging = api::StageDataset(request.body, live, continue_on_error);
+        return staging.load.ok
+                   ? db::MutationResult::Ok()
                    : db::MutationResult::Fail("dataset rejected");
-  });
+      },
+      [&](db::Database& live) { return api::ApplyDataset(&staging, &live); });
+  const api::DatasetLoad& load = staging.load;
 
   std::string diag_body;
   for (const api::InputDiagnostic& d : load.diagnostics) {
@@ -253,6 +444,18 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
     frame.body = diag_body;
     return {frame};
   }
+  if (!committed) {
+    // The dataset was valid but durability failed (WAL I/O error or
+    // injected fault). Nothing was applied — staged-clone rollback — so a
+    // retry is safe and may succeed once the log is writable again.
+    return {ErrorFrame(id, 7, "wal", committed.message)};
+  }
+  RememberRequestId(request_id);
+  // Opportunistic compaction keeps wal.log bounded; failure is non-fatal
+  // (the log just stays long) but is surfaced in stats via the WAL stats.
+  std::string compact_error;
+  mvcc_.MaybeCompactWal(DedupWindow(), &compact_error);
+
   api::Frame end;
   end.kind = "end";
   end.Add("id", std::to_string(id));
@@ -270,12 +473,19 @@ ServerStats QueryServer::stats() const {
   s.admission = admission_.stats();
   s.mvcc = mvcc_.stats();
   if (cache_ != nullptr) s.cache = cache_->stats();
+  s.wal = wal_.stats();
+  s.recovery = recovery();
   s.connections = connections_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.queries = queries_.load(std::memory_order_relaxed);
   s.mutations = mutations_.load(std::memory_order_relaxed);
+  s.mutations_deduped = mutations_deduped_.load(std::memory_order_relaxed);
   s.input_errors = input_errors_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.queue_sheds = queue_sheds_.load(std::memory_order_relaxed);
+  s.drain_rejects = drain_rejects_.load(std::memory_order_relaxed);
+  s.draining = draining();
+  s.wal_enabled = wal_.is_open();
   return s;
 }
 
@@ -287,8 +497,12 @@ std::string QueryServer::StatsJson() const {
   w.Key("requests").Uint(s.requests);
   w.Key("queries").Uint(s.queries);
   w.Key("mutations").Uint(s.mutations);
+  w.Key("mutations_deduped").Uint(s.mutations_deduped);
   w.Key("input_errors").Uint(s.input_errors);
   w.Key("protocol_errors").Uint(s.protocol_errors);
+  w.Key("queue_sheds").Uint(s.queue_sheds);
+  w.Key("drain_rejects").Uint(s.drain_rejects);
+  w.Key("draining").Bool(s.draining);
   w.Key("admission").BeginObject();
   w.Key("admitted").Uint(s.admission.admitted);
   w.Key("rejected").Uint(s.admission.rejected);
@@ -301,6 +515,23 @@ std::string QueryServer::StatsJson() const {
   w.Key("mutations").Uint(s.mvcc.mutations);
   w.Key("snapshots").Uint(s.mvcc.snapshots);
   w.Key("snapshot_builds").Uint(s.mvcc.snapshot_builds);
+  w.Key("wal_rejections").Uint(s.mvcc.wal_rejections);
+  w.EndObject();
+  w.Key("wal").BeginObject();
+  w.Key("enabled").Bool(s.wal_enabled);
+  w.Key("records_appended").Uint(s.wal.records_appended);
+  w.Key("bytes_appended").Uint(s.wal.bytes_appended);
+  w.Key("syncs").Uint(s.wal.syncs);
+  w.Key("compactions").Uint(s.wal.compactions);
+  w.Key("log_bytes").Uint(s.wal.log_bytes);
+  w.Key("append_failures").Uint(s.wal.append_failures);
+  w.Key("recovered").BeginObject();
+  w.Key("ran").Bool(s.recovery.ran);
+  w.Key("snapshot_records").Uint(s.recovery.snapshot_records);
+  w.Key("log_records").Uint(s.recovery.log_records);
+  w.Key("torn_bytes_truncated").Uint(s.recovery.torn_bytes_truncated);
+  w.Key("request_ids").Uint(s.recovery.request_ids);
+  w.EndObject();
   w.EndObject();
   w.Key("cache").BeginObject();
   w.Key("enabled").Bool(cache_ != nullptr);
@@ -311,6 +542,16 @@ std::string QueryServer::StatsJson() const {
   w.Key("capacity_bytes").Uint(s.cache.capacity_bytes);
   w.Key("entries").Uint(s.cache.entries);
   w.EndObject();
+  if (util::FaultsEnabled()) {
+    w.Key("faults").BeginObject();
+    for (const auto& p : util::FaultRegistry::Global().stats()) {
+      w.Key(p.point).BeginObject();
+      w.Key("evals").Uint(p.evals);
+      w.Key("fires").Uint(p.fires);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.Take();
 }
@@ -360,16 +601,26 @@ void QueryServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::thread> reaped;
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
       conn_fds_.insert(fd);
       ++live_connections_;
+      const std::uint64_t conn_id = next_conn_id_++;
+      // Holding conn_mu_ across the spawn guarantees the handle is in
+      // conn_threads_ before the new thread's exit path can look for it.
+      conn_threads_.emplace(
+          conn_id, std::thread(&QueryServer::ServeConnection, this, fd,
+                               conn_id));
+      reaped.swap(finished_threads_);
     }
-    std::thread(&QueryServer::ServeConnection, this, fd).detach();
+    // Finished threads parked their handles on the way out; join them
+    // outside the lock (they are past their last member access).
+    for (std::thread& t : reaped) t.join();
   }
 }
 
-void QueryServer::ServeConnection(int fd) {
+void QueryServer::ServeConnection(int fd, std::uint64_t conn_id) {
   api::FrameParser parser;
   char buf[1 << 16];
   bool open = true;
@@ -393,8 +644,12 @@ void QueryServer::ServeConnection(int fd) {
       SendAll(fd, api::EncodeFrame(ErrorFrame(0, 2, "protocol", err)));
       break;
     }
+    if (util::FaultsEnabled() && util::FaultPoint("socket.read")) {
+      break;  // Injected connection drop; client reconnects and retries.
+    }
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Peer closed, reset, or read-side shutdown.
     parser.Feed(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
@@ -402,8 +657,15 @@ void QueryServer::ServeConnection(int fd) {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.erase(fd);
     --live_connections_;
+    // Park this thread's own handle for the accept loop (or Stop) to
+    // join; absent means Stop() already claimed it and is waiting in
+    // join. Either way this is the last member access the thread makes.
+    auto it = conn_threads_.find(conn_id);
+    if (it != conn_threads_.end()) {
+      finished_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
   }
-  conn_cv_.notify_all();
 }
 
 void QueryServer::CloseListener() {
@@ -426,6 +688,7 @@ void QueryServer::Stop() {
     // first caller); nothing left to release.
     return;
   }
+  draining_.store(true, std::memory_order_relaxed);
   CloseListener();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
@@ -433,9 +696,29 @@ void QueryServer::Stop() {
     listen_fd_ = -1;
   }
   admission_.Close();  // Queued queries unwind with "server-shutting-down".
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  conn_cv_.wait(lock, [&] { return live_connections_ == 0; });
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Read-side shutdown only: a connection mid-request finishes and its
+    // replies still flush out the write side (graceful drain); the recv
+    // loop then sees EOF and closes. SHUT_RDWR would truncate in-flight
+    // replies.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    for (auto& [id, t] : conn_threads_) to_join.push_back(std::move(t));
+    conn_threads_.clear();
+    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
+    finished_threads_.clear();
+  }
+  // Joining the connection threads IS the drain: each finishes its
+  // in-flight request, flushes replies, and exits. After the last join no
+  // thread can touch this object again — destruction is race-free.
+  for (std::thread& t : to_join) t.join();
+  // A kBatch WAL may hold unsynced acknowledged-at-batch-risk records;
+  // flush them so a graceful stop never loses the tail.
+  if (wal_.is_open()) {
+    std::string sync_error;
+    wal_.Sync(&sync_error);
+  }
 }
 
 }  // namespace qc::server

@@ -2,13 +2,15 @@
 #define QC_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "api/query_api.h"
@@ -16,6 +18,7 @@
 #include "api/wire.h"
 #include "db/index_cache.h"
 #include "db/mvcc.h"
+#include "db/wal.h"
 #include "server/admission.h"
 
 namespace qc::server {
@@ -30,18 +33,43 @@ struct ServerOptions {
   AdmissionOptions admission;
   /// Result rows streamed per "batch" frame.
   int batch_rows = 256;
+  /// Durability: wal.dir empty = in-memory only (the default, and the
+  /// pre-WAL behavior). Non-empty = Recover() replays dir's snapshot+log
+  /// into the database and every subsequent mutation is logged before it
+  /// is acknowledged (see db/wal.h for the fsync policy semantics).
+  db::WalOptions wal;
+  /// Idempotency window: how many applied request ids the server remembers
+  /// (and persists across compaction) for duplicate-mutation detection.
+  std::size_t dedup_window = 4096;
+};
+
+/// Outcome of QueryServer::Recover — surfaced in logs and StatsJson so an
+/// operator can see exactly what a restart replayed.
+struct RecoveryInfo {
+  bool ran = false;  ///< False until Recover() is called with a wal dir.
+  std::uint64_t snapshot_records = 0;
+  std::uint64_t log_records = 0;
+  std::uint64_t torn_bytes_truncated = 0;
+  std::uint64_t request_ids = 0;  ///< Dedup ids recovered.
 };
 
 struct ServerStats {
   AdmissionStats admission;
   db::MvccStats mvcc;
   db::IndexCacheStats cache;
+  db::WalStats wal;
+  RecoveryInfo recovery;
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
   std::uint64_t queries = 0;
   std::uint64_t mutations = 0;
+  std::uint64_t mutations_deduped = 0;
   std::uint64_t input_errors = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t queue_sheds = 0;
+  std::uint64_t drain_rejects = 0;
+  bool draining = false;
+  bool wal_enabled = false;
 };
 
 /// qc_serverd's engine: a long-lived multi-tenant query service over one
@@ -50,6 +78,9 @@ struct ServerStats {
 /// Request lifecycle (the tentpole pipeline):
 ///   1. admission  — the global AdmissionController queues or rejects with
 ///                   a structured diagnostic (code 8/9) when saturated;
+///                   a request whose deadline already elapsed in the queue
+///                   is shed (code 4, "shed-queue-deadline") before any
+///                   work is wasted on it;
 ///   2. snapshot   — the query pins an MVCC snapshot (copy-on-write
 ///                   relation handles; writers never block readers, and
 ///                   IndexCache entries stay valid across snapshots since
@@ -61,7 +92,18 @@ struct ServerStats {
 ///
 /// Mutations (`mutate` frames) apply the shared dataset format as one
 /// serialized write transaction with line-numbered diagnostics and the
-/// same continue-vs-abort semantics as query_cli.
+/// same continue-vs-abort semantics as query_cli. With a WAL attached the
+/// transaction is logged before it is acknowledged, and a client-supplied
+/// `request_id` makes it idempotent: a retry of an already-applied id is
+/// acknowledged without re-applying (the dedup window survives crashes —
+/// it is recovered from the WAL and persisted across compactions).
+///
+/// Degradation: `shutdown` switches the server to draining — in-flight
+/// requests finish, new work is rejected with a retryable structured error
+/// ("server-draining", code 6) — and `health` reports serving/draining plus
+/// durability state so load balancers can steer before hitting errors.
+/// Every error frame carries `retryable` so clients know whether backoff
+/// and retry can succeed (see Client::RetryOptions).
 ///
 /// Transport is pluggable-by-construction: HandleRequest() maps one
 /// request frame to its reply frames with no socket anywhere, which is how
@@ -77,17 +119,36 @@ class QueryServer {
   /// The live database, e.g. for preloading before Start().
   db::MvccDatabase& database() { return mvcc_; }
 
+  /// Replays options.wal's snapshot + log into the database, truncates any
+  /// torn tail, opens the log for appending, and attaches it so every
+  /// subsequent mutation is durable. Call before Start() (and before any
+  /// preload). No-op returning true when options.wal.dir is empty. False +
+  /// error on unreplayable state — refusing to serve beats silently
+  /// serving a diverged store.
+  bool Recover(std::string* error);
+  RecoveryInfo recovery() const;
+
   /// Binds host:port and spawns the accept loop. False + error on failure.
   bool Start(std::string* error);
   /// Resolved listening port (after Start).
   int port() const { return port_; }
   /// Blocks until the listener shuts down (Stop() or a `shutdown` frame).
   void Wait();
-  /// Closes the listener and every connection, then joins. Idempotent.
+  /// Closes the listener and every connection, then joins. In-flight
+  /// requests finish and their replies are flushed (connections are shut
+  /// down read-side first). Idempotent.
   void Stop();
   /// True once a `shutdown` frame was honored.
   bool shutdown_requested() const {
     return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Switches to draining: in-flight work finishes, new query/mutate
+  /// frames get a retryable "server-draining" rejection. health/stats/ping
+  /// keep working so orchestration can watch the drain.
+  void Drain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
   }
 
   /// Async-signal-safe shutdown trigger (atomic store + shutdown(2) on the
@@ -95,6 +156,7 @@ class QueryServer {
   /// SIGINT/SIGTERM handler calls this.
   void SignalShutdown() {
     shutdown_requested_.store(true, std::memory_order_relaxed);
+    draining_.store(true, std::memory_order_relaxed);
     CloseListener();
   }
 
@@ -109,34 +171,59 @@ class QueryServer {
  private:
   std::vector<api::Frame> HandleQuery(const api::Frame& request);
   std::vector<api::Frame> HandleMutate(const api::Frame& request);
+  api::Frame HandleHealth(std::uint64_t id) const;
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, std::uint64_t conn_id);
   void CloseListener();
+
+  /// Dedup bookkeeping (its own lock; never held with mvcc_'s).
+  bool SeenRequestId(std::uint64_t id) const;
+  void RememberRequestId(std::uint64_t id);
+  std::vector<std::uint64_t> DedupWindow() const;
 
   const ServerOptions options_;
   db::MvccDatabase mvcc_;
+  db::Wal wal_;
   std::unique_ptr<db::IndexCache> cache_;
   AdmissionController admission_;
+
+  mutable std::mutex recovery_mu_;
+  RecoveryInfo recovery_;
+
+  /// Applied request ids, most recent last, capped at dedup_window.
+  mutable std::mutex dedup_mu_;
+  std::unordered_set<std::uint64_t> dedup_set_;
+  std::deque<std::uint64_t> dedup_order_;
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> mutations_{0};
+  std::atomic<std::uint64_t> mutations_deduped_{0};
   std::atomic<std::uint64_t> input_errors_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> queue_sheds_{0};
+  std::atomic<std::uint64_t> drain_rejects_{0};
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> shutdown_requested_{false};
 
-  /// Live connection fds (for Stop() to shut down) and a count of
-  /// in-flight detached connection threads, drained on Stop().
+  /// Live connection fds (for Stop() to shut down) and the connection
+  /// thread handles. Threads are never detached: a finishing connection
+  /// parks its own handle in finished_threads_ (it cannot join itself),
+  /// the accept loop reaps those opportunistically, and Stop() joins
+  /// everything — the join IS the graceful drain, and no connection
+  /// thread can touch a destroyed member afterwards.
   std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
   std::set<int> conn_fds_;
   int live_connections_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;
 };
 
 }  // namespace qc::server

@@ -4,8 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <vector>
+
+#include "util/fault_hook.h"
 
 namespace qc::util {
 
@@ -95,6 +98,14 @@ class Arena {
   };
 
   void NewBlock(std::size_t at_least) {
+    // The fault point sits on the block-refill slow path, not the
+    // per-allocation pointer bump: "arena.alloc" failures look exactly
+    // like a heap that ran out (bad_alloc), which api::ExecuteQuery
+    // contains into a structured internal error. The idle cost is one
+    // relaxed load per new block.
+    if (FaultsEnabled() && FaultPoint("arena.alloc")) {
+      throw std::bad_alloc();
+    }
     allocated_before_current_ += cursor_ - block_begin_;
     std::size_t size = blocks_.empty() ? kMinBlockBytes
                                        : blocks_.back().bytes * 2;

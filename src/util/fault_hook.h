@@ -1,0 +1,47 @@
+#ifndef QC_UTIL_FAULT_HOOK_H_
+#define QC_UTIL_FAULT_HOOK_H_
+
+#include <atomic>
+#include <string_view>
+
+namespace qc::util {
+
+/// Link-free fault-injection fast path.
+///
+/// Injection sites live in headers that leaf libraries (qc_kernels, which
+/// by design links nothing) include — so the gate cannot reference symbols
+/// defined in qc_util's fault.cc. Instead the state is C++17 inline
+/// variables: an activity counter plus a function pointer that
+/// FaultRegistry (fault.cc) installs when rules become active. A binary
+/// that never links fault.cc leaves both at zero and every FaultPoint()
+/// collapses to one relaxed load returning false.
+namespace fault_hook {
+
+/// Registries currently holding rules (bumped by FaultRegistry).
+inline std::atomic<int> g_active{0};
+
+using ShouldFailFn = bool (*)(std::string_view point);
+/// Evaluates a point against the global registry; installed by fault.cc.
+inline std::atomic<ShouldFailFn> g_should_fail{nullptr};
+
+}  // namespace fault_hook
+
+/// Global fast-path gate: false unless some FaultRegistry holds rules.
+/// Injection sites write `if (FaultsEnabled() && FaultPoint("x")) ...` so
+/// the idle cost is one relaxed load.
+inline bool FaultsEnabled() {
+  return fault_hook::g_active.load(std::memory_order_relaxed) > 0;
+}
+
+/// Evaluates `point` against the global registry (false immediately when
+/// no faults are configured or the registry is not linked in).
+inline bool FaultPoint(std::string_view point) {
+  if (!FaultsEnabled()) return false;
+  fault_hook::ShouldFailFn fn =
+      fault_hook::g_should_fail.load(std::memory_order_acquire);
+  return fn != nullptr && fn(point);
+}
+
+}  // namespace qc::util
+
+#endif  // QC_UTIL_FAULT_HOOK_H_

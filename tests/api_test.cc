@@ -2,6 +2,8 @@
 // line-numbered diagnostics, the qcp/1 wire codec, and the RunReport
 // server section.
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -162,6 +164,37 @@ TEST(LoadDatasetTest, ExistingArityWinsOverFirstRow) {
   ASSERT_EQ(load.diagnostics.size(), 1u);
   EXPECT_EQ(load.diagnostics[0].line, 2);
   EXPECT_EQ(db.NumTuples("R"), 1u);
+}
+
+TEST(LoadDatasetTest, StageThenApplyMatchesLoadDataset) {
+  // The server's in-place mutate path: stage read-only, then apply the
+  // resolved blocks. Repeated blocks of a NEW relation must resolve to one
+  // create followed by appends, in input order.
+  db::Database db;
+  ASSERT_TRUE(db.SetRelation("R", 2, {{1, 1}}));
+  api::DatasetStaging staging = api::StageDataset(
+      "relation T:\n5 6\nrelation R:\n2 2\nrelation T:\n7 8\n", db, false);
+  ASSERT_TRUE(staging.load.ok);
+  ASSERT_EQ(staging.blocks.size(), 3u);
+  EXPECT_TRUE(staging.blocks[0].create);    // First T block creates.
+  EXPECT_FALSE(staging.blocks[1].create);   // R exists.
+  EXPECT_FALSE(staging.blocks[2].create);   // Second T block appends.
+  EXPECT_FALSE(db.HasRelation("T"));        // Staging never touches the db.
+  ASSERT_TRUE(api::ApplyDataset(&staging, &db));
+  EXPECT_TRUE(staging.load.applied);
+  EXPECT_EQ(staging.load.tuples_applied, 3u);
+  EXPECT_EQ(db.Tuples("T"), (std::vector<db::Tuple>{{5, 6}, {7, 8}}));
+  EXPECT_EQ(db.NumTuples("R"), 2u);
+}
+
+TEST(LoadDatasetTest, StagingRejectionRefusesToApply) {
+  db::Database db;
+  api::DatasetStaging staging =
+      api::StageDataset("relation R:\n1 2\n1 2 3\n", db, false);
+  EXPECT_FALSE(staging.load.ok);
+  db::MutationResult r = api::ApplyDataset(&staging, &db);
+  EXPECT_FALSE(r);
+  EXPECT_FALSE(db.HasRelation("R"));
 }
 
 TEST(LoadDatasetTest, StructuralErrorsAreDiagnosed) {
@@ -347,6 +380,54 @@ TEST(QueryApiTest, MaxRowsTruncatesWithBudgetExhaustedStatus) {
   EXPECT_EQ(resp.ExitCode(), 5);
   EXPECT_TRUE(resp.result.truncated);
   EXPECT_LE(resp.result.tuples.size(), 2u);
+}
+
+// --- LoadDatasetFile: I/O failures vs parse failures --------------------
+//
+// A missing file and a malformed file are different operational events
+// (retry/config-fix vs fix-the-data); the api must never blur them into
+// one diagnostic.
+
+TEST(LoadDatasetFileTest, MissingFileIsAnIoErrorNotAParseError) {
+  db::Database db;
+  api::DatasetFileLoad load = api::LoadDatasetFile(
+      "/nonexistent/qc_no_such_file.txt", &db, false);
+  EXPECT_FALSE(load.io_ok);
+  EXPECT_NE(load.io_error.find("qc_no_such_file"), std::string::npos)
+      << load.io_error;
+  // The underlying errno text travels in the diagnostic.
+  EXPECT_NE(load.io_error.find("No such file"), std::string::npos)
+      << load.io_error;
+  EXPECT_EQ(load.load.tuples_applied, 0u);
+}
+
+TEST(LoadDatasetFileTest, ParseErrorStillReportsIoSuccess) {
+  const std::string path = ::testing::TempDir() + "qc_api_bad_dataset.txt";
+  {
+    std::ofstream out(path);
+    out << "relation R:\n1 2\nnot a number here\n";
+  }
+  db::Database db;
+  api::DatasetFileLoad load = api::LoadDatasetFile(path, &db, false);
+  EXPECT_TRUE(load.io_ok) << load.io_error;  // The read itself worked.
+  EXPECT_FALSE(load.load.ok);
+  EXPECT_FALSE(load.load.diagnostics.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LoadDatasetFileTest, CleanFileLoads) {
+  const std::string path = ::testing::TempDir() + "qc_api_good_dataset.txt";
+  {
+    std::ofstream out(path);
+    out << "relation R:\n1 2\n3 4\n";
+  }
+  db::Database db;
+  api::DatasetFileLoad load = api::LoadDatasetFile(path, &db, false);
+  EXPECT_TRUE(load.io_ok) << load.io_error;
+  EXPECT_TRUE(load.load.ok);
+  EXPECT_EQ(load.load.tuples_applied, 2u);
+  EXPECT_EQ(db.NumTuples("R"), 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

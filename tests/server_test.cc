@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
@@ -22,6 +24,7 @@
 #include "server/admission.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "util/fault.h"
 
 namespace qc {
 namespace {
@@ -418,6 +421,422 @@ TEST(ServerSocketTest, GarbageBytesGetProtocolError) {
   ::close(fd);
   server.Stop();
   EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+// --- FrameParser malformed-frame corpus ---------------------------------
+//
+// The parser fronts an untrusted TCP peer: every way a header can be
+// damaged must end in kNeedMore (incomplete) or a terminal kError — never
+// a crash, never a silently misframed body.
+
+TEST(FrameParserCorpusTest, TruncatedHeaderIsNeedMoreUntilComplete) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  parser.Feed("qcp que");  // Header cut mid-kind.
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kNeedMore);
+  parser.Feed("ry 2\nid 1\n.");  // Still no terminating newline.
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kNeedMore);
+  parser.Feed("\nok");
+  ASSERT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kFrame);
+  EXPECT_EQ(frame.kind, "query");
+  EXPECT_EQ(frame.body, "ok");
+}
+
+TEST(FrameParserCorpusTest, MalformedHeadersPoisonTheParser) {
+  const char* corpus[] = {
+      "nope query 0\n",       // Wrong protocol token.
+      "qcp\n",                // Missing kind and length.
+      "qcp query\n",          // Missing length.
+      "qcp query xyz\n",      // Non-numeric length.
+      "qcp query 5 extra\n",  // Trailing token.
+  };
+  for (const char* bad : corpus) {
+    api::FrameParser parser;
+    api::Frame frame;
+    std::string error;
+    parser.Feed(bad);
+    EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError)
+        << bad;
+    // Poisoned: even a perfectly valid frame after the damage is refused,
+    // because resync inside a length-prefixed stream is guesswork.
+    parser.Feed("qcp ping 0\n.\n");
+    EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError)
+        << bad;
+  }
+}
+
+TEST(FrameParserCorpusTest, OversizedBodyLengthIsRejected) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  const std::string huge =
+      std::to_string(api::FrameParser::kMaxBodyBytes + 1);
+  parser.Feed("qcp mutate " + huge + "\n.\n");
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FrameParserCorpusTest, OversizedHeaderLineIsRejected) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  // One header line longer than the cap, never terminated: the parser must
+  // reject rather than buffer unboundedly.
+  parser.Feed("qcp query 0\n");
+  parser.Feed(std::string(api::FrameParser::kMaxHeaderLine + 2, 'k'));
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError);
+}
+
+TEST(FrameParserCorpusTest, MidFrameEofLeavesPartialFrameUnconsumed) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  parser.Feed("qcp mutate 100\nid 9\n.\npartial body then EOF");
+  // The body promises 100 bytes and the connection died early: the frame
+  // must never surface. (EOF itself is the transport's signal; the client
+  // resets its parser on reconnect — see Client::Connect.)
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kNeedMore);
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kNeedMore);
+}
+
+TEST(FrameParserCorpusTest, DuplicatedEndOfFieldsMarkerBreaksFraming) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  // First frame is fine; the stray extra ".\n" then reads as the next
+  // frame's header line, which is malformed → terminal error.
+  parser.Feed("qcp end 0\n.\n.\nqcp ping 0\n.\n");
+  ASSERT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kFrame);
+  EXPECT_EQ(frame.kind, "end");
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError);
+}
+
+TEST(FrameParserCorpusTest, TooManyFieldsRejected) {
+  api::FrameParser parser;
+  api::Frame frame;
+  std::string error;
+  std::string msg = "qcp query 0\n";
+  for (std::size_t i = 0; i < api::FrameParser::kMaxFields + 1; ++i) {
+    msg += "k v\n";
+  }
+  msg += ".\n";
+  parser.Feed(msg);
+  EXPECT_EQ(parser.Next(&frame, &error), api::FrameParser::Result::kError);
+}
+
+// --- Durability, degradation, and recovery through the pipeline ---------
+
+class WalServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string templ = ::testing::TempDir() + "qc_srv_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    dir_ = ::mkdtemp(buf.data());
+  }
+  void TearDown() override {
+    util::FaultRegistry::Global().Clear();
+    util::FaultRegistry::Global().ResetStats();
+    std::remove((dir_ + "/wal.log").c_str());
+    std::remove((dir_ + "/snapshot.dat").c_str());
+    std::remove((dir_ + "/snapshot.tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  server::ServerOptions WalOptions() {
+    server::ServerOptions options = SmallServerOptions();
+    options.wal.dir = dir_;
+    options.wal.fsync = db::FsyncPolicy::kOff;  // Tests tear down cleanly.
+    return options;
+  }
+
+  static std::vector<api::Frame> Mutate(server::QueryServer& server,
+                                        const std::string& body,
+                                        std::uint64_t request_id = 0) {
+    api::Frame f;
+    f.kind = "mutate";
+    f.Add("id", "1");
+    if (request_id != 0) f.Add("request_id", std::to_string(request_id));
+    f.body = body;
+    return server.HandleRequest(f);
+  }
+
+  static std::vector<api::Frame> Query(server::QueryServer& server,
+                                       const std::string& text) {
+    api::Frame f;
+    f.kind = "query";
+    f.Add("id", "2");
+    f.body = text;
+    return server.HandleRequest(f);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalServerTest, MutationsSurviveRestart) {
+  {
+    server::QueryServer server(WalOptions());
+    std::string error;
+    ASSERT_TRUE(server.Recover(&error)) << error;
+    EXPECT_TRUE(server.stats().wal_enabled);
+    std::vector<api::Frame> r = Mutate(server, kTriangleDataset);
+    ASSERT_EQ(r[0].kind, "end");
+    EXPECT_EQ(r[0].FindUint("applied", 0), 21u);
+    EXPECT_GE(server.stats().wal.records_appended, 1u);
+  }
+  server::QueryServer reborn(WalOptions());
+  std::string error;
+  ASSERT_TRUE(reborn.Recover(&error)) << error;
+  EXPECT_EQ(reborn.recovery().log_records, 1u);
+  std::vector<api::Frame> r = Query(reborn, kTriangleQuery);
+  ASSERT_EQ(r.front().kind, "hdr");
+  EXPECT_EQ(r.front().FindUint("rows", 0), 6u);
+}
+
+TEST_F(WalServerTest, RequestIdDedupWithinRunAndAcrossRestart) {
+  const char kAppend[] = "relation R1:\n9 9\n";
+  {
+    server::QueryServer server(WalOptions());
+    std::string error;
+    ASSERT_TRUE(server.Recover(&error)) << error;
+    Mutate(server, kTriangleDataset, 500);
+    std::vector<api::Frame> first = Mutate(server, kAppend, 501);
+    ASSERT_EQ(first[0].kind, "end");
+    EXPECT_EQ(first[0].FindUint("applied", 0), 1u);
+    EXPECT_EQ(first[0].FindUint("deduped", 0), 0u);
+    // A retry of the same request id must ack without re-applying.
+    std::vector<api::Frame> retry = Mutate(server, kAppend, 501);
+    ASSERT_EQ(retry[0].kind, "end");
+    EXPECT_EQ(retry[0].FindUint("deduped", 0), 1u);
+    EXPECT_EQ(retry[0].FindUint("applied", 9), 0u);
+    EXPECT_EQ(server.stats().mutations_deduped, 1u);
+    std::vector<api::Frame> q = Query(server, "R1(a,b)");
+    EXPECT_EQ(q.front().FindUint("rows", 0), 8u);  // 7 + 1, not + 2.
+  }
+  // The dedup window is WAL-recovered: a post-crash retry still dedups.
+  server::QueryServer reborn(WalOptions());
+  std::string error;
+  ASSERT_TRUE(reborn.Recover(&error)) << error;
+  std::vector<api::Frame> retry = Mutate(reborn, kAppend, 501);
+  ASSERT_EQ(retry[0].kind, "end");
+  EXPECT_EQ(retry[0].FindUint("deduped", 0), 1u);
+  std::vector<api::Frame> q = Query(reborn, "R1(a,b)");
+  EXPECT_EQ(q.front().FindUint("rows", 0), 8u);
+}
+
+TEST_F(WalServerTest, DrainingRejectsNewWorkRetryably) {
+  server::QueryServer server(SmallServerOptions());
+  Mutate(server, kTriangleDataset);
+  server.Drain();
+  EXPECT_TRUE(server.draining());
+
+  std::vector<api::Frame> r = Query(server, kTriangleQuery);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 6u);
+  EXPECT_EQ(*r[0].Find("reason"), "server-draining");
+  EXPECT_EQ(r[0].FindUint("retryable", 0), 1u);
+
+  r = Mutate(server, kTriangleDataset);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 6u);
+  EXPECT_EQ(server.stats().drain_rejects, 2u);
+
+  // health and stats still answer while draining.
+  api::Frame health;
+  health.kind = "health";
+  std::vector<api::Frame> h = server.HandleRequest(health);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].kind, "health-reply");
+  EXPECT_EQ(*h[0].Find("status"), "draining");
+}
+
+TEST_F(WalServerTest, HealthFrameReportsServingAndDurability) {
+  server::QueryServer server(WalOptions());
+  std::string error;
+  ASSERT_TRUE(server.Recover(&error)) << error;
+  api::Frame health;
+  health.kind = "health";
+  health.Add("id", "42");
+  std::vector<api::Frame> h = server.HandleRequest(health);
+  ASSERT_EQ(h.size(), 1u);
+  ASSERT_EQ(h[0].kind, "health-reply");
+  EXPECT_EQ(*h[0].Find("status"), "serving");
+  EXPECT_EQ(h[0].FindUint("wal", 0), 1u);
+  ASSERT_NE(h[0].Find("epoch"), nullptr);
+}
+
+TEST_F(WalServerTest, QueueDeadlineShedsWithStructuredError) {
+  server::ServerOptions options = SmallServerOptions();
+  options.admission.max_concurrent = 1;
+  options.admission.queue_capacity = 4;
+  server::QueryServer server(options);
+  // 1024 tuples per relation → a 32768-row triangle result streamed at
+  // batch_rows=2: each slow query holds the single executor slot for many
+  // milliseconds, so a request that queued behind it with deadline_ms=1 is
+  // stale by the time it admits.
+  std::string dataset;
+  for (const char* rel : {"R1", "R2", "R3"}) {
+    dataset += std::string("relation ") + rel + ":\n";
+    for (int a = 0; a < 32; ++a) {
+      for (int b = 0; b < 32; ++b) {
+        dataset += std::to_string(a) + " " + std::to_string(b) + "\n";
+      }
+    }
+  }
+  Mutate(server, dataset);
+
+  std::atomic<bool> shed_seen{false};
+  std::atomic<bool> slow_done{false};
+  std::thread slow([&] {
+    for (int i = 0; i < 200 && !shed_seen.load(); ++i) {
+      Query(server, kTriangleQuery);
+    }
+    slow_done.store(true);
+  });
+  std::thread victim([&] {
+    while (!shed_seen.load() && !slow_done.load()) {
+      // Only bother once the slow query actually holds the slot, so the
+      // victim lands in the queue rather than admitting instantly.
+      if (server.stats().admission.running == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      api::Frame f;
+      f.kind = "query";
+      f.Add("id", "9").Add("deadline_ms", "1");
+      f.body = kTriangleQuery;
+      std::vector<api::Frame> r = server.HandleRequest(f);
+      if (r.size() == 1 && r[0].kind == "error" &&
+          r[0].Find("reason") != nullptr &&
+          *r[0].Find("reason") == "shed-queue-deadline") {
+        EXPECT_EQ(r[0].FindUint("code", 0), 4u);
+        EXPECT_EQ(r[0].FindUint("retryable", 0), 1u);
+        ASSERT_NE(r[0].Find("queue_ms"), nullptr);
+        shed_seen.store(true);
+      }
+    }
+  });
+  slow.join();
+  victim.join();
+  EXPECT_TRUE(shed_seen.load());
+  EXPECT_GE(server.stats().queue_sheds, 1u);
+}
+
+TEST_F(WalServerTest, AllocationFaultBecomesStructuredInternalError) {
+  server::QueryServer server(SmallServerOptions());
+  Mutate(server, kTriangleDataset);
+  std::string cfg_error;
+  ASSERT_TRUE(util::FaultRegistry::Global().Configure("arena.alloc:after=0",
+                                                      1, &cfg_error))
+      << cfg_error;
+  std::vector<api::Frame> r = Query(server, kTriangleQuery);
+  util::FaultRegistry::Global().Clear();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 7u);
+  EXPECT_EQ(*r[0].Find("reason"), "internal");
+  EXPECT_EQ(r[0].FindUint("retryable", 0), 1u);
+  // The fault is contained: the same query succeeds once faults clear.
+  r = Query(server, kTriangleQuery);
+  ASSERT_EQ(r.front().kind, "hdr");
+  EXPECT_EQ(r.front().FindUint("rows", 0), 6u);
+}
+
+TEST_F(WalServerTest, WalAppendFaultRejectsMutationWithoutStateChange) {
+  server::QueryServer server(WalOptions());
+  std::string error;
+  ASSERT_TRUE(server.Recover(&error)) << error;
+  Mutate(server, kTriangleDataset);
+  const std::uint64_t epoch = server.database().Epoch();
+
+  std::string cfg_error;
+  ASSERT_TRUE(util::FaultRegistry::Global().Configure("wal.write:once=1", 1,
+                                                      &cfg_error))
+      << cfg_error;
+  std::vector<api::Frame> r = Mutate(server, "relation R1:\n5 5\n");
+  util::FaultRegistry::Global().Clear();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 7u);
+  EXPECT_EQ(r[0].FindUint("retryable", 0), 1u);
+  EXPECT_EQ(server.database().Epoch(), epoch);  // Nothing was applied.
+  std::vector<api::Frame> q = Query(server, "R1(a,b)");
+  EXPECT_EQ(q.front().FindUint("rows", 0), 7u);
+}
+
+// --- Socket-level retry, dedup, and restart recovery --------------------
+
+TEST(ServerSocketTest, ClientRetriesRetryableRejections) {
+  server::ServerOptions options = SmallServerOptions();
+  options.admission.max_concurrent = 0;  // Everything rejected (code 8).
+  options.admission.queue_capacity = 0;
+  server::QueryServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  server::Client client;
+  server::RetryOptions retry;
+  retry.max_retries = 2;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 4;
+  client.set_retry(retry);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  server::QueryReply q = client.Query(kTriangleQuery);
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_TRUE(q.rejected);
+  EXPECT_TRUE(q.retryable);
+  EXPECT_EQ(q.code, server::kAdmissionRejectedCode);
+  EXPECT_EQ(q.attempts, 3);  // Initial try + max_retries.
+  EXPECT_GE(server.stats().admission.rejected, 3u);
+  server.Stop();
+}
+
+TEST(ServerSocketTest, MutationRetryWithRequestIdNeverDoubleApplies) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  server::Client client;
+  server::RetryOptions retry;
+  retry.max_retries = 3;
+  retry.base_backoff_ms = 1;
+  client.set_retry(retry);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  ASSERT_TRUE(client.Mutate("relation R:\n1\n").ok);
+
+  // Simulate "applied but ack lost": apply once, then retry the same
+  // request id from a fresh connection (as a reconnecting client would).
+  server::MutateReply first = client.Mutate("relation R:\n2\n", "", 9001);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.applied, 1u);
+  server::Client again;
+  again.set_retry(retry);
+  ASSERT_TRUE(again.Connect("127.0.0.1", server.port(), &error)) << error;
+  server::MutateReply second = again.Mutate("relation R:\n2\n", "", 9001);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.deduped);
+  EXPECT_EQ(second.applied, 0u);
+
+  server::QueryReply q = client.Query("R(x)");
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_EQ(q.rows, 2u);  // {1}, {2} — the retry did not double-apply.
+  server.Stop();
+}
+
+TEST(ServerSocketTest, HealthProbeOverTcp) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  server::HealthReply h = client.Health();
+  ASSERT_TRUE(h.ok) << h.error;
+  EXPECT_EQ(h.status, "serving");
+  EXPECT_FALSE(h.wal);
+  server.Stop();
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 #include "util/fault.h"
 
@@ -15,18 +16,25 @@ namespace qc::db {
 
 namespace {
 
-/// 8-byte file magics. The log magic doubles as the truncation floor: a
-/// compacted log is exactly these 8 bytes.
-constexpr char kLogMagic[8] = {'Q', 'C', 'W', 'A', 'L', 'v', '1', '\n'};
-constexpr char kSnapMagic[8] = {'Q', 'C', 'S', 'N', 'A', 'P', '1', '\n'};
+/// 8-byte file magics; each file's header is the magic followed by a u64
+/// little-endian generation number. A snapshot at generation G supersedes
+/// every log record at generation <= G (see Wal class comment).
+constexpr char kLogMagic[8] = {'Q', 'C', 'W', 'A', 'L', 'v', '2', '\n'};
+constexpr char kSnapMagic[8] = {'Q', 'C', 'S', 'N', 'A', 'P', '2', '\n'};
 constexpr char kLogFile[] = "wal.log";
+constexpr char kLogTmp[] = "wal.log.tmp";
 constexpr char kSnapshotFile[] = "snapshot.dat";
 constexpr char kSnapshotTmp[] = "snapshot.tmp";
+constexpr std::size_t kHeaderBytes = 16;
 
 /// A single record's payload never legitimately reaches 1 GiB; anything
 /// larger read back from disk is corruption, not data.
 constexpr std::uint64_t kMaxRecordBytes = std::uint64_t{1} << 30;
 constexpr std::size_t kMaxRelationName = 1 << 16;
+/// Nullary tuples occupy zero payload bytes, so the per-byte bound in
+/// ReadTuples cannot cap their row count; a corrupt count must not drive
+/// a multi-gigabyte reserve. No legitimate nullary batch approaches this.
+constexpr std::uint64_t kMaxNullaryRows = std::uint64_t{1} << 20;
 
 // --- CRC32 (IEEE 802.3, reflected 0xEDB88320) ---------------------------
 
@@ -130,14 +138,15 @@ bool ReadTuples(Reader* r, int* arity, std::vector<Tuple>* tuples) {
   const std::uint64_t rows = r->U64();
   if (!r->ok || *arity < 0) return false;
   // Every value is 8 bytes; reject row counts the payload cannot hold
-  // before reserving anything.
+  // before reserving anything. Nullary rows hold no bytes, so they get
+  // their own (generous) cap instead.
   const std::uint64_t remaining = r->data.size() - r->pos;
-  const std::uint64_t cells =
-      rows * static_cast<std::uint64_t>(*arity);
-  if (*arity != 0 && rows > remaining / 8 / static_cast<std::uint64_t>(*arity)) {
+  if (*arity == 0) {
+    if (rows > kMaxNullaryRows) return false;
+  } else if (rows > remaining / 8 / static_cast<std::uint64_t>(*arity)) {
     return false;
   }
-  tuples->reserve(rows);
+  tuples->reserve(static_cast<std::size_t>(rows));
   for (std::uint64_t i = 0; i < rows; ++i) {
     Tuple t(static_cast<std::size_t>(*arity));
     for (int c = 0; c < *arity; ++c) {
@@ -146,7 +155,6 @@ bool ReadTuples(Reader* r, int* arity, std::vector<Tuple>* tuples) {
     if (!r->ok) return false;
     tuples->push_back(std::move(t));
   }
-  (void)cells;
   return r->ok;
 }
 
@@ -209,7 +217,70 @@ bool SyncDir(const std::string& dir, std::string* error) {
   return ok;
 }
 
-/// Iterates `data` (past the 8-byte magic) record by record. Returns the
+std::string FileHeader(const char (&magic)[8], std::uint64_t generation) {
+  std::string header(magic, sizeof(magic));
+  PutU64(&header, generation);
+  return header;
+}
+
+/// False when `data` lacks a complete header or the magic differs.
+bool ParseHeader(std::string_view data, const char (&magic)[8],
+                 std::uint64_t* generation) {
+  if (data.size() < kHeaderBytes) return false;
+  if (data.compare(0, sizeof(magic), magic, sizeof(magic)) != 0) {
+    return false;
+  }
+  Reader r{data, sizeof(magic)};
+  *generation = r.U64();
+  return true;
+}
+
+/// Reads at most the first `n` bytes of `path` (fewer if the file is
+/// shorter). Missing file: true with *exists = false.
+bool ReadPrefix(const std::string& path, std::size_t n, std::string* out,
+                bool* exists, std::string* error) {
+  *exists = false;
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return true;
+    if (error != nullptr) *error = Errno("open " + path);
+    return false;
+  }
+  *exists = true;
+  char buf[kHeaderBytes];
+  while (out->size() < n) {
+    ssize_t r = ::read(fd, buf, std::min(sizeof(buf), n - out->size()));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("read " + path);
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Best-effort peek at snapshot.dat's generation (0 = none/unreadable).
+/// A fresh log must open at a strictly newer generation, or recovery
+/// would discard its records as already covered by the snapshot.
+std::uint64_t SnapshotGeneration(const std::string& dir) {
+  std::string head;
+  bool exists = false;
+  if (!ReadPrefix(dir + "/" + kSnapshotFile, kHeaderBytes, &head, &exists,
+                  nullptr) ||
+      !exists) {
+    return 0;
+  }
+  std::uint64_t generation = 0;
+  ParseHeader(head, kSnapMagic, &generation);
+  return generation;
+}
+
+/// Iterates `data` (past the 16-byte header) record by record. Returns the
 /// offset one past the last valid record; `*hard_error` is set (with a
 /// message) when a CRC-valid record fails to decode or `on_record`
 /// rejects it — corruption beyond a torn tail.
@@ -404,34 +475,46 @@ bool Wal::Open(const WalOptions& options, std::string* error) {
     return false;
   }
   std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
-  if (size < sizeof(kLogMagic)) {
-    // Fresh log, or a header torn by a crash during creation: start over.
+  std::uint64_t generation = 0;
+  if (size < kHeaderBytes) {
+    // Fresh log, or a header torn by a crash during creation: start over
+    // one generation past the snapshot (if any), so recovery replays what
+    // lands here on top of it.
+    generation = SnapshotGeneration(options.dir) + 1;
     if (::ftruncate(fd, 0) != 0 ||
-        !WriteAll(fd, std::string_view(kLogMagic, sizeof(kLogMagic)),
-                  error)) {
+        !WriteAll(fd, FileHeader(kLogMagic, generation), error)) {
       if (error->empty()) *error = Errno("init " + path);
       ::close(fd);
       return false;
     }
-    size = sizeof(kLogMagic);
+    size = kHeaderBytes;
   } else {
-    // Replay() already validated the magic; revalidate cheaply in case
+    // Replay() already validated the header; revalidate cheaply in case
     // Open is used standalone against a foreign file.
     std::string head;
     bool exists = false;
-    if (!ReadWholeFile(path, &head, &exists, error)) {
+    if (!ReadPrefix(path, kHeaderBytes, &head, &exists, error)) {
       ::close(fd);
       return false;
     }
-    if (head.compare(0, sizeof(kLogMagic), kLogMagic, sizeof(kLogMagic)) !=
-        0) {
+    if (!ParseHeader(head, kLogMagic, &generation)) {
       *error = path + ": bad magic (not a qc wal)";
+      ::close(fd);
+      return false;
+    }
+    // A log the snapshot already covers would silently drop every append
+    // at the next recovery; Replay discards such a log, so hitting one
+    // here means recovery was skipped.
+    if (SnapshotGeneration(options.dir) >= generation) {
+      *error = path + ": generation " + std::to_string(generation) +
+               " is already covered by the snapshot; run recovery first";
       ::close(fd);
       return false;
     }
   }
   options_ = options;
   fd_ = fd;
+  generation_ = generation;
   log_bytes_ = size;
   unsynced_bytes_ = 0;
   stats_.log_bytes = log_bytes_;
@@ -530,8 +613,10 @@ bool Wal::Compact(const Database& db,
   }
 
   // Serialize every relation (RelationNames is sorted — deterministic
-  // snapshot bytes for identical databases) plus the dedup window.
-  std::string snap(kSnapMagic, sizeof(kSnapMagic));
+  // snapshot bytes for identical databases) plus the dedup window. The
+  // snapshot carries the current log generation: it supersedes every
+  // record logged at or before it.
+  std::string snap = FileHeader(kSnapMagic, generation_);
   for (const std::string& name : db.RelationNames()) {
     WalRecord record;
     record.kind = WalRecord::Kind::kSetRelation;
@@ -584,16 +669,47 @@ bool Wal::Compact(const Database& db,
   }
   if (!SyncDir(options_.dir, error)) return false;
 
-  // The snapshot is durable; the log's records are now redundant.
-  if (::ftruncate(fd_, static_cast<off_t>(sizeof(kLogMagic))) != 0) {
-    *error = Errno("truncate wal.log");
+  // The snapshot is durable; rotate to a fresh, higher-generation log via
+  // the same tmp + rename dance. Recovery discards any wal.log whose
+  // generation the snapshot covers, so a crash anywhere in this window
+  // cannot replay the old records on top of the snapshot that already
+  // contains them.
+  const std::string log_tmp = options_.dir + "/" + kLogTmp;
+  const std::string log_path = options_.dir + "/" + kLogFile;
+  std::string rotate_error;
+  int log_fd = ::open(log_tmp.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  bool rotated = log_fd >= 0;
+  if (!rotated) rotate_error = Errno("open " + log_tmp);
+  if (rotated &&
+      !WriteAll(log_fd, FileHeader(kLogMagic, generation_ + 1),
+                &rotate_error)) {
+    rotated = false;
+  }
+  if (rotated && ::fdatasync(log_fd) != 0) {
+    rotate_error = Errno("fdatasync " + log_tmp);
+    rotated = false;
+  }
+  if (rotated && ::rename(log_tmp.c_str(), log_path.c_str()) != 0) {
+    rotate_error = Errno("rename " + log_tmp);
+    rotated = false;
+  }
+  if (rotated && !SyncDir(options_.dir, &rotate_error)) rotated = false;
+  if (!rotated) {
+    // The snapshot now supersedes the open log, and no fresh log exists:
+    // further appends would land in a covered generation and be dropped
+    // by the next recovery. Close instead — mutations fail retryably
+    // until the server reopens through recovery.
+    if (log_fd >= 0) ::close(log_fd);
+    ::close(fd_);
+    fd_ = -1;
+    *error = "wal rotation failed after snapshot: " + rotate_error;
     return false;
   }
-  if (::fdatasync(fd_) != 0) {
-    *error = Errno("fdatasync wal.log");
-    return false;
-  }
-  log_bytes_ = sizeof(kLogMagic);
+  ::close(fd_);
+  fd_ = log_fd;
+  ++generation_;
+  log_bytes_ = kHeaderBytes;
   unsynced_bytes_ = 0;
   stats_.log_bytes = log_bytes_;
   ++stats_.compactions;
@@ -603,6 +719,11 @@ bool Wal::Compact(const Database& db,
 std::uint64_t Wal::log_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fd_ >= 0 ? log_bytes_ : 0;
+}
+
+std::uint64_t Wal::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0 ? generation_ : 0;
 }
 
 WalStats Wal::stats() const {
@@ -620,12 +741,23 @@ WalRecovery Wal::Replay(
     return out;
   };
 
+  std::unordered_set<std::uint64_t> seen_ids;
   auto handle = [&](const WalRecord& record, std::string* error,
                     std::uint64_t* counter) {
     if (record.kind == WalRecord::Kind::kDedup) {
-      out.request_ids.insert(out.request_ids.end(),
-                             record.dedup_ids.begin(),
-                             record.dedup_ids.end());
+      for (std::uint64_t dedup_id : record.dedup_ids) {
+        if (dedup_id != 0 && seen_ids.insert(dedup_id).second) {
+          out.request_ids.push_back(dedup_id);
+        }
+      }
+      return true;
+    }
+    if (record.request_id != 0 && seen_ids.count(record.request_id) != 0) {
+      // The same idempotency id logged twice: a failed fsync persists a
+      // record whose mutation was rejected, and the client's acknowledged
+      // retry appends a second copy. Applying both would double-apply an
+      // acknowledged mutation.
+      ++out.duplicate_records_skipped;
       return true;
     }
     MutationResult r = apply(record);
@@ -636,31 +768,36 @@ WalRecovery Wal::Replay(
       return false;
     }
     if (record.request_id != 0) {
+      seen_ids.insert(record.request_id);
       out.request_ids.push_back(record.request_id);
     }
     ++*counter;
     return true;
   };
 
+  // A crash inside Compact can leave either pre-rename scratch file
+  // behind; neither is ever authoritative.
+  ::unlink((options.dir + "/" + kSnapshotTmp).c_str());
+  ::unlink((options.dir + "/" + kLogTmp).c_str());
+
   // 1. Snapshot: complete by construction (fsync-then-rename), so any
   // damage here is a hard error — never skipped.
   const std::string snap_path = options.dir + "/" + kSnapshotFile;
   std::string snap;
   bool snap_exists = false;
+  std::uint64_t snap_generation = 0;
   std::string io_error;
   if (!ReadWholeFile(snap_path, &snap, &snap_exists, &io_error)) {
     return fail(io_error);
   }
   if (snap_exists) {
-    if (snap.size() < sizeof(kSnapMagic) ||
-        snap.compare(0, sizeof(kSnapMagic), kSnapMagic,
-                     sizeof(kSnapMagic)) != 0) {
-      return fail(snap_path + ": bad snapshot magic");
+    if (!ParseHeader(snap, kSnapMagic, &snap_generation)) {
+      return fail(snap_path + ": bad snapshot header");
     }
     bool hard_error = false;
     std::string walk_error;
     const std::uint64_t end = WalkRecords(
-        snap, sizeof(kSnapMagic),
+        snap, kHeaderBytes,
         [&](const WalRecord& record, std::string* error) {
           return handle(record, error, &out.snapshot_records);
         },
@@ -681,19 +818,32 @@ WalRecovery Wal::Replay(
     return fail(io_error);
   }
   if (log_exists) {
+    std::uint64_t log_generation = 0;
     std::uint64_t valid_end = 0;
-    if (log.size() < sizeof(kLogMagic)) {
+    if (log.size() < kHeaderBytes) {
       // Torn header: the file never held a durable record.
       valid_end = 0;
       out.torn_bytes_truncated += log.size();
-    } else if (log.compare(0, sizeof(kLogMagic), kLogMagic,
-                           sizeof(kLogMagic)) != 0) {
+    } else if (!ParseHeader(log, kLogMagic, &log_generation)) {
       return fail(log_path + ": bad magic (not a qc wal)");
+    } else if (snap_exists && log_generation <= snap_generation) {
+      // A crash between Compact's snapshot rename and its log rotation:
+      // every record here is already inside the snapshot (including its
+      // request_ids, via the kDedup record). Replaying would duplicate
+      // them all, so discard the file; Open then starts a fresh log one
+      // generation past the snapshot.
+      out.stale_log_bytes_skipped = log.size();
+      if (::unlink(log_path.c_str()) != 0) {
+        return fail(Errno("unlink stale " + log_path));
+      }
+      SyncDir(options.dir, nullptr);  // Best effort; stale is re-skipped.
+      out.ok = true;
+      return out;
     } else {
       bool hard_error = false;
       std::string walk_error;
       valid_end = WalkRecords(
-          log, sizeof(kLogMagic),
+          log, kHeaderBytes,
           [&](const WalRecord& record, std::string* error) {
             return handle(record, error, &out.log_records);
           },

@@ -84,6 +84,14 @@ struct WalRecovery {
   std::uint64_t snapshot_records = 0;  ///< Applied from snapshot.dat.
   std::uint64_t log_records = 0;       ///< Applied from wal.log.
   std::uint64_t torn_bytes_truncated = 0;  ///< Invalid tail cut from the log.
+  /// Records skipped because their nonzero request_id was already applied.
+  /// A failed fsync can persist a record whose mutation was rejected; the
+  /// client's acknowledged retry then logs a second copy of the same id.
+  std::uint64_t duplicate_records_skipped = 0;
+  /// Bytes of a wal.log whose generation the snapshot already covers —
+  /// a crash between Compact's snapshot rename and its log rotation.
+  /// Replaying it would double-apply everything, so it is discarded.
+  std::uint64_t stale_log_bytes_skipped = 0;
   /// Every request id seen (dedup window from the snapshot plus the id of
   /// each replayed record) — the server's idempotency set after recovery.
   std::vector<std::uint64_t> request_ids;
@@ -92,11 +100,12 @@ struct WalRecovery {
 /// Checksummed, length-prefixed write-ahead log of database mutations.
 ///
 /// On-disk layout inside `dir`:
-///   wal.log       8-byte magic, then records: u32 payload-bytes,
-///                 u32 CRC32(payload), payload (EncodeWalRecord)
-///   snapshot.dat  same record format holding one kSetRelation per
-///                 relation plus one kDedup record; written to
-///                 snapshot.tmp, fsynced, then atomically renamed
+///   wal.log       16-byte header (8-byte magic + u64 generation), then
+///                 records: u32 payload-bytes, u32 CRC32(payload),
+///                 payload (EncodeWalRecord)
+///   snapshot.dat  same header and record format, holding one
+///                 kSetRelation per relation plus one kDedup record;
+///                 written to snapshot.tmp, fsynced, atomically renamed
 ///
 /// Recovery invariants (see DESIGN.md §13):
 ///   * a record is applied iff its length fits the file AND its CRC
@@ -106,7 +115,16 @@ struct WalRecovery {
 ///     snapshot is a hard recovery error, never silently skipped;
 ///   * Append writes and syncs *before* the mutation is applied or
 ///     acknowledged, so acknowledged writes are exactly the durable ones
-///     under fsync=always.
+///     under fsync=always;
+///   * a snapshot at generation G supersedes every log record at
+///     generation <= G. Compact stamps the snapshot with the current log
+///     generation and then rotates (tmp + rename) to a fresh G+1 log, so
+///     a crash anywhere between the two renames leaves a log that Replay
+///     recognizes as already-compacted and discards instead of
+///     re-applying on top of the snapshot;
+///   * a record whose nonzero request_id was already applied is skipped
+///     on replay — a failed fsync can leave a rejected mutation's bytes
+///     in the log ahead of its acknowledged retry.
 ///
 /// Fault points: wal.open, wal.write, wal.fsync, wal.compact — each
 /// injected failure surfaces as a false return with a structured error.
@@ -138,7 +156,12 @@ class Wal {
 
   /// Durable snapshot + log rotation: writes every relation of `db` (plus
   /// the `request_ids` dedup window) into snapshot.tmp, fsyncs, renames
-  /// over snapshot.dat, then truncates wal.log back to its header. Caller
+  /// over snapshot.dat, then rotates wal.log to a fresh, higher-generation
+  /// file (also tmp + rename — never an in-place truncate, so no crash can
+  /// pair the new snapshot with the records it already contains). If the
+  /// rotation fails after the snapshot rename, the WAL closes itself:
+  /// appends to the superseded log would be silently dropped by the next
+  /// recovery, so refusing mutations (retryably) is the safe state. Caller
   /// must hold the database still (MvccDatabase::MaybeCompactWal runs it
   /// under the writer lock).
   bool Compact(const Database& db,
@@ -147,6 +170,10 @@ class Wal {
 
   /// Current wal.log size (header included); 0 when closed.
   std::uint64_t log_bytes() const;
+
+  /// Generation of the open log (bumped by every compaction); 0 when
+  /// closed.
+  std::uint64_t generation() const;
 
   WalStats stats() const;
   const WalOptions& options() const { return options_; }
@@ -166,6 +193,7 @@ class Wal {
   mutable std::mutex mu_;
   WalOptions options_;
   int fd_ = -1;
+  std::uint64_t generation_ = 0;
   std::uint64_t log_bytes_ = 0;
   std::uint64_t unsynced_bytes_ = 0;
   WalStats stats_;

@@ -47,6 +47,28 @@ std::uint64_t Client::NextRand() {
   return rng_;
 }
 
+std::uint64_t Client::NextRequestId() {
+  if (id_rng_ == 0) {
+    // Mix per-process entropy into the seed: pid and object address
+    // separate concurrent clients, monotonic time separates successive
+    // runs. A splitmix64 finisher spreads the mix across all 64 bits.
+    std::uint64_t seed = retry_.seed;
+    seed ^= static_cast<std::uint64_t>(::getpid()) << 32;
+    seed ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
+    seed += 0x9E3779B97F4A7C15ull;
+    seed = (seed ^ (seed >> 30)) * 0xBF58476D1CE4E5B9ull;
+    seed = (seed ^ (seed >> 27)) * 0x94D049BB133111EBull;
+    seed ^= seed >> 31;
+    id_rng_ = seed != 0 ? seed : 1;
+  }
+  id_rng_ ^= id_rng_ << 13;
+  id_rng_ ^= id_rng_ >> 7;
+  id_rng_ ^= id_rng_ << 17;
+  return id_rng_;
+}
+
 void Client::Backoff(int attempt) {
   std::uint64_t cap = retry_.base_backoff_ms;
   for (int i = 0; i < attempt && cap < retry_.max_backoff_ms; ++i) cap *= 2;
@@ -243,7 +265,7 @@ MutateReply Client::Mutate(const std::string& dataset_text,
   // policy could resend.
   if (request_id == 0 && retry_.max_retries > 0) {
     do {
-      request_id = NextRand();
+      request_id = NextRequestId();
     } while (request_id == 0);
   }
   MutateReply reply = MutateOnce(dataset_text, on_input_error, request_id);

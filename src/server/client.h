@@ -23,7 +23,10 @@ struct RetryOptions {
   int max_retries = 0;
   std::uint64_t base_backoff_ms = 10;
   std::uint64_t max_backoff_ms = 2000;
-  /// Jitter stream seed; also salts auto-generated mutation request ids.
+  /// Jitter stream seed; also salts auto-generated mutation request ids
+  /// (those additionally mix per-process entropy — pid, monotonic time,
+  /// client address — so two clients left at this default can never feed
+  /// the server colliding ids and have a real mutation deduped away).
   std::uint64_t seed = 1;
 };
 
@@ -139,12 +142,18 @@ class Client {
   /// Sleeps the exponential-backoff-with-jitter delay for `attempt`.
   void Backoff(int attempt);
   std::uint64_t NextRand();
+  /// Nonzero idempotency id from its own entropy-seeded stream — never
+  /// the deterministic backoff RNG, whose default seed every client
+  /// shares (colliding ids would make the server silently drop a
+  /// distinct mutation as a duplicate).
+  std::uint64_t NextRequestId();
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   api::FrameParser parser_;
   RetryOptions retry_;
   std::uint64_t rng_ = 1;
+  std::uint64_t id_rng_ = 0;  ///< Lazily seeded by NextRequestId.
   std::string host_;
   int port_ = 0;
 };

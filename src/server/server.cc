@@ -127,6 +127,8 @@ bool QueryServer::Recover(std::string* error) {
   recovery_.snapshot_records = recovered.snapshot_records;
   recovery_.log_records = recovered.log_records;
   recovery_.torn_bytes_truncated = recovered.torn_bytes_truncated;
+  recovery_.duplicate_records_skipped = recovered.duplicate_records_skipped;
+  recovery_.stale_log_bytes_skipped = recovered.stale_log_bytes_skipped;
   recovery_.request_ids = recovered.request_ids.size();
   return true;
 }
@@ -394,7 +396,7 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
   // is acknowledged without re-applying. This is what makes client-side
   // mutation retry safe: ack lost on the wire, retry arrives, no double
   // insert.
-  if (request_id != 0 && SeenRequestId(request_id)) {
+  auto dedup_ack = [this, id] {
     mutations_deduped_.fetch_add(1, std::memory_order_relaxed);
     api::Frame end;
     end.kind = "end";
@@ -405,7 +407,14 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
     end.Add("diagnostics", "0");
     end.Add("deduped", "1");
     end.Add("epoch", std::to_string(mvcc_.Epoch()));
-    return {end};
+    return end;
+  };
+  // Fast path only — an already-applied id skips the staging work. The
+  // authoritative check re-runs under the writer lock below, where it is
+  // atomic with the apply; two concurrent retries of the same id can both
+  // get past this unlocked look.
+  if (request_id != 0 && SeenRequestId(request_id)) {
+    return {dedup_ack()};
   }
 
   db::WalRecord record;
@@ -417,16 +426,29 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
   // Stage (parse + validate, read-only) and apply in place under one
   // writer lock — no staged database clone, so a long stream of
   // single-tuple mutate frames costs O(total rows), not O(rows^2).
+  bool deduped = false;
   api::DatasetStaging staging;
   db::MutationResult committed = mvcc_.MutateLoggedInPlace(
       record,
       [&](const db::Database& live) {
+        if (request_id != 0 && SeenRequestId(request_id)) {
+          deduped = true;
+          return db::MutationResult::Fail("duplicate request_id");
+        }
         staging = api::StageDataset(request.body, live, continue_on_error);
         return staging.load.ok
                    ? db::MutationResult::Ok()
                    : db::MutationResult::Fail("dataset rejected");
       },
-      [&](db::Database& live) { return api::ApplyDataset(&staging, &live); });
+      [&](db::Database& live) {
+        db::MutationResult applied = api::ApplyDataset(&staging, &live);
+        // Remember while still inside the writer lock: a concurrent retry
+        // of this id must either see it here or serialize behind the lock
+        // and see it in its validate step — never neither.
+        if (applied) RememberRequestId(request_id);
+        return applied;
+      });
+  if (deduped) return {dedup_ack()};
   const api::DatasetLoad& load = staging.load;
 
   std::string diag_body;
@@ -450,7 +472,6 @@ std::vector<api::Frame> QueryServer::HandleMutate(const api::Frame& request) {
     // retry is safe and may succeed once the log is writable again.
     return {ErrorFrame(id, 7, "wal", committed.message)};
   }
-  RememberRequestId(request_id);
   // Opportunistic compaction keeps wal.log bounded; failure is non-fatal
   // (the log just stays long) but is surfaced in stats via the WAL stats.
   std::string compact_error;
@@ -530,6 +551,9 @@ std::string QueryServer::StatsJson() const {
   w.Key("snapshot_records").Uint(s.recovery.snapshot_records);
   w.Key("log_records").Uint(s.recovery.log_records);
   w.Key("torn_bytes_truncated").Uint(s.recovery.torn_bytes_truncated);
+  w.Key("duplicate_records_skipped")
+      .Uint(s.recovery.duplicate_records_skipped);
+  w.Key("stale_log_bytes_skipped").Uint(s.recovery.stale_log_bytes_skipped);
   w.Key("request_ids").Uint(s.recovery.request_ids);
   w.EndObject();
   w.EndObject();

@@ -50,6 +50,8 @@ struct RecoveryInfo {
   std::uint64_t snapshot_records = 0;
   std::uint64_t log_records = 0;
   std::uint64_t torn_bytes_truncated = 0;
+  std::uint64_t duplicate_records_skipped = 0;  ///< Re-logged request ids.
+  std::uint64_t stale_log_bytes_skipped = 0;  ///< Snapshot-covered log.
   std::uint64_t request_ids = 0;  ///< Dedup ids recovered.
 };
 
@@ -176,7 +178,10 @@ class QueryServer {
   void ServeConnection(int fd, std::uint64_t conn_id);
   void CloseListener();
 
-  /// Dedup bookkeeping (its own lock; never held with mvcc_'s).
+  /// Dedup bookkeeping. Its own lock, taken inside mvcc_'s writer lock by
+  /// the mutate path (check-and-remember must be atomic with the apply,
+  /// or two concurrent retries of one id could both pass the check and
+  /// both commit); the inverse nesting never occurs.
   bool SeenRequestId(std::uint64_t id) const;
   void RememberRequestId(std::uint64_t id);
   std::vector<std::uint64_t> DedupWindow() const;

@@ -625,6 +625,44 @@ TEST_F(WalServerTest, RequestIdDedupWithinRunAndAcrossRestart) {
   EXPECT_EQ(q.front().FindUint("rows", 0), 8u);
 }
 
+TEST_F(WalServerTest, ConcurrentSameRequestIdAppliesExactlyOnce) {
+  server::QueryServer server(WalOptions());
+  std::string error;
+  ASSERT_TRUE(server.Recover(&error)) << error;
+  Mutate(server, "relation R1:\n1 1\n", 700);
+
+  // The seen-check and remember run under the MVCC writer lock: racing
+  // mutations that share a request id must resolve to exactly one apply,
+  // never two (check-then-act outside the lock would let both through).
+  constexpr int kThreads = 8;
+  std::atomic<int> applied{0};
+  std::atomic<int> deduped{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      std::vector<api::Frame> r = Mutate(server, "relation R1:\n2 2\n", 701);
+      if (r.empty() || r[0].kind != "end") {
+        ++other;
+      } else if (r[0].FindUint("deduped", 0) == 1u) {
+        ++deduped;
+      } else {
+        applied += static_cast<int>(r[0].FindUint("applied", 0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(applied.load(), 1);
+  EXPECT_EQ(deduped.load(), kThreads - 1);
+  EXPECT_EQ(server.stats().mutations_deduped,
+            static_cast<std::uint64_t>(kThreads - 1));
+  std::vector<api::Frame> q = Query(server, "R1(a,b)");
+  EXPECT_EQ(q.front().FindUint("rows", 0), 2u);
+}
+
 TEST_F(WalServerTest, DrainingRejectsNewWorkRetryably) {
   server::QueryServer server(SmallServerOptions());
   Mutate(server, kTriangleDataset);
@@ -823,6 +861,39 @@ TEST(ServerSocketTest, MutationRetryWithRequestIdNeverDoubleApplies) {
   server::QueryReply q = client.Query("R(x)");
   ASSERT_TRUE(q.ok) << q.error;
   EXPECT_EQ(q.rows, 2u);  // {1}, {2} — the retry did not double-apply.
+  server.Stop();
+}
+
+TEST(ServerSocketTest, DefaultClientsAutoGenerateDistinctRequestIds) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Two clients with identical (default-seed) retry options: their
+  // auto-generated idempotency ids must not collide, or the second
+  // client's distinct mutation would be deduped away as already applied.
+  server::RetryOptions retry;
+  retry.max_retries = 1;
+  retry.base_backoff_ms = 1;
+  server::Client a;
+  server::Client b;
+  a.set_retry(retry);
+  b.set_retry(retry);
+  ASSERT_TRUE(a.Connect("127.0.0.1", server.port(), &error)) << error;
+  ASSERT_TRUE(b.Connect("127.0.0.1", server.port(), &error)) << error;
+
+  server::MutateReply ra = a.Mutate("relation R:\n1\n");
+  ASSERT_TRUE(ra.ok) << ra.error;
+  EXPECT_EQ(ra.applied, 1u);
+  server::MutateReply rb = b.Mutate("relation R:\n2\n");
+  ASSERT_TRUE(rb.ok) << rb.error;
+  EXPECT_NE(ra.request_id, rb.request_id);
+  EXPECT_FALSE(rb.deduped);
+  EXPECT_EQ(rb.applied, 1u);
+
+  server::QueryReply q = a.Query("R(x)");
+  ASSERT_TRUE(q.ok) << q.error;
+  EXPECT_EQ(q.rows, 2u);
   server.Stop();
 }
 

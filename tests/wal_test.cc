@@ -31,6 +31,9 @@
 namespace qc {
 namespace {
 
+// wal.log / snapshot.dat header: 8-byte magic + u64 generation.
+constexpr std::size_t kHeaderBytes = 16;
+
 // Unique scratch directory per test; removed on destruction.
 class TempDir {
  public:
@@ -42,6 +45,7 @@ class TempDir {
   }
   ~TempDir() {
     std::remove((path_ + "/wal.log").c_str());
+    std::remove((path_ + "/wal.log.tmp").c_str());
     std::remove((path_ + "/snapshot.dat").c_str());
     std::remove((path_ + "/snapshot.tmp").c_str());
     ::rmdir(path_.c_str());
@@ -121,6 +125,7 @@ TEST(WalRecordCodecTest, RoundTripsEveryKind) {
   std::vector<db::WalRecord> records;
   records.push_back(SetRecord("edges", 2, {{1, 2}, {3, 4}}, 77));
   records.push_back(AddRecord("edges", {{5, 6}}, 78));
+  records.push_back(SetRecord("nullary", 0, {{}, {}}, 79));
   {
     db::WalRecord r;
     r.kind = db::WalRecord::Kind::kDataset;
@@ -167,6 +172,26 @@ TEST(WalRecordCodecTest, RejectsGarbageWithoutCrashing) {
     EXPECT_FALSE(db::DecodeWalRecord(payload.substr(0, cut), &r, &e))
         << "prefix of length " << cut << " unexpectedly decoded";
   }
+}
+
+TEST(WalRecordCodecTest, RejectsNullaryRowBomb) {
+  // arity=0 rows occupy no payload bytes, so the per-byte length check
+  // cannot bound them; a crafted/corrupt row count must still be rejected
+  // before it drives a huge reserve (never-crashes-on-garbage contract).
+  std::string payload;
+  payload.push_back('\1');  // kSetRelation
+  for (int i = 0; i < 8; ++i) payload.push_back('\0');  // request_id = 0
+  payload.push_back('\1');  // name_len = 1 (u32 LE)
+  for (int i = 0; i < 3; ++i) payload.push_back('\0');
+  payload.push_back('R');
+  for (int i = 0; i < 4; ++i) payload.push_back('\0');  // arity = 0
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(0xFF));  // rows = 2^64 - 1
+  }
+  db::WalRecord out;
+  std::string error;
+  EXPECT_FALSE(db::DecodeWalRecord(payload, &out, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(WalTest, AppendAndReplayRoundTrip) {
@@ -216,12 +241,12 @@ TEST(WalTest, TornTailAtEveryByteOffsetRecoversPrefix) {
   }
   const std::string log_path = dir.path() + "/wal.log";
   const std::string full = ReadFileBytes(log_path);
-  ASSERT_GT(full.size(), 8u);
+  ASSERT_GT(full.size(), kHeaderBytes);
 
   // Record boundaries: scan the framing ourselves (u32 len, u32 crc).
-  std::vector<std::size_t> boundaries = {8};
+  std::vector<std::size_t> boundaries = {kHeaderBytes};
   {
-    std::size_t off = 8;
+    std::size_t off = kHeaderBytes;
     while (off + 8 <= full.size()) {
       std::uint32_t len = 0;
       std::memcpy(&len, full.data() + off, 4);
@@ -231,7 +256,7 @@ TEST(WalTest, TornTailAtEveryByteOffsetRecoversPrefix) {
     ASSERT_EQ(off, full.size());
   }
 
-  for (std::size_t cut = 8; cut < full.size(); ++cut) {
+  for (std::size_t cut = kHeaderBytes; cut < full.size(); ++cut) {
     WriteFileBytes(log_path, full.substr(0, cut));
     db::Database db;
     db::WalRecovery rec = ReplayInto(Options(dir), &db);
@@ -239,9 +264,9 @@ TEST(WalTest, TornTailAtEveryByteOffsetRecoversPrefix) {
 
     // Complete records strictly before the cut survive.
     std::size_t expect_records = 0;
-    std::size_t valid_end = 8;
+    std::size_t valid_end = kHeaderBytes;
     for (std::size_t b : boundaries) {
-      if (b <= cut && b > 8) {
+      if (b <= cut && b > kHeaderBytes) {
         ++expect_records;
         valid_end = b;
       }
@@ -338,6 +363,71 @@ TEST(WalTest, CompactionSnapshotsAndRotates) {
   EXPECT_EQ(recovered.Tuples("R"),
             (std::vector<db::Tuple>{{1, 2}, {3, 4}, {7, 7}}));
   EXPECT_EQ(recovered.Tuples("S"), (std::vector<db::Tuple>{{9}}));
+}
+
+// A kill -9 between Compact's snapshot rename and its log rotation leaves
+// the new snapshot next to the old log — whose every record the snapshot
+// already contains. The generation stamps must make recovery discard that
+// log instead of replaying it on top of the snapshot (which would
+// duplicate every previously-logged tuple).
+TEST(WalTest, StaleLogAfterCompactionCrashIsNotReplayed) {
+  TempDir dir;
+  db::Database db;
+  ASSERT_TRUE(db.SetRelation("R", 1, {{1}, {2}}));
+  db::Wal wal;
+  std::string error;
+  ASSERT_TRUE(wal.Open(Options(dir), &error)) << error;
+  ASSERT_TRUE(wal.Append(SetRecord("R", 1, {{1}, {2}}, 5), &error)) << error;
+  const std::string old_log = ReadFileBytes(dir.path() + "/wal.log");
+  ASSERT_TRUE(wal.Compact(db, {5}, &error)) << error;
+  EXPECT_EQ(wal.generation(), 2u);  // Rotated one past the snapshot's.
+  wal.Close();
+  // Resurrect the pre-compaction log, as the crash window would leave it.
+  WriteFileBytes(dir.path() + "/wal.log", old_log);
+
+  db::Database recovered;
+  db::WalRecovery rec = ReplayInto(Options(dir), &recovered);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.snapshot_records, 1u);
+  EXPECT_EQ(rec.log_records, 0u);
+  EXPECT_EQ(rec.stale_log_bytes_skipped, old_log.size());
+  EXPECT_EQ(recovered.Tuples("R"), (std::vector<db::Tuple>{{1}, {2}}));
+  EXPECT_EQ(rec.request_ids, (std::vector<std::uint64_t>{5}));
+
+  // The stale log was discarded; a fresh Open starts a newer generation
+  // whose appends the next recovery replays on top of the snapshot.
+  db::Wal wal2;
+  ASSERT_TRUE(wal2.Open(Options(dir), &error)) << error;
+  EXPECT_EQ(wal2.generation(), 2u);
+  ASSERT_TRUE(wal2.Append(AddRecord("R", {{3}}, 6), &error)) << error;
+  wal2.Close();
+  db::Database again;
+  db::WalRecovery rec2 = ReplayInto(Options(dir), &again);
+  ASSERT_TRUE(rec2.ok) << rec2.error;
+  EXPECT_EQ(again.Tuples("R"), (std::vector<db::Tuple>{{1}, {2}, {3}}));
+  EXPECT_EQ(rec2.request_ids, (std::vector<std::uint64_t>{5, 6}));
+}
+
+// A failed fsync persists a record whose mutation was rejected; the
+// client's acknowledged retry logs a second copy of the same request_id.
+// Replay must apply the id exactly once.
+TEST(WalTest, ReplayAppliesDuplicateRequestIdOnlyOnce) {
+  TempDir dir;
+  {
+    db::Wal wal;
+    std::string error;
+    ASSERT_TRUE(wal.Open(Options(dir), &error)) << error;
+    ASSERT_TRUE(wal.Append(SetRecord("R", 1, {{1}}), &error)) << error;
+    ASSERT_TRUE(wal.Append(AddRecord("R", {{2}}, 55), &error)) << error;
+    ASSERT_TRUE(wal.Append(AddRecord("R", {{2}}, 55), &error)) << error;
+    wal.Close();
+  }
+  db::Database db;
+  db::WalRecovery rec = ReplayInto(Options(dir), &db);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.duplicate_records_skipped, 1u);
+  EXPECT_EQ(db.Tuples("R"), (std::vector<db::Tuple>{{1}, {2}}));
+  EXPECT_EQ(rec.request_ids, (std::vector<std::uint64_t>{55}));
 }
 
 TEST(WalTest, CorruptSnapshotIsAHardError) {
@@ -711,6 +801,39 @@ TEST_F(WalFaultTest, InPlaceWalRejectionSkipsApply) {
       [](db::Database& d) { return d.AddTuple("R", {2}); }));
   EXPECT_EQ(mvcc.Snapshot().db->Tuples("R"),
             (std::vector<db::Tuple>{{1}, {2}}));
+}
+
+// The fsync-failure crash window end to end: the record's bytes reach the
+// disk, the sync fails, the mutation is rejected (retryable code 7), and
+// the client retries with the same idempotency id. The log then holds two
+// copies of that id; recovery must apply it once.
+TEST_F(WalFaultTest, FsyncFailureRetryDoesNotDoubleApplyOnRecovery) {
+  TempDir dir;
+  {
+    db::Wal wal;
+    std::string error;
+    ASSERT_TRUE(wal.Open(Options(dir, db::FsyncPolicy::kAlways), &error))
+        << error;
+    db::MvccDatabase mvcc;
+    mvcc.AttachWal(&wal);
+    ASSERT_TRUE(mvcc.SetRelation("R", 1, {{1}}));
+    Arm("wal.fsync:once=1");
+    EXPECT_FALSE(mvcc.MutateLoggedInPlace(
+        AddRecord("R", {{2}}, 91),
+        [](const db::Database&) { return db::MutationResult::Ok(); },
+        [](db::Database& d) { return d.AddTuple("R", {2}); }));
+    EXPECT_TRUE(mvcc.MutateLoggedInPlace(
+        AddRecord("R", {{2}}, 91),
+        [](const db::Database&) { return db::MutationResult::Ok(); },
+        [](db::Database& d) { return d.AddTuple("R", {2}); }));
+    wal.Close();
+  }
+  db::Database db;
+  db::WalRecovery rec = ReplayInto(Options(dir), &db);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.duplicate_records_skipped, 1u);
+  EXPECT_EQ(rec.request_ids, (std::vector<std::uint64_t>{91}));
+  EXPECT_EQ(db.Tuples("R"), (std::vector<db::Tuple>{{1}, {2}}));
 }
 
 }  // namespace

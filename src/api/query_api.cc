@@ -352,6 +352,15 @@ void FillCacheSection(util::RunReport* report, const db::IndexCache* cache) {
   report->cache.entries = stats.entries;
 }
 
+void FillIvmSection(util::RunReport* report, const db::IvmStats& stats) {
+  report->ivm.present = true;
+  report->ivm.views = stats.views;
+  report->ivm.updates = stats.updates;
+  report->ivm.dirty_subtree_sweeps = stats.dirty_subtree_sweeps;
+  report->ivm.rows_delta_applied = stats.rows_delta_applied;
+  report->ivm.full_recomputes = stats.full_recomputes;
+}
+
 int FinishReport(const SessionOptions& opts, const util::RunReport& report,
                  util::RunStatus status) {
   if (!opts.report_json.empty() && !report.WriteJsonFile(opts.report_json)) {

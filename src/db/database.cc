@@ -126,6 +126,12 @@ Database Database::Clone() const {
     // Both sides now share one payload; whichever mutates first copies.
     copy.maybe_shared = true;
     rel.maybe_shared = true;
+    // Deliberately NOT carried: the source's materialized row_cache. The
+    // clone's Rel starts with an empty cache at row_cache_version 0, which
+    // can never equal a real version stamp (stamps start at 1), so the
+    // clone's first Tuples() call always rebuilds under its own lock —
+    // a copied cache paired with the copied version stamp would be read
+    // lock-free while the source may still be filling it.
   }
   return out;
 }

@@ -1,0 +1,743 @@
+#include "db/ivm.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "db/joins.h"
+#include "db/parser.h"
+#include "db/yannakakis.h"
+
+namespace qc::db {
+
+namespace {
+
+/// Skew threshold at which intersection counting switches from a linear
+/// merge to galloping probes of the larger side — same policy (and ratio)
+/// as the kernel layer's kGallopSkewRatio, restated here because the IVM
+/// adjacency lists are plain sorted vectors, not kernel spans.
+constexpr std::size_t kGallopSkewRatio = 32;
+
+std::uint64_t CountSortedIntersect(const std::vector<Value>& a,
+                                   const std::vector<Value>& b) {
+  const std::vector<Value>& small = a.size() <= b.size() ? a : b;
+  const std::vector<Value>& large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return 0;
+  std::uint64_t count = 0;
+  if (large.size() / small.size() >= kGallopSkewRatio) {
+    auto lo = large.begin();
+    for (Value x : small) {
+      lo = std::lower_bound(lo, large.end(), x);
+      if (lo == large.end()) break;
+      if (*lo == x) {
+        ++count;
+        ++lo;
+      }
+    }
+    return count;
+  }
+  auto ia = small.begin();
+  auto ib = large.begin();
+  while (ia != small.end() && ib != large.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+/// Inserts into a sorted vector keeping it sorted; false if already there.
+bool SortedInsert(std::vector<Value>& vec, Value x) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), x);
+  if (it != vec.end() && *it == x) return false;
+  vec.insert(it, x);
+  return true;
+}
+
+std::string TrimCopy(const std::string& text) {
+  std::size_t b = text.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = text.find_last_not_of(" \t\r\n");
+  return text.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+namespace ivm_internal {
+
+/// Per-view maintained state. The join-side members implement the delta
+/// rule; the triangle-side members the per-edge counting. Exactly one side
+/// is populated, per def.kind.
+struct ViewState {
+  ViewDefinition def;
+  std::uint64_t epoch = 0;
+  /// Relations the view reads — the commit filter.
+  std::set<std::string> relations;
+
+  // ---- kJoin ----
+
+  /// Canonical schema (query AttributeOrder) and the normalized result:
+  /// lex-sorted, duplicate-free rows over it.
+  std::vector<std::string> attributes;
+  std::vector<Tuple> rows;
+
+  /// Per-atom access shape: distinct attributes, the source column of
+  /// each, the repeated-attribute equality filter, and each attribute's
+  /// canonical index.
+  struct Shape {
+    std::vector<std::string> attrs;
+    std::vector<int> src_col;
+    std::vector<std::pair<int, int>> eq_checks;
+    std::vector<int> canon;
+  };
+  std::vector<Shape> shapes;
+
+  /// One probe of the delta expansion: look up `atom`'s sorted projection
+  /// (columns in proj_attrs order, the first key_len of which are the
+  /// already-bound join key) and bind every projection column into the
+  /// partial tuple.
+  struct Step {
+    int atom = 0;
+    int key_len = 0;
+    std::vector<int> key_from;  ///< Canonical index per key column.
+    std::vector<int> bind_to;   ///< Canonical index per projection column.
+    std::vector<std::string> proj_attrs;
+    std::string cache_key;
+  };
+  /// plans[d] = the sweep executed when atom d is dirty: a breadth-first
+  /// walk of the join tree rooted at d (so only subtrees reachable from
+  /// the dirty atom are touched), with any disconnected components
+  /// appended last (their key is empty — a cross product, as the query
+  /// semantics demand).
+  std::vector<std::vector<Step>> plans;
+
+  /// Sorted projections reused across commits, keyed by the source
+  /// relation's version stamp — a clean relation's projection survives any
+  /// number of commits that do not touch it.
+  struct ProjEntry {
+    bool valid = false;
+    std::uint64_t version = 0;
+    FlatRelation proj;
+  };
+  std::map<std::string, ProjEntry> proj_cache;
+
+  // ---- kTriangleCount ----
+
+  std::uint64_t count = 0;
+  /// Sorted out-/in-neighbor lists (set semantics: duplicate edge rows are
+  /// ignored on insert).
+  std::unordered_map<Value, std::vector<Value>> out_adj;
+  std::unordered_map<Value, std::vector<Value>> in_adj;
+};
+
+}  // namespace ivm_internal
+
+namespace {
+
+using View = ivm_internal::ViewState;
+
+bool PassesEqChecks(const FlatRelation& flat, std::size_t row,
+                    const std::vector<std::pair<int, int>>& eq_checks) {
+  for (const auto& [i, j] : eq_checks) {
+    if (flat.At(row, i) != flat.At(row, j)) return false;
+  }
+  return true;
+}
+
+/// Rows of `rel` (sorted lexicographically) whose first key_from.size()
+/// columns equal partial[key_from[i]]. Empty key = the whole relation.
+std::pair<std::size_t, std::size_t> PrefixEqualRange(
+    const FlatRelation& rel, const Tuple& partial,
+    const std::vector<int>& key_from) {
+  const std::size_t n = rel.size();
+  const int k = static_cast<int>(key_from.size());
+  if (k == 0) return {0, n};
+  auto row_less_key = [&](std::size_t row) {
+    for (int c = 0; c < k; ++c) {
+      Value rv = rel.At(row, c);
+      Value kv = partial[key_from[c]];
+      if (rv != kv) return rv < kv;
+    }
+    return false;
+  };
+  auto key_less_row = [&](std::size_t row) {
+    for (int c = 0; c < k; ++c) {
+      Value rv = rel.At(row, c);
+      Value kv = partial[key_from[c]];
+      if (rv != kv) return kv < rv;
+    }
+    return false;
+  };
+  std::size_t lo = 0, hi = n;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (row_less_key(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  std::size_t first = lo;
+  hi = n;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (key_less_row(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return {first, lo};
+}
+
+/// Builds shapes, the join tree, and the per-dirty-atom sweep plans.
+/// Caller guarantees the query is acyclic (Validate ran).
+void BuildJoinPlans(View& v) {
+  const JoinQuery& query = v.def.query;
+  const std::size_t m = query.atoms.size();
+  v.attributes = query.AttributeOrder();
+  std::map<std::string, int> canon = query.AttributeIndex();
+
+  v.shapes.clear();
+  v.shapes.resize(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const Atom& atom = query.atoms[a];
+    View::Shape& sh = v.shapes[a];
+    sh.attrs = AtomAttributes(atom);
+    std::map<std::string, int> first_col;
+    for (std::size_t c = 0; c < atom.attributes.size(); ++c) {
+      auto [it, inserted] =
+          first_col.emplace(atom.attributes[c], static_cast<int>(c));
+      if (!inserted) {
+        sh.eq_checks.emplace_back(it->second, static_cast<int>(c));
+      }
+    }
+    for (const std::string& attr : sh.attrs) {
+      sh.src_col.push_back(first_col.at(attr));
+      sh.canon.push_back(canon.at(attr));
+    }
+  }
+
+  std::vector<int> parent;
+  std::vector<int> order;
+  BuildJoinTree(query, &parent, &order);
+  std::vector<std::vector<int>> adj(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    if (parent[a] >= 0) {
+      adj[a].push_back(parent[a]);
+      adj[parent[a]].push_back(static_cast<int>(a));
+    }
+  }
+
+  v.plans.assign(m, {});
+  for (std::size_t d = 0; d < m; ++d) {
+    std::vector<char> used(m, 0);
+    std::vector<char> bound(v.attributes.size(), 0);
+    used[d] = 1;
+    for (int ci : v.shapes[d].canon) bound[ci] = 1;
+
+    auto push_step = [&](int a) {
+      const View::Shape& sh = v.shapes[a];
+      View::Step step;
+      step.atom = a;
+      std::vector<std::string> key_attrs, rest_attrs;
+      for (std::size_t k = 0; k < sh.attrs.size(); ++k) {
+        if (bound[sh.canon[k]]) {
+          key_attrs.push_back(sh.attrs[k]);
+          step.key_from.push_back(sh.canon[k]);
+        } else {
+          rest_attrs.push_back(sh.attrs[k]);
+        }
+      }
+      step.key_len = static_cast<int>(key_attrs.size());
+      step.proj_attrs = key_attrs;
+      step.proj_attrs.insert(step.proj_attrs.end(), rest_attrs.begin(),
+                             rest_attrs.end());
+      for (const std::string& attr : step.proj_attrs) {
+        step.bind_to.push_back(canon.at(attr));
+      }
+      step.cache_key = std::to_string(a) + "|" +
+                       AtomProjectionSignature(v.def.query.atoms[a],
+                                               step.proj_attrs);
+      for (int ci : sh.canon) bound[ci] = 1;
+      used[a] = 1;
+      v.plans[d].push_back(std::move(step));
+    };
+
+    std::deque<int> queue{static_cast<int>(d)};
+    while (!queue.empty()) {
+      int cur = queue.front();
+      queue.pop_front();
+      for (int nb : adj[cur]) {
+        if (used[nb]) continue;
+        push_step(nb);
+        queue.push_back(nb);
+      }
+    }
+    // Atoms in other connected components (attribute-disjoint by
+    // construction of the join forest): cross products, appended last.
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!used[a]) push_step(static_cast<int>(a));
+    }
+  }
+}
+
+const FlatRelation& GetProjection(View& v, const View::Step& step,
+                                  const Database& db) {
+  const Atom& atom = v.def.query.atoms[step.atom];
+  View::ProjEntry& entry = v.proj_cache[step.cache_key];
+  std::uint64_t version = db.RelationVersion(atom.relation);
+  if (!entry.valid || entry.version != version) {
+    entry.proj = MaterializeSortedProjection(atom, db, step.proj_attrs);
+    entry.version = version;
+    entry.valid = true;
+  }
+  return entry.proj;
+}
+
+void ExpandSteps(View& v, const Database& db,
+                 const std::vector<View::Step>& plan, std::size_t si,
+                 Tuple& partial, std::vector<Tuple>& out) {
+  if (si == plan.size()) {
+    out.push_back(partial);
+    return;
+  }
+  const View::Step& step = plan[si];
+  const FlatRelation& proj = GetProjection(v, step, db);
+  auto [lo, hi] = PrefixEqualRange(proj, partial, step.key_from);
+  const int arity = proj.arity();
+  for (std::size_t r = lo; r < hi; ++r) {
+    for (int c = 0; c < arity; ++c) {
+      partial[step.bind_to[c]] = proj.At(r, c);
+    }
+    ExpandSteps(v, db, plan, si + 1, partial, out);
+  }
+}
+
+/// Directed edge u->w becomes present (caller already dropped duplicates
+/// and updated the adjacency lists to the post-insert state E'). Counts
+/// the triangles the new edge completes, in each of its three possible
+/// roles, with inclusion–exclusion for triangles that use it twice:
+///
+///   as E(a,b): c in out'(w) ∩ out'(u)
+///   as E(b,c): a in in'(u) ∩ in'(w)
+///   as E(a,c): b in out'(u) ∩ in'(w)
+///   minus [ (w,w) in E' ] + [ (u,u) in E' ]
+///
+/// The subtractions remove the double count of triangles (u,w,w) and
+/// (u,u,w), which use the new edge in two roles at once; when u == w the
+/// self-triangle (u,u,u) is counted three times and both corrections fire.
+std::uint64_t TriangleDeltaForEdge(const View& v, Value u, Value w) {
+  static const std::vector<Value> kEmpty;
+  auto list = [&](const std::unordered_map<Value, std::vector<Value>>& adj,
+                  Value x) -> const std::vector<Value>& {
+    auto it = adj.find(x);
+    return it == adj.end() ? kEmpty : it->second;
+  };
+  auto has_edge = [&](Value a, Value b) {
+    const std::vector<Value>& outs = list(v.out_adj, a);
+    return std::binary_search(outs.begin(), outs.end(), b);
+  };
+  std::uint64_t delta = CountSortedIntersect(list(v.out_adj, w),
+                                             list(v.out_adj, u)) +
+                        CountSortedIntersect(list(v.in_adj, u),
+                                             list(v.in_adj, w)) +
+                        CountSortedIntersect(list(v.out_adj, u),
+                                             list(v.in_adj, w));
+  if (has_edge(w, w)) --delta;
+  if (has_edge(u, u)) --delta;
+  return delta;
+}
+
+/// Applies one edge row; false (and no state change) on a duplicate.
+bool ApplyEdgeInsert(View& v, Value u, Value w) {
+  if (!SortedInsert(v.out_adj[u], w)) return false;
+  SortedInsert(v.in_adj[w], u);
+  v.count += TriangleDeltaForEdge(v, u, w);
+  return true;
+}
+
+}  // namespace
+
+ViewRegistry::ViewRegistry() = default;
+ViewRegistry::~ViewRegistry() = default;
+
+namespace {
+
+MutationResult ValidateDefinition(const ViewDefinition& def,
+                                  const Database& db) {
+  if (def.name.empty()) {
+    return MutationResult::Fail("view name must be non-empty");
+  }
+  switch (def.kind) {
+    case ViewDefinition::Kind::kJoin: {
+      if (def.query.atoms.empty()) {
+        return MutationResult::Fail("view '" + def.name +
+                                    "': query has no atoms");
+      }
+      for (const Atom& atom : def.query.atoms) {
+        if (!db.HasRelation(atom.relation)) {
+          return MutationResult::Fail("view '" + def.name +
+                                      "': unknown relation '" +
+                                      atom.relation + "'");
+        }
+        if (static_cast<int>(atom.attributes.size()) !=
+            db.Arity(atom.relation)) {
+          return MutationResult::Fail(
+              "view '" + def.name + "': atom over '" + atom.relation +
+              "' has " + std::to_string(atom.attributes.size()) +
+              " attributes, relation arity is " +
+              std::to_string(db.Arity(atom.relation)));
+        }
+      }
+      if (!IsAcyclicQuery(def.query)) {
+        return MutationResult::Fail("view '" + def.name +
+                                    "': query is not acyclic (only "
+                                    "alpha-acyclic joins are maintainable)");
+      }
+      return MutationResult::Ok();
+    }
+    case ViewDefinition::Kind::kTriangleCount: {
+      if (!db.HasRelation(def.relation)) {
+        return MutationResult::Fail("view '" + def.name +
+                                    "': unknown relation '" + def.relation +
+                                    "'");
+      }
+      if (db.Arity(def.relation) != 2) {
+        return MutationResult::Fail(
+            "view '" + def.name + "': triangle counting needs a binary "
+            "relation, '" + def.relation + "' has arity " +
+            std::to_string(db.Arity(def.relation)));
+      }
+      return MutationResult::Ok();
+    }
+  }
+  return MutationResult::Fail("view '" + def.name + "': unknown kind");
+}
+
+}  // namespace
+
+MutationResult ViewRegistry::Validate(const ViewDefinition& def,
+                                      const Database& db) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.count(def.name) != 0) {
+    return MutationResult::Fail("view '" + def.name +
+                                "' is already registered");
+  }
+  return ValidateDefinition(def, db);
+}
+
+MutationResult ViewRegistry::Register(const ViewDefinition& def,
+                                      const Database& db,
+                                      std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.count(def.name) != 0) {
+    return MutationResult::Fail("view '" + def.name +
+                                "' is already registered");
+  }
+  MutationResult valid = ValidateDefinition(def, db);
+  if (!valid) return valid;
+
+  auto view = std::make_unique<ivm_internal::ViewState>();
+  view->def = def;
+  view->epoch = epoch;
+  if (def.kind == ViewDefinition::Kind::kJoin) {
+    for (const Atom& atom : def.query.atoms) {
+      view->relations.insert(atom.relation);
+    }
+    BuildJoinPlans(*view);
+  } else {
+    view->relations.insert(def.relation);
+  }
+  MutationResult computed = RecomputeLocked(*view, db);
+  if (!computed) return computed;
+  views_[def.name] = std::move(view);
+  stats_.views = views_.size();
+  return MutationResult::Ok();
+}
+
+bool ViewRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool erased = views_.erase(name) != 0;
+  stats_.views = views_.size();
+  return erased;
+}
+
+ViewRead ViewRegistry::Read(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewRead out;
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    out.error = "no such view '" + name + "'";
+    return out;
+  }
+  const View& v = *it->second;
+  out.ok = true;
+  out.kind = v.def.kind;
+  out.epoch = v.epoch;
+  if (v.def.kind == ViewDefinition::Kind::kJoin) {
+    out.attributes = v.attributes;
+    out.rows = v.rows;
+  } else {
+    out.attributes = {"count"};
+    out.rows = {{static_cast<Value>(v.count)}};
+  }
+  return out;
+}
+
+bool ViewRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.count(name) != 0;
+}
+
+std::vector<std::string> ViewRegistry::ViewNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+bool ViewRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.empty();
+}
+
+std::size_t ViewRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
+IvmStats ViewRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<WalRecord> ViewRegistry::DefinitionRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WalRecord> records;
+  records.reserve(views_.size());
+  for (const auto& [name, view] : views_) {
+    records.push_back(ViewDefinitionRecord(view->def));
+  }
+  return records;
+}
+
+void ViewRegistry::OnCommit(const Database& db, std::uint64_t epoch,
+                            const std::vector<RelationDelta>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.empty()) return;
+  bool touched_any = false;
+  for (auto& [name, view] : views_) {
+    view->epoch = epoch;
+    bool touched = false;
+    for (const RelationDelta& delta : deltas) {
+      if (view->relations.count(delta.relation) != 0) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    touched_any = true;
+    MaintainLocked(*view, db, deltas);
+  }
+  if (touched_any) ++stats_.updates;
+}
+
+void ViewRegistry::MaintainLocked(ivm_internal::ViewState& view,
+                                  const Database& db,
+                                  const std::vector<RelationDelta>& deltas) {
+  // Any replace-style delta on a view relation forfeits the delta rule.
+  for (const RelationDelta& delta : deltas) {
+    if (view.relations.count(delta.relation) != 0 &&
+        delta.kind == RelationDelta::Kind::kReplace) {
+      RecomputeLocked(view, db);
+      return;
+    }
+  }
+
+  if (view.def.kind == ViewDefinition::Kind::kTriangleCount) {
+    for (const RelationDelta& delta : deltas) {
+      if (delta.relation != view.def.relation) continue;
+      const FlatRelation& flat = db.Flat(delta.relation);
+      std::size_t from = std::min(delta.old_size, flat.size());
+      if (from >= flat.size()) continue;
+      ++stats_.dirty_subtree_sweeps;
+      for (std::size_t r = from; r < flat.size(); ++r) {
+        if (ApplyEdgeInsert(view, flat.At(r, 0), flat.At(r, 1))) {
+          ++stats_.rows_delta_applied;
+        }
+      }
+    }
+    return;
+  }
+
+  // Delta rule: dQ = union over dirty atoms d of Q[d -> delta_d], all
+  // other atoms at their post-commit state. Sound under insert-only set
+  // semantics (a new result row uses a new tuple in at least one atom);
+  // the union's overcount is removed by dedup against the stored rows.
+  std::map<std::string, const RelationDelta*> by_relation;
+  for (const RelationDelta& delta : deltas) by_relation[delta.relation] = &delta;
+  std::vector<Tuple> candidates;
+  Tuple partial(view.attributes.size(), 0);
+  for (std::size_t a = 0; a < view.def.query.atoms.size(); ++a) {
+    const Atom& atom = view.def.query.atoms[a];
+    auto it = by_relation.find(atom.relation);
+    if (it == by_relation.end()) continue;
+    const RelationDelta& delta = *it->second;
+    const FlatRelation& flat = db.Flat(atom.relation);
+    std::size_t from = std::min(delta.old_size, flat.size());
+    if (from >= flat.size()) continue;
+    ++stats_.dirty_subtree_sweeps;
+    const View::Shape& sh = view.shapes[a];
+    for (std::size_t r = from; r < flat.size(); ++r) {
+      if (!PassesEqChecks(flat, r, sh.eq_checks)) continue;
+      for (std::size_t k = 0; k < sh.canon.size(); ++k) {
+        partial[sh.canon[k]] = flat.At(r, sh.src_col[k]);
+      }
+      ExpandSteps(view, db, view.plans[a], 0, partial, candidates);
+    }
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<Tuple> fresh;
+  fresh.reserve(candidates.size());
+  for (Tuple& t : candidates) {
+    if (!std::binary_search(view.rows.begin(), view.rows.end(), t)) {
+      fresh.push_back(std::move(t));
+    }
+  }
+  if (fresh.empty()) return;
+  stats_.rows_delta_applied += fresh.size();
+  std::size_t mid = view.rows.size();
+  view.rows.insert(view.rows.end(), std::make_move_iterator(fresh.begin()),
+                   std::make_move_iterator(fresh.end()));
+  std::inplace_merge(view.rows.begin(), view.rows.begin() + mid,
+                     view.rows.end());
+}
+
+MutationResult ViewRegistry::RecomputeLocked(ivm_internal::ViewState& view,
+                                             const Database& db) {
+  ++stats_.full_recomputes;
+  if (view.def.kind == ViewDefinition::Kind::kTriangleCount) {
+    view.count = 0;
+    view.out_adj.clear();
+    view.in_adj.clear();
+    const FlatRelation& flat = db.Flat(view.def.relation);
+    for (std::size_t r = 0; r < flat.size(); ++r) {
+      ApplyEdgeInsert(view, flat.At(r, 0), flat.At(r, 1));
+    }
+    return MutationResult::Ok();
+  }
+  std::optional<JoinResult> result = EvaluateYannakakis(view.def.query, db);
+  if (!result.has_value()) {
+    return MutationResult::Fail("view '" + view.def.name +
+                                "': query is not acyclic");
+  }
+  result->Normalize();
+  view.attributes = std::move(result->attributes);
+  view.rows = std::move(result->tuples);
+  return MutationResult::Ok();
+}
+
+WalRecord ViewDefinitionRecord(const ViewDefinition& def) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kViewDef;
+  record.relation = def.name;
+  record.arity = static_cast<int>(def.kind);
+  record.dataset = def.text;
+  return record;
+}
+
+MutationResult ViewDefinitionFromRecord(const WalRecord& record,
+                                        ViewDefinition* out) {
+  if (record.kind != WalRecord::Kind::kViewDef) {
+    return MutationResult::Fail("not a view definition record");
+  }
+  ViewDefinition def;
+  def.name = record.relation;
+  def.text = record.dataset;
+  switch (record.arity) {
+    case 0: {
+      def.kind = ViewDefinition::Kind::kJoin;
+      ParseResult<JoinQuery> parsed = ParseJoinQuery(record.dataset);
+      if (!parsed) {
+        return MutationResult::Fail("view '" + def.name + "': " +
+                                    parsed.error.ToString());
+      }
+      def.query = std::move(*parsed);
+      break;
+    }
+    case 1:
+      def.kind = ViewDefinition::Kind::kTriangleCount;
+      def.relation = TrimCopy(record.dataset);
+      if (def.relation.empty()) {
+        return MutationResult::Fail("view '" + def.name +
+                                    "': empty relation name");
+      }
+      break;
+    default:
+      return MutationResult::Fail("view '" + def.name +
+                                  "': unknown view kind " +
+                                  std::to_string(record.arity));
+  }
+  *out = std::move(def);
+  return MutationResult::Ok();
+}
+
+ViewRead RecomputeView(const ViewDefinition& def, const Database& db,
+                       std::uint64_t epoch) {
+  ViewRead out;
+  out.kind = def.kind;
+  out.epoch = epoch;
+  if (def.kind == ViewDefinition::Kind::kJoin) {
+    std::optional<JoinResult> result = EvaluateYannakakis(def.query, db);
+    if (!result.has_value()) {
+      out.error = "view '" + def.name + "': query is not acyclic";
+      return out;
+    }
+    result->Normalize();
+    out.ok = true;
+    out.attributes = std::move(result->attributes);
+    out.rows = std::move(result->tuples);
+    return out;
+  }
+  // Independent static count (different code path from the incremental
+  // maintenance on purpose): every triangle (a,b,c) is counted exactly
+  // once, by its (a,b) edge, as |out(a) ∩ out(b)|.
+  if (!db.HasRelation(def.relation) || db.Arity(def.relation) != 2) {
+    out.error = "view '" + def.name + "': relation '" + def.relation +
+                "' missing or not binary";
+    return out;
+  }
+  std::unordered_map<Value, std::vector<Value>> out_adj;
+  const FlatRelation& flat = db.Flat(def.relation);
+  for (std::size_t r = 0; r < flat.size(); ++r) {
+    SortedInsert(out_adj[flat.At(r, 0)], flat.At(r, 1));
+  }
+  std::uint64_t total = 0;
+  for (const auto& [a, outs] : out_adj) {
+    for (Value b : outs) {
+      auto it = out_adj.find(b);
+      if (it == out_adj.end()) continue;
+      total += CountSortedIntersect(outs, it->second);
+    }
+  }
+  out.ok = true;
+  out.attributes = {"count"};
+  out.rows = {{static_cast<Value>(total)}};
+  return out;
+}
+
+}  // namespace qc::db

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/database.h"
+#include "db/ivm.h"
 #include "db/wal.h"
 #include "util/counters.h"
 
@@ -69,6 +72,20 @@ class MvccDatabase {
   /// to detach.
   void AttachWal(Wal* wal);
 
+  /// Routes every committed mutation through `views` (ViewRegistry::
+  /// OnCommit under the writer lock), so registered materialized views
+  /// stay current with the write epoch. `views` must outlive this
+  /// database. Pass nullptr to detach. With no registered views the
+  /// per-mutation overhead is one empty() check.
+  void AttachViews(ViewRegistry* views);
+
+  /// Validates `def` against the live database, logs a durable kViewDef
+  /// record (when a WAL is attached), and registers the view — its initial
+  /// state is computed from the current database and maintained from the
+  /// current epoch on. Registration does not bump the write epoch (the
+  /// data did not change). Fails without an attached ViewRegistry.
+  MutationResult RegisterView(const ViewDefinition& def);
+
   /// Seeds the live database (epoch bumps like any write).
   MutationResult SetRelation(const std::string& name, int arity,
                              std::vector<Tuple> tuples);
@@ -81,7 +98,11 @@ class MvccDatabase {
   /// copy-on-write at most). All-or-nothing: every tuple's arity is
   /// validated against the relation before any is applied, and the failure
   /// diagnostic names the offending batch index — the batched-append
-  /// counterpart of SetRelation's atomic validation.
+  /// counterpart of SetRelation's atomic validation. An EMPTY batch is a
+  /// validated no-op: nothing reaches the WAL, the epoch does not bump,
+  /// and the cached reader snapshot stays warm (a zero-record batch that
+  /// invalidated the snapshot used to force spurious rebuilds and
+  /// IndexCache misses downstream).
   MutationResult AddTuples(const std::string& name, std::vector<Tuple> tuples);
 
   /// Runs `fn(Database&)` as one serialized write transaction against a
@@ -110,6 +131,16 @@ class MvccDatabase {
   /// failure means a durable record that cannot replay and is surfaced as
   /// a failed mutation with the database possibly part-mutated (the epoch
   /// still bumps so readers refresh).
+  ///
+  /// IVM contract: in-place appliers must be create-or-append per relation
+  /// (exactly what dataset apply does — SetRelation only for brand-new
+  /// names, AddTuple for existing ones). Deltas for attached views are
+  /// classified from the pre/post (version, size) pair under that
+  /// assumption; a relation that shrank is defensively treated as replaced
+  /// (full view recompute). An applier that replaces an existing relation
+  /// at equal-or-larger size would silently corrupt maintained views —
+  /// use MutateLogged (staged clone, conservative replace deltas) for
+  /// arbitrary mutations.
   MutationResult MutateLoggedInPlace(
       const WalRecord& record,
       const std::function<MutationResult(const Database&)>& validate,
@@ -150,9 +181,23 @@ class MvccDatabase {
   /// detached); false means the mutation must be rejected.
   bool LogLocked(const WalRecord& record, MutationResult* out);
 
+  /// Caller holds mu_. True when a registry with >= 1 view is attached —
+  /// the gate for collecting deltas on the mutation paths.
+  bool ViewsActiveLocked() const;
+
+  /// Caller holds mu_, after a committed mutation (epoch already bumped).
+  /// Forwards the deltas to the attached registry.
+  void NotifyViewsLocked(const std::vector<RelationDelta>& deltas);
+
+  /// Caller holds mu_. (version, size) per relation — the "before" side of
+  /// delta classification for the staged/in-place mutation paths.
+  std::map<std::string, std::pair<std::uint64_t, std::size_t>>
+  RelationFingerprintsLocked() const;
+
   mutable std::mutex mu_;
   Database db_;
   Wal* wal_ = nullptr;
+  ViewRegistry* views_ = nullptr;
   std::uint64_t epoch_ = 0;
   mutable std::shared_ptr<const Database> cached_;
   mutable std::uint64_t cached_epoch_ = 0;

@@ -372,6 +372,13 @@ std::string EncodeWalRecord(const WalRecord& record) {
       PutU64(&out, record.dedup_ids.size());
       for (std::uint64_t id : record.dedup_ids) PutU64(&out, id);
       break;
+    case WalRecord::Kind::kViewDef:
+      PutU32(&out, static_cast<std::uint32_t>(record.relation.size()));
+      out += record.relation;
+      out.push_back(static_cast<char>(record.arity));
+      PutU64(&out, record.dataset.size());
+      out += record.dataset;
+      break;
   }
   return out;
 }
@@ -427,6 +434,21 @@ bool DecodeWalRecord(std::string_view payload, WalRecord* out,
       for (std::uint64_t i = 0; i < count; ++i) {
         out->dedup_ids.push_back(r.U64());
       }
+      break;
+    }
+    case WalRecord::Kind::kViewDef: {
+      out->kind = WalRecord::Kind::kViewDef;
+      const std::uint32_t name_len = r.U32();
+      if (!r.ok || name_len > kMaxRelationName) {
+        return fail("bad view name length");
+      }
+      out->relation = std::string(r.Bytes(name_len));
+      out->arity = r.U8();
+      const std::uint64_t len = r.U64();
+      if (!r.ok || payload.size() - r.pos < len) {
+        return fail("bad view definition length");
+      }
+      out->dataset = std::string(r.Bytes(static_cast<std::size_t>(len)));
       break;
     }
     default:
@@ -602,6 +624,13 @@ bool Wal::Sync(std::string* error) {
 bool Wal::Compact(const Database& db,
                   const std::vector<std::uint64_t>& request_ids,
                   std::string* error) {
+  return Compact(db, request_ids, {}, error);
+}
+
+bool Wal::Compact(const Database& db,
+                  const std::vector<std::uint64_t>& request_ids,
+                  const std::vector<WalRecord>& extra_records,
+                  std::string* error) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) {
     *error = "wal not open";
@@ -638,6 +667,12 @@ bool Wal::Compact(const Database& db,
     dedup.kind = WalRecord::Kind::kDedup;
     dedup.dedup_ids = request_ids;
     const std::string payload = EncodeWalRecord(dedup);
+    PutU32(&snap, static_cast<std::uint32_t>(payload.size()));
+    PutU32(&snap, Crc32(payload));
+    snap += payload;
+  }
+  for (const WalRecord& record : extra_records) {
+    const std::string payload = EncodeWalRecord(record);
     PutU32(&snap, static_cast<std::uint32_t>(payload.size()));
     PutU32(&snap, Crc32(payload));
     snap += payload;

@@ -47,6 +47,12 @@ struct WalRecord {
     kAddTuples = 2,    ///< Append `tuples` to `relation`.
     kDataset = 3,      ///< Apply `dataset` text (api::LoadDataset format).
     kDedup = 4,        ///< Snapshot-only: applied request-id window.
+    /// Materialized-view registration (see db/ivm.h): `relation` holds the
+    /// view name, `arity` the ViewDefinition::Kind, `dataset` the
+    /// definition body (query text / edge relation name). Logged when a
+    /// view registers and carried by every compaction snapshot, so
+    /// recovery rebuilds registered views after replaying the data.
+    kViewDef = 5,
   };
 
   Kind kind = Kind::kAddTuples;
@@ -166,6 +172,14 @@ class Wal {
   /// under the writer lock).
   bool Compact(const Database& db,
                const std::vector<std::uint64_t>& request_ids,
+               std::string* error);
+
+  /// Compact with additional records (e.g. kViewDef definitions) appended
+  /// to the snapshot after the dedup window — durable derived state that
+  /// must survive log rotation.
+  bool Compact(const Database& db,
+               const std::vector<std::uint64_t>& request_ids,
+               const std::vector<WalRecord>& extra_records,
                std::string* error);
 
   /// Current wal.log size (header included); 0 when closed.

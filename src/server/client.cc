@@ -201,12 +201,16 @@ QueryReply Client::Query(
 QueryReply Client::QueryOnce(
     const std::string& query_text,
     const std::vector<std::pair<std::string, std::string>>& extra_fields) {
-  QueryReply reply;
   api::Frame req;
   req.kind = "query";
   req.Add("id", std::to_string(next_id_++));
   for (const auto& [k, v] : extra_fields) req.Add(k, v);
   req.body = query_text;
+  return QueryRoundTrip(std::move(req));
+}
+
+QueryReply Client::QueryRoundTrip(api::Frame req) {
+  QueryReply reply;
   if (!SendFrame(req, &reply.error)) return reply;
 
   while (true) {
@@ -255,6 +259,92 @@ QueryReply Client::QueryOnce(
       return reply;
     }
   }
+}
+
+ViewRegisterReply Client::RegisterView(const std::string& name,
+                                       const std::string& kind,
+                                       const std::string& body) {
+  ViewRegisterReply reply = RegisterViewOnce(name, kind, body);
+  int attempt = 0;
+  while (attempt < retry_.max_retries &&
+         (!reply.ok || (reply.rejected && reply.retryable))) {
+    if (!reply.ok) Close();
+    Backoff(attempt);
+    ++attempt;
+    std::string error;
+    if (!EnsureConnected(&error)) {
+      reply = ViewRegisterReply{};
+      reply.error = error;
+      reply.attempts = attempt + 1;
+      continue;
+    }
+    reply = RegisterViewOnce(name, kind, body);
+    reply.attempts = attempt + 1;
+  }
+  return reply;
+}
+
+ViewRegisterReply Client::RegisterViewOnce(const std::string& name,
+                                           const std::string& kind,
+                                           const std::string& body) {
+  ViewRegisterReply reply;
+  api::Frame req;
+  req.kind = "view_register";
+  req.Add("id", std::to_string(next_id_++));
+  req.Add("name", name);
+  req.Add("kind", kind);
+  req.body = body;
+  if (!SendFrame(req, &reply.error)) return reply;
+
+  api::Frame f;
+  if (!RecvFrame(&f, &reply.error)) return reply;
+  if (f.kind == "error") {
+    reply.ok = true;
+    reply.rejected = true;
+    reply.retryable = FieldUint(f, "retryable") != 0;
+    reply.code = FieldInt(f, "code");
+    if (const std::string* s = f.Find("reason")) reply.reason = *s;
+    if (const std::string* s = f.Find("message")) reply.message = *s;
+    return reply;
+  }
+  if (f.kind != "end") {
+    reply.error = "unexpected reply frame '" + f.kind + "'";
+    return reply;
+  }
+  reply.ok = true;
+  reply.code = FieldInt(f, "code");
+  reply.rows = FieldUint(f, "rows");
+  reply.epoch = FieldUint(f, "epoch");
+  return reply;
+}
+
+QueryReply Client::ViewRead(const std::string& name) {
+  api::Frame req;
+  req.kind = "view_read";
+  req.Add("id", std::to_string(next_id_++));
+  req.Add("name", name);
+  QueryReply reply = QueryRoundTrip(req);
+  int attempt = 0;
+  while (attempt < retry_.max_retries &&
+         (!reply.ok || (reply.rejected && reply.retryable))) {
+    if (!reply.ok) Close();
+    Backoff(attempt);
+    ++attempt;
+    std::string error;
+    if (!EnsureConnected(&error)) {
+      reply = QueryReply{};
+      reply.error = error;
+      reply.attempts = attempt + 1;
+      continue;
+    }
+    api::Frame again;
+    again.kind = "view_read";
+    again.Add("id", std::to_string(next_id_++));
+    again.Add("name", name);
+    reply = QueryRoundTrip(std::move(again));
+    reply.attempts = attempt + 1;
+  }
+  return reply;
 }
 
 MutateReply Client::Mutate(const std::string& dataset_text,

@@ -72,6 +72,20 @@ struct MutateReply {
   std::string diagnostics;   ///< Line-numbered input diagnostics.
 };
 
+/// Outcome of one `view_register` round trip.
+struct ViewRegisterReply {
+  bool ok = false;
+  std::string error;
+  bool rejected = false;     ///< Server answered with an error frame.
+  bool retryable = false;    ///< e.g. WAL append failure, draining.
+  int code = 0;
+  std::string reason;
+  std::string message;
+  int attempts = 1;
+  std::uint64_t rows = 0;    ///< Initial materialized row count.
+  std::uint64_t epoch = 0;   ///< Write epoch the view registered at.
+};
+
 /// Reply to a `health` probe.
 struct HealthReply {
   bool ok = false;
@@ -123,6 +137,19 @@ class Client {
                      const std::string& on_input_error = "",
                      std::uint64_t request_id = 0);
 
+  /// Registers a materialized view. `kind` is "join" (body = query text)
+  /// or "triangle_count" (body = edge relation name). Idempotent from the
+  /// caller's perspective only for an identical definition; re-registering
+  /// an existing name is an input error the server rejects.
+  ViewRegisterReply RegisterView(const std::string& name,
+                                 const std::string& kind,
+                                 const std::string& body);
+
+  /// Reads a maintained view's rows at the current write epoch. The reply
+  /// stream is shaped exactly like a query reply (hdr/batch/report/end),
+  /// so the same QueryReply carries it; `method` is "ivm".
+  QueryReply ViewRead(const std::string& name);
+
   bool Ping(std::string* error);
   HealthReply Health();
   bool Stats(std::string* stats_json, std::string* error);
@@ -134,6 +161,13 @@ class Client {
   QueryReply QueryOnce(
       const std::string& query_text,
       const std::vector<std::pair<std::string, std::string>>& extra_fields);
+  /// Sends `req` and parses a query-shaped reply stream
+  /// (hdr/batch/report/end, or one error frame) — shared by QueryOnce and
+  /// ViewRead.
+  QueryReply QueryRoundTrip(api::Frame req);
+  ViewRegisterReply RegisterViewOnce(const std::string& name,
+                                     const std::string& kind,
+                                     const std::string& body);
   MutateReply MutateOnce(const std::string& dataset_text,
                          const std::string& on_input_error,
                          std::uint64_t request_id);

@@ -27,6 +27,12 @@
 //   --dump-rows REL        print REL's rows sorted, one per line (oracle
 //                          material for diffing a recovered server against
 //                          a never-crashed run).
+//   --register-view SPEC   register a materialized view; SPEC is
+//                          NAME=KIND=BODY (KIND join or triangle_count,
+//                          BODY the query text / edge relation).
+//   --dump-view NAME       print the maintained view's rows, one per line
+//                          (diff material: a recovered server's view must
+//                          match a recompute of the recovered data).
 
 #include <algorithm>
 #include <atomic>
@@ -73,6 +79,8 @@ struct Config {
   std::string verify_prefix_relation;
   std::uint64_t expect_at_least = 0;
   std::string dump_rows_relation;
+  std::string register_view_spec;  // NAME=KIND=BODY.
+  std::string dump_view_name;
 };
 
 struct WorkerResult {
@@ -297,6 +305,59 @@ int DumpRows(const Config& cfg) {
   return 0;
 }
 
+// --register-view NAME=KIND=BODY over the wire (retryable: a WAL-append
+// failure comes back as a retryable error frame).
+int RegisterView(const Config& cfg) {
+  const std::size_t eq1 = cfg.register_view_spec.find('=');
+  const std::size_t eq2 =
+      eq1 == std::string::npos ? eq1
+                               : cfg.register_view_spec.find('=', eq1 + 1);
+  if (eq1 == std::string::npos || eq2 == std::string::npos) {
+    std::cerr << "qc_loadgen: --register-view wants NAME=KIND=BODY\n";
+    return 1;
+  }
+  qc::server::Client client;
+  client.set_retry(RetryPolicy(cfg, 0x71e3ull));
+  std::string error;
+  if (!client.Connect(cfg.host, cfg.port, &error)) {
+    std::cerr << "qc_loadgen: " << error << "\n";
+    return 7;
+  }
+  qc::server::ViewRegisterReply r = client.RegisterView(
+      cfg.register_view_spec.substr(0, eq1),
+      cfg.register_view_spec.substr(eq1 + 1, eq2 - eq1 - 1),
+      cfg.register_view_spec.substr(eq2 + 1));
+  if (!r.ok || r.rejected) {
+    std::cerr << "qc_loadgen: register-view: "
+              << (r.ok ? r.message : r.error) << "\n";
+    return 7;
+  }
+  std::printf("view_rows=%llu view_epoch=%llu\n",
+              static_cast<unsigned long long>(r.rows),
+              static_cast<unsigned long long>(r.epoch));
+  return 0;
+}
+
+// --dump-view: print the maintained rows exactly as served (already
+// normalized: lex-sorted, deduplicated), one per line.
+int DumpView(const Config& cfg) {
+  qc::server::Client client;
+  client.set_retry(RetryPolicy(cfg, 0x71e4ull));
+  std::string error;
+  if (!client.Connect(cfg.host, cfg.port, &error)) {
+    std::cerr << "qc_loadgen: " << error << "\n";
+    return 7;
+  }
+  qc::server::QueryReply r = client.ViewRead(cfg.dump_view_name);
+  if (!r.ok || r.rejected) {
+    std::cerr << "qc_loadgen: dump-view: " << (r.ok ? r.message : r.error)
+              << "\n";
+    return 7;
+  }
+  std::fputs(r.row_text.c_str(), stdout);
+  return 0;
+}
+
 double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double idx = p * static_cast<double>(sorted.size() - 1);
@@ -314,7 +375,8 @@ int Usage() {
       << "  [--deadline-ms N] [--max-rows N] [--json FILE]\n"
       << "  [--sample-report FILE] [--retries N] [--shutdown]\n"
       << "  [--stream-mutations K] [--verify-prefix REL]\n"
-      << "  [--expect-at-least N] [--dump-rows REL]\n";
+      << "  [--expect-at-least N] [--dump-rows REL]\n"
+      << "  [--register-view NAME=KIND=BODY] [--dump-view NAME]\n";
   return 1;
 }
 
@@ -364,6 +426,10 @@ int main(int argc, char** argv) {
       cfg.expect_at_least = std::strtoull(v, nullptr, 10);
     } else if (arg == "--dump-rows" && (v = value())) {
       cfg.dump_rows_relation = v;
+    } else if (arg == "--register-view" && (v = value())) {
+      cfg.register_view_spec = v;
+    } else if (arg == "--dump-view" && (v = value())) {
+      cfg.dump_view_name = v;
     } else if (arg == "--shutdown") {
       cfg.send_shutdown = true;
     } else {
@@ -375,6 +441,8 @@ int main(int argc, char** argv) {
   // Smoke modes run a single scripted connection and skip the load loop.
   if (cfg.stream_mutations > 0) return StreamMutations(cfg);
   if (!cfg.verify_prefix_relation.empty()) return VerifyPrefix(cfg);
+  if (!cfg.register_view_spec.empty()) return RegisterView(cfg);
+  if (!cfg.dump_view_name.empty()) return DumpView(cfg);
   if (!cfg.dump_rows_relation.empty()) {
     const int rc = DumpRows(cfg);
     if (rc != 0 || !cfg.send_shutdown) return rc;

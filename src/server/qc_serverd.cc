@@ -7,6 +7,7 @@
 //
 // Usage:
 //   qc_serverd [--port N] [--host ADDR] [--preload FILE]
+//              [--view NAME=QUERY] [--triangle-view NAME=REL]
 //              [--wal-dir DIR] [--fsync always|batch|off]
 //              [--wal-batch-bytes N] [--wal-compact-bytes N]
 //              [--max-concurrent N] [--queue-capacity N]
@@ -22,6 +23,7 @@
 // this line), then serves until SIGINT/SIGTERM or a `shutdown` frame, then
 // prints final stats JSON to stderr.
 
+#include <array>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/query_api.h"
 #include "api/session_options.h"
@@ -49,6 +52,10 @@ void PrintUsage() {
       << "  --port N              listen port (default 0 = ephemeral)\n"
       << "  --host ADDR           listen address (default 127.0.0.1)\n"
       << "  --preload FILE        load a dataset file before serving\n"
+      << "  --view NAME=QUERY     register a maintained join view (repeat "
+         "ok)\n"
+      << "  --triangle-view NAME=REL  register a triangle-count view over "
+         "edge relation REL\n"
       << "  --max-concurrent N    queries executing at once (default 8)\n"
       << "  --queue-capacity N    admission queue slots (default 64)\n"
       << "  --queue-timeout-ms N  max queue wait, 0 = forever (default 0)\n"
@@ -77,6 +84,8 @@ bool ParseIntFlag(const char* flag, const char* text, int min_value,
 int main(int argc, char** argv) {
   qc::server::ServerOptions options;
   std::string preload_path;
+  // (name, kind, body) triples registered after recovery + preload.
+  std::vector<std::array<std::string, 3>> view_flags;
 
   for (int i = 1; i < argc;) {
     std::string arg = argv[i];
@@ -116,6 +125,21 @@ int main(int argc, char** argv) {
       const char* v = need_value("--preload");
       if (v == nullptr) return 1;
       preload_path = v;
+      i += 2;
+    } else if (arg == "--view" || arg == "--triangle-view") {
+      const char* v = need_value(arg.c_str());
+      if (v == nullptr) return 1;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v || eq[1] == '\0') {
+        std::cerr << arg << ": want NAME=" 
+                  << (arg == "--view" ? "QUERY" : "RELATION") << "\n";
+        return 1;
+      }
+      view_flags.push_back(
+          {std::string(v, eq - v),
+           arg == "--view" ? std::string("join")
+                           : std::string("triangle_count"),
+           std::string(eq + 1)});
       i += 2;
     } else if (arg == "--max-concurrent") {
       const char* v = need_value("--max-concurrent");
@@ -191,7 +215,9 @@ int main(int argc, char** argv) {
               << " snapshot record(s) + " << rec.log_records
               << " log record(s), " << rec.torn_bytes_truncated
               << " torn byte(s) truncated, " << rec.request_ids
-              << " request id(s) remembered\n";
+              << " request id(s) remembered, views_rebuilt="
+              << rec.views_rebuilt << " views_failed=" << rec.views_failed
+              << "\n";
   }
 
   // A durable restart already holds its data; re-applying --preload on top
@@ -248,6 +274,32 @@ int main(int argc, char** argv) {
     }
     std::cerr << "preloaded " << load.tuples_applied << " tuples from "
               << preload_path << "\n";
+  }
+
+  // Register maintained views last: against the recovered + preloaded
+  // state. A durable restart may already have rebuilt the same view from
+  // its kViewDef record — an "already registered" rejection is then the
+  // expected outcome, not an error.
+  for (const auto& [name, kind, body] : view_flags) {
+    // Same parse path the server's view_register frames and WAL recovery
+    // use: build the durable record and decode it.
+    qc::db::WalRecord record;
+    record.kind = qc::db::WalRecord::Kind::kViewDef;
+    record.relation = name;
+    record.arity = kind == "join" ? 0 : 1;
+    record.dataset = body;
+    qc::db::ViewDefinition def;
+    qc::db::MutationResult r = qc::db::ViewDefinitionFromRecord(record, &def);
+    if (r) r = server.database().RegisterView(def);
+    if (!r && r.message.find("already registered") != std::string::npos) {
+      std::cerr << "view " << name << ": already registered (recovered)\n";
+      continue;
+    }
+    if (!r) {
+      std::cerr << "view " << name << ": " << r.message << "\n";
+      return 3;
+    }
+    std::cerr << "view " << name << " registered (" << kind << ")\n";
   }
 
   if (!server.Start(&error)) {

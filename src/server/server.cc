@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/fault.h"
@@ -70,7 +71,11 @@ bool SendAll(int fd, const std::string& data) {
 QueryServer::QueryServer(const ServerOptions& options)
     : options_(options),
       cache_(options.session.MakeIndexCache()),
-      admission_(options.admission) {}
+      admission_(options.admission) {
+  // Always attached: with no registered views the per-mutation cost is one
+  // empty() check, and view_register frames need the hookup in place.
+  mvcc_.AttachViews(&views_);
+}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -80,8 +85,12 @@ bool QueryServer::Recover(std::string* error) {
   // Replay the durable state into the database. Structured records go
   // through the (not yet logging) MvccDatabase ops; dataset records go
   // through the exact LoadDataset path their original mutate frames took.
+  // View definitions are stashed and rebuilt only after the data replay
+  // finishes — a view registers against the final recovered state, and
+  // with the WAL still detached nothing is re-logged.
+  std::vector<db::WalRecord> view_defs;
   db::WalRecovery recovered = db::Wal::Replay(
-      options_.wal, [this](const db::WalRecord& record) {
+      options_.wal, [this, &view_defs](const db::WalRecord& record) {
         switch (record.kind) {
           case db::WalRecord::Kind::kSetRelation:
             return mvcc_.SetRelation(record.relation, record.arity,
@@ -110,6 +119,9 @@ bool QueryServer::Recover(std::string* error) {
           }
           case db::WalRecord::Kind::kDedup:
             break;  // Consumed by Replay itself.
+          case db::WalRecord::Kind::kViewDef:
+            view_defs.push_back(record);
+            break;
         }
         return db::MutationResult::Ok();
       });
@@ -119,11 +131,32 @@ bool QueryServer::Recover(std::string* error) {
   }
   for (std::uint64_t id : recovered.request_ids) RememberRequestId(id);
 
+  // Rebuild registered views from the recovered data. Lenient on purpose:
+  // view state is derived (the data replay above stays strict), so a
+  // definition that no longer validates is counted and skipped rather
+  // than refusing to serve the store.
+  std::uint64_t views_rebuilt = 0;
+  std::uint64_t views_failed = 0;
+  for (const db::WalRecord& record : view_defs) {
+    db::ViewDefinition def;
+    db::MutationResult r = db::ViewDefinitionFromRecord(record, &def);
+    if (r && views_.Has(def.name)) continue;  // Snapshot + log duplicate.
+    if (r) r = mvcc_.RegisterView(def);
+    if (r) {
+      ++views_rebuilt;
+    } else {
+      ++views_failed;
+    }
+  }
+
   if (!wal_.Open(options_.wal, error)) return false;
   mvcc_.AttachWal(&wal_);
 
   std::lock_guard<std::mutex> lock(recovery_mu_);
   recovery_.ran = true;
+  recovery_.view_defs = view_defs.size();
+  recovery_.views_rebuilt = views_rebuilt;
+  recovery_.views_failed = views_failed;
   recovery_.snapshot_records = recovered.snapshot_records;
   recovery_.log_records = recovered.log_records;
   recovery_.torn_bytes_truncated = recovered.torn_bytes_truncated;
@@ -165,7 +198,9 @@ std::vector<api::Frame> QueryServer::HandleRequest(
   const std::uint64_t id = request.FindUint("id", 0);
   // Draining: in-flight work keeps going, new work gets a retryable
   // rejection. Health, stats and ping stay up so orchestration can watch.
-  if (draining() && (request.kind == "query" || request.kind == "mutate")) {
+  if (draining() &&
+      (request.kind == "query" || request.kind == "mutate" ||
+       request.kind == "view_register" || request.kind == "view_read")) {
     drain_rejects_.fetch_add(1, std::memory_order_relaxed);
     return {ErrorFrame(id, 6, "server-draining",
                        "server is draining; retry against a serving "
@@ -173,6 +208,8 @@ std::vector<api::Frame> QueryServer::HandleRequest(
   }
   if (request.kind == "query") return HandleQuery(request);
   if (request.kind == "mutate") return HandleMutate(request);
+  if (request.kind == "view_register") return HandleViewRegister(request);
+  if (request.kind == "view_read") return HandleViewRead(request);
   if (request.kind == "ping") {
     api::Frame pong;
     pong.kind = "pong";
@@ -320,6 +357,7 @@ std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
   resp.report.server.request_id = id;
   resp.report.server.queue_ms = ticket.decision().queue_ms;
   resp.report.server.snapshot_epoch = snapshot.epoch;
+  if (!views_.empty()) api::FillIvmSection(&resp.report, views_.stats());
 
   // 4. Stream: hdr, bounded row batches, per-request report, end.
   std::vector<api::Frame> frames;
@@ -372,6 +410,150 @@ std::vector<api::Frame> QueryServer::HandleQuery(const api::Frame& request) {
   end.kind = "end";
   end.Add("id", std::to_string(id));
   end.Add("code", std::to_string(resp.ExitCode()));
+  frames.push_back(std::move(end));
+  return frames;
+}
+
+std::vector<api::Frame> QueryServer::HandleViewRegister(
+    const api::Frame& request) {
+  view_registers_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.FindUint("id", 0);
+  const std::string* name = request.Find("name");
+  if (name == nullptr || name->empty()) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 2, "bad-request",
+                       "view_register needs a non-empty 'name' field")};
+  }
+  std::string kind = "join";
+  if (const std::string* k = request.Find("kind")) kind = *k;
+
+  // Reuse the durable record codec as the single parse path: the frame is
+  // converted to the kViewDef record it would persist as, then decoded —
+  // recovery replays exactly the same bytes through exactly the same code.
+  db::WalRecord record;
+  record.kind = db::WalRecord::Kind::kViewDef;
+  record.relation = *name;
+  record.dataset = request.body;
+  if (kind == "join") {
+    record.arity = 0;
+  } else if (kind == "triangle_count") {
+    record.arity = 1;
+  } else {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 2, "bad-request",
+                       "unknown view kind '" + kind +
+                           "' (expected join|triangle_count)")};
+  }
+  db::ViewDefinition def;
+  db::MutationResult parsed = db::ViewDefinitionFromRecord(record, &def);
+  if (!parsed) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 1, "input", parsed.message)};
+  }
+  db::MutationResult registered = mvcc_.RegisterView(def);
+  if (!registered) {
+    if (registered.message.rfind("wal append failed", 0) == 0) {
+      // Durability failed, not the definition: retryable, like a mutate.
+      return {ErrorFrame(id, 7, "wal", registered.message)};
+    }
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 1, "input", registered.message)};
+  }
+  db::ViewRead state = views_.Read(*name);
+  api::Frame end;
+  end.kind = "end";
+  end.Add("id", std::to_string(id));
+  end.Add("code", "0");
+  end.Add("name", *name);
+  end.Add("rows", std::to_string(state.rows.size()));
+  end.Add("epoch", std::to_string(state.epoch));
+  return {end};
+}
+
+std::vector<api::Frame> QueryServer::HandleViewRead(
+    const api::Frame& request) {
+  view_reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.FindUint("id", 0);
+  const std::string* name = request.Find("name");
+  if (name == nullptr || name->empty()) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 2, "bad-request",
+                       "view_read needs a non-empty 'name' field")};
+  }
+  const auto started = std::chrono::steady_clock::now();
+  db::ViewRead state = views_.Read(*name);
+  if (!state.ok) {
+    input_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {ErrorFrame(id, 1, "input", state.error)};
+  }
+
+  // Answered from maintained state: no admission ticket, no snapshot, no
+  // engine — the whole point of paying for maintenance on the write path.
+  // The reply stream mirrors HandleQuery's (hdr / batch / report / end) so
+  // clients decode both with one path; method says where the rows came
+  // from.
+  util::RunReport report;
+  report.tool = "qc_serverd";
+  report.status = util::RunStatus::kCompleted;
+  report.threads = 1;
+  report.server.present = true;
+  report.server.request_id = id;
+  report.server.queue_ms = 0.0;
+  report.server.snapshot_epoch = state.epoch;
+  api::FillIvmSection(&report, views_.stats());
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+
+  std::vector<api::Frame> frames;
+  api::Frame hdr;
+  hdr.kind = "hdr";
+  hdr.Add("id", std::to_string(id));
+  hdr.Add("status", std::string(util::ToString(util::RunStatus::kCompleted)));
+  hdr.Add("method", "ivm");
+  hdr.Add("rows", std::to_string(state.rows.size()));
+  hdr.Add("truncated", "0");
+  hdr.Add("epoch", std::to_string(state.epoch));
+  std::string attrs;
+  for (const auto& a : state.attributes) {
+    if (!attrs.empty()) attrs += ' ';
+    attrs += a;
+  }
+  hdr.Add("attributes", attrs);
+  frames.push_back(std::move(hdr));
+
+  const std::size_t batch_rows =
+      options_.batch_rows > 0 ? static_cast<std::size_t>(options_.batch_rows)
+                              : 256;
+  for (std::size_t begin = 0; begin < state.rows.size();
+       begin += batch_rows) {
+    std::size_t end = std::min(begin + batch_rows, state.rows.size());
+    api::Frame batch;
+    batch.kind = "batch";
+    batch.Add("id", std::to_string(id));
+    batch.Add("rows", std::to_string(end - begin));
+    for (std::size_t i = begin; i < end; ++i) {
+      std::string line;
+      for (db::Value v : state.rows[i]) {
+        if (!line.empty()) line += ' ';
+        line += std::to_string(v);
+      }
+      batch.body += line;
+      batch.body += '\n';
+    }
+    frames.push_back(std::move(batch));
+  }
+
+  api::Frame report_frame;
+  report_frame.kind = "report";
+  report_frame.Add("id", std::to_string(id));
+  report_frame.body = report.ToJson();
+  frames.push_back(std::move(report_frame));
+
+  api::Frame end;
+  end.kind = "end";
+  end.Add("id", std::to_string(id));
+  end.Add("code", "0");
   frames.push_back(std::move(end));
   return frames;
 }
@@ -493,6 +675,7 @@ ServerStats QueryServer::stats() const {
   ServerStats s;
   s.admission = admission_.stats();
   s.mvcc = mvcc_.stats();
+  s.ivm = views_.stats();
   if (cache_ != nullptr) s.cache = cache_->stats();
   s.wal = wal_.stats();
   s.recovery = recovery();
@@ -501,6 +684,8 @@ ServerStats QueryServer::stats() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.mutations = mutations_.load(std::memory_order_relaxed);
   s.mutations_deduped = mutations_deduped_.load(std::memory_order_relaxed);
+  s.view_registers = view_registers_.load(std::memory_order_relaxed);
+  s.view_reads = view_reads_.load(std::memory_order_relaxed);
   s.input_errors = input_errors_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.queue_sheds = queue_sheds_.load(std::memory_order_relaxed);
@@ -519,6 +704,8 @@ std::string QueryServer::StatsJson() const {
   w.Key("queries").Uint(s.queries);
   w.Key("mutations").Uint(s.mutations);
   w.Key("mutations_deduped").Uint(s.mutations_deduped);
+  w.Key("view_registers").Uint(s.view_registers);
+  w.Key("view_reads").Uint(s.view_reads);
   w.Key("input_errors").Uint(s.input_errors);
   w.Key("protocol_errors").Uint(s.protocol_errors);
   w.Key("queue_sheds").Uint(s.queue_sheds);
@@ -538,6 +725,13 @@ std::string QueryServer::StatsJson() const {
   w.Key("snapshot_builds").Uint(s.mvcc.snapshot_builds);
   w.Key("wal_rejections").Uint(s.mvcc.wal_rejections);
   w.EndObject();
+  w.Key("ivm").BeginObject();
+  w.Key("views").Uint(s.ivm.views);
+  w.Key("updates").Uint(s.ivm.updates);
+  w.Key("dirty_subtree_sweeps").Uint(s.ivm.dirty_subtree_sweeps);
+  w.Key("rows_delta_applied").Uint(s.ivm.rows_delta_applied);
+  w.Key("full_recomputes").Uint(s.ivm.full_recomputes);
+  w.EndObject();
   w.Key("wal").BeginObject();
   w.Key("enabled").Bool(s.wal_enabled);
   w.Key("records_appended").Uint(s.wal.records_appended);
@@ -555,6 +749,9 @@ std::string QueryServer::StatsJson() const {
       .Uint(s.recovery.duplicate_records_skipped);
   w.Key("stale_log_bytes_skipped").Uint(s.recovery.stale_log_bytes_skipped);
   w.Key("request_ids").Uint(s.recovery.request_ids);
+  w.Key("view_defs").Uint(s.recovery.view_defs);
+  w.Key("views_rebuilt").Uint(s.recovery.views_rebuilt);
+  w.Key("views_failed").Uint(s.recovery.views_failed);
   w.EndObject();
   w.EndObject();
   w.Key("cache").BeginObject();

@@ -17,6 +17,7 @@
 #include "api/session_options.h"
 #include "api/wire.h"
 #include "db/index_cache.h"
+#include "db/ivm.h"
 #include "db/mvcc.h"
 #include "db/wal.h"
 #include "server/admission.h"
@@ -53,6 +54,9 @@ struct RecoveryInfo {
   std::uint64_t duplicate_records_skipped = 0;  ///< Re-logged request ids.
   std::uint64_t stale_log_bytes_skipped = 0;  ///< Snapshot-covered log.
   std::uint64_t request_ids = 0;  ///< Dedup ids recovered.
+  std::uint64_t view_defs = 0;       ///< kViewDef records replayed.
+  std::uint64_t views_rebuilt = 0;   ///< Views re-registered after replay.
+  std::uint64_t views_failed = 0;    ///< Definitions that failed to rebuild.
 };
 
 struct ServerStats {
@@ -60,12 +64,15 @@ struct ServerStats {
   db::MvccStats mvcc;
   db::IndexCacheStats cache;
   db::WalStats wal;
+  db::IvmStats ivm;
   RecoveryInfo recovery;
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
   std::uint64_t queries = 0;
   std::uint64_t mutations = 0;
   std::uint64_t mutations_deduped = 0;
+  std::uint64_t view_registers = 0;
+  std::uint64_t view_reads = 0;
   std::uint64_t input_errors = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t queue_sheds = 0;
@@ -173,6 +180,8 @@ class QueryServer {
  private:
   std::vector<api::Frame> HandleQuery(const api::Frame& request);
   std::vector<api::Frame> HandleMutate(const api::Frame& request);
+  std::vector<api::Frame> HandleViewRegister(const api::Frame& request);
+  std::vector<api::Frame> HandleViewRead(const api::Frame& request);
   api::Frame HandleHealth(std::uint64_t id) const;
   void AcceptLoop();
   void ServeConnection(int fd, std::uint64_t conn_id);
@@ -188,6 +197,10 @@ class QueryServer {
 
   const ServerOptions options_;
   db::MvccDatabase mvcc_;
+  /// Materialized views maintained under mvcc_'s write epochs (attached in
+  /// the constructor); `view_register`/`view_read` frames and WAL-recovered
+  /// kViewDef records feed it.
+  db::ViewRegistry views_;
   db::Wal wal_;
   std::unique_ptr<db::IndexCache> cache_;
   AdmissionController admission_;
@@ -205,6 +218,8 @@ class QueryServer {
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> mutations_{0};
   std::atomic<std::uint64_t> mutations_deduped_{0};
+  std::atomic<std::uint64_t> view_registers_{0};
+  std::atomic<std::uint64_t> view_reads_{0};
   std::atomic<std::uint64_t> input_errors_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> queue_sheds_{0};

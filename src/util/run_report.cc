@@ -80,6 +80,15 @@ void RunReport::Emit(JsonWriter& w) const {
     w.Key("snapshot_epoch").Uint(server.snapshot_epoch);
     w.EndObject();
   }
+  if (ivm.present) {
+    w.Key("ivm").BeginObject();
+    w.Key("views").Uint(ivm.views);
+    w.Key("updates").Uint(ivm.updates);
+    w.Key("dirty_subtree_sweeps").Uint(ivm.dirty_subtree_sweeps);
+    w.Key("rows_delta_applied").Uint(ivm.rows_delta_applied);
+    w.Key("full_recomputes").Uint(ivm.full_recomputes);
+    w.EndObject();
+  }
   w.EndObject();
 }
 

@@ -37,8 +37,10 @@ class JsonWriter;
 ///     "spans": [ { "name": "generic_join", "count": 1, "total_ms": 12.1,
 ///                  "children": [ ... ] } ],           // sorted by name
 ///     "server": { "request_id": 7, "queue_ms": 0.3,   // only when the run
-///                 "snapshot_epoch": 12 }              // was served by
-///   }                                                 // qc_serverd
+///                 "snapshot_epoch": 12 },             // was served by
+///                                                     // qc_serverd
+///     "ivm": { "views": 1, "updates": 9, ... }  // only when the serving
+///   }                                           // process maintains views
 struct RunReport {
   std::string tool;
   RunStatus status = RunStatus::kCompleted;
@@ -95,6 +97,19 @@ struct RunReport {
     std::uint64_t snapshot_epoch = 0;  ///< MVCC write epoch the query saw.
   };
   ServerInfo server;
+
+  /// Incremental-view-maintenance counters when the serving process keeps
+  /// materialized views (db::IvmStats snapshot, flattened here so util/
+  /// stays below db/). Serialized (as an "ivm" object) only when `present`.
+  struct IvmInfo {
+    bool present = false;
+    std::uint64_t views = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t dirty_subtree_sweeps = 0;
+    std::uint64_t rows_delta_applied = 0;
+    std::uint64_t full_recomputes = 0;
+  };
+  IvmInfo ivm;
 
   /// Copies usage and limits out of a run's budget. `deadline_armed` is
   /// inferred from the status or set by the caller via `deadline_armed`.

@@ -230,5 +230,66 @@ TEST(MvccTest, IndexCacheStaysWarmAcrossSnapshots) {
   EXPECT_GT(cache.stats().misses, warm.misses);
 }
 
+TEST(MvccTest, EmptyAddTuplesBatchIsANoOp) {
+  db::MvccDatabase mvcc;
+  ASSERT_TRUE(mvcc.SetRelation("R", 2, {{1, 2}}));
+  const std::uint64_t epoch = mvcc.Epoch();
+  db::MvccSnapshot before = mvcc.Snapshot();
+
+  // A zero-record batch must not bump the epoch or invalidate the cached
+  // snapshot: downstream, a spurious epoch bump forces snapshot rebuilds
+  // and IndexCache misses for data that did not change.
+  ASSERT_TRUE(mvcc.AddTuples("R", {}));
+  EXPECT_EQ(mvcc.Epoch(), epoch);
+  db::MvccSnapshot after = mvcc.Snapshot();
+  EXPECT_EQ(after.epoch, before.epoch);
+  EXPECT_EQ(after.db.get(), before.db.get());  // Same cached clone.
+  EXPECT_EQ(mvcc.stats().mutations, 1u);       // Only the SetRelation.
+
+  // Still a validated path: the relation must exist.
+  EXPECT_FALSE(mvcc.AddTuples("missing", {}));
+  EXPECT_EQ(mvcc.Epoch(), epoch);
+}
+
+TEST(DatabaseCloneTest, ConcurrentCloneReadersSeeConsistentRows) {
+  // Regression guard for the row-cache carry question: Clone() must NOT
+  // copy the source's materialized row_cache (the source may still be
+  // filling it while the clone reads lock-free). Eight readers hammer
+  // Tuples() on fresh clones while the original keeps mutating; TSan
+  // (preset: tsan, filter DatabaseClone*) would flag a copied cache.
+  db::Database original = TwoRelationDb();
+  // Warm the original's row cache so a buggy Clone would have bytes to
+  // carry.
+  (void)original.Tuples("R");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::vector<db::Database> clones;
+  clones.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(original.AddTuple("R", {100 + i, 200 + i}));
+    clones.push_back(original.Clone());
+  }
+  for (int i = 0; i < 8; ++i) {
+    db::Database* clone = &clones[i];
+    const std::size_t expect_rows = 3 + static_cast<std::size_t>(i);
+    readers.emplace_back([clone, expect_rows, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<db::Tuple>& rows = clone->Tuples("R");
+        ASSERT_EQ(rows.size(), expect_rows);
+        ASSERT_EQ(rows[0], (db::Tuple{1, 2}));
+      }
+    });
+  }
+  // Writer keeps mutating (and re-materializing) the original concurrently.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(original.AddTuple("S", {i, i}));
+    (void)original.Tuples("S");
+    (void)original.Tuples("R");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+}
+
 }  // namespace
 }  // namespace qc

@@ -910,5 +910,288 @@ TEST(ServerSocketTest, HealthProbeOverTcp) {
   server.Stop();
 }
 
+// --- Incremental view maintenance through the pipeline ------------------
+
+// Maintained views require alpha-acyclic queries; the triangle query above
+// is cyclic by design, so the view tests join the same relations along an
+// acyclic chain.
+constexpr char kChainQuery[] = "R1(a,b), R2(b,c), R3(c,d)";
+
+static std::vector<api::Frame> RegisterViewFrame(server::QueryServer& server,
+                                                 const std::string& name,
+                                                 const std::string& kind,
+                                                 const std::string& body) {
+  api::Frame f;
+  f.kind = "view_register";
+  f.Add("id", "41").Add("name", name).Add("kind", kind);
+  f.body = body;
+  return server.HandleRequest(f);
+}
+
+static std::vector<api::Frame> ReadViewFrame(server::QueryServer& server,
+                                             const std::string& name) {
+  api::Frame f;
+  f.kind = "view_read";
+  f.Add("id", "42").Add("name", name);
+  return server.HandleRequest(f);
+}
+
+static std::string BatchText(const std::vector<api::Frame>& frames) {
+  std::string text;
+  for (const api::Frame& f : frames) {
+    if (f.kind == "batch") text += f.body;
+  }
+  return text;
+}
+
+// Lex-sorts and dedups row lines: the engine streams rows in evaluation
+// order with duplicates, the maintained view stores the normalized
+// (sorted, duplicate-free) result — the IVM correctness contract is
+// equality after normalization.
+static std::string NormalizeRowText(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(IvmServerTest, ViewRegisterAndReadRoundTrip) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame mutate;
+  mutate.kind = "mutate";
+  mutate.Add("id", "1");
+  mutate.body = kTriangleDataset;
+  server.HandleRequest(mutate);
+
+  std::vector<api::Frame> reg =
+      RegisterViewFrame(server, "chain", "join", kChainQuery);
+  ASSERT_EQ(reg.size(), 1u);
+  ASSERT_EQ(reg[0].kind, "end") << *reg[0].Find("message");
+  EXPECT_EQ(reg[0].FindUint("code", 9), 0u);
+
+  // The maintained rows equal the query's streamed rows (both normalized
+  // row text over the canonical attribute order).
+  api::Frame query;
+  query.kind = "query";
+  query.Add("id", "2");
+  query.body = kChainQuery;
+  std::vector<api::Frame> qr = server.HandleRequest(query);
+  std::string query_rows = NormalizeRowText(BatchText(qr));
+  std::vector<api::Frame> read = ReadViewFrame(server, "chain");
+  ASSERT_EQ(read.front().kind, "hdr");
+  EXPECT_EQ(*read.front().Find("method"), "ivm");
+  EXPECT_GT(read.front().FindUint("rows", 0), 0u);
+  EXPECT_EQ(BatchText(read), query_rows);
+
+  // A mutation flows into the maintained state; the read epoch advances.
+  const std::uint64_t epoch_before = read.front().FindUint("epoch", 0);
+  query.fields.clear();
+  query.Add("id", "12");
+  api::Frame append;
+  append.kind = "mutate";
+  append.Add("id", "3");
+  append.body = "relation R1:\n3 0\n";  // No new triangle from this alone.
+  server.HandleRequest(append);
+  mutate.fields.clear();
+  mutate.Add("id", "4");
+  server.HandleRequest(mutate);  // Re-append the whole dataset (dups).
+  read = ReadViewFrame(server, "chain");
+  ASSERT_EQ(read.front().kind, "hdr");
+  EXPECT_GT(read.front().FindUint("epoch", 0), epoch_before);
+  query_rows = NormalizeRowText(BatchText(server.HandleRequest(query)));
+  EXPECT_EQ(BatchText(read), query_rows);
+
+  // Stats and report carry the ivm section.
+  server::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ivm.views, 1u);
+  EXPECT_EQ(stats.view_registers, 1u);
+  EXPECT_EQ(stats.view_reads, 2u);
+  EXPECT_NE(server.StatsJson().find("\"ivm\":"), std::string::npos);
+  const api::Frame* report = nullptr;
+  for (const api::Frame& f : read) {
+    if (f.kind == "report") report = &f;
+  }
+  ASSERT_NE(report, nullptr);
+  EXPECT_NE(report->body.find("\"ivm\":"), std::string::npos);
+  EXPECT_NE(report->body.find("\"views\": 1"), std::string::npos);
+}
+
+TEST(IvmServerTest, ViewErrorsAreStructured) {
+  server::QueryServer server(SmallServerOptions());
+  api::Frame mutate;
+  mutate.kind = "mutate";
+  mutate.Add("id", "1");
+  mutate.body = kTriangleDataset;
+  server.HandleRequest(mutate);
+
+  // Unknown view.
+  std::vector<api::Frame> r = ReadViewFrame(server, "nope");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 1u);
+
+  // Missing name field.
+  api::Frame no_name;
+  no_name.kind = "view_read";
+  no_name.Add("id", "2");
+  r = server.HandleRequest(no_name);
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 2u);
+
+  // Bad kind.
+  r = RegisterViewFrame(server, "v", "matrix", "R1(a,b)");
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 2u);
+
+  // Cyclic query is rejected as input.
+  r = RegisterViewFrame(server, "v", "join",
+                        "R1(a,b), R2(b,c), R3(c,a)");
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 1u);
+
+  // Duplicate name.
+  ASSERT_EQ(RegisterViewFrame(server, "v", "join", "R1(a,b)")[0].kind,
+            "end");
+  r = RegisterViewFrame(server, "v", "join", "R1(a,b)");
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 1u);
+
+  // Draining rejects view traffic retryably.
+  server.Drain();
+  r = ReadViewFrame(server, "v");
+  EXPECT_EQ(r[0].kind, "error");
+  EXPECT_EQ(r[0].FindUint("code", 0), 6u);
+  EXPECT_EQ(r[0].FindUint("retryable", 0), 1u);
+}
+
+TEST(IvmServerTest, ViewRoundtripOverTcp) {
+  server::QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  ASSERT_TRUE(client.Mutate(kTriangleDataset).ok);
+
+  server::ViewRegisterReply reg =
+      client.RegisterView("chain", "join", kChainQuery);
+  ASSERT_TRUE(reg.ok) << reg.error;
+  EXPECT_FALSE(reg.rejected) << reg.message;
+
+  server::QueryReply view = client.ViewRead("chain");
+  ASSERT_TRUE(view.ok) << view.error;
+  EXPECT_FALSE(view.rejected);
+  EXPECT_EQ(view.method, "ivm");
+  EXPECT_EQ(view.attributes,
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+  server::QueryReply q = client.Query(kChainQuery);
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(view.row_text, NormalizeRowText(q.row_text));
+  EXPECT_NE(view.report_json.find("\"ivm\":"), std::string::npos);
+
+  server::QueryReply missing = client.ViewRead("nope");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_TRUE(missing.rejected);
+  EXPECT_EQ(missing.code, 1);
+  server.Stop();
+}
+
+TEST_F(WalServerTest, ViewsSurviveRestartAndCompaction) {
+  {
+    server::QueryServer server(WalOptions());
+    std::string error;
+    ASSERT_TRUE(server.Recover(&error)) << error;
+    Mutate(server, kTriangleDataset);
+    std::vector<api::Frame> reg =
+        RegisterViewFrame(server, "tri", "join", kChainQuery);
+    ASSERT_EQ(reg[0].kind, "end") << *reg[0].Find("message");
+    Mutate(server, "relation R1:\n3 0\n");
+  }
+  {
+    // Restart: the kViewDef log record rebuilds the view against the
+    // replayed data.
+    server::QueryServer reborn(WalOptions());
+    std::string error;
+    ASSERT_TRUE(reborn.Recover(&error)) << error;
+    EXPECT_EQ(reborn.recovery().view_defs, 1u);
+    EXPECT_EQ(reborn.recovery().views_rebuilt, 1u);
+    EXPECT_EQ(reborn.recovery().views_failed, 0u);
+    std::vector<api::Frame> read = ReadViewFrame(reborn, "tri");
+    ASSERT_EQ(read.front().kind, "hdr");
+    std::string maintained = BatchText(read);
+    EXPECT_EQ(maintained,
+              NormalizeRowText(BatchText(Query(reborn, kChainQuery))));
+
+    // Compaction must carry the definition into the snapshot...
+    ASSERT_TRUE(reborn.database().CompactWal({}));
+    Mutate(reborn, "relation R2:\n3 0\n");
+  }
+  // ...so a restart after log rotation still rebuilds it.
+  server::QueryServer again(WalOptions());
+  std::string error;
+  ASSERT_TRUE(again.Recover(&error)) << error;
+  EXPECT_EQ(again.recovery().views_rebuilt, 1u);
+  std::vector<api::Frame> read = ReadViewFrame(again, "tri");
+  ASSERT_EQ(read.front().kind, "hdr");
+  EXPECT_EQ(BatchText(read),
+            NormalizeRowText(BatchText(Query(again, kChainQuery))));
+}
+
+TEST_F(WalServerTest, RetriedRequestIdOccupiesOneDedupSlot) {
+  // Regression: RememberRequestId must be idempotent. If a replayed-then-
+  // retried id were pushed into the eviction order twice, the set and the
+  // order deque would desync and the id would fall out of the window
+  // early (or evict a newer id in its place).
+  server::ServerOptions options = WalOptions();
+  options.dedup_window = 4;
+  {
+    server::QueryServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Recover(&error)) << error;
+    ASSERT_EQ(Mutate(server, "relation R:\n1 1\n", 100)[0].kind, "end");
+  }
+  server::QueryServer reborn(options);
+  std::string error;
+  ASSERT_TRUE(reborn.Recover(&error)) << error;
+  // Replay remembered id 100; two retries must still dedup and must not
+  // consume extra window slots.
+  for (int i = 0; i < 2; ++i) {
+    std::vector<api::Frame> retry = Mutate(reborn, "relation R:\n1 1\n", 100);
+    ASSERT_EQ(retry[0].kind, "end");
+    EXPECT_EQ(retry[0].FindUint("deduped", 0), 1u) << "retry " << i;
+  }
+  // Exactly window-1 fresh ids: 100 is now the oldest of 4 remembered ids
+  // and must still be present. A duplicated push would already have
+  // evicted it here.
+  for (std::uint64_t id = 101; id <= 103; ++id) {
+    std::vector<api::Frame> r = Mutate(reborn, "relation R:\n2 2\n", id);
+    ASSERT_EQ(r[0].kind, "end");
+    EXPECT_EQ(r[0].FindUint("deduped", 0), 0u);
+  }
+  std::vector<api::Frame> still = Mutate(reborn, "relation R:\n1 1\n", 100);
+  ASSERT_EQ(still[0].kind, "end");
+  EXPECT_EQ(still[0].FindUint("deduped", 0), 1u);
+  // One more fresh id evicts 100; the next retry genuinely re-applies.
+  ASSERT_EQ(Mutate(reborn, "relation R:\n2 2\n", 104)[0].kind, "end");
+  std::vector<api::Frame> evicted = Mutate(reborn, "relation R:\n1 1\n", 100);
+  ASSERT_EQ(evicted[0].kind, "end");
+  EXPECT_EQ(evicted[0].FindUint("deduped", 0), 0u);
+  EXPECT_EQ(evicted[0].FindUint("applied", 0), 1u);
+}
+
 }  // namespace
 }  // namespace qc

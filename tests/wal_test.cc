@@ -140,6 +140,14 @@ TEST(WalRecordCodecTest, RoundTripsEveryKind) {
     r.dedup_ids = {1, 2, 0xffffffffffffffffull};
     records.push_back(r);
   }
+  {
+    db::WalRecord r;
+    r.kind = db::WalRecord::Kind::kViewDef;
+    r.relation = "triangles";
+    r.arity = 1;  // ViewDefinition::Kind::kTriangleCount.
+    r.dataset = "E";
+    records.push_back(r);
+  }
 
   for (const db::WalRecord& r : records) {
     const std::string payload = db::EncodeWalRecord(r);
@@ -834,6 +842,25 @@ TEST_F(WalFaultTest, FsyncFailureRetryDoesNotDoubleApplyOnRecovery) {
   EXPECT_EQ(rec.duplicate_records_skipped, 1u);
   EXPECT_EQ(rec.request_ids, (std::vector<std::uint64_t>{91}));
   EXPECT_EQ(db.Tuples("R"), (std::vector<db::Tuple>{{1}, {2}}));
+}
+
+TEST(MvccWalTest, EmptyAddTuplesBatchLogsNothing) {
+  TempDir dir;
+  db::Wal wal;
+  std::string error;
+  ASSERT_TRUE(wal.Open(Options(dir), &error)) << error;
+  db::MvccDatabase mvcc;
+  mvcc.AttachWal(&wal);
+  ASSERT_TRUE(mvcc.SetRelation("R", 2, {{1, 2}}));
+
+  const std::uint64_t records_before = wal.stats().records_appended;
+  const std::uint64_t epoch_before = mvcc.Epoch();
+  // A zero-record batch must not reach the WAL: a durable no-op record
+  // would replay as an extra epoch bump and desync recovered epochs from
+  // the acknowledged history.
+  ASSERT_TRUE(mvcc.AddTuples("R", {}));
+  EXPECT_EQ(wal.stats().records_appended, records_before);
+  EXPECT_EQ(mvcc.Epoch(), epoch_before);
 }
 
 }  // namespace

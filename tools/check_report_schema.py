@@ -130,6 +130,22 @@ def check_report(path):
         if unknown:
             fail(path, f"server has unknown keys {sorted(unknown)}")
 
+    # Optional "ivm" section: present only when the serving process has
+    # registered materialized views (counters from db::IvmStats).
+    if "ivm" in report:
+        ivm = report["ivm"]
+        if not isinstance(ivm, dict):
+            fail(path, "ivm is not an object")
+        ivm_keys = ("views", "updates", "dirty_subtree_sweeps",
+                    "rows_delta_applied", "full_recomputes")
+        for key in ivm_keys:
+            check_type(path, ivm, key, int)
+            if ivm[key] < 0:
+                fail(path, f"ivm.{key} is negative")
+        unknown = set(ivm) - set(ivm_keys)
+        if unknown:
+            fail(path, f"ivm has unknown keys {sorted(unknown)}")
+
     served = " (served)" if "server" in report else ""
     print(f"{path}: ok ({report['tool']}, status={report['status']}, "
           f"simd={stats['simd_level']}, "

@@ -11,7 +11,11 @@
 #      contiguous prefix {0..n-1}: nothing lost, nothing double-applied);
 #   4. replay the same n mutations against a never-crashed oracle server
 #      and diff the sorted row dumps — recovered answers must be
-#      bit-identical to the clean run.
+#      bit-identical to the clean run;
+#   5. register a materialized view on the recovered server, stream more
+#      mutations under it, kill -9 again, restart — the rebuilt view's
+#      rows must be identical to the recovered base relation (the view is
+#      `stream(x)`, so view == relation at every epoch).
 #
 # Usage: tools/crash_recovery_smoke.sh [BUILD_DIR] [STREAM_COUNT]
 set -euo pipefail
@@ -100,4 +104,28 @@ echo "== phase 4: recovered server still accepts writes (WAL reopened)"
 "$LOADGEN" --port "$PORT" --verify-prefix stream2 --expect-at-least 3 \
   > /dev/null
 
-echo "PASS: $ACKED acked, $ROWS recovered, prefix contiguous, oracle-identical"
+echo "== phase 5: views survive kill -9 (kViewDef replay + rebuild)"
+"$LOADGEN" --port "$PORT" --register-view 'all=join=stream(x)' \
+  > "$WORK/view.out" || {
+    echo "FAIL: view registration rejected" >&2
+    cat "$WORK/view.out" >&2
+    exit 1
+  }
+"$LOADGEN" --port "$PORT" --write-relation stream \
+  --stream-mutations $((ROWS + 200)) > /dev/null  # ids 0..ROWS-1 dedup.
+kill -9 "$(cat "$WORK/reborn.pid")" 2>/dev/null || true
+PORT=$(start_server reborn2 --wal-dir "$WORK/wal" --fsync always)
+grep -q "views_rebuilt=1" "$WORK/reborn2.err" || {
+  echo "FAIL: recovery did not rebuild the registered view" >&2
+  cat "$WORK/reborn2.out" >&2
+  exit 1
+}
+"$LOADGEN" --port "$PORT" --dump-view all | sort -n > "$WORK/view.rows"
+"$LOADGEN" --port "$PORT" --dump-rows stream > "$WORK/base.rows"
+if ! diff -u "$WORK/base.rows" "$WORK/view.rows"; then
+  echo "FAIL: rebuilt view differs from the recovered relation" >&2
+  exit 1
+fi
+VIEW_ROWS=$(wc -l < "$WORK/view.rows")
+
+echo "PASS: $ACKED acked, $ROWS recovered, prefix contiguous, oracle-identical, view rebuilt ($VIEW_ROWS rows)"

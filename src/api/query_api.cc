@@ -306,6 +306,7 @@ QueryResponse ExecuteQuery(const QueryRequest& req, const db::Database& db,
     resp.status = result.status;
     resp.method = core::ToString(result.method);
     resp.result = std::move(result.result);
+    FillPlannerSection(&resp.report, result.plan);
   } catch (const std::bad_alloc&) {
     resp.internal_error = true;
     resp.error = "allocation failure during query evaluation";
@@ -350,6 +351,20 @@ void FillCacheSection(util::RunReport* report, const db::IndexCache* cache) {
   report->cache.bytes = stats.bytes;
   report->cache.capacity_bytes = stats.capacity_bytes;
   report->cache.entries = stats.entries;
+}
+
+void FillPlannerSection(util::RunReport* report, const db::HybridPlan& plan) {
+  if (plan.pattern == db::HybridPattern::kNone) return;
+  report->planner.present = true;
+  report->planner.pattern = db::ToString(plan.pattern);
+  report->planner.threshold = plan.threshold;
+  report->planner.threshold_overridden = plan.threshold_overridden;
+  report->planner.delegated = plan.delegated;
+  report->planner.heavy_values = plan.heavy_values;
+  report->planner.heavy_tuples = plan.heavy_tuples;
+  report->planner.light_tuples = plan.light_tuples;
+  report->planner.heavy_rows = plan.heavy_rows;
+  report->planner.light_rows = plan.light_rows;
 }
 
 void FillIvmSection(util::RunReport* report, const db::IvmStats& stats) {

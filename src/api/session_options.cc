@@ -71,6 +71,29 @@ bool SetOnInputError(SessionOptions& o, std::string_view v,
   return true;
 }
 
+bool SetHybrid(SessionOptions& o, std::string_view v, std::string* error) {
+  if (v == "auto") {
+    o.hybrid = HybridMode::kAuto;
+  } else if (v == "on") {
+    o.hybrid = HybridMode::kOn;
+  } else if (v == "off") {
+    o.hybrid = HybridMode::kOff;
+  } else {
+    return BadValue("--hybrid", v, error);
+  }
+  return true;
+}
+
+bool SetHybridDelta(SessionOptions& o, std::string_view v,
+                    std::string* error) {
+  std::uint64_t n;
+  if (!ParseU64(v, &n) || n > (1ull << 62)) {
+    return BadValue("--hybrid-delta", v, error);
+  }
+  o.hybrid_delta = static_cast<std::int64_t>(n);
+  return true;
+}
+
 }  // namespace
 
 const std::vector<SessionOptionSpec>& SessionOptionTable() {
@@ -88,6 +111,10 @@ const std::vector<SessionOptionSpec>& SessionOptionTable() {
       {"--on-input-error", "on_input_error", "abort|continue",
        "dataset error handling: reject everything or skip bad rows",
        SetOnInputError},
+      {"--hybrid", "hybrid", "auto|on|off",
+       "degree-split MM/WCOJ hybrid planner routing", SetHybrid},
+      {"--hybrid-delta", "hybrid_delta", "N",
+       "hybrid degree threshold override (0 = auto sqrt(N))", SetHybridDelta},
   };
   return kTable;
 }
@@ -125,6 +152,8 @@ std::string SessionFlagsUsage() {
 
 void SessionOptions::ApplyTo(ExecutionContext* ctx) const {
   ctx->threads = threads;
+  ctx->hybrid_mode = hybrid;
+  ctx->hybrid_delta = hybrid_delta;
 }
 
 std::shared_ptr<util::Budget> SessionOptions::MakeBudget() const {

@@ -34,6 +34,12 @@ struct SessionOptions {
   /// apply nothing), true = continue (apply valid rows, skip and report
   /// each bad one). See api::LoadDataset.
   bool continue_on_input_error = false;
+  /// Degree-split hybrid MM/WCOJ planner routing (DESIGN.md §15): kAuto
+  /// lets the autosolver pick, kOn forces the hybrid on every recognized
+  /// pattern, kOff disables it.
+  HybridMode hybrid = HybridMode::kAuto;
+  /// Degree threshold Δ override for the hybrid split (0 = auto √N).
+  std::int64_t hybrid_delta = 0;
 
   /// Copies the execution knobs onto a context (threads; budget limits are
   /// resolved through MakeBudget so callers can share one budget).

@@ -20,6 +20,8 @@ std::string ToString(SolveMethod method) {
       return "yannakakis";
     case SolveMethod::kGenericJoin:
       return "generic-join";
+    case SolveMethod::kHybridJoin:
+      return "hybrid-join";
   }
   return "?";
 }
@@ -123,6 +125,32 @@ AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
       result.status = result.result.truncated ? budget->status()
                                               : util::RunStatus::kCompleted;
       return result;
+    }
+  }
+  // Cyclic query: the degree-split hybrid planner gets first refusal on
+  // the small patterns it recognizes (triangle / 4-cycle / k-clique, k<=5).
+  // kOn takes any recognized pattern; kAuto additionally requires the
+  // partition to look profitable (a dense-enough heavy core). The planner's
+  // decision record is kept either way so reports can show what it saw.
+  if (ctx.hybrid_mode != HybridMode::kOff) {
+    db::HybridPattern pattern = db::DetectHybridPattern(query);
+    if (pattern != db::HybridPattern::kNone) {
+      static const std::uint32_t kHybridSpan =
+          util::Trace::InternName("autosolver.hybrid_join");
+      util::ScopedSpan hybrid_span(kHybridSpan);
+      ExecutionContext sub = ctx;
+      sub.budget = budget;
+      db::HybridJoin hybrid(query, db, sub, ctx.hybrid_delta);
+      result.plan = hybrid.plan();
+      if (hybrid.applicable() && (ctx.hybrid_mode == HybridMode::kOn ||
+                                  hybrid.ProfitableUnderAuto())) {
+        ctx.Count("hybrid.dispatches", 1);
+        result.method = SolveMethod::kHybridJoin;
+        result.result = hybrid.Evaluate();
+        result.plan = hybrid.plan();
+        result.status = hybrid.status();
+        return result;
+      }
     }
   }
   static const std::uint32_t kGenericJoinSpan =

@@ -7,6 +7,7 @@
 #include "csp/solver.h"
 #include "csp/treedp.h"
 #include "db/database.h"
+#include "db/hybrid_join.h"
 
 namespace qc::core {
 
@@ -17,6 +18,7 @@ enum class SolveMethod {
   kBacktracking, ///< General search.
   kYannakakis,   ///< Acyclic join query.
   kGenericJoin,  ///< Worst-case-optimal join (Theorem 3.3).
+  kHybridJoin,   ///< Degree-split MM/WCOJ hybrid (DESIGN.md §15).
 };
 
 std::string ToString(SolveMethod method);
@@ -51,13 +53,19 @@ struct AutoQueryResult {
   /// `result.truncated` is set and `result.tuples` is a subset of the
   /// answer.
   util::RunStatus status = util::RunStatus::kCompleted;
+  /// Degree-split decision record when the hybrid planner examined the
+  /// query (pattern != kNone). Populated on the kHybridJoin route and on
+  /// auto-mode rejections (so reports can show *why* the trie engine ran).
+  db::HybridPlan plan;
 };
 
-/// Routes a join query: Yannakakis when alpha-acyclic, Generic Join
-/// otherwise. ctx.threads (or QC_THREADS) parallelizes the Generic Join
-/// path; effort counters land in ctx.counters. Both engines observe the
-/// budget resolved from ctx; a trip surfaces in AutoQueryResult::status and
-/// `result.truncated`.
+/// Routes a join query: Yannakakis when alpha-acyclic; otherwise the
+/// degree-split hybrid planner when ctx.hybrid_mode admits it (kOn whenever
+/// the small-pattern shape matches, kAuto additionally requiring a
+/// profitable heavy core); Generic Join for everything else. ctx.threads
+/// (or QC_THREADS) parallelizes the Generic Join path; effort counters land
+/// in ctx.counters. All engines observe the budget resolved from ctx; a
+/// trip surfaces in AutoQueryResult::status and `result.truncated`.
 AutoQueryResult EvaluateQueryAuto(const db::JoinQuery& query,
                                   const db::Database& db,
                                   const ExecutionContext& ctx =

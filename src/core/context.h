@@ -19,6 +19,17 @@ namespace util {
 class Arena;  // forward-declared for the same header-only reason.
 }  // namespace util
 
+/// How the degree-split hybrid MM/WCOJ planner (db::HybridJoin) participates
+/// in query routing. kAuto routes small-pattern queries through the hybrid
+/// only when the degree partition says the heavy core is dense enough to
+/// pay; kOn forces the hybrid whenever the pattern applies; kOff never
+/// routes through it.
+enum class HybridMode {
+  kAuto = 0,
+  kOn,
+  kOff,
+};
+
 /// One knob surface for every engine in the library.
 ///
 /// Historically each entry point grew its own options struct
@@ -121,6 +132,14 @@ struct ExecutionContext {
   /// construction, re-armable by assigning steady_clock::now().
   std::chrono::steady_clock::time_point start_time =
       std::chrono::steady_clock::now();
+
+  // -- hybrid MM/WCOJ planner (fields appended so existing designated
+  //    initializers keep compiling) --
+  /// Routing mode of the degree-split hybrid planner; see HybridMode.
+  HybridMode hybrid_mode = HybridMode::kAuto;
+  /// Degree threshold Δ override for the hybrid planner (0 = auto-pick
+  /// max(1, √N) from the largest atom).
+  std::int64_t hybrid_delta = 0;
 };
 
 }  // namespace qc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/boolmm.h"
+#include "util/budget.h"
 #include "util/threadpool.h"
 
 namespace qc::graph {
@@ -31,12 +32,15 @@ util::Bitset BoolMatrix::Row(int i) const {
   return out;
 }
 
-BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other, int threads) const {
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other, int threads,
+                                util::Budget* budget) const {
   BoolMatrix c(rows_, other.cols_);
   const std::size_t wn = other.words_per_row_;  // == c.words_per_row_
-  auto row_block = [this, &other, &c, wn](std::int64_t lo, std::int64_t hi) {
+  auto row_block = [this, &other, &c, wn, budget](std::int64_t lo,
+                                                  std::int64_t hi) {
     std::vector<int> ks;
     for (std::int64_t i = lo; i < hi; ++i) {
+      if (budget != nullptr && budget->ChargeWork(1)) return;
       // Gather row i's set columns once, then OR the corresponding B rows
       // into the output in groups of 4 — quartering the dst read/write
       // traffic of the one-row-at-a-time loop.
@@ -62,7 +66,7 @@ BoolMatrix BoolMatrix::Multiply(const BoolMatrix& other, int threads) const {
     }
   };
   util::ThreadPool::Shared().ParallelFor(0, rows_, row_block, threads,
-                                         /*min_grain=*/16);
+                                         /*min_grain=*/16, budget);
   return c;
 }
 

@@ -8,6 +8,10 @@
 #include "graph/graph.h"
 #include "util/bitset.h"
 
+namespace qc::util {
+class Budget;
+}  // namespace qc::util
+
 namespace qc::graph {
 
 /// Dense Boolean matrix with bit-packed rows in one contiguous allocation.
@@ -60,7 +64,13 @@ class BoolMatrix {
   /// in parallel on `threads` workers (0 = the QC_THREADS default); every
   /// row is written independently, so the product is bit-identical at any
   /// thread count and any QC_SIMD level.
-  BoolMatrix Multiply(const BoolMatrix& other, int threads = 0) const;
+  ///
+  /// `budget` (optional) is polled once per output row; on a trip the
+  /// remaining rows are left all-zero and the caller must consult
+  /// budget->Stopped() before trusting the product. Workers also charge one
+  /// work unit per row so work-limit budgets see MM progress.
+  BoolMatrix Multiply(const BoolMatrix& other, int threads = 0,
+                      util::Budget* budget = nullptr) const;
 
   /// Adjacency matrix of g.
   static BoolMatrix FromGraph(const Graph& g);

@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <set>
 
@@ -177,6 +178,55 @@ Graph SkewedGraph(int n, int core_size, double p_core, int attach,
                   : static_cast<int>(rng->NextBounded(v));
       g.AddEdge(v, u);
     }
+  }
+  return g;
+}
+
+Graph ZipfGraph(int n, int m, double exponent, util::Rng* rng) {
+  Graph g(n);
+  if (n < 2 || m <= 0) return g;
+  // Cumulative Zipf weights over vertex ids; endpoint sampling by binary
+  // search in the CDF. Vertex 0 is the heaviest hub.
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (int v = 0; v < n; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v + 1), exponent);
+    cdf[v] = total;
+  }
+  auto draw = [&]() {
+    const double x = rng->NextDouble() * total;
+    return static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+  };
+  long long max_edges = static_cast<long long>(n) * (n - 1) / 2;
+  if (m > max_edges) m = static_cast<int>(max_edges);
+  // Rejection loop; AddEdge dedups, so count via num_edges. Bounded retries
+  // guard the near-complete corner where fresh pairs get rare.
+  long long attempts = 0;
+  const long long attempt_cap = 64LL * m + 1024;
+  while (g.num_edges() < m && attempts < attempt_cap) {
+    ++attempts;
+    const int u = draw();
+    const int v = draw();
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph HubGraph(int n, int hubs, int m_periphery, util::Rng* rng) {
+  Graph g(n);
+  if (hubs > n) hubs = n;
+  for (int h = 0; h < hubs; ++h) {
+    for (int v = h + 1; v < n; ++v) g.AddEdge(h, v);
+  }
+  const int periphery = n - hubs;
+  long long max_extra = static_cast<long long>(periphery) * (periphery - 1) / 2;
+  if (m_periphery > max_extra) m_periphery = static_cast<int>(max_extra);
+  long long before = g.num_edges();
+  while (g.num_edges() - before < m_periphery) {
+    const int u = hubs + static_cast<int>(rng->NextBounded(periphery));
+    const int v = hubs + static_cast<int>(rng->NextBounded(periphery));
+    if (u != v) g.AddEdge(u, v);
   }
   return g;
 }

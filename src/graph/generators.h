@@ -58,6 +58,19 @@ Graph SpecialGraph(int k);
 Graph SkewedGraph(int n, int core_size, double p_core, int attach,
                   util::Rng* rng);
 
+/// Graph whose degree sequence follows a Zipf law: vertex v gets a target
+/// degree proportional to 1/(v+1)^exponent scaled so the total is ~2m, and
+/// edge endpoints are drawn from that distribution (multi-edges and loops
+/// rejected). exponent ~1.0 is mildly skewed, >= 2.0 concentrates almost
+/// all incidences on a handful of hubs — the skew axis of experiment E20.
+Graph ZipfGraph(int n, int m, double exponent, util::Rng* rng);
+
+/// `hubs` hub vertices adjacent to everything (including each other), plus
+/// a sparse G(n, m_periphery) periphery. The extreme hub-degree instance:
+/// every hub exceeds any sane degree threshold, so the hybrid planner's
+/// heavy phase owns a dense quadratic core while the periphery stays light.
+Graph HubGraph(int n, int hubs, int m_periphery, util::Rng* rng);
+
 }  // namespace qc::graph
 
 #endif  // QC_GRAPH_GENERATORS_H_

@@ -4,9 +4,28 @@
 #include <cmath>
 
 #include "graph/boolmatrix.h"
+#include "util/budget.h"
 #include "util/trace.h"
 
 namespace qc::graph {
+
+namespace {
+
+/// The one heaviness predicate shared by the AYZ light scan and the
+/// heavy-subgraph build. Degree(v) == delta is LIGHT: keeping a single
+/// definition makes it impossible for a boundary vertex to be skipped by
+/// the light scan yet excluded from the heavy subgraph (which would
+/// silently drop its triangles).
+bool AyzHeavy(const Graph& g, int v, int delta) {
+  return g.Degree(v) > delta;
+}
+
+/// Budget poll helper: true when work should stop.
+bool Tripped(util::Budget* budget) {
+  return budget != nullptr && budget->Poll();
+}
+
+}  // namespace
 
 std::optional<std::array<int, 3>> FindTriangleEnumeration(const Graph& g) {
   const int n = g.num_vertices();
@@ -86,11 +105,14 @@ std::optional<std::array<int, 3>> FindTriangleEnumerationScalar(
   return std::nullopt;
 }
 
-std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g) {
+std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g,
+                                                     util::Budget* budget) {
   BoolMatrix a = BoolMatrix::FromGraph(g);
-  BoolMatrix a2 = a.Multiply(a);
+  BoolMatrix a2 = a.Multiply(a, /*threads=*/0, budget);
+  if (budget != nullptr && budget->Stopped()) return std::nullopt;
   const int n = g.num_vertices();
   for (int i = 0; i < n; ++i) {
+    if (Tripped(budget)) return std::nullopt;
     util::Bitset row = a2.Row(i);
     row &= a.Row(i);
     int j = row.NextSetBit(0);
@@ -106,9 +128,12 @@ std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g) {
   return std::nullopt;
 }
 
-std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta) {
+std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta,
+                                                  util::Budget* budget) {
   const int n = g.num_vertices();
   const int m = g.num_edges();
+  // m == 0 (including the singleton / empty graph) short-circuits before
+  // the delta auto-pick, so sqrt(0) never produces a degenerate threshold.
   if (m == 0) return std::nullopt;
   if (delta <= 0) {
     delta = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(m))));
@@ -120,9 +145,11 @@ std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta) {
         util::Trace::InternName("triangles.ayz.light");
     util::ScopedSpan light_span(kLightSpan);
     for (int v = 0; v < n; ++v) {
-      if (g.Degree(v) > delta) continue;
+      if (AyzHeavy(g, v, delta)) continue;
+      if (Tripped(budget)) return std::nullopt;
       std::vector<int> nb = g.NeighborList(v);
       for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (Tripped(budget)) return std::nullopt;
         for (std::size_t j = i + 1; j < nb.size(); ++j) {
           if (g.HasEdge(nb[i], nb[j])) {
             std::array<int, 3> t = {v, nb[i], nb[j]};
@@ -134,16 +161,18 @@ std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g, int delta) {
     }
   }
   // Heavy phase: at most 2m/delta heavy vertices; all-heavy triangles via
-  // matrix multiplication on the induced subgraph.
+  // matrix multiplication on the induced subgraph. Uses the same AyzHeavy
+  // predicate as the light scan, so every vertex belongs to exactly one
+  // phase.
   static const std::uint32_t kHeavySpan =
       util::Trace::InternName("triangles.ayz.heavy");
   util::ScopedSpan heavy_span(kHeavySpan);
   std::vector<int> heavy;
   for (int v = 0; v < n; ++v) {
-    if (g.Degree(v) > delta) heavy.push_back(v);
+    if (AyzHeavy(g, v, delta)) heavy.push_back(v);
   }
   Graph h = g.InducedSubgraph(heavy);
-  auto t = FindTriangleMatrix(h);
+  auto t = FindTriangleMatrix(h, budget);
   if (!t) return std::nullopt;
   std::array<int, 3> out = {heavy[(*t)[0]], heavy[(*t)[1]], heavy[(*t)[2]]};
   std::sort(out.begin(), out.end());
@@ -191,15 +220,17 @@ std::uint64_t CountTrianglesScalar(const Graph& g) {
   return count;
 }
 
-std::uint64_t CountTriangles(const Graph& g) {
+std::uint64_t CountTriangles(const Graph& g, util::Budget* budget) {
   const int n = g.num_vertices();
   // Mask of vertices with id > v, to count each triangle exactly once.
   std::vector<util::Bitset> above(n, util::Bitset(n));
   for (int v = 0; v < n; ++v) {
+    if (Tripped(budget)) return 0;
     for (int w = v + 1; w < n; ++w) above[v].Set(w);
   }
   std::uint64_t count = 0;
   for (auto [u, v] : g.Edges()) {
+    if (budget != nullptr && budget->ChargeWork(1)) return count;
     int hi = std::max(u, v);
     util::Bitset common = g.Neighbors(u);
     common &= g.Neighbors(v);

@@ -7,6 +7,10 @@
 
 #include "graph/graph.h"
 
+namespace qc::util {
+class Budget;
+}  // namespace qc::util
+
 namespace qc::graph {
 
 /// Per-edge enumeration with a degree ordering and word-parallel
@@ -23,17 +27,36 @@ std::optional<std::array<int, 3>> FindTriangleEnumerationScalar(
 
 /// Detection via Boolean matrix multiplication: a triangle exists iff
 /// (A*A) AND A is nonzero (Section 8, "the triangle conjecture" discussion).
-std::optional<std::array<int, 3>> FindTriangleMatrix(const Graph& g);
+///
+/// `budget` (optional) is polled inside the matrix product and once per row
+/// of the scan, so a deadline or cancel interrupts the O(n^3/64) work
+/// promptly. On a trip the function returns nullopt with the search
+/// incomplete — callers must check budget->Stopped() before treating
+/// nullopt as "triangle-free".
+std::optional<std::array<int, 3>> FindTriangleMatrix(
+    const Graph& g, util::Budget* budget = nullptr);
 
 /// Alon–Yuster–Zwick sparse detection: vertices of degree > `delta` are
 /// "heavy" and handled by matrix multiplication on the heavy-induced
 /// subgraph; triangles with a light vertex are found by scanning each light
-/// vertex's neighbour pairs. delta <= 0 picks sqrt(m) automatically.
+/// vertex's neighbour pairs. delta <= 0 picks max(1, sqrt(m))
+/// automatically (m == 0 returns nullopt before any classification).
+///
+/// Boundary contract, shared by both phases through one predicate: a vertex
+/// is heavy iff Degree(v) > delta, so Degree(v) == delta vertices are
+/// always light and exactly one phase owns every triangle. `budget` is
+/// polled in the light scan and threaded through the heavy-phase MM; on a
+/// trip the result is nullopt with the search incomplete (check
+/// budget->Stopped()).
 std::optional<std::array<int, 3>> FindTriangleAyz(const Graph& g,
-                                                  int delta = 0);
+                                                  int delta = 0,
+                                                  util::Budget* budget =
+                                                      nullptr);
 
 /// Exact triangle count via word-parallel neighbourhood intersection.
-std::uint64_t CountTriangles(const Graph& g);
+/// `budget` (optional) is polled per vertex/edge; on a trip the returned
+/// count is a partial undercount — check budget->Stopped().
+std::uint64_t CountTriangles(const Graph& g, util::Budget* budget = nullptr);
 
 /// Exact triangle count by scalar sorted-list merging over forward
 /// adjacency — the classical O(m^{3/2}) combinatorial counter, no word

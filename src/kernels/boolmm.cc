@@ -22,6 +22,17 @@ void OrWords4Scalar(std::uint64_t* dst, const std::uint64_t* s0,
   }
 }
 
+void AndWords2Scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void AndWords3Scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, const std::uint64_t* c,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i] & c[i];
+}
+
 #if defined(QC_KERNELS_X86)
 
 __attribute__((target("avx2"))) void OrWordsAvx2(std::uint64_t* dst,
@@ -91,7 +102,85 @@ __attribute__((target("avx512f"))) void OrWords4Avx512(
   for (; i < n; ++i) dst[i] |= (s0[i] | s1[i]) | (s2[i] | s3[i]);
 }
 
+__attribute__((target("avx2"))) void AndWords2Avx2(std::uint64_t* dst,
+                                                   const std::uint64_t* a,
+                                                   const std::uint64_t* b,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2"))) void AndWords3Avx2(
+    std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+    const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(_mm256_and_si256(va, vb), vc));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i] & c[i];
+}
+
+__attribute__((target("avx512f"))) void AndWords2Avx512(std::uint64_t* dst,
+                                                        const std::uint64_t* a,
+                                                        const std::uint64_t* b,
+                                                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx512f"))) void AndWords3Avx512(
+    std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+    const std::uint64_t* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __m512i vc = _mm512_loadu_si512(c + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(_mm512_and_si512(va, vb), vc));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i] & c[i];
+}
+
 #else  // !QC_KERNELS_X86
+
+void AndWords2Avx2(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n) {
+  AndWords2Scalar(dst, a, b, n);
+}
+void AndWords3Avx2(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, const std::uint64_t* c,
+                   std::size_t n) {
+  AndWords3Scalar(dst, a, b, c, n);
+}
+void AndWords2Avx512(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n) {
+  AndWords2Scalar(dst, a, b, n);
+}
+void AndWords3Avx512(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, const std::uint64_t* c,
+                     std::size_t n) {
+  AndWords3Scalar(dst, a, b, c, n);
+}
 
 void OrWordsAvx2(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
   OrWordsScalar(dst, src, n);
@@ -141,6 +230,48 @@ void OrWords4(std::uint64_t* dst, const std::uint64_t* s0,
       break;
   }
   OrWords4Scalar(dst, s0, s1, s2, s3, n);
+}
+
+void AndWords2(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, std::size_t n) {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx512:
+      AndWords2Avx512(dst, a, b, n);
+      return;
+    case SimdLevel::kAvx2:
+      AndWords2Avx2(dst, a, b, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  AndWords2Scalar(dst, a, b, n);
+}
+
+void AndWords3(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, const std::uint64_t* c, std::size_t n) {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx512:
+      AndWords3Avx512(dst, a, b, c, n);
+      return;
+    case SimdLevel::kAvx2:
+      AndWords3Avx2(dst, a, b, c, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  AndWords3Scalar(dst, a, b, c, n);
+}
+
+std::uint64_t AndPopcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n) {
+  // Plain scalar popcount loop: compilers lower __builtin_popcountll to the
+  // hardware instruction, and the load/AND stream saturates memory long
+  // before the counting does, so there is no SIMD variant to dispatch to.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
 }
 
 }  // namespace qc::kernels

@@ -36,6 +36,38 @@ void OrWords4Avx512(std::uint64_t* dst, const std::uint64_t* s0,
                     const std::uint64_t* s1, const std::uint64_t* s2,
                     const std::uint64_t* s3, std::size_t n);
 
+/// Word-parallel AND kernels behind the hybrid degree-split planner's
+/// heavy-phase witness enumeration (DESIGN.md §15): the all-heavy core is
+/// evaluated on BoolMatrix rows, and every witness set is an AND of two or
+/// three such rows. Same dispatch and bitwise-identity contract as the OR
+/// kernels above.
+void AndWords2(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, std::size_t n);
+void AndWords3(std::uint64_t* dst, const std::uint64_t* a,
+               const std::uint64_t* b, const std::uint64_t* c, std::size_t n);
+
+/// popcount(a & b) over n words, without materializing the intersection —
+/// the counting path of the heavy phase.
+std::uint64_t AndPopcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n);
+
+/// Per-level implementations, exposed for the equivalence tests.
+void AndWords2Scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n);
+void AndWords3Scalar(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, const std::uint64_t* c,
+                     std::size_t n);
+void AndWords2Avx2(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n);
+void AndWords3Avx2(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, const std::uint64_t* c,
+                   std::size_t n);
+void AndWords2Avx512(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n);
+void AndWords3Avx512(std::uint64_t* dst, const std::uint64_t* a,
+                     const std::uint64_t* b, const std::uint64_t* c,
+                     std::size_t n);
+
 }  // namespace qc::kernels
 
 #endif  // QC_KERNELS_BOOLMM_H_

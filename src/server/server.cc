@@ -21,7 +21,8 @@ namespace {
 /// the SessionOptions surface (report paths, cache sizing, input-error
 /// policy) is server configuration and is rejected per-request.
 bool IsPerQueryOption(const std::string& key) {
-  return key == "deadline_ms" || key == "max_rows" || key == "threads";
+  return key == "deadline_ms" || key == "max_rows" || key == "threads" ||
+         key == "hybrid" || key == "hybrid_delta";
 }
 
 /// Codes a client may retry after backoff: admission pushback (8/9), the

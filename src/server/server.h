@@ -26,8 +26,9 @@ namespace qc::server {
 
 struct ServerOptions {
   /// Session defaults applied to every request; a request's own `option`
-  /// fields override deadline_ms/max_rows/threads per query (they can
-  /// tighten or set, never touch the server's report/cache config).
+  /// fields override deadline_ms/max_rows/threads/hybrid/hybrid_delta per
+  /// query (they can tighten or set, never touch the server's report/cache
+  /// config).
   api::SessionOptions session;
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = ephemeral; resolved port via QueryServer::port().

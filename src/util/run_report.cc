@@ -80,6 +80,19 @@ void RunReport::Emit(JsonWriter& w) const {
     w.Key("snapshot_epoch").Uint(server.snapshot_epoch);
     w.EndObject();
   }
+  if (planner.present) {
+    w.Key("planner").BeginObject();
+    w.Key("pattern").String(planner.pattern);
+    w.Key("threshold").Int(planner.threshold);
+    w.Key("threshold_overridden").Bool(planner.threshold_overridden);
+    w.Key("delegated").Bool(planner.delegated);
+    w.Key("heavy_values").Uint(planner.heavy_values);
+    w.Key("heavy_tuples").Uint(planner.heavy_tuples);
+    w.Key("light_tuples").Uint(planner.light_tuples);
+    w.Key("heavy_rows").Uint(planner.heavy_rows);
+    w.Key("light_rows").Uint(planner.light_rows);
+    w.EndObject();
+  }
   if (ivm.present) {
     w.Key("ivm").BeginObject();
     w.Key("views").Uint(ivm.views);

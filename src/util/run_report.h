@@ -39,6 +39,9 @@ class JsonWriter;
 ///     "server": { "request_id": 7, "queue_ms": 0.3,   // only when the run
 ///                 "snapshot_epoch": 12 },             // was served by
 ///                                                     // qc_serverd
+///     "planner": { "pattern": "triangle", ... },      // only when the
+///                                                     // hybrid planner
+///                                                     // examined the query
 ///     "ivm": { "views": 1, "updates": 9, ... }  // only when the serving
 ///   }                                           // process maintains views
 struct RunReport {
@@ -110,6 +113,24 @@ struct RunReport {
     std::uint64_t full_recomputes = 0;
   };
   IvmInfo ivm;
+
+  /// Degree-split hybrid planner decision record (db::HybridPlan snapshot,
+  /// flattened here so util/ stays below db/). Serialized (as a "planner"
+  /// object) only when `present` — set whenever the planner examined the
+  /// query, including auto-mode rejections where the trie engine ran.
+  struct PlannerInfo {
+    bool present = false;
+    std::string pattern;  ///< "triangle", "4-cycle", "4-clique", "5-clique".
+    std::int64_t threshold = 0;         ///< Resolved degree threshold Δ.
+    bool threshold_overridden = false;  ///< Δ came from the caller, not √N.
+    bool delegated = false;      ///< No heavy values: one pure GenericJoin.
+    std::uint64_t heavy_values = 0;
+    std::uint64_t heavy_tuples = 0;
+    std::uint64_t light_tuples = 0;
+    std::uint64_t heavy_rows = 0;
+    std::uint64_t light_rows = 0;
+  };
+  PlannerInfo planner;
 
   /// Copies usage and limits out of a run's budget. `deadline_armed` is
   /// inferred from the status or set by the caller via `deadline_armed`.

@@ -27,6 +27,7 @@
 #include "graph/generators.h"
 #include "graph/hypergraph.h"
 #include "graph/treewidth.h"
+#include "graph/triangles.h"
 #include "gtest/gtest.h"
 #include "sat/cdcl.h"
 #include "sat/dpll.h"
@@ -380,6 +381,47 @@ TEST(CancellationPromptness, CoreEntryPoints) {
   EXPECT_LT(timer.Millis(), kPromptMillis);
   EXPECT_EQ(qr.status, util::RunStatus::kDeadlineExceeded);
   EXPECT_TRUE(qr.result.truncated);
+}
+
+TEST(CancellationPromptness, TriangleDetectors) {
+  // FindTriangleMatrix / FindTriangleAyz / CountTriangles accept a Budget
+  // and must observe a trip promptly — returning nullopt / a partial count
+  // even though K_300 is full of triangles, proving they aborted rather
+  // than completed.
+  graph::Graph g = graph::Complete(300);
+  util::Budget b;
+  ArmExpired(&b);
+  util::Timer timer;
+  EXPECT_FALSE(graph::FindTriangleMatrix(g, &b).has_value());
+  EXPECT_LT(timer.Millis(), kPromptMillis);
+  EXPECT_TRUE(b.Stopped());
+
+  // Default delta ≈ sqrt(m) = 211 < 299: every vertex heavy, MM phase.
+  b.Reset();
+  ArmExpired(&b);
+  timer.Reset();
+  EXPECT_FALSE(graph::FindTriangleAyz(g, 0, &b).has_value());
+  EXPECT_LT(timer.Millis(), kPromptMillis);
+
+  // delta ≥ max degree: every vertex light, the scan phase polls.
+  b.Reset();
+  ArmExpired(&b);
+  timer.Reset();
+  EXPECT_FALSE(graph::FindTriangleAyz(g, 400, &b).has_value());
+  EXPECT_LT(timer.Millis(), kPromptMillis);
+
+  b.Reset();
+  ArmExpired(&b);
+  timer.Reset();
+  EXPECT_EQ(graph::CountTriangles(g, &b), 0u);  // Partial undercount.
+  EXPECT_LT(timer.Millis(), kPromptMillis);
+
+  // An armed-but-untripped budget never changes the answer.
+  util::Budget generous;
+  generous.ArmDeadlineAfter(3600.0);
+  EXPECT_TRUE(graph::FindTriangleMatrix(g, &generous).has_value());
+  EXPECT_TRUE(graph::FindTriangleAyz(g, 0, &generous).has_value());
+  EXPECT_EQ(graph::CountTriangles(g, &generous), graph::CountTriangles(g));
 }
 
 // ---------------------------------------------------------------------------

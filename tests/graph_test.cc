@@ -190,6 +190,88 @@ TEST(TriangleTest, CompleteGraphCount) {
   EXPECT_EQ(CountTriangles(Complete(6)), 20u);
 }
 
+TEST(TriangleTest, AyzEmptyAndTinyGraphs) {
+  // m == 0 (empty / singleton / edgeless) short-circuits before the delta
+  // auto-pick, for any requested delta.
+  EXPECT_FALSE(FindTriangleAyz(Graph(0)).has_value());
+  EXPECT_FALSE(FindTriangleAyz(Graph(1)).has_value());
+  Graph edgeless(5);
+  EXPECT_FALSE(FindTriangleAyz(edgeless).has_value());
+  EXPECT_FALSE(FindTriangleAyz(edgeless, 3).has_value());
+
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(FindTriangleAyz(g).has_value());
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(FindTriangleAyz(g).has_value());
+  g.AddEdge(0, 2);
+  for (int delta : {0, 1, 2, 3}) {
+    auto t = FindTriangleAyz(g, delta);
+    ASSERT_TRUE(t.has_value()) << "delta=" << delta;
+    EXPECT_EQ(*t, (std::array<int, 3>{0, 1, 2}));
+  }
+}
+
+TEST(TriangleTest, AyzBoundaryDegreeEqualsDeltaIsLight) {
+  // Complete(4): every degree is exactly 3. A vertex is heavy iff
+  // Degree(v) > delta, so delta == 3 classifies everything light (the
+  // light scan alone must own every triangle) and delta == 2 classifies
+  // everything heavy (the MM phase alone must).
+  Graph g = Complete(4);
+  for (int delta : {2, 3}) {
+    auto t = FindTriangleAyz(g, delta);
+    ASSERT_TRUE(t.has_value()) << "delta=" << delta;
+    EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[1]));
+    EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[2]));
+    EXPECT_TRUE(g.HasEdge((*t)[1], (*t)[2]));
+  }
+}
+
+TEST(TriangleTest, AyzAgreesWithCountAcrossAllDeltas) {
+  // Sweeping delta across every degree present in the graph puts vertices
+  // exactly on the boundary at each step: detection must agree with the
+  // exact count for every split, so no triangle is owned by zero phases.
+  util::Rng rng(77);
+  Graph g = RandomGnm(24, 60, &rng);
+  const bool expect = CountTriangles(g) > 0;
+  int max_deg = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  for (int delta = 1; delta <= max_deg + 1; ++delta) {
+    auto t = FindTriangleAyz(g, delta);
+    EXPECT_EQ(t.has_value(), expect) << "delta=" << delta;
+    if (t) {
+      EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[1]));
+      EXPECT_TRUE(g.HasEdge((*t)[0], (*t)[2]));
+      EXPECT_TRUE(g.HasEdge((*t)[1], (*t)[2]));
+    }
+  }
+}
+
+TEST(GeneratorsTest, ZipfGraphShape) {
+  util::Rng rng(3);
+  Graph g = ZipfGraph(50, 120, 1.5, &rng);
+  EXPECT_EQ(g.num_vertices(), 50);
+  // The rejection loop is attempt-capped, so the edge count may fall short
+  // of the request on heavily skewed draws — but never exceed it.
+  EXPECT_LE(g.num_edges(), 120);
+  EXPECT_GT(g.num_edges(), 0);
+  // Skew axis: low-id vertices get the probability mass, so vertex 0
+  // should clearly out-degree the median vertex.
+  EXPECT_GT(g.Degree(0), g.Degree(25));
+}
+
+TEST(GeneratorsTest, HubGraphShape) {
+  util::Rng rng(4);
+  Graph g = HubGraph(30, 3, 20, &rng);
+  EXPECT_EQ(g.num_vertices(), 30);
+  // Hubs are adjacent to everything (including each other).
+  for (int h = 0; h < 3; ++h) EXPECT_EQ(g.Degree(h), 29);
+  // Hub edges: C(3,2) + 3*27 = 84, plus the periphery edges.
+  EXPECT_EQ(g.num_edges(), 84 + 20);
+}
+
 TEST(DominationTest, IsDominatingSet) {
   Graph g = Star(5);
   EXPECT_TRUE(IsDominatingSet(g, {0}));

@@ -11,6 +11,7 @@
 #include "core/context.h"
 #include "db/enumeration.h"
 #include "db/generic_join.h"
+#include "db/hybrid_join.h"
 #include "db/index_cache.h"
 #include "db/joins.h"
 #include "db/yannakakis.h"
@@ -195,6 +196,44 @@ TEST(WarmCacheTest, SelfJoinAtomsShareOneEntry) {
   GenericJoinStats cold_stats;
   JoinResult cold = RunGenericJoin(q, db, 1, nullptr, &cold_stats);
   EXPECT_EQ(warm.tuples, cold.tuples);
+}
+
+TEST(WarmCacheTest, HybridPartitionsDoNotAliasParentCacheEntries) {
+  // Regression for the degree-split planner's cache seam: the light
+  // residuals are FILTERED copies of the parent atoms. If their
+  // sub-evaluations were served by the parent relation's version-keyed
+  // cache entries (the full tries), every partition would see the
+  // unfiltered relation — Count would multiply-count across partitions
+  // (Evaluate's dedup merge would mask it) and partition tries would land
+  // in the cache under the parent's key. The planner gives partitions
+  // planner-private names with freshly stamped versions and detaches
+  // ctx.index_cache in sub-contexts, so a warm shared cache must change
+  // nothing — and a non-delegated hybrid run must not touch it at all.
+  JoinQuery q = TriangleQuery();
+  Database db = TriangleDb();
+  IndexCache cache(8 << 20);
+  GenericJoinStats stats;
+  JoinResult reference = RunGenericJoin(q, db, 1, &cache, &stats);
+  const IndexCacheStats warm = cache.stats();
+  ASSERT_GT(warm.entries, 0u);
+
+  ExecutionContext ctx;
+  ctx.index_cache = &cache;
+  HybridJoin hybrid(q, db, ctx, /*delta=*/1);
+  ASSERT_FALSE(hybrid.plan().delegated);  // Partitions actually exist.
+  EXPECT_EQ(hybrid.Evaluate().tuples, reference.tuples);
+  HybridJoin counter(q, db, ctx, /*delta=*/1);
+  EXPECT_EQ(counter.Count(), reference.tuples.size());
+
+  const IndexCacheStats after = cache.stats();
+  EXPECT_EQ(after.entries, warm.entries);
+  EXPECT_EQ(after.hits, warm.hits);
+  EXPECT_EQ(after.misses, warm.misses);
+
+  // The warm entries still serve the parent query bit-identically.
+  JoinResult again = RunGenericJoin(q, db, 1, &cache, &stats);
+  EXPECT_EQ(again.tuples, reference.tuples);
+  EXPECT_GT(cache.stats().hits, after.hits);
 }
 
 TEST(WarmCacheTest, BuildTrieSpanAbsentOnWarmHits) {

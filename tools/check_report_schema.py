@@ -23,6 +23,8 @@ KNOWN_STATUSES = {
 
 KNOWN_SIMD_LEVELS = {"scalar", "avx2", "avx512"}
 
+KNOWN_PLANNER_PATTERNS = {"triangle", "4-cycle", "4-clique", "5-clique"}
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -145,6 +147,32 @@ def check_report(path):
         unknown = set(ivm) - set(ivm_keys)
         if unknown:
             fail(path, f"ivm has unknown keys {sorted(unknown)}")
+
+    # Optional "planner" section: present only when the degree-split hybrid
+    # planner examined the query (db::HybridPlan with pattern != none).
+    if "planner" in report:
+        planner = report["planner"]
+        if not isinstance(planner, dict):
+            fail(path, "planner is not an object")
+        check_type(path, planner, "pattern", str)
+        if planner["pattern"] not in KNOWN_PLANNER_PATTERNS:
+            fail(path, f"unknown planner.pattern {planner['pattern']!r}")
+        for key in ("threshold_overridden", "delegated"):
+            check_type(path, planner, key, bool)
+        int_keys = ("threshold", "heavy_values", "heavy_tuples",
+                    "light_tuples", "heavy_rows", "light_rows")
+        for key in int_keys:
+            check_type(path, planner, key, int)
+            if planner[key] < 0:
+                fail(path, f"planner.{key} is negative")
+        if planner["threshold"] < 1:
+            fail(path, "planner.threshold < 1")
+        if planner["delegated"] and planner["heavy_values"] != 0:
+            fail(path, "planner delegated but reports heavy values")
+        unknown = set(planner) - set(int_keys) - {
+            "pattern", "threshold_overridden", "delegated"}
+        if unknown:
+            fail(path, f"planner has unknown keys {sorted(unknown)}")
 
     served = " (served)" if "server" in report else ""
     print(f"{path}: ok ({report['tool']}, status={report['status']}, "
